@@ -1,0 +1,646 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) at laptop scale.
+
+     fig1   naive SQL self-join formulation vs ILP (Figure 1)
+     fig3   per-query non-NULL TPC-H table sizes (Figure 3)
+     fig4   offline partitioning time (Figure 4)
+     fig5   scalability on Galaxy: Direct vs SketchRefine (Figure 5)
+     fig6   scalability on TPC-H (Figure 6)
+     fig7   partition size threshold sweep, Galaxy (Figure 7)
+     fig8   partition size threshold sweep, TPC-H (Figure 8)
+     fig9   partitioning coverage sweep (Figure 9)
+     radius radius-limited partitioning repairs TPC-H Q2 (Section 5.2.1)
+     ablation partitioner / fan-out / cuts / presolve design choices
+     micro  bechamel micro-benchmarks of the solver substrate
+
+   Dataset sizes are scaled down from the paper's 5.5M/17.5M tuples;
+   `--scale` multiplies the defaults. Shapes (who wins, by what factor,
+   where the sweet spots fall), not absolute seconds, are the
+   reproduction target — see EXPERIMENTS.md. *)
+
+(* Laptop-scale stand-ins for the paper's 5.5M / 17.5M tuples; chosen
+   so the full suite finishes in well under an hour on one core.
+   PKGQ_SCALE or --scale multiplies both. *)
+let galaxy_base = 20_000
+let tpch_base = 30_000
+
+(* Solver budget per ILP call: the analogue of the paper's CPLEX
+   configuration (1-hour cap, killed on memory exhaustion). A Direct
+   run that exhausts this budget without an incumbent is reported as a
+   failure, like the missing data points in Figures 5-8. *)
+let bench_limits = { Ilp.Branch_bound.max_nodes = 40_000; max_seconds = 20. }
+
+let sr_options =
+  { Pkg.Sketch_refine.default_options with limits = bench_limits;
+    max_seconds = 60. }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ratio ~maximize ~direct ~sr =
+  match direct, sr with
+  | Some od, Some os when Float.abs (if maximize then os else od) > 1e-12 ->
+    Some (if maximize then od /. os else os /. od)
+  | _ -> None
+
+let mean_median xs =
+  match xs with
+  | [] -> None
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let mean = Array.fold_left ( +. ) 0. a /. float_of_int n in
+    let median =
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+    in
+    Some (mean, median)
+
+let pp_time ppf = function
+  | Some t -> Format.fprintf ppf "%8.3f" t
+  | None -> Format.fprintf ppf "%8s" "fail"
+
+let status_cell (r : Pkg.Eval.report) t =
+  match r.Pkg.Eval.status with
+  | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ -> Some t
+  | Pkg.Eval.Infeasible | Pkg.Eval.Failed _ -> None
+
+(* A Direct run only counts as successful when the solver effectively
+   finished: the paper's CPLEX either proves (near-)optimality within
+   its budget or dies on memory. A run that burnt the whole budget and
+   still has a >2% optimality gap is the budget-death analogue. *)
+let direct_cell (r : Pkg.Eval.report) t =
+  match r.Pkg.Eval.status with
+  | Pkg.Eval.Optimal -> Some t
+  | Pkg.Eval.Feasible gap when gap <= 0.02 -> Some t
+  | Pkg.Eval.Feasible _ | Pkg.Eval.Infeasible | Pkg.Eval.Failed _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 ~scale () =
+  let n = max 10 (int_of_float (40. *. scale)) in
+  Format.printf
+    "@.== Figure 1: SQL formulation vs ILP formulation (n=%d tuples) ==@." n;
+  Format.printf
+    "  (paper: 100 SDSS tuples, SQL hits ~24h at cardinality 7)@.";
+  let rel = Datagen.Galaxy.generate ~seed:7 n in
+  let schema = Relalg.Relation.schema rel in
+  let mu =
+    Relalg.Value.to_float
+      (Relalg.Aggregate.over rel (Relalg.Aggregate.Avg "redshift"))
+  in
+  Format.printf "  card   sql(s)      ilp(s)@.";
+  for k = 1 to 7 do
+    let text =
+      Printf.sprintf
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT COUNT(P.*) \
+         = %d AND SUM(P.redshift) <= %g MAXIMIZE SUM(P.petro_rad)"
+        k
+        (float_of_int k *. mu *. 1.5)
+    in
+    let spec = Paql.Translate.compile_exn schema (Paql.Parser.parse_exn text) in
+    let sql_report, sql_t =
+      time (fun () -> Pkg.Naive_sql.run spec rel ~cardinality:k)
+    in
+    let ilp_report, ilp_t =
+      time (fun () -> Pkg.Direct.run ~limits:bench_limits spec rel)
+    in
+    Format.printf "  %4d %a    %a@." k pp_time
+      (status_cell sql_report sql_t)
+      pp_time
+      (status_cell ilp_report ilp_t)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig3 ~scale () =
+  let n = int_of_float (float_of_int tpch_base *. scale) in
+  Format.printf
+    "@.== Figure 3: TPC-H per-query non-NULL table sizes (pre-joined n=%d) \
+     ==@."
+    n;
+  let rel = Datagen.Tpch.generate ~seed:2 n in
+  let queries = Datagen.Workload.tpch_queries rel in
+  Format.printf "  query   tuples    (share of pre-joined table)@.";
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      let sub = Datagen.Workload.query_relation ~dataset:`Tpch rel d in
+      let c = Relalg.Relation.cardinality sub in
+      Format.printf "  %-6s %8d    (%.1f%%)@." d.name c
+        (100. *. float_of_int c /. float_of_int n))
+    queries
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 ~scale () =
+  Format.printf
+    "@.== Figure 4: offline partitioning time (workload attributes, tau=10%%, \
+     no radius) ==@.";
+  let one name rel attrs =
+    let n = Relalg.Relation.cardinality rel in
+    let tau = max 1 (n / 10) in
+    let part, t = time (fun () -> Pkg.Partition.create ~tau ~attrs rel) in
+    Format.printf "  %-8s %8d tuples  tau=%-7d %4d groups  %7.3f s@." name n
+      tau
+      (Pkg.Partition.num_groups part)
+      t
+  in
+  let g =
+    Datagen.Galaxy.generate ~seed:1
+      (int_of_float (float_of_int galaxy_base *. scale))
+  in
+  one "Galaxy" g
+    (Datagen.Workload.workload_attrs (Datagen.Workload.galaxy_queries g));
+  let t =
+    Datagen.Tpch.generate ~seed:2
+      (int_of_float (float_of_int tpch_base *. scale))
+  in
+  one "TPC-H" t
+    (Datagen.Workload.workload_attrs (Datagen.Workload.tpch_queries t))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5 and 6: scalability                                       *)
+(* ------------------------------------------------------------------ *)
+
+let scalability ~label ~dataset rel queries =
+  Format.printf
+    "@.== %s: Direct vs SketchRefine, dataset size sweep (tau=10%%, workload \
+     attrs, no radius) ==@."
+    label;
+  let wattrs = Datagen.Workload.workload_attrs queries in
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      let qrel = Datagen.Workload.query_relation ~dataset rel d in
+      let nq = Relalg.Relation.cardinality qrel in
+      let tau = max 1 (nq / 10) in
+      let part = Pkg.Partition.create ~tau ~attrs:wattrs qrel in
+      Format.printf "@.%s (table: %d tuples):@." d.name nq;
+      Format.printf "   size     n      direct(s)  sketchref(s)  ratio@.";
+      let ratios = ref [] in
+      List.iter
+        (fun pct ->
+          let n = max 1 (nq * pct / 100) in
+          let sub = Relalg.Relation.prefix qrel n in
+          let subpart = Pkg.Partition.restrict_prefix part sub n in
+          let spec = Datagen.Workload.compile sub d in
+          let rd, td =
+            time (fun () -> Pkg.Direct.run ~limits:bench_limits spec sub)
+          in
+          let rs, ts =
+            time (fun () ->
+                Pkg.Sketch_refine.run ~options:sr_options spec sub subpart)
+          in
+          let r =
+            ratio ~maximize:d.maximize
+              ~direct:(direct_cell rd rd.Pkg.Eval.objective |> Option.join)
+              ~sr:(status_cell rs rs.Pkg.Eval.objective |> Option.join)
+          in
+          Option.iter (fun r -> ratios := r :: !ratios) r;
+          Format.printf "   %3d%%  %7d  %a   %a    %s@." pct n pp_time
+            (direct_cell rd td) pp_time (status_cell rs ts)
+            (match r with Some r -> Printf.sprintf "%.2f" r | None -> "-"))
+        [ 10; 40; 70; 100 ];
+      match mean_median !ratios with
+      | Some (mean, median) ->
+        Format.printf "   approximation ratio: mean %.2f, median %.2f@." mean
+          median
+      | None -> Format.printf "   approximation ratio: - (Direct failed)@.")
+    queries
+
+let fig5 ~scale () =
+  let n = int_of_float (float_of_int galaxy_base *. scale) in
+  let rel = Datagen.Galaxy.generate ~seed:1 n in
+  scalability ~label:"Figure 5 (Galaxy)" ~dataset:`Galaxy rel
+    (Datagen.Workload.galaxy_queries rel)
+
+let fig6 ~scale () =
+  let n = int_of_float (float_of_int tpch_base *. scale) in
+  let rel = Datagen.Tpch.generate ~seed:2 n in
+  scalability ~label:"Figure 6 (TPC-H)" ~dataset:`Tpch rel
+    (Datagen.Workload.tpch_queries rel)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8: partition size threshold sweep                    *)
+(* ------------------------------------------------------------------ *)
+
+let tau_sweep ~label ~dataset ~fraction rel queries =
+  Format.printf
+    "@.== %s: partition size threshold sweep (%d%% of data, workload attrs, \
+     no radius) ==@."
+    label
+    (int_of_float (fraction *. 100.));
+  let wattrs = Datagen.Workload.workload_attrs queries in
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      let qrel = Datagen.Workload.query_relation ~dataset rel d in
+      let n =
+        max 1 (int_of_float (float_of_int (Relalg.Relation.cardinality qrel)
+                             *. fraction))
+      in
+      let sub = Relalg.Relation.prefix qrel n in
+      let spec = Datagen.Workload.compile sub d in
+      let rd, td =
+        time (fun () -> Pkg.Direct.run ~limits:bench_limits spec sub)
+      in
+      Format.printf "@.%s (n=%d, direct: %a s):@." d.name n pp_time
+        (direct_cell rd td);
+      Format.printf "   tau      groups  sketchref(s)  ratio@.";
+      let ratios = ref [] in
+      let tau = ref (max 1 (n / 2)) in
+      while !tau >= 25 do
+        let part = Pkg.Partition.create ~tau:!tau ~attrs:wattrs sub in
+        let rs, ts =
+          time (fun () ->
+              Pkg.Sketch_refine.run ~options:sr_options spec sub part)
+        in
+        let r =
+          ratio ~maximize:d.maximize
+            ~direct:(direct_cell rd rd.Pkg.Eval.objective |> Option.join)
+            ~sr:(status_cell rs rs.Pkg.Eval.objective |> Option.join)
+        in
+        Option.iter (fun r -> ratios := r :: !ratios) r;
+        Format.printf "   %-8d %5d   %a    %s@." !tau
+          (Pkg.Partition.num_groups part)
+          pp_time (status_cell rs ts)
+          (match r with Some r -> Printf.sprintf "%.2f" r | None -> "-");
+        tau := !tau / 4
+      done;
+      match mean_median !ratios with
+      | Some (mean, median) ->
+        Format.printf "   approximation ratio: mean %.2f, median %.2f@." mean
+          median
+      | None -> Format.printf "   approximation ratio: - (Direct failed)@.")
+    queries
+
+let fig7 ~scale () =
+  let n = int_of_float (float_of_int galaxy_base *. scale) in
+  let rel = Datagen.Galaxy.generate ~seed:1 n in
+  tau_sweep ~label:"Figure 7 (Galaxy)" ~dataset:`Galaxy ~fraction:0.3 rel
+    (Datagen.Workload.galaxy_queries rel)
+
+let fig8 ~scale () =
+  let n = int_of_float (float_of_int tpch_base *. scale) in
+  let rel = Datagen.Tpch.generate ~seed:2 n in
+  tau_sweep ~label:"Figure 8 (TPC-H)" ~dataset:`Tpch ~fraction:1.0 rel
+    (Datagen.Workload.tpch_queries rel)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: partitioning coverage                                    *)
+(* ------------------------------------------------------------------ *)
+
+let coverage_sweep ~label ~dataset ~numeric_attrs rel queries =
+  Format.printf
+    "@.== %s: partitioning coverage sweep (tau=10%%, no radius) ==@." label;
+  Format.printf
+    "   coverage = |partitioning attrs| / |query attrs|; time ratio is \
+     relative to coverage 1@.";
+  (* bucket -> (time ratio list, absolute time list) *)
+  let buckets : (float, float list ref * float list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let record cov tr abs_t =
+    let trs, ats =
+      match Hashtbl.find_opt buckets cov with
+      | Some x -> x
+      | None ->
+        let x = (ref [], ref []) in
+        Hashtbl.add buckets cov x;
+        x
+    in
+    Option.iter (fun t -> trs := t :: !trs) tr;
+    ats := abs_t :: !ats
+  in
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      let qrel = Datagen.Workload.query_relation ~dataset rel d in
+      let n = Relalg.Relation.cardinality qrel in
+      let tau = max 1 (n / 10) in
+      let spec = Datagen.Workload.compile qrel d in
+      let k = List.length d.attrs in
+      let extras =
+        List.filter (fun a -> not (List.mem a d.attrs)) numeric_attrs
+      in
+      let attr_sets =
+        (* proper subsets, the exact set, and growing supersets *)
+        List.init (k - 1) (fun i ->
+            (List.filteri (fun j _ -> j <= i) d.attrs,
+             float_of_int (i + 1) /. float_of_int k))
+        @ [ (d.attrs, 1.) ]
+        @ List.init (List.length extras) (fun i ->
+              ( d.attrs @ List.filteri (fun j _ -> j <= i) extras,
+                float_of_int (k + i + 1) /. float_of_int k ))
+      in
+      let base_time = ref None in
+      List.iter
+        (fun (attrs, cov) ->
+          let part = Pkg.Partition.create ~tau ~attrs qrel in
+          let rs, ts =
+            time (fun () ->
+                Pkg.Sketch_refine.run ~options:sr_options spec qrel part)
+          in
+          (match rs.Pkg.Eval.status with
+          | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ ->
+            if cov = 1. then base_time := Some ts
+          | _ -> ());
+          match !base_time, rs.Pkg.Eval.status with
+          | Some bt, (Pkg.Eval.Optimal | Pkg.Eval.Feasible _) ->
+            (* ratios over millisecond baselines are noise; keep the
+               absolute time in any case *)
+            let ratio = if bt >= 0.02 then Some (ts /. bt) else None in
+            record cov ratio ts
+          | _ -> ())
+        (* evaluate coverage 1 first so the base time exists *)
+        (List.stable_sort
+           (fun (_, c1) (_, c2) ->
+             compare (Float.abs (c1 -. 1.)) (Float.abs (c2 -. 1.)))
+           attr_sets))
+    queries;
+  let rows =
+    Hashtbl.fold (fun cov (trs, ats) acc -> (cov, !trs, !ats) :: acc) buckets []
+    |> List.sort compare
+  in
+  Format.printf "   coverage   mean time ratio   mean time(s)   runs@.";
+  List.iter
+    (fun (cov, trs, ats) ->
+      let tr_text =
+        match mean_median trs with
+        | Some (mean, _) -> Printf.sprintf "%10.2f" mean
+        | None -> Printf.sprintf "%10s" "-"
+      in
+      match mean_median ats with
+      | Some (mean_t, _) ->
+        Format.printf "   %6.2f     %s   %10.3f     %d@." cov tr_text mean_t
+          (List.length ats)
+      | None -> ())
+    rows
+
+let fig9 ~scale () =
+  let gn = int_of_float (float_of_int galaxy_base *. scale *. 0.5) in
+  let g = Datagen.Galaxy.generate ~seed:1 gn in
+  coverage_sweep ~label:"Figure 9 (Galaxy)" ~dataset:`Galaxy
+    ~numeric_attrs:Datagen.Galaxy.numeric_attrs g
+    (Datagen.Workload.galaxy_queries g);
+  let tn = int_of_float (float_of_int tpch_base *. scale *. 0.5) in
+  let t = Datagen.Tpch.generate ~seed:2 tn in
+  coverage_sweep ~label:"Figure 9 (TPC-H)" ~dataset:`Tpch
+    ~numeric_attrs:Datagen.Tpch.numeric_attrs t
+    (Datagen.Workload.tpch_queries t)
+
+(* ------------------------------------------------------------------ *)
+(* Radius-limited partitioning (Section 5.2.1's Q2 note)              *)
+(* ------------------------------------------------------------------ *)
+
+let radius ~scale () =
+  Format.printf
+    "@.== Radius-limited partitioning: TPC-H Q2 with epsilon = 1.0 (Section \
+     5.2.1) ==@.";
+  let n = int_of_float (float_of_int tpch_base *. scale *. 0.4) in
+  let rel = Datagen.Tpch.generate ~seed:2 n in
+  let queries = Datagen.Workload.tpch_queries rel in
+  let d = List.nth queries 1 (* Q2, the minimization query *) in
+  let qrel = Datagen.Workload.query_relation ~dataset:`Tpch rel d in
+  let nq = Relalg.Relation.cardinality qrel in
+  let spec = Datagen.Workload.compile qrel d in
+  let rd, td = time (fun () -> Pkg.Direct.run ~limits:bench_limits spec qrel) in
+  Format.printf "  direct: %a (%.3fs)@." Pkg.Eval.pp_status rd.Pkg.Eval.status
+    td;
+  let run_with name radius_spec =
+    let part, pt =
+      time (fun () ->
+          Pkg.Partition.create ?radius:radius_spec ~tau:(max 1 (nq / 10))
+            ~attrs:d.attrs qrel)
+    in
+    let rs, ts =
+      time (fun () -> Pkg.Sketch_refine.run ~options:sr_options spec qrel part)
+    in
+    let r =
+      ratio ~maximize:d.maximize
+        ~direct:(direct_cell rd rd.Pkg.Eval.objective |> Option.join)
+        ~sr:(status_cell rs rs.Pkg.Eval.objective |> Option.join)
+    in
+    Format.printf
+      "  %-22s %5d groups (partitioned in %.2fs)  time %a  ratio %s@." name
+      (Pkg.Partition.num_groups part)
+      pt pp_time (status_cell rs ts)
+      (match r with Some r -> Printf.sprintf "%.3f" r | None -> "-")
+  in
+  run_with "no radius" None;
+  run_with "theorem radius (e=1)"
+    (Some (Pkg.Partition.Theorem { epsilon = 1.0; maximize = false }))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices called out in DESIGN.md                  *)
+(* ------------------------------------------------------------------ *)
+
+let ablation ~scale () =
+  Format.printf "@.== Ablations ==@.";
+  let n = max 2000 (int_of_float (float_of_int galaxy_base *. scale *. 0.5)) in
+  let rel = Datagen.Galaxy.generate ~seed:1 n in
+  let queries = Datagen.Workload.galaxy_queries rel in
+  let d = List.hd queries (* Q1 *) in
+  let spec = Datagen.Workload.compile rel d in
+  let tau = max 1 (n / 10) in
+  let attrs = d.Datagen.Workload.attrs in
+  let rd = Pkg.Direct.run ~limits:bench_limits spec rel in
+  let sr_with part =
+    time (fun () -> Pkg.Sketch_refine.run ~options:sr_options spec rel part)
+  in
+  let report name build =
+    let part, pt = time build in
+    let rs, ts = sr_with part in
+    let r =
+      ratio ~maximize:d.Datagen.Workload.maximize
+        ~direct:(direct_cell rd rd.Pkg.Eval.objective |> Option.join)
+        ~sr:(status_cell rs rs.Pkg.Eval.objective |> Option.join)
+    in
+    Format.printf "  %-28s %4d groups  partition %6.3fs  sr %a  ratio %s@."
+      name
+      (Pkg.Partition.num_groups part)
+      pt pp_time (status_cell rs ts)
+      (match r with Some r -> Printf.sprintf "%.2f" r | None -> "-")
+  in
+  Format.printf "@.-- partitioner choice (Galaxy Q1, n=%d, tau=%d) --@." n tau;
+  report "quad-tree (static)" (fun () ->
+      Pkg.Partition.create ~tau ~attrs rel);
+  report "k-means (+ tau chunking)" (fun () ->
+      Pkg.Kmeans.create ~k:(max 2 (n / tau)) ~tau ~attrs rel);
+  let tree = ref None in
+  report "dynamic quad-tree cut" (fun () ->
+      let t = Pkg.Quad_tree.build ~leaf_size:(max 1 (tau / 4)) ~attrs rel in
+      tree := Some t;
+      Pkg.Quad_tree.cut ~tau t rel);
+  Format.printf "@.-- parallel refine (Section 4.5, optimistic + repair) --@.";
+  let part = Pkg.Partition.create ~tau ~attrs rel in
+  let rs_seq, ts_seq = sr_with part in
+  let rs_par, ts_par =
+    time (fun () -> Pkg.Parallel.run ~options:sr_options spec rel part)
+  in
+  Format.printf "  sequential: %a s (%a)@." pp_time (status_cell rs_seq ts_seq)
+    Pkg.Eval.pp_status rs_seq.Pkg.Eval.status;
+  Format.printf "  parallel:   %a s (%a)@." pp_time (status_cell rs_par ts_par)
+    Pkg.Eval.pp_status rs_par.Pkg.Eval.status;
+  Format.printf "@.-- split fan-out (2^d sub-quadrants per violating group) --@.";
+  List.iter
+    (fun dims ->
+      report
+        (Printf.sprintf "max_fanout_dims = %d" dims)
+        (fun () -> Pkg.Partition.create ~max_fanout_dims:dims ~tau ~attrs rel))
+    [ 1; 2; 3 ];
+  Format.printf
+    "@.-- root cover cuts in branch-and-bound (Galaxy Q7-style ILP) --@.";
+  let d7 = List.nth queries 6 in
+  let spec7 = Datagen.Workload.compile rel d7 in
+  let candidates = Paql.Translate.base_candidates spec7 rel in
+  let problem = Paql.Translate.to_problem spec7 rel ~candidates in
+  List.iter
+    (fun rounds ->
+      let r, t =
+        time (fun () ->
+            Ilp.Branch_bound.solve ~limits:bench_limits ~cut_rounds:rounds
+              problem)
+      in
+      let stats = Ilp.Branch_bound.stats_of r in
+      Format.printf "  cut_rounds = %d: %7.3fs, %6d nodes@." rounds t
+        stats.Ilp.Branch_bound.nodes)
+    [ 0; 4 ];
+  Format.printf "@.-- presolve on the workload ILP (base predicates baked) --@.";
+  let r, t = time (fun () -> Lp.Presolve.run problem) in
+  (match r with
+  | Lp.Presolve.Reduced red ->
+    Format.printf
+      "  %d vars / %d rows -> %d vars / %d rows in %.3fs@."
+      (Lp.Problem.nvars problem) (Lp.Problem.nrows problem)
+      (Lp.Problem.nvars red.Lp.Presolve.problem)
+      (Lp.Problem.nrows red.Lp.Presolve.problem)
+      t
+  | Lp.Presolve.Proven_infeasible msg ->
+    Format.printf "  presolve proved infeasibility: %s@." msg)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  Format.printf "@.== Micro-benchmarks (bechamel): solver substrate ==@.";
+  let open Bechamel in
+  let rng = Datagen.Prng.create 99 in
+  let knapsack n =
+    let vars =
+      List.init n (fun _ ->
+          Lp.Problem.var ~integer:true ~hi:1. (Datagen.Prng.uniform rng 1. 10.))
+    in
+    let coeffs = List.init n (fun i -> (i, Datagen.Prng.uniform rng 1. 10.)) in
+    Lp.Problem.make ~sense:Lp.Problem.Maximize ~vars
+      ~rows:[ Lp.Problem.row coeffs ~lo:neg_infinity ~hi:(float_of_int n) ]
+  in
+  let lp_200 = knapsack 200 in
+  let lp_2000 = knapsack 2000 in
+  let galaxy_5k = Datagen.Galaxy.generate ~seed:3 5000 in
+  let tests =
+    [
+      Test.make ~name:"simplex n=200"
+        (Staged.stage (fun () -> ignore (Lp.Simplex.solve lp_200)));
+      Test.make ~name:"simplex n=2000"
+        (Staged.stage (fun () -> ignore (Lp.Simplex.solve lp_2000)));
+      Test.make ~name:"branch&bound knapsack n=200"
+        (Staged.stage (fun () ->
+             ignore (Ilp.Branch_bound.solve lp_200)));
+      Test.make ~name:"quad-tree partition 5k x 3attrs"
+        (Staged.stage (fun () ->
+             ignore
+               (Pkg.Partition.create ~tau:500
+                  ~attrs:[ "ra"; "dec"; "redshift" ] galaxy_5k)));
+      Test.make ~name:"paql parse+compile"
+        (Staged.stage (fun () ->
+             let q =
+               "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+                COUNT(P.*) = 5 AND SUM(P.redshift) <= 1.0 MAXIMIZE SUM(P.u)"
+             in
+             ignore
+               (Paql.Translate.compile_exn
+                  (Relalg.Relation.schema galaxy_5k)
+                  (Paql.Parser.parse_exn q))));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Format.printf "  %-32s %12.1f ns/run@." name est
+          | _ -> Format.printf "  %-32s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [
+    ("fig1", fun ~scale () -> fig1 ~scale ());
+    ("fig3", fun ~scale () -> fig3 ~scale ());
+    ("fig4", fun ~scale () -> fig4 ~scale ());
+    ("fig5", fun ~scale () -> fig5 ~scale ());
+    ("fig6", fun ~scale () -> fig6 ~scale ());
+    ("fig7", fun ~scale () -> fig7 ~scale ());
+    ("fig8", fun ~scale () -> fig8 ~scale ());
+    ("fig9", fun ~scale () -> fig9 ~scale ());
+    ("radius", fun ~scale () -> radius ~scale ());
+    ("ablation", fun ~scale () -> ablation ~scale ());
+    ("micro", fun ~scale () -> ignore scale; micro ());
+  ]
+
+let () =
+  let scale =
+    match Sys.getenv_opt "PKGQ_SCALE" with
+    | Some s -> (try float_of_string s with _ -> 1.0)
+    | None -> 1.0
+  in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let scale, selected =
+    let rec go scale sel = function
+      | [] -> (scale, List.rev sel)
+      | "--scale" :: v :: rest -> go (float_of_string v) sel rest
+      | x :: rest -> go scale (x :: sel) rest
+    in
+    go scale [] args
+  in
+  let to_run =
+    match selected with
+    | [] -> all_experiments
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n all_experiments with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S (known: %s)\n" n
+              (String.concat ", " (List.map fst all_experiments));
+            exit 2)
+        names
+  in
+  Format.printf "package-query benchmarks (scale %g)@." scale;
+  List.iter (fun (_, f) -> f ~scale ()) to_run;
+  Format.printf "@.done.@."

@@ -1,0 +1,1 @@
+bin/paql_cli.ml: Arg Cmd Cmdliner Format Fun Ilp List Logs Lp Option Paql Pkg Relalg String Term Unix

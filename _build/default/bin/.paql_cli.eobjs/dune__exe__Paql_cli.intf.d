@@ -1,0 +1,1 @@
+bin/paql_cli.mli:

@@ -1,0 +1,1 @@
+bin/paql_repl.ml: Buffer Format Ilp List Option Paql Pkg Printexc Relalg String Sys

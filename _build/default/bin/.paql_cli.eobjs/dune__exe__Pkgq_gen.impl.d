@@ -1,0 +1,1 @@
+bin/pkgq_gen.ml: Arg Cmd Cmdliner Datagen List Printf Relalg String Term

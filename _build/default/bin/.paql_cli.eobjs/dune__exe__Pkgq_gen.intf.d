@@ -1,0 +1,1 @@
+bin/pkgq_gen.mli:

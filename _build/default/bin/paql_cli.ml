@@ -1,0 +1,261 @@
+(* paql: run PaQL package queries against CSV data from the command
+   line, with DIRECT or SKETCHREFINE evaluation.
+
+   Examples:
+     paql --data recipes.csv --query-file q.paql
+     paql --data recipes.csv --query "SELECT PACKAGE(R) ..." \
+          --method sketchrefine --tau 1000 --attrs kcal,fat
+     paql --data big.csv --query-file q.paql --method sketchrefine \
+          --epsilon 0.5 --out package.csv *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type method_ = Direct | Sketch_refine
+
+let run data query_text query_file method_ tau attrs epsilon max_seconds
+    max_nodes out verbose explain mps_out partition_file save_partition
+    parallel =
+  let query =
+    match query_text, query_file with
+    | Some q, None -> q
+    | None, Some f -> read_file f
+    | Some _, Some _ -> failwith "pass either --query or --query-file, not both"
+    | None, None -> failwith "a query is required (--query or --query-file)"
+  in
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end;
+  let rel = Relalg.Csv.read data in
+  let schema = Relalg.Relation.schema rel in
+  let ast =
+    match Paql.Parser.parse query with
+    | Ok ast -> ast
+    | Error msg -> failwith msg
+  in
+  (match Paql.Analyze.check schema ast with
+  | Ok () -> ()
+  | Error errs -> failwith (String.concat "\n" errs));
+  let spec = Paql.Translate.compile_exn schema ast in
+  if verbose then
+    Format.printf "Parsed query:@.%a@.@." Paql.Pretty.pp_query ast;
+  if explain then begin
+    print_string (Paql.Translate.describe spec rel);
+    exit 0
+  end;
+  (match mps_out with
+  | Some path ->
+    let candidates = Paql.Translate.base_candidates spec rel in
+    let problem = Paql.Translate.to_problem spec rel ~candidates in
+    Lp.Mps.write path problem;
+    Format.printf "ILP written to %s (%d vars, %d rows)@." path
+      (Lp.Problem.nvars problem) (Lp.Problem.nrows problem)
+  | None -> ());
+  let limits = { Ilp.Branch_bound.max_nodes; max_seconds } in
+  let report =
+    match method_ with
+    | Direct -> Pkg.Direct.run ~limits spec rel
+    | Sketch_refine ->
+      let attrs =
+        match attrs with
+        | [] ->
+          (* default: the query's own numeric attributes *)
+          let qattrs = Paql.Ast.all_attrs ast in
+          List.filter
+            (fun a ->
+              match Relalg.Schema.index_of_opt schema a with
+              | Some i -> (
+                match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
+                | Relalg.Value.TInt | Relalg.Value.TFloat -> true
+                | Relalg.Value.TStr | Relalg.Value.TBool -> false)
+              | None -> false)
+            qattrs
+        | attrs -> attrs
+      in
+      if attrs = [] then
+        failwith "sketchrefine needs numeric partitioning attributes (--attrs)";
+      let tau =
+        match tau with
+        | Some t -> t
+        | None -> max 1 (Relalg.Relation.cardinality rel / 10)
+      in
+      let persisted =
+        Option.map (fun path -> Pkg.Partition.load path rel) partition_file
+      in
+      let radius =
+        match epsilon with
+        | None -> Pkg.Partition.No_radius
+        | Some epsilon ->
+          let maximize =
+            match Paql.Translate.objective_sense spec with
+            | Lp.Problem.Maximize -> true
+            | Lp.Problem.Minimize -> false
+          in
+          Pkg.Partition.Theorem { epsilon; maximize }
+      in
+      let t0 = Unix.gettimeofday () in
+      let part =
+        match persisted with
+        | Some p ->
+          if verbose then
+            Format.printf "Loaded partitioning: %d groups@."
+              (Pkg.Partition.num_groups p);
+          p
+        | None ->
+          let p = Pkg.Partition.create ~radius ~tau ~attrs rel in
+          if verbose then
+            Format.printf "Partitioned %d tuples into %d groups in %.3fs@."
+              (Relalg.Relation.cardinality rel)
+              (Pkg.Partition.num_groups p)
+              (Unix.gettimeofday () -. t0);
+          p
+      in
+      Option.iter
+        (fun path ->
+          Pkg.Partition.save path part;
+          if verbose then Format.printf "Partitioning saved to %s@." path)
+        save_partition;
+      let options =
+        { Pkg.Sketch_refine.default_options with limits; max_seconds }
+      in
+      if parallel then Pkg.Parallel.run ~options spec rel part
+      else Pkg.Sketch_refine.run ~options spec rel part
+  in
+  Format.printf "%a@." Pkg.Eval.pp_report report;
+  match report.Pkg.Eval.package with
+  | None -> if report.Pkg.Eval.status = Pkg.Eval.Infeasible then exit 1 else exit 2
+  | Some p ->
+    let materialized = Pkg.Package.materialize p in
+    (match out with
+    | Some path ->
+      Relalg.Csv.write path materialized;
+      Format.printf "package written to %s (%d rows)@." path
+        (Relalg.Relation.cardinality materialized)
+    | None ->
+      Format.printf "@.%a@." Relalg.Relation.pp materialized)
+
+let data =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "data"; "d" ] ~docv:"CSV"
+        ~doc:"Input relation as CSV with a name:type header.")
+
+let query_text =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "query"; "q" ] ~docv:"PAQL" ~doc:"PaQL query text.")
+
+let query_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "query-file"; "f" ] ~docv:"FILE" ~doc:"File holding the PaQL query.")
+
+let method_ =
+  let method_conv =
+    Arg.enum [ ("direct", Direct); ("sketchrefine", Sketch_refine) ]
+  in
+  Arg.(
+    value & opt method_conv Direct
+    & info [ "method"; "m" ] ~docv:"METHOD"
+        ~doc:"Evaluation method: $(b,direct) or $(b,sketchrefine).")
+
+let tau =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tau" ] ~docv:"N"
+        ~doc:"Partition size threshold (default: 10% of the input).")
+
+let attrs =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "attrs" ] ~docv:"A,B,..."
+        ~doc:"Partitioning attributes (default: the query's numeric attributes).")
+
+let epsilon =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "epsilon" ] ~docv:"E"
+        ~doc:
+          "Approximation parameter: partition with the Theorem 3 radius \
+           limit for a (1+/-E)^6 objective guarantee.")
+
+let max_seconds =
+  Arg.(
+    value & opt float 3600.
+    & info [ "max-seconds" ] ~docv:"S" ~doc:"Wall-clock budget per solve.")
+
+let max_nodes =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Branch-and-bound node budget.")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"CSV" ~doc:"Write the package to a CSV file.")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Chatty output.")
+
+let explain =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Print the ILP translation summary instead of solving.")
+
+let mps_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mps-out" ] ~docv:"FILE"
+        ~doc:"Also dump the translated ILP in MPS format.")
+
+let partition_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "partition-file" ] ~docv:"FILE"
+        ~doc:
+          "Reuse a partitioning saved with $(b,--save-partition) instead of \
+           partitioning at query time (sketchrefine only).")
+
+let save_partition =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-partition" ] ~docv:"FILE"
+        ~doc:"Persist the partitioning for reuse (sketchrefine only).")
+
+let parallel =
+  Arg.(
+    value & flag
+    & info [ "parallel" ]
+        ~doc:"Use the parallel refinement driver (sketchrefine only).")
+
+let cmd =
+  let doc = "evaluate PaQL package queries over CSV data" in
+  let term =
+    Term.(
+      const run $ data $ query_text $ query_file $ method_ $ tau $ attrs
+      $ epsilon $ max_seconds $ max_nodes $ out $ verbose $ explain
+      $ mps_out $ partition_file $ save_partition $ parallel)
+  in
+  Cmd.v (Cmd.info "paql" ~doc) term
+
+let () =
+  match Cmd.eval_value cmd with
+  | Ok _ -> ()
+  | Error _ -> exit 124

@@ -1,0 +1,217 @@
+(* paql_repl: an interactive shell for package queries.
+
+     $ dune exec bin/paql_repl.exe -- recipes.csv
+     paql> \method sketchrefine
+     paql> \partition kcal,saturated_fat tau=500
+     paql> SELECT PACKAGE(R) AS P FROM Recipes R REPEAT 0
+        ->   SUCH THAT COUNT of P = 3 AND SUM(P.kcal) BETWEEN 2.0 AND 2.5
+        ->   MINIMIZE SUM(P.saturated_fat);
+
+   Statements end with ';'. Meta commands start with '\'. *)
+
+type state = {
+  mutable rel : Relalg.Relation.t;
+  mutable part : Pkg.Partition.t option;
+  mutable method_ : [ `Direct | `Sketch_refine ];
+  mutable limits : Ilp.Branch_bound.limits;
+  mutable show_package : bool;
+}
+
+let help_text =
+  {|Meta commands:
+  \help                         this message
+  \schema                       show the relation's schema and size
+  \method direct|sketchrefine   choose the evaluation method
+  \partition a,b,... [tau=N] [epsilon=E min|max]
+                                build an offline partitioning
+  \load FILE                    load a saved partitioning
+  \save FILE                    save the current partitioning
+  \limits nodes=N seconds=S     per-ILP solver budget
+  \show on|off                  print packages after evaluation
+  \quit                         exit
+Any other input is PaQL; end statements with ';'.|}
+
+let print_package st spec p =
+  let m = Pkg.Package.materialize p in
+  if st.show_package then Format.printf "%a@." Relalg.Relation.pp m;
+  Format.printf "(%d tuple(s), objective %g)@."
+    (Pkg.Package.cardinality p)
+    (Pkg.Package.objective spec p)
+
+let run_query st text =
+  let schema = Relalg.Relation.schema st.rel in
+  match Paql.Parser.parse text with
+  | Error msg -> Format.printf "error: %s@." msg
+  | Ok ast -> (
+    match Paql.Analyze.check schema ast with
+    | Error errs ->
+      List.iter (fun e -> Format.printf "error: %s@." e) errs
+    | Ok () ->
+      let spec = Paql.Translate.compile_exn schema ast in
+      let report =
+        match st.method_ with
+        | `Direct -> Pkg.Direct.run ~limits:st.limits spec st.rel
+        | `Sketch_refine -> (
+          match st.part with
+          | Some part ->
+            Pkg.Sketch_refine.run
+              ~options:
+                { Pkg.Sketch_refine.default_options with limits = st.limits }
+              spec st.rel part
+          | None ->
+            Format.printf
+              "note: no partitioning yet — building one on the query's \
+               attributes (see \\partition)@.";
+            let attrs =
+              List.filter
+                (fun a ->
+                  match Relalg.Schema.index_of_opt schema a with
+                  | Some i -> (
+                    match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
+                    | Relalg.Value.TInt | Relalg.Value.TFloat -> true
+                    | _ -> false)
+                  | None -> false)
+                (Paql.Ast.all_attrs ast)
+            in
+            if attrs = [] then begin
+              Format.printf "error: no numeric attributes to partition on@.";
+              Pkg.Direct.run ~limits:st.limits spec st.rel
+            end
+            else begin
+              let tau = max 1 (Relalg.Relation.cardinality st.rel / 10) in
+              let part = Pkg.Partition.create ~tau ~attrs st.rel in
+              st.part <- Some part;
+              Pkg.Sketch_refine.run
+                ~options:
+                  { Pkg.Sketch_refine.default_options with limits = st.limits }
+                spec st.rel part
+            end)
+      in
+      Format.printf "%a@." Pkg.Eval.pp_report report;
+      Option.iter (print_package st spec) report.Pkg.Eval.package)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_kv words =
+  List.filter_map
+    (fun w ->
+      match String.index_opt w '=' with
+      | Some i ->
+        Some
+          ( String.sub w 0 i,
+            String.sub w (i + 1) (String.length w - i - 1) )
+      | None -> None)
+    words
+
+let meta st line =
+  match split_words line with
+  | [ "\\help" ] -> print_endline help_text
+  | [ "\\quit" ] | [ "\\q" ] -> raise Exit
+  | [ "\\schema" ] ->
+    Format.printf "%a — %d tuple(s)@." Relalg.Schema.pp
+      (Relalg.Relation.schema st.rel)
+      (Relalg.Relation.cardinality st.rel)
+  | [ "\\method"; "direct" ] -> st.method_ <- `Direct
+  | [ "\\method"; "sketchrefine" ] -> st.method_ <- `Sketch_refine
+  | "\\partition" :: attrs_word :: rest -> (
+    let attrs = String.split_on_char ',' attrs_word in
+    let kvs = parse_kv rest in
+    let tau =
+      match List.assoc_opt "tau" kvs with
+      | Some v -> int_of_string v
+      | None -> max 1 (Relalg.Relation.cardinality st.rel / 10)
+    in
+    let radius =
+      match List.assoc_opt "epsilon" kvs with
+      | Some e ->
+        let maximize = not (List.exists (fun w -> w = "min") rest) in
+        Pkg.Partition.Theorem { epsilon = float_of_string e; maximize }
+      | None -> Pkg.Partition.No_radius
+    in
+    match Pkg.Partition.create ~radius ~tau ~attrs st.rel with
+    | part ->
+      st.part <- Some part;
+      Format.printf "partitioned into %d group(s)@."
+        (Pkg.Partition.num_groups part)
+    | exception Invalid_argument msg -> Format.printf "error: %s@." msg)
+  | [ "\\load"; path ] -> (
+    match Pkg.Partition.load path st.rel with
+    | part ->
+      st.part <- Some part;
+      Format.printf "loaded %d group(s)@." (Pkg.Partition.num_groups part)
+    | exception e -> Format.printf "error: %s@." (Printexc.to_string e))
+  | [ "\\save"; path ] -> (
+    match st.part with
+    | Some part ->
+      Pkg.Partition.save path part;
+      Format.printf "saved to %s@." path
+    | None -> Format.printf "error: nothing to save@.")
+  | "\\limits" :: rest ->
+    let kvs = parse_kv rest in
+    let limits =
+      {
+        Ilp.Branch_bound.max_nodes =
+          (match List.assoc_opt "nodes" kvs with
+          | Some v -> int_of_string v
+          | None -> st.limits.Ilp.Branch_bound.max_nodes);
+        max_seconds =
+          (match List.assoc_opt "seconds" kvs with
+          | Some v -> float_of_string v
+          | None -> st.limits.Ilp.Branch_bound.max_seconds);
+      }
+    in
+    st.limits <- limits
+  | [ "\\show"; "on" ] -> st.show_package <- true
+  | [ "\\show"; "off" ] -> st.show_package <- false
+  | _ -> Format.printf "unknown command; try \\help@."
+
+let repl st =
+  let buffer = Buffer.create 256 in
+  let prompt () =
+    if Buffer.length buffer = 0 then print_string "paql> "
+    else print_string "   -> ";
+    flush stdout
+  in
+  try
+    while true do
+      prompt ();
+      match input_line stdin with
+      | exception End_of_file -> raise Exit
+      | line ->
+        let trimmed = String.trim line in
+        if Buffer.length buffer = 0 && String.length trimmed > 0
+           && trimmed.[0] = '\\'
+        then (try meta st trimmed with
+          | Exit -> raise Exit
+          | Failure msg -> Format.printf "error: %s@." msg)
+        else begin
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer ' ';
+          let text = String.trim (Buffer.contents buffer) in
+          if String.length text > 0 && text.[String.length text - 1] = ';'
+          then begin
+            Buffer.clear buffer;
+            run_query st (String.sub text 0 (String.length text - 1))
+          end
+        end
+    done
+  with Exit -> print_endline "bye."
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+    let rel = Relalg.Csv.read path in
+    Format.printf "loaded %s: %d tuple(s). \\help for commands.@." path
+      (Relalg.Relation.cardinality rel);
+    repl
+      {
+        rel;
+        part = None;
+        method_ = `Direct;
+        limits = Ilp.Branch_bound.default_limits;
+        show_package = true;
+      }
+  | _ ->
+    prerr_endline "usage: paql_repl DATA.csv";
+    exit 2

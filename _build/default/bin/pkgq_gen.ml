@@ -1,0 +1,83 @@
+(* pkgq_gen: emit the synthetic benchmark datasets (Galaxy / TPC-H
+   pre-joined) as CSV, for use with the paql CLI or external tools.
+
+   Examples:
+     pkgq_gen galaxy -n 100000 -o galaxy.csv
+     pkgq_gen tpch -n 200000 --seed 7 -o tpch.csv
+     pkgq_gen queries galaxy -n 10000      # print the workload queries *)
+
+open Cmdliner
+
+let write_or_print out rel =
+  match out with
+  | Some path ->
+    Relalg.Csv.write path rel;
+    Printf.printf "wrote %d tuples to %s\n"
+      (Relalg.Relation.cardinality rel)
+      path
+  | None -> print_string (Relalg.Csv.to_string rel)
+
+let gen_galaxy n seed out =
+  write_or_print out (Datagen.Galaxy.generate ~seed n)
+
+let gen_tpch n seed out =
+  write_or_print out (Datagen.Tpch.generate ~seed n)
+
+let show_queries dataset n seed =
+  let defs =
+    match dataset with
+    | "galaxy" ->
+      Datagen.Workload.galaxy_queries (Datagen.Galaxy.generate ~seed n)
+    | "tpch" -> Datagen.Workload.tpch_queries (Datagen.Tpch.generate ~seed n)
+    | d -> failwith ("unknown dataset " ^ d)
+  in
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      Printf.printf "-- %s (attrs: %s)\n%s\n\n" d.name
+        (String.concat ", " d.attrs)
+        d.paql)
+    defs
+
+let n_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "n" ] ~docv:"N" ~doc:"Number of tuples to generate.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Deterministic seed.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"CSV" ~doc:"Output file (default: stdout).")
+
+let galaxy_cmd =
+  Cmd.v
+    (Cmd.info "galaxy" ~doc:"generate the synthetic SDSS Galaxy stand-in")
+    Term.(const gen_galaxy $ n_arg $ seed_arg $ out_arg)
+
+let tpch_cmd =
+  Cmd.v
+    (Cmd.info "tpch" ~doc:"generate the pre-joined TPC-H stand-in")
+    Term.(const gen_tpch $ n_arg $ seed_arg $ out_arg)
+
+let queries_cmd =
+  let dataset =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DATASET" ~doc:"galaxy or tpch")
+  in
+  Cmd.v
+    (Cmd.info "queries"
+       ~doc:"print the benchmark PaQL workload, instantiated on a sample")
+    Term.(const show_queries $ dataset $ n_arg $ seed_arg)
+
+let () =
+  let doc = "generate the package-query benchmark datasets" in
+  let group =
+    Cmd.group (Cmd.info "pkgq_gen" ~doc) [ galaxy_cmd; tpch_cmd; queries_cmd ]
+  in
+  exit (Cmd.eval group)

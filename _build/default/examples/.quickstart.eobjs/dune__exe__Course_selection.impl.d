@@ -1,0 +1,1 @@
+examples/course_selection.ml: Datagen Float Format Ilp Lp Paql Pkg Relalg Unix

@@ -1,0 +1,1 @@
+examples/meal_planner.ml: Datagen Format List Lp Paql Pkg Relalg Unix

@@ -1,0 +1,1 @@
+examples/meal_planner.mli:

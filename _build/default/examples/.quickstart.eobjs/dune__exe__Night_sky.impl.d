@@ -1,0 +1,1 @@
+examples/night_sky.ml: Array Datagen Format Ilp Paql Pkg Relalg Seq Unix

@@ -1,0 +1,1 @@
+examples/night_sky.mli:

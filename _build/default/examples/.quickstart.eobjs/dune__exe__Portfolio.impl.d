@@ -1,0 +1,1 @@
+examples/portfolio.ml: Datagen Float Format Paql Pkg Relalg

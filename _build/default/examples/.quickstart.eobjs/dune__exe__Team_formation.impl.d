@@ -1,0 +1,1 @@
+examples/team_formation.ml: Datagen Filename Float Format Ilp Paql Pkg Relalg Seq Sys

@@ -1,0 +1,1 @@
+examples/team_formation.mli:

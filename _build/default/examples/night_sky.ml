@@ -1,0 +1,77 @@
+(* The paper's Example 2: an astrophysicist looks for collections of
+   sky objects that may contain unseen quasars — total redshift within
+   parameters, ranked by a likelihood score. Uses the synthetic Galaxy
+   dataset and SKETCHREFINE over an offline partitioning. *)
+
+let () =
+  let n = 20_000 in
+  let rel = Datagen.Galaxy.generate ~seed:5 n in
+  let schema = Relalg.Relation.schema rel in
+  Format.printf "Sky catalogue: %d objects@.@." n;
+
+  (* Likelihood proxy: high redshift and compact radius score higher.
+     We precompute it as a derived column, the way an astronomer would
+     materialize a score before querying. *)
+  let score =
+    Array.init n (fun i ->
+        let t = Relalg.Relation.row rel i in
+        let redshift = Relalg.Tuple.float_field schema t "redshift" in
+        let radius = Relalg.Tuple.float_field schema t "petro_rad" in
+        Relalg.Value.Float (redshift *. 10. /. (1. +. radius)))
+  in
+  let rel =
+    Relalg.Relation.append_column rel
+      { Relalg.Schema.name = "quasar_score"; ty = Relalg.Value.TFloat }
+      score
+  in
+  let schema = Relalg.Relation.schema rel in
+
+  let query =
+    {|SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0
+      SUCH THAT COUNT(P.*) = 25 AND
+                SUM(P.redshift) BETWEEN 2.5 AND 4.0 AND
+                AVG(P.petro_rad) <= 3.0
+      MAXIMIZE SUM(P.quasar_score)|}
+  in
+  let spec = Paql.Translate.compile_exn schema (Paql.Parser.parse_exn query) in
+
+  let attrs = [ "redshift"; "petro_rad"; "quasar_score" ] in
+  let t0 = Unix.gettimeofday () in
+  let part = Pkg.Partition.create ~tau:(n / 10) ~attrs rel in
+  Format.printf "Offline partitioning: %d groups in %.3fs@.@."
+    (Pkg.Partition.num_groups part)
+    (Unix.gettimeofday () -. t0);
+
+  (* Give the solver the same kind of budget the paper gives CPLEX: a
+     hard cap, beyond which Direct counts as failed. *)
+  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 20. } in
+  let direct = Pkg.Direct.run ~limits spec rel in
+  Format.printf "direct:       %a@." Pkg.Eval.pp_report direct;
+  let sr =
+    Pkg.Sketch_refine.run
+      ~options:{ Pkg.Sketch_refine.default_options with limits }
+      spec rel part
+  in
+  Format.printf "sketchrefine: %a@.@." Pkg.Eval.pp_report sr;
+
+  match sr.Pkg.Eval.package with
+  | None -> print_endline "No candidate region found."
+  | Some p ->
+    print_endline "Top objects in the candidate package:";
+    let shown = ref 0 in
+    Seq.iter
+      (fun t ->
+        if !shown < 8 then begin
+          incr shown;
+          Format.printf
+            "  obj %-6s ra=%6.2f dec=%6.2f redshift=%5.3f score=%5.2f@."
+            (Relalg.Value.to_string (Relalg.Tuple.field schema t "objid"))
+            (Relalg.Tuple.float_field schema t "ra")
+            (Relalg.Tuple.float_field schema t "dec")
+            (Relalg.Tuple.float_field schema t "redshift")
+            (Relalg.Tuple.float_field schema t "quasar_score")
+        end)
+      (Pkg.Package.tuples p);
+    Format.printf "  ... %d objects total, combined score %g@."
+      (Pkg.Package.cardinality p)
+      (Pkg.Package.objective spec p)

@@ -1,0 +1,73 @@
+(* Quickstart: the paper's Example 1 (the dietitian's meal planner),
+   end to end — build a relation, write the PaQL query from Section
+   2.1 verbatim, evaluate it with DIRECT, inspect the package. *)
+
+let schema =
+  Relalg.Schema.make
+    [
+      { Relalg.Schema.name = "name"; ty = Relalg.Value.TStr };
+      { Relalg.Schema.name = "gluten"; ty = Relalg.Value.TStr };
+      { Relalg.Schema.name = "kcal"; ty = Relalg.Value.TFloat };
+      { Relalg.Schema.name = "saturated_fat"; ty = Relalg.Value.TFloat };
+    ]
+
+let recipes =
+  (* kcal in thousands, as in the paper's query (2.0 .. 2.5) *)
+  [
+    ("oat porridge", "free", 0.35, 2.1);
+    ("lentil soup", "free", 0.55, 1.2);
+    ("grilled salmon", "free", 0.80, 4.5);
+    ("rye bread sandwich", "full", 0.60, 3.0);
+    ("quinoa salad", "free", 0.70, 1.8);
+    ("pasta carbonara", "full", 1.10, 9.5);
+    ("rice and beans", "free", 0.90, 1.5);
+    ("chicken stir fry", "free", 0.75, 2.9);
+    ("fruit platter", "free", 0.40, 0.3);
+    ("cheese omelette", "free", 0.65, 6.1);
+  ]
+
+let relation =
+  Relalg.Relation.of_rows schema
+    (List.map
+       (fun (name, gluten, kcal, fat) ->
+         [|
+           Relalg.Value.Str name;
+           Relalg.Value.Str gluten;
+           Relalg.Value.Float kcal;
+           Relalg.Value.Float fat;
+         |])
+       recipes)
+
+let query =
+  {|
+  SELECT PACKAGE(R) AS P
+  FROM Recipes R REPEAT 0
+  WHERE R.gluten = 'free'
+  SUCH THAT COUNT(P.*) = 3 AND
+            SUM(P.kcal) BETWEEN 2.0 AND 2.5
+  MINIMIZE SUM(P.saturated_fat)
+|}
+
+let () =
+  print_endline "-- Example 1: a daily meal plan as a package query --";
+  let ast = Paql.Parser.parse_exn query in
+  Format.printf "@.Query:@.%a@.@." Paql.Pretty.pp_query ast;
+  let spec = Paql.Translate.compile_exn schema ast in
+  let report = Pkg.Direct.run spec relation in
+  Format.printf "Evaluation: %a@.@." Pkg.Eval.pp_report report;
+  match report.Pkg.Eval.package with
+  | None -> print_endline "No feasible meal plan."
+  | Some p ->
+    print_endline "Meal plan:";
+    Seq.iter
+      (fun t ->
+        Format.printf "  - %-20s %5g kcal  %4g g sat. fat@."
+          (Relalg.Value.to_string (Relalg.Tuple.field schema t "name"))
+          (Relalg.Tuple.float_field schema t "kcal")
+          (Relalg.Tuple.float_field schema t "saturated_fat"))
+      (Pkg.Package.tuples p);
+    Format.printf "  total kcal: %g, total saturated fat: %g@."
+      (Relalg.Value.to_float
+         (Relalg.Aggregate.over (Pkg.Package.materialize p)
+            (Relalg.Aggregate.Sum "kcal")))
+      (Pkg.Package.objective spec p)

@@ -1,0 +1,140 @@
+(* Team formation — another of the paper's motivating domains ([2],
+   [21] in its introduction): assemble a project team (a package of
+   engineers) under a salary budget, with minimum coverage of each
+   required skill expressed as conditional COUNT constraints, a
+   seniority mix, and maximal past-performance score.
+
+   Also demonstrates saving/loading the offline partitioning — the
+   paper's partition-once, query-many workflow — and the IIS-guided
+   fallback ladder on an over-constrained variant. *)
+
+let schema =
+  Relalg.Schema.make
+    [
+      { Relalg.Schema.name = "person_id"; ty = Relalg.Value.TInt };
+      { Relalg.Schema.name = "salary"; ty = Relalg.Value.TFloat };
+      { Relalg.Schema.name = "perf_score"; ty = Relalg.Value.TFloat };
+      { Relalg.Schema.name = "seniority"; ty = Relalg.Value.TFloat };
+      (* per-skill proficiency in [0, 1]; a person "has" the skill
+         above 0.6 *)
+      { Relalg.Schema.name = "skill_backend"; ty = Relalg.Value.TFloat };
+      { Relalg.Schema.name = "skill_frontend"; ty = Relalg.Value.TFloat };
+      { Relalg.Schema.name = "skill_ml"; ty = Relalg.Value.TFloat };
+    ]
+
+let directory n =
+  let rng = Datagen.Prng.create 99 in
+  let b = Relalg.Relation.builder schema in
+  for person_id = 0 to n - 1 do
+    let seniority = float_of_int (1 + Datagen.Prng.int rng 5) in
+    let skill () =
+      (* bimodal: most people either have a skill or don't *)
+      if Datagen.Prng.bool rng ~p:0.35 then Datagen.Prng.uniform rng 0.6 1.0
+      else Datagen.Prng.uniform rng 0.0 0.5
+    in
+    let backend = skill () and frontend = skill () and ml = skill () in
+    let breadth = backend +. frontend +. ml in
+    let salary =
+      30_000. +. (seniority *. 18_000.) +. (breadth *. 15_000.)
+      +. Datagen.Prng.normal rng ~mean:0. ~stddev:6_000.
+    in
+    let perf_score =
+      Float.max 0.
+        ((seniority *. 0.8) +. breadth +. Datagen.Prng.gaussian rng)
+    in
+    Relalg.Relation.add b
+      [|
+        Relalg.Value.Int person_id;
+        Relalg.Value.Float salary;
+        Relalg.Value.Float perf_score;
+        Relalg.Value.Float seniority;
+        Relalg.Value.Float backend;
+        Relalg.Value.Float frontend;
+        Relalg.Value.Float ml;
+      |]
+  done;
+  Relalg.Relation.seal b
+
+let team_query =
+  {|SELECT PACKAGE(E) AS P FROM Engineers E REPEAT 0
+    SUCH THAT COUNT(P.*) = 6 AND
+              SUM(P.salary) <= 700000 AND
+              (SELECT COUNT(*) FROM P WHERE skill_backend > 0.6) >= 2 AND
+              (SELECT COUNT(*) FROM P WHERE skill_frontend > 0.6) >= 2 AND
+              (SELECT COUNT(*) FROM P WHERE skill_ml > 0.6) >= 1 AND
+              (SELECT COUNT(*) FROM P WHERE seniority >= 4) >= 2 AND
+              AVG(P.seniority) BETWEEN 2.5 AND 4.5
+    MAXIMIZE SUM(P.perf_score)|}
+
+(* The same team with an impossible budget: exercises the fallback
+   ladder before reporting honest infeasibility. *)
+let impossible_query =
+  {|SELECT PACKAGE(E) AS P FROM Engineers E REPEAT 0
+    SUCH THAT COUNT(P.*) = 6 AND
+              SUM(P.salary) <= 150000 AND
+              (SELECT COUNT(*) FROM P WHERE seniority >= 4) >= 4
+    MAXIMIZE SUM(P.perf_score)|}
+
+let () =
+  let n = 6000 in
+  let rel = directory n in
+  Format.printf "Engineer directory: %d people@.@." n;
+  let attrs = [ "salary"; "perf_score"; "seniority" ] in
+  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 20. } in
+
+  (* offline partitioning, persisted for the whole workload *)
+  let part_path = Filename.temp_file "team" ".part" in
+  let part = Pkg.Partition.create ~tau:(n / 10) ~attrs rel in
+  Pkg.Partition.save part_path part;
+  let part = Pkg.Partition.load part_path rel in
+  Format.printf "Partitioning: %d groups (saved to and reloaded from %s)@.@."
+    (Pkg.Partition.num_groups part)
+    (Filename.basename part_path);
+
+  let spec = Paql.Translate.compile_exn schema (Paql.Parser.parse_exn team_query) in
+  let direct = Pkg.Direct.run ~limits spec rel in
+  Format.printf "direct:       %a@." Pkg.Eval.pp_report direct;
+  let options =
+    {
+      Pkg.Sketch_refine.default_options with
+      limits;
+      fallbacks =
+        [
+          Pkg.Sketch_refine.Hybrid_sketch;
+          Pkg.Sketch_refine.Drop_attributes;
+          Pkg.Sketch_refine.Merge_groups;
+        ];
+    }
+  in
+  let sr = Pkg.Sketch_refine.run ~options spec rel part in
+  Format.printf "sketchrefine: %a@.@." Pkg.Eval.pp_report sr;
+
+  (match sr.Pkg.Eval.package with
+  | Some p ->
+    print_endline "Team:";
+    let schema = Relalg.Relation.schema rel in
+    Seq.iter
+      (fun t ->
+        let f a = Relalg.Tuple.float_field schema t a in
+        Format.printf
+          "  person %-5s salary %7.0f  perf %4.1f  seniority %1.0f  \
+           skills[b/f/m] %.1f/%.1f/%.1f@."
+          (Relalg.Value.to_string (Relalg.Tuple.field schema t "person_id"))
+          (f "salary") (f "perf_score") (f "seniority") (f "skill_backend")
+          (f "skill_frontend") (f "skill_ml"))
+      (Pkg.Package.tuples p);
+    let m = Pkg.Package.materialize p in
+    Format.printf "  total salary %.0f, total perf %.1f@."
+      (Relalg.Value.to_float
+         (Relalg.Aggregate.over m (Relalg.Aggregate.Sum "salary")))
+      (Pkg.Package.objective spec p)
+  | None -> print_endline "No feasible team.");
+
+  print_endline "";
+  print_endline "-- impossible budget (honest infeasibility) --";
+  let spec2 =
+    Paql.Translate.compile_exn schema (Paql.Parser.parse_exn impossible_query)
+  in
+  let sr2 = Pkg.Sketch_refine.run ~options spec2 rel part in
+  Format.printf "sketchrefine: %a@." Pkg.Eval.pp_report sr2;
+  Sys.remove part_path

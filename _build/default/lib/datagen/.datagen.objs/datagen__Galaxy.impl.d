@@ -1,0 +1,1 @@
+lib/datagen/galaxy.ml: Array Float List Prng Relalg

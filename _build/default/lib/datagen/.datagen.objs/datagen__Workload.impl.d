@@ -1,0 +1,1 @@
+lib/datagen/workload.ml: Hashtbl List Paql Printf Relalg Tpch

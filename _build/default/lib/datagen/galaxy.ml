@@ -1,0 +1,59 @@
+let numeric_attrs =
+  [ "ra"; "dec"; "u"; "g"; "r"; "i"; "z"; "redshift"; "petro_rad"; "exp_ab";
+    "rowc" ]
+
+let schema =
+  Relalg.Schema.make
+    ({ Relalg.Schema.name = "objid"; ty = Relalg.Value.TInt }
+     :: List.map
+          (fun a -> { Relalg.Schema.name = a; ty = Relalg.Value.TFloat })
+          numeric_attrs)
+
+(* Sky patches: cluster centers in (ra, dec) with per-patch brightness
+   offsets, mimicking survey stripes and galaxy clusters. *)
+let num_patches = 24
+
+let generate ?(seed = 1) n =
+  let rng = Prng.create seed in
+  let patches =
+    Array.init num_patches (fun _ ->
+        let ra = Prng.uniform rng 0. 360. in
+        let dec = Prng.uniform rng (-10.) 70. in
+        let spread = Prng.uniform rng 0.5 6. in
+        let brightness = Prng.normal rng ~mean:18. ~stddev:1.2 in
+        (ra, dec, spread, brightness))
+  in
+  let b = Relalg.Relation.builder schema in
+  for objid = 0 to n - 1 do
+    let pra, pdec, spread, pbright = Prng.choice rng patches in
+    let ra = Float.rem (pra +. (Prng.gaussian rng *. spread) +. 360.) 360. in
+    let dec = pdec +. (Prng.gaussian rng *. spread *. 0.6) in
+    (* shared base brightness drives the five correlated bands *)
+    let base = pbright +. (Prng.gaussian rng *. 1.5) in
+    let band offset jitter = base +. offset +. (Prng.gaussian rng *. jitter) in
+    let u = band 1.8 0.5 in
+    let g = band 0.7 0.3 in
+    let r = band 0.0 0.25 in
+    let i = band (-0.3) 0.3 in
+    let z = band (-0.5) 0.4 in
+    let redshift = Float.min 1.2 (Prng.exponential rng ~rate:8.) in
+    let petro_rad = Prng.pareto rng ~xm:1.5 ~alpha:2.5 in
+    let exp_ab = Prng.uniform rng 0.05 1.0 in
+    let rowc = Prng.uniform rng 0. 2048. in
+    Relalg.Relation.add b
+      [|
+        Relalg.Value.Int objid;
+        Relalg.Value.Float ra;
+        Relalg.Value.Float dec;
+        Relalg.Value.Float u;
+        Relalg.Value.Float g;
+        Relalg.Value.Float r;
+        Relalg.Value.Float i;
+        Relalg.Value.Float z;
+        Relalg.Value.Float redshift;
+        Relalg.Value.Float petro_rad;
+        Relalg.Value.Float exp_ab;
+        Relalg.Value.Float rowc;
+      |]
+  done;
+  Relalg.Relation.seal b

@@ -1,0 +1,21 @@
+(** Synthetic stand-in for the SDSS Galaxy view (data release 12) used
+    in the paper's real-world experiments.
+
+    The generator reproduces the structural properties the experiments
+    rely on, rather than astronomical fidelity:
+    - many numeric attributes (11), enabling high partitioning
+      coverage (Figure 9 sweeps up to 13x on Galaxy);
+    - spatial clustering: positions drawn from a mixture of Gaussian
+      "sky patches", so quad-tree partitions are non-uniform;
+    - correlated magnitudes across the five photometric bands
+      (u, g, r, i, z), driven by a shared base brightness;
+    - skewed, heavy-tailed distributions for redshift and radius.
+
+    Deterministic for a fixed seed. *)
+
+(** Attribute names, in schema order:
+    [objid, ra, dec, u, g, r, i, z, redshift, petro_rad, exp_ab, rowc]. *)
+val numeric_attrs : string list
+
+(** [generate ?seed n] produces [n] tuples. *)
+val generate : ?seed:int -> int -> Relalg.Relation.t

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let float t =
+  (* take the top 53 bits *)
+  let bits = Int64.shift_right_logical (next t) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let uniform t lo hi = lo +. (float t *. (hi -. lo))
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int)
+                  (Int64.of_int bound))
+
+let gaussian t =
+  (* Box-Muller; guard against log 0 *)
+  let u1 = Float.max 1e-12 (float t) in
+  let u2 = float t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let normal t ~mean ~stddev = mean +. (stddev *. gaussian t)
+
+let exponential t ~rate = -.log (Float.max 1e-12 (1. -. float t)) /. rate
+
+let pareto t ~xm ~alpha = xm /. ((Float.max 1e-12 (1. -. float t)) ** (1. /. alpha))
+
+let bool t ~p = float t < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,38 @@
+(** Deterministic SplitMix64 PRNG. Every generator in the benchmark
+    suite derives from an explicit seed, so datasets are reproducible
+    across runs and machines (no dependence on [Random]'s global
+    state). *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, 2^64). *)
+val next : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). *)
+val uniform : t -> float -> float -> float
+
+(** Uniform int in [0, bound). @raise Invalid_argument if bound <= 0. *)
+val int : t -> int -> int
+
+(** Standard normal (Box-Muller). *)
+val gaussian : t -> float
+
+(** Normal with the given mean and standard deviation. *)
+val normal : t -> mean:float -> stddev:float -> float
+
+(** Exponential with the given rate. *)
+val exponential : t -> rate:float -> float
+
+(** Pareto with scale [xm] and shape [alpha] (heavy-tailed). *)
+val pareto : t -> xm:float -> alpha:float -> float
+
+(** Bernoulli trial. *)
+val bool : t -> p:float -> bool
+
+(** Pick uniformly from a non-empty array. *)
+val choice : t -> 'a array -> 'a

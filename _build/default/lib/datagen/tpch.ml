@@ -1,0 +1,80 @@
+let lineitem_attrs = [ "l_quantity"; "l_extendedprice"; "l_discount"; "l_tax" ]
+let part_supplier_attrs = [ "p_retailprice"; "p_size"; "ps_supplycost"; "s_acctbal" ]
+let order_customer_attrs = [ "o_totalprice"; "o_shippriority"; "c_acctbal" ]
+
+let numeric_attrs = lineitem_attrs @ part_supplier_attrs @ order_customer_attrs
+
+let schema =
+  Relalg.Schema.make
+    ({ Relalg.Schema.name = "rowid"; ty = Relalg.Value.TInt }
+     :: List.map
+          (fun a -> { Relalg.Schema.name = a; ty = Relalg.Value.TFloat })
+          numeric_attrs)
+
+let generate ?(seed = 2) n =
+  let rng = Prng.create seed in
+  let b = Relalg.Relation.builder schema in
+  let f v = Relalg.Value.Float v in
+  for rowid = 0 to n - 1 do
+    (* lineitem block: always present (lineitem drives the join) *)
+    let quantity = float_of_int (1 + Prng.int rng 50) in
+    let retail_base = 900. +. Prng.float rng *. 1200. in
+    let extendedprice = quantity *. retail_base /. 10. in
+    let discount = float_of_int (Prng.int rng 11) /. 100. in
+    let tax = float_of_int (Prng.int rng 9) /. 100. in
+    (* part/supplier block present ~34% of the time (unmatched rows of
+       the full outer join have NULLs here) *)
+    let has_ps = Prng.bool rng ~p:0.34 in
+    let p_retailprice = if has_ps then f retail_base else Relalg.Value.Null in
+    let p_size =
+      if has_ps then f (float_of_int (1 + Prng.int rng 50))
+      else Relalg.Value.Null
+    in
+    let ps_supplycost =
+      if has_ps then f (Prng.uniform rng 1. 1000.) else Relalg.Value.Null
+    in
+    let s_acctbal =
+      if has_ps then f (Prng.uniform rng (-999.99) 9999.99)
+      else Relalg.Value.Null
+    in
+    (* order/customer block present ~34% of the time *)
+    let has_oc = Prng.bool rng ~p:0.34 in
+    let o_totalprice =
+      if has_oc then f (Prng.uniform rng 800. 500_000.) else Relalg.Value.Null
+    in
+    let o_shippriority =
+      if has_oc then f (float_of_int (Prng.int rng 5)) else Relalg.Value.Null
+    in
+    let c_acctbal =
+      if has_oc then f (Prng.uniform rng (-999.99) 9999.99)
+      else Relalg.Value.Null
+    in
+    Relalg.Relation.add b
+      [|
+        Relalg.Value.Int rowid;
+        f quantity;
+        f extendedprice;
+        f discount;
+        f tax;
+        p_retailprice;
+        p_size;
+        ps_supplycost;
+        s_acctbal;
+        o_totalprice;
+        o_shippriority;
+        c_acctbal;
+      |]
+  done;
+  Relalg.Relation.seal b
+
+let non_null_subset rel attrs =
+  match attrs with
+  | [] -> rel
+  | first :: rest ->
+    let pred =
+      List.fold_left
+        (fun acc a -> Relalg.Expr.And (acc, Relalg.Expr.IsNotNull (Relalg.Expr.Attr a)))
+        (Relalg.Expr.IsNotNull (Relalg.Expr.Attr first))
+        rest
+    in
+    Relalg.Relation.select rel pred

@@ -1,0 +1,32 @@
+(** Mini TPC-H dbgen producing the paper's pre-joined benchmark table
+    directly.
+
+    The paper full-outer-joins the TPC-H relations into one wide table
+    of ~17.5M rows, then extracts, per package query, the subset of
+    rows that are non-NULL on that query's attributes (Figure 3). This
+    generator emits the wide table with TPC-H-like marginal
+    distributions (uniform prices, discrete quantities/discounts,
+    date offsets, account balances) and per-"source-relation" NULL
+    blocks: a row may lack its part/supplier block or its order/
+    customer block, mirroring the unmatched sides of the full outer
+    join, so per-query non-NULL subsets differ in size exactly as in
+    Figure 3. *)
+
+(** Numeric attribute names:
+    [l_quantity, l_extendedprice, l_discount, l_tax, p_retailprice,
+     p_size, ps_supplycost, s_acctbal, o_totalprice, o_shippriority,
+     c_acctbal]. The first four form the lineitem block (always
+    present); [p_*, ps_*, s_*] form the part/supplier block; [o_*,
+    c_*] the order/customer block. *)
+val numeric_attrs : string list
+
+val lineitem_attrs : string list
+val part_supplier_attrs : string list
+val order_customer_attrs : string list
+
+(** [generate ?seed n] produces the pre-joined table with [n] rows. *)
+val generate : ?seed:int -> int -> Relalg.Relation.t
+
+(** [non_null_subset rel attrs] keeps the rows that are non-NULL on all
+    the given attributes — the paper's per-query table extraction. *)
+val non_null_subset : Relalg.Relation.t -> string list -> Relalg.Relation.t

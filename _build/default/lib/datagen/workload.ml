@@ -1,0 +1,219 @@
+type def = {
+  name : string;
+  paql : string;
+  attrs : string list;
+  maximize : bool;
+}
+
+let mean rel attr =
+  match Relalg.Aggregate.over rel (Relalg.Aggregate.Avg attr) with
+  | Relalg.Value.Null -> 0.
+  | v -> Relalg.Value.to_float v
+
+(* The query texts interpolate bounds of the form
+   [expected package size * per-tuple mean], following Section 5.1. *)
+
+let galaxy_queries rel =
+  let m a = mean rel a in
+  let mu_red = m "redshift" and mu_u = m "u" and mu_g = m "g" in
+  let mu_r = m "r" and mu_i = m "i" and mu_dec = m "dec" in
+  [
+    {
+      name = "Q1";
+      (* bright-region search: bounded total redshift, biggest radii *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+           COUNT(P.*) = 10 AND SUM(P.redshift) <= %g MAXIMIZE \
+           SUM(P.petro_rad)"
+          (10. *. mu_red);
+      attrs = [ "redshift"; "petro_rad" ];
+      maximize = true;
+    };
+    {
+      name = "Q2";
+      (* two razor-thin photometric windows; proving optimality over a
+         sea of near-ties defeats the solver's budget (the paper's Q2
+         defeats CPLEX outright) *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+           COUNT(P.*) BETWEEN 8 AND 12 AND SUM(P.u) BETWEEN %g AND %g AND \
+           SUM(P.g) BETWEEN %g AND %g MINIMIZE SUM(P.exp_ab)"
+          (9.995 *. mu_u) (10.005 *. mu_u) (9.995 *. mu_g) (10.005 *. mu_g);
+      attrs = [ "u"; "g"; "exp_ab" ];
+      maximize = false;
+    };
+    {
+      name = "Q3";
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+           COUNT(P.*) = 15 AND AVG(P.redshift) <= %g MAXIMIZE \
+           SUM(P.petro_rad)"
+          (0.8 *. mu_red);
+      attrs = [ "redshift"; "petro_rad" ];
+      maximize = true;
+    };
+    {
+      name = "Q4";
+      (* balanced high/low redshift membership via conditional counts *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+           COUNT(P.*) = 12 AND (SELECT COUNT(*) FROM P WHERE redshift > %g) \
+           >= (SELECT COUNT(*) FROM P WHERE redshift <= %g) MINIMIZE \
+           SUM(P.exp_ab)"
+          mu_red mu_red;
+      attrs = [ "redshift"; "exp_ab" ];
+      maximize = false;
+    };
+    {
+      name = "Q5";
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+           COUNT(P.*) = 5 AND SUM(P.dec) >= %g MAXIMIZE SUM(P.z)"
+          (5. *. mu_dec);
+      attrs = [ "dec"; "z" ];
+      maximize = true;
+    };
+    {
+      name = "Q6";
+      (* repetition allowed; thin i-band window, minimize u *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 1 SUCH THAT \
+           COUNT(P.*) = 12 AND SUM(P.i) BETWEEN %g AND %g MINIMIZE SUM(P.u)"
+          (11.99 *. mu_i) (12.01 *. mu_i);
+      attrs = [ "i"; "u" ];
+      maximize = false;
+    };
+    {
+      name = "Q7";
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT \
+           COUNT(P.*) BETWEEN 8 AND 15 AND SUM(P.u) <= %g AND SUM(P.g) <= \
+           %g AND SUM(P.r) >= %g MAXIMIZE SUM(P.i)"
+          (15.5 *. mu_u) (15.5 *. mu_g) (7.5 *. mu_r);
+      attrs = [ "u"; "g"; "r"; "i" ];
+      maximize = true;
+    };
+  ]
+
+let tpch_queries rel =
+  let m a = mean rel a in
+  let mu_qty = m "l_quantity" and mu_price = m "p_retailprice" in
+  let mu_sacct = m "s_acctbal" and mu_ototal = m "o_totalprice" in
+  let mu_cacct = m "c_acctbal" and mu_disc = m "l_discount" in
+  let mu_psize = m "p_size" in
+  [
+    {
+      name = "Q1";
+      (* pricing summary flavour: bounded quantity, max revenue *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           = 20 AND SUM(P.l_quantity) <= %g MAXIMIZE SUM(P.l_extendedprice)"
+          (20. *. mu_qty);
+      attrs = [ "l_quantity"; "l_extendedprice" ];
+      maximize = true;
+    };
+    {
+      name = "Q2";
+      (* minimum-cost supplier flavour; thin retail-price window makes
+         the minimization tight *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           = 10 AND SUM(P.s_acctbal) >= %g AND SUM(P.p_retailprice) BETWEEN \
+           %g AND %g MINIMIZE SUM(P.ps_supplycost)"
+          (10. *. mu_sacct) (9.95 *. mu_price) (10.05 *. mu_price);
+      attrs = [ "s_acctbal"; "p_retailprice"; "ps_supplycost" ];
+      maximize = false;
+    };
+    {
+      name = "Q3";
+      (* shipping priority flavour *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           BETWEEN 5 AND 15 AND SUM(P.o_totalprice) <= %g MAXIMIZE \
+           SUM(P.l_extendedprice)"
+          (12. *. mu_ototal);
+      attrs = [ "o_totalprice"; "l_extendedprice" ];
+      maximize = true;
+    };
+    {
+      name = "Q4";
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           = 8 AND AVG(P.l_discount) <= %g MAXIMIZE SUM(P.o_totalprice)"
+          mu_disc;
+      attrs = [ "l_discount"; "o_totalprice" ];
+      maximize = true;
+    };
+    {
+      name = "Q5";
+      (* touches both optional join blocks: smallest non-NULL subset *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           = 5 AND SUM(P.c_acctbal) >= %g MAXIMIZE SUM(P.s_acctbal)"
+          (5. *. mu_cacct);
+      attrs = [ "c_acctbal"; "s_acctbal" ];
+      maximize = true;
+    };
+    {
+      name = "Q6";
+      (* lineitem-only: the largest table (Figure 3's 11.8M analogue) *)
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           BETWEEN 10 AND 20 AND SUM(P.l_discount) <= %g MAXIMIZE \
+           SUM(P.l_extendedprice)"
+          (16. *. mu_disc);
+      attrs = [ "l_discount"; "l_extendedprice" ];
+      maximize = true;
+    };
+    {
+      name = "Q7";
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(T) AS P FROM Tpch T REPEAT 0 SUCH THAT COUNT(P.*) \
+           = 12 AND (SELECT COUNT(*) FROM P WHERE p_size > %g) >= 6 \
+           MINIMIZE SUM(P.l_quantity)"
+          mu_psize;
+      attrs = [ "p_size"; "l_quantity" ];
+      maximize = false;
+    };
+  ]
+
+let query_relation ~dataset rel def =
+  match dataset with
+  | `Galaxy -> rel
+  | `Tpch -> Tpch.non_null_subset rel def.attrs
+
+let workload_attrs defs =
+  let seen = Hashtbl.create 16 and out = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun a ->
+          if not (Hashtbl.mem seen a) then begin
+            Hashtbl.add seen a ();
+            out := a :: !out
+          end)
+        d.attrs)
+    defs;
+  List.rev !out
+
+let compile rel def =
+  let ast =
+    match Paql.Parser.parse def.paql with
+    | Ok q -> q
+    | Error msg -> invalid_arg (def.name ^ ": " ^ msg)
+  in
+  Paql.Translate.compile_exn (Relalg.Relation.schema rel) ast

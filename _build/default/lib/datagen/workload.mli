@@ -1,0 +1,35 @@
+(** The benchmark workloads: seven package queries per dataset, adapted
+    the way the paper adapts SDSS sample queries and TPC-H templates —
+    aggregates become global predicates or objectives, and global
+    constraint bounds are synthesized by multiplying per-tuple
+    statistics by the expected package size (Section 5.1), so every
+    query stays feasible across dataset scales. *)
+
+type def = {
+  name : string;         (** "Q1" .. "Q7" *)
+  paql : string;         (** instantiated query text *)
+  attrs : string list;   (** numeric query attributes *)
+  maximize : bool;       (** objective sense (for ratio reporting) *)
+}
+
+(** [galaxy_queries rel] instantiates the Galaxy workload against the
+    statistics of [rel]. *)
+val galaxy_queries : Relalg.Relation.t -> def list
+
+(** [tpch_queries rel] instantiates the TPC-H workload. *)
+val tpch_queries : Relalg.Relation.t -> def list
+
+(** [query_relation ~dataset rel def] is the relation the query runs
+    over: the full relation for Galaxy; the non-NULL extraction on the
+    query attributes for TPC-H (Figure 3). *)
+val query_relation :
+  dataset:[ `Galaxy | `Tpch ] -> Relalg.Relation.t -> def -> Relalg.Relation.t
+
+(** Union of all query attributes — the paper's "workload attributes"
+    used for offline partitioning. *)
+val workload_attrs : def list -> string list
+
+(** Parse+compile a workload query against a relation's schema.
+    @raise Invalid_argument on parse/analysis errors (workload queries
+    are trusted). *)
+val compile : Relalg.Relation.t -> def -> Paql.Translate.spec

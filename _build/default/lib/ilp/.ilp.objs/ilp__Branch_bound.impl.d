@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Cuts Float Format List Lp Problem Simplex Unix

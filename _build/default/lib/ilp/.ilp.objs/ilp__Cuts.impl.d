@@ -1,0 +1,1 @@
+lib/ilp/cuts.ml: Array List Lp Problem

@@ -1,0 +1,1 @@
+lib/ilp/iis.ml: Array List Lp Problem Simplex

@@ -1,0 +1,388 @@
+open Lp
+
+type sol = { x : float array; obj : float }
+
+type limits = { max_nodes : int; max_seconds : float }
+
+let default_limits = { max_nodes = 200_000; max_seconds = 3600. }
+
+type stats = { nodes : int; simplex_iterations : int; elapsed : float }
+
+type result =
+  | Optimal of sol * stats
+  | Feasible of sol * stats * float
+  | Infeasible of stats
+  | Unbounded of stats
+  | Limit of stats
+
+let stats_of = function
+  | Optimal (_, s) | Feasible (_, s, _) | Infeasible s | Unbounded s | Limit s
+    -> s
+
+let solution_of = function
+  | Optimal (s, _) | Feasible (s, _, _) -> Some s
+  | Infeasible _ | Unbounded _ | Limit _ -> None
+
+let pp_result ppf = function
+  | Optimal (s, st) ->
+    Format.fprintf ppf "optimal obj=%g (nodes=%d, %.3fs)" s.obj st.nodes
+      st.elapsed
+  | Feasible (s, st, gap) ->
+    Format.fprintf ppf "feasible obj=%g gap=%.2f%% (nodes=%d, %.3fs)" s.obj
+      (gap *. 100.) st.nodes st.elapsed
+  | Infeasible st -> Format.fprintf ppf "infeasible (nodes=%d)" st.nodes
+  | Unbounded st -> Format.fprintf ppf "unbounded (nodes=%d)" st.nodes
+  | Limit st ->
+    Format.fprintf ppf "limit reached with no incumbent (nodes=%d, %.3fs)"
+      st.nodes st.elapsed
+
+(* A node is a set of bound overrides relative to the root problem,
+   plus the LP bound of its parent (used for best-first ordering) and
+   the branching step that created it (variable, direction 0=down /
+   1=up, fractional distance, parent bound — the inputs of the
+   pseudo-cost update). *)
+type node = {
+  overrides : (int * float * float) list;
+  bound : float;
+  branched : (int * int * float * float) option;
+}
+
+(* Minimal binary heap on node bound (internal minimization). *)
+module Heap = struct
+  type t = { mutable data : node array; mutable size : int }
+
+  let create () =
+    { data = Array.make 64 { overrides = []; bound = 0.; branched = None };
+      size = 0 }
+
+  let is_empty h = h.size = 0
+
+  let push h node =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) node in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- node;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while
+      !i > 0 && h.data.((!i - 1) / 2).bound > h.data.(!i).bound
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.data.(l).bound < h.data.(!smallest).bound then
+        smallest := l;
+      if r < h.size && h.data.(r).bound < h.data.(!smallest).bound then
+        smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  (* Best (lowest) bound among open nodes, for gap reporting. *)
+  let best_bound h = if h.size = 0 then None else Some h.data.(0).bound
+end
+
+(* Root cutting-plane loop: solve the LP relaxation, separate violated
+   cover inequalities at the fractional point, append them and repeat.
+   Cuts are valid for every integer point, so the strengthened problem
+   has the same integer optima; the tightened relaxation shrinks the
+   branch-and-bound tree (branch-and-cut, as in the paper's CPLEX). *)
+let strengthen_with_cuts ~rounds (p : Problem.t) =
+  let rec go k (p : Problem.t) =
+    if k >= rounds then p
+    else
+      match Simplex.solve p with
+      | Simplex.Optimal s -> (
+        let fractional =
+          Array.exists2
+            (fun (v : Problem.var) xj ->
+              v.Problem.integer && Float.abs (xj -. Float.round xj) > 1e-6)
+            p.Problem.vars s.Simplex.x
+        in
+        if not fractional then p
+        else
+          match Cuts.cover_cuts p s.Simplex.x with
+          | [] -> p
+          | cuts ->
+            go (k + 1)
+              { p with Problem.rows = Array.append p.Problem.rows
+                                        (Array.of_list cuts) })
+      | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> p
+  in
+  go 0 p
+
+type branching = Most_fractional | Pseudo_cost
+
+let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
+    ?(branching = Most_fractional) ?(rel_gap = 0.) ?(diving = false)
+    (p : Problem.t) =
+  let p = if cut_rounds > 0 then strengthen_with_cuts ~rounds:cut_rounds p else p in
+  let sense_sign =
+    match p.Problem.sense with Problem.Minimize -> 1. | Problem.Maximize -> -1.
+  in
+  (* Internal objective is minimized: internal = sense_sign * external. *)
+  let start = Unix.gettimeofday () in
+  let nodes = ref 0 and lp_iters = ref 0 in
+  let stats () =
+    {
+      nodes = !nodes;
+      simplex_iterations = !lp_iters;
+      elapsed = Unix.gettimeofday () -. start;
+    }
+  in
+  let base_lo = Array.map (fun v -> v.Problem.lo) p.Problem.vars in
+  let base_hi = Array.map (fun v -> v.Problem.hi) p.Problem.vars in
+  let cur_lo = Array.copy base_lo and cur_hi = Array.copy base_hi in
+  let with_overrides overrides f =
+    List.iter
+      (fun (j, lo, hi) ->
+        cur_lo.(j) <- Float.max cur_lo.(j) lo;
+        cur_hi.(j) <- Float.min cur_hi.(j) hi)
+      overrides;
+    let r = f () in
+    List.iter
+      (fun (j, _, _) ->
+        cur_lo.(j) <- base_lo.(j);
+        cur_hi.(j) <- base_hi.(j))
+      overrides;
+    r
+  in
+  let solve_lp overrides =
+    with_overrides overrides (fun () ->
+        let vars =
+          Array.mapi
+            (fun j v -> { v with Problem.lo = cur_lo.(j); hi = cur_hi.(j) })
+            p.Problem.vars
+        in
+        let sub = { p with Problem.vars } in
+        let r = Simplex.solve sub in
+        (match r with
+        | Simplex.Optimal s -> lp_iters := !lp_iters + s.Simplex.iterations
+        | _ -> ());
+        r)
+  in
+  let incumbent = ref None in
+  let incumbent_internal () =
+    match !incumbent with
+    | None -> infinity
+    | Some s -> sense_sign *. s.obj
+  in
+  (* A node is worth expanding only if it can improve the incumbent by
+     more than the relative MIP gap (CPLEX's default stopping rule is
+     1e-4; ours defaults to 0 = prove exact optimality). *)
+  let gap_slack () =
+    match !incumbent with
+    | None -> 0.
+    | Some s -> rel_gap *. Float.max 1e-9 (Float.abs (sense_sign *. s.obj))
+  in
+  (* Pseudo-cost bookkeeping: the average objective degradation per
+     fractional unit observed when branching down/up on each variable.
+     A classic estimate that steers branching toward the variables that
+     actually move the bound (used when [branching = Pseudo_cost]). *)
+  let n = Problem.nvars p in
+  let pc_sum = Array.make_matrix 2 n 0. in
+  let pc_cnt = Array.make_matrix 2 n 0 in
+  let pc_estimate j frac =
+    let avg dir fallback =
+      if pc_cnt.(dir).(j) > 0 then
+        pc_sum.(dir).(j) /. float_of_int pc_cnt.(dir).(j)
+      else fallback
+    in
+    (* untried variables get an optimistic unit cost so they are
+       explored at least once *)
+    let down = avg 0 1. *. frac and up = avg 1 1. *. (1. -. frac) in
+    Float.min down up
+  in
+  let pc_record ~dir j ~frac_move ~degradation =
+    if frac_move > 1e-9 then begin
+      pc_sum.(dir).(j) <- pc_sum.(dir).(j) +. (degradation /. frac_move);
+      pc_cnt.(dir).(j) <- pc_cnt.(dir).(j) + 1
+    end
+  in
+  let fractional_var x =
+    (* branching variable, or None when the point is integral *)
+    let best = ref None and best_score = ref 0. in
+    Array.iteri
+      (fun j v ->
+        if v.Problem.integer then begin
+          let f = Float.abs (x.(j) -. Float.round x.(j)) in
+          if f > int_tol then begin
+            let score =
+              match branching with
+              | Most_fractional -> f
+              | Pseudo_cost -> pc_estimate j (x.(j) -. Float.floor x.(j))
+            in
+            match !best with
+            | None ->
+              best := Some j;
+              best_score := score
+            | Some _ ->
+              if score > !best_score then begin
+                best := Some j;
+                best_score := score
+              end
+          end
+        end)
+      p.Problem.vars;
+    !best
+  in
+  let try_incumbent x =
+    let obj = Problem.objective p x in
+    let internal = sense_sign *. obj in
+    if internal < incumbent_internal () -. 1e-9 then
+      incumbent := Some { x = Array.copy x; obj }
+  in
+  (* Nearest-rounding heuristic: round integer vars of an LP point and
+     keep the result when it happens to be feasible. *)
+  let rounding_heuristic x =
+    let y = Array.copy x in
+    Array.iteri
+      (fun j v ->
+        if v.Problem.integer then
+          y.(j) <-
+            Float.min v.Problem.hi (Float.max v.Problem.lo (Float.round y.(j))))
+      p.Problem.vars;
+    if Problem.feasible ~tol:1e-6 p y then try_incumbent y
+  in
+  (* Diving heuristic: from an LP point, repeatedly pin the *least*
+     fractional integer variable to its nearest integer and re-solve,
+     hoping to reach an integer-feasible leaf quickly. A classic primal
+     heuristic for strong early incumbents. *)
+  let dive x0 =
+    let rec go overrides x depth =
+      if depth > 64 then ()
+      else begin
+        (* least fractional, still-fractional variable *)
+        let best = ref None and best_frac = ref infinity in
+        Array.iteri
+          (fun j v ->
+            if v.Problem.integer then begin
+              let f = Float.abs (x.(j) -. Float.round x.(j)) in
+              if f > int_tol && f < !best_frac then begin
+                best_frac := f;
+                best := Some j
+              end
+            end)
+          p.Problem.vars;
+        match !best with
+        | None -> try_incumbent x
+        | Some j ->
+          let target = Float.round x.(j) in
+          let overrides = (j, target, target) :: overrides in
+          (match solve_lp overrides with
+          | Simplex.Optimal lp -> go overrides lp.Simplex.x (depth + 1)
+          | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> ())
+      end
+    in
+    go [] x0 0
+  in
+  let heap = Heap.create () in
+  match solve_lp [] with
+  | Simplex.Infeasible -> Infeasible (stats ())
+  | Simplex.Unbounded -> Unbounded (stats ())
+  | Simplex.Iter_limit -> Limit (stats ())
+  | Simplex.Optimal root ->
+    let root_bound = sense_sign *. root.Simplex.obj in
+    (match fractional_var root.Simplex.x with
+    | None -> Optimal ({ x = root.Simplex.x; obj = root.Simplex.obj }, stats ())
+    | Some _ ->
+      rounding_heuristic root.Simplex.x;
+      if diving then dive root.Simplex.x;
+      Heap.push heap { overrides = []; bound = root_bound; branched = None };
+      let best_open = ref root_bound in
+      let limit_hit = ref false in
+      while (not (Heap.is_empty heap)) && not !limit_hit do
+        if
+          !nodes >= limits.max_nodes
+          || Unix.gettimeofday () -. start > limits.max_seconds
+        then limit_hit := true
+        else begin
+          let node = Heap.pop heap in
+          best_open :=
+            (match Heap.best_bound heap with
+            | Some b -> Float.min node.bound b
+            | None -> node.bound);
+          (* prune against the incumbent (with the MIP-gap slack) *)
+          if node.bound < incumbent_internal () -. 1e-9 -. gap_slack () then begin
+            incr nodes;
+            match solve_lp node.overrides with
+            | Simplex.Infeasible -> ()
+            | Simplex.Iter_limit -> limit_hit := true
+            | Simplex.Unbounded ->
+              (* cannot happen below an optimal root with added bounds,
+                 except through numerical trouble; treat as a dead end *)
+              ()
+            | Simplex.Optimal lp ->
+              let bound = sense_sign *. lp.Simplex.obj in
+              (* account the parent's branching step for pseudo-costs *)
+              (match node.branched with
+              | Some (j, dir, frac_move, parent_bound) ->
+                pc_record ~dir j ~frac_move
+                  ~degradation:(Float.max 0. (bound -. parent_bound))
+              | None -> ());
+              if bound < incumbent_internal () -. 1e-9 -. gap_slack () then begin
+                match fractional_var lp.Simplex.x with
+                | None ->
+                  try_incumbent lp.Simplex.x
+                | Some j ->
+                  rounding_heuristic lp.Simplex.x;
+                  let xj = lp.Simplex.x.(j) in
+                  let fl = Float.of_int (int_of_float (floor (xj +. int_tol))) in
+                  let frac = xj -. fl in
+                  Heap.push heap
+                    {
+                      overrides = (j, neg_infinity, fl) :: node.overrides;
+                      bound;
+                      branched = Some (j, 0, frac, bound);
+                    };
+                  Heap.push heap
+                    {
+                      overrides = (j, fl +. 1., infinity) :: node.overrides;
+                      bound;
+                      branched = Some (j, 1, 1. -. frac, bound);
+                    }
+              end
+          end
+        end
+      done;
+      let st = stats () in
+      (match !incumbent with
+      | None -> if !limit_hit then Limit st else Infeasible st
+      | Some s ->
+        if !limit_hit || not (Heap.is_empty heap) then begin
+          let open_bound =
+            match Heap.best_bound heap with
+            | Some b -> Float.min !best_open b
+            | None -> !best_open
+          in
+          let inc = sense_sign *. s.obj in
+          let gap =
+            if Float.abs inc < 1e-12 then Float.abs (inc -. open_bound)
+            else Float.abs (inc -. open_bound) /. Float.abs inc
+          in
+          if gap <= Float.max 1e-9 rel_gap then Optimal (s, st)
+          else Feasible (s, st, gap)
+        end
+        else Optimal (s, st)))

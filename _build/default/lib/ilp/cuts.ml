@@ -1,0 +1,112 @@
+open Lp
+
+let tol = 1e-6
+
+let is_binary (v : Problem.var) =
+  v.Problem.integer && v.Problem.lo = 0. && v.Problem.hi = 1.
+
+(* Separate one <=-form inequality [sum a_j x_j <= b] over binary
+   variables at the fractional point [x]. *)
+let separate_le vars x coeffs b =
+  (* complement negatives so all working coefficients are positive:
+     x_j with a_j < 0 is replaced by y_j = 1 - x_j *)
+  let terms =
+    List.filter_map
+      (fun (j, a) ->
+        if a = 0. then None
+        else if a > 0. then Some (j, a, false, x.(j))
+        else Some (j, -.a, true, 1. -. x.(j)))
+      coeffs
+  in
+  let b' =
+    List.fold_left
+      (fun acc (j, a) ->
+        ignore j;
+        if a < 0. then acc -. a else acc)
+      b coeffs
+  in
+  ignore vars;
+  let total = List.fold_left (fun acc (_, a, _, _) -> acc +. a) 0. terms in
+  if total <= b' +. tol then None (* no cover exists *)
+  else begin
+    (* greedy cover: take items with y* close to 1 first (cheapest to
+       violate), weighted by coefficient *)
+    let sorted =
+      List.sort
+        (fun (_, a1, _, y1) (_, a2, _, y2) ->
+          compare ((1. -. y1) /. a1) ((1. -. y2) /. a2))
+        terms
+    in
+    let cover = ref [] and weight = ref 0. in
+    (try
+       List.iter
+         (fun ((_, a, _, _) as t) ->
+           cover := t :: !cover;
+           weight := !weight +. a;
+           if !weight > b' +. 1e-9 then raise Exit)
+         sorted
+     with Exit -> ());
+    if !weight <= b' +. 1e-9 then None
+    else begin
+      (* shrink to a minimal cover: drop members whose removal keeps
+         the cover property, largest coefficients first *)
+      let members =
+        List.sort (fun (_, a1, _, _) (_, a2, _, _) -> compare a2 a1) !cover
+      in
+      let kept =
+        List.filter
+          (fun (_, a, _, _) ->
+            if !weight -. a > b' +. 1e-9 then begin
+              weight := !weight -. a;
+              false
+            end
+            else true)
+          members
+      in
+      let size = List.length kept in
+      (* violation test: sum y*_j > |C| - 1 *)
+      let lhs = List.fold_left (fun acc (_, _, _, y) -> acc +. y) 0. kept in
+      if lhs <= float_of_int (size - 1) +. tol then None
+      else begin
+        (* translate back: sum_{pos} x_j + sum_{neg} (1 - x_j) <= |C|-1 *)
+        let complemented =
+          List.fold_left
+            (fun acc (_, _, compl_, _) -> if compl_ then acc + 1 else acc)
+            0 kept
+        in
+        let cut_coeffs =
+          List.map
+            (fun (j, _, compl_, _) -> (j, if compl_ then -1. else 1.))
+            kept
+        in
+        let rhs = float_of_int (size - 1 - complemented) in
+        Some (Problem.row ~name:"cover" cut_coeffs ~lo:neg_infinity ~hi:rhs)
+      end
+    end
+  end
+
+let cover_cuts (p : Problem.t) x =
+  let vars = p.Problem.vars in
+  let cuts = ref [] in
+  Array.iter
+    (fun (r : Problem.row) ->
+      let all_binary =
+        List.for_all (fun (j, a) -> a = 0. || is_binary vars.(j)) r.Problem.coeffs
+      in
+      if all_binary && r.Problem.coeffs <> [] then begin
+        (* <= side *)
+        if r.Problem.rhi < infinity then begin
+          match separate_le vars x r.Problem.coeffs r.Problem.rhi with
+          | Some cut -> cuts := cut :: !cuts
+          | None -> ()
+        end;
+        (* >= side, negated into <= form *)
+        if r.Problem.rlo > neg_infinity then begin
+          let neg = List.map (fun (j, a) -> (j, -.a)) r.Problem.coeffs in
+          match separate_le vars x neg (-.r.Problem.rlo) with
+          | Some cut -> cuts := cut :: !cuts
+          | None -> ()
+        end
+      end)
+    p.Problem.rows;
+  List.rev !cuts

@@ -1,0 +1,16 @@
+(** Knapsack cover cuts — the classic branch-and-cut ingredient (the
+    paper's solver, CPLEX, runs branch-and-cut [24]).
+
+    For a row [sum a_j x_j <= b] over binary variables, a cover is a
+    set C with [sum_{j in C} a_j > b]; every integer-feasible point
+    then satisfies [sum_{j in C} x_j <= |C| - 1]. Separation is the
+    standard greedy heuristic on the fractional LP point, after
+    complementing negative coefficients; covers are shrunk to minimal
+    before emission. Rows containing non-binary variables are skipped
+    (no lifting is attempted). Both sides of ranged/equality rows are
+    separated. *)
+
+(** [cover_cuts p x] returns violated cover inequalities at the LP
+    point [x] (possibly none). Every returned row is valid for all
+    integer-feasible points of [p]. *)
+val cover_cuts : Lp.Problem.t -> float array -> Lp.Problem.row list

@@ -1,0 +1,1 @@
+lib/lp/mps.ml: Array Buffer Float Fun Hashtbl List Printf Problem String

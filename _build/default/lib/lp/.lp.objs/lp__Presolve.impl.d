@@ -1,0 +1,1 @@
+lib/lp/presolve.ml: Array Float Fun List Printf Problem

@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Float Format List Printf

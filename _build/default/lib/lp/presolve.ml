@@ -1,0 +1,197 @@
+type reduction = {
+  problem : Problem.t;
+  var_map : int array;
+  fixed : (int * float) list;
+  obj_offset : float;
+}
+
+type result =
+  | Reduced of reduction
+  | Proven_infeasible of string
+
+let tol = 1e-9
+
+let run (p : Problem.t) =
+  let n = Problem.nvars p and m = Problem.nrows p in
+  let vlo = Array.map (fun v -> v.Problem.lo) p.Problem.vars in
+  let vhi = Array.map (fun v -> v.Problem.hi) p.Problem.vars in
+  let valive = Array.make n true in
+  let vfixed = Array.make n nan in
+  let ralive = Array.make m true in
+  let rlo = Array.map (fun r -> r.Problem.rlo) p.Problem.rows in
+  let rhi = Array.map (fun r -> r.Problem.rhi) p.Problem.rows in
+  let rcoeffs = Array.map (fun r -> ref r.Problem.coeffs) p.Problem.rows in
+  let obj_offset = ref 0. in
+  let infeasible = ref None in
+  let declare_infeasible msg =
+    if !infeasible = None then infeasible := Some msg
+  in
+  let fix_var j v =
+    if valive.(j) then begin
+      valive.(j) <- false;
+      vfixed.(j) <- v;
+      obj_offset := !obj_offset +. (p.Problem.vars.(j).Problem.obj *. v);
+      for i = 0 to m - 1 do
+        if ralive.(i) then begin
+          let coeffs = !(rcoeffs.(i)) in
+          match List.assoc_opt j coeffs with
+          | None -> ()
+          | Some a ->
+            rcoeffs.(i) := List.filter (fun (k, _) -> k <> j) coeffs;
+            if rlo.(i) > neg_infinity then rlo.(i) <- rlo.(i) -. (a *. v);
+            if rhi.(i) < infinity then rhi.(i) <- rhi.(i) -. (a *. v)
+        end
+      done
+    end
+  in
+  let tighten j lo hi =
+    (* intersect, rounding inward for integer variables *)
+    let lo, hi =
+      if p.Problem.vars.(j).Problem.integer then
+        ( (if lo > neg_infinity then Float.round (Float.ceil (lo -. tol)) else lo),
+          if hi < infinity then Float.round (Float.floor (hi +. tol)) else hi )
+      else lo, hi
+    in
+    if lo > vlo.(j) then vlo.(j) <- lo;
+    if hi < vhi.(j) then vhi.(j) <- hi;
+    if vlo.(j) > vhi.(j) +. tol then
+      declare_infeasible
+        (Printf.sprintf "variable %d has empty domain after tightening" j)
+  in
+  let changed = ref true in
+  let passes = ref 0 in
+  while !changed && !infeasible = None && !passes < 20 do
+    incr passes;
+    changed := false;
+    (* fixed variables *)
+    for j = 0 to n - 1 do
+      if valive.(j) && vhi.(j) -. vlo.(j) <= tol then begin
+        fix_var j vlo.(j);
+        changed := true
+      end
+    done;
+    (* row reductions *)
+    for i = 0 to m - 1 do
+      if ralive.(i) && !infeasible = None then begin
+        let coeffs =
+          List.filter (fun (j, a) -> valive.(j) && a <> 0.) !(rcoeffs.(i))
+        in
+        rcoeffs.(i) := coeffs;
+        match coeffs with
+        | [] ->
+          if rlo.(i) > tol || rhi.(i) < -.tol then
+            declare_infeasible
+              (Printf.sprintf "row %d is empty with range excluding zero" i)
+          else begin
+            ralive.(i) <- false;
+            changed := true
+          end
+        | [ (j, a) ] ->
+          (* singleton row becomes a variable bound *)
+          let b1 = rlo.(i) /. a and b2 = rhi.(i) /. a in
+          let lo, hi = if a > 0. then b1, b2 else b2, b1 in
+          tighten j lo hi;
+          ralive.(i) <- false;
+          changed := true
+        | coeffs ->
+          (* activity bounds from variable bounds *)
+          let amin = ref 0. and amax = ref 0. in
+          List.iter
+            (fun (j, a) ->
+              let l = vlo.(j) and h = vhi.(j) in
+              if a > 0. then begin
+                amin := !amin +. (a *. l);
+                amax := !amax +. (a *. h)
+              end
+              else begin
+                amin := !amin +. (a *. h);
+                amax := !amax +. (a *. l)
+              end)
+            coeffs;
+          if !amin > rhi.(i) +. tol || !amax < rlo.(i) -. tol then
+            declare_infeasible
+              (Printf.sprintf "row %d cannot be satisfied within bounds" i)
+          else if !amin >= rlo.(i) -. tol && !amax <= rhi.(i) +. tol then begin
+            (* redundant: implied by variable bounds *)
+            ralive.(i) <- false;
+            changed := true
+          end
+      end
+    done;
+    (* empty-column variables move to their preferred finite bound *)
+    if !infeasible = None then begin
+      let appears = Array.make n false in
+      for i = 0 to m - 1 do
+        if ralive.(i) then
+          List.iter
+            (fun (j, a) -> if a <> 0. && valive.(j) then appears.(j) <- true)
+            !(rcoeffs.(i))
+      done;
+      for j = 0 to n - 1 do
+        if valive.(j) && not appears.(j) then begin
+          let c = p.Problem.vars.(j).Problem.obj in
+          let sign =
+            match p.Problem.sense with
+            | Problem.Minimize -> c
+            | Problem.Maximize -> -.c
+          in
+          let target =
+            if sign > 0. then vlo.(j)
+            else if sign < 0. then vhi.(j)
+            else if vlo.(j) > neg_infinity then vlo.(j)
+            else if vhi.(j) < infinity then vhi.(j)
+            else 0.
+          in
+          if Float.abs target < infinity then begin
+            fix_var j target;
+            changed := true
+          end
+        end
+      done
+    end
+  done;
+  match !infeasible with
+  | Some msg -> Proven_infeasible msg
+  | None ->
+    (* renumber surviving variables *)
+    let var_map =
+      Array.of_list (List.filter (fun j -> valive.(j)) (List.init n Fun.id))
+    in
+    let new_index = Array.make n (-1) in
+    Array.iteri (fun k j -> new_index.(j) <- k) var_map;
+    let vars =
+      Array.to_list
+        (Array.map
+           (fun j -> { (p.Problem.vars.(j)) with Problem.lo = vlo.(j); hi = vhi.(j) })
+           var_map)
+    in
+    let rows =
+      List.filteri (fun i _ -> ralive.(i)) (List.init m Fun.id)
+      |> List.map (fun i ->
+             Problem.row
+               ~name:p.Problem.rows.(i).Problem.rname
+               (List.map (fun (j, a) -> (new_index.(j), a)) !(rcoeffs.(i)))
+               ~lo:rlo.(i) ~hi:rhi.(i))
+    in
+    let fixed =
+      List.filter_map
+        (fun j -> if valive.(j) then None else Some (j, vfixed.(j)))
+        (List.init n Fun.id)
+    in
+    Reduced
+      {
+        problem = Problem.make ~sense:p.Problem.sense ~vars ~rows;
+        var_map;
+        fixed;
+        obj_offset = !obj_offset;
+      }
+
+let restore red x =
+  let n = Array.length red.var_map + List.length red.fixed in
+  let full = Array.make n 0. in
+  Array.iteri (fun k j -> full.(j) <- x.(k)) red.var_map;
+  List.iter (fun (j, v) -> full.(j) <- v) red.fixed;
+  full
+
+let dropped_rows p red = Problem.nrows p - Problem.nrows red.problem
+let dropped_vars p red = Problem.nvars p - Problem.nvars red.problem

@@ -1,0 +1,40 @@
+(** LP/ILP presolve: cheap problem reductions applied before the
+    solver, mirroring what commercial solvers do on package ILPs.
+
+    Reductions performed (to a fixed point):
+    - {b empty rows}: a row with no coefficients is dropped if [0] lies
+      in its range, otherwise the problem is infeasible;
+    - {b fixed variables} ([lo = hi]): substituted into every row and
+      the objective constant, then removed;
+    - {b singleton rows} (one coefficient): converted into a bound on
+      their variable and dropped;
+    - {b forcing rows}: if the row's activity bounds (from variable
+      bounds) already imply the row, it is dropped; if they contradict
+      it, the problem is infeasible;
+    - {b dominated variables}: a variable whose column is empty moves
+      to whichever bound its objective prefers (integer-safely).
+
+    The reduced problem's solutions map back to the original space via
+    {!restore}. *)
+
+type result =
+  | Reduced of reduction
+  | Proven_infeasible of string  (** which reduction proved it *)
+
+and reduction = {
+  problem : Problem.t;      (** the reduced problem *)
+  var_map : int array;      (** reduced index -> original index *)
+  fixed : (int * float) list;  (** original index, pinned value *)
+  obj_offset : float;       (** objective constant from substitutions *)
+}
+
+(** [run p] applies the reductions. *)
+val run : Problem.t -> result
+
+(** [restore reduction x] lifts a reduced-space solution back to the
+    original variable space. *)
+val restore : reduction -> float array -> float array
+
+(** Statistics for logging/benchmarks. *)
+val dropped_rows : Problem.t -> reduction -> int
+val dropped_vars : Problem.t -> reduction -> int

@@ -1,0 +1,92 @@
+type sense = Minimize | Maximize
+
+type var = {
+  obj : float;
+  lo : float;
+  hi : float;
+  integer : bool;
+  vname : string;
+}
+
+type row = {
+  coeffs : (int * float) list;
+  rlo : float;
+  rhi : float;
+  rname : string;
+}
+
+type t = { sense : sense; vars : var array; rows : row array }
+
+let var ?(name = "") ?(integer = false) ?(lo = 0.) ?(hi = infinity) obj =
+  { obj; lo; hi; integer; vname = name }
+
+let row ?(name = "") coeffs ~lo ~hi = { coeffs; rlo = lo; rhi = hi; rname = name }
+
+let make ~sense ~vars ~rows =
+  { sense; vars = Array.of_list vars; rows = Array.of_list rows }
+
+let nvars p = Array.length p.vars
+let nrows p = Array.length p.rows
+
+let objective p x =
+  let acc = ref 0. in
+  Array.iteri (fun j v -> acc := !acc +. (v.obj *. x.(j))) p.vars;
+  !acc
+
+let row_value r x =
+  List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0. r.coeffs
+
+let feasible ?(tol = 1e-6) p x =
+  Array.length x = nvars p
+  && Array.for_all2
+       (fun v xj ->
+         xj >= v.lo -. tol && xj <= v.hi +. tol
+         && ((not v.integer) || Float.abs (xj -. Float.round xj) <= tol))
+       p.vars x
+  && Array.for_all
+       (fun r ->
+         let v = row_value r x in
+         v >= r.rlo -. tol && v <= r.rhi +. tol)
+       p.rows
+
+let validate p =
+  let n = nvars p in
+  let bad = ref None in
+  Array.iteri
+    (fun j v ->
+      if !bad = None && v.lo > v.hi then
+        bad := Some (Printf.sprintf "variable %d has lo > hi" j))
+    p.vars;
+  Array.iteri
+    (fun i r ->
+      if !bad = None then begin
+        if r.rlo > r.rhi then
+          bad := Some (Printf.sprintf "row %d has lo > hi" i);
+        List.iter
+          (fun (j, _) ->
+            if !bad = None && (j < 0 || j >= n) then
+              bad :=
+                Some (Printf.sprintf "row %d references variable %d" i j))
+          r.coeffs
+      end)
+    p.rows;
+  match !bad with None -> Ok () | Some msg -> Error msg
+
+let pp_bound ppf v =
+  if v = infinity then Format.pp_print_string ppf "+inf"
+  else if v = neg_infinity then Format.pp_print_string ppf "-inf"
+  else Format.fprintf ppf "%g" v
+
+let pp ppf p =
+  let sense = match p.sense with Minimize -> "min" | Maximize -> "max" in
+  Format.fprintf ppf "@[<v>%s: %d vars, %d rows@," sense (nvars p) (nrows p);
+  Array.iteri
+    (fun i r ->
+      Format.fprintf ppf "row %d [%a, %a]: %a@," i pp_bound r.rlo pp_bound
+        r.rhi
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " + ")
+           (fun ppf (j, a) -> Format.fprintf ppf "%g*x%d" a j))
+        r.coeffs)
+    p.rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,503 @@
+type solution = { x : float array; obj : float; iterations : int }
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+
+type nb_kind = At_lower | At_upper | Free_zero
+
+type vstat = Basic | Nonbasic of nb_kind
+
+(* Mutable solver state over the augmented column set:
+   [0, n)          structural variables
+   [n, n + m)      slacks (column -e_i, bounds = row range)
+   [n + m, ncols)  phase-1 artificials (column +/- e_i, bounds [0, 0+]) *)
+type state = {
+  m : int;
+  ncols : int;
+  cols : (int * float) array array;
+  lo : float array;
+  hi : float array;
+  cost : float array; (* phase-dependent *)
+  status : vstat array;
+  xval : float array;
+  basis : int array;
+  binv : float array array;
+  y : float array; (* scratch: duals *)
+  w : float array; (* scratch: B^-1 A_q *)
+  tol : float;
+}
+
+let pp_result ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal obj=%g iters=%d" s.obj s.iterations
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iter_limit -> Format.pp_print_string ppf "iteration limit"
+
+exception Singular_basis
+
+(* Rebuild binv = B^-1 from scratch by Gauss-Jordan with partial
+   pivoting. The basis matrix has the columns [basis.(i)]. *)
+let refactorize st =
+  let m = st.m in
+  let b = Array.make_matrix m m 0. in
+  for i = 0 to m - 1 do
+    Array.iter (fun (r, a) -> b.(r).(i) <- a) st.cols.(st.basis.(i))
+  done;
+  (* initialize binv to identity *)
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      st.binv.(i).(j) <- (if i = j then 1. else 0.)
+    done
+  done;
+  for col = 0 to m - 1 do
+    (* partial pivot *)
+    let piv = ref col in
+    for r = col + 1 to m - 1 do
+      if Float.abs b.(r).(col) > Float.abs b.(!piv).(col) then piv := r
+    done;
+    if Float.abs b.(!piv).(col) < 1e-12 then raise Singular_basis;
+    if !piv <> col then begin
+      let tmp = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- tmp;
+      let tmp = st.binv.(col) in
+      st.binv.(col) <- st.binv.(!piv);
+      st.binv.(!piv) <- tmp
+    end;
+    let d = b.(col).(col) in
+    for j = 0 to m - 1 do
+      b.(col).(j) <- b.(col).(j) /. d;
+      st.binv.(col).(j) <- st.binv.(col).(j) /. d
+    done;
+    for r = 0 to m - 1 do
+      if r <> col then begin
+        let f = b.(r).(col) in
+        if f <> 0. then
+          for j = 0 to m - 1 do
+            b.(r).(j) <- b.(r).(j) -. (f *. b.(col).(j));
+            st.binv.(r).(j) <- st.binv.(r).(j) -. (f *. st.binv.(col).(j))
+          done
+      end
+    done
+  done
+
+(* Recompute basic variable values: B x_B = -N x_N (all row RHS are 0
+   in the slack formulation). *)
+let recompute_basics st =
+  let m = st.m in
+  let rhs = Array.make m 0. in
+  for j = 0 to st.ncols - 1 do
+    match st.status.(j) with
+    | Basic -> ()
+    | Nonbasic _ ->
+      let v = st.xval.(j) in
+      if v <> 0. then
+        Array.iter (fun (r, a) -> rhs.(r) <- rhs.(r) -. (a *. v)) st.cols.(j)
+  done;
+  for i = 0 to m - 1 do
+    let acc = ref 0. in
+    for k = 0 to m - 1 do
+      acc := !acc +. (st.binv.(i).(k) *. rhs.(k))
+    done;
+    st.xval.(st.basis.(i)) <- !acc
+  done
+
+let compute_duals st =
+  let m = st.m in
+  for k = 0 to m - 1 do
+    let acc = ref 0. in
+    for i = 0 to m - 1 do
+      let c = st.cost.(st.basis.(i)) in
+      if c <> 0. then acc := !acc +. (c *. st.binv.(i).(k))
+    done;
+    st.y.(k) <- !acc
+  done
+
+let reduced_cost st j =
+  let acc = ref st.cost.(j) in
+  Array.iter (fun (r, a) -> acc := !acc -. (st.y.(r) *. a)) st.cols.(j);
+  !acc
+
+(* Price nonbasic columns; return the entering column and its direction
+   (+1. increase / -1. decrease), or None at optimality. *)
+let price st ~bland =
+  let best = ref None and best_score = ref st.tol in
+  let consider j d dir =
+    if bland then begin
+      if !best = None then best := Some (j, dir)
+    end
+    else begin
+      let score = Float.abs d in
+      if score > !best_score then begin
+        best_score := score;
+        best := Some (j, dir)
+      end
+    end
+  in
+  (try
+     for j = 0 to st.ncols - 1 do
+       match st.status.(j) with
+       | Basic -> ()
+       | Nonbasic kind ->
+         if st.hi.(j) -. st.lo.(j) > st.tol then begin
+           let d = reduced_cost st j in
+           (match kind with
+           | At_lower -> if d < -.st.tol then consider j d 1.
+           | At_upper -> if d > st.tol then consider j d (-1.)
+           | Free_zero ->
+             if d < -.st.tol then consider j d 1.
+             else if d > st.tol then consider j d (-1.));
+           if bland && !best <> None then raise Exit
+         end
+     done
+   with Exit -> ());
+  !best
+
+(* w := B^-1 A_q *)
+let ftran st q =
+  let m = st.m in
+  for i = 0 to m - 1 do
+    st.w.(i) <- 0.
+  done;
+  Array.iter
+    (fun (r, a) ->
+      for i = 0 to m - 1 do
+        st.w.(i) <- st.w.(i) +. (st.binv.(i).(r) *. a)
+      done)
+    st.cols.(q)
+
+type step =
+  | Bound_flip of float
+  | Pivot of int * float * nb_kind (* leaving row, step, leaving status *)
+  | Ray (* unbounded direction *)
+
+(* Ratio test: entering q moves by [t >= 0] in direction [dir]; basic i
+   changes by [-dir * w_i * t]. *)
+let ratio_test st q dir =
+  let span = st.hi.(q) -. st.lo.(q) in
+  let t = ref (if span < infinity then span else infinity) in
+  let leaving = ref (-1) and leave_to = ref At_lower and leave_g = ref 0. in
+  for i = 0 to st.m - 1 do
+    let g = dir *. st.w.(i) in
+    let b = st.basis.(i) in
+    if g > st.tol then begin
+      let slack = st.xval.(b) -. st.lo.(b) in
+      if st.lo.(b) > neg_infinity then begin
+        let limit = Float.max 0. (slack /. g) in
+        if
+          limit < !t -. st.tol
+          || (limit < !t +. st.tol && Float.abs g > Float.abs !leave_g)
+        then begin
+          t := limit;
+          leaving := i;
+          leave_to := At_lower;
+          leave_g := g
+        end
+      end
+    end
+    else if g < -.st.tol then begin
+      if st.hi.(b) < infinity then begin
+        let slack = st.hi.(b) -. st.xval.(b) in
+        let limit = Float.max 0. (slack /. -.g) in
+        if
+          limit < !t -. st.tol
+          || (limit < !t +. st.tol && Float.abs g > Float.abs !leave_g)
+        then begin
+          t := limit;
+          leaving := i;
+          leave_to := At_upper;
+          leave_g := g
+        end
+      end
+    end
+  done;
+  if !t = infinity then Ray
+  else if !leaving = -1 then Bound_flip !t
+  else Pivot (!leaving, !t, !leave_to)
+
+let apply_step st q dir t =
+  (* move entering variable and update basics *)
+  st.xval.(q) <- st.xval.(q) +. (dir *. t);
+  if t <> 0. then
+    for i = 0 to st.m - 1 do
+      let b = st.basis.(i) in
+      st.xval.(b) <- st.xval.(b) -. (dir *. st.w.(i) *. t)
+    done
+
+(* Replace basis.(r) by q and update binv with an eta transformation. *)
+let update_basis st r q =
+  let m = st.m in
+  let wr = st.w.(r) in
+  let br = st.binv.(r) in
+  for k = 0 to m - 1 do
+    br.(k) <- br.(k) /. wr
+  done;
+  for i = 0 to m - 1 do
+    if i <> r then begin
+      let f = st.w.(i) in
+      if f <> 0. then begin
+        let bi = st.binv.(i) in
+        for k = 0 to m - 1 do
+          bi.(k) <- bi.(k) -. (f *. br.(k))
+        done
+      end
+    end
+  done;
+  st.basis.(r) <- q
+
+type loop_outcome = L_optimal | L_unbounded | L_iter_limit
+
+(* Core iteration loop shared by both phases. *)
+let iterate st ~max_iters iters_ref =
+  let degen = ref 0 in
+  let bland = ref false in
+  let since_refactor = ref 0 in
+  let outcome = ref None in
+  while !outcome = None do
+    if !iters_ref >= max_iters then outcome := Some L_iter_limit
+    else begin
+      incr iters_ref;
+      if !since_refactor >= 100 then begin
+        refactorize st;
+        recompute_basics st;
+        since_refactor := 0
+      end;
+      compute_duals st;
+      match price st ~bland:!bland with
+      | None -> outcome := Some L_optimal
+      | Some (q, dir) -> (
+        ftran st q;
+        match ratio_test st q dir with
+        | Ray -> outcome := Some L_unbounded
+        | Bound_flip t ->
+          apply_step st q dir t;
+          st.status.(q) <-
+            (match st.status.(q) with
+            | Nonbasic At_lower -> Nonbasic At_upper
+            | Nonbasic At_upper -> Nonbasic At_lower
+            | Nonbasic Free_zero | Basic ->
+              (* a free column cannot bound-flip: its span is infinite *)
+              assert false);
+          (* snap to the exact bound to avoid drift *)
+          st.xval.(q) <-
+            (match st.status.(q) with
+            | Nonbasic At_lower -> st.lo.(q)
+            | Nonbasic At_upper -> st.hi.(q)
+            | _ -> st.xval.(q));
+          degen := 0;
+          bland := false
+        | Pivot (r, t, leave_to) ->
+          let leaver = st.basis.(r) in
+          apply_step st q dir t;
+          st.status.(q) <- Basic;
+          st.status.(leaver) <- Nonbasic leave_to;
+          st.xval.(leaver) <-
+            (match leave_to with
+            | At_lower -> st.lo.(leaver)
+            | At_upper -> st.hi.(leaver)
+            | Free_zero -> 0.);
+          update_basis st r q;
+          incr since_refactor;
+          if t <= st.tol then begin
+            incr degen;
+            if !degen > 64 then bland := true
+          end
+          else begin
+            degen := 0;
+            bland := false
+          end)
+    end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
+let current_cost st =
+  let acc = ref 0. in
+  for j = 0 to st.ncols - 1 do
+    if st.cost.(j) <> 0. then acc := !acc +. (st.cost.(j) *. st.xval.(j))
+  done;
+  !acc
+
+let solve ?max_iters ?(tol = 1e-7) (p : Problem.t) =
+  (match Problem.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Simplex.solve: " ^ msg));
+  let n = Problem.nvars p and m = Problem.nrows p in
+  let max_iters =
+    match max_iters with Some k -> k | None -> 20_000 + (4 * (n + m))
+  in
+  let maxcols = n + m + m in
+  let cols = Array.make maxcols [||] in
+  let lo = Array.make maxcols 0. and hi = Array.make maxcols 0. in
+  let cost = Array.make maxcols 0. in
+  let status = Array.make maxcols (Nonbasic At_lower) in
+  let xval = Array.make maxcols 0. in
+  let sense_sign =
+    match p.Problem.sense with Problem.Minimize -> 1. | Problem.Maximize -> -1.
+  in
+  (* transpose rows into structural columns *)
+  let per_col : (int * float) list array = Array.make n [] in
+  Array.iteri
+    (fun i (r : Problem.row) ->
+      List.iter
+        (fun (j, a) -> if a <> 0. then per_col.(j) <- (i, a) :: per_col.(j))
+        r.Problem.coeffs)
+    p.Problem.rows;
+  for j = 0 to n - 1 do
+    let v = p.Problem.vars.(j) in
+    cols.(j) <- Array.of_list (List.rev per_col.(j));
+    lo.(j) <- v.Problem.lo;
+    hi.(j) <- v.Problem.hi;
+    cost.(j) <- sense_sign *. v.Problem.obj;
+    (* initial nonbasic position: nearest finite bound, else free at 0 *)
+    if v.Problem.lo > neg_infinity then begin
+      status.(j) <- Nonbasic At_lower;
+      xval.(j) <- v.Problem.lo
+    end
+    else if v.Problem.hi < infinity then begin
+      status.(j) <- Nonbasic At_upper;
+      xval.(j) <- v.Problem.hi
+    end
+    else begin
+      status.(j) <- Nonbasic Free_zero;
+      xval.(j) <- 0.
+    end
+  done;
+  (* slacks *)
+  for i = 0 to m - 1 do
+    let r = p.Problem.rows.(i) in
+    let j = n + i in
+    cols.(j) <- [| (i, -1.) |];
+    lo.(j) <- r.Problem.rlo;
+    hi.(j) <- r.Problem.rhi;
+    cost.(j) <- 0.
+  done;
+  (* initial row activities under the nonbasic point *)
+  let activity = Array.make m 0. in
+  Array.iteri
+    (fun i (r : Problem.row) ->
+      activity.(i) <-
+        List.fold_left (fun acc (j, a) -> acc +. (a *. xval.(j))) 0.
+          r.Problem.coeffs)
+    p.Problem.rows;
+  let basis = Array.make (max m 1) 0 in
+  let nart = ref 0 in
+  for i = 0 to m - 1 do
+    let sj = n + i in
+    let act = activity.(i) in
+    if act >= lo.(sj) -. tol && act <= hi.(sj) +. tol then begin
+      (* slack can absorb the activity: make it basic *)
+      basis.(i) <- sj;
+      status.(sj) <- Basic;
+      xval.(sj) <- act
+    end
+    else begin
+      (* clamp the slack at its nearest bound and cover the violation
+         with an artificial *)
+      let bound, kind =
+        if act < lo.(sj) then lo.(sj), At_lower else hi.(sj), At_upper
+      in
+      status.(sj) <- Nonbasic kind;
+      xval.(sj) <- bound;
+      let resid = act -. bound in
+      (* row equation: a.x - s + g*z = 0, want z = |resid| >= 0 *)
+      let g = if resid > 0. then -1. else 1. in
+      let zj = n + m + !nart in
+      incr nart;
+      cols.(zj) <- [| (i, g) |];
+      lo.(zj) <- 0.;
+      hi.(zj) <- infinity;
+      cost.(zj) <- 0.;
+      status.(zj) <- Basic;
+      xval.(zj) <- Float.abs resid;
+      basis.(i) <- zj
+    end
+  done;
+  let ncols = n + m + !nart in
+  let st =
+    {
+      m;
+      ncols;
+      cols;
+      lo;
+      hi;
+      cost;
+      status;
+      xval;
+      basis;
+      binv = Array.make_matrix (max m 1) (max m 1) 0.;
+      y = Array.make (max m 1) 0.;
+      w = Array.make (max m 1) 0.;
+      tol;
+    }
+  in
+  let iters = ref 0 in
+  let finish () =
+    let x = Array.sub st.xval 0 n in
+    Optimal { x; obj = Problem.objective p x; iterations = !iters }
+  in
+  if m = 0 then begin
+    (* No rows: each variable sits at the bound its cost prefers. *)
+    let unbounded = ref false in
+    for j = 0 to n - 1 do
+      let c = st.cost.(j) in
+      if c > 0. then
+        if st.lo.(j) > neg_infinity then st.xval.(j) <- st.lo.(j)
+        else unbounded := true
+      else if c < 0. then
+        if st.hi.(j) < infinity then st.xval.(j) <- st.hi.(j)
+        else unbounded := true
+    done;
+    if !unbounded then Unbounded else finish ()
+  end
+  else begin
+    refactorize st;
+    (* Phase 1: minimize the sum of artificials. *)
+    let result =
+      if !nart > 0 then begin
+        (* phase-1 objective: artificials only *)
+        let saved_costs = Array.sub st.cost 0 n in
+        for j = 0 to n - 1 do
+          st.cost.(j) <- 0.
+        done;
+        for z = n + m to ncols - 1 do
+          st.cost.(z) <- 1.
+        done;
+        let restore () = Array.blit saved_costs 0 st.cost 0 n in
+        match iterate st ~max_iters iters with
+        | L_iter_limit -> Some Iter_limit
+        | L_unbounded ->
+          (* phase-1 objective is bounded below by zero *)
+          Some Infeasible
+        | L_optimal ->
+          if current_cost st > Float.max 1e-7 (tol *. 10.) then Some Infeasible
+          else begin
+            (* pin artificials at zero and restore true costs *)
+            restore ();
+            for z = n + m to ncols - 1 do
+              st.cost.(z) <- 0.;
+              st.hi.(z) <- 0.;
+              if st.status.(z) <> Basic then begin
+                st.status.(z) <- Nonbasic At_lower;
+                st.xval.(z) <- 0.
+              end
+            done;
+            None
+          end
+      end
+      else None
+    in
+    match result with
+    | Some r -> r
+    | None -> (
+      (* Phase 2 with the real costs. *)
+      match iterate st ~max_iters iters with
+      | L_iter_limit -> Iter_limit
+      | L_unbounded -> Unbounded
+      | L_optimal ->
+        refactorize st;
+        recompute_basics st;
+        finish ())
+  end

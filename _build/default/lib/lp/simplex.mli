@@ -1,0 +1,29 @@
+(** Two-phase revised primal simplex for bounded-variable LPs.
+
+    Designed for the package-query regime: few rows (one per global
+    predicate), many columns (one per tuple). The basis is a dense
+    [m x m] inverse, refactorized periodically; pricing is Dantzig with
+    a Bland fallback after a run of degenerate pivots.
+
+    Each ranged row [lo <= a.x <= hi] becomes [a.x - s = 0] with a slack
+    bounded in [lo, hi]; phase 1 drives artificial variables (one per
+    initially violated row) to zero. *)
+
+type solution = {
+  x : float array;      (** structural variable values *)
+  obj : float;          (** objective in the problem's own sense *)
+  iterations : int;
+}
+
+type result =
+  | Optimal of solution
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+
+(** [solve ?max_iters ?tol p] solves the LP relaxation of [p]
+    (integrality flags are ignored). [tol] is the feasibility/dual
+    tolerance (default [1e-7]). *)
+val solve : ?max_iters:int -> ?tol:float -> Problem.t -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/paql/analyze.ml: Ast Linform List Option Printf Relalg

@@ -1,0 +1,1 @@
+lib/paql/ast.ml: Hashtbl List Option Relalg

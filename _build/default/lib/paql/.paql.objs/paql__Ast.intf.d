@@ -1,0 +1,1 @@
+lib/paql/ast.mli: Relalg

@@ -1,0 +1,1 @@
+lib/paql/lexer.ml: Array Buffer Hashtbl List Printf String

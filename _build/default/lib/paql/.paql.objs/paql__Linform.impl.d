@@ -1,0 +1,1 @@
+lib/paql/linform.ml: Ast Hashtbl List Lp Option Relalg Result

@@ -1,0 +1,1 @@
+lib/paql/linform.mli: Ast Lp Relalg

@@ -1,0 +1,1 @@
+lib/paql/parser.ml: Array Ast Lexer List Printf Relalg String

@@ -1,0 +1,1 @@
+lib/paql/pretty.ml: Ast Format Option Printf Relalg

@@ -1,0 +1,1 @@
+lib/paql/pretty.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/paql/translate.ml: Analyze Array Ast Buffer Format Fun Linform List Lp Printf Relalg Result String

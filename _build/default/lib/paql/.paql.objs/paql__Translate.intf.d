@@ -1,0 +1,1 @@
+lib/paql/translate.mli: Ast Lp Relalg

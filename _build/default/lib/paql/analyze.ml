@@ -1,0 +1,60 @@
+let is_numeric = function
+  | Relalg.Value.TInt | Relalg.Value.TFloat -> true
+  | Relalg.Value.TStr | Relalg.Value.TBool -> false
+
+let check_terms schema errs terms =
+  List.iter
+    (fun (t : Linform.term) ->
+      (match t.kind with
+      | Linform.Count_star -> ()
+      | Linform.Count a -> (
+        match Relalg.Schema.index_of_opt schema a with
+        | Some _ -> ()
+        | None -> errs := Printf.sprintf "unknown attribute %S in COUNT" a :: !errs)
+      | Linform.Sum a | Linform.Avg a -> (
+        match Relalg.Schema.index_of_opt schema a with
+        | None ->
+          errs := Printf.sprintf "unknown attribute %S in aggregate" a :: !errs
+        | Some i ->
+          if not (is_numeric (Relalg.Schema.attr_at schema i).ty) then
+            errs :=
+              Printf.sprintf "attribute %S is not numeric" a :: !errs));
+      Option.iter
+        (fun f ->
+          match Relalg.Expr.check schema f with
+          | Ok () -> ()
+          | Error msg ->
+            errs := ("in subquery filter: " ^ msg) :: !errs)
+        t.filter)
+    terms
+
+let check schema (q : Ast.query) =
+  let errs = ref [] in
+  Option.iter
+    (fun w ->
+      match Relalg.Expr.check schema w with
+      | Ok () -> ()
+      | Error msg -> errs := ("in WHERE clause: " ^ msg) :: !errs)
+    q.where;
+  Option.iter
+    (fun gp ->
+      match Linform.of_gpred gp with
+      | Error msg -> errs := ("in SUCH THAT clause: " ^ msg) :: !errs
+      | Ok constraints ->
+        List.iter
+          (fun (c : Linform.constr) -> check_terms schema errs c.cterms)
+          constraints)
+    q.such_that;
+  Option.iter
+    (fun o ->
+      match Linform.of_objective o with
+      | Error msg -> errs := ("in objective clause: " ^ msg) :: !errs
+      | Ok (_, terms, _) -> check_terms schema errs terms)
+    q.objective;
+  match List.rev !errs with [] -> Ok () | errors -> Error errors
+
+let check_exn schema q =
+  match check schema q with
+  | Ok () -> ()
+  | Error (e :: _) -> invalid_arg ("PaQL analysis: " ^ e)
+  | Error [] -> assert false

@@ -1,0 +1,21 @@
+(** Semantic analysis of PaQL queries against a relation schema.
+
+    Checks performed:
+    - the WHERE clause type-checks over the schema;
+    - aggregate arguments exist and are numeric (SUM/AVG) or merely
+      exist (COUNT);
+    - subquery filters type-check;
+    - global predicates and objective are linear (MIN/MAX rejected,
+      products of aggregates rejected, AVG only in the supported
+      rewrite position).
+
+    Note: strict comparisons ([<], [>]) in global predicates are
+    accepted and treated as non-strict by the translator, matching the
+    paper's restriction of constraints to [<=] / [>=]. *)
+
+(** [check schema q] returns all detected problems (empty = valid). *)
+val check : Relalg.Schema.t -> Ast.query -> (unit, string list) result
+
+(** [check_exn schema q] raises [Invalid_argument] with the first
+    problem. *)
+val check_exn : Relalg.Schema.t -> Ast.query -> unit

@@ -1,0 +1,103 @@
+type agg_kind =
+  | Count_star
+  | Count of string
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+type gexpr =
+  | Num of float
+  | Agg of agg_kind * Relalg.Expr.t option
+  | Add of gexpr * gexpr
+  | Subtract of gexpr * gexpr
+  | Mult of gexpr * gexpr
+  | Divide of gexpr * gexpr
+  | Negate of gexpr
+
+type gcmp = Le | Ge | Eq | Lt | Gt
+
+type gpred =
+  | Gcmp of gcmp * gexpr * gexpr
+  | Gbetween of gexpr * gexpr * gexpr
+  | Gand of gpred * gpred
+
+type objective = Minimize of gexpr | Maximize of gexpr
+
+type query = {
+  package_name : string;
+  rel_name : string;
+  rel_alias : string;
+  repeat : int option;
+  where : Relalg.Expr.t option;
+  such_that : gpred option;
+  objective : objective option;
+}
+
+let conjuncts gp =
+  let rec go acc = function
+    | Gand (a, b) -> go (go acc a) b
+    | (Gcmp _ | Gbetween _) as leaf -> leaf :: acc
+  in
+  List.rev (go [] gp)
+
+let add_unique seen out name =
+  if not (Hashtbl.mem seen name) then begin
+    Hashtbl.add seen name ();
+    out := name :: !out
+  end
+
+let collect_gexpr seen out e =
+  let rec go = function
+    | Num _ -> ()
+    | Agg (k, filter) ->
+      (match k with
+      | Count_star -> ()
+      | Count a | Sum a | Avg a | Min a | Max a -> add_unique seen out a);
+      Option.iter
+        (fun f -> List.iter (add_unique seen out) (Relalg.Expr.attrs f))
+        filter
+    | Add (a, b) | Subtract (a, b) | Mult (a, b) | Divide (a, b) ->
+      go a;
+      go b
+    | Negate a -> go a
+  in
+  go e
+
+let collect_gpred seen out gp =
+  let rec go = function
+    | Gcmp (_, a, b) ->
+      collect_gexpr seen out a;
+      collect_gexpr seen out b
+    | Gbetween (a, b, c) ->
+      collect_gexpr seen out a;
+      collect_gexpr seen out b;
+      collect_gexpr seen out c
+    | Gand (a, b) ->
+      go a;
+      go b
+  in
+  go gp
+
+let global_attrs q =
+  let seen = Hashtbl.create 8 and out = ref [] in
+  Option.iter (collect_gpred seen out) q.such_that;
+  Option.iter
+    (fun o ->
+      let e = match o with Minimize e | Maximize e -> e in
+      collect_gexpr seen out e)
+    q.objective;
+  List.rev !out
+
+let all_attrs q =
+  let seen = Hashtbl.create 8 and out = ref [] in
+  Option.iter
+    (fun w -> List.iter (add_unique seen out) (Relalg.Expr.attrs w))
+    q.where;
+  Option.iter (collect_gpred seen out) q.such_that;
+  Option.iter
+    (fun o ->
+      let e = match o with Minimize e | Maximize e -> e in
+      collect_gexpr seen out e)
+    q.objective;
+  List.rev !out

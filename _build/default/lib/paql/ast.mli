@@ -1,0 +1,61 @@
+(** Abstract syntax of PaQL (Appendix A.4 of the paper).
+
+    A package query selects a multiset of tuples (a package) from one
+    input relation. Base predicates ([WHERE]) constrain tuples
+    individually and reuse the relational {!Relalg.Expr} language;
+    global predicates ([SUCH THAT]) constrain aggregates over the
+    package. *)
+
+(** Aggregate functions over the package. [Min]/[Max] parse but are
+    rejected by {!Analyze} in global predicates (non-linear). *)
+type agg_kind =
+  | Count_star
+  | Count of string
+  | Sum of string
+  | Avg of string
+  | Min of string
+  | Max of string
+
+(** Global (package-level) expressions. [Agg (k, Some pred)] is the
+    subquery form [(SELECT k FROM P WHERE pred)]; [Agg (k, None)]
+    is the abbreviation [k(P....)]. *)
+type gexpr =
+  | Num of float
+  | Agg of agg_kind * Relalg.Expr.t option
+  | Add of gexpr * gexpr
+  | Subtract of gexpr * gexpr
+  | Mult of gexpr * gexpr
+  | Divide of gexpr * gexpr
+  | Negate of gexpr
+
+type gcmp = Le | Ge | Eq | Lt | Gt
+
+(** Global predicates: conjunctions of comparisons and ranges. *)
+type gpred =
+  | Gcmp of gcmp * gexpr * gexpr
+  | Gbetween of gexpr * gexpr * gexpr
+  | Gand of gpred * gpred
+
+type objective = Minimize of gexpr | Maximize of gexpr
+
+type query = {
+  package_name : string;  (** [AS P] — defaults to the package alias *)
+  rel_name : string;
+  rel_alias : string;
+  repeat : int option;
+      (** [REPEAT K]: each tuple may appear up to [K+1] times;
+          [None] means unbounded repetition. *)
+  where : Relalg.Expr.t option;
+  such_that : gpred option;
+  objective : objective option;
+}
+
+(** [conjuncts gp] flattens nested [Gand]s in left-to-right order. *)
+val conjuncts : gpred -> gpred list
+
+(** Attributes referenced anywhere in global predicates and objective
+    (aggregate arguments and subquery filters), without duplicates. *)
+val global_attrs : query -> string list
+
+(** All attributes the query touches (base + global). *)
+val all_attrs : query -> string list

@@ -1,0 +1,166 @@
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string
+  | KW of string
+  | STAR
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : token; pos : int }
+
+exception Lex_error of string * int
+
+let keywords =
+  [
+    "SELECT"; "PACKAGE"; "AS"; "FROM"; "REPEAT"; "WHERE"; "SUCH"; "THAT";
+    "AND"; "OR"; "NOT"; "BETWEEN"; "IS"; "NULL"; "MINIMIZE"; "MAXIMIZE";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "TRUE"; "FALSE";
+  ]
+
+let keyword_set =
+  let t = Hashtbl.create 32 in
+  List.iter (fun k -> Hashtbl.add t k ()) keywords;
+  t
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let out = ref [] in
+  let emit tok pos = out := { tok; pos } :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] and pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && s.[!i + 1] = '-' then begin
+      (* SQL line comment *)
+      while !i < n && s.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      let upper = String.uppercase_ascii word in
+      if Hashtbl.mem keyword_set upper then emit (KW upper) pos
+      else emit (IDENT word) pos;
+      i := !j
+    end
+    else if is_digit c || (c = '.' && !i + 1 < n && is_digit s.[!i + 1]) then begin
+      let j = ref !i in
+      while !j < n && (is_digit s.[!j] || s.[!j] = '.') do
+        incr j
+      done;
+      (* exponent *)
+      if !j < n && (s.[!j] = 'e' || s.[!j] = 'E') then begin
+        let k = ref (!j + 1) in
+        if !k < n && (s.[!k] = '+' || s.[!k] = '-') then incr k;
+        if !k < n && is_digit s.[!k] then begin
+          while !k < n && is_digit s.[!k] do
+            incr k
+          done;
+          j := !k
+        end
+      end;
+      let text = String.sub s !i (!j - !i) in
+      (match float_of_string_opt text with
+      | Some f -> emit (NUMBER f) pos
+      | None -> raise (Lex_error ("invalid number " ^ text, pos)));
+      i := !j
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while not !closed do
+        if !j >= n then raise (Lex_error ("unterminated string literal", pos));
+        if s.[!j] = '\'' then
+          if !j + 1 < n && s.[!j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            j := !j + 2
+          end
+          else begin
+            closed := true;
+            incr j
+          end
+        else begin
+          Buffer.add_char buf s.[!j];
+          incr j
+        end
+      done;
+      emit (STRING (Buffer.contents buf)) pos;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      match two with
+      | "<=" ->
+        emit LE pos;
+        i := !i + 2
+      | ">=" ->
+        emit GE pos;
+        i := !i + 2
+      | "<>" | "!=" ->
+        emit NEQ pos;
+        i := !i + 2
+      | _ -> (
+        (match c with
+        | '*' -> emit STAR pos
+        | '(' -> emit LPAREN pos
+        | ')' -> emit RPAREN pos
+        | ',' -> emit COMMA pos
+        | '.' -> emit DOT pos
+        | '+' -> emit PLUS pos
+        | '-' -> emit MINUS pos
+        | '/' -> emit SLASH pos
+        | '=' -> emit EQ pos
+        | '<' -> emit LT pos
+        | '>' -> emit GT pos
+        | c ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos)));
+        incr i)
+    end
+  done;
+  emit EOF n;
+  Array.of_list (List.rev !out)
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER f -> Printf.sprintf "number %g" f
+  | STRING s -> Printf.sprintf "string '%s'" s
+  | KW k -> k
+  | STAR -> "'*'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | DOT -> "'.'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | SLASH -> "'/'"
+  | EQ -> "'='"
+  | NEQ -> "'<>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"

@@ -1,0 +1,34 @@
+(** Hand-written lexer for PaQL. Keywords are case-insensitive;
+    identifiers keep their original case. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of float
+  | STRING of string  (** single-quoted literal, quotes stripped *)
+  | KW of string      (** upper-cased keyword, e.g. "SELECT" *)
+  | STAR
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+(** Token plus its starting byte offset in the input (for errors). *)
+type spanned = { tok : token; pos : int }
+
+exception Lex_error of string * int
+
+(** [tokenize s] lexes the whole input, ending with [EOF].
+    @raise Lex_error on invalid characters or unterminated strings. *)
+val tokenize : string -> spanned array
+
+val describe : token -> string

@@ -1,0 +1,205 @@
+type term_kind =
+  | Count_star
+  | Count of string
+  | Sum of string
+  | Avg of string
+
+type term = { kind : term_kind; filter : Relalg.Expr.t option; coeff : float }
+
+type t = { terms : term list; const : float }
+
+let ( let* ) = Result.bind
+
+let constant c = { terms = []; const = c }
+
+let is_constant f = f.terms = []
+
+let scale a f =
+  { terms = List.map (fun t -> { t with coeff = a *. t.coeff }) f.terms;
+    const = a *. f.const }
+
+let add f g = { terms = f.terms @ g.terms; const = f.const +. g.const }
+
+let sub f g = add f (scale (-1.) g)
+
+let kind_of_agg = function
+  | Ast.Count_star -> Ok Count_star
+  | Ast.Count a -> Ok (Count a)
+  | Ast.Sum a -> Ok (Sum a)
+  | Ast.Avg a -> Ok (Avg a)
+  | Ast.Min _ | Ast.Max _ ->
+    Error "MIN/MAX aggregates are not linear and cannot appear in global \
+           predicates or objectives"
+
+let rec of_gexpr = function
+  | Ast.Num f -> Ok (constant f)
+  | Ast.Agg (k, filter) ->
+    let* kind = kind_of_agg k in
+    Ok { terms = [ { kind; filter; coeff = 1. } ]; const = 0. }
+  | Ast.Add (a, b) ->
+    let* fa = of_gexpr a in
+    let* fb = of_gexpr b in
+    Ok (add fa fb)
+  | Ast.Subtract (a, b) ->
+    let* fa = of_gexpr a in
+    let* fb = of_gexpr b in
+    Ok (sub fa fb)
+  | Ast.Mult (a, b) ->
+    let* fa = of_gexpr a in
+    let* fb = of_gexpr b in
+    if is_constant fa then Ok (scale fa.const fb)
+    else if is_constant fb then Ok (scale fb.const fa)
+    else Error "non-linear global expression: product of two aggregates"
+  | Ast.Divide (a, b) ->
+    let* fa = of_gexpr a in
+    let* fb = of_gexpr b in
+    if is_constant fb then
+      if fb.const = 0. then Error "division by zero in global expression"
+      else Ok (scale (1. /. fb.const) fa)
+    else Error "non-linear global expression: division by an aggregate"
+  | Ast.Negate a ->
+    let* fa = of_gexpr a in
+    Ok (scale (-1.) fa)
+
+type constr = { cterms : term list; lo : float; hi : float }
+
+let has_avg f =
+  List.exists (fun t -> match t.kind with Avg _ -> true | _ -> false) f.terms
+
+(* AVG rewrite: a form [alpha * AVG_f(a) + c  cmp  0] becomes
+   [alpha * SUM_f(a) + c * COUNT_f  cmp  0] (multiplying by the
+   filtered cardinality, which is nonnegative). Supported only for a
+   single AVG term with no other aggregate terms. *)
+let rewrite_avg f =
+  match f.terms with
+  | [ ({ kind = Avg a; filter; coeff } as _t) ] ->
+    Ok
+      {
+        terms =
+          [
+            { kind = Sum a; filter; coeff };
+            { kind = Count_star; filter; coeff = f.const };
+          ];
+        const = 0.;
+      }
+  | _ ->
+    Error
+      "AVG can only be combined with constants in a global predicate (the \
+       cardinality rewrite supports a single AVG term)"
+
+let constraint_of_form cmp f =
+  let* f = if has_avg f then rewrite_avg f else Ok f in
+  let bound = -.f.const in
+  let lo, hi =
+    match cmp with
+    | Ast.Le | Ast.Lt -> neg_infinity, bound
+    | Ast.Ge | Ast.Gt -> bound, infinity
+    | Ast.Eq -> bound, bound
+  in
+  Ok { cterms = f.terms; lo; hi }
+
+let of_conjunct = function
+  | Ast.Gcmp (cmp, e1, e2) ->
+    let* f1 = of_gexpr e1 in
+    let* f2 = of_gexpr e2 in
+    let f = sub f1 f2 in
+    let* c = constraint_of_form cmp f in
+    Ok [ c ]
+  | Ast.Gbetween (e, elo, ehi) ->
+    let* f = of_gexpr e in
+    let* flo = of_gexpr elo in
+    let* fhi = of_gexpr ehi in
+    if not (is_constant flo && is_constant fhi) then
+      Error "BETWEEN bounds must be constants"
+    else if has_avg f then begin
+      (* desugar into two rewritten inequalities *)
+      let* c1 = constraint_of_form Ast.Ge (sub f flo) in
+      let* c2 = constraint_of_form Ast.Le (sub f fhi) in
+      Ok [ c1; c2 ]
+    end
+    else
+      Ok
+        [
+          {
+            cterms = f.terms;
+            lo = flo.const -. f.const;
+            hi = fhi.const -. f.const;
+          };
+        ]
+  | Ast.Gand _ -> assert false (* flattened by the caller *)
+
+let of_gpred gp =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | conj :: rest ->
+      let* cs = of_conjunct conj in
+      go (List.rev_append cs acc) rest
+  in
+  go [] (Ast.conjuncts gp)
+
+let of_objective o =
+  let sense, e =
+    match o with
+    | Ast.Minimize e -> Lp.Problem.Minimize, e
+    | Ast.Maximize e -> Lp.Problem.Maximize, e
+  in
+  let* f = of_gexpr e in
+  if has_avg f then
+    Error "AVG is not supported in objectives (non-linear)"
+  else Ok (sense, f.terms, f.const)
+
+let coeff_fn schema terms =
+  (* Precompile attribute indices; evaluate filters per tuple. *)
+  let compiled =
+    List.map
+      (fun t ->
+        let idx =
+          match t.kind with
+          | Count_star -> -1
+          | Count a | Sum a | Avg a -> Relalg.Schema.index_of schema a
+        in
+        (match t.kind with
+        | Avg _ ->
+          invalid_arg "Linform.coeff_fn: AVG term survived normalization"
+        | _ -> ());
+        (t, idx))
+      terms
+  in
+  fun tuple ->
+    List.fold_left
+      (fun acc (t, idx) ->
+        let passes =
+          match t.filter with
+          | None -> true
+          | Some f -> Relalg.Expr.eval_bool schema tuple f
+        in
+        if not passes then acc
+        else
+          match t.kind with
+          | Count_star -> acc +. t.coeff
+          | Count _ ->
+            if Relalg.Value.is_null (Relalg.Tuple.get tuple idx) then acc
+            else acc +. t.coeff
+          | Sum _ -> (
+            match Relalg.Value.to_float_opt (Relalg.Tuple.get tuple idx) with
+            | Some v -> acc +. (t.coeff *. v)
+            | None -> acc)
+          | Avg _ -> assert false)
+      0. compiled
+
+let term_attrs terms =
+  let seen = Hashtbl.create 8 and out = ref [] in
+  let push a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      out := a :: !out
+    end
+  in
+  List.iter
+    (fun t ->
+      (match t.kind with
+      | Count_star -> ()
+      | Count a | Sum a | Avg a -> push a);
+      Option.iter (fun f -> List.iter push (Relalg.Expr.attrs f)) t.filter)
+    terms;
+  List.rev !out

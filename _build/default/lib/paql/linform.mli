@@ -1,0 +1,47 @@
+(** Normalization of global expressions and predicates into linear
+    forms over per-tuple coefficients — the core of the PaQL → ILP
+    translation rules (Section 3.1 of the paper).
+
+    A linear form is [sum_k coeff_k * term_k + const], where each term
+    is a package aggregate (COUNT/SUM/AVG, optionally filtered by a
+    subquery predicate). Constraints whose forms contain an AVG term
+    are rewritten by multiplying through by the package cardinality:
+    [AVG(a) <= v  ==>  sum_i (a_i - v) x_i <= 0]. *)
+
+type term_kind =
+  | Count_star
+  | Count of string
+  | Sum of string
+  | Avg of string  (** only transient: eliminated by the rewrite *)
+
+type term = { kind : term_kind; filter : Relalg.Expr.t option; coeff : float }
+
+type t = { terms : term list; const : float }
+
+(** [of_gexpr e] normalizes a global expression, enforcing linearity:
+    products need a constant side, divisors must be constants, MIN/MAX
+    are rejected. *)
+val of_gexpr : Ast.gexpr -> (t, string) result
+
+(** One normalized global constraint: [lo <= sum terms <= hi], with all
+    AVG terms already rewritten away. *)
+type constr = { cterms : term list; lo : float; hi : float }
+
+(** [of_gpred gp] normalizes each conjunct. Strict comparisons are
+    treated as non-strict (documented PaQL deviation). *)
+val of_gpred : Ast.gpred -> (constr list, string) result
+
+(** [of_objective o] is the objective's linear form and sense. AVG is
+    rejected in objectives (the cardinality rewrite does not preserve
+    optimality there). *)
+val of_objective :
+  Ast.objective -> (Lp.Problem.sense * term list * float, string) result
+
+(** [coeff_fn schema terms] compiles the per-tuple coefficient function
+    [t -> sum_k coeff_k * contribution_k(t)].
+    @raise Invalid_argument if an AVG term survived normalization. *)
+val coeff_fn :
+  Relalg.Schema.t -> term list -> Relalg.Tuple.t -> float
+
+(** Attributes mentioned by the terms (aggregate arguments + filters). *)
+val term_attrs : term list -> string list

@@ -1,0 +1,395 @@
+exception Parse_error of string * int
+
+type state = { toks : Lexer.spanned array; mutable at : int }
+
+let peek st = st.toks.(st.at).tok
+let peek2 st =
+  if st.at + 1 < Array.length st.toks then st.toks.(st.at + 1).tok
+  else Lexer.EOF
+let pos st = st.toks.(st.at).pos
+let advance st = st.at <- st.at + 1
+
+let error st msg = raise (Parse_error (msg, pos st))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Lexer.describe tok)
+         (Lexer.describe (peek st)))
+
+let expect_kw st kw = expect st (Lexer.KW kw)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (Lexer.KW kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> error st ("expected identifier but found " ^ Lexer.describe t)
+
+let number st =
+  match peek st with
+  | Lexer.NUMBER f ->
+    advance st;
+    f
+  | t -> error st ("expected number but found " ^ Lexer.describe t)
+
+(* Resolve a possibly-qualified attribute: [q.attr] must use one of the
+   allowed qualifiers; the result is unqualified. *)
+let attribute st ~allowed =
+  let first = ident st in
+  if peek st = Lexer.DOT then begin
+    advance st;
+    let attr = ident st in
+    if List.exists (String.equal first) allowed then attr
+    else
+      error st
+        (Printf.sprintf "unknown qualifier %S (expected one of: %s)" first
+           (String.concat ", " allowed))
+  end
+  else first
+
+(* ------------------------------------------------------------------ *)
+(* Base (tuple-level) expressions, producing Relalg.Expr.t             *)
+(* ------------------------------------------------------------------ *)
+
+module E = Relalg.Expr
+
+let rec base_or st ~allowed =
+  let lhs = base_and st ~allowed in
+  if accept_kw st "OR" then E.Or (lhs, base_or st ~allowed) else lhs
+
+and base_and st ~allowed =
+  let lhs = base_not st ~allowed in
+  if accept_kw st "AND" then E.And (lhs, base_and st ~allowed) else lhs
+
+and base_not st ~allowed =
+  if accept_kw st "NOT" then E.Not (base_not st ~allowed)
+  else base_cmp st ~allowed
+
+and base_cmp st ~allowed =
+  let lhs = base_add st ~allowed in
+  match peek st with
+  | Lexer.EQ ->
+    advance st;
+    E.Cmp (E.Eq, lhs, base_add st ~allowed)
+  | Lexer.NEQ ->
+    advance st;
+    E.Cmp (E.Neq, lhs, base_add st ~allowed)
+  | Lexer.LT ->
+    advance st;
+    E.Cmp (E.Lt, lhs, base_add st ~allowed)
+  | Lexer.LE ->
+    advance st;
+    E.Cmp (E.Le, lhs, base_add st ~allowed)
+  | Lexer.GT ->
+    advance st;
+    E.Cmp (E.Gt, lhs, base_add st ~allowed)
+  | Lexer.GE ->
+    advance st;
+    E.Cmp (E.Ge, lhs, base_add st ~allowed)
+  | Lexer.KW "BETWEEN" ->
+    advance st;
+    let lo = base_add st ~allowed in
+    expect_kw st "AND";
+    let hi = base_add st ~allowed in
+    E.Between (lhs, lo, hi)
+  | Lexer.KW "IS" ->
+    advance st;
+    if accept_kw st "NOT" then begin
+      expect_kw st "NULL";
+      E.IsNotNull lhs
+    end
+    else begin
+      expect_kw st "NULL";
+      E.IsNull lhs
+    end
+  | _ -> lhs
+
+and base_add st ~allowed =
+  let lhs = ref (base_mul st ~allowed) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := E.Binop (E.Add, !lhs, base_mul st ~allowed)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := E.Binop (E.Sub, !lhs, base_mul st ~allowed)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and base_mul st ~allowed =
+  let lhs = ref (base_unary st ~allowed) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      lhs := E.Binop (E.Mul, !lhs, base_unary st ~allowed)
+    | Lexer.SLASH ->
+      advance st;
+      lhs := E.Binop (E.Div, !lhs, base_unary st ~allowed)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and base_unary st ~allowed =
+  if accept st Lexer.MINUS then E.Neg (base_unary st ~allowed)
+  else base_primary st ~allowed
+
+and base_primary st ~allowed =
+  match peek st with
+  | Lexer.NUMBER f ->
+    advance st;
+    E.Const (Relalg.Value.Float f)
+  | Lexer.STRING s ->
+    advance st;
+    E.Const (Relalg.Value.Str s)
+  | Lexer.KW "TRUE" ->
+    advance st;
+    E.Const (Relalg.Value.Bool true)
+  | Lexer.KW "FALSE" ->
+    advance st;
+    E.Const (Relalg.Value.Bool false)
+  | Lexer.KW "NULL" ->
+    advance st;
+    E.Const Relalg.Value.Null
+  | Lexer.IDENT _ -> E.Attr (attribute st ~allowed)
+  | Lexer.LPAREN ->
+    advance st;
+    let e = base_or st ~allowed in
+    expect st Lexer.RPAREN;
+    e
+  | t -> error st ("unexpected " ^ Lexer.describe t ^ " in expression")
+
+(* ------------------------------------------------------------------ *)
+(* Global (package-level) expressions and predicates                  *)
+(* ------------------------------------------------------------------ *)
+
+let agg_kw = function
+  | Lexer.KW ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX" as k) -> Some k
+  | _ -> None
+
+(* COUNT(*) | COUNT(P.*) | SUM(P.attr) | SUM(attr) ... *)
+let aggregate st ~pkg =
+  let kw =
+    match agg_kw (peek st) with
+    | Some k ->
+      advance st;
+      k
+    | None -> error st "expected aggregate function"
+  in
+  expect st Lexer.LPAREN;
+  let arg =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      None
+    | Lexer.IDENT name when peek2 st = Lexer.DOT ->
+      (* qualified: P.* or P.attr *)
+      advance st;
+      advance st;
+      if not (String.equal name pkg) then
+        error st
+          (Printf.sprintf "unknown qualifier %S (expected package %S)" name pkg);
+      if peek st = Lexer.STAR then begin
+        advance st;
+        None
+      end
+      else Some (ident st)
+    | Lexer.IDENT _ -> Some (ident st)
+    | t -> error st ("expected attribute or '*' but found " ^ Lexer.describe t)
+  in
+  expect st Lexer.RPAREN;
+  match kw, arg with
+  | "COUNT", None -> Ast.Count_star
+  | "COUNT", Some a -> Ast.Count a
+  | "SUM", Some a -> Ast.Sum a
+  | "AVG", Some a -> Ast.Avg a
+  | "MIN", Some a -> Ast.Min a
+  | "MAX", Some a -> Ast.Max a
+  | k, None -> error st (k ^ " requires an attribute argument")
+  | _ -> assert false
+
+(* (SELECT agg FROM P [WHERE pred]) — the opening paren is consumed. *)
+let subquery st ~pkg =
+  expect_kw st "SELECT";
+  let kind = aggregate st ~pkg in
+  expect_kw st "FROM";
+  let from = ident st in
+  if not (String.equal from pkg) then
+    error st
+      (Printf.sprintf "subqueries must select FROM the package %S, got %S" pkg
+         from);
+  let filter =
+    if accept_kw st "WHERE" then Some (base_or st ~allowed:[ pkg ]) else None
+  in
+  expect st Lexer.RPAREN;
+  Ast.Agg (kind, filter)
+
+let rec gexpr st ~pkg =
+  let lhs = ref (gterm st ~pkg) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := Ast.Add (!lhs, gterm st ~pkg)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := Ast.Subtract (!lhs, gterm st ~pkg)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and gterm st ~pkg =
+  let lhs = ref (gunary st ~pkg) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      lhs := Ast.Mult (!lhs, gunary st ~pkg)
+    | Lexer.SLASH ->
+      advance st;
+      lhs := Ast.Divide (!lhs, gunary st ~pkg)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and gunary st ~pkg =
+  if accept st Lexer.MINUS then Ast.Negate (gunary st ~pkg)
+  else gprimary st ~pkg
+
+and gprimary st ~pkg =
+  match peek st with
+  | Lexer.NUMBER f ->
+    advance st;
+    Ast.Num f
+  | Lexer.KW ("COUNT" | "SUM" | "AVG" | "MIN" | "MAX") ->
+    Ast.Agg (aggregate st ~pkg, None)
+  | Lexer.LPAREN ->
+    advance st;
+    if peek st = Lexer.KW "SELECT" then subquery st ~pkg
+    else begin
+      let e = gexpr st ~pkg in
+      expect st Lexer.RPAREN;
+      e
+    end
+  | t -> error st ("unexpected " ^ Lexer.describe t ^ " in global expression")
+
+let gcomparison st ~pkg =
+  let lhs = gexpr st ~pkg in
+  match peek st with
+  | Lexer.EQ ->
+    advance st;
+    Ast.Gcmp (Ast.Eq, lhs, gexpr st ~pkg)
+  | Lexer.LE ->
+    advance st;
+    Ast.Gcmp (Ast.Le, lhs, gexpr st ~pkg)
+  | Lexer.GE ->
+    advance st;
+    Ast.Gcmp (Ast.Ge, lhs, gexpr st ~pkg)
+  | Lexer.LT ->
+    advance st;
+    Ast.Gcmp (Ast.Lt, lhs, gexpr st ~pkg)
+  | Lexer.GT ->
+    advance st;
+    Ast.Gcmp (Ast.Gt, lhs, gexpr st ~pkg)
+  | Lexer.KW "BETWEEN" ->
+    advance st;
+    let lo = gexpr st ~pkg in
+    expect_kw st "AND";
+    let hi = gexpr st ~pkg in
+    Ast.Gbetween (lhs, lo, hi)
+  | t ->
+    error st ("expected comparison or BETWEEN but found " ^ Lexer.describe t)
+
+let rec gpred st ~pkg =
+  let lhs = gcomparison st ~pkg in
+  if accept_kw st "AND" then Ast.Gand (lhs, gpred st ~pkg) else lhs
+
+(* ------------------------------------------------------------------ *)
+(* Query                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let query st =
+  expect_kw st "SELECT";
+  expect_kw st "PACKAGE";
+  expect st Lexer.LPAREN;
+  let pkg_arg = ident st in
+  expect st Lexer.RPAREN;
+  let package_name = if accept_kw st "AS" then ident st else "P" in
+  expect_kw st "FROM";
+  let rel_name = ident st in
+  let rel_alias =
+    if accept_kw st "AS" then ident st
+    else match peek st with Lexer.IDENT _ -> ident st | _ -> rel_name
+  in
+  if not (String.equal pkg_arg rel_alias || String.equal pkg_arg rel_name) then
+    error st
+      (Printf.sprintf "PACKAGE(%s) does not match the FROM alias %S" pkg_arg
+         rel_alias);
+  let repeat =
+    if accept_kw st "REPEAT" then begin
+      let f = number st in
+      let k = int_of_float f in
+      if float_of_int k <> f || k < 0 then
+        error st "REPEAT requires a non-negative integer"
+      else Some k
+    end
+    else None
+  in
+  let where =
+    if accept_kw st "WHERE" then
+      Some (base_or st ~allowed:[ rel_alias; rel_name ])
+    else None
+  in
+  let such_that =
+    if accept_kw st "SUCH" then begin
+      expect_kw st "THAT";
+      Some (gpred st ~pkg:package_name)
+    end
+    else None
+  in
+  let objective =
+    if accept_kw st "MINIMIZE" then
+      Some (Ast.Minimize (gexpr st ~pkg:package_name))
+    else if accept_kw st "MAXIMIZE" then
+      Some (Ast.Maximize (gexpr st ~pkg:package_name))
+    else None
+  in
+  expect st Lexer.EOF;
+  {
+    Ast.package_name;
+    rel_name;
+    rel_alias;
+    repeat;
+    where;
+    such_that;
+    objective;
+  }
+
+let parse_exn input =
+  let st = { toks = Lexer.tokenize input; at = 0 } in
+  query st
+
+let parse input =
+  match parse_exn input with
+  | q -> Ok q
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)

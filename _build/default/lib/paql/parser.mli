@@ -1,0 +1,16 @@
+(** Recursive-descent parser for PaQL (grammar of Appendix A.4).
+
+    Attribute qualifiers are resolved during parsing: [R.attr] in the
+    WHERE clause must use the FROM alias (or relation name), [P.attr]
+    in SUCH THAT / objective clauses must use the package name, and
+    subqueries must select FROM the package. Resolved attributes are
+    stored unqualified. *)
+
+exception Parse_error of string * int  (** message, byte offset *)
+
+(** [parse input] parses a full PaQL query. *)
+val parse : string -> (Ast.query, string) result
+
+(** Exception-raising variant of {!parse}, for tests and internal use.
+    @raise Parse_error / Lexer.Lex_error. *)
+val parse_exn : string -> Ast.query

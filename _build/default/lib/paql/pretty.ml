@@ -1,0 +1,72 @@
+let agg_string pkg = function
+  | Ast.Count_star -> Printf.sprintf "COUNT(%s.*)" pkg
+  | Ast.Count a -> Printf.sprintf "COUNT(%s.%s)" pkg a
+  | Ast.Sum a -> Printf.sprintf "SUM(%s.%s)" pkg a
+  | Ast.Avg a -> Printf.sprintf "AVG(%s.%s)" pkg a
+  | Ast.Min a -> Printf.sprintf "MIN(%s.%s)" pkg a
+  | Ast.Max a -> Printf.sprintf "MAX(%s.%s)" pkg a
+
+let agg_bare = function
+  | Ast.Count_star -> "COUNT(*)"
+  | Ast.Count a -> Printf.sprintf "COUNT(%s)" a
+  | Ast.Sum a -> Printf.sprintf "SUM(%s)" a
+  | Ast.Avg a -> Printf.sprintf "AVG(%s)" a
+  | Ast.Min a -> Printf.sprintf "MIN(%s)" a
+  | Ast.Max a -> Printf.sprintf "MAX(%s)" a
+
+let rec pp_gexpr ~pkg ppf = function
+  | Ast.Num f -> Format.fprintf ppf "%g" f
+  | Ast.Agg (k, None) -> Format.pp_print_string ppf (agg_string pkg k)
+  | Ast.Agg (k, Some filter) ->
+    Format.fprintf ppf "(SELECT %s FROM %s WHERE %a)" (agg_bare k) pkg
+      Relalg.Expr.pp filter
+  | Ast.Add (a, b) ->
+    Format.fprintf ppf "(%a + %a)" (pp_gexpr ~pkg) a (pp_gexpr ~pkg) b
+  | Ast.Subtract (a, b) ->
+    Format.fprintf ppf "(%a - %a)" (pp_gexpr ~pkg) a (pp_gexpr ~pkg) b
+  | Ast.Mult (a, b) ->
+    Format.fprintf ppf "(%a * %a)" (pp_gexpr ~pkg) a (pp_gexpr ~pkg) b
+  | Ast.Divide (a, b) ->
+    Format.fprintf ppf "(%a / %a)" (pp_gexpr ~pkg) a (pp_gexpr ~pkg) b
+  | Ast.Negate a -> Format.fprintf ppf "(-%a)" (pp_gexpr ~pkg) a
+
+let gcmp_string = function
+  | Ast.Le -> "<="
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "="
+  | Ast.Lt -> "<"
+  | Ast.Gt -> ">"
+
+let rec pp_gpred ~pkg ppf = function
+  | Ast.Gcmp (c, a, b) ->
+    Format.fprintf ppf "%a %s %a" (pp_gexpr ~pkg) a (gcmp_string c)
+      (pp_gexpr ~pkg) b
+  | Ast.Gbetween (e, lo, hi) ->
+    Format.fprintf ppf "%a BETWEEN %a AND %a" (pp_gexpr ~pkg) e
+      (pp_gexpr ~pkg) lo (pp_gexpr ~pkg) hi
+  | Ast.Gand (a, b) ->
+    Format.fprintf ppf "%a AND@ %a" (pp_gpred ~pkg) a (pp_gpred ~pkg) b
+
+let pp_query ppf (q : Ast.query) =
+  Format.fprintf ppf "@[<v>SELECT PACKAGE(%s) AS %s@," q.rel_alias
+    q.package_name;
+  Format.fprintf ppf "FROM %s %s" q.rel_name q.rel_alias;
+  Option.iter (fun k -> Format.fprintf ppf " REPEAT %d" k) q.repeat;
+  Option.iter
+    (fun w -> Format.fprintf ppf "@,WHERE %a" Relalg.Expr.pp w)
+    q.where;
+  Option.iter
+    (fun st ->
+      Format.fprintf ppf "@,SUCH THAT @[%a@]" (pp_gpred ~pkg:q.package_name) st)
+    q.such_that;
+  Option.iter
+    (fun o ->
+      match o with
+      | Ast.Minimize e ->
+        Format.fprintf ppf "@,MINIMIZE %a" (pp_gexpr ~pkg:q.package_name) e
+      | Ast.Maximize e ->
+        Format.fprintf ppf "@,MAXIMIZE %a" (pp_gexpr ~pkg:q.package_name) e)
+    q.objective;
+  Format.fprintf ppf "@]"
+
+let to_string q = Format.asprintf "%a" pp_query q

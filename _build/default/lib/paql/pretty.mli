@@ -1,0 +1,7 @@
+(** Pretty-printing of PaQL ASTs back to concrete syntax. The output
+    re-parses to an equivalent AST (round-trip property, tested). *)
+
+val pp_gexpr : pkg:string -> Format.formatter -> Ast.gexpr -> unit
+val pp_gpred : pkg:string -> Format.formatter -> Ast.gpred -> unit
+val pp_query : Format.formatter -> Ast.query -> unit
+val to_string : Ast.query -> string

@@ -1,0 +1,147 @@
+type compiled_constraint = {
+  coeff : Relalg.Tuple.t -> float;
+  clo : float;
+  chi : float;
+  cname : string;
+  cattrs : string list;
+}
+
+type spec = {
+  query : Ast.query;
+  schema : Relalg.Schema.t;
+  where : Relalg.Expr.t option;
+  constraints : compiled_constraint list;
+  objective : (Lp.Problem.sense * (Relalg.Tuple.t -> float) * float) option;
+  max_count : float;
+}
+
+let ( let* ) = Result.bind
+
+let compile schema (q : Ast.query) =
+  let* () = Result.map_error (String.concat "; ") (Analyze.check schema q) in
+  let* constraints =
+    match q.such_that with
+    | None -> Ok []
+    | Some gp ->
+      let* cs = Linform.of_gpred gp in
+      Ok
+        (List.mapi
+           (fun i (c : Linform.constr) ->
+             {
+               coeff = Linform.coeff_fn schema c.Linform.cterms;
+               clo = c.Linform.lo;
+               chi = c.Linform.hi;
+               cname = Printf.sprintf "g%d" i;
+               cattrs = Linform.term_attrs c.Linform.cterms;
+             })
+           cs)
+  in
+  let* objective =
+    match q.objective with
+    | None -> Ok None
+    | Some o ->
+      let* sense, terms, const = Linform.of_objective o in
+      Ok (Some (sense, Linform.coeff_fn schema terms, const))
+  in
+  let max_count =
+    match q.repeat with
+    | None -> infinity
+    | Some k -> float_of_int (k + 1)
+  in
+  Ok { query = q; schema; where = q.where; constraints; objective; max_count }
+
+let compile_exn schema q =
+  match compile schema q with
+  | Ok spec -> spec
+  | Error msg -> invalid_arg ("Translate.compile: " ^ msg)
+
+let base_candidates spec r =
+  match spec.where with
+  | None -> Array.init (Relalg.Relation.cardinality r) Fun.id
+  | Some pred -> Relalg.Relation.select_indices r pred
+
+let objective_sense spec =
+  match spec.objective with
+  | Some (sense, _, _) -> sense
+  | None -> Lp.Problem.Minimize
+
+let to_problem ?var_hi ?offsets spec r ~candidates =
+  let nconstraints = List.length spec.constraints in
+  (match offsets with
+  | Some o when Array.length o <> nconstraints ->
+    invalid_arg "Translate.to_problem: offsets arity mismatch"
+  | _ -> ());
+  let obj_fn =
+    match spec.objective with
+    | Some (_, f, _) -> f
+    | None -> fun _ -> 0.
+  in
+  let cap k =
+    match var_hi with Some f -> f k | None -> spec.max_count
+  in
+  let vars =
+    Array.to_list
+      (Array.mapi
+         (fun k row_id ->
+           let t = Relalg.Relation.row r row_id in
+           Lp.Problem.var
+             ~name:(Printf.sprintf "x%d" row_id)
+             ~integer:true ~lo:0. ~hi:(cap k) (obj_fn t))
+         candidates)
+  in
+  let rows =
+    List.mapi
+      (fun ci c ->
+        let coeffs = ref [] in
+        Array.iteri
+          (fun k row_id ->
+            let a = c.coeff (Relalg.Relation.row r row_id) in
+            if a <> 0. then coeffs := (k, a) :: !coeffs)
+          candidates;
+        let off =
+          match offsets with Some o -> o.(ci) | None -> 0.
+        in
+        Lp.Problem.row ~name:c.cname (List.rev !coeffs) ~lo:(c.clo -. off)
+          ~hi:(c.chi -. off))
+      spec.constraints
+  in
+  Lp.Problem.make ~sense:(objective_sense spec) ~vars ~rows
+
+let pp_bound ppf v =
+  if v = infinity then Format.pp_print_string ppf "+inf"
+  else if v = neg_infinity then Format.pp_print_string ppf "-inf"
+  else Format.fprintf ppf "%g" v
+
+let describe spec rel =
+  let n = Relalg.Relation.cardinality rel in
+  let candidates = base_candidates spec rel in
+  let kept = Array.length candidates in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "@[<v>package query over %d tuple(s)@," n;
+  Format.fprintf ppf
+    "base predicate keeps %d candidate(s) (%d variable(s) eliminated, \
+     rule 2)@,"
+    kept (n - kept);
+  Format.fprintf ppf "ILP: %d integer variable(s), bounds [0, %a] \
+                      (repetition rule 1), %d constraint row(s)@,"
+    kept pp_bound spec.max_count
+    (List.length spec.constraints);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s: %a <= sum <= %a  (attrs: %s)@," c.cname
+        pp_bound c.clo pp_bound c.chi
+        (match c.cattrs with
+        | [] -> "cardinality only"
+        | attrs -> String.concat ", " attrs))
+    spec.constraints;
+  (match spec.objective with
+  | None -> Format.fprintf ppf "objective: none (vacuous, rule 4)@,"
+  | Some (sense, _, const) ->
+    Format.fprintf ppf "objective: %s linear form%s@,"
+      (match sense with
+      | Lp.Problem.Minimize -> "minimize"
+      | Lp.Problem.Maximize -> "maximize")
+      (if const <> 0. then Printf.sprintf " (+ constant %g)" const else ""));
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

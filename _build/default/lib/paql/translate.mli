@@ -1,0 +1,68 @@
+(** PaQL → ILP translation (Section 3 of the paper).
+
+    [compile] turns an analyzed query into a {!spec}: per-constraint
+    and per-objective coefficient functions closed over the schema,
+    plus bound information. A spec is independent of any particular
+    tuple set, which is exactly what SketchRefine needs — the same
+    spec is instantiated over the full relation (DIRECT), over the
+    representative relation (SKETCH, with per-group cardinality caps),
+    and over single groups with bound offsets from the partial package
+    (REFINE). *)
+
+type compiled_constraint = {
+  coeff : Relalg.Tuple.t -> float;  (** per-tuple coefficient *)
+  clo : float;
+  chi : float;  (** [clo <= sum_i coeff(t_i) x_i <= chi] *)
+  cname : string;
+  cattrs : string list;
+      (** attributes the constraint reads (aggregate arguments and
+          subquery filters) — used by the IIS-guided attribute-dropping
+          fallback of Section 4.4 *)
+}
+
+type spec = {
+  query : Ast.query;
+  schema : Relalg.Schema.t;
+  where : Relalg.Expr.t option;
+  constraints : compiled_constraint list;
+  objective : (Lp.Problem.sense * (Relalg.Tuple.t -> float) * float) option;
+      (** sense, per-tuple coefficient, constant offset *)
+  max_count : float;
+      (** repetition cap per tuple: [K+1] for [REPEAT K], [infinity]
+          otherwise *)
+}
+
+(** [compile schema q] analyzes and compiles the query. *)
+val compile : Relalg.Schema.t -> Ast.query -> (spec, string) result
+
+val compile_exn : Relalg.Schema.t -> Ast.query -> spec
+
+(** [base_candidates spec r] applies the base (WHERE) predicate,
+    returning the surviving row ids — the paper's base-relation
+    computation, which eliminates variables fixed to zero. *)
+val base_candidates : spec -> Relalg.Relation.t -> int array
+
+(** [to_problem spec r ~candidates] builds the ILP with one integer
+    variable per candidate row id.
+
+    @param var_hi per-candidate repetition cap override (the sketch
+    query's [|Gj| * (1+K)] bounds); defaults to [spec.max_count].
+    @param offsets per-constraint contribution already consumed by a
+    fixed partial package (the refine query's [p-bar] aggregates);
+    constraint bounds are shifted by these amounts. *)
+val to_problem :
+  ?var_hi:(int -> float) ->
+  ?offsets:float array ->
+  spec ->
+  Relalg.Relation.t ->
+  candidates:int array ->
+  Lp.Problem.t
+
+(** [objective_sense spec] defaults to [Minimize] (vacuous objective)
+    when the query has no objective clause. *)
+val objective_sense : spec -> Lp.Problem.sense
+
+(** [describe spec rel] renders an EXPLAIN-style summary: candidate
+    counts after base-predicate elimination, the ILP dimensions, each
+    global constraint's bounds and attributes, and the objective. *)
+val describe : spec -> Relalg.Relation.t -> string

@@ -1,0 +1,1 @@
+lib/pkg/direct.ml: Eval Ilp Package Paql Unix

@@ -1,0 +1,1 @@
+lib/pkg/direct.mli: Eval Ilp Paql Relalg

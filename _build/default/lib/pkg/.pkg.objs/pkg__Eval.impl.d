@@ -1,0 +1,1 @@
+lib/pkg/eval.ml: Format Ilp Option Package

@@ -1,0 +1,1 @@
+lib/pkg/eval.mli: Format Ilp Package

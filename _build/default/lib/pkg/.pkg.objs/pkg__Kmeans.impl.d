@@ -1,0 +1,1 @@
+lib/pkg/kmeans.ml: Array Float Hashtbl Int64 List Partition Relalg

@@ -1,0 +1,1 @@
+lib/pkg/kmeans.mli: Partition Relalg

@@ -1,0 +1,1 @@
+lib/pkg/naive_sql.ml: Array Eval Lp Package Paql Printf Relalg Unix

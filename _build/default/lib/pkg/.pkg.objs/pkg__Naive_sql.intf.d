@@ -1,0 +1,1 @@
+lib/pkg/naive_sql.mli: Eval Paql Relalg

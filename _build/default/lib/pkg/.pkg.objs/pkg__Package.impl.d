@@ -1,0 +1,1 @@
+lib/pkg/package.ml: Array Float Format Hashtbl List Option Paql Printf Relalg Seq

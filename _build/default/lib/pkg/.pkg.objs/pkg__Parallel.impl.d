@@ -1,0 +1,1 @@
+lib/pkg/parallel.ml: Array Domain Eval Fun List Package Partition Refine Sketch Sketch_refine Unix

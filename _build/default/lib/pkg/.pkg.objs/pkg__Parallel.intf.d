@@ -1,0 +1,1 @@
+lib/pkg/parallel.mli: Eval Paql Partition Relalg Sketch_refine

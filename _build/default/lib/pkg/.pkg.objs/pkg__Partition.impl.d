@@ -1,0 +1,1 @@
+lib/pkg/partition.ml: Array Float Fun Hashtbl List Printf Relalg String

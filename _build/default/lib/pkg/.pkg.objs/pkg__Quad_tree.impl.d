@@ -1,0 +1,1 @@
+lib/pkg/quad_tree.ml: Array Float Fun Hashtbl List Partition Relalg

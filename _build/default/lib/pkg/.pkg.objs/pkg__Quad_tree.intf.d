@@ -1,0 +1,1 @@
+lib/pkg/quad_tree.mli: Partition Relalg

@@ -1,0 +1,1 @@
+lib/pkg/refine.ml: Array Eval Float Fun Ilp List Package Paql Partition Relalg Sketch Unix

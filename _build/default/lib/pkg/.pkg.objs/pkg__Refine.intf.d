@@ -1,0 +1,1 @@
+lib/pkg/refine.mli: Eval Ilp Package Sketch

@@ -1,0 +1,1 @@
+lib/pkg/sketch.ml: Array Eval Fun Ilp List Paql Partition Relalg

@@ -1,0 +1,1 @@
+lib/pkg/sketch.mli: Eval Ilp Paql Partition Relalg

@@ -1,0 +1,1 @@
+lib/pkg/sketch_refine.ml: Array Eval Float Fun Ilp List Logs Lp Package Paql Partition Refine Relalg Sketch Unix

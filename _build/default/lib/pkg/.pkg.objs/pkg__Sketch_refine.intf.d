@@ -1,0 +1,1 @@
+lib/pkg/sketch_refine.mli: Eval Ilp Paql Partition Relalg

@@ -1,0 +1,12 @@
+(** DIRECT package evaluation (Section 3.2): compute base relations,
+    translate the whole query to one ILP, hand it to the solver. *)
+
+(** [run ?limits spec rel] evaluates the compiled query over [rel].
+    [limits] caps the branch-and-bound search; hitting a limit with no
+    incumbent yields [Eval.Failed] — the analogue of the paper's CPLEX
+    failures on hard instances. *)
+val run :
+  ?limits:Ilp.Branch_bound.limits ->
+  Paql.Translate.spec ->
+  Relalg.Relation.t ->
+  Eval.report

@@ -1,0 +1,47 @@
+type status =
+  | Optimal
+  | Feasible of float
+  | Infeasible
+  | Failed of string
+
+type counters = {
+  mutable ilp_calls : int;
+  mutable nodes : int;
+  mutable simplex_iterations : int;
+  mutable backtracks : int;
+}
+
+let fresh_counters () =
+  { ilp_calls = 0; nodes = 0; simplex_iterations = 0; backtracks = 0 }
+
+let bump c result =
+  let stats = Ilp.Branch_bound.stats_of result in
+  c.ilp_calls <- c.ilp_calls + 1;
+  c.nodes <- c.nodes + stats.Ilp.Branch_bound.nodes;
+  c.simplex_iterations <-
+    c.simplex_iterations + stats.Ilp.Branch_bound.simplex_iterations
+
+type report = {
+  status : status;
+  package : Package.t option;
+  objective : float option;
+  wall_time : float;
+  counters : counters;
+}
+
+let report ~status ~package ~objective ~wall_time ~counters =
+  { status; package; objective; wall_time; counters }
+
+let pp_status ppf = function
+  | Optimal -> Format.pp_print_string ppf "optimal"
+  | Feasible gap -> Format.fprintf ppf "feasible (gap %.2f%%)" (gap *. 100.)
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Failed msg -> Format.fprintf ppf "failed: %s" msg
+
+let pp_report ppf r =
+  Format.fprintf ppf "%a" pp_status r.status;
+  Option.iter (fun o -> Format.fprintf ppf ", obj=%g" o) r.objective;
+  Format.fprintf ppf ", %.3fs, %d ILP call(s), %d node(s)" r.wall_time
+    r.counters.ilp_calls r.counters.nodes;
+  if r.counters.backtracks > 0 then
+    Format.fprintf ppf ", %d backtrack(s)" r.counters.backtracks

@@ -1,0 +1,44 @@
+(** Shared result types and counters for the package evaluation
+    methods (DIRECT and SKETCHREFINE). *)
+
+type status =
+  | Optimal
+      (** every ILP subproblem was solved to proven optimality *)
+  | Feasible of float
+      (** a solver limit was hit; the payload is the worst relative
+          optimality gap observed *)
+  | Infeasible
+  | Failed of string
+      (** the solver gave up with no usable answer — the analogue of
+          the paper's CPLEX failures (memory/time kill) *)
+
+type counters = {
+  mutable ilp_calls : int;
+  mutable nodes : int;
+  mutable simplex_iterations : int;
+  mutable backtracks : int;
+}
+
+val fresh_counters : unit -> counters
+
+(** Accumulate a branch-and-bound run into the counters. *)
+val bump : counters -> Ilp.Branch_bound.result -> unit
+
+type report = {
+  status : status;
+  package : Package.t option;
+  objective : float option;  (** objective incl. constant term *)
+  wall_time : float;         (** seconds *)
+  counters : counters;
+}
+
+val report :
+  status:status ->
+  package:Package.t option ->
+  objective:float option ->
+  wall_time:float ->
+  counters:counters ->
+  report
+
+val pp_status : Format.formatter -> status -> unit
+val pp_report : Format.formatter -> report -> unit

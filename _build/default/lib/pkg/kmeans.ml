@@ -1,0 +1,111 @@
+(* Small deterministic PRNG (xorshift) so that the partitioner does not
+   depend on global Random state. *)
+let next_state s =
+  let s = Int64.logxor s (Int64.shift_left s 13) in
+  let s = Int64.logxor s (Int64.shift_right_logical s 7) in
+  Int64.logxor s (Int64.shift_left s 17)
+
+let create ?(seed = 42) ?(iters = 20) ?tau ~k ~attrs rel =
+  let n = Relalg.Relation.cardinality rel in
+  if n = 0 then invalid_arg "Kmeans.create: empty relation";
+  let k = max 1 (min k n) in
+  let cols =
+    Array.of_list
+      (List.map
+         (fun a ->
+           Array.map
+             (fun v -> if Float.is_nan v then 0. else v)
+             (Relalg.Relation.column_float rel a))
+         attrs)
+  in
+  let dims = Array.length cols in
+  let state = ref (Int64.of_int (seed * 2654435761 + 1)) in
+  let rand_int bound =
+    state := next_state !state;
+    Int64.to_int (Int64.rem (Int64.logand !state Int64.max_int)
+                    (Int64.of_int bound))
+  in
+  (* init: k distinct random rows *)
+  let centers = Array.make_matrix k dims 0. in
+  let chosen = Hashtbl.create k in
+  let c = ref 0 in
+  while !c < k do
+    let row = rand_int n in
+    if not (Hashtbl.mem chosen row) then begin
+      Hashtbl.add chosen row ();
+      for d = 0 to dims - 1 do
+        centers.(!c).(d) <- cols.(d).(row)
+      done;
+      incr c
+    end
+  done;
+  let assignment = Array.make n 0 in
+  let dist2 row center =
+    let acc = ref 0. in
+    for d = 0 to dims - 1 do
+      let diff = cols.(d).(row) -. center.(d) in
+      acc := !acc +. (diff *. diff)
+    done;
+    !acc
+  in
+  let changed = ref true in
+  let it = ref 0 in
+  while !changed && !it < iters do
+    incr it;
+    changed := false;
+    (* assignment step *)
+    for row = 0 to n - 1 do
+      let best = ref assignment.(row) in
+      let best_d = ref (dist2 row centers.(!best)) in
+      for cidx = 0 to k - 1 do
+        let d = dist2 row centers.(cidx) in
+        if d < !best_d then begin
+          best_d := d;
+          best := cidx
+        end
+      done;
+      if !best <> assignment.(row) then begin
+        assignment.(row) <- !best;
+        changed := true
+      end
+    done;
+    (* update step *)
+    let sums = Array.make_matrix k dims 0. and counts = Array.make k 0 in
+    for row = 0 to n - 1 do
+      let cidx = assignment.(row) in
+      counts.(cidx) <- counts.(cidx) + 1;
+      for d = 0 to dims - 1 do
+        sums.(cidx).(d) <- sums.(cidx).(d) +. cols.(d).(row)
+      done
+    done;
+    for cidx = 0 to k - 1 do
+      if counts.(cidx) > 0 then
+        for d = 0 to dims - 1 do
+          centers.(cidx).(d) <- sums.(cidx).(d) /. float_of_int counts.(cidx)
+        done
+    done
+  done;
+  let buckets = Array.make k [] in
+  for row = n - 1 downto 0 do
+    buckets.(assignment.(row)) <- row :: buckets.(assignment.(row))
+  done;
+  let member_sets =
+    Array.to_list buckets
+    |> List.filter (fun l -> l <> [])
+    |> List.map Array.of_list
+  in
+  let member_sets =
+    match tau with
+    | None -> member_sets
+    | Some t ->
+      List.concat_map
+        (fun members ->
+          let sz = Array.length members in
+          if sz <= t then [ members ]
+          else
+            List.init ((sz + t - 1) / t) (fun i ->
+                let start = i * t in
+                Array.sub members start (min t (sz - start))))
+        member_sets
+  in
+  Partition.of_groups ~attrs rel member_sets

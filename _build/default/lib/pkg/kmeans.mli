@@ -1,0 +1,20 @@
+(** Lloyd's k-means as an alternative offline partitioner.
+
+    The paper (Section 4.1, "Alternative partitioning approaches")
+    notes that stock clustering algorithms cannot natively enforce the
+    size threshold or the radius limit; this implementation exists to
+    demonstrate exactly that in the ablation benchmarks. Oversized
+    clusters are optionally re-chunked to honour tau after the fact. *)
+
+(** [create ?seed ?iters ?tau ~k ~attrs rel] clusters on the given
+    numeric attributes. [tau], when given, chunks any cluster larger
+    than the threshold (losing cluster coherence, as the paper
+    predicts). Deterministic for a fixed [seed]. *)
+val create :
+  ?seed:int ->
+  ?iters:int ->
+  ?tau:int ->
+  k:int ->
+  attrs:string list ->
+  Relalg.Relation.t ->
+  Partition.t

@@ -1,0 +1,88 @@
+let run ?(max_combinations = 200_000_000) spec rel ~cardinality =
+  let start = Unix.gettimeofday () in
+  let counters = Eval.fresh_counters () in
+  let candidates = Paql.Translate.base_candidates spec rel in
+  let n = Array.length candidates in
+  let constraints = Array.of_list spec.Paql.Translate.constraints in
+  let ncons = Array.length constraints in
+  (* Per-candidate coefficient matrix, mirroring the values the SQL
+     engine would read from each joined tuple. *)
+  let coeffs =
+    Array.map
+      (fun (c : Paql.Translate.compiled_constraint) ->
+        Array.map
+          (fun row -> c.Paql.Translate.coeff (Relalg.Relation.row rel row))
+          candidates)
+      constraints
+  in
+  let maximize =
+    match Paql.Translate.objective_sense spec with
+    | Lp.Problem.Maximize -> true
+    | Lp.Problem.Minimize -> false
+  in
+  let obj =
+    match spec.Paql.Translate.objective with
+    | Some (_, f, _) ->
+      Array.map (fun row -> f (Relalg.Relation.row rel row)) candidates
+    | None -> Array.make n 0.
+  in
+  let sums = Array.make ncons 0. in
+  let chosen = Array.make cardinality 0 in
+  let best = ref None in
+  let explored = ref 0 in
+  let exception Too_many in
+  (* Enumerate increasing index combinations; constraints are only
+     checked on complete combinations, like a post-join filter. *)
+  let rec enumerate depth first obj_sum =
+    if depth = cardinality then begin
+      incr explored;
+      if !explored > max_combinations then raise Too_many;
+      let ok = ref true in
+      for c = 0 to ncons - 1 do
+        let v = sums.(c) in
+        if
+          v < constraints.(c).Paql.Translate.clo -. 1e-9
+          || v > constraints.(c).Paql.Translate.chi +. 1e-9
+        then ok := false
+      done;
+      if !ok then begin
+        let better =
+          match !best with
+          | None -> true
+          | Some (bobj, _) -> if maximize then obj_sum > bobj else obj_sum < bobj
+        in
+        if better then
+          best := Some (obj_sum, Array.copy chosen)
+      end
+    end
+    else
+      for i = first to n - (cardinality - depth) do
+        chosen.(depth) <- i;
+        for c = 0 to ncons - 1 do
+          sums.(c) <- sums.(c) +. coeffs.(c).(i)
+        done;
+        enumerate (depth + 1) (i + 1) (obj_sum +. obj.(i));
+        for c = 0 to ncons - 1 do
+          sums.(c) <- sums.(c) -. coeffs.(c).(i)
+        done
+      done
+  in
+  let finish status package objective =
+    Eval.report ~status ~package ~objective
+      ~wall_time:(Unix.gettimeofday () -. start)
+      ~counters
+  in
+  match enumerate 0 0 0. with
+  | () -> (
+    match !best with
+    | None -> finish Eval.Infeasible None None
+    | Some (_, idxs) ->
+      let entries = Array.to_list (Array.map (fun i -> (candidates.(i), 1)) idxs) in
+      let p = Package.make rel entries in
+      finish Eval.Optimal (Some p) (Some (Package.objective spec p)))
+  | exception Too_many ->
+    finish
+      (Eval.Failed
+         (Printf.sprintf "enumeration aborted after %d combinations"
+            max_combinations))
+      None None

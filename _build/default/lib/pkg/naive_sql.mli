@@ -1,0 +1,22 @@
+(** The naive SQL self-join formulation of a strict-cardinality package
+    query (Section 2 and Figure 1 of the paper).
+
+    Emulates a relational engine evaluating the k-way self-join
+    [R1.pk < R2.pk < ... < Rk.pk] with the global constraints applied
+    as post-join predicates and the objective as ORDER BY ... LIMIT 1:
+    every increasing k-combination of candidate rows is enumerated and
+    checked. Runtime is Theta(C(n, k)) — exponential in the package
+    cardinality, which is the point of Figure 1. *)
+
+(** [run ?max_combinations spec rel ~cardinality] enumerates packages
+    of exactly [cardinality] distinct tuples. The query's own
+    COUNT constraint (if any) is checked as part of the global
+    predicates. [max_combinations] (default [200_000_000]) bounds the
+    enumeration — exceeding it yields [Eval.Failed], the analogue of
+    the paper's aborted 24-hour runs. *)
+val run :
+  ?max_combinations:int ->
+  Paql.Translate.spec ->
+  Relalg.Relation.t ->
+  cardinality:int ->
+  Eval.report

@@ -1,0 +1,97 @@
+type t = { rel : Relalg.Relation.t; entries : (int * int) list }
+
+let make rel raw =
+  let n = Relalg.Relation.cardinality rel in
+  List.iter
+    (fun (id, c) ->
+      if id < 0 || id >= n then
+        invalid_arg (Printf.sprintf "Package.make: row id %d out of range" id);
+      if c < 0 then invalid_arg "Package.make: negative multiplicity")
+    raw;
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (id, c) ->
+      if c > 0 then
+        Hashtbl.replace tbl id (c + Option.value ~default:0 (Hashtbl.find_opt tbl id)))
+    raw;
+  let entries =
+    Hashtbl.fold (fun id c acc -> (id, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { rel; entries }
+
+let of_solution rel ~candidates x =
+  if Array.length x <> Array.length candidates then
+    invalid_arg "Package.of_solution: arity mismatch";
+  let raw = ref [] in
+  Array.iteri
+    (fun k id ->
+      let c = int_of_float (Float.round x.(k)) in
+      if c > 0 then raw := (id, c) :: !raw)
+    candidates;
+  make rel !raw
+
+let relation p = p.rel
+let entries p = p.entries
+let cardinality p = List.fold_left (fun acc (_, c) -> acc + c) 0 p.entries
+let is_empty p = p.entries = []
+
+let tuples p =
+  List.to_seq p.entries
+  |> Seq.concat_map (fun (id, c) ->
+         Seq.init c (fun _ -> Relalg.Relation.row p.rel id))
+
+let sum_over p f =
+  List.fold_left
+    (fun acc (id, c) ->
+      acc +. (float_of_int c *. f (Relalg.Relation.row p.rel id)))
+    0. p.entries
+
+let objective (spec : Paql.Translate.spec) p =
+  match spec.Paql.Translate.objective with
+  | None -> 0.
+  | Some (_, coeff, const) -> sum_over p coeff +. const
+
+let constraint_values (spec : Paql.Translate.spec) p =
+  Array.of_list
+    (List.map
+       (fun (c : Paql.Translate.compiled_constraint) ->
+         sum_over p c.Paql.Translate.coeff)
+       spec.Paql.Translate.constraints)
+
+let feasible ?(tol = 1e-6) (spec : Paql.Translate.spec) p =
+  let schema = Relalg.Relation.schema p.rel in
+  let base_ok =
+    match spec.Paql.Translate.where with
+    | None -> true
+    | Some pred ->
+      List.for_all
+        (fun (id, _) ->
+          Relalg.Expr.eval_bool schema (Relalg.Relation.row p.rel id) pred)
+        p.entries
+  in
+  let repeat_ok =
+    List.for_all
+      (fun (_, c) -> float_of_int c <= spec.Paql.Translate.max_count +. tol)
+      p.entries
+  in
+  let constraints_ok =
+    List.for_all
+      (fun (c : Paql.Translate.compiled_constraint) ->
+        let v = sum_over p c.Paql.Translate.coeff in
+        v >= c.Paql.Translate.clo -. tol && v <= c.Paql.Translate.chi +. tol)
+      spec.Paql.Translate.constraints
+  in
+  base_ok && repeat_ok && constraints_ok
+
+let materialize p =
+  Relalg.Relation.of_rows (Relalg.Relation.schema p.rel) (List.of_seq (tuples p))
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (id, c) ->
+         if c = 1 then Format.pp_print_int ppf id
+         else Format.fprintf ppf "%dx%d" id c))
+    p.entries

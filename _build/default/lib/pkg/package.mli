@@ -1,0 +1,43 @@
+(** Packages: multisets of tuples from an input relation, identified by
+    row id and multiplicity. The answer objects of package queries. *)
+
+type t
+
+(** [make rel entries] builds a package; entries with zero counts are
+    dropped. @raise Invalid_argument on negative counts or bad ids. *)
+val make : Relalg.Relation.t -> (int * int) list -> t
+
+(** [of_solution rel ~candidates x] converts an ILP solution vector
+    (one entry per candidate row id) into a package, rounding each
+    multiplicity to the nearest integer. *)
+val of_solution : Relalg.Relation.t -> candidates:int array -> float array -> t
+
+val relation : t -> Relalg.Relation.t
+
+(** (row id, multiplicity) pairs, in increasing row id, counts >= 1. *)
+val entries : t -> (int * int) list
+
+val cardinality : t -> int
+val is_empty : t -> bool
+
+(** Tuples with multiplicity. *)
+val tuples : t -> Relalg.Tuple.t Seq.t
+
+(** [objective spec p] evaluates the query's objective on the package
+    (including any constant term); [0.] for queries without an
+    objective clause. *)
+val objective : Paql.Translate.spec -> t -> float
+
+(** [feasible spec p] checks base predicates, repetition bounds and all
+    global constraints. *)
+val feasible : ?tol:float -> Paql.Translate.spec -> t -> bool
+
+(** [constraint_values spec p] evaluates each compiled constraint's
+    linear form on the package (for diagnostics and tests). *)
+val constraint_values : Paql.Translate.spec -> t -> float array
+
+(** Materialize as a relation (one row per multiplicity unit) — the
+    paper's representation of a package as a standard relation. *)
+val materialize : t -> Relalg.Relation.t
+
+val pp : Format.formatter -> t -> unit

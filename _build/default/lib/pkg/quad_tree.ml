@@ -1,0 +1,137 @@
+type node = {
+  members : int array;
+  centroid : float array;
+  radius : float;
+  children : node list;
+}
+
+type t = { tattrs : string list; root : node option }
+
+let attrs t = t.tattrs
+
+let size t =
+  let rec count node =
+    1 + List.fold_left (fun acc c -> acc + count c) 0 node.children
+  in
+  match t.root with None -> 0 | Some root -> count root
+
+let load_columns rel attrs =
+  List.map
+    (fun a ->
+      Array.map
+        (fun v -> if Float.is_nan v then 0. else v)
+        (Relalg.Relation.column_float rel a))
+    attrs
+  |> Array.of_list
+
+let centroid_and_radius cols members =
+  let k = Array.length cols in
+  let centroid = Array.make k 0. in
+  let n = float_of_int (Array.length members) in
+  Array.iteri
+    (fun d col ->
+      let s = ref 0. in
+      Array.iter (fun row -> s := !s +. col.(row)) members;
+      centroid.(d) <- !s /. n)
+    cols;
+  let radius = ref 0. in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun d col ->
+          let dist = Float.abs (col.(row) -. centroid.(d)) in
+          if dist > !radius then radius := dist)
+        cols)
+    members;
+  centroid, !radius
+
+(* scale-invariant dimension choice, as in Partition.split_quadrants *)
+let global_ranges cols =
+  Array.map
+    (fun col ->
+      let lo = ref infinity and hi = ref neg_infinity in
+      Array.iter
+        (fun v ->
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        col;
+      let r = !hi -. !lo in
+      if r > 0. then r else 1.)
+    cols
+
+let split ~max_dims ~ranges cols centroid members =
+  let k = Array.length cols in
+  let spread = Array.make k 0. in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun d col ->
+          let dist = Float.abs (col.(row) -. centroid.(d)) /. ranges.(d) in
+          if dist > spread.(d) then spread.(d) <- dist)
+        cols)
+    members;
+  let order = Array.init k Fun.id in
+  Array.sort (fun a b -> compare spread.(b) spread.(a)) order;
+  let dims = Array.sub order 0 (min max_dims k) in
+  let buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun row ->
+      let mask = ref 0 in
+      Array.iteri
+        (fun bit d ->
+          if cols.(d).(row) >= centroid.(d) then mask := !mask lor (1 lsl bit))
+        dims;
+      match Hashtbl.find_opt buckets !mask with
+      | Some l -> l := row :: !l
+      | None -> Hashtbl.add buckets !mask (ref [ row ]))
+    members;
+  Hashtbl.fold (fun _ l acc -> Array.of_list (List.rev !l) :: acc) buckets []
+
+let build ?(max_fanout_dims = 2) ~leaf_size ~attrs rel =
+  if leaf_size < 1 then invalid_arg "Quad_tree.build: leaf_size must be >= 1";
+  if attrs = [] then invalid_arg "Quad_tree.build: no partitioning attributes";
+  let cols = load_columns rel attrs in
+  let ranges = global_ranges cols in
+  let rec grow members =
+    let centroid, radius = centroid_and_radius cols members in
+    if Array.length members <= leaf_size then
+      { members; centroid; radius; children = [] }
+    else begin
+      let subs = split ~max_dims:max_fanout_dims ~ranges cols centroid members in
+      match subs with
+      | [ single ] when Array.length single = Array.length members ->
+        (* indistinguishable points: chunk into leaf_size pieces *)
+        let n = Array.length members in
+        let pieces = (n + leaf_size - 1) / leaf_size in
+        let children =
+          List.init pieces (fun i ->
+              let start = i * leaf_size in
+              let piece = Array.sub members start (min leaf_size (n - start)) in
+              let c, r = centroid_and_radius cols piece in
+              { members = piece; centroid = c; radius = r; children = [] })
+        in
+        { members; centroid; radius; children }
+      | subs ->
+        { members; centroid; radius; children = List.map grow subs }
+    end
+  in
+  let n = Relalg.Relation.cardinality rel in
+  {
+    tattrs = attrs;
+    root = (if n = 0 then None else Some (grow (Array.init n Fun.id)));
+  }
+
+let cut ?(tau = max_int) ?(radius = Partition.No_radius) t rel =
+  let rec collect node acc =
+    let ok =
+      Array.length node.members <= tau
+      && Partition.radius_ok radius ~centroid:node.centroid
+           ~radius:node.radius
+    in
+    if ok || node.children = [] then node.members :: acc
+    else List.fold_left (fun acc c -> collect c acc) acc node.children
+  in
+  let member_sets =
+    match t.root with None -> [] | Some root -> List.rev (collect root [])
+  in
+  Partition.of_groups ~attrs:t.tattrs rel member_sets

@@ -1,0 +1,36 @@
+(** Dynamic partitioning (Section 4.1, "Dynamic partitioning"): build
+    the quad-tree once, retain the whole hierarchy, and at query time
+    traverse it to extract the coarsest partitioning that satisfies a
+    required radius condition (e.g. the Theorem 3 radius for the
+    query's epsilon and sense).
+
+    The static {!Partition.create} discards the hierarchy and bakes one
+    tau/radius combination in; this module trades memory for the
+    ability to serve per-query radius conditions from one offline
+    build. The paper found static partitioning sufficient in practice
+    (Section 4.1) — the benchmarks include an ablation comparing the
+    two. *)
+
+type t
+
+val attrs : t -> string list
+
+(** Number of nodes retained in the hierarchy. *)
+val size : t -> int
+
+(** [build ?max_fanout_dims ~leaf_size ~attrs rel] recursively splits
+    down to groups of at most [leaf_size] tuples, keeping every
+    internal level. [max_fanout_dims] as in {!Partition.create}. *)
+val build :
+  ?max_fanout_dims:int -> leaf_size:int -> attrs:string list ->
+  Relalg.Relation.t -> t
+
+(** [cut ?tau ?radius tree rel] extracts the coarsest antichain of
+    nodes satisfying both conditions: nodes larger than [tau] or
+    violating [radius] are replaced by their children; leaves are
+    accepted as-is (they satisfy [leaf_size] <= tau by construction
+    when [tau >= leaf_size]). The result is an ordinary
+    {!Partition.t}, ready for SketchRefine. *)
+val cut :
+  ?tau:int -> ?radius:Partition.radius_spec -> t -> Relalg.Relation.t ->
+  Partition.t

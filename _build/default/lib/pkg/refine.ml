@@ -1,0 +1,197 @@
+type result =
+  | Refined of Package.t
+  | Refine_infeasible
+  | Refine_failed of string
+
+exception Deadline
+exception Solver_failure of string
+exception Budget_exhausted
+
+(* Mutable refinement state: a group is either still represented by
+   [rep_counts.(j)] copies of its representative, or fixed to original
+   tuples [refined.(j) = Some entries]. *)
+type state = {
+  ctx : Sketch.ctx;
+  rep_counts : float array;
+  refined : (int * int) list option array;
+}
+
+let constraints st = st.ctx.Sketch.spec.Paql.Translate.constraints
+
+(* Contribution of group [j]'s current contents to constraint [c]. *)
+let group_contribution st j (c : Paql.Translate.compiled_constraint) =
+  match st.refined.(j) with
+  | Some entries ->
+    List.fold_left
+      (fun acc (row, cnt) ->
+        acc
+        +. float_of_int cnt
+           *. c.Paql.Translate.coeff (Relalg.Relation.row st.ctx.Sketch.rel row))
+      0. entries
+  | None ->
+    if st.rep_counts.(j) = 0. then 0.
+    else
+      st.rep_counts.(j)
+      *. c.Paql.Translate.coeff
+           (Relalg.Relation.row st.ctx.Sketch.part.Partition.reps j)
+
+(* Aggregates of the partial package p-bar_j (everything but group j),
+   which offset the refine query's constraint bounds. *)
+let offsets_excluding st j =
+  let m = Partition.num_groups st.ctx.Sketch.part in
+  Array.of_list
+    (List.map
+       (fun c ->
+         let acc = ref 0. in
+         for i = 0 to m - 1 do
+           if i <> j then acc := !acc +. group_contribution st i c
+         done;
+         !acc)
+       (constraints st))
+
+(* Solve the refine query Q[Gj]: pick original tuples from group j that
+   combine with the rest of the package to satisfy the query. *)
+let refine_query ?limits ~deadline st counters j =
+  (match deadline with
+  | Some d when Unix.gettimeofday () > d -> raise Deadline
+  | _ -> ());
+  let candidates = st.ctx.Sketch.cand.(j) in
+  let offsets = offsets_excluding st j in
+  let problem =
+    Paql.Translate.to_problem ~offsets
+      { st.ctx.Sketch.spec with Paql.Translate.where = None }
+      st.ctx.Sketch.rel ~candidates
+  in
+  let result = Ilp.Branch_bound.solve ?limits problem in
+  Eval.bump counters result;
+  match result with
+  | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
+    ->
+    let entries = ref [] in
+    Array.iteri
+      (fun k row ->
+        let c = int_of_float (Float.round sol.Ilp.Branch_bound.x.(k)) in
+        if c > 0 then entries := (row, c) :: !entries)
+      candidates;
+    `Feasible (List.rev !entries)
+  | Ilp.Branch_bound.Infeasible _ -> `Infeasible
+  | Ilp.Branch_bound.Unbounded _ -> `Failed "refine query unbounded"
+  | Ilp.Branch_bound.Limit _ -> `Failed "refine query hit solver limit"
+
+(* Algorithm 2. [todo] holds every group still carrying representatives.
+   Each loop iteration speculatively refines one group and recurses on
+   the rest; a child failure undoes the choice and reorders the
+   remaining alternatives so that non-refinable groups come first. At a
+   non-root level the first infeasible refine query aborts the level
+   (the paper's line 17); at the root we keep trying other first
+   groups. The per-level queue only shrinks, so the search is finite
+   (worst case, all orderings — as the paper notes). [budget] caps the
+   total number of failed refine queries: greedy backtracking is
+   worst-case factorial, and past the budget we declare (possibly
+   false) infeasibility so the caller can fall back to the hybrid
+   sketch, which re-anchors the search on real tuples. *)
+let rec refine_level ?limits ~deadline ~budget ~at_root st counters todo =
+  match todo with
+  | [] -> Ok ()
+  | _ ->
+    let failed = ref [] in
+    let queue = ref todo in
+    let result = ref None in
+    while !result = None && !queue <> [] do
+      let j, rest =
+        match !queue with j :: rest -> j, rest | [] -> assert false
+      in
+      queue := rest;
+      match refine_query ?limits ~deadline st counters j with
+      | `Failed msg -> raise (Solver_failure msg)
+      | `Infeasible ->
+        counters.Eval.backtracks <- counters.Eval.backtracks + 1;
+        if counters.Eval.backtracks > budget then raise Budget_exhausted;
+        failed := j :: !failed;
+        if not at_root then result := Some (Error !failed)
+      | `Feasible entries -> (
+        let saved_rep = st.rep_counts.(j) in
+        st.refined.(j) <- Some entries;
+        st.rep_counts.(j) <- 0.;
+        let child_todo = List.filter (fun g -> g <> j) todo in
+        match
+          refine_level ?limits ~deadline ~budget ~at_root:false st counters
+            child_todo
+        with
+        | Ok () -> result := Some (Ok ())
+        | Error f ->
+          (* undo the speculative refinement and greedily prioritize
+             the groups that could not be refined below *)
+          st.refined.(j) <- None;
+          st.rep_counts.(j) <- saved_rep;
+          failed := f @ !failed;
+          let prioritized, others =
+            List.partition (fun g -> List.mem g f) !queue
+          in
+          queue := prioritized @ others)
+    done;
+    (match !result with Some r -> r | None -> Error !failed)
+
+type snapshot = {
+  srep_counts : float array;
+  srefined : (int * int) list option array;
+}
+
+let state_of_snapshot ctx snapshot =
+  {
+    ctx;
+    rep_counts = snapshot.srep_counts;
+    refined = snapshot.srefined;
+  }
+
+let solve_group ?limits ctx counters snapshot j =
+  refine_query ?limits ~deadline:None (state_of_snapshot ctx snapshot)
+    counters j
+
+let totals ctx snapshot =
+  let st = state_of_snapshot ctx snapshot in
+  let m = Partition.num_groups ctx.Sketch.part in
+  Array.of_list
+    (List.map
+       (fun c ->
+         let acc = ref 0. in
+         for i = 0 to m - 1 do
+           acc := !acc +. group_contribution st i c
+         done;
+         !acc)
+       (constraints st))
+
+let within_bounds ?(tol = 1e-6) ctx values =
+  List.for_all2
+    (fun (c : Paql.Translate.compiled_constraint) v ->
+      v >= c.Paql.Translate.clo -. tol && v <= c.Paql.Translate.chi +. tol)
+    ctx.Sketch.spec.Paql.Translate.constraints
+    (Array.to_list values)
+
+let run ?limits ?deadline ?(max_backtracks = 256) ctx counters ~rep_counts
+    ~refined =
+  let st = { ctx; rep_counts; refined } in
+  let budget = counters.Eval.backtracks + max_backtracks in
+  let m = Partition.num_groups ctx.Sketch.part in
+  (* Refine biggest representative multiplicities first: they constrain
+     the remaining groups the most. (The initial order is arbitrary per
+     the paper; this deterministic choice keeps runs reproducible.) *)
+  let todo =
+    List.filter
+      (fun j -> st.refined.(j) = None && st.rep_counts.(j) > 0.)
+      (List.init m Fun.id)
+    |> List.sort (fun a b -> compare st.rep_counts.(b) st.rep_counts.(a))
+  in
+  match
+    refine_level ?limits ~deadline ~budget ~at_root:true st counters todo
+  with
+  | Ok () ->
+    let entries =
+      Array.to_list st.refined
+      |> List.concat_map (function Some e -> e | None -> [])
+    in
+    Refined (Package.make ctx.Sketch.rel entries)
+  | Error _ -> Refine_infeasible
+  | exception Deadline -> Refine_failed "refinement deadline exceeded"
+  | exception Budget_exhausted -> Refine_infeasible
+  | exception Solver_failure msg -> Refine_failed msg

@@ -1,0 +1,60 @@
+(** The REFINE step with greedy backtracking (Section 4.2.2,
+    Algorithm 2): replace each group's representatives with original
+    tuples, one group at a time, by solving a per-group ILP whose
+    bounds are offset by the aggregates of the rest of the current
+    package. On an infeasible refine query the algorithm backtracks,
+    reordering so that previously non-refinable groups go first. *)
+
+type result =
+  | Refined of Package.t
+  | Refine_infeasible
+      (** greedy backtracking exhausted every ordering *)
+  | Refine_failed of string  (** solver limit or deadline *)
+
+(** [run ?limits ?deadline ctx counters ~rep_counts ~refined] completes
+    the sketch package described by [rep_counts] (per-group
+    representative multiplicities) and [refined] (groups already fixed
+    to original tuples, e.g. by the hybrid sketch query).
+    [deadline] is an absolute [Unix.gettimeofday] instant; exceeding it
+    yields [Refine_failed]. Backtracking events are counted in
+    [counters.backtracks]; more than [max_backtracks] of them (default
+    256, greedy backtracking is worst-case factorial) yields
+    [Refine_infeasible] so the caller can fall back to the hybrid
+    sketch. *)
+val run :
+  ?limits:Ilp.Branch_bound.limits ->
+  ?deadline:float ->
+  ?max_backtracks:int ->
+  Sketch.ctx ->
+  Eval.counters ->
+  rep_counts:float array ->
+  refined:(int * int) list option array ->
+  result
+
+(** {1 Low-level pieces for the parallel driver ({!Parallel})} *)
+
+(** A package assignment: per-group representative multiplicities and
+    already-refined original-tuple choices. *)
+type snapshot = {
+  srep_counts : float array;
+  srefined : (int * int) list option array;
+}
+
+(** [solve_group ?limits ctx counters snapshot j] solves the refine
+    query Q[Gj] against the given assignment (everything except group
+    [j] contributes offsets). *)
+val solve_group :
+  ?limits:Ilp.Branch_bound.limits ->
+  Sketch.ctx ->
+  Eval.counters ->
+  snapshot ->
+  int ->
+  [ `Feasible of (int * int) list | `Infeasible | `Failed of string ]
+
+(** [totals ctx snapshot] is the value of each global constraint's
+    linear form under the assignment (representatives included). *)
+val totals : Sketch.ctx -> snapshot -> float array
+
+(** [within_bounds ctx values] checks the per-constraint values against
+    the query's bounds. *)
+val within_bounds : ?tol:float -> Sketch.ctx -> float array -> bool

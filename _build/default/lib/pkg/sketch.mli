@@ -1,0 +1,32 @@
+(** The SKETCH step (Section 4.2.1): solve the package query over the
+    representative relation, with per-representative multiplicity caps
+    of [|Gj| * (1 + K)] accounting for the repetition constraint. *)
+
+(** Evaluation context shared by SKETCH and REFINE: per-group candidate
+    rows (base-predicate filtered) and representative caps. Groups
+    whose candidates were all filtered out get a zero cap, so their
+    representatives can never be picked. *)
+type ctx = {
+  spec : Paql.Translate.spec;
+  rel : Relalg.Relation.t;
+  part : Partition.t;
+  cand : int array array;  (** per-group candidate row ids *)
+  caps : float array;      (** per-group sketch multiplicity cap *)
+}
+
+val make_ctx :
+  Paql.Translate.spec -> Relalg.Relation.t -> Partition.t -> ctx
+
+type result =
+  | Sketched of float array
+      (** per-group multiplicity of each representative *)
+  | Sketch_infeasible
+  | Sketch_failed of string
+
+(** [run ?limits ctx counters] solves the sketch query [Q[R~]]. *)
+val run :
+  ?limits:Ilp.Branch_bound.limits -> ctx -> Eval.counters -> result
+
+(** [group_counts ctx x ~groups] maps an ILP solution over the listed
+    group ids back to a per-group (all groups) count array. *)
+val group_counts : ctx -> float array -> groups:int array -> float array

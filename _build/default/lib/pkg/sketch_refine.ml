@@ -1,0 +1,217 @@
+let src = Logs.Src.create "pkgq.sketchrefine" ~doc:"SketchRefine evaluation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type fallback = Hybrid_sketch | Drop_attributes | Merge_groups
+
+type options = {
+  limits : Ilp.Branch_bound.limits;
+  max_seconds : float;
+  fallbacks : fallback list;
+}
+
+let default_options =
+  {
+    limits = Ilp.Branch_bound.default_limits;
+    max_seconds = 3600.;
+    fallbacks = [ Hybrid_sketch ];
+  }
+
+(* Hybrid sketch query (Section 4.4.1): original tuples for group [j],
+   representatives (with caps) for every other group, in one ILP. On
+   success the package is already refined on [j]. *)
+let hybrid_sketch ?limits (ctx : Sketch.ctx) counters j =
+  let rel = ctx.Sketch.rel in
+  let reps = ctx.Sketch.part.Partition.reps in
+  let spec = { ctx.Sketch.spec with Paql.Translate.where = None } in
+  let own = ctx.Sketch.cand.(j) in
+  let n_own = Array.length own in
+  let m = Partition.num_groups ctx.Sketch.part in
+  let other_groups =
+    Array.of_list
+      (List.filter (fun g -> g <> j && ctx.Sketch.caps.(g) > 0.)
+         (List.init m Fun.id))
+  in
+  (* Build a combined ILP by hand: the tuple sources differ per block,
+     so we cannot reuse Translate.to_problem directly. *)
+  let tuple_of k =
+    if k < n_own then Relalg.Relation.row rel own.(k)
+    else Relalg.Relation.row reps other_groups.(k - n_own)
+  in
+  let cap k =
+    if k < n_own then spec.Paql.Translate.max_count
+    else ctx.Sketch.caps.(other_groups.(k - n_own))
+  in
+  let total = n_own + Array.length other_groups in
+  let obj_fn =
+    match spec.Paql.Translate.objective with
+    | Some (_, f, _) -> f
+    | None -> fun _ -> 0.
+  in
+  let vars =
+    List.init total (fun k ->
+        Lp.Problem.var ~integer:true ~lo:0. ~hi:(cap k) (obj_fn (tuple_of k)))
+  in
+  let rows =
+    List.map
+      (fun (c : Paql.Translate.compiled_constraint) ->
+        let coeffs = ref [] in
+        for k = total - 1 downto 0 do
+          let a = c.Paql.Translate.coeff (tuple_of k) in
+          if a <> 0. then coeffs := (k, a) :: !coeffs
+        done;
+        Lp.Problem.row !coeffs ~lo:c.Paql.Translate.clo
+          ~hi:c.Paql.Translate.chi)
+      spec.Paql.Translate.constraints
+  in
+  let sense = Paql.Translate.objective_sense spec in
+  let problem = Lp.Problem.make ~sense ~vars ~rows in
+  let result = Ilp.Branch_bound.solve ?limits problem in
+  Eval.bump counters result;
+  match result with
+  | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
+    ->
+    let x = sol.Ilp.Branch_bound.x in
+    let entries = ref [] in
+    for k = 0 to n_own - 1 do
+      let c = int_of_float (Float.round x.(k)) in
+      if c > 0 then entries := (own.(k), c) :: !entries
+    done;
+    let rep_counts = Array.make m 0. in
+    Array.iteri
+      (fun i g -> rep_counts.(g) <- Float.round x.(n_own + i))
+      other_groups;
+    Some (List.rev !entries, rep_counts)
+  | Ilp.Branch_bound.Infeasible _ | Ilp.Branch_bound.Unbounded _
+  | Ilp.Branch_bound.Limit _ ->
+    None
+
+(* Partitioning attributes implicated by an IIS of the sketch ILP
+   (Section 4.4.3). *)
+let iis_attrs (ctx : Sketch.ctx) =
+  let m = Partition.num_groups ctx.Sketch.part in
+  let groups =
+    Array.of_list
+      (List.filter (fun g -> ctx.Sketch.caps.(g) > 0.) (List.init m Fun.id))
+  in
+  let problem =
+    Paql.Translate.to_problem
+      ~var_hi:(fun k -> ctx.Sketch.caps.(groups.(k)))
+      { ctx.Sketch.spec with Paql.Translate.where = None }
+      ctx.Sketch.part.Partition.reps ~candidates:groups
+  in
+  match Ilp.Iis.rows problem with
+  | None -> []
+  | Some rows ->
+    let constraints = Array.of_list ctx.Sketch.spec.Paql.Translate.constraints in
+    List.concat_map
+      (fun i ->
+        if i < Array.length constraints then
+          constraints.(i).Paql.Translate.cattrs
+        else [])
+      rows
+
+(* Merge the smallest groups pairwise, halving the group count
+   (Section 4.4.4). *)
+let merge_groups (part : Partition.t) rel =
+  let sets =
+    Array.to_list part.Partition.groups
+    |> List.map (fun (g : Partition.group) -> g.Partition.members)
+    |> List.sort (fun a b -> compare (Array.length a) (Array.length b))
+  in
+  let rec pair = function
+    | a :: b :: rest -> Array.append a b :: pair rest
+    | [ a ] -> [ a ]
+    | [] -> []
+  in
+  Partition.of_groups ~attrs:part.Partition.attrs rel (pair sets)
+
+let run ?(options = default_options) spec rel partition =
+  let start = Unix.gettimeofday () in
+  let deadline = start +. options.max_seconds in
+  let counters = Eval.fresh_counters () in
+  let finish status package objective =
+    Eval.report ~status ~package ~objective
+      ~wall_time:(Unix.gettimeofday () -. start)
+      ~counters
+  in
+  let out_of_time () = Unix.gettimeofday () > deadline in
+  (* One sketch+refine attempt over a given partitioning. [on_infeasible]
+     receives the context so fallbacks can inspect it. *)
+  let rec attempt part ~fallbacks =
+    let ctx = Sketch.make_ctx spec rel part in
+    let m = Partition.num_groups part in
+    Log.debug (fun k -> k "attempt: %d groups, fallbacks=%d" m
+                  (List.length fallbacks));
+    let refine_from ~rep_counts ~refined ~on_infeasible =
+      match
+        Refine.run ~limits:options.limits ~deadline ctx counters ~rep_counts
+          ~refined
+      with
+      | Refine.Refined p ->
+        finish Eval.Optimal (Some p) (Some (Package.objective spec p))
+      | Refine.Refine_infeasible -> on_infeasible ()
+      | Refine.Refine_failed msg -> finish (Eval.Failed msg) None None
+    in
+    let rec try_hybrid j ~on_exhausted =
+      if j >= m then on_exhausted ()
+      else if out_of_time () then
+        finish (Eval.Failed "deadline exceeded during hybrid sketch") None None
+      else if ctx.Sketch.caps.(j) <= 0. then try_hybrid (j + 1) ~on_exhausted
+      else
+        match hybrid_sketch ~limits:options.limits ctx counters j with
+        | Some (entries, rep_counts) ->
+          let refined = Array.make m None in
+          refined.(j) <- Some entries;
+          rep_counts.(j) <- 0.;
+          refine_from ~rep_counts ~refined ~on_infeasible:(fun () ->
+              try_hybrid (j + 1) ~on_exhausted)
+        | None -> try_hybrid (j + 1) ~on_exhausted
+    in
+    (* Fallback ladder: each strategy either produces a report or
+       delegates to the rest of the ladder. *)
+    let rec fallback_chain = function
+      | [] -> finish Eval.Infeasible None None
+      | _ when out_of_time () ->
+        finish (Eval.Failed "deadline exceeded during fallbacks") None None
+      | Hybrid_sketch :: rest ->
+        Log.info (fun k -> k "falling back: hybrid sketch queries");
+        try_hybrid 0 ~on_exhausted:(fun () -> fallback_chain rest)
+      | Drop_attributes :: rest -> (
+        Log.info (fun k -> k "falling back: IIS-guided attribute dropping");
+        match iis_attrs ctx with
+        | [] -> fallback_chain rest
+        | bad ->
+          let remaining =
+            List.filter
+              (fun a -> not (List.mem a bad))
+              part.Partition.attrs
+          in
+          if remaining = [] || List.length remaining = List.length part.Partition.attrs
+          then fallback_chain rest
+          else begin
+            let tau = max 1 (Partition.max_group_size part) in
+            let coarser = Partition.create ~tau ~attrs:remaining rel in
+            (* retry once with the projected partitioning; do not
+               re-enter Drop_attributes *)
+            attempt coarser ~fallbacks:rest
+          end)
+      | Merge_groups :: rest ->
+        Log.info (fun k -> k "falling back: merging %d groups pairwise" m);
+        if m <= 1 then fallback_chain rest
+        else
+          (* halve the group count and retry, keeping Merge_groups in
+             the ladder: the recursion bottoms out at one group, where
+             the hybrid/refine query is the original problem *)
+          attempt (merge_groups part rel) ~fallbacks:(Hybrid_sketch :: Merge_groups :: rest)
+    in
+    match Sketch.run ~limits:options.limits ctx counters with
+    | Sketch.Sketched rep_counts ->
+      refine_from ~rep_counts ~refined:(Array.make m None)
+        ~on_infeasible:(fun () -> fallback_chain fallbacks)
+    | Sketch.Sketch_failed msg -> finish (Eval.Failed msg) None None
+    | Sketch.Sketch_infeasible ->
+      Log.info (fun k -> k "sketch query infeasible");
+      fallback_chain fallbacks
+  in
+  attempt partition ~fallbacks:options.fallbacks

@@ -1,0 +1,45 @@
+(** SKETCHREFINE (Algorithm 1): sketch over the representatives, then
+    refine group by group, with the false-infeasibility fallback
+    strategies of Section 4.4.
+
+    When the sketch query or the greedy backtracking refinement report
+    (possibly false) infeasibility, the configured fallbacks run in
+    order:
+
+    - {b Hybrid_sketch} (4.4.1): one group contributes original tuples
+      while the rest stay represented, tried group by group — the
+      strategy the paper's experiments use.
+    - {b Drop_attributes} (4.4.3): extract an IIS of the sketch ILP,
+      drop the partitioning attributes implicated by it, re-partition
+      coarser and retry (groups merge, so previously infeasible
+      sub-queries can become feasible).
+    - {b Merge_groups} (4.4.4): iteratively merge the smallest groups
+      pairwise and retry; in the limit of one group the refine/hybrid
+      query {e is} the original problem, so this brute-force ladder is
+      complete for feasible queries (at DIRECT's cost).
+
+    Reporting [Infeasible] after the fallbacks may still be a false
+    negative, with the low, selectivity-bounded probability of
+    Theorem 4. *)
+
+type fallback = Hybrid_sketch | Drop_attributes | Merge_groups
+
+type options = {
+  limits : Ilp.Branch_bound.limits;  (** per-ILP-call solver budget *)
+  max_seconds : float;               (** overall wall-clock budget *)
+  fallbacks : fallback list;
+      (** tried in order on false infeasibility; default
+          [[Hybrid_sketch]], matching the paper's setup *)
+}
+
+val default_options : options
+
+(** [run ?options spec rel partition] evaluates the compiled query.
+    The partition must have been built over [rel] (or a superset
+    restricted with {!Partition.restrict_prefix}). *)
+val run :
+  ?options:options ->
+  Paql.Translate.spec ->
+  Relalg.Relation.t ->
+  Partition.t ->
+  Eval.report

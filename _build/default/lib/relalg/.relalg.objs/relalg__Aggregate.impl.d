@@ -1,0 +1,1 @@
+lib/relalg/aggregate.ml: Array Expr Format Relation Schema Seq Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/csv.ml: Array Buffer Fun List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/expr.ml: Format Hashtbl List Printf Result Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/group_by.ml: Array Float Hashtbl List Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/group_by.mli: Relation Tuple

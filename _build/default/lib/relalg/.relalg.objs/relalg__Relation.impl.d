@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Array Expr Format List Printf Schema Seq Tuple Value

@@ -1,0 +1,140 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let field_to_string v =
+  match v with
+  | Value.Null -> ""
+  | Value.Str s -> if needs_quoting s then quote s else s
+  (* floats must round-trip exactly; the display printer (%g) is lossy *)
+  | Value.Float f -> Printf.sprintf "%.17g" f
+  | v -> Value.to_string v
+
+let ty_of_string = function
+  | "int" -> Value.TInt
+  | "float" -> Value.TFloat
+  | "str" -> Value.TStr
+  | "bool" -> Value.TBool
+  | s -> invalid_arg ("Csv: unknown type " ^ s)
+
+let to_buffer buf r =
+  let schema = Relation.schema r in
+  let header =
+    String.concat ","
+      (List.map
+         (fun (a : Schema.attr) ->
+           Printf.sprintf "%s:%s" a.name (Value.ty_name a.ty))
+         (Schema.attrs schema))
+  in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun _ t ->
+      let n = Tuple.arity t in
+      for i = 0 to n - 1 do
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (field_to_string (Tuple.get t i))
+      done;
+      Buffer.add_char buf '\n')
+    r
+
+let to_string r =
+  let buf = Buffer.create 4096 in
+  to_buffer buf r;
+  Buffer.contents buf
+
+let write path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string r))
+
+(* A small state machine handling quoted fields with embedded commas,
+   doubled quotes and newlines. *)
+let split_records s =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let push_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let push_record () =
+    push_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let n = String.length s in
+  let rec plain i =
+    if i >= n then (if !fields <> [] || Buffer.length buf > 0 then push_record ())
+    else
+      match s.[i] with
+      | ',' ->
+        push_field ();
+        plain (i + 1)
+      | '\n' ->
+        push_record ();
+        plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then invalid_arg "Csv: unterminated quoted field"
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !records
+
+let of_string s =
+  match split_records s with
+  | [] -> invalid_arg "Csv: empty input"
+  | header :: rows ->
+    let attrs =
+      List.map
+        (fun f ->
+          match String.index_opt f ':' with
+          | Some i ->
+            {
+              Schema.name = String.sub f 0 i;
+              ty =
+                ty_of_string (String.sub f (i + 1) (String.length f - i - 1));
+            }
+          | None -> { Schema.name = f; ty = Value.TStr })
+        header
+    in
+    let schema = Schema.make attrs in
+    let tys = Array.of_list (List.map (fun (a : Schema.attr) -> a.ty) attrs) in
+    let parse_row fields =
+      let fields = Array.of_list fields in
+      if Array.length fields <> Array.length tys then
+        invalid_arg "Csv: row arity does not match header";
+      Array.mapi (fun i f -> Value.of_string tys.(i) f) fields
+    in
+    Relation.of_rows schema (List.map parse_row rows)
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

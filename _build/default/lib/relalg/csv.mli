@@ -1,0 +1,11 @@
+(** Minimal CSV persistence for relations. The first line is a header of
+    [name:type] fields (types: int, float, str, bool); empty fields read
+    back as NULL (consequently an empty string value also reads back
+    as NULL — the one lossy case of this encoding). Fields containing commas/quotes/newlines are quoted. *)
+
+val write : string -> Relation.t -> unit
+val read : string -> Relation.t
+
+(** String-based variants used by tests. *)
+val to_string : Relation.t -> string
+val of_string : string -> Relation.t

@@ -1,0 +1,192 @@
+type binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Attr of string
+  | Binop of binop * t * t
+  | Neg of t
+  | Cmp of cmp * t * t
+  | Between of t * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | IsNull of t
+  | IsNotNull of t
+
+let arith op a b =
+  match a, b with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Add -> Value.Int (x + y)
+    | Sub -> Value.Int (x - y)
+    | Mul -> Value.Int (x * y)
+    | Div -> Value.Float (float_of_int x /. float_of_int y))
+  | _ ->
+    let x = Value.to_float a and y = Value.to_float b in
+    let r =
+      match op with
+      | Add -> x +. y
+      | Sub -> x -. y
+      | Mul -> x *. y
+      | Div -> x /. y
+    in
+    Value.Float r
+
+(* SQL equality: strings and booleans compare with =, numerics numerically;
+   comparing a string to a number is a type error surfaced by [check]. *)
+let compare_values cmp a b =
+  match Value.compare_sql a b with
+  | None -> Value.Null
+  | Some c ->
+    let r =
+      match cmp with
+      | Eq -> c = 0
+      | Neq -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0
+    in
+    Value.Bool r
+
+(* Three-valued logic for AND/OR/NOT. *)
+let tv_and a b =
+  match a, b with
+  | Value.Bool false, _ | _, Value.Bool false -> Value.Bool false
+  | Value.Bool true, Value.Bool true -> Value.Bool true
+  | _ -> Value.Null
+
+let tv_or a b =
+  match a, b with
+  | Value.Bool true, _ | _, Value.Bool true -> Value.Bool true
+  | Value.Bool false, Value.Bool false -> Value.Bool false
+  | _ -> Value.Null
+
+let tv_not = function
+  | Value.Bool b -> Value.Bool (not b)
+  | _ -> Value.Null
+
+let rec eval schema tuple e =
+  match e with
+  | Const v -> v
+  | Attr name -> Tuple.field schema tuple name
+  | Binop (op, a, b) -> arith op (eval schema tuple a) (eval schema tuple b)
+  | Neg a -> arith Sub (Value.Int 0) (eval schema tuple a)
+  | Cmp (c, a, b) -> compare_values c (eval schema tuple a) (eval schema tuple b)
+  | Between (e, lo, hi) ->
+    let v = eval schema tuple e in
+    tv_and
+      (compare_values Ge v (eval schema tuple lo))
+      (compare_values Le v (eval schema tuple hi))
+  | And (a, b) -> tv_and (eval schema tuple a) (eval schema tuple b)
+  | Or (a, b) -> tv_or (eval schema tuple a) (eval schema tuple b)
+  | Not a -> tv_not (eval schema tuple a)
+  | IsNull a -> Value.Bool (Value.is_null (eval schema tuple a))
+  | IsNotNull a -> Value.Bool (not (Value.is_null (eval schema tuple a)))
+
+let eval_bool schema tuple e =
+  match eval schema tuple e with Value.Bool true -> true | _ -> false
+
+let attrs e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Attr n ->
+      if not (Hashtbl.mem seen n) then begin
+        Hashtbl.add seen n ();
+        out := n :: !out
+      end
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Between (a, b, c) ->
+      go a;
+      go b;
+      go c
+    | Neg a | Not a | IsNull a | IsNotNull a -> go a
+  in
+  go e;
+  List.rev !out
+
+(* Static kinds for type checking. [KNum] covers int and float. *)
+type kind = KNum | KStr | KBool
+
+let kind_of_ty = function
+  | Value.TInt | Value.TFloat -> KNum
+  | Value.TStr -> KStr
+  | Value.TBool -> KBool
+
+let check schema e =
+  let ( let* ) = Result.bind in
+  let rec infer = function
+    | Const Value.Null -> Ok KNum (* null is acceptable anywhere numeric *)
+    | Const v -> (
+      match Value.type_of v with
+      | Some ty -> Ok (kind_of_ty ty)
+      | None -> Ok KNum)
+    | Attr n -> (
+      match Schema.index_of_opt schema n with
+      | Some i -> Ok (kind_of_ty (Schema.attr_at schema i).ty)
+      | None -> Error (Printf.sprintf "unknown attribute %S" n))
+    | Binop (_, a, b) ->
+      let* ka = infer a in
+      let* kb = infer b in
+      if ka = KNum && kb = KNum then Ok KNum
+      else Error "arithmetic requires numeric operands"
+    | Neg a ->
+      let* k = infer a in
+      if k = KNum then Ok KNum else Error "negation requires numeric operand"
+    | Cmp (_, a, b) ->
+      let* ka = infer a in
+      let* kb = infer b in
+      if ka = kb then Ok KBool else Error "comparison of incompatible types"
+    | Between (x, lo, hi) ->
+      let* kx = infer x in
+      let* kl = infer lo in
+      let* kh = infer hi in
+      if kx = KNum && kl = KNum && kh = KNum then Ok KBool
+      else Error "BETWEEN requires numeric operands"
+    | And (a, b) | Or (a, b) ->
+      let* ka = infer a in
+      let* kb = infer b in
+      if ka = KBool && kb = KBool then Ok KBool
+      else Error "boolean connective requires boolean operands"
+    | Not a ->
+      let* k = infer a in
+      if k = KBool then Ok KBool else Error "NOT requires a boolean operand"
+    | IsNull a | IsNotNull a ->
+      let* _ = infer a in
+      Ok KBool
+  in
+  let* _ = infer e in
+  Ok ()
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let binop_name = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp ppf = function
+  | Const (Value.Str s) -> Format.fprintf ppf "'%s'" s
+  | Const v -> Value.pp ppf v
+  | Attr n -> Format.pp_print_string ppf n
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp a
+  | Cmp (c, a, b) -> Format.fprintf ppf "%a %s %a" pp a (cmp_name c) pp b
+  | Between (e, lo, hi) ->
+    Format.fprintf ppf "%a BETWEEN %a AND %a" pp e pp lo pp hi
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp a
+  | IsNull a -> Format.fprintf ppf "%a IS NULL" pp a
+  | IsNotNull a -> Format.fprintf ppf "%a IS NOT NULL" pp a

@@ -1,0 +1,38 @@
+(** Scalar expressions over a single tuple: arithmetic, comparisons and
+    boolean connectives with SQL three-valued logic. These are the base
+    (WHERE-clause) predicates of package queries. *)
+
+type binop = Add | Sub | Mul | Div
+
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+type t =
+  | Const of Value.t
+  | Attr of string
+  | Binop of binop * t * t
+  | Neg of t
+  | Cmp of cmp * t * t
+  | Between of t * t * t  (** [Between (e, lo, hi)] — inclusive. *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | IsNull of t
+  | IsNotNull of t
+
+(** [eval schema tuple e] evaluates [e]; comparison and boolean nodes
+    yield [Bool] or [Null] per SQL logic.
+    @raise Invalid_argument on type errors (e.g. arithmetic on strings). *)
+val eval : Schema.t -> Tuple.t -> t -> Value.t
+
+(** [eval_bool schema tuple e] is [true] iff [e] evaluates to [Bool true]
+    ([Null] counts as false, as in a SQL WHERE clause). *)
+val eval_bool : Schema.t -> Tuple.t -> t -> bool
+
+(** Attribute names referenced by the expression, without duplicates. *)
+val attrs : t -> string list
+
+(** Check the expression against a schema: all attributes exist and
+    operand types are sensible. Returns [Error msg] on failure. *)
+val check : Schema.t -> t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type group = { key : int; members : int array }
+
+let by_key r key_of =
+  let tbl : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Relation.iter
+    (fun i t ->
+      let k = key_of i t in
+      match Hashtbl.find_opt tbl k with
+      | Some l -> l := i :: !l
+      | None -> Hashtbl.add tbl k (ref [ i ]))
+    r;
+  Hashtbl.fold
+    (fun key l acc ->
+      { key; members = Array.of_list (List.rev !l) } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare a.key b.key)
+
+let centroid r attrs members =
+  let schema = Relation.schema r in
+  let idxs = Array.of_list (List.map (Schema.index_of schema) attrs) in
+  let k = Array.length idxs in
+  let sums = Array.make k 0. and counts = Array.make k 0 in
+  Array.iter
+    (fun row ->
+      let t = Relation.row r row in
+      Array.iteri
+        (fun j col ->
+          match Value.to_float_opt (Tuple.get t col) with
+          | Some v ->
+            sums.(j) <- sums.(j) +. v;
+            counts.(j) <- counts.(j) + 1
+          | None -> ())
+        idxs)
+    members;
+  Array.init k (fun j ->
+      if counts.(j) = 0 then 0. else sums.(j) /. float_of_int counts.(j))
+
+let radius r attrs members centroid =
+  let schema = Relation.schema r in
+  let idxs = Array.of_list (List.map (Schema.index_of schema) attrs) in
+  let worst = ref 0. in
+  Array.iter
+    (fun row ->
+      let t = Relation.row r row in
+      Array.iteri
+        (fun j col ->
+          match Value.to_float_opt (Tuple.get t col) with
+          | Some v ->
+            let d = Float.abs (centroid.(j) -. v) in
+            if d > !worst then worst := d
+          | None -> ())
+        idxs)
+    members;
+  !worst

@@ -1,0 +1,20 @@
+(** Grouping by an integer key (the partitioner's group id), mirroring
+    the SQL [GROUP BY gid] queries the paper's partitioner issues. *)
+
+type group = {
+  key : int;
+  members : int array;  (** row indices into the grouped relation *)
+}
+
+(** [by_key r key_of] groups rows by [key_of row_index tuple]; groups are
+    returned sorted by key, member order follows relation order. *)
+val by_key : Relation.t -> (int -> Tuple.t -> int) -> group list
+
+(** [centroid r attrs members] averages the given numeric attributes over
+    the member rows (NULLs excluded per attribute; all-null yields 0). *)
+val centroid : Relation.t -> string list -> int array -> float array
+
+(** [radius r attrs members centroid] is the greatest absolute
+    per-attribute distance between the centroid and any member
+    (Definition 2 of the paper). *)
+val radius : Relation.t -> string list -> int array -> float array -> float

@@ -1,0 +1,100 @@
+type t = { schema : Schema.t; rows : Tuple.t array }
+
+let check_arity schema tuple =
+  if Tuple.arity tuple <> Schema.arity schema then
+    invalid_arg "Relation: tuple arity does not match schema"
+
+let of_array schema rows =
+  Array.iter (check_arity schema) rows;
+  { schema; rows }
+
+let of_rows schema rows = of_array schema (Array.of_list rows)
+
+type builder = { bschema : Schema.t; mutable acc : Tuple.t list; mutable n : int }
+
+let builder bschema = { bschema; acc = []; n = 0 }
+
+let add b tuple =
+  check_arity b.bschema tuple;
+  b.acc <- tuple :: b.acc;
+  b.n <- b.n + 1
+
+let seal b =
+  let rows = Array.make b.n [||] in
+  List.iteri (fun i t -> rows.(b.n - 1 - i) <- t) b.acc;
+  { schema = b.bschema; rows }
+
+let schema r = r.schema
+let cardinality r = Array.length r.rows
+
+let row r i =
+  if i < 0 || i >= Array.length r.rows then
+    invalid_arg (Printf.sprintf "Relation.row: index %d out of range" i);
+  r.rows.(i)
+
+let iter f r = Array.iteri f r.rows
+
+let fold f init r =
+  let acc = ref init in
+  Array.iteri (fun i t -> acc := f !acc i t) r.rows;
+  !acc
+
+let to_list r = Array.to_list r.rows
+
+let select r pred =
+  let rows =
+    Array.of_seq
+      (Seq.filter (fun t -> Expr.eval_bool r.schema t pred)
+         (Array.to_seq r.rows))
+  in
+  { r with rows }
+
+let select_indices r pred =
+  let out = ref [] and n = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if Expr.eval_bool r.schema t pred then begin
+        out := i :: !out;
+        incr n
+      end)
+    r.rows;
+  let a = Array.make !n 0 in
+  List.iteri (fun k i -> a.(!n - 1 - k) <- i) !out;
+  a
+
+let project r names =
+  let idxs = List.map (Schema.index_of r.schema) names in
+  let schema = Schema.project r.schema names in
+  let rows =
+    Array.map (fun t -> Array.of_list (List.map (Tuple.get t) idxs)) r.rows
+  in
+  { schema; rows }
+
+let take r ids = { r with rows = Array.map (fun i -> row r i) ids }
+
+let prefix r n =
+  let n = min n (Array.length r.rows) in
+  { r with rows = Array.sub r.rows 0 n }
+
+let column_float r name =
+  let i = Schema.index_of r.schema name in
+  Array.map
+    (fun t ->
+      match Value.to_float_opt (Tuple.get t i) with
+      | Some f -> f
+      | None -> nan)
+    r.rows
+
+let append_column r attr values =
+  if Array.length values <> Array.length r.rows then
+    invalid_arg "Relation.append_column: wrong number of values";
+  let schema = Schema.extend r.schema attr in
+  let rows =
+    Array.mapi (fun i t -> Array.append t [| values.(i) |]) r.rows
+  in
+  { schema; rows }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@]" Schema.pp r.schema
+    (Format.pp_print_list Tuple.pp)
+    (to_list r)

@@ -1,0 +1,59 @@
+(** In-memory relations: a schema plus an array of rows.
+
+    Relations are immutable once built; builders accumulate rows and
+    seal them. Row indices (0-based) are stable and are used as tuple
+    identifiers throughout the package-query engine. *)
+
+type t
+
+(** {1 Construction} *)
+
+val of_rows : Schema.t -> Tuple.t list -> t
+val of_array : Schema.t -> Tuple.t array -> t
+
+(** Incremental builder. *)
+type builder
+
+val builder : Schema.t -> builder
+val add : builder -> Tuple.t -> unit
+val seal : builder -> t
+
+(** {1 Access} *)
+
+val schema : t -> Schema.t
+val cardinality : t -> int
+
+(** [row r i] is the [i]-th tuple. @raise Invalid_argument out of range. *)
+val row : t -> int -> Tuple.t
+
+val iter : (int -> Tuple.t -> unit) -> t -> unit
+val fold : ('a -> int -> Tuple.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Tuple.t list
+
+(** {1 Operators} *)
+
+(** [select r pred] keeps rows satisfying the predicate. *)
+val select : t -> Expr.t -> t
+
+(** [select_indices r pred] returns the original indices of matching rows. *)
+val select_indices : t -> Expr.t -> int array
+
+(** [project r names] column projection. *)
+val project : t -> string list -> t
+
+(** [take r ids] builds a relation from the given row ids, preserving
+    order and multiplicity. *)
+val take : t -> int array -> t
+
+(** [prefix r n] keeps the first [n] rows (used for scaled-down runs). *)
+val prefix : t -> int -> t
+
+(** [column_float r name] extracts a numeric column as a float array;
+    NULLs become [nan]. *)
+val column_float : t -> string -> float array
+
+(** [append_column r attr values] adds a column (e.g. the partitioner's
+    gid). [values] must have one entry per row. *)
+val append_column : t -> Schema.attr -> Value.t array -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type attr = { name : string; ty : Value.ty }
+
+type t = { attrs : attr array; index : (string, int) Hashtbl.t }
+
+let make attr_list =
+  let attrs = Array.of_list attr_list in
+  let index = Hashtbl.create (Array.length attrs) in
+  Array.iteri
+    (fun i a ->
+      if Hashtbl.mem index a.name then
+        invalid_arg ("Schema.make: duplicate attribute " ^ a.name);
+      Hashtbl.add index a.name i)
+    attrs;
+  { attrs; index }
+
+let arity s = Array.length s.attrs
+let attrs s = Array.to_list s.attrs
+let attr_at s i = s.attrs.(i)
+
+let index_of s name =
+  match Hashtbl.find_opt s.index name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let index_of_opt s name = Hashtbl.find_opt s.index name
+let mem s name = Hashtbl.mem s.index name
+let ty_of s name = (attr_at s (index_of s name)).ty
+let extend s a = make (attrs s @ [ a ])
+let project s names = make (List.map (fun n -> attr_at s (index_of s n)) names)
+
+let equal a b =
+  arity a = arity b
+  && List.for_all2
+       (fun x y -> String.equal x.name y.name && x.ty = y.ty)
+       (attrs a) (attrs b)
+
+let pp ppf s =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf a -> Format.fprintf ppf "%s:%s" a.name (Value.ty_name a.ty)))
+    (attrs s)

@@ -1,0 +1,29 @@
+(** Relation schemas: ordered, named, typed attributes. *)
+
+type attr = { name : string; ty : Value.ty }
+
+type t
+
+(** [make attrs] builds a schema. @raise Invalid_argument on duplicates. *)
+val make : attr list -> t
+
+val arity : t -> int
+val attrs : t -> attr list
+val attr_at : t -> int -> attr
+
+(** [index_of s name] is the position of [name].
+    @raise Not_found when absent. *)
+val index_of : t -> string -> int
+
+val index_of_opt : t -> string -> int option
+val mem : t -> string -> bool
+val ty_of : t -> string -> Value.ty
+
+(** [extend s attr] appends an attribute (e.g. the partitioner's [gid]). *)
+val extend : t -> attr -> t
+
+(** [project s names] keeps the named attributes, in the given order. *)
+val project : t -> string list -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = Value.t array
+
+let make = Array.of_list
+let arity = Array.length
+let get t i = t.(i)
+let field schema t name = t.(Schema.index_of schema name)
+let float_field schema t name = Value.to_float (field schema t name)
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Value.pp)
+    (Array.to_list t)

@@ -1,0 +1,17 @@
+(** Tuples are immutable-by-convention value arrays positioned by a schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+val arity : t -> int
+val get : t -> int -> Value.t
+
+(** [field schema tuple name] looks a field up by attribute name. *)
+val field : Schema.t -> t -> string -> Value.t
+
+(** [float_field schema tuple name] coerces the field to float.
+    @raise Invalid_argument on null / non-numeric fields. *)
+val float_field : Schema.t -> t -> string -> float
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

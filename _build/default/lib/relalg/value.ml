@@ -1,0 +1,73 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty = TInt | TFloat | TStr | TBool
+
+let ty_name = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "str"
+  | TBool -> "bool"
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+  | Bool _ -> Some TBool
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Null -> invalid_arg "Value.to_float: null"
+  | Str _ -> invalid_arg "Value.to_float: string"
+  | Bool _ -> invalid_arg "Value.to_float: bool"
+
+let to_float_opt = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Null | Str _ | Bool _ -> None
+
+let compare_sql a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int x, Int y -> Some (compare x y)
+  | (Int _ | Float _), (Int _ | Float _) ->
+    Some (compare (to_float a) (to_float b))
+  | Str x, Str y -> Some (compare x y)
+  | Bool x, Bool y -> Some (compare x y)
+  | (Str _ | Bool _), _ | _, (Str _ | Bool _) ->
+    invalid_arg "Value.compare_sql: incompatible types"
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | _, _ -> false
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_string ty s =
+  if String.equal s "" then Null
+  else
+    match ty with
+    | TInt -> Int (int_of_string (String.trim s))
+    | TFloat -> Float (float_of_string (String.trim s))
+    | TStr -> Str s
+    | TBool -> Bool (bool_of_string (String.trim s))

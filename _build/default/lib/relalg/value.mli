@@ -1,0 +1,43 @@
+(** Typed scalar values stored in relations.
+
+    Values are dynamically typed at the storage layer; the schema layer
+    ({!Schema}) assigns static types to attributes and {!Expr} checks
+    expressions against them. [Null] follows SQL semantics: it compares
+    as unknown and propagates through arithmetic. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type ty = TInt | TFloat | TStr | TBool
+
+val ty_name : ty -> string
+
+(** [type_of v] is [None] for [Null], otherwise the value's type. *)
+val type_of : t -> ty option
+
+val is_null : t -> bool
+
+(** [to_float v] coerces a numeric value to float.
+    @raise Invalid_argument on non-numeric or null values. *)
+val to_float : t -> float
+
+(** [to_float_opt v] is [Some (to_float v)] on numerics, [None] otherwise. *)
+val to_float_opt : t -> float option
+
+(** Three-valued SQL comparison: [None] when either side is null,
+    [Some c] with [c < 0], [c = 0], [c > 0] otherwise. Numerics compare
+    across [Int]/[Float]. @raise Invalid_argument on incompatible types. *)
+val compare_sql : t -> t -> int option
+
+(** Structural equality used by tests (null = null holds here). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Parse a CSV field given a target type; empty string becomes [Null]. *)
+val of_string : ty -> string -> t

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Datagen Float Ilp List Paql Pkg Printf Relalg

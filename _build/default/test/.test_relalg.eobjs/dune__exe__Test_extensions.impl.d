@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Datagen Float Format Ilp List Lp Option Paql Pkg QCheck QCheck_alcotest Relalg

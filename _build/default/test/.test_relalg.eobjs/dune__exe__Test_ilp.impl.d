@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Float Ilp List Lp QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Datagen Filename Fun Ilp List Option Paql Pkg Relalg Result Sys

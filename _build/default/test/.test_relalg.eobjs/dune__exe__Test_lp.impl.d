@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Filename Float Fun Hashtbl Ilp List Lp QCheck QCheck_alcotest Random Result Sys

@@ -1,0 +1,1 @@
+test/test_paql.ml: Alcotest Array Gen List Lp Option Paql Printf QCheck QCheck_alcotest Relalg Result String

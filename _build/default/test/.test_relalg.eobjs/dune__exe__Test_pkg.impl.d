@@ -1,0 +1,1 @@
+test/test_pkg.ml: Alcotest Array Datagen Filename Float Format Fun List Option Paql Pkg Printf QCheck QCheck_alcotest Relalg Seq Sys

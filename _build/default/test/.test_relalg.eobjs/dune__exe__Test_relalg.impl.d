@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Filename Float Fun Gen List Printf QCheck QCheck_alcotest Relalg Result Sys

@@ -1,0 +1,253 @@
+(* Tests for the deterministic PRNG, the synthetic Galaxy and TPC-H
+   generators, and the benchmark workload definitions. *)
+
+module V = Relalg.Value
+module R = Relalg.Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Datagen.Prng.create 42 and b = Datagen.Prng.create 42 in
+  for _ = 1 to 100 do
+    checkf "same stream" (Datagen.Prng.float a) (Datagen.Prng.float b)
+  done;
+  let c = Datagen.Prng.create 43 in
+  checkb "different seed differs" true
+    (Datagen.Prng.float (Datagen.Prng.create 42) <> Datagen.Prng.float c)
+
+let test_prng_ranges () =
+  let rng = Datagen.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let f = Datagen.Prng.float rng in
+    checkb "float in [0,1)" true (f >= 0. && f < 1.);
+    let u = Datagen.Prng.uniform rng 5. 10. in
+    checkb "uniform in range" true (u >= 5. && u < 10.);
+    let i = Datagen.Prng.int rng 7 in
+    checkb "int in range" true (i >= 0 && i < 7);
+    let p = Datagen.Prng.pareto rng ~xm:2. ~alpha:1.5 in
+    checkb "pareto above scale" true (p >= 2.);
+    let e = Datagen.Prng.exponential rng ~rate:3. in
+    checkb "exponential nonneg" true (e >= 0.)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Datagen.Prng.int rng 0))
+
+let test_prng_moments () =
+  (* sanity: empirical mean/stddev of the gaussian *)
+  let rng = Datagen.Prng.create 11 in
+  let n = 20_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let g = Datagen.Prng.gaussian rng in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  checkb "gaussian mean ~ 0" true (Float.abs mean < 0.05);
+  checkb "gaussian var ~ 1" true (Float.abs (var -. 1.) < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Galaxy                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_galaxy_shape () =
+  let rel = Datagen.Galaxy.generate ~seed:9 500 in
+  checki "cardinality" 500 (R.cardinality rel);
+  let schema = R.schema rel in
+  List.iter
+    (fun a -> checkb ("has " ^ a) true (Relalg.Schema.mem schema a))
+    Datagen.Galaxy.numeric_attrs;
+  (* determinism *)
+  let rel2 = Datagen.Galaxy.generate ~seed:9 500 in
+  checkb "deterministic" true
+    (Relalg.Tuple.equal (R.row rel 123) (R.row rel2 123));
+  let rel3 = Datagen.Galaxy.generate ~seed:10 500 in
+  checkb "seed matters" false
+    (Relalg.Tuple.equal (R.row rel 123) (R.row rel3 123))
+
+let test_galaxy_distributions () =
+  let rel = Datagen.Galaxy.generate ~seed:9 5000 in
+  let mean a =
+    V.to_float (Relalg.Aggregate.over rel (Relalg.Aggregate.Avg a))
+  in
+  (* ra in [0, 360), redshift small and positive, magnitudes ~ 18 *)
+  let ra = R.column_float rel "ra" in
+  checkb "ra range" true (Array.for_all (fun v -> v >= 0. && v < 360.) ra);
+  checkb "redshift small" true (mean "redshift" > 0.01 && mean "redshift" < 0.5);
+  checkb "r magnitude plausible" true (mean "r" > 10. && mean "r" < 26.);
+  (* the five bands are correlated via the shared base brightness *)
+  let u = R.column_float rel "u" and g = R.column_float rel "g" in
+  let n = Array.length u in
+  let mu_u = mean "u" and mu_g = mean "g" in
+  let cov = ref 0. and vu = ref 0. and vg = ref 0. in
+  for i = 0 to n - 1 do
+    cov := !cov +. ((u.(i) -. mu_u) *. (g.(i) -. mu_g));
+    vu := !vu +. ((u.(i) -. mu_u) ** 2.);
+    vg := !vg +. ((g.(i) -. mu_g) ** 2.)
+  done;
+  let corr = !cov /. sqrt (!vu *. !vg) in
+  checkb "bands correlated" true (corr > 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* TPC-H                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_tpch_shape () =
+  let rel = Datagen.Tpch.generate ~seed:4 2000 in
+  checki "cardinality" 2000 (R.cardinality rel);
+  let schema = R.schema rel in
+  List.iter
+    (fun a -> checkb ("has " ^ a) true (Relalg.Schema.mem schema a))
+    Datagen.Tpch.numeric_attrs;
+  (* lineitem block never NULL *)
+  let qty = R.column_float rel "l_quantity" in
+  checkb "lineitem present" true
+    (Array.for_all (fun v -> not (Float.is_nan v)) qty);
+  checkb "quantity range" true (Array.for_all (fun v -> v >= 1. && v <= 50.) qty)
+
+let test_tpch_null_blocks () =
+  let rel = Datagen.Tpch.generate ~seed:4 5000 in
+  let null_share a =
+    let col = R.column_float rel a in
+    float_of_int
+      (Array.fold_left (fun acc v -> if Float.is_nan v then acc + 1 else acc) 0 col)
+    /. float_of_int (Array.length col)
+  in
+  (* optional blocks are NULL around 66% of the time *)
+  checkb "ps block nulls" true
+    (null_share "p_retailprice" > 0.5 && null_share "p_retailprice" < 0.8);
+  checkb "oc block nulls" true
+    (null_share "o_totalprice" > 0.5 && null_share "o_totalprice" < 0.8);
+  (* block coherence: p_size is NULL exactly when p_retailprice is *)
+  let a = R.column_float rel "p_retailprice" in
+  let b = R.column_float rel "p_size" in
+  checkb "block coherence" true
+    (Array.for_all2 (fun x y -> Float.is_nan x = Float.is_nan y) a b)
+
+let test_tpch_subset_extraction () =
+  let rel = Datagen.Tpch.generate ~seed:4 5000 in
+  let sub = Datagen.Tpch.non_null_subset rel [ "p_retailprice"; "o_totalprice" ] in
+  checkb "subset smaller" true (R.cardinality sub < R.cardinality rel);
+  let pr = R.column_float sub "p_retailprice" in
+  checkb "no nulls in subset" true
+    (Array.for_all (fun v -> not (Float.is_nan v)) pr);
+  (* the intersection of two independent ~34% blocks: ~11.5% *)
+  let share = float_of_int (R.cardinality sub) /. 5000. in
+  checkb "share plausible" true (share > 0.05 && share < 0.2)
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_galaxy () =
+  let rel = Datagen.Galaxy.generate ~seed:1 2000 in
+  let qs = Datagen.Workload.galaxy_queries rel in
+  checki "seven queries" 7 (List.length qs);
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      (* every query parses, analyzes and compiles *)
+      let spec = Datagen.Workload.compile rel d in
+      checkb (d.name ^ " has constraints") true
+        (spec.Paql.Translate.constraints <> []);
+      (* declared attrs cover the query's actual attrs *)
+      let actual = Paql.Ast.all_attrs spec.Paql.Translate.query in
+      List.iter
+        (fun a ->
+          checkb
+            (Printf.sprintf "%s declares %s" d.name a)
+            true (List.mem a d.attrs))
+        actual)
+    qs;
+  checkb "workload attrs union" true
+    (List.length (Datagen.Workload.workload_attrs qs) >= 5)
+
+let test_workload_tpch () =
+  let rel = Datagen.Tpch.generate ~seed:2 3000 in
+  let qs = Datagen.Workload.tpch_queries rel in
+  checki "seven queries" 7 (List.length qs);
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      let sub = Datagen.Workload.query_relation ~dataset:`Tpch rel d in
+      checkb (d.name ^ " subset non-empty") true (R.cardinality sub > 0);
+      (* compiling against the subset must succeed *)
+      ignore (Datagen.Workload.compile sub d))
+    qs
+
+let test_workload_feasible_small () =
+  (* Every workload query is feasible (the property the bound synthesis
+     aims for). Direct is the first witness; when Direct blows its
+     budget without an answer — by design it does on the hard Q2 —
+     SketchRefine serves as the witness instead. *)
+  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 15. } in
+  let witness name rel (d : Datagen.Workload.def) =
+    let spec = Datagen.Workload.compile rel d in
+    let direct_ok =
+      match (Pkg.Direct.run ~limits spec rel).Pkg.Eval.status with
+      | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ -> true
+      | Pkg.Eval.Infeasible -> false
+      | Pkg.Eval.Failed _ -> false
+    in
+    let ok =
+      direct_ok
+      ||
+      let part =
+        Pkg.Partition.create
+          ~tau:(max 1 (R.cardinality rel / 10))
+          ~attrs:d.attrs rel
+      in
+      let sr =
+        Pkg.Sketch_refine.run
+          ~options:{ Pkg.Sketch_refine.default_options with limits }
+          spec rel part
+      in
+      match sr.Pkg.Eval.package with
+      | Some p -> Pkg.Package.feasible spec p
+      | None -> false
+    in
+    checkb (name ^ " " ^ d.name ^ " feasible") true ok
+  in
+  let g = Datagen.Galaxy.generate ~seed:1 1500 in
+  List.iter (witness "galaxy" g) (Datagen.Workload.galaxy_queries g);
+  let t = Datagen.Tpch.generate ~seed:2 3000 in
+  List.iter
+    (fun (d : Datagen.Workload.def) ->
+      let sub = Datagen.Workload.query_relation ~dataset:`Tpch t d in
+      witness "tpch" sub d)
+    (Datagen.Workload.tpch_queries t)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "moments" `Quick test_prng_moments;
+        ] );
+      ( "galaxy",
+        [
+          Alcotest.test_case "shape" `Quick test_galaxy_shape;
+          Alcotest.test_case "distributions" `Quick test_galaxy_distributions;
+        ] );
+      ( "tpch",
+        [
+          Alcotest.test_case "shape" `Quick test_tpch_shape;
+          Alcotest.test_case "null blocks" `Quick test_tpch_null_blocks;
+          Alcotest.test_case "subset extraction" `Quick
+            test_tpch_subset_extraction;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "galaxy queries" `Quick test_workload_galaxy;
+          Alcotest.test_case "tpch queries" `Quick test_workload_tpch;
+          Alcotest.test_case "feasibility" `Slow test_workload_feasible_small;
+        ] );
+    ]

