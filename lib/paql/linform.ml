@@ -187,6 +187,68 @@ let coeff_fn schema terms =
           | Avg _ -> assert false)
       0. compiled
 
+(* Row-indexed variant of [coeff_fn]: coefficients are read straight
+   from the relation's cached unboxed columns, and term filters lower
+   to vectorized predicates when possible. Build once per relation,
+   then apply per row — this is what the ILP column construction in
+   [Translate.to_problem] runs over. *)
+let coeff_rows schema rel terms =
+  let compiled =
+    List.map
+      (fun t ->
+        let keep =
+          match t.filter with
+          | None -> fun _ -> true
+          | Some f -> (
+            match Relalg.Relation.compile_pred rel f with
+            | Some g -> fun row -> g row = Relalg.Expr.tri_true
+            | None ->
+              fun row ->
+                Relalg.Expr.eval_bool schema (Relalg.Relation.row rel row) f)
+        in
+        let contrib =
+          match t.kind with
+          | Count_star ->
+            let c = t.coeff in
+            fun _ -> c
+          | Count a -> (
+            let i = Relalg.Schema.index_of schema a in
+            let c = t.coeff in
+            match Relalg.Relation.column_at rel i with
+            | Some col ->
+              fun row -> if Relalg.Column.is_null col row then 0. else c
+            | None ->
+              fun row ->
+                if
+                  Relalg.Value.is_null
+                    (Relalg.Tuple.get (Relalg.Relation.row rel row) i)
+                then 0.
+                else c)
+          | Sum a -> (
+            let i = Relalg.Schema.index_of schema a in
+            let c = t.coeff in
+            match Relalg.Relation.column_at rel i with
+            | Some col ->
+              let d = Relalg.Column.zeroed col in
+              fun row -> c *. Array.unsafe_get d row
+            | None -> (
+              fun row ->
+                match
+                  Relalg.Value.to_float_opt
+                    (Relalg.Tuple.get (Relalg.Relation.row rel row) i)
+                with
+                | Some v -> c *. v
+                | None -> 0.))
+          | Avg _ ->
+            invalid_arg "Linform.coeff_rows: AVG term survived normalization"
+        in
+        fun row -> if keep row then contrib row else 0.)
+      terms
+  in
+  match compiled with
+  | [ f ] -> f
+  | fs -> fun row -> List.fold_left (fun acc f -> acc +. f row) 0. fs
+
 let term_attrs terms =
   let seen = Hashtbl.create 8 and out = ref [] in
   let push a =

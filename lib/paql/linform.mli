@@ -43,5 +43,13 @@ val of_objective :
 val coeff_fn :
   Relalg.Schema.t -> term list -> Relalg.Tuple.t -> float
 
+(** [coeff_rows schema rel terms] — the row-indexed, vectorized variant
+    of {!coeff_fn}: coefficients read from [rel]'s cached unboxed
+    columns, term filters lowered via [Expr.compile] when possible.
+    Build once per relation, apply per row id.
+    @raise Invalid_argument if an AVG term survived normalization. *)
+val coeff_rows :
+  Relalg.Schema.t -> Relalg.Relation.t -> term list -> int -> float
+
 (** Attributes mentioned by the terms (aggregate arguments + filters). *)
 val term_attrs : term list -> string list

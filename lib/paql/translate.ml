@@ -1,5 +1,8 @@
 type compiled_constraint = {
   coeff : Relalg.Tuple.t -> float;
+  coeff_rows : Relalg.Relation.t -> int -> float;
+      (* row-indexed variant over cached columns; bind the relation
+         once, then apply per row id *)
   clo : float;
   chi : float;
   cname : string;
@@ -12,6 +15,9 @@ type spec = {
   where : Relalg.Expr.t option;
   constraints : compiled_constraint list;
   objective : (Lp.Problem.sense * (Relalg.Tuple.t -> float) * float) option;
+  objective_rows : Relalg.Relation.t -> int -> float;
+      (* row-indexed objective coefficients; constantly 0. when the
+         query has no objective *)
   max_count : float;
 }
 
@@ -29,6 +35,8 @@ let compile schema (q : Ast.query) =
            (fun i (c : Linform.constr) ->
              {
                coeff = Linform.coeff_fn schema c.Linform.cterms;
+               coeff_rows =
+                 (fun rel -> Linform.coeff_rows schema rel c.Linform.cterms);
                clo = c.Linform.lo;
                chi = c.Linform.hi;
                cname = Printf.sprintf "g%d" i;
@@ -36,19 +44,30 @@ let compile schema (q : Ast.query) =
              })
            cs)
   in
-  let* objective =
+  let* objective, objective_rows =
     match q.objective with
-    | None -> Ok None
+    | None -> Ok (None, fun _ _ -> 0.)
     | Some o ->
       let* sense, terms, const = Linform.of_objective o in
-      Ok (Some (sense, Linform.coeff_fn schema terms, const))
+      Ok
+        ( Some (sense, Linform.coeff_fn schema terms, const),
+          fun rel -> Linform.coeff_rows schema rel terms )
   in
   let max_count =
     match q.repeat with
     | None -> infinity
     | Some k -> float_of_int (k + 1)
   in
-  Ok { query = q; schema; where = q.where; constraints; objective; max_count }
+  Ok
+    {
+      query = q;
+      schema;
+      where = q.where;
+      constraints;
+      objective;
+      objective_rows;
+      max_count;
+    }
 
 let compile_exn schema q =
   match compile schema q with
@@ -58,7 +77,7 @@ let compile_exn schema q =
 let base_candidates spec r =
   match spec.where with
   | None -> Array.init (Relalg.Relation.cardinality r) Fun.id
-  | Some pred -> Relalg.Relation.select_indices r pred
+  | Some pred -> Relalg.Scan.select_indices r pred
 
 let objective_sense spec =
   match spec.objective with
@@ -71,11 +90,7 @@ let to_problem ?var_hi ?offsets spec r ~candidates =
   | Some o when Array.length o <> nconstraints ->
     invalid_arg "Translate.to_problem: offsets arity mismatch"
   | _ -> ());
-  let obj_fn =
-    match spec.objective with
-    | Some (_, f, _) -> f
-    | None -> fun _ -> 0.
-  in
+  let obj_row = spec.objective_rows r in
   let cap k =
     match var_hi with Some f -> f k | None -> spec.max_count
   in
@@ -83,19 +98,19 @@ let to_problem ?var_hi ?offsets spec r ~candidates =
     Array.to_list
       (Array.mapi
          (fun k row_id ->
-           let t = Relalg.Relation.row r row_id in
            Lp.Problem.var
              ~name:(Printf.sprintf "x%d" row_id)
-             ~integer:true ~lo:0. ~hi:(cap k) (obj_fn t))
+             ~integer:true ~lo:0. ~hi:(cap k) (obj_row row_id))
          candidates)
   in
   let rows =
     List.mapi
       (fun ci c ->
+        let crow = c.coeff_rows r in
         let coeffs = ref [] in
         Array.iteri
           (fun k row_id ->
-            let a = c.coeff (Relalg.Relation.row r row_id) in
+            let a = crow row_id in
             if a <> 0. then coeffs := (k, a) :: !coeffs)
           candidates;
         let off =

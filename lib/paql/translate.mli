@@ -11,6 +11,11 @@
 
 type compiled_constraint = {
   coeff : Relalg.Tuple.t -> float;  (** per-tuple coefficient *)
+  coeff_rows : Relalg.Relation.t -> int -> float;
+      (** row-indexed variant reading the relation's cached unboxed
+          columns ({!Linform.coeff_rows}); bind the relation once,
+          then apply per row id — this is the fast path the ILP column
+          construction uses *)
   clo : float;
   chi : float;  (** [clo <= sum_i coeff(t_i) x_i <= chi] *)
   cname : string;
@@ -27,6 +32,9 @@ type spec = {
   constraints : compiled_constraint list;
   objective : (Lp.Problem.sense * (Relalg.Tuple.t -> float) * float) option;
       (** sense, per-tuple coefficient, constant offset *)
+  objective_rows : Relalg.Relation.t -> int -> float;
+      (** row-indexed objective coefficients (constantly [0.] when the
+          query has no objective) *)
   max_count : float;
       (** repetition cap per tuple: [K+1] for [REPEAT K], [infinity]
           otherwise *)

@@ -9,15 +9,7 @@ let create ?(seed = 42) ?(iters = 20) ?tau ~k ~attrs rel =
   let n = Relalg.Relation.cardinality rel in
   if n = 0 then invalid_arg "Kmeans.create: empty relation";
   let k = max 1 (min k n) in
-  let cols =
-    Array.of_list
-      (List.map
-         (fun a ->
-           Array.map
-             (fun v -> if Float.is_nan v then 0. else v)
-             (Relalg.Relation.column_float rel a))
-         attrs)
-  in
+  let cols = Partition.numeric_columns rel attrs in
   let dims = Array.length cols in
   let state = ref (Int64.of_int (seed * 2654435761 + 1)) in
   let rand_int bound =

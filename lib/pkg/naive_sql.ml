@@ -10,9 +10,8 @@ let run ?(max_combinations = 200_000_000) spec rel ~cardinality =
   let coeffs =
     Array.map
       (fun (c : Paql.Translate.compiled_constraint) ->
-        Array.map
-          (fun row -> c.Paql.Translate.coeff (Relalg.Relation.row rel row))
-          candidates)
+        let f = c.Paql.Translate.coeff_rows rel in
+        Array.map f candidates)
       constraints
   in
   let maximize =
@@ -21,10 +20,8 @@ let run ?(max_combinations = 200_000_000) spec rel ~cardinality =
     | Lp.Problem.Minimize -> false
   in
   let obj =
-    match spec.Paql.Translate.objective with
-    | Some (_, f, _) ->
-      Array.map (fun row -> f (Relalg.Relation.row rel row)) candidates
-    | None -> Array.make n 0.
+    let f = spec.Paql.Translate.objective_rows rel in
+    Array.map f candidates
   in
   let sums = Array.make ncons 0. in
   let chosen = Array.make cardinality 0 in

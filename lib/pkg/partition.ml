@@ -34,6 +34,10 @@ let radius_ok spec ~centroid ~radius =
     in
     radius <= g *. min_abs
 
+(* Shared, cache-backed columns: the relation materializes each numeric
+   attribute once (NULLs as 0., the historical convention here) and
+   every partitioner call reuses the same unboxed arrays. Callers must
+   treat the result as read-only. *)
 let numeric_columns rel attrs =
   let schema = Relalg.Relation.schema rel in
   List.iter
@@ -48,30 +52,33 @@ let numeric_columns rel attrs =
     attrs;
   Array.of_list
     (List.map
-       (fun a ->
-         let c = Relalg.Relation.column_float rel a in
-         Array.map (fun v -> if Float.is_nan v then 0. else v) c)
+       (fun a -> Relalg.Column.zeroed (Relalg.Relation.column_exn rel a))
        attrs)
 
 let centroid_and_radius cols members =
   let k = Array.length cols in
+  let m = Array.length members in
   let centroid = Array.make k 0. in
-  let n = float_of_int (Array.length members) in
-  Array.iteri
-    (fun d col ->
-      let s = ref 0. in
-      Array.iter (fun row -> s := !s +. col.(row)) members;
-      centroid.(d) <- !s /. n)
-    cols;
+  let n = float_of_int m in
+  for d = 0 to k - 1 do
+    let col = Array.unsafe_get cols d in
+    let s = ref 0. in
+    for i = 0 to m - 1 do
+      s := !s +. Array.unsafe_get col (Array.unsafe_get members i)
+    done;
+    Array.unsafe_set centroid d (!s /. n)
+  done;
   let radius = ref 0. in
-  Array.iter
-    (fun row ->
-      Array.iteri
-        (fun d col ->
-          let dist = Float.abs (col.(row) -. centroid.(d)) in
-          if dist > !radius then radius := dist)
-        cols)
-    members;
+  for d = 0 to k - 1 do
+    let col = Array.unsafe_get cols d in
+    let c = Array.unsafe_get centroid d in
+    for i = 0 to m - 1 do
+      let dist =
+        Float.abs (Array.unsafe_get col (Array.unsafe_get members i) -. c)
+      in
+      if dist > !radius then radius := dist
+    done
+  done;
   centroid, !radius
 
 (* Build the final structure (groups, reverse map, representative
@@ -96,24 +103,25 @@ let finalize ~attrs rel member_sets =
     (fun gid g -> Array.iter (fun row -> gid_of_row.(row) <- gid) g.members)
     groups;
   let arity = Relalg.Schema.arity schema in
+  (* representative means over cached columns (non-numeric slots are
+     None per schema and become NULL, as before) *)
+  let rep_cols = Array.init arity (Relalg.Relation.column_at rel) in
   let rep_rows =
     Array.map
       (fun g ->
         Array.init arity (fun col ->
-            match (Relalg.Schema.attr_at schema col).ty with
-            | Relalg.Value.TStr | Relalg.Value.TBool -> Relalg.Value.Null
-            | Relalg.Value.TInt | Relalg.Value.TFloat ->
+            match rep_cols.(col) with
+            | None -> Relalg.Value.Null
+            | Some c ->
+              let data = Relalg.Column.data c in
               let sum = ref 0. and cnt = ref 0 in
               Array.iter
                 (fun row ->
-                  match
-                    Relalg.Value.to_float_opt
-                      (Relalg.Tuple.get (Relalg.Relation.row rel row) col)
-                  with
-                  | Some v ->
+                  let v = Array.unsafe_get data row in
+                  if not (Float.is_nan v) then begin
                     sum := !sum +. v;
                     incr cnt
-                  | None -> ())
+                  end)
                 g.members;
               if !cnt = 0 then Relalg.Value.Null
               else Relalg.Value.Float (!sum /. float_of_int !cnt)))
@@ -149,33 +157,53 @@ let global_ranges cols =
    space-partitioning choice. *)
 let split_quadrants ~max_dims ~ranges cols centroid members =
   let k = Array.length cols in
+  let m = Array.length members in
   let spread = Array.make k 0. in
-  Array.iter
-    (fun row ->
-      Array.iteri
-        (fun d col ->
-          let dist = Float.abs (col.(row) -. centroid.(d)) /. ranges.(d) in
-          if dist > spread.(d) then spread.(d) <- dist)
-        cols)
-    members;
+  for d = 0 to k - 1 do
+    let col = Array.unsafe_get cols d in
+    let c = Array.unsafe_get centroid d in
+    let rg = Array.unsafe_get ranges d in
+    let worst = ref 0. in
+    for i = 0 to m - 1 do
+      let dist =
+        Float.abs (Array.unsafe_get col (Array.unsafe_get members i) -. c)
+        /. rg
+      in
+      if dist > !worst then worst := dist
+    done;
+    Array.unsafe_set spread d !worst
+  done;
   let order = Array.init k Fun.id in
   Array.sort (fun a b -> compare spread.(b) spread.(a)) order;
-  let dims = Array.sub order 0 (min max_dims k) in
-  let buckets : (int, int list ref) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun row ->
-      let mask = ref 0 in
-      Array.iteri
-        (fun bit d ->
-          if cols.(d).(row) >= centroid.(d) then mask := !mask lor (1 lsl bit))
-        dims;
-      match Hashtbl.find_opt buckets !mask with
-      | Some l -> l := row :: !l
-      | None -> Hashtbl.add buckets !mask (ref [ row ]))
-    members;
-  Hashtbl.fold
-    (fun _ l acc -> Array.of_list (List.rev !l) :: acc)
-    buckets []
+  let ndims = min max_dims k in
+  (* quadrant mask per member, then a counting sort by mask: no per-row
+     hashing or list allocation, and the sub-quadrant order (ascending
+     mask) is deterministic *)
+  let masks = Array.make m 0 in
+  for bit = 0 to ndims - 1 do
+    let d = order.(bit) in
+    let col = Array.unsafe_get cols d in
+    let c = Array.unsafe_get centroid d in
+    let b = 1 lsl bit in
+    for i = 0 to m - 1 do
+      if Array.unsafe_get col (Array.unsafe_get members i) >= c then
+        Array.unsafe_set masks i (Array.unsafe_get masks i lor b)
+    done
+  done;
+  let nb = 1 lsl ndims in
+  let counts = Array.make nb 0 in
+  for i = 0 to m - 1 do
+    let b = masks.(i) in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let out = Array.init nb (fun b -> Array.make counts.(b) 0) in
+  let fill = Array.make nb 0 in
+  for i = 0 to m - 1 do
+    let b = Array.unsafe_get masks i in
+    out.(b).(fill.(b)) <- Array.unsafe_get members i;
+    fill.(b) <- fill.(b) + 1
+  done;
+  Array.to_list out |> List.filter (fun a -> Array.length a > 0)
 
 (* Chunk an unsplittable group (all points coincide on the partitioning
    attributes) into tau-sized pieces. *)

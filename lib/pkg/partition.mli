@@ -65,6 +65,14 @@ val create : ?radius:radius_spec -> ?max_fanout_dims:int -> tau:int ->
 
 val num_groups : t -> int
 
+(** [numeric_columns rel attrs] extracts one shared, cache-backed float
+    array per attribute (NULL / NaN read as [0.], matching the
+    partitioning distance semantics). The arrays alias the relation's
+    column cache — callers must not mutate them.
+
+    @raise Invalid_argument on a missing or non-numeric attribute. *)
+val numeric_columns : Relalg.Relation.t -> string list -> float array array
+
 (** [gamma ~maximize ~epsilon] — the Theorem 3 factor. *)
 val gamma : maximize:bool -> epsilon:float -> float
 

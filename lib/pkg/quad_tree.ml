@@ -15,14 +15,7 @@ let size t =
   in
   match t.root with None -> 0 | Some root -> count root
 
-let load_columns rel attrs =
-  List.map
-    (fun a ->
-      Array.map
-        (fun v -> if Float.is_nan v then 0. else v)
-        (Relalg.Relation.column_float rel a))
-    attrs
-  |> Array.of_list
+let load_columns rel attrs = Partition.numeric_columns rel attrs
 
 let centroid_and_radius cols members =
   let k = Array.length cols in

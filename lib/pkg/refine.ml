@@ -16,38 +16,31 @@ type state = {
   refined : (int * int) list option array;
 }
 
-let constraints st = st.ctx.Sketch.spec.Paql.Translate.constraints
+let num_constraints st = Array.length st.ctx.Sketch.coeff_rel
 
-(* Contribution of group [j]'s current contents to constraint [c]. *)
-let group_contribution st j (c : Paql.Translate.compiled_constraint) =
+(* Contribution of group [j]'s current contents to constraint [ci],
+   read through the ctx's precomputed row-coefficient accessors. *)
+let group_contribution st j ci =
   match st.refined.(j) with
   | Some entries ->
+    let f = st.ctx.Sketch.coeff_rel.(ci) in
     List.fold_left
-      (fun acc (row, cnt) ->
-        acc
-        +. float_of_int cnt
-           *. c.Paql.Translate.coeff (Relalg.Relation.row st.ctx.Sketch.rel row))
+      (fun acc (row, cnt) -> acc +. (float_of_int cnt *. f row))
       0. entries
   | None ->
     if st.rep_counts.(j) = 0. then 0.
-    else
-      st.rep_counts.(j)
-      *. c.Paql.Translate.coeff
-           (Relalg.Relation.row st.ctx.Sketch.part.Partition.reps j)
+    else st.rep_counts.(j) *. st.ctx.Sketch.coeff_reps.(ci) j
 
 (* Aggregates of the partial package p-bar_j (everything but group j),
    which offset the refine query's constraint bounds. *)
 let offsets_excluding st j =
   let m = Partition.num_groups st.ctx.Sketch.part in
-  Array.of_list
-    (List.map
-       (fun c ->
-         let acc = ref 0. in
-         for i = 0 to m - 1 do
-           if i <> j then acc := !acc +. group_contribution st i c
-         done;
-         !acc)
-       (constraints st))
+  Array.init (num_constraints st) (fun ci ->
+      let acc = ref 0. in
+      for i = 0 to m - 1 do
+        if i <> j then acc := !acc +. group_contribution st i ci
+      done;
+      !acc)
 
 (* Solve the refine query Q[Gj]: pick original tuples from group j that
    combine with the rest of the package to satisfy the query. *)
@@ -151,15 +144,12 @@ let solve_group ?limits ctx counters snapshot j =
 let totals ctx snapshot =
   let st = state_of_snapshot ctx snapshot in
   let m = Partition.num_groups ctx.Sketch.part in
-  Array.of_list
-    (List.map
-       (fun c ->
-         let acc = ref 0. in
-         for i = 0 to m - 1 do
-           acc := !acc +. group_contribution st i c
-         done;
-         !acc)
-       (constraints st))
+  Array.init (num_constraints st) (fun ci ->
+      let acc = ref 0. in
+      for i = 0 to m - 1 do
+        acc := !acc +. group_contribution st i ci
+      done;
+      !acc)
 
 let within_bounds ?(tol = 1e-6) ctx values =
   List.for_all2

@@ -4,15 +4,19 @@ type ctx = {
   part : Partition.t;
   cand : int array array;
   caps : float array;
+  coeff_rel : (int -> float) array;
+  coeff_reps : (int -> float) array;
 }
 
 let make_ctx spec rel (part : Partition.t) =
-  let schema = Relalg.Relation.schema rel in
   let keep =
     match spec.Paql.Translate.where with
     | None -> fun _ -> true
     | Some pred ->
-      fun row -> Relalg.Expr.eval_bool schema (Relalg.Relation.row rel row) pred
+      (* one vectorized pass over the whole relation, then O(1) member
+         lookups while filtering each group *)
+      let mask, _ = Relalg.Scan.mask rel pred in
+      fun row -> Bytes.unsafe_get mask row = '\001'
   in
   let cand =
     Array.map
@@ -20,6 +24,15 @@ let make_ctx spec rel (part : Partition.t) =
         Array.of_list (List.filter keep (Array.to_list g.Partition.members)))
       part.Partition.groups
   in
+  let coeff_of r =
+    Array.of_list
+      (List.map
+         (fun (c : Paql.Translate.compiled_constraint) ->
+           c.Paql.Translate.coeff_rows r)
+         spec.Paql.Translate.constraints)
+  in
+  let coeff_rel = coeff_of rel in
+  let coeff_reps = coeff_of part.Partition.reps in
   let caps =
     Array.map
       (fun c ->
@@ -29,7 +42,7 @@ let make_ctx spec rel (part : Partition.t) =
         if size = 0. then 0. else size *. spec.Paql.Translate.max_count)
       cand
   in
-  { spec; rel; part; cand; caps }
+  { spec; rel; part; cand; caps; coeff_rel; coeff_reps }
 
 type result =
   | Sketched of float array

@@ -12,6 +12,12 @@ type ctx = {
   part : Partition.t;
   cand : int array array;  (** per-group candidate row ids *)
   caps : float array;      (** per-group sketch multiplicity cap *)
+  coeff_rel : (int -> float) array;
+      (** per-constraint row-coefficient accessors over [rel], bound to
+          its cached columns once so REFINE's repeated partial-package
+          aggregations avoid per-tuple interpretation *)
+  coeff_reps : (int -> float) array;
+      (** same, over the representative relation [part.reps] *)
 }
 
 val make_ctx :

@@ -33,31 +33,35 @@ let hybrid_sketch ?limits (ctx : Sketch.ctx) counters j =
          (List.init m Fun.id))
   in
   (* Build a combined ILP by hand: the tuple sources differ per block,
-     so we cannot reuse Translate.to_problem directly. *)
-  let tuple_of k =
-    if k < n_own then Relalg.Relation.row rel own.(k)
-    else Relalg.Relation.row reps other_groups.(k - n_own)
-  in
+     so we cannot reuse Translate.to_problem directly. Variables [0,
+     n_own) read group j's rows of [rel]; the rest read one rep row
+     each — both through the cached row-coefficient accessors. *)
   let cap k =
     if k < n_own then spec.Paql.Translate.max_count
     else ctx.Sketch.caps.(other_groups.(k - n_own))
   in
   let total = n_own + Array.length other_groups in
-  let obj_fn =
-    match spec.Paql.Translate.objective with
-    | Some (_, f, _) -> f
-    | None -> fun _ -> 0.
+  let obj_rel = spec.Paql.Translate.objective_rows rel in
+  let obj_reps = spec.Paql.Translate.objective_rows reps in
+  let obj k =
+    if k < n_own then obj_rel own.(k)
+    else obj_reps other_groups.(k - n_own)
   in
   let vars =
     List.init total (fun k ->
-        Lp.Problem.var ~integer:true ~lo:0. ~hi:(cap k) (obj_fn (tuple_of k)))
+        Lp.Problem.var ~integer:true ~lo:0. ~hi:(cap k) (obj k))
   in
   let rows =
-    List.map
-      (fun (c : Paql.Translate.compiled_constraint) ->
+    List.mapi
+      (fun ci (c : Paql.Translate.compiled_constraint) ->
+        let crel = ctx.Sketch.coeff_rel.(ci) in
+        let creps = ctx.Sketch.coeff_reps.(ci) in
         let coeffs = ref [] in
         for k = total - 1 downto 0 do
-          let a = c.Paql.Translate.coeff (tuple_of k) in
+          let a =
+            if k < n_own then crel own.(k)
+            else creps other_groups.(k - n_own)
+          in
           if a <> 0. then coeffs := (k, a) :: !coeffs
         done;
         Lp.Problem.row !coeffs ~lo:c.Paql.Translate.clo

@@ -35,7 +35,9 @@ let over_rows schema rows f =
       | Count_star | Count _ -> assert false
     end
 
-let over ?where r f =
+(* Row-path fallback, kept as the semantic reference for attributes
+   that have no cached column (strings/booleans). *)
+let over_interp ?where r f =
   let rows = Array.to_seq (Array.init (Relation.cardinality r) (Relation.row r)) in
   let rows =
     match where with
@@ -44,6 +46,31 @@ let over ?where r f =
       Seq.filter (fun t -> Expr.eval_bool (Relation.schema r) t pred) rows
   in
   over_rows (Relation.schema r) rows f
+
+let over ?workers ?where r f =
+  let stats a = Scan.float_stats ?workers ?where r a in
+  match f with
+  | Count_star -> (
+    match where with
+    | None -> Value.Int (Relation.cardinality r)
+    | Some pred -> Value.Int (Scan.count ?workers r pred))
+  | Count a -> (
+    match stats a with
+    | Some s -> Value.Int s.Scan.n
+    | None -> over_interp ?where r f)
+  | Sum a | Avg a | Min a | Max a -> (
+    match stats a with
+    | None -> over_interp ?where r f
+    | Some s ->
+      if s.Scan.n = 0 then Value.Null
+      else
+        Value.Float
+          (match f with
+          | Sum _ -> s.Scan.sum
+          | Avg _ -> s.Scan.sum /. float_of_int s.Scan.n
+          | Min _ -> s.Scan.mn
+          | Max _ -> s.Scan.mx
+          | Count_star | Count _ -> assert false))
 
 let sum_or_zero = function
   | Value.Null -> 0.

@@ -1,0 +1,67 @@
+type t = {
+  data : float array; (* nan at NULL cells *)
+  nulls : Bytes.t; (* 1 = NULL *)
+  n_nulls : int;
+  mutable zeroed : float array option; (* data with NULLs as 0., lazy *)
+}
+
+let of_rows rows i =
+  let n = Array.length rows in
+  let data = Array.make n 0. in
+  let nulls = Bytes.make n '\000' in
+  let n_nulls = ref 0 in
+  for row = 0 to n - 1 do
+    match Array.unsafe_get (Array.unsafe_get rows row) i with
+    | Value.Int x -> Array.unsafe_set data row (float_of_int x)
+    | Value.Float f -> Array.unsafe_set data row f
+    | Value.Null | Value.Str _ | Value.Bool _ ->
+      Array.unsafe_set data row nan;
+      Bytes.unsafe_set nulls row '\001';
+      incr n_nulls
+  done;
+  { data; nulls; n_nulls = !n_nulls; zeroed = None }
+
+let length c = Array.length c.data
+let data c = c.data
+
+let zeroed c =
+  match c.zeroed with
+  | Some z -> z
+  | None ->
+    let z =
+      if c.n_nulls = 0 then c.data
+      else
+        Array.map (fun v -> if Float.is_nan v then 0. else v) c.data
+    in
+    c.zeroed <- Some z;
+    z
+
+let is_null c i = Bytes.unsafe_get c.nulls i = '\001'
+let n_nulls c = c.n_nulls
+let has_nulls c = c.n_nulls > 0
+
+type slot = Not_loaded | Numeric of t | Not_numeric
+
+type cache = { mutable slots : slot array; lock : Mutex.t }
+
+let cache_create arity = { slots = Array.make arity Not_loaded; lock = Mutex.create () }
+
+let cached cache rows ~numeric i =
+  Mutex.lock cache.lock;
+  let r =
+    match cache.slots.(i) with
+    | Numeric c -> Some c
+    | Not_numeric -> None
+    | Not_loaded ->
+      if not numeric then begin
+        cache.slots.(i) <- Not_numeric;
+        None
+      end
+      else begin
+        let c = of_rows rows i in
+        cache.slots.(i) <- Numeric c;
+        Some c
+      end
+  in
+  Mutex.unlock cache.lock;
+  r

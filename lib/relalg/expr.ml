@@ -165,6 +165,174 @@ let check schema e =
   let* _ = infer e in
   Ok ()
 
+(* ------------------------------------------------------------------ *)
+(* Vectorized lowering                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [compile] lowers a predicate into a closure over unboxed float
+   columns, indexed by row id: numeric sub-expressions become
+   [int -> float] (NULL encoded as nan, which arithmetic propagates
+   exactly like SQL NULL), boolean sub-expressions become [int -> int]
+   over the three-valued lattice 0 = false, 1 = true, 2 = unknown.
+   Expressions that touch non-numeric attributes (string/bool columns)
+   or non-numeric constants do not lower; callers fall back to the
+   interpreted [eval], which stays the semantic reference. *)
+
+let tri_false = 0
+let tri_true = 1
+let tri_null = 2
+
+let rec compile_num schema ~columns e =
+  let num e = compile_num schema ~columns e in
+  match e with
+  | Const Value.Null -> Some (fun _ -> nan)
+  | Const (Value.Int x) ->
+    let f = float_of_int x in
+    Some (fun _ -> f)
+  | Const (Value.Float f) -> Some (fun _ -> f)
+  | Const (Value.Str _ | Value.Bool _) -> None
+  | Attr n -> (
+    match Schema.index_of_opt schema n with
+    | None -> None
+    | Some i -> (
+      match columns i with
+      | None -> None
+      | Some c ->
+        let d = Column.data c in
+        Some (fun row -> Array.unsafe_get d row)))
+  | Binop (op, a, b) -> (
+    match num a, num b with
+    | Some fa, Some fb ->
+      Some
+        (match op with
+        | Add -> fun row -> fa row +. fb row
+        | Sub -> fun row -> fa row -. fb row
+        | Mul -> fun row -> fa row *. fb row
+        | Div -> fun row -> fa row /. fb row)
+    | _ -> None)
+  | Neg a -> (
+    match num a with
+    | Some fa -> Some (fun row -> -.(fa row))
+    | None -> None)
+  | Cmp _ | Between _ | And _ | Or _ | Not _ | IsNull _ | IsNotNull _ -> None
+
+let compile schema ~columns e =
+  let num e = compile_num schema ~columns e in
+  let cmp_fn c fa fb =
+    (* nan operands mean NULL: the comparison is unknown, not false. *)
+    match c with
+    | Eq ->
+      fun row ->
+        let x = fa row and y = fb row in
+        if Float.is_nan x || Float.is_nan y then tri_null
+        else if x = y then tri_true
+        else tri_false
+    | Neq ->
+      fun row ->
+        let x = fa row and y = fb row in
+        if Float.is_nan x || Float.is_nan y then tri_null
+        else if x <> y then tri_true
+        else tri_false
+    | Lt ->
+      fun row ->
+        let x = fa row and y = fb row in
+        if Float.is_nan x || Float.is_nan y then tri_null
+        else if x < y then tri_true
+        else tri_false
+    | Le ->
+      fun row ->
+        let x = fa row and y = fb row in
+        if Float.is_nan x || Float.is_nan y then tri_null
+        else if x <= y then tri_true
+        else tri_false
+    | Gt ->
+      fun row ->
+        let x = fa row and y = fb row in
+        if Float.is_nan x || Float.is_nan y then tri_null
+        else if x > y then tri_true
+        else tri_false
+    | Ge ->
+      fun row ->
+        let x = fa row and y = fb row in
+        if Float.is_nan x || Float.is_nan y then tri_null
+        else if x >= y then tri_true
+        else tri_false
+  in
+  let rec bexpr = function
+    | Const (Value.Bool b) ->
+      let v = if b then tri_true else tri_false in
+      Some (fun _ -> v)
+    | Const Value.Null -> Some (fun _ -> tri_null)
+    | Const (Value.Int _ | Value.Float _ | Value.Str _) -> None
+    | Cmp (c, a, b) -> (
+      match num a, num b with
+      | Some fa, Some fb -> Some (cmp_fn c fa fb)
+      | _ -> None)
+    | Between (x, lo, hi) -> (
+      (* tv_and (x >= lo) (x <= hi), as the interpreter does *)
+      match num x, num lo, num hi with
+      | Some fx, Some flo, Some fhi ->
+        let ge = cmp_fn Ge fx flo and le = cmp_fn Le fx fhi in
+        Some
+          (fun row ->
+            let a = ge row in
+            if a = tri_false then tri_false
+            else
+              let b = le row in
+              if b = tri_false then tri_false
+              else if a = tri_true && b = tri_true then tri_true
+              else tri_null)
+      | _ -> None)
+    | And (a, b) -> (
+      match bexpr a, bexpr b with
+      | Some fa, Some fb ->
+        Some
+          (fun row ->
+            let x = fa row in
+            if x = tri_false then tri_false
+            else
+              let y = fb row in
+              if y = tri_false then tri_false
+              else if x = tri_true && y = tri_true then tri_true
+              else tri_null)
+      | _ -> None)
+    | Or (a, b) -> (
+      match bexpr a, bexpr b with
+      | Some fa, Some fb ->
+        Some
+          (fun row ->
+            let x = fa row in
+            if x = tri_true then tri_true
+            else
+              let y = fb row in
+              if y = tri_true then tri_true
+              else if x = tri_false && y = tri_false then tri_false
+              else tri_null)
+      | _ -> None)
+    | Not a -> (
+      match bexpr a with
+      | Some fa ->
+        Some
+          (fun row ->
+            let x = fa row in
+            if x = tri_null then tri_null
+            else if x = tri_true then tri_false
+            else tri_true)
+      | None -> None)
+    | IsNull a -> (
+      match num a with
+      | Some fa ->
+        Some (fun row -> if Float.is_nan (fa row) then tri_true else tri_false)
+      | None -> None)
+    | IsNotNull a -> (
+      match num a with
+      | Some fa ->
+        Some (fun row -> if Float.is_nan (fa row) then tri_false else tri_true)
+      | None -> None)
+    | Attr _ | Binop _ | Neg _ -> None
+  in
+  bexpr e
+
 let cmp_name = function
   | Eq -> "="
   | Neq -> "<>"

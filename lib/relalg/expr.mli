@@ -28,6 +28,35 @@ val eval : Schema.t -> Tuple.t -> t -> Value.t
     ([Null] counts as false, as in a SQL WHERE clause). *)
 val eval_bool : Schema.t -> Tuple.t -> t -> bool
 
+(** {1 Vectorized lowering}
+
+    Predicates over numeric attributes can be lowered into closures
+    over unboxed column arrays, avoiding per-row AST interpretation
+    and boxed [Value.t] traffic. [eval] remains the semantic
+    reference; the lowered form agrees with it on every input (see the
+    equivalence test suite), with NULL encoded as [nan]. *)
+
+(** Three-valued results of a lowered boolean closure. *)
+val tri_false : int (** 0 *)
+
+val tri_true : int (** 1 *)
+
+val tri_null : int (** 2 *)
+
+(** [compile schema ~columns e] lowers boolean expression [e] to a
+    per-row evaluator returning {!tri_false}/{!tri_true}/{!tri_null}.
+    [columns i] supplies the cached column for attribute position [i]
+    ([None] if non-numeric). Returns [None] when [e] touches
+    non-numeric attributes or constants — callers must then fall back
+    to {!eval}. *)
+val compile :
+  Schema.t -> columns:(int -> Column.t option) -> t -> (int -> int) option
+
+(** [compile_num schema ~columns e] lowers a numeric expression to a
+    per-row [float] evaluator (NULL as [nan]). *)
+val compile_num :
+  Schema.t -> columns:(int -> Column.t option) -> t -> (int -> float) option
+
 (** Attribute names referenced by the expression, without duplicates. *)
 val attrs : t -> string list
 

@@ -15,40 +15,55 @@ let by_key r key_of =
     tbl []
   |> List.sort (fun a b -> compare a.key b.key)
 
-let centroid r attrs members =
+(* Per-attribute float accessors over the relation's cached columns
+   (NULL and non-numeric cells read as nan), so centroid/radius loops
+   run over unboxed floats instead of boxed tuples. *)
+let accessors r attrs =
   let schema = Relation.schema r in
-  let idxs = Array.of_list (List.map (Schema.index_of schema) attrs) in
-  let k = Array.length idxs in
-  let sums = Array.make k 0. and counts = Array.make k 0 in
-  Array.iter
-    (fun row ->
-      let t = Relation.row r row in
-      Array.iteri
-        (fun j col ->
-          match Value.to_float_opt (Tuple.get t col) with
-          | Some v ->
-            sums.(j) <- sums.(j) +. v;
-            counts.(j) <- counts.(j) + 1
-          | None -> ())
-        idxs)
-    members;
+  Array.of_list
+    (List.map
+       (fun a ->
+         let i = Schema.index_of schema a in
+         match Relation.column_at r i with
+         | Some c ->
+           let d = Column.data c in
+           fun row -> Array.unsafe_get d row
+         | None ->
+           fun row -> (
+             match Value.to_float_opt (Tuple.get (Relation.row r row) i) with
+             | Some v -> v
+             | None -> nan))
+       attrs)
+
+let centroid r attrs members =
+  let cols = accessors r attrs in
+  let k = Array.length cols in
   Array.init k (fun j ->
-      if counts.(j) = 0 then 0. else sums.(j) /. float_of_int counts.(j))
+      let get = cols.(j) in
+      let sum = ref 0. and count = ref 0 in
+      Array.iter
+        (fun row ->
+          let v = get row in
+          if not (Float.is_nan v) then begin
+            sum := !sum +. v;
+            incr count
+          end)
+        members;
+      if !count = 0 then 0. else !sum /. float_of_int !count)
 
 let radius r attrs members centroid =
-  let schema = Relation.schema r in
-  let idxs = Array.of_list (List.map (Schema.index_of schema) attrs) in
+  let cols = accessors r attrs in
   let worst = ref 0. in
-  Array.iter
-    (fun row ->
-      let t = Relation.row r row in
-      Array.iteri
-        (fun j col ->
-          match Value.to_float_opt (Tuple.get t col) with
-          | Some v ->
-            let d = Float.abs (centroid.(j) -. v) in
+  Array.iteri
+    (fun j get ->
+      let c = centroid.(j) in
+      Array.iter
+        (fun row ->
+          let v = get row in
+          if not (Float.is_nan v) then begin
+            let d = Float.abs (c -. v) in
             if d > !worst then worst := d
-          | None -> ())
-        idxs)
-    members;
+          end)
+        members)
+    cols;
   !worst

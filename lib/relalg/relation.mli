@@ -48,9 +48,32 @@ val take : t -> int array -> t
 (** [prefix r n] keeps the first [n] rows (used for scaled-down runs). *)
 val prefix : t -> int -> t
 
-(** [column_float r name] extracts a numeric column as a float array;
-    NULLs become [nan]. *)
+(** {1 Columnar access}
+
+    Numeric columns are materialized once per relation and memoized;
+    repeated access returns the same shared arrays (see {!Column}). *)
+
+(** [column r name] is the cached column for a numeric attribute;
+    [None] for unknown or non-numeric attributes. *)
+val column : t -> string -> Column.t option
+
+(** [column_at r i] — same, by attribute position. *)
+val column_at : t -> int -> Column.t option
+
+(** @raise Invalid_argument when the attribute is not numeric. *)
+val column_exn : t -> string -> Column.t
+
+(** [column_float r name] extracts a numeric column as a {e fresh}
+    float array; NULLs become [nan]. Prefer {!column} for shared,
+    cache-backed access. *)
 val column_float : t -> string -> float array
+
+(** [compile_pred r pred] lowers [pred] onto the relation's cached
+    columns (see {!Expr.compile}); [None] when not vectorizable. *)
+val compile_pred : t -> Expr.t -> (int -> int) option
+
+(** [compile_num r e] lowers a numeric expression similarly. *)
+val compile_num : t -> Expr.t -> (int -> float) option
 
 (** [append_column r attr values] adds a column (e.g. the partitioner's
     gid). [values] must have one entry per row. *)
