@@ -18,31 +18,55 @@ let read_file path =
 
 type method_ = Direct | Sketch_refine
 
-let run data query_text query_file method_ tau attrs epsilon max_seconds
-    max_nodes out verbose explain mps_out partition_file save_partition
+(* Distinct exit codes so scripts can tell failure modes apart:
+   1 infeasible, 2 no package (solver failure), 3 data/IO error,
+   4 PaQL parse error, 5 analysis/translation error, 6 usage error,
+   124 command-line error. *)
+let exit_data_error = 3
+let exit_parse_error = 4
+let exit_analysis_error = 5
+let exit_usage_error = 6
+
+let die code msg =
+  prerr_endline ("paql: " ^ msg);
+  exit code
+
+let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
+    max_nodes faults out verbose explain mps_out partition_file save_partition
     parallel =
   let query =
     match query_text, query_file with
     | Some q, None -> q
     | None, Some f -> read_file f
-    | Some _, Some _ -> failwith "pass either --query or --query-file, not both"
-    | None, None -> failwith "a query is required (--query or --query-file)"
+    | Some _, Some _ ->
+      die exit_usage_error "pass either --query or --query-file, not both"
+    | None, None ->
+      die exit_usage_error "a query is required (--query or --query-file)"
   in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
   end;
+  (match faults with
+  | None -> ()
+  | Some s -> (
+    match Pkg.Faults.parse s with
+    | Ok spec -> Pkg.Faults.install spec
+    | Error msg -> die exit_usage_error ("--faults: " ^ msg)));
   let rel = Relalg.Csv.read data in
   let schema = Relalg.Relation.schema rel in
   let ast =
     match Paql.Parser.parse query with
     | Ok ast -> ast
-    | Error msg -> failwith msg
+    | Error msg -> die exit_parse_error ("parse error: " ^ msg)
   in
   (match Paql.Analyze.check schema ast with
   | Ok () -> ()
-  | Error errs -> failwith (String.concat "\n" errs));
-  let spec = Paql.Translate.compile_exn schema ast in
+  | Error errs -> die exit_analysis_error (String.concat "\n" errs));
+  let spec =
+    try Paql.Translate.compile_exn schema ast
+    with Failure msg -> die exit_analysis_error msg
+  in
   if verbose then
     Format.printf "Parsed query:@.%a@.@." Paql.Pretty.pp_query ast;
   if explain then begin
@@ -57,7 +81,9 @@ let run data query_text query_file method_ tau attrs epsilon max_seconds
     Format.printf "ILP written to %s (%d vars, %d rows)@." path
       (Lp.Problem.nvars problem) (Lp.Problem.nrows problem)
   | None -> ());
-  let limits = { Ilp.Branch_bound.max_nodes; max_seconds } in
+  let limits =
+    { Ilp.Branch_bound.default_limits with max_nodes; max_seconds }
+  in
   let report =
     match method_ with
     | Direct -> Pkg.Direct.run ~limits spec rel
@@ -79,7 +105,8 @@ let run data query_text query_file method_ tau attrs epsilon max_seconds
         | attrs -> attrs
       in
       if attrs = [] then
-        failwith "sketchrefine needs numeric partitioning attributes (--attrs)";
+        die exit_usage_error
+          "sketchrefine needs numeric partitioning attributes (--attrs)";
       let tau =
         match tau with
         | Some t -> t
@@ -139,6 +166,27 @@ let run data query_text query_file method_ tau attrs epsilon max_seconds
         (Relalg.Relation.cardinality materialized)
     | None ->
       Format.printf "@.%a@." Relalg.Relation.pp materialized)
+
+(* Cmdliner traps exceptions escaping the term (reporting them as an
+   internal error, exit 124), so failure-mode exit codes must be
+   assigned here, inside the term body. *)
+let run data query_text query_file method_ tau attrs epsilon max_seconds
+    max_nodes faults out verbose explain mps_out partition_file save_partition
+    parallel =
+  match
+    run_inner data query_text query_file method_ tau attrs epsilon max_seconds
+      max_nodes faults out verbose explain mps_out partition_file
+      save_partition parallel
+  with
+  | () -> ()
+  | exception Relalg.Csv.Error (line, msg) ->
+    die exit_data_error (Printf.sprintf "csv error at line %d: %s" line msg)
+  | exception Sys_error msg -> die exit_data_error msg
+  | exception Paql.Lexer.Lex_error (msg, pos) ->
+    die exit_parse_error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | exception Paql.Parser.Parse_error (msg, pos) ->
+    die exit_parse_error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Failure msg -> die exit_usage_error msg
 
 let data =
   Arg.(
@@ -201,6 +249,16 @@ let max_nodes =
     value & opt int 200_000
     & info [ "max-nodes" ] ~docv:"N" ~doc:"Branch-and-bound node budget.")
 
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Install deterministic fault-injection directives (same grammar \
+           as the PKGQ_FAULTS environment variable), e.g. \
+           $(b,'ilp=3:limit; stage=sketch:infeasible; worker=0:crash').")
+
 let out =
   Arg.(
     value
@@ -250,12 +308,10 @@ let cmd =
   let term =
     Term.(
       const run $ data $ query_text $ query_file $ method_ $ tau $ attrs
-      $ epsilon $ max_seconds $ max_nodes $ out $ verbose $ explain
+      $ epsilon $ max_seconds $ max_nodes $ faults $ out $ verbose $ explain
       $ mps_out $ partition_file $ save_partition $ parallel)
   in
   Cmd.v (Cmd.info "paql" ~doc) term
 
 let () =
-  match Cmd.eval_value cmd with
-  | Ok _ -> ()
-  | Error _ -> exit 124
+  match Cmd.eval_value cmd with Ok _ -> () | Error _ -> exit 124

@@ -27,6 +27,8 @@ let help_text =
   \load FILE                    load a saved partitioning
   \save FILE                    save the current partitioning
   \limits nodes=N seconds=S     per-ILP solver budget
+  \faults SPEC|off              install fault-injection directives
+                                (PKGQ_FAULTS grammar, e.g. ilp=1:raise)
   \show on|off                  print packages after evaluation
   \quit                         exit
 Any other input is PaQL; end statements with ';'.|}
@@ -47,7 +49,9 @@ let run_query st text =
     | Error errs ->
       List.iter (fun e -> Format.printf "error: %s@." e) errs
     | Ok () ->
-      let spec = Paql.Translate.compile_exn schema ast in
+      match Paql.Translate.compile_exn schema ast with
+      | exception Failure msg -> Format.printf "error: %s@." msg
+      | spec ->
       let report =
         match st.method_ with
         | `Direct -> Pkg.Direct.run ~limits:st.limits spec st.rel
@@ -151,6 +155,7 @@ let meta st line =
     let kvs = parse_kv rest in
     let limits =
       {
+        st.limits with
         Ilp.Branch_bound.max_nodes =
           (match List.assoc_opt "nodes" kvs with
           | Some v -> int_of_string v
@@ -162,6 +167,15 @@ let meta st line =
       }
     in
     st.limits <- limits
+  | [ "\\faults"; "off" ] ->
+    Pkg.Faults.clear ();
+    print_endline "faults cleared."
+  | "\\faults" :: rest -> (
+    match Pkg.Faults.parse (String.concat " " rest) with
+    | Ok spec ->
+      Pkg.Faults.install spec;
+      print_endline "faults installed (call counter reset)."
+    | Error msg -> Format.printf "error: %s@." msg)
   | [ "\\show"; "on" ] -> st.show_package <- true
   | [ "\\show"; "off" ] -> st.show_package <- false
   | _ -> Format.printf "unknown command; try \\help@."
@@ -201,7 +215,16 @@ let repl st =
 let () =
   match Sys.argv with
   | [| _; path |] ->
-    let rel = Relalg.Csv.read path in
+    let rel =
+      match Relalg.Csv.read path with
+      | rel -> rel
+      | exception Relalg.Csv.Error (line, msg) ->
+        Printf.eprintf "paql_repl: csv error at line %d: %s\n" line msg;
+        exit 3
+      | exception Sys_error msg ->
+        Printf.eprintf "paql_repl: %s\n" msg;
+        exit 3
+    in
     Format.printf "loaded %s: %d tuple(s). \\help for commands.@." path
       (Relalg.Relation.cardinality rel);
     repl

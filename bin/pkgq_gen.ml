@@ -29,7 +29,9 @@ let show_queries dataset n seed =
     | "galaxy" ->
       Datagen.Workload.galaxy_queries (Datagen.Galaxy.generate ~seed n)
     | "tpch" -> Datagen.Workload.tpch_queries (Datagen.Tpch.generate ~seed n)
-    | d -> failwith ("unknown dataset " ^ d)
+    | d ->
+      prerr_endline ("pkgq_gen: unknown dataset " ^ d ^ " (galaxy or tpch)");
+      exit 3
   in
   List.iter
     (fun (d : Datagen.Workload.def) ->
@@ -80,4 +82,13 @@ let () =
   let group =
     Cmd.group (Cmd.info "pkgq_gen" ~doc) [ galaxy_cmd; tpch_cmd; queries_cmd ]
   in
-  exit (Cmd.eval group)
+  let die msg =
+    prerr_endline ("pkgq_gen: " ^ msg);
+    exit 3
+  in
+  match Cmd.eval group with
+  | code -> exit code
+  | exception Sys_error msg -> die msg
+  | exception Relalg.Csv.Error (line, msg) ->
+    die (Printf.sprintf "csv error at line %d: %s" line msg)
+  | exception Failure msg -> die msg

@@ -72,7 +72,7 @@ let () =
   Format.printf "Quad-tree: %d nodes in %.3fs@.@." (Pkg.Quad_tree.size tree)
     (Unix.gettimeofday () -. t0);
 
-  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 20. } in
+  let limits = { Ilp.Branch_bound.default_limits with max_nodes = 30_000; max_seconds = 20. } in
   let run_query label text =
     Format.printf "== %s ==@." label;
     let spec = Paql.Translate.compile_exn schema (Paql.Parser.parse_exn text) in

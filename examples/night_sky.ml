@@ -44,7 +44,7 @@ let () =
 
   (* Give the solver the same kind of budget the paper gives CPLEX: a
      hard cap, beyond which Direct counts as failed. *)
-  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 20. } in
+  let limits = { Ilp.Branch_bound.default_limits with max_nodes = 30_000; max_seconds = 20. } in
   let direct = Pkg.Direct.run ~limits spec rel in
   Format.printf "direct:       %a@." Pkg.Eval.pp_report direct;
   let sr =

@@ -80,7 +80,7 @@ let () =
   let rel = directory n in
   Format.printf "Engineer directory: %d people@.@." n;
   let attrs = [ "salary"; "perf_score"; "seniority" ] in
-  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 20. } in
+  let limits = { Ilp.Branch_bound.default_limits with max_nodes = 30_000; max_seconds = 20. } in
 
   (* offline partitioning, persisted for the whole workload *)
   let part_path = Filename.temp_file "team" ".part" in

@@ -2,11 +2,24 @@ open Lp
 
 type sol = { x : float array; obj : float }
 
-type limits = { max_nodes : int; max_seconds : float }
+type limits = { max_nodes : int; max_seconds : float; max_simplex_iters : int }
 
-let default_limits = { max_nodes = 200_000; max_seconds = 3600. }
+let default_limits =
+  { max_nodes = 200_000; max_seconds = 3600.; max_simplex_iters = max_int }
 
-type stats = { nodes : int; simplex_iterations : int; elapsed : float }
+type stop_reason = Stop_nodes | Stop_time | Stop_iterations
+
+type stats = {
+  nodes : int;
+  simplex_iterations : int;
+  elapsed : float;
+  stopped : stop_reason option;
+}
+
+let pp_stop_reason ppf = function
+  | Stop_nodes -> Format.pp_print_string ppf "node limit"
+  | Stop_time -> Format.pp_print_string ppf "time limit"
+  | Stop_iterations -> Format.pp_print_string ppf "simplex iteration limit"
 
 type result =
   | Optimal of sol * stats
@@ -33,8 +46,12 @@ let pp_result ppf = function
   | Infeasible st -> Format.fprintf ppf "infeasible (nodes=%d)" st.nodes
   | Unbounded st -> Format.fprintf ppf "unbounded (nodes=%d)" st.nodes
   | Limit st ->
-    Format.fprintf ppf "limit reached with no incumbent (nodes=%d, %.3fs)"
-      st.nodes st.elapsed
+    let reason ppf = function
+      | Some r -> Format.fprintf ppf "%a" pp_stop_reason r
+      | None -> Format.pp_print_string ppf "limit"
+    in
+    Format.fprintf ppf "%a reached with no incumbent (nodes=%d, %.3fs)" reason
+      st.stopped st.nodes st.elapsed
 
 (* A node is a set of bound overrides relative to the root problem,
    plus the LP bound of its parent (used for best-first ordering) and
@@ -144,12 +161,23 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
   in
   (* Internal objective is minimized: internal = sense_sign * external. *)
   let start = Unix.gettimeofday () in
+  let deadline = start +. limits.max_seconds in
   let nodes = ref 0 and lp_iters = ref 0 in
+  let stop = ref None in
+  (* first stop reason wins; later triggers are consequences of it *)
+  let note reason = if !stop = None then stop := Some reason in
+  (* an LP that came back [Iter_limit] either crossed the wall-clock
+     deadline (polled inside the simplex) or exhausted the pivot budget *)
+  let classify_iter_limit () =
+    if Unix.gettimeofday () -. start > limits.max_seconds then note Stop_time
+    else note Stop_iterations
+  in
   let stats () =
     {
       nodes = !nodes;
       simplex_iterations = !lp_iters;
       elapsed = Unix.gettimeofday () -. start;
+      stopped = !stop;
     }
   in
   let base_lo = Array.map (fun v -> v.Problem.lo) p.Problem.vars in
@@ -170,18 +198,21 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
     r
   in
   let solve_lp overrides =
-    with_overrides overrides (fun () ->
-        let vars =
-          Array.mapi
-            (fun j v -> { v with Problem.lo = cur_lo.(j); hi = cur_hi.(j) })
-            p.Problem.vars
-        in
-        let sub = { p with Problem.vars } in
-        let r = Simplex.solve sub in
-        (match r with
-        | Simplex.Optimal s -> lp_iters := !lp_iters + s.Simplex.iterations
-        | _ -> ());
-        r)
+    let iter_budget = limits.max_simplex_iters - !lp_iters in
+    if iter_budget <= 0 then begin
+      note Stop_iterations;
+      Simplex.Iter_limit
+    end
+    else
+      with_overrides overrides (fun () ->
+          let vars =
+            Array.mapi
+              (fun j v -> { v with Problem.lo = cur_lo.(j); hi = cur_hi.(j) })
+              p.Problem.vars
+          in
+          let sub = { p with Problem.vars } in
+          let max_iters = min (Simplex.default_max_iters sub) iter_budget in
+          Simplex.solve ~max_iters ~deadline ~iterations:lp_iters sub)
   in
   let incumbent = ref None in
   let incumbent_internal () =
@@ -302,7 +333,9 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
   match solve_lp [] with
   | Simplex.Infeasible -> Infeasible (stats ())
   | Simplex.Unbounded -> Unbounded (stats ())
-  | Simplex.Iter_limit -> Limit (stats ())
+  | Simplex.Iter_limit ->
+    classify_iter_limit ();
+    Limit (stats ())
   | Simplex.Optimal root ->
     let root_bound = sense_sign *. root.Simplex.obj in
     (match fractional_var root.Simplex.x with
@@ -314,10 +347,14 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
       let best_open = ref root_bound in
       let limit_hit = ref false in
       while (not (Heap.is_empty heap)) && not !limit_hit do
-        if
-          !nodes >= limits.max_nodes
-          || Unix.gettimeofday () -. start > limits.max_seconds
-        then limit_hit := true
+        if !nodes >= limits.max_nodes then begin
+          note Stop_nodes;
+          limit_hit := true
+        end
+        else if Unix.gettimeofday () -. start > limits.max_seconds then begin
+          note Stop_time;
+          limit_hit := true
+        end
         else begin
           let node = Heap.pop heap in
           best_open :=
@@ -329,7 +366,9 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
             incr nodes;
             match solve_lp node.overrides with
             | Simplex.Infeasible -> ()
-            | Simplex.Iter_limit -> limit_hit := true
+            | Simplex.Iter_limit ->
+              classify_iter_limit ();
+              limit_hit := true
             | Simplex.Unbounded ->
               (* cannot happen below an optimal root with added bounds,
                  except through numerical trouble; treat as a dead end *)

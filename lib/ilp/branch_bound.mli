@@ -13,14 +13,26 @@ type sol = { x : float array; obj : float }
 type limits = {
   max_nodes : int;       (** branch-and-bound node budget *)
   max_seconds : float;   (** wall-clock budget *)
+  max_simplex_iters : int;
+      (** total simplex pivot budget across all LP solves of the search
+          (default [max_int]); each LP is handed the remainder *)
 }
 
 val default_limits : limits
+
+(** Which limit stopped a search that came back [Limit]/[Feasible].
+    The {e first} limit crossed is recorded; later triggers are
+    consequences of it. *)
+type stop_reason = Stop_nodes | Stop_time | Stop_iterations
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
 
 type stats = {
   nodes : int;
   simplex_iterations : int;
   elapsed : float;       (** seconds *)
+  stopped : stop_reason option;
+      (** [None] when the search ran to natural completion *)
 }
 
 type result =

@@ -250,14 +250,22 @@ let update_basis st r q =
 
 type loop_outcome = L_optimal | L_unbounded | L_iter_limit
 
-(* Core iteration loop shared by both phases. *)
-let iterate st ~max_iters iters_ref =
+(* Core iteration loop shared by both phases. The wall-clock deadline is
+   polled every 128 iterations so a single LP solve cannot overshoot a
+   propagated budget by more than a handful of pivots. *)
+let iterate st ~max_iters ?deadline iters_ref =
   let degen = ref 0 in
   let bland = ref false in
   let since_refactor = ref 0 in
   let outcome = ref None in
+  let past_deadline () =
+    match deadline with
+    | None -> false
+    | Some d -> !iters_ref land 127 = 0 && Unix.gettimeofday () > d
+  in
   while !outcome = None do
-    if !iters_ref >= max_iters then outcome := Some L_iter_limit
+    if !iters_ref >= max_iters || past_deadline () then
+      outcome := Some L_iter_limit
     else begin
       incr iters_ref;
       if !since_refactor >= 100 then begin
@@ -320,13 +328,16 @@ let current_cost st =
   done;
   !acc
 
-let solve ?max_iters ?(tol = 1e-7) (p : Problem.t) =
+let default_max_iters (p : Problem.t) =
+  20_000 + (4 * (Problem.nvars p + Problem.nrows p))
+
+let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
   (match Problem.validate p with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Simplex.solve: " ^ msg));
   let n = Problem.nvars p and m = Problem.nrows p in
   let max_iters =
-    match max_iters with Some k -> k | None -> 20_000 + (4 * (n + m))
+    match max_iters with Some k -> k | None -> default_max_iters p
   in
   let maxcols = n + m + m in
   let cols = Array.make maxcols [||] in
@@ -434,10 +445,16 @@ let solve ?max_iters ?(tol = 1e-7) (p : Problem.t) =
     }
   in
   let iters = ref 0 in
+  let record result =
+    (match iterations with Some acc -> acc := !acc + !iters | None -> ());
+    result
+  in
   let finish () =
     let x = Array.sub st.xval 0 n in
     Optimal { x; obj = Problem.objective p x; iterations = !iters }
   in
+  record
+  @@
   if m = 0 then begin
     (* No rows: each variable sits at the bound its cost prefers. *)
     let unbounded = ref false in
@@ -466,7 +483,7 @@ let solve ?max_iters ?(tol = 1e-7) (p : Problem.t) =
           st.cost.(z) <- 1.
         done;
         let restore () = Array.blit saved_costs 0 st.cost 0 n in
-        match iterate st ~max_iters iters with
+        match iterate st ~max_iters ?deadline iters with
         | L_iter_limit -> Some Iter_limit
         | L_unbounded ->
           (* phase-1 objective is bounded below by zero *)
@@ -493,7 +510,7 @@ let solve ?max_iters ?(tol = 1e-7) (p : Problem.t) =
     | Some r -> r
     | None -> (
       (* Phase 2 with the real costs. *)
-      match iterate st ~max_iters iters with
+      match iterate st ~max_iters ?deadline iters with
       | L_iter_limit -> Iter_limit
       | L_unbounded -> Unbounded
       | L_optimal ->

@@ -21,9 +21,23 @@ type result =
   | Unbounded
   | Iter_limit
 
-(** [solve ?max_iters ?tol p] solves the LP relaxation of [p]
-    (integrality flags are ignored). [tol] is the feasibility/dual
-    tolerance (default [1e-7]). *)
-val solve : ?max_iters:int -> ?tol:float -> Problem.t -> result
+(** Default pivot budget for a problem: [20_000 + 4 * (nvars + nrows)]. *)
+val default_max_iters : Problem.t -> int
+
+(** [solve ?max_iters ?tol ?deadline ?iterations p] solves the LP
+    relaxation of [p] (integrality flags are ignored). [tol] is the
+    feasibility/dual tolerance (default [1e-7]). [deadline] is an
+    absolute wall-clock time ([Unix.gettimeofday] scale) polled every
+    128 pivots; crossing it returns [Iter_limit]. [iterations], when
+    given, is incremented by the number of pivots performed on {e
+    every} exit path — including [Infeasible], [Unbounded] and
+    [Iter_limit], which carry no solution record of their own. *)
+val solve :
+  ?max_iters:int ->
+  ?tol:float ->
+  ?deadline:float ->
+  ?iterations:int ref ->
+  Problem.t ->
+  result
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,26 +1,40 @@
 let run ?limits spec rel =
   let start = Unix.gettimeofday () in
   let counters = Eval.fresh_counters () in
-  let candidates = Paql.Translate.base_candidates spec rel in
-  let problem = Paql.Translate.to_problem spec rel ~candidates in
-  let result = Ilp.Branch_bound.solve ?limits problem in
-  Eval.bump counters result;
-  let wall_time = Unix.gettimeofday () -. start in
   let finish status package objective =
-    Eval.report ~status ~package ~objective ~wall_time ~counters
+    Eval.report ~status ~package ~objective
+      ~wall_time:(Unix.gettimeofday () -. start)
+      ~counters
   in
-  let package_of (sol : Ilp.Branch_bound.sol) =
-    Package.of_solution rel ~candidates sol.Ilp.Branch_bound.x
+  let evaluate () =
+    let candidates = Paql.Translate.base_candidates spec rel in
+    let problem = Paql.Translate.to_problem spec rel ~candidates in
+    let result = Faults.solve ?limits ~stage:Eval.Direct problem in
+    Eval.bump counters result;
+    let package_of (sol : Ilp.Branch_bound.sol) =
+      Package.of_solution rel ~candidates sol.Ilp.Branch_bound.x
+    in
+    match result with
+    | Ilp.Branch_bound.Optimal (sol, _) ->
+      let p = package_of sol in
+      finish Eval.Optimal (Some p) (Some (Package.objective spec p))
+    | Ilp.Branch_bound.Feasible (sol, _, gap) ->
+      let p = package_of sol in
+      finish (Eval.Feasible gap) (Some p) (Some (Package.objective spec p))
+    | Ilp.Branch_bound.Infeasible _ -> finish Eval.Infeasible None None
+    | Ilp.Branch_bound.Unbounded _ ->
+      finish
+        (Eval.failed ~stage:Eval.Direct
+           (Eval.Solver_error "unbounded objective"))
+        None None
+    | Ilp.Branch_bound.Limit st ->
+      finish (Eval.Failed (Eval.limit_failure ~stage:Eval.Direct st)) None None
   in
-  match result with
-  | Ilp.Branch_bound.Optimal (sol, _) ->
-    let p = package_of sol in
-    finish Eval.Optimal (Some p) (Some (Package.objective spec p))
-  | Ilp.Branch_bound.Feasible (sol, _, gap) ->
-    let p = package_of sol in
-    finish (Eval.Feasible gap) (Some p) (Some (Package.objective spec p))
-  | Ilp.Branch_bound.Infeasible _ -> finish Eval.Infeasible None None
-  | Ilp.Branch_bound.Unbounded _ ->
-    finish (Eval.Failed "unbounded objective") None None
-  | Ilp.Branch_bound.Limit _ ->
-    finish (Eval.Failed "solver limit reached with no incumbent") None None
+  (* The resilience contract: a report, never an exception. *)
+  try evaluate () with
+  | Faults.Injected msg ->
+    finish (Eval.failed ~stage:Eval.Direct (Eval.Solver_error msg)) None None
+  | e ->
+    finish
+      (Eval.failed ~stage:Eval.Direct (Eval.Solver_error (Printexc.to_string e)))
+      None None

@@ -1,8 +1,56 @@
+type stage =
+  | Sketch
+  | Hybrid
+  | Refine
+  | Repair
+  | Direct
+  | Parallel
+  | Fallback
+
+let stage_name = function
+  | Sketch -> "sketch"
+  | Hybrid -> "hybrid"
+  | Refine -> "refine"
+  | Repair -> "repair"
+  | Direct -> "direct"
+  | Parallel -> "parallel"
+  | Fallback -> "fallback"
+
+type failure_kind =
+  | Deadline_exceeded
+  | Node_limit
+  | Iteration_limit
+  | Solver_error of string
+  | Data_error of string
+  | Worker_crash of string
+
+type failure = {
+  kind : failure_kind;
+  stage : stage option;
+  group : int option;
+  worker : int option;
+}
+
+let failure ?stage ?group ?worker kind = { kind; stage; group; worker }
+
+(* Map a Branch_bound [Limit] outcome to the taxonomy. An unclassified
+   limit (old-style synthetic stats) is attributed to the node budget. *)
+let limit_failure ?stage ?group ?worker (st : Ilp.Branch_bound.stats) =
+  let kind =
+    match st.Ilp.Branch_bound.stopped with
+    | Some Ilp.Branch_bound.Stop_time -> Deadline_exceeded
+    | Some Ilp.Branch_bound.Stop_iterations -> Iteration_limit
+    | Some Ilp.Branch_bound.Stop_nodes | None -> Node_limit
+  in
+  failure ?stage ?group ?worker kind
+
 type status =
   | Optimal
   | Feasible of float
   | Infeasible
-  | Failed of string
+  | Failed of failure
+
+let failed ?stage ?group ?worker kind = Failed (failure ?stage ?group ?worker kind)
 
 type counters = {
   mutable ilp_calls : int;
@@ -32,11 +80,33 @@ type report = {
 let report ~status ~package ~objective ~wall_time ~counters =
   { status; package; objective; wall_time; counters }
 
+let pp_failure_kind ppf = function
+  | Deadline_exceeded -> Format.pp_print_string ppf "deadline exceeded"
+  | Node_limit -> Format.pp_print_string ppf "node limit"
+  | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
+  | Solver_error msg -> Format.fprintf ppf "solver error: %s" msg
+  | Data_error msg -> Format.fprintf ppf "data error: %s" msg
+  | Worker_crash msg -> Format.fprintf ppf "worker crash: %s" msg
+
+let pp_failure ppf f =
+  pp_failure_kind ppf f.kind;
+  let ctx =
+    List.filter_map
+      (fun x -> x)
+      [
+        Option.map (fun s -> "stage=" ^ stage_name s) f.stage;
+        Option.map (fun g -> Printf.sprintf "group=%d" g) f.group;
+        Option.map (fun w -> Printf.sprintf "worker=%d" w) f.worker;
+      ]
+  in
+  if ctx <> [] then
+    Format.fprintf ppf " [%s]" (String.concat ", " ctx)
+
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
   | Feasible gap -> Format.fprintf ppf "feasible (gap %.2f%%)" (gap *. 100.)
   | Infeasible -> Format.pp_print_string ppf "infeasible"
-  | Failed msg -> Format.fprintf ppf "failed: %s" msg
+  | Failed f -> Format.fprintf ppf "failed: %a" pp_failure f
 
 let pp_report ppf r =
   Format.fprintf ppf "%a" pp_status r.status;

@@ -1,5 +1,45 @@
-(** Shared result types and counters for the package evaluation
-    methods (DIRECT and SKETCHREFINE). *)
+(** Shared result types, failure taxonomy and counters for the package
+    evaluation methods (DIRECT, SKETCHREFINE, parallel refinement). *)
+
+(** Where in the pipeline a failure originated — the ladder rung or
+    evaluation phase that was executing. *)
+type stage =
+  | Sketch      (** the representative sketch ILP *)
+  | Hybrid      (** a hybrid-sketch ILP (Section 4.4 fallback) *)
+  | Refine      (** a sequential refine ILP (Algorithm 2) *)
+  | Repair      (** Phase-3 repair of a parallel run (Section 4.5) *)
+  | Direct      (** the single DIRECT ILP *)
+  | Parallel    (** a Phase-1 parallel refine worker *)
+  | Fallback    (** between ladder rungs / the sequential fallback *)
+
+val stage_name : stage -> string
+
+type failure_kind =
+  | Deadline_exceeded   (** a wall-clock budget (global or per-call) ran out *)
+  | Node_limit          (** branch-and-bound node budget exhausted *)
+  | Iteration_limit     (** simplex pivot budget exhausted *)
+  | Solver_error of string  (** unexpected solver outcome or exception *)
+  | Data_error of string    (** bad input data (CSV, enumeration blow-up) *)
+  | Worker_crash of string  (** a parallel worker domain died *)
+
+(** A typed failure with enough context to tell graceful degradation
+    apart from a crash: which budget/fault fired, on which ladder rung,
+    for which group, in which worker. *)
+type failure = {
+  kind : failure_kind;
+  stage : stage option;
+  group : int option;   (** partition group id, when per-group *)
+  worker : int option;  (** parallel worker index, when per-worker *)
+}
+
+val failure : ?stage:stage -> ?group:int -> ?worker:int -> failure_kind -> failure
+
+(** Classify a {!Ilp.Branch_bound.Limit} outcome by its recorded stop
+    reason: time maps to [Deadline_exceeded], pivots to
+    [Iteration_limit], nodes (or an unclassified limit) to
+    [Node_limit]. *)
+val limit_failure :
+  ?stage:stage -> ?group:int -> ?worker:int -> Ilp.Branch_bound.stats -> failure
 
 type status =
   | Optimal
@@ -8,9 +48,12 @@ type status =
       (** a solver limit was hit; the payload is the worst relative
           optimality gap observed *)
   | Infeasible
-  | Failed of string
+  | Failed of failure
       (** the solver gave up with no usable answer — the analogue of
-          the paper's CPLEX failures (memory/time kill) *)
+          the paper's CPLEX failures (memory/time kill), now typed *)
+
+(** [failed ?stage ?group ?worker kind] is [Failed (failure ... kind)]. *)
+val failed : ?stage:stage -> ?group:int -> ?worker:int -> failure_kind -> status
 
 type counters = {
   mutable ilp_calls : int;
@@ -40,5 +83,7 @@ val report :
   counters:counters ->
   report
 
+val pp_failure_kind : Format.formatter -> failure_kind -> unit
+val pp_failure : Format.formatter -> failure -> unit
 val pp_status : Format.formatter -> status -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,216 @@
+(* Deterministic fault injection for the solver stack.
+
+   Every ILP in the pipeline goes through [solve], which (a) applies any
+   installed fault directive matching the call, and (b) derives the
+   per-call time limit from the remaining global budget when a deadline
+   is supplied — the single choke point for both deadline propagation
+   and fault injection. *)
+
+type action = Force_limit | Force_infeasible | Force_raise
+
+type cond = {
+  on_call : int option;  (* 1-based global ILP call index *)
+  on_stage : Eval.stage option;
+  on_group : int option;
+}
+
+type directive = Ilp_fault of cond * action | Worker_kill of int
+
+type spec = directive list
+
+exception Injected of string
+
+let installed : spec Atomic.t = Atomic.make []
+let calls = Atomic.make 0
+
+let install s =
+  Atomic.set installed s;
+  Atomic.set calls 0
+
+let clear () = install []
+let active () = Atomic.get installed <> []
+
+let stage_of_string = function
+  | "sketch" -> Some Eval.Sketch
+  | "hybrid" -> Some Eval.Hybrid
+  | "refine" -> Some Eval.Refine
+  | "repair" -> Some Eval.Repair
+  | "direct" -> Some Eval.Direct
+  | "parallel" -> Some Eval.Parallel
+  | _ -> None
+
+let action_of_string = function
+  | "limit" -> Some Force_limit
+  | "infeasible" -> Some Force_infeasible
+  | "raise" -> Some Force_raise
+  | _ -> None
+
+(* Grammar: directives separated by ';', each [selector:action] where
+   the selector is ','-separated [key=value] pairs. E.g.
+   "ilp=3:limit; stage=sketch:infeasible; stage=refine,group=2:raise;
+   worker=1:crash". *)
+let parse s =
+  let ( let* ) = Result.bind in
+  let trim = String.trim in
+  let parts =
+    String.split_on_char ';' s |> List.map trim
+    |> List.filter (fun d -> d <> "")
+  in
+  let parse_directive d =
+    match String.rindex_opt d ':' with
+    | None -> Error (Printf.sprintf "fault %S: missing ':action'" d)
+    | Some i ->
+      let selector = trim (String.sub d 0 i) in
+      let act = trim (String.sub d (i + 1) (String.length d - i - 1)) in
+      let pairs =
+        String.split_on_char ',' selector |> List.map trim
+        |> List.filter (fun p -> p <> "")
+      in
+      let* kvs =
+        List.fold_left
+          (fun acc p ->
+            let* acc = acc in
+            match String.index_opt p '=' with
+            | None -> Error (Printf.sprintf "fault selector %S: expected key=value" p)
+            | Some j ->
+              let k = trim (String.sub p 0 j) in
+              let v = trim (String.sub p (j + 1) (String.length p - j - 1)) in
+              Ok ((k, v) :: acc))
+          (Ok []) pairs
+      in
+      let int_of k v =
+        match int_of_string_opt v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "fault %s=%S: not an integer" k v)
+      in
+      match kvs with
+      | [ ("worker", w) ] when act = "crash" ->
+        let* w = int_of "worker" w in
+        Ok (Worker_kill w)
+      | _ ->
+        let* action =
+          match action_of_string act with
+          | Some a -> Ok a
+          | None ->
+            Error
+              (Printf.sprintf
+                 "fault action %S: expected limit|infeasible|raise (or crash \
+                  with a worker selector)"
+                 act)
+        in
+        let* cond =
+          List.fold_left
+            (fun acc (k, v) ->
+              let* c = acc in
+              match k with
+              | "ilp" ->
+                let* n = int_of k v in
+                Ok { c with on_call = Some n }
+              | "group" ->
+                let* n = int_of k v in
+                Ok { c with on_group = Some n }
+              | "stage" -> (
+                match stage_of_string v with
+                | Some st -> Ok { c with on_stage = Some st }
+                | None ->
+                  Error
+                    (Printf.sprintf
+                       "fault stage %S: expected \
+                        sketch|hybrid|refine|repair|direct|parallel"
+                       v))
+              | "worker" ->
+                Error "fault selector worker=N only combines with :crash"
+              | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
+            (Ok { on_call = None; on_stage = None; on_group = None })
+            kvs
+        in
+        if cond = { on_call = None; on_stage = None; on_group = None } then
+          Error (Printf.sprintf "fault %S: empty selector" d)
+        else Ok (Ilp_fault (cond, action))
+  in
+  if parts = [] then Error "empty fault spec (use clear/\"off\" to disable)"
+  else
+    List.fold_left
+      (fun acc d ->
+        let* acc = acc in
+        let* dir = parse_directive d in
+        Ok (dir :: acc))
+      (Ok []) parts
+    |> Result.map List.rev
+
+let env_var = "PKGQ_FAULTS"
+
+let install_from_env () =
+  match Sys.getenv_opt env_var with
+  | None -> ()
+  | Some s -> (
+    match parse s with
+    | Ok spec -> install spec
+    | Error msg -> Printf.eprintf "%s ignored: %s\n%!" env_var msg)
+
+let () = install_from_env ()
+
+let action_for ~call ~stage ~group =
+  List.find_map
+    (function
+      | Worker_kill _ -> None
+      | Ilp_fault (c, a) ->
+        let ok_call =
+          match c.on_call with None -> true | Some k -> k = call
+        in
+        let ok_stage =
+          match c.on_stage with None -> true | Some s -> s = stage
+        in
+        let ok_group =
+          match c.on_group with None -> true | Some g -> Some g = group
+        in
+        if ok_call && ok_stage && ok_group then Some a else None)
+    (Atomic.get installed)
+
+let worker_should_crash w =
+  List.exists
+    (function Worker_kill k -> k = w | Ilp_fault _ -> false)
+    (Atomic.get installed)
+
+let zero_stats stopped =
+  {
+    Ilp.Branch_bound.nodes = 0;
+    simplex_iterations = 0;
+    elapsed = 0.;
+    stopped;
+  }
+
+let solve ?limits ?deadline ~stage ?group problem =
+  let limits =
+    match limits with Some l -> l | None -> Ilp.Branch_bound.default_limits
+  in
+  let call = Atomic.fetch_and_add calls 1 + 1 in
+  match action_for ~call ~stage ~group with
+  | Some Force_raise ->
+    let where =
+      match group with
+      | Some g -> Printf.sprintf "%s ILP for group %d" (Eval.stage_name stage) g
+      | None -> Printf.sprintf "%s ILP" (Eval.stage_name stage)
+    in
+    raise (Injected (Printf.sprintf "injected crash at call %d (%s)" call where))
+  | Some Force_infeasible -> Ilp.Branch_bound.Infeasible (zero_stats None)
+  | Some Force_limit ->
+    Ilp.Branch_bound.Limit (zero_stats (Some Ilp.Branch_bound.Stop_nodes))
+  | None -> (
+    match deadline with
+    | None -> Ilp.Branch_bound.solve ~limits problem
+    | Some d ->
+      let remaining = d -. Unix.gettimeofday () in
+      if remaining <= 0. then
+        (* budget already spent: report a time-stopped limit without
+           touching the solver *)
+        Ilp.Branch_bound.Limit (zero_stats (Some Ilp.Branch_bound.Stop_time))
+      else
+        let limits =
+          {
+            limits with
+            Ilp.Branch_bound.max_seconds =
+              Float.min limits.Ilp.Branch_bound.max_seconds remaining;
+          }
+        in
+        Ilp.Branch_bound.solve ~limits problem)

@@ -1,0 +1,86 @@
+(** Deterministic fault injection and deadline-aware ILP dispatch.
+
+    Every [Branch_bound.solve] call site in the package pipeline routes
+    through {!solve}, making this module the single choke point for two
+    resilience mechanisms:
+
+    - {b deadline propagation} — given an absolute [deadline], the
+      per-call [max_seconds] is clamped to the remaining global budget
+      (an already-expired deadline returns a synthetic time-stopped
+      [Limit] without invoking the solver);
+    - {b fault injection} — an installed {!spec} can force a [Limit],
+      an [Infeasible], or a raised {!Injected} exception on the k-th
+      ILP call overall, on a pipeline stage, or on a specific group,
+      and can kill a chosen parallel worker. This is what makes every
+      rung of the Section 4.4 fallback ladder — and the Section 4.5
+      worker-crash/repair path — deterministically testable on feasible
+      inputs.
+
+    Faults are configured from the [PKGQ_FAULTS] environment variable
+    at load time, from the CLI ([--faults]), or programmatically.
+
+    {2 Grammar}
+
+    Directives are separated by [';']; each is [selector:action] where
+    the selector is a [',']-separated conjunction of [key=value] pairs:
+
+    {v
+    ilp=K        the K-th ILP call overall (1-based, global counter)
+    stage=S      S in sketch|hybrid|refine|repair|direct|parallel
+    group=J      partition group id J
+    worker=W     parallel worker index W (only with action crash)
+    v}
+
+    Actions: [limit] (forced node-limit), [infeasible], [raise]
+    (raises {!Injected}), [crash] (worker kill). Examples:
+    ["ilp=3:limit"], ["stage=sketch:infeasible"],
+    ["stage=refine,group=2:raise; worker=1:crash"]. *)
+
+type action = Force_limit | Force_infeasible | Force_raise
+
+type cond = {
+  on_call : int option;
+  on_stage : Eval.stage option;
+  on_group : int option;
+}
+
+type directive = Ilp_fault of cond * action | Worker_kill of int
+
+type spec = directive list
+
+(** Raised by an ILP call matched by a [raise] directive, and inside a
+    worker matched by a [crash] directive. *)
+exception Injected of string
+
+(** Parse a fault spec in the grammar above. *)
+val parse : string -> (spec, string) result
+
+(** Install a spec and reset the global ILP call counter. *)
+val install : spec -> unit
+
+(** Remove all faults and reset the call counter. *)
+val clear : unit -> unit
+
+val active : unit -> bool
+
+(** Re-read [PKGQ_FAULTS] (also done once at module load; a malformed
+    value is reported on stderr and ignored). *)
+val install_from_env : unit -> unit
+
+val env_var : string
+
+(** [solve ?limits ?deadline ~stage ?group p] is
+    [Branch_bound.solve ~limits p] with the per-call [max_seconds]
+    clamped to the budget remaining before [deadline], after applying
+    any fault directive matching this call. Increments the global call
+    counter even when a fault short-circuits the solver. *)
+val solve :
+  ?limits:Ilp.Branch_bound.limits ->
+  ?deadline:float ->
+  stage:Eval.stage ->
+  ?group:int ->
+  Lp.Problem.t ->
+  Ilp.Branch_bound.result
+
+(** Whether an installed directive kills parallel worker [w]. *)
+val worker_should_crash : int -> bool

@@ -79,7 +79,8 @@ let run ?(max_combinations = 200_000_000) spec rel ~cardinality =
       finish Eval.Optimal (Some p) (Some (Package.objective spec p)))
   | exception Too_many ->
     finish
-      (Eval.Failed
-         (Printf.sprintf "enumeration aborted after %d combinations"
-            max_combinations))
+      (Eval.failed
+         (Eval.Data_error
+            (Printf.sprintf "enumeration aborted after %d combinations"
+               max_combinations)))
       None None

@@ -19,7 +19,15 @@
       {!Sketch_refine.run} with its fallback ladder.
 
     The result is always a feasible package (or a principled
-    infeasible/failed report), never a torn merge. *)
+    infeasible/failed report), never a torn merge.
+
+    Resilience: Phase-1 workers run under the propagated deadline (see
+    {!Sketch_refine.options.propagate_deadline}); a worker body never
+    lets an exception escape — a crash (including an injected
+    [worker=W:crash] fault) marks the worker's stripe of groups
+    [`Failed] and they are repaired in Phase 3; all domains are joined
+    even when one fails; and the sequential fallback receives only the
+    remaining wall budget, not a fresh one. *)
 
 (** [run ?options ?domains spec rel partition] — [domains] caps the
     worker count (default [Domain.recommended_domain_count ()],

@@ -1,10 +1,10 @@
 type result =
   | Refined of Package.t
   | Refine_infeasible
-  | Refine_failed of string
+  | Refine_failed of Eval.failure
 
 exception Deadline
-exception Solver_failure of string
+exception Solver_failure of Eval.failure
 exception Budget_exhausted
 
 (* Mutable refinement state: a group is either still represented by
@@ -44,7 +44,7 @@ let offsets_excluding st j =
 
 (* Solve the refine query Q[Gj]: pick original tuples from group j that
    combine with the rest of the package to satisfy the query. *)
-let refine_query ?limits ~deadline st counters j =
+let refine_query ?limits ?(clamp = true) ~deadline ~stage st counters j =
   (match deadline with
   | Some d when Unix.gettimeofday () > d -> raise Deadline
   | _ -> ());
@@ -55,7 +55,11 @@ let refine_query ?limits ~deadline st counters j =
       { st.ctx.Sketch.spec with Paql.Translate.where = None }
       st.ctx.Sketch.rel ~candidates
   in
-  let result = Ilp.Branch_bound.solve ?limits problem in
+  let result =
+    Faults.solve ?limits
+      ?deadline:(if clamp then deadline else None)
+      ~stage ~group:j problem
+  in
   Eval.bump counters result;
   match result with
   | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
@@ -68,8 +72,11 @@ let refine_query ?limits ~deadline st counters j =
       candidates;
     `Feasible (List.rev !entries)
   | Ilp.Branch_bound.Infeasible _ -> `Infeasible
-  | Ilp.Branch_bound.Unbounded _ -> `Failed "refine query unbounded"
-  | Ilp.Branch_bound.Limit _ -> `Failed "refine query hit solver limit"
+  | Ilp.Branch_bound.Unbounded _ ->
+    `Failed
+      (Eval.failure ~stage ~group:j
+         (Eval.Solver_error "refine query unbounded"))
+  | Ilp.Branch_bound.Limit st -> `Failed (Eval.limit_failure ~stage ~group:j st)
 
 (* Algorithm 2. [todo] holds every group still carrying representatives.
    Each loop iteration speculatively refines one group and recurses on
@@ -83,7 +90,8 @@ let refine_query ?limits ~deadline st counters j =
    worst-case factorial, and past the budget we declare (possibly
    false) infeasibility so the caller can fall back to the hybrid
    sketch, which re-anchors the search on real tuples. *)
-let rec refine_level ?limits ~deadline ~budget ~at_root st counters todo =
+let rec refine_level ?limits ~clamp ~deadline ~stage ~budget ~at_root st
+    counters todo =
   match todo with
   | [] -> Ok ()
   | _ ->
@@ -95,8 +103,8 @@ let rec refine_level ?limits ~deadline ~budget ~at_root st counters todo =
         match !queue with j :: rest -> j, rest | [] -> assert false
       in
       queue := rest;
-      match refine_query ?limits ~deadline st counters j with
-      | `Failed msg -> raise (Solver_failure msg)
+      match refine_query ?limits ~clamp ~deadline ~stage st counters j with
+      | `Failed f -> raise (Solver_failure f)
       | `Infeasible ->
         counters.Eval.backtracks <- counters.Eval.backtracks + 1;
         if counters.Eval.backtracks > budget then raise Budget_exhausted;
@@ -108,8 +116,8 @@ let rec refine_level ?limits ~deadline ~budget ~at_root st counters todo =
         st.rep_counts.(j) <- 0.;
         let child_todo = List.filter (fun g -> g <> j) todo in
         match
-          refine_level ?limits ~deadline ~budget ~at_root:false st counters
-            child_todo
+          refine_level ?limits ~clamp ~deadline ~stage ~budget ~at_root:false
+            st counters child_todo
         with
         | Ok () -> result := Some (Ok ())
         | Error f ->
@@ -137,9 +145,12 @@ let state_of_snapshot ctx snapshot =
     refined = snapshot.srefined;
   }
 
-let solve_group ?limits ctx counters snapshot j =
-  refine_query ?limits ~deadline:None (state_of_snapshot ctx snapshot)
-    counters j
+let solve_group ?limits ?deadline ctx counters snapshot j =
+  let st = state_of_snapshot ctx snapshot in
+  match refine_query ?limits ~deadline ~stage:Eval.Parallel st counters j with
+  | r -> r
+  | exception Deadline ->
+    `Failed (Eval.failure ~stage:Eval.Parallel ~group:j Eval.Deadline_exceeded)
 
 let totals ctx snapshot =
   let st = state_of_snapshot ctx snapshot in
@@ -158,8 +169,8 @@ let within_bounds ?(tol = 1e-6) ctx values =
     ctx.Sketch.spec.Paql.Translate.constraints
     (Array.to_list values)
 
-let run ?limits ?deadline ?(max_backtracks = 256) ctx counters ~rep_counts
-    ~refined =
+let run ?limits ?deadline ?(clamp = true) ?(max_backtracks = 256)
+    ?(stage = Eval.Refine) ctx counters ~rep_counts ~refined =
   let st = { ctx; rep_counts; refined } in
   let budget = counters.Eval.backtracks + max_backtracks in
   let m = Partition.num_groups ctx.Sketch.part in
@@ -173,7 +184,8 @@ let run ?limits ?deadline ?(max_backtracks = 256) ctx counters ~rep_counts
     |> List.sort (fun a b -> compare st.rep_counts.(b) st.rep_counts.(a))
   in
   match
-    refine_level ?limits ~deadline ~budget ~at_root:true st counters todo
+    refine_level ?limits ~clamp ~deadline ~stage ~budget ~at_root:true st
+      counters todo
   with
   | Ok () ->
     let entries =
@@ -182,6 +194,7 @@ let run ?limits ?deadline ?(max_backtracks = 256) ctx counters ~rep_counts
     in
     Refined (Package.make ctx.Sketch.rel entries)
   | Error _ -> Refine_infeasible
-  | exception Deadline -> Refine_failed "refinement deadline exceeded"
+  | exception Deadline ->
+    Refine_failed (Eval.failure ~stage Eval.Deadline_exceeded)
   | exception Budget_exhausted -> Refine_infeasible
-  | exception Solver_failure msg -> Refine_failed msg
+  | exception Solver_failure f -> Refine_failed f

@@ -9,14 +9,20 @@ type result =
   | Refined of Package.t
   | Refine_infeasible
       (** greedy backtracking exhausted every ordering *)
-  | Refine_failed of string  (** solver limit or deadline *)
+  | Refine_failed of Eval.failure  (** solver limit or deadline *)
 
 (** [run ?limits ?deadline ctx counters ~rep_counts ~refined] completes
     the sketch package described by [rep_counts] (per-group
     representative multiplicities) and [refined] (groups already fixed
     to original tuples, e.g. by the hybrid sketch query).
     [deadline] is an absolute [Unix.gettimeofday] instant; exceeding it
-    yields [Refine_failed]. Backtracking events are counted in
+    yields [Refine_failed]. When [clamp] is true (the default) each
+    per-group ILP additionally derives its time limit from the budget
+    remaining before [deadline] (via {!Faults.solve}); [clamp:false]
+    restores the legacy behaviour of checking the deadline only between
+    ILPs. [stage] (default {!Eval.Refine}) tags fault-injection
+    matching and failure context — the parallel driver's Phase 3 passes
+    {!Eval.Repair}. Backtracking events are counted in
     [counters.backtracks]; more than [max_backtracks] of them (default
     256, greedy backtracking is worst-case factorial) yields
     [Refine_infeasible] so the caller can fall back to the hybrid
@@ -24,7 +30,9 @@ type result =
 val run :
   ?limits:Ilp.Branch_bound.limits ->
   ?deadline:float ->
+  ?clamp:bool ->
   ?max_backtracks:int ->
+  ?stage:Eval.stage ->
   Sketch.ctx ->
   Eval.counters ->
   rep_counts:float array ->
@@ -40,16 +48,19 @@ type snapshot = {
   srefined : (int * int) list option array;
 }
 
-(** [solve_group ?limits ctx counters snapshot j] solves the refine
-    query Q[Gj] against the given assignment (everything except group
-    [j] contributes offsets). *)
+(** [solve_group ?limits ?deadline ctx counters snapshot j] solves the
+    refine query Q[Gj] against the given assignment (everything except
+    group [j] contributes offsets). Runs under the {!Eval.Parallel}
+    stage; an expired [deadline] is reported as a [`Failed] result
+    (never an exception), so worker domains stay crash-contained. *)
 val solve_group :
   ?limits:Ilp.Branch_bound.limits ->
+  ?deadline:float ->
   Sketch.ctx ->
   Eval.counters ->
   snapshot ->
   int ->
-  [ `Feasible of (int * int) list | `Infeasible | `Failed of string ]
+  [ `Feasible of (int * int) list | `Infeasible | `Failed of Eval.failure ]
 
 (** [totals ctx snapshot] is the value of each global constraint's
     linear form under the assignment (representatives included). *)

@@ -47,14 +47,14 @@ let make_ctx spec rel (part : Partition.t) =
 type result =
   | Sketched of float array
   | Sketch_infeasible
-  | Sketch_failed of string
+  | Sketch_failed of Eval.failure
 
 let group_counts ctx x ~groups =
   let counts = Array.make (Partition.num_groups ctx.part) 0. in
   Array.iteri (fun k gid -> counts.(gid) <- x.(k)) groups;
   counts
 
-let run ?limits ctx counters =
+let run ?limits ?deadline ctx counters =
   let m = Partition.num_groups ctx.part in
   (* Only groups with a nonzero cap get a variable. *)
   let groups =
@@ -73,12 +73,16 @@ let run ?limits ctx counters =
       { ctx.spec with Paql.Translate.where = None }
       reps ~candidates:groups
   in
-  let result = Ilp.Branch_bound.solve ?limits problem in
+  let result = Faults.solve ?limits ?deadline ~stage:Eval.Sketch problem in
   Eval.bump counters result;
   match result with
   | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
     ->
     Sketched (group_counts ctx sol.Ilp.Branch_bound.x ~groups)
   | Ilp.Branch_bound.Infeasible _ -> Sketch_infeasible
-  | Ilp.Branch_bound.Unbounded _ -> Sketch_failed "sketch query unbounded"
-  | Ilp.Branch_bound.Limit _ -> Sketch_failed "sketch query hit solver limit"
+  | Ilp.Branch_bound.Unbounded _ ->
+    Sketch_failed
+      (Eval.failure ~stage:Eval.Sketch
+         (Eval.Solver_error "sketch query unbounded"))
+  | Ilp.Branch_bound.Limit st ->
+    Sketch_failed (Eval.limit_failure ~stage:Eval.Sketch st)

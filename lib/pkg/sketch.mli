@@ -27,11 +27,17 @@ type result =
   | Sketched of float array
       (** per-group multiplicity of each representative *)
   | Sketch_infeasible
-  | Sketch_failed of string
+  | Sketch_failed of Eval.failure
 
-(** [run ?limits ctx counters] solves the sketch query [Q[R~]]. *)
+(** [run ?limits ?deadline ctx counters] solves the sketch query
+    [Q[R~]] through {!Faults.solve}; [deadline] clamps the ILP's time
+    budget to the remaining global budget. *)
 val run :
-  ?limits:Ilp.Branch_bound.limits -> ctx -> Eval.counters -> result
+  ?limits:Ilp.Branch_bound.limits ->
+  ?deadline:float ->
+  ctx ->
+  Eval.counters ->
+  result
 
 (** [group_counts ctx x ~groups] maps an ILP solution over the listed
     group ids back to a per-group (all groups) count array. *)

@@ -8,6 +8,7 @@ type options = {
   limits : Ilp.Branch_bound.limits;
   max_seconds : float;
   fallbacks : fallback list;
+  propagate_deadline : bool;
 }
 
 let default_options =
@@ -15,12 +16,13 @@ let default_options =
     limits = Ilp.Branch_bound.default_limits;
     max_seconds = 3600.;
     fallbacks = [ Hybrid_sketch ];
+    propagate_deadline = true;
   }
 
 (* Hybrid sketch query (Section 4.4.1): original tuples for group [j],
    representatives (with caps) for every other group, in one ILP. On
    success the package is already refined on [j]. *)
-let hybrid_sketch ?limits (ctx : Sketch.ctx) counters j =
+let hybrid_sketch ?limits ?deadline (ctx : Sketch.ctx) counters j =
   let rel = ctx.Sketch.rel in
   let reps = ctx.Sketch.part.Partition.reps in
   let spec = { ctx.Sketch.spec with Paql.Translate.where = None } in
@@ -70,7 +72,7 @@ let hybrid_sketch ?limits (ctx : Sketch.ctx) counters j =
   in
   let sense = Paql.Translate.objective_sense spec in
   let problem = Lp.Problem.make ~sense ~vars ~rows in
-  let result = Ilp.Branch_bound.solve ?limits problem in
+  let result = Faults.solve ?limits ?deadline ~stage:Eval.Hybrid ~group:j problem in
   Eval.bump counters result;
   match result with
   | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
@@ -133,6 +135,11 @@ let merge_groups (part : Partition.t) rel =
 let run ?(options = default_options) spec rel partition =
   let start = Unix.gettimeofday () in
   let deadline = start +. options.max_seconds in
+  (* When propagation is on, every ILP derives its time limit from the
+     remaining global budget; otherwise the deadline is only polled
+     between pipeline steps (the legacy behaviour, kept for the bench's
+     before/after comparison). *)
+  let solver_deadline = if options.propagate_deadline then Some deadline else None in
   let counters = Eval.fresh_counters () in
   let finish status package objective =
     Eval.report ~status ~package ~objective
@@ -149,21 +156,24 @@ let run ?(options = default_options) spec rel partition =
                   (List.length fallbacks));
     let refine_from ~rep_counts ~refined ~on_infeasible =
       match
-        Refine.run ~limits:options.limits ~deadline ctx counters ~rep_counts
-          ~refined
+        Refine.run ~limits:options.limits ~deadline
+          ~clamp:options.propagate_deadline ctx counters ~rep_counts ~refined
       with
       | Refine.Refined p ->
         finish Eval.Optimal (Some p) (Some (Package.objective spec p))
       | Refine.Refine_infeasible -> on_infeasible ()
-      | Refine.Refine_failed msg -> finish (Eval.Failed msg) None None
+      | Refine.Refine_failed f -> finish (Eval.Failed f) None None
     in
     let rec try_hybrid j ~on_exhausted =
       if j >= m then on_exhausted ()
       else if out_of_time () then
-        finish (Eval.Failed "deadline exceeded during hybrid sketch") None None
+        finish (Eval.failed ~stage:Eval.Hybrid Eval.Deadline_exceeded) None None
       else if ctx.Sketch.caps.(j) <= 0. then try_hybrid (j + 1) ~on_exhausted
       else
-        match hybrid_sketch ~limits:options.limits ctx counters j with
+        match
+          hybrid_sketch ~limits:options.limits ?deadline:solver_deadline ctx
+            counters j
+        with
         | Some (entries, rep_counts) ->
           let refined = Array.make m None in
           refined.(j) <- Some entries;
@@ -177,7 +187,8 @@ let run ?(options = default_options) spec rel partition =
     let rec fallback_chain = function
       | [] -> finish Eval.Infeasible None None
       | _ when out_of_time () ->
-        finish (Eval.Failed "deadline exceeded during fallbacks") None None
+        finish (Eval.failed ~stage:Eval.Fallback Eval.Deadline_exceeded) None
+          None
       | Hybrid_sketch :: rest ->
         Log.info (fun k -> k "falling back: hybrid sketch queries");
         try_hybrid 0 ~on_exhausted:(fun () -> fallback_chain rest)
@@ -209,13 +220,19 @@ let run ?(options = default_options) spec rel partition =
              the hybrid/refine query is the original problem *)
           attempt (merge_groups part rel) ~fallbacks:(Hybrid_sketch :: Merge_groups :: rest)
     in
-    match Sketch.run ~limits:options.limits ctx counters with
+    match
+      Sketch.run ~limits:options.limits ?deadline:solver_deadline ctx counters
+    with
     | Sketch.Sketched rep_counts ->
       refine_from ~rep_counts ~refined:(Array.make m None)
         ~on_infeasible:(fun () -> fallback_chain fallbacks)
-    | Sketch.Sketch_failed msg -> finish (Eval.Failed msg) None None
+    | Sketch.Sketch_failed f -> finish (Eval.Failed f) None None
     | Sketch.Sketch_infeasible ->
       Log.info (fun k -> k "sketch query infeasible");
       fallback_chain fallbacks
   in
-  attempt partition ~fallbacks:options.fallbacks
+  (* The resilience contract: a report, never an exception. *)
+  try attempt partition ~fallbacks:options.fallbacks with
+  | Faults.Injected msg ->
+    finish (Eval.failed (Eval.Solver_error msg)) None None
+  | e -> finish (Eval.failed (Eval.Solver_error (Printexc.to_string e))) None None

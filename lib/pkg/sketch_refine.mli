@@ -30,6 +30,13 @@ type options = {
   fallbacks : fallback list;
       (** tried in order on false infeasibility; default
           [[Hybrid_sketch]], matching the paper's setup *)
+  propagate_deadline : bool;
+      (** (default [true]) thread the absolute deadline
+          [start + max_seconds] into every ILP call, clamping each
+          per-call [max_seconds] to the remaining budget — so no single
+          ILP can blow past the global cap. [false] restores the legacy
+          behaviour of polling the deadline only between pipeline
+          steps, leaving per-call limits static. *)
 }
 
 val default_options : options

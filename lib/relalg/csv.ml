@@ -19,12 +19,16 @@ let field_to_string v =
   | Value.Float f -> Printf.sprintf "%.17g" f
   | v -> Value.to_string v
 
-let ty_of_string = function
+exception Error of int * string
+
+let error line msg = raise (Error (line, msg))
+
+let ty_of_string ~line = function
   | "int" -> Value.TInt
   | "float" -> Value.TFloat
   | "str" -> Value.TStr
   | "bool" -> Value.TBool
-  | s -> invalid_arg ("Csv: unknown type " ^ s)
+  | s -> error line (Printf.sprintf "unknown type %S in header" s)
 
 let to_buffer buf r =
   let schema = Relation.schema r in
@@ -59,18 +63,21 @@ let write path r =
     (fun () -> output_string oc (to_string r))
 
 (* A small state machine handling quoted fields with embedded commas,
-   doubled quotes and newlines. *)
+   doubled quotes and newlines. Each record carries the 1-based input
+   line it started on, so parse errors can point at the offender. *)
 let split_records s =
   let records = ref [] in
   let fields = ref [] in
   let buf = Buffer.create 32 in
+  let line = ref 1 in
+  let rec_start = ref 1 in
   let push_field () =
     fields := Buffer.contents buf :: !fields;
     Buffer.clear buf
   in
   let push_record () =
     push_field ();
-    records := List.rev !fields :: !records;
+    records := (!rec_start, List.rev !fields) :: !records;
     fields := []
   in
   let n = String.length s in
@@ -83,6 +90,8 @@ let split_records s =
         plain (i + 1)
       | '\n' ->
         push_record ();
+        incr line;
+        rec_start := !line;
         plain (i + 1)
       | '\r' -> plain (i + 1)
       | '"' when Buffer.length buf = 0 -> quoted (i + 1)
@@ -90,7 +99,7 @@ let split_records s =
         Buffer.add_char buf c;
         plain (i + 1)
   and quoted i =
-    if i >= n then invalid_arg "Csv: unterminated quoted field"
+    if i >= n then error !rec_start "unterminated quoted field"
     else
       match s.[i] with
       | '"' when i + 1 < n && s.[i + 1] = '"' ->
@@ -98,6 +107,7 @@ let split_records s =
         quoted (i + 2)
       | '"' -> plain (i + 1)
       | c ->
+        if c = '\n' then incr line;
         Buffer.add_char buf c;
         quoted (i + 1)
   in
@@ -106,8 +116,8 @@ let split_records s =
 
 let of_string s =
   match split_records s with
-  | [] -> invalid_arg "Csv: empty input"
-  | header :: rows ->
+  | [] -> error 1 "empty input"
+  | (header_line, header) :: rows ->
     let attrs =
       List.map
         (fun f ->
@@ -116,18 +126,31 @@ let of_string s =
             {
               Schema.name = String.sub f 0 i;
               ty =
-                ty_of_string (String.sub f (i + 1) (String.length f - i - 1));
+                ty_of_string ~line:header_line
+                  (String.sub f (i + 1) (String.length f - i - 1));
             }
           | None -> { Schema.name = f; ty = Value.TStr })
         header
     in
     let schema = Schema.make attrs in
     let tys = Array.of_list (List.map (fun (a : Schema.attr) -> a.ty) attrs) in
-    let parse_row fields =
+    let names =
+      Array.of_list (List.map (fun (a : Schema.attr) -> a.name) attrs)
+    in
+    let parse_row (line, fields) =
       let fields = Array.of_list fields in
       if Array.length fields <> Array.length tys then
-        invalid_arg "Csv: row arity does not match header";
-      Array.mapi (fun i f -> Value.of_string tys.(i) f) fields
+        error line
+          (Printf.sprintf "row has %d field(s), header has %d"
+             (Array.length fields) (Array.length tys));
+      Array.mapi
+        (fun i f ->
+          try Value.of_string tys.(i) f
+          with _ ->
+            error line
+              (Printf.sprintf "cannot parse %S as %s (column %s)" f
+                 (Value.ty_name tys.(i)) names.(i)))
+        fields
     in
     Relation.of_rows schema (List.map parse_row rows)
 

@@ -3,9 +3,19 @@
     back as NULL (consequently an empty string value also reads back
     as NULL — the one lossy case of this encoding). Fields containing commas/quotes/newlines are quoted. *)
 
+(** Raised on malformed input: the 1-based line number of the offending
+    record (for an unterminated quote, the line it opened on) and a
+    human-readable message. *)
+exception Error of int * string
+
 val write : string -> Relation.t -> unit
+
+(** Raises {!Error} on malformed content and [Sys_error] on I/O
+    failure. *)
 val read : string -> Relation.t
 
 (** String-based variants used by tests. *)
 val to_string : Relation.t -> string
+
+(** Raises {!Error} on malformed content. *)
 val of_string : string -> Relation.t

@@ -186,7 +186,7 @@ let test_workload_feasible_small () =
      aims for). Direct is the first witness; when Direct blows its
      budget without an answer — by design it does on the hard Q2 —
      SketchRefine serves as the witness instead. *)
-  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 15. } in
+  let limits = { Ilp.Branch_bound.default_limits with max_nodes = 30_000; max_seconds = 15. } in
   let witness name rel (d : Datagen.Workload.def) =
     let spec = Datagen.Workload.compile rel d in
     let direct_ok =

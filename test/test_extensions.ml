@@ -487,12 +487,12 @@ let test_csv_bad_arity () =
     (try
        ignore (Relalg.Csv.of_string "a:int,b:int\n1,2\n3\n");
        false
-     with Invalid_argument _ -> true);
+     with Relalg.Csv.Error (3, _) -> true);
   checkb "empty input rejected" true
     (try
        ignore (Relalg.Csv.of_string "");
        false
-     with Invalid_argument _ -> true)
+     with Relalg.Csv.Error (1, _) -> true)
 
 let test_mps_objsense_default_min () =
   let doc =
@@ -534,7 +534,15 @@ let test_eval_pretty_printers () =
   checkb "gap" true
     (to_s Pkg.Eval.pp_status (Pkg.Eval.Feasible 0.125) = "feasible (gap 12.50%)");
   checkb "failed" true
-    (to_s Pkg.Eval.pp_status (Pkg.Eval.Failed "x") = "failed: x")
+    (to_s Pkg.Eval.pp_status
+       (Pkg.Eval.Failed (Pkg.Eval.failure (Pkg.Eval.Solver_error "x")))
+    = "failed: solver error: x");
+  checkb "failed with context" true
+    (to_s Pkg.Eval.pp_status
+       (Pkg.Eval.Failed
+          (Pkg.Eval.failure ~stage:Pkg.Eval.Refine ~group:3
+             Pkg.Eval.Deadline_exceeded))
+    = "failed: deadline exceeded [stage=refine, group=3]")
 
 let () =
   Alcotest.run "extensions"

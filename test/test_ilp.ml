@@ -121,7 +121,7 @@ let test_node_limit () =
   let p =
     P.make ~sense:P.Maximize ~vars ~rows:[ P.row coeffs ~lo:49.9 ~hi:50.1 ]
   in
-  match B.solve ~limits:{ B.max_nodes = 3; max_seconds = 10. } p with
+  match B.solve ~limits:{ B.default_limits with max_nodes = 3; max_seconds = 10. } p with
   | B.Optimal _ | B.Feasible _ | B.Limit _ | B.Infeasible _ -> ()
   | B.Unbounded _ -> Alcotest.fail "unexpected unbounded"
 
@@ -281,7 +281,7 @@ let test_diving_seeds_incumbent () =
     P.make ~sense:P.Maximize ~vars
       ~rows:[ P.row coeffs ~lo:neg_infinity ~hi:11. ]
   in
-  match B.solve ~diving:true ~limits:{ B.max_nodes = 0; max_seconds = 10. } p with
+  match B.solve ~diving:true ~limits:{ B.default_limits with max_nodes = 0; max_seconds = 10. } p with
   | B.Feasible (s, _, _) | B.Optimal (s, _) ->
     checkb "diving incumbent feasible" true (P.feasible p s.B.x)
   | B.Limit _ -> Alcotest.fail "diving should have produced an incumbent"

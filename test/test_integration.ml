@@ -129,7 +129,7 @@ let test_csv_query_roundtrip () =
 let run_pipeline ~dataset rel (d : Datagen.Workload.def) =
   let qrel = Datagen.Workload.query_relation ~dataset rel d in
   let spec = Datagen.Workload.compile qrel d in
-  let limits = { Ilp.Branch_bound.max_nodes = 30_000; max_seconds = 15. } in
+  let limits = { Ilp.Branch_bound.default_limits with max_nodes = 30_000; max_seconds = 15. } in
   let direct = Pkg.Direct.run ~limits spec qrel in
   let tau = max 1 (R.cardinality qrel / 10) in
   let part = Pkg.Partition.create ~tau ~attrs:d.attrs qrel in

@@ -1,0 +1,462 @@
+(* Resilience-layer tests: the fault-injection grammar, typed CSV
+   errors, deadline propagation, the failure taxonomy, and — driven by
+   deterministic faults — every rung of the Section 4.4 fallback ladder
+   plus the Section 4.5 worker-crash/repair path.
+
+   Every test that installs faults clears them on the way out;
+   [Faults.install] resets the global ILP call counter, so each case is
+   deterministic in isolation and in sequence. *)
+
+module V = Relalg.Value
+module S = Relalg.Schema
+module R = Relalg.Relation
+module B = Ilp.Branch_bound
+module E = Pkg.Eval
+
+let checkb = Alcotest.check Alcotest.bool
+
+let with_faults spec f =
+  (match Pkg.Faults.parse spec with
+  | Ok s -> Pkg.Faults.install s
+  | Error msg -> Alcotest.failf "bad fault spec %S: %s" spec msg);
+  Fun.protect ~finally:Pkg.Faults.clear f
+
+let compile rel q =
+  Paql.Translate.compile_exn (R.schema rel) (Paql.Parser.parse_exn q)
+
+let kind_of (r : E.report) =
+  match r.E.status with E.Failed f -> Some f.E.kind | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Fault-spec grammar                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_faults_parse () =
+  let ok s = match Pkg.Faults.parse s with Ok _ -> true | Error _ -> false in
+  checkb "single ilp directive" true (ok "ilp=3:limit");
+  checkb "stage directive" true (ok "stage=sketch:infeasible");
+  checkb "conjunction" true (ok "stage=refine,group=2:raise");
+  checkb "multiple directives" true
+    (ok "ilp=1:limit; stage=hybrid:infeasible; worker=0:crash");
+  checkb "spaces tolerated" true (ok " ilp=1 : raise ");
+  checkb "empty spec rejected" false (ok "");
+  checkb "unknown action rejected" false (ok "ilp=1:explode");
+  checkb "unknown key rejected" false (ok "cpu=1:limit");
+  checkb "missing action rejected" false (ok "ilp=1");
+  checkb "non-numeric call rejected" false (ok "ilp=x:limit");
+  checkb "crash needs worker" false (ok "ilp=1:crash");
+  checkb "worker only crashes" false (ok "worker=0:limit")
+
+let test_faults_selector_semantics () =
+  with_faults "ilp=2:infeasible" (fun () ->
+      checkb "active" true (Pkg.Faults.active ());
+      let p =
+        Lp.Problem.make ~sense:Lp.Problem.Maximize
+          ~vars:[ Lp.Problem.var ~integer:true ~hi:1. 1. ]
+          ~rows:[ Lp.Problem.row [ (0, 1.) ] ~lo:neg_infinity ~hi:1. ]
+      in
+      (match Pkg.Faults.solve ~stage:E.Direct p with
+      | B.Optimal _ -> ()
+      | r -> Alcotest.failf "call 1 should be clean, got %a" B.pp_result r);
+      match Pkg.Faults.solve ~stage:E.Direct p with
+      | B.Infeasible _ -> ()
+      | r -> Alcotest.failf "call 2 should be forced infeasible, got %a"
+               B.pp_result r);
+  checkb "cleared" false (Pkg.Faults.active ())
+
+(* ------------------------------------------------------------------ *)
+(* Typed CSV errors                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_error_lines () =
+  let err s =
+    match Relalg.Csv.of_string s with
+    | exception Relalg.Csv.Error (line, msg) -> Some (line, msg)
+    | _ -> None
+  in
+  (match err "a:int,b:int\n1,2\n3,4\n5\n" with
+  | Some (4, msg) ->
+    checkb "arity message" true
+      (msg = "row has 1 field(s), header has 2")
+  | other -> Alcotest.failf "arity error not at line 4: %s"
+               (match other with
+               | Some (l, m) -> Printf.sprintf "line %d: %s" l m
+               | None -> "no error"))
+  ;
+  (match err "a:int\n1\nnope\n" with
+  | Some (3, msg) ->
+    checkb "value message names column and type" true
+      (msg = "cannot parse \"nope\" as int (column a)")
+  | _ -> Alcotest.fail "bad int not reported at line 3");
+  (match err "a:str\nok\n\"open\n" with
+  | Some (3, "unterminated quoted field") -> ()
+  | _ -> Alcotest.fail "unterminated quote not reported at its open line");
+  (match err "a:widget\n1\n" with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "bad header type not reported at line 1");
+  (* newlines inside quoted fields still advance the line counter *)
+  match err "a:str,b:int\n\"multi\nline\",1\noops\n" with
+  | Some (4, _) -> ()
+  | Some (l, m) -> Alcotest.failf "expected line 4, got %d: %s" l m
+  | None -> Alcotest.fail "arity error after quoted newline not raised"
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy: limits map to typed failure kinds                        *)
+(* ------------------------------------------------------------------ *)
+
+let galaxy_rel = Datagen.Galaxy.generate ~seed:11 400
+
+let galaxy_spec rel =
+  compile rel
+    "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT COUNT(P.*) = 5 \
+     AND SUM(P.redshift) <= 1.5 MAXIMIZE SUM(P.petro_rad)"
+
+let test_direct_node_limit () =
+  (* a narrow SUM window makes the root LP fractional and defeats the
+     rounding heuristic, so a zero node budget yields Limit without an
+     incumbent *)
+  let spec =
+    compile galaxy_rel
+      "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 0 SUCH THAT COUNT(P.*) = 5 \
+       AND SUM(P.redshift) BETWEEN 0.8 AND 0.80001 MAXIMIZE SUM(P.petro_rad)"
+  in
+  let limits = { B.default_limits with max_nodes = 0 } in
+  let r = Pkg.Direct.run ~limits spec galaxy_rel in
+  match r.E.status with
+  | E.Failed f ->
+    checkb "node limit kind" true (f.E.kind = E.Node_limit);
+    checkb "direct stage" true (f.E.stage = Some E.Direct)
+  | E.Feasible _ -> () (* the rounding heuristic may find an incumbent *)
+  | s -> Alcotest.failf "expected node-limit failure, got %a" E.pp_status s
+
+let test_direct_iteration_limit () =
+  let spec = galaxy_spec galaxy_rel in
+  let limits = { B.default_limits with max_simplex_iters = 1 } in
+  let r = Pkg.Direct.run ~limits spec galaxy_rel in
+  match kind_of r with
+  | Some E.Iteration_limit -> ()
+  | _ -> Alcotest.failf "expected iteration-limit failure, got %a" E.pp_status
+           r.E.status
+
+let test_simplex_iter_budget () =
+  let p =
+    Lp.Problem.make ~sense:Lp.Problem.Maximize
+      ~vars:(List.init 20 (fun i -> Lp.Problem.var ~hi:1. (float_of_int i)))
+      ~rows:
+        [ Lp.Problem.row (List.init 20 (fun i -> (i, 1.))) ~lo:neg_infinity
+            ~hi:3. ]
+  in
+  (match Lp.Simplex.solve ~max_iters:1 p with
+  | Lp.Simplex.Iter_limit -> ()
+  | r -> Alcotest.failf "expected Iter_limit, got %a" Lp.Simplex.pp_result r);
+  let iters = ref 0 in
+  (match Lp.Simplex.solve ~iterations:iters p with
+  | Lp.Simplex.Optimal _ -> ()
+  | r -> Alcotest.failf "expected Optimal, got %a" Lp.Simplex.pp_result r);
+  checkb "pivot count recorded" true (!iters > 0)
+
+let test_stop_reason_recorded () =
+  (* LP optimum 2.5 is fractional, so the search must branch *)
+  let problem =
+    Lp.Problem.make ~sense:Lp.Problem.Maximize
+      ~vars:(List.init 3 (fun _ -> Lp.Problem.var ~integer:true ~hi:1. 1.))
+      ~rows:
+        [ Lp.Problem.row [ (0, 1.); (1, 1.); (2, 1.) ] ~lo:neg_infinity
+            ~hi:2.5 ]
+  in
+  let r = B.solve ~limits:{ B.default_limits with max_nodes = 0 } problem in
+  let st = B.stats_of r in
+  checkb "stopped by nodes" true (st.B.stopped = Some B.Stop_nodes);
+  let r2 =
+    B.solve ~limits:{ B.default_limits with max_simplex_iters = 1 } problem
+  in
+  checkb "stopped by iterations" true
+    ((B.stats_of r2).B.stopped = Some B.Stop_iterations);
+  let clean = B.solve problem in
+  checkb "natural completion has no stop reason" true
+    ((B.stats_of clean).B.stopped = None)
+
+(* ------------------------------------------------------------------ *)
+(* Injection containment                                              *)
+(* ------------------------------------------------------------------ *)
+
+let sr_run ?(fallbacks = Pkg.Sketch_refine.default_options.fallbacks)
+    ?(max_seconds = 60.) ?options rel spec part =
+  let options =
+    match options with
+    | Some o -> o
+    | None ->
+      { Pkg.Sketch_refine.default_options with fallbacks; max_seconds }
+  in
+  Pkg.Sketch_refine.run ~options spec rel part
+
+let galaxy_part rel = Pkg.Partition.create ~tau:100 ~attrs:[ "redshift" ] rel
+
+let test_injected_raise_contained () =
+  let spec = galaxy_spec galaxy_rel in
+  with_faults "ilp=1:raise" (fun () ->
+      let r = Pkg.Direct.run spec galaxy_rel in
+      match kind_of r with
+      | Some (E.Solver_error _) -> ()
+      | _ -> Alcotest.failf "direct should contain the injected raise, got %a"
+               E.pp_status r.E.status);
+  with_faults "ilp=1:raise" (fun () ->
+      let part = galaxy_part galaxy_rel in
+      let r = sr_run galaxy_rel spec part in
+      match kind_of r with
+      | Some (E.Solver_error _) -> ()
+      | _ ->
+        Alcotest.failf "sketchrefine should contain the injected raise, got %a"
+          E.pp_status r.E.status)
+
+let test_injected_limit_direct () =
+  let spec = galaxy_spec galaxy_rel in
+  with_faults "ilp=1:limit" (fun () ->
+      let r = Pkg.Direct.run spec galaxy_rel in
+      checkb "forced limit becomes node-limit failure" true
+        (kind_of r = Some E.Node_limit))
+
+(* ------------------------------------------------------------------ *)
+(* Fallback ladder under injected faults                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge_groups must recurse all the way down to a single group (where
+   the sketch is the original problem) and only then report
+   infeasibility, when every sketch and hybrid attempt is faulted. *)
+let test_merge_groups_bottoms_out () =
+  let rel = Datagen.Galaxy.generate ~seed:3 200 in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:50 ~attrs:[ "redshift" ] rel in
+  checkb "starts with several groups" true (Pkg.Partition.num_groups part > 1);
+  with_faults "stage=sketch:infeasible; stage=hybrid:infeasible" (fun () ->
+      let r = sr_run ~fallbacks:[ Pkg.Sketch_refine.Merge_groups ] rel spec part in
+      (match r.E.status with
+      | E.Infeasible -> ()
+      | s -> Alcotest.failf "expected clean infeasible, got %a" E.pp_status s);
+      (* one faulted sketch per merge level down to a single group *)
+      checkb "recursion attempted several sketches" true
+        (r.E.counters.E.ilp_calls >= 3))
+
+let test_hybrid_exhaustion () =
+  let rel = Datagen.Galaxy.generate ~seed:3 200 in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:50 ~attrs:[ "redshift" ] rel in
+  with_faults "stage=sketch:infeasible; stage=hybrid:infeasible" (fun () ->
+      let r = sr_run ~fallbacks:[ Pkg.Sketch_refine.Hybrid_sketch ] rel spec part in
+      match r.E.status with
+      | E.Infeasible -> ()
+      | s ->
+        Alcotest.failf "hybrid exhaustion should report infeasible, got %a"
+          E.pp_status s)
+
+(* A genuinely false-infeasible sketch: group centroids average the
+   extreme z values away (z alternates 0/20, so every representative
+   has z = 10), making SUM(P.z) >= 30 unreachable over representatives
+   while two z=20 originals satisfy it easily. Drop_attributes must
+   extract a non-empty IIS, drop z, re-partition and succeed. *)
+let false_infeasible_case () =
+  let schema =
+    S.make [ { S.name = "y"; ty = V.TFloat }; { S.name = "z"; ty = V.TFloat } ]
+  in
+  let rel =
+    R.of_rows schema
+      (List.init 8 (fun i ->
+           [| V.Float (float_of_int i *. 10.);
+              V.Float (if i mod 2 = 0 then 0. else 20.) |]))
+  in
+  let spec =
+    compile rel
+      "SELECT PACKAGE(T) AS P FROM T T REPEAT 0 SUCH THAT COUNT(P.*) = 2 AND \
+       SUM(P.z) >= 30.0 MAXIMIZE SUM(P.z)"
+  in
+  let part =
+    Pkg.Partition.create ~max_fanout_dims:1 ~tau:4 ~attrs:[ "y"; "z" ] rel
+  in
+  (rel, spec, part)
+
+let test_drop_attributes_rescues () =
+  let rel, spec, part = false_infeasible_case () in
+  let r =
+    sr_run ~fallbacks:[ Pkg.Sketch_refine.Drop_attributes ] rel spec part
+  in
+  (match r.E.status with
+  | E.Optimal | E.Feasible _ -> ()
+  | s -> Alcotest.failf "drop-attributes should rescue, got %a" E.pp_status s);
+  match r.E.objective with
+  | Some obj -> Alcotest.check (Alcotest.float 1e-6) "objective" 40. obj
+  | None -> Alcotest.fail "no objective"
+
+let test_fallback_order_drop_then_hybrid () =
+  let rel, spec, part = false_infeasible_case () in
+  let r =
+    sr_run
+      ~fallbacks:
+        [ Pkg.Sketch_refine.Drop_attributes; Pkg.Sketch_refine.Hybrid_sketch ]
+      rel spec part
+  in
+  checkb "ladder with both rungs still rescues" true
+    (match r.E.status with E.Optimal | E.Feasible _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel refine: worker crash containment                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_crash_repaired () =
+  let rel = Datagen.Galaxy.generate ~seed:5 600 in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:100 ~attrs:[ "redshift" ] rel in
+  let clean = Pkg.Parallel.run ~domains:2 spec rel part in
+  (match clean.E.status with
+  | E.Optimal | E.Feasible _ -> ()
+  | s -> Alcotest.failf "clean parallel run should succeed, got %a"
+           E.pp_status s);
+  with_faults "worker=0:crash" (fun () ->
+      let r = Pkg.Parallel.run ~domains:2 spec rel part in
+      (match r.E.status with
+      | E.Optimal | E.Feasible _ -> ()
+      | s ->
+        Alcotest.failf "crashed worker should be repaired, got %a" E.pp_status
+          s);
+      match r.E.package with
+      | Some p -> checkb "repaired package feasible" true
+                    (Pkg.Package.feasible spec p)
+      | None -> Alcotest.fail "no package after repair")
+
+let test_all_workers_crash_contained () =
+  let rel = Datagen.Galaxy.generate ~seed:5 600 in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:100 ~attrs:[ "redshift" ] rel in
+  with_faults "worker=0:crash; worker=1:crash" (fun () ->
+      let r = Pkg.Parallel.run ~domains:2 spec rel part in
+      (* everything lands in Phase-3 repair / sequential fallback; any
+         terminal report without an escaped exception is the contract *)
+      match r.E.status with
+      | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Deadline propagation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let big_galaxy = lazy (Datagen.Galaxy.generate ~seed:9 6000)
+
+let deadline_options budget =
+  {
+    Pkg.Sketch_refine.default_options with
+    limits = { B.default_limits with max_seconds = 30. };
+    max_seconds = budget;
+  }
+
+let test_deadline_zero_budget () =
+  let rel = Lazy.force big_galaxy in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:600 ~attrs:[ "redshift" ] rel in
+  let r = sr_run ~options:(deadline_options 0.) rel spec part in
+  (match kind_of r with
+  | Some E.Deadline_exceeded -> ()
+  | _ -> Alcotest.failf "zero budget should be deadline_exceeded, got %a"
+           E.pp_status r.E.status);
+  let rp =
+    Pkg.Parallel.run ~options:(deadline_options 0.) ~domains:2 spec rel part
+  in
+  match kind_of rp with
+  | Some E.Deadline_exceeded -> ()
+  | _ -> Alcotest.failf "parallel zero budget should be deadline_exceeded, \
+                         got %a" E.pp_status rp.E.status
+
+(* The acceptance criterion: with a budget far below the work required
+   and generous per-ILP limits, the propagated deadline keeps the total
+   wall time within a small factor of the budget — the per-call clamp is
+   doing the work, not the 30s static limit. *)
+let test_deadline_overshoot_bounded () =
+  let rel = Lazy.force big_galaxy in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:600 ~attrs:[ "redshift" ] rel in
+  let budget = 0.4 in
+  let check_run name run =
+    let t0 = Unix.gettimeofday () in
+    let r = run () in
+    let wall = Unix.gettimeofday () -. t0 in
+    checkb (name ^ " within ~1.2x budget (+scheduling slack)") true
+      (wall <= (budget *. 1.2) +. 0.35);
+    match r.E.status with
+    | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ -> ()
+  in
+  check_run "sketchrefine" (fun () ->
+      sr_run ~options:(deadline_options budget) rel spec part);
+  check_run "parallel" (fun () ->
+      Pkg.Parallel.run ~options:(deadline_options budget) ~domains:2 spec rel
+        part)
+
+let test_sequential_fallback_keeps_budget () =
+  (* crash every worker so Parallel falls back to Sketch_refine; the
+     fallback must inherit only the remaining budget *)
+  let rel = Lazy.force big_galaxy in
+  let spec = galaxy_spec rel in
+  let part = Pkg.Partition.create ~tau:600 ~attrs:[ "redshift" ] rel in
+  with_faults "worker=0:crash; worker=1:crash" (fun () ->
+      let budget = 0.4 in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Pkg.Parallel.run ~options:(deadline_options budget) ~domains:2 spec rel
+          part
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      checkb "fallback does not restart the clock" true
+        (wall <= (budget *. 1.2) +. 0.35);
+      match r.E.status with
+      | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ -> ())
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "grammar" `Quick test_faults_parse;
+          Alcotest.test_case "selector semantics" `Quick
+            test_faults_selector_semantics;
+        ] );
+      ( "csv errors",
+        [ Alcotest.test_case "line numbers" `Quick test_csv_error_lines ] );
+      ( "taxonomy",
+        [
+          Alcotest.test_case "direct node limit" `Quick test_direct_node_limit;
+          Alcotest.test_case "direct iteration limit" `Quick
+            test_direct_iteration_limit;
+          Alcotest.test_case "simplex iteration budget" `Quick
+            test_simplex_iter_budget;
+          Alcotest.test_case "stop reason recorded" `Quick
+            test_stop_reason_recorded;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "raise contained" `Quick
+            test_injected_raise_contained;
+          Alcotest.test_case "forced limit typed" `Quick
+            test_injected_limit_direct;
+        ] );
+      ( "fallback ladder",
+        [
+          Alcotest.test_case "merge groups bottoms out" `Quick
+            test_merge_groups_bottoms_out;
+          Alcotest.test_case "hybrid exhaustion" `Quick test_hybrid_exhaustion;
+          Alcotest.test_case "drop attributes rescues" `Quick
+            test_drop_attributes_rescues;
+          Alcotest.test_case "drop then hybrid" `Quick
+            test_fallback_order_drop_then_hybrid;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "worker crash repaired" `Quick
+            test_worker_crash_repaired;
+          Alcotest.test_case "all workers crash" `Quick
+            test_all_workers_crash_contained;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "zero budget" `Quick test_deadline_zero_budget;
+          Alcotest.test_case "overshoot bounded" `Quick
+            test_deadline_overshoot_bounded;
+          Alcotest.test_case "sequential fallback budget" `Quick
+            test_sequential_fallback_keeps_budget;
+        ] );
+    ]
