@@ -11,6 +11,9 @@
      fig9   partitioning coverage sweep (Figure 9)
      radius radius-limited partitioning repairs TPC-H Q2 (Section 5.2.1)
      ablation partitioner / fan-out / cuts / presolve design choices
+     scan   row path vs vectorized columnar scans
+     robust deadline propagation overshoot
+     store  binary segments, partition catalog, incremental maintenance
      micro  bechamel micro-benchmarks of the solver substrate
 
    Dataset sizes are scaled down from the paper's 5.5M/17.5M tuples;
@@ -756,6 +759,144 @@ let robust ~scale () =
   one "parallel" par true
 
 (* ------------------------------------------------------------------ *)
+(* Store: binary segments, partition catalog, incremental maintenance *)
+(* ------------------------------------------------------------------ *)
+
+let store_json : (string * string) list ref = ref []
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun f -> remove_tree (Filename.concat path f))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* The three store claims, measured: (1) a binary segment loads far
+   faster than re-parsing the CSV it was built from; (2) a warm run —
+   segment + catalog hit — beats the cold run end to end; (3) an
+   append that overflows one group re-splits only that group's
+   subtree, far cheaper than repartitioning from scratch. *)
+let store_bench ~scale () =
+  let n = max 5_000 (int_of_float (float_of_int galaxy_base *. scale)) in
+  Format.printf
+    "@.== Store: binary segments & partition catalog (Galaxy n=%d) ==@." n;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pkgq-bench-store-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then remove_tree dir;
+  let cat = Store.Catalog.open_dir dir in
+  let rel = Datagen.Galaxy.generate ~seed:1 n in
+  let csv_path = Filename.concat dir "galaxy.csv" in
+  Relalg.Csv.write csv_path rel;
+  let d = List.hd (Datagen.Workload.galaxy_queries rel) in
+  let attrs = d.Datagen.Workload.attrs in
+  let tau = max 1 (n / 10) in
+  (* -- cold end to end: parse CSV, partition, query -- *)
+  let (report_cold, part_cold), t_cold =
+    time (fun () ->
+        let rel = Relalg.Csv.read csv_path in
+        let part = Pkg.Partition.create ~tau ~attrs rel in
+        let spec = Datagen.Workload.compile rel d in
+        (Pkg.Sketch_refine.run ~options:sr_options spec rel part, part))
+  in
+  (* populate the store like a first --store run would *)
+  let _, fp = Store.Catalog.load_table cat csv_path in
+  let key = { Store.Catalog.fingerprint = fp; attrs; tau;
+              radius = Pkg.Partition.No_radius } in
+  Store.Catalog.store cat key part_cold;
+  (* -- load path: CSV parse vs binary segment -- *)
+  let reps = 5 in
+  let seg_path =
+    Filename.concat (Filename.concat dir "tables") (fp ^ ".seg")
+  in
+  let t_csv = best_of reps (fun () -> Relalg.Csv.read csv_path) in
+  let t_seg = best_of reps (fun () -> Store.Segment.read seg_path) in
+  let load_speedup = t_csv /. t_seg in
+  Format.printf
+    "  table load:     csv %8.4fs   segment %8.4fs   speedup %.1fx@." t_csv
+    t_seg load_speedup;
+  (* -- warm end to end: segment load, catalog hit, query -- *)
+  let report_warm, t_warm =
+    time (fun () ->
+        let rel, fp = Store.Catalog.load_table cat csv_path in
+        let key = { key with Store.Catalog.fingerprint = fp } in
+        let part, status =
+          Store.Catalog.lookup_or_build cat key ~build:(fun () ->
+              Pkg.Partition.create ~tau ~attrs rel)
+        in
+        assert (status = `Hit);
+        let spec = Datagen.Workload.compile rel d in
+        Pkg.Sketch_refine.run ~options:sr_options spec rel part)
+  in
+  Format.printf
+    "  %s end-to-end:  cold %8.4fs (%a)   warm %8.4fs (%a)   warm/cold %.2f@."
+    d.Datagen.Workload.name t_cold Pkg.Eval.pp_status
+    report_cold.Pkg.Eval.status t_warm Pkg.Eval.pp_status
+    report_warm.Pkg.Eval.status (t_warm /. t_cold);
+  (* -- incremental maintenance: overflow one group -- *)
+  let p = part_cold in
+  let gid = ref 0 in
+  Array.iteri
+    (fun i (g : Pkg.Partition.group) ->
+      if
+        Array.length g.Pkg.Partition.members
+        > Array.length p.Pkg.Partition.groups.(!gid).Pkg.Partition.members
+      then gid := i)
+    p.Pkg.Partition.groups;
+  let g = p.Pkg.Partition.groups.(!gid) in
+  let size = Array.length g.Pkg.Partition.members in
+  let copies = (tau / max 1 size) + 1 in
+  let extra_ids =
+    Array.concat (List.init copies (fun _ -> g.Pkg.Partition.members))
+  in
+  let extra = Relalg.Relation.take rel extra_ids in
+  let (_, _, stats), t_append =
+    time (fun () ->
+        Store.Maintain.append ~tau ~radius:Pkg.Partition.No_radius p rel extra)
+  in
+  let _, t_scratch =
+    time (fun () ->
+        let rows =
+          Array.init
+            (n + Array.length extra_ids)
+            (fun i ->
+              if i < n then Relalg.Relation.row rel i
+              else Relalg.Relation.row extra (i - n))
+        in
+        let combined =
+          Relalg.Relation.of_array (Relalg.Relation.schema rel) rows
+        in
+        Pkg.Partition.create ~tau ~attrs combined)
+  in
+  Format.printf
+    "  append %d rows: incremental %8.4fs (%a)   from-scratch %8.4fs@."
+    (Array.length extra_ids) t_append Store.Maintain.pp_stats stats t_scratch;
+  remove_tree dir;
+  let num v = Printf.sprintf "%.6f" v in
+  store_json :=
+    [
+      ("scale", Printf.sprintf "%g" scale);
+      ("rows", string_of_int n);
+      ("csv_load_s", num t_csv);
+      ("segment_load_s", num t_seg);
+      ("load_speedup", Printf.sprintf "%.2f" load_speedup);
+      ("cold_e2e_s", num t_cold);
+      ("warm_e2e_s", num t_warm);
+      ("warm_over_cold", Printf.sprintf "%.3f" (t_warm /. t_cold));
+      ("append_rows", string_of_int (Array.length extra_ids));
+      ("append_incremental_s", num t_append);
+      ("append_from_scratch_s", num t_scratch);
+      ("groups_before", string_of_int stats.Store.Maintain.groups_before);
+      ("groups_after", string_of_int stats.Store.Maintain.groups_after);
+      ("groups_touched", string_of_int stats.Store.Maintain.groups_touched);
+      ("groups_resplit", string_of_int stats.Store.Maintain.groups_resplit);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -842,6 +983,7 @@ let all_experiments =
     ("ablation", fun ~scale () -> ablation ~scale ());
     ("scan", fun ~scale () -> scan ~scale ());
     ("robust", fun ~scale () -> robust ~scale ());
+    ("store", fun ~scale () -> store_bench ~scale ());
     ("micro", fun ~scale () -> ignore scale; micro ());
   ]
 
@@ -883,4 +1025,5 @@ let () =
   if !json && !scan_json <> [] then write_json "BENCH_scan.json" !scan_json;
   if !json && !robust_json <> [] then
     write_json "BENCH_robust.json" !robust_json;
+  if !json && !store_json <> [] then write_json "BENCH_store.json" !store_json;
   Format.printf "@.done.@."

@@ -33,7 +33,7 @@ let die code msg =
 
 let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
     max_nodes faults out verbose explain mps_out partition_file save_partition
-    parallel =
+    parallel store_dir no_store =
   let query =
     match query_text, query_file with
     | Some q, None -> q
@@ -53,7 +53,22 @@ let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
     match Pkg.Faults.parse s with
     | Ok spec -> Pkg.Faults.install spec
     | Error msg -> die exit_usage_error ("--faults: " ^ msg)));
-  let rel = Relalg.Csv.read data in
+  let catalog =
+    if no_store then None
+    else
+      match store_dir with
+      | Some d -> Some (Store.Catalog.open_dir d)
+      | None -> Store.Catalog.from_env ()
+  in
+  let rel, fingerprint =
+    match catalog with
+    | Some cat ->
+      let rel, fp = Store.Catalog.load_table cat data in
+      (rel, Some fp)
+    | None ->
+      if Filename.check_suffix data ".seg" then (Store.Segment.read data, None)
+      else (Relalg.Csv.read data, None)
+  in
   let schema = Relalg.Relation.schema rel in
   let ast =
     match Paql.Parser.parse query with
@@ -127,6 +142,7 @@ let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
           Pkg.Partition.Theorem { epsilon; maximize }
       in
       let t0 = Unix.gettimeofday () in
+      let build () = Pkg.Partition.create ~radius ~tau ~attrs rel in
       let part =
         match persisted with
         | Some p ->
@@ -134,14 +150,26 @@ let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
             Format.printf "Loaded partitioning: %d groups@."
               (Pkg.Partition.num_groups p);
           p
-        | None ->
-          let p = Pkg.Partition.create ~radius ~tau ~attrs rel in
-          if verbose then
-            Format.printf "Partitioned %d tuples into %d groups in %.3fs@."
-              (Relalg.Relation.cardinality rel)
-              (Pkg.Partition.num_groups p)
-              (Unix.gettimeofday () -. t0);
-          p
+        | None -> (
+          match catalog, fingerprint with
+          | Some cat, Some fp ->
+            let key = { Store.Catalog.fingerprint = fp; attrs; tau; radius } in
+            let p, status = Store.Catalog.lookup_or_build cat key ~build in
+            if verbose then
+              Format.printf "Partition catalog %s (%s): %d groups in %.3fs@."
+                (match status with `Hit -> "hit" | `Built -> "miss, built")
+                (Store.Catalog.key_id key)
+                (Pkg.Partition.num_groups p)
+                (Unix.gettimeofday () -. t0);
+            p
+          | _ ->
+            let p = build () in
+            if verbose then
+              Format.printf "Partitioned %d tuples into %d groups in %.3fs@."
+                (Relalg.Relation.cardinality rel)
+                (Pkg.Partition.num_groups p)
+                (Unix.gettimeofday () -. t0);
+            p)
       in
       Option.iter
         (fun path ->
@@ -172,15 +200,17 @@ let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
    assigned here, inside the term body. *)
 let run data query_text query_file method_ tau attrs epsilon max_seconds
     max_nodes faults out verbose explain mps_out partition_file save_partition
-    parallel =
+    parallel store_dir no_store =
   match
     run_inner data query_text query_file method_ tau attrs epsilon max_seconds
       max_nodes faults out verbose explain mps_out partition_file
-      save_partition parallel
+      save_partition parallel store_dir no_store
   with
   | () -> ()
   | exception Relalg.Csv.Error (line, msg) ->
     die exit_data_error (Printf.sprintf "csv error at line %d: %s" line msg)
+  | exception Store.Segment.Error msg ->
+    die exit_data_error ("store: " ^ msg)
   | exception Sys_error msg -> die exit_data_error msg
   | exception Paql.Lexer.Lex_error (msg, pos) ->
     die exit_parse_error (Printf.sprintf "lex error at offset %d: %s" pos msg)
@@ -303,13 +333,30 @@ let parallel =
     & info [ "parallel" ]
         ~doc:"Use the parallel refinement driver (sketchrefine only).")
 
+let store_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Store directory: imported tables are cached as binary segments \
+           and sketchrefine partitionings are persisted and reused across \
+           runs. Defaults to $(b,PKGQ_STORE_DIR) when set.")
+
+let no_store =
+  Arg.(
+    value & flag
+    & info [ "no-store" ]
+        ~doc:"Ignore the store (and $(b,PKGQ_STORE_DIR)) for this run.")
+
 let cmd =
   let doc = "evaluate PaQL package queries over CSV data" in
   let term =
     Term.(
       const run $ data $ query_text $ query_file $ method_ $ tau $ attrs
       $ epsilon $ max_seconds $ max_nodes $ faults $ out $ verbose $ explain
-      $ mps_out $ partition_file $ save_partition $ parallel)
+      $ mps_out $ partition_file $ save_partition $ parallel $ store_dir
+      $ no_store)
   in
   Cmd.v (Cmd.info "paql" ~doc) term
 

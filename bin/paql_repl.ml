@@ -15,7 +15,17 @@ type state = {
   mutable method_ : [ `Direct | `Sketch_refine ];
   mutable limits : Ilp.Branch_bound.limits;
   mutable show_package : bool;
+  mutable store : Store.Catalog.t option;
+  mutable fingerprint : string option;
 }
+
+let fingerprint_of st =
+  match st.fingerprint with
+  | Some fp -> fp
+  | None ->
+    let fp = Store.Segment.fingerprint st.rel in
+    st.fingerprint <- Some fp;
+    fp
 
 let help_text =
   {|Meta commands:
@@ -29,6 +39,10 @@ let help_text =
   \limits nodes=N seconds=S     per-ILP solver budget
   \faults SPEC|off              install fault-injection directives
                                 (PKGQ_FAULTS grammar, e.g. ilp=1:raise)
+  \store [DIR|off]              show / set / disable the persistent store
+                                (partitionings built with \partition are
+                                cached there and reused across sessions)
+  \partitions                   list the store's partition catalog
   \show on|off                  print packages after evaluation
   \quit                         exit
 Any other input is PaQL; end statements with ';'.|}
@@ -133,12 +147,26 @@ let meta st line =
         Pkg.Partition.Theorem { epsilon = float_of_string e; maximize }
       | None -> Pkg.Partition.No_radius
     in
-    match Pkg.Partition.create ~radius ~tau ~attrs st.rel with
-    | part ->
+    let build () = Pkg.Partition.create ~radius ~tau ~attrs st.rel in
+    match
+      match st.store with
+      | Some cat ->
+        let key =
+          { Store.Catalog.fingerprint = fingerprint_of st; attrs; tau; radius }
+        in
+        Store.Catalog.lookup_or_build cat key ~build
+      | None -> (build (), `Built)
+    with
+    | part, status ->
       st.part <- Some part;
-      Format.printf "partitioned into %d group(s)@."
+      Format.printf "%s: %d group(s)@."
+        (match status with
+        | `Hit -> "catalog hit"
+        | `Built -> "partitioned")
         (Pkg.Partition.num_groups part)
-    | exception Invalid_argument msg -> Format.printf "error: %s@." msg)
+    | exception Invalid_argument msg -> Format.printf "error: %s@." msg
+    | exception Store.Segment.Error msg ->
+      Format.printf "error: store: %s@." msg)
   | [ "\\load"; path ] -> (
     match Pkg.Partition.load path st.rel with
     | part ->
@@ -176,6 +204,37 @@ let meta st line =
       Pkg.Faults.install spec;
       print_endline "faults installed (call counter reset)."
     | Error msg -> Format.printf "error: %s@." msg)
+  | [ "\\store" ] -> (
+    match st.store with
+    | Some cat -> Format.printf "store: %s@." (Store.Catalog.dir cat)
+    | None -> Format.printf "store: off@.")
+  | [ "\\store"; "off" ] ->
+    st.store <- None;
+    print_endline "store disabled."
+  | [ "\\store"; dir ] -> (
+    match Store.Catalog.open_dir dir with
+    | cat ->
+      st.store <- Some cat;
+      Format.printf "store: %s@." dir
+    | exception Sys_error msg -> Format.printf "error: %s@." msg)
+  | [ "\\partitions" ] -> (
+    match st.store with
+    | None -> Format.printf "store: off (use \\store DIR)@."
+    | Some cat ->
+      let es = Store.Catalog.entries cat in
+      if es = [] then Format.printf "no stored partitionings.@."
+      else
+        List.iter
+          (fun (e : Store.Catalog.entry) ->
+            Format.printf
+              "%s  attrs=%s tau=%d radius=%s  %d group(s) / %d row(s), %d \
+               bytes, age %.0fs@."
+              e.id
+              (String.concat "," e.entry_key.Store.Catalog.attrs)
+              e.entry_key.Store.Catalog.tau
+              (Store.Catalog.radius_string e.entry_key.Store.Catalog.radius)
+              e.groups e.rows e.bytes e.age)
+          es)
   | [ "\\show"; "on" ] -> st.show_package <- true
   | [ "\\show"; "off" ] -> st.show_package <- false
   | _ -> Format.printf "unknown command; try \\help@."
@@ -215,11 +274,24 @@ let repl st =
 let () =
   match Sys.argv with
   | [| _; path |] ->
-    let rel =
-      match Relalg.Csv.read path with
-      | rel -> rel
+    let store = Store.Catalog.from_env () in
+    let rel, fingerprint =
+      match
+        match store with
+        | Some cat ->
+          let rel, fp = Store.Catalog.load_table cat path in
+          (rel, Some fp)
+        | None ->
+          if Filename.check_suffix path ".seg" then
+            (Store.Segment.read path, Some (Store.Segment.fingerprint_file path))
+          else (Relalg.Csv.read path, None)
+      with
+      | v -> v
       | exception Relalg.Csv.Error (line, msg) ->
         Printf.eprintf "paql_repl: csv error at line %d: %s\n" line msg;
+        exit 3
+      | exception Store.Segment.Error msg ->
+        Printf.eprintf "paql_repl: store: %s\n" msg;
         exit 3
       | exception Sys_error msg ->
         Printf.eprintf "paql_repl: %s\n" msg;
@@ -227,6 +299,9 @@ let () =
     in
     Format.printf "loaded %s: %d tuple(s). \\help for commands.@." path
       (Relalg.Relation.cardinality rel);
+    Option.iter
+      (fun cat -> Format.printf "store: %s@." (Store.Catalog.dir cat))
+      store;
     repl
       {
         rel;
@@ -234,6 +309,8 @@ let () =
         method_ = `Direct;
         limits = Ilp.Branch_bound.default_limits;
         show_package = true;
+        store;
+        fingerprint;
       }
   | _ ->
     prerr_endline "usage: paql_repl DATA.csv";

@@ -8,20 +8,30 @@
 
 open Cmdliner
 
-let write_or_print out rel =
-  match out with
-  | Some path ->
+type format = Csv | Bin
+
+let write_or_print format out rel =
+  match format, out with
+  | Csv, Some path ->
     Relalg.Csv.write path rel;
     Printf.printf "wrote %d tuples to %s\n"
       (Relalg.Relation.cardinality rel)
       path
-  | None -> print_string (Relalg.Csv.to_string rel)
+  | Csv, None -> print_string (Relalg.Csv.to_string rel)
+  | Bin, Some path ->
+    Store.Segment.write path rel;
+    Printf.printf "wrote %d tuples to %s (binary segment)\n"
+      (Relalg.Relation.cardinality rel)
+      path
+  | Bin, None ->
+    prerr_endline "pkgq_gen: --format bin requires an output file (-o)";
+    exit 6
 
-let gen_galaxy n seed out =
-  write_or_print out (Datagen.Galaxy.generate ~seed n)
+let gen_galaxy n seed format out =
+  write_or_print format out (Datagen.Galaxy.generate ~seed n)
 
-let gen_tpch n seed out =
-  write_or_print out (Datagen.Tpch.generate ~seed n)
+let gen_tpch n seed format out =
+  write_or_print format out (Datagen.Tpch.generate ~seed n)
 
 let show_queries dataset n seed =
   let defs =
@@ -53,17 +63,27 @@ let out_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "out"; "o" ] ~docv:"CSV" ~doc:"Output file (default: stdout).")
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output file (default: stdout).")
+
+let format_arg =
+  let format_conv = Arg.enum [ ("csv", Csv); ("bin", Bin) ] in
+  Arg.(
+    value & opt format_conv Csv
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Output format: $(b,csv) (default) or $(b,bin), the store's binary \
+           columnar segment ($(b,bin) requires $(b,-o)). Segments load \
+           directly into the engine's column cache — no CSV parse.")
 
 let galaxy_cmd =
   Cmd.v
     (Cmd.info "galaxy" ~doc:"generate the synthetic SDSS Galaxy stand-in")
-    Term.(const gen_galaxy $ n_arg $ seed_arg $ out_arg)
+    Term.(const gen_galaxy $ n_arg $ seed_arg $ format_arg $ out_arg)
 
 let tpch_cmd =
   Cmd.v
     (Cmd.info "tpch" ~doc:"generate the pre-joined TPC-H stand-in")
-    Term.(const gen_tpch $ n_arg $ seed_arg $ out_arg)
+    Term.(const gen_tpch $ n_arg $ seed_arg $ format_arg $ out_arg)
 
 let queries_cmd =
   let dataset =

@@ -14,7 +14,12 @@ type cond = {
   on_group : int option;
 }
 
-type directive = Ilp_fault of cond * action | Worker_kill of int
+type store_fault = Store_read | Store_checksum
+
+type directive =
+  | Ilp_fault of cond * action
+  | Worker_kill of int
+  | Store_break of store_fault
 
 type spec = directive list
 
@@ -87,6 +92,13 @@ let parse s =
       | [ ("worker", w) ] when act = "crash" ->
         let* w = int_of "worker" w in
         Ok (Worker_kill w)
+      | [ ("store", f) ] when act = "fail" -> (
+        match f with
+        | "read" -> Ok (Store_break Store_read)
+        | "checksum" -> Ok (Store_break Store_checksum)
+        | _ ->
+          Error
+            (Printf.sprintf "fault store %S: expected read|checksum" f))
       | _ ->
         let* action =
           match action_of_string act with
@@ -95,7 +107,7 @@ let parse s =
             Error
               (Printf.sprintf
                  "fault action %S: expected limit|infeasible|raise (or crash \
-                  with a worker selector)"
+                  with a worker selector, fail with a store selector)"
                  act)
         in
         let* cond =
@@ -120,6 +132,8 @@ let parse s =
                        v))
               | "worker" ->
                 Error "fault selector worker=N only combines with :crash"
+              | "store" ->
+                Error "fault selector store=F only combines with :fail"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -153,7 +167,7 @@ let () = install_from_env ()
 let action_for ~call ~stage ~group =
   List.find_map
     (function
-      | Worker_kill _ -> None
+      | Worker_kill _ | Store_break _ -> None
       | Ilp_fault (c, a) ->
         let ok_call =
           match c.on_call with None -> true | Some k -> k = call
@@ -169,7 +183,16 @@ let action_for ~call ~stage ~group =
 
 let worker_should_crash w =
   List.exists
-    (function Worker_kill k -> k = w | Ilp_fault _ -> false)
+    (function
+      | Worker_kill k -> k = w
+      | Ilp_fault _ | Store_break _ -> false)
+    (Atomic.get installed)
+
+let store_fault () =
+  List.find_map
+    (function
+      | Store_break f -> Some f
+      | Worker_kill _ | Ilp_fault _ -> None)
     (Atomic.get installed)
 
 let zero_stats stopped =

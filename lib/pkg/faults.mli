@@ -29,14 +29,21 @@
     stage=S      S in sketch|hybrid|refine|repair|direct|parallel
     group=J      partition group id J
     worker=W     parallel worker index W (only with action crash)
+    store=F      F in read|checksum (only with action fail)
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
-    (raises {!Injected}), [crash] (worker kill). Examples:
-    ["ilp=3:limit"], ["stage=sketch:infeasible"],
-    ["stage=refine,group=2:raise; worker=1:crash"]. *)
+    (raises {!Injected}), [crash] (worker kill), [fail] (store-layer
+    corruption: [store=read] makes the next segment read abort as if
+    the file were truncated, [store=checksum] makes its checksum
+    verification fail). Examples: ["ilp=3:limit"],
+    ["stage=sketch:infeasible"],
+    ["stage=refine,group=2:raise; worker=1:crash"],
+    ["store=checksum:fail"]. *)
 
 type action = Force_limit | Force_infeasible | Force_raise
+
+type store_fault = Store_read | Store_checksum
 
 type cond = {
   on_call : int option;
@@ -44,7 +51,10 @@ type cond = {
   on_group : int option;
 }
 
-type directive = Ilp_fault of cond * action | Worker_kill of int
+type directive =
+  | Ilp_fault of cond * action
+  | Worker_kill of int
+  | Store_break of store_fault
 
 type spec = directive list
 
@@ -84,3 +94,7 @@ val solve :
 
 (** Whether an installed directive kills parallel worker [w]. *)
 val worker_should_crash : int -> bool
+
+(** The store-corruption directive to apply to the next segment read,
+    if any ([Store.Segment] consults this on every read). *)
+val store_fault : unit -> store_fault option

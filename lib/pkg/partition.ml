@@ -55,7 +55,7 @@ let numeric_columns rel attrs =
        (fun a -> Relalg.Column.zeroed (Relalg.Relation.column_exn rel a))
        attrs)
 
-let centroid_and_radius cols members =
+let centroid_radius cols members =
   let k = Array.length cols in
   let m = Array.length members in
   let centroid = Array.make k 0. in
@@ -81,6 +81,27 @@ let centroid_and_radius cols members =
   done;
   centroid, !radius
 
+(* Representative tuple of one member set: means over cached columns
+   (non-numeric slots are None per schema and become NULL). *)
+let rep_row rel members =
+  let arity = Relalg.Schema.arity (Relalg.Relation.schema rel) in
+  Array.init arity (fun col ->
+      match Relalg.Relation.column_at rel col with
+      | None -> Relalg.Value.Null
+      | Some c ->
+        let data = Relalg.Column.data c in
+        let sum = ref 0. and cnt = ref 0 in
+        Array.iter
+          (fun row ->
+            let v = Array.unsafe_get data row in
+            if not (Float.is_nan v) then begin
+              sum := !sum +. v;
+              incr cnt
+            end)
+          members;
+        if !cnt = 0 then Relalg.Value.Null
+        else Relalg.Value.Float (!sum /. float_of_int !cnt))
+
 (* Build the final structure (groups, reverse map, representative
    relation) from explicit member sets. *)
 let finalize ~attrs rel member_sets =
@@ -93,7 +114,7 @@ let finalize ~attrs rel member_sets =
     Array.of_list
       (List.map
          (fun members ->
-           let centroid, radius = centroid_and_radius cols members in
+           let centroid, radius = centroid_radius cols members in
            { members; centroid; radius })
          member_sets)
   in
@@ -102,31 +123,7 @@ let finalize ~attrs rel member_sets =
   Array.iteri
     (fun gid g -> Array.iter (fun row -> gid_of_row.(row) <- gid) g.members)
     groups;
-  let arity = Relalg.Schema.arity schema in
-  (* representative means over cached columns (non-numeric slots are
-     None per schema and become NULL, as before) *)
-  let rep_cols = Array.init arity (Relalg.Relation.column_at rel) in
-  let rep_rows =
-    Array.map
-      (fun g ->
-        Array.init arity (fun col ->
-            match rep_cols.(col) with
-            | None -> Relalg.Value.Null
-            | Some c ->
-              let data = Relalg.Column.data c in
-              let sum = ref 0. and cnt = ref 0 in
-              Array.iter
-                (fun row ->
-                  let v = Array.unsafe_get data row in
-                  if not (Float.is_nan v) then begin
-                    sum := !sum +. v;
-                    incr cnt
-                  end)
-                g.members;
-              if !cnt = 0 then Relalg.Value.Null
-              else Relalg.Value.Float (!sum /. float_of_int !cnt)))
-      groups
-  in
+  let rep_rows = Array.map (fun g -> rep_row rel g.members) groups in
   let reps = Relalg.Relation.of_array schema rep_rows in
   { attrs; groups; gid_of_row; reps }
 
@@ -214,17 +211,18 @@ let chunk tau members =
       let start = i * tau in
       Array.sub members start (min tau (n - start)))
 
-let create ?(radius = No_radius) ?(max_fanout_dims = 2) ~tau ~attrs rel =
-  if tau < 1 then invalid_arg "Partition.create: tau must be >= 1";
-  if attrs = [] then invalid_arg "Partition.create: no partitioning attributes";
+(* The quad-tree recursion on one member set: split until every piece
+   satisfies tau and the radius spec. Shared by [create] (seeded with
+   all rows) and the incremental-maintenance layer (re-splitting just
+   an overflowing group). *)
+let split ?(max_fanout_dims = 2) ~tau ~radius cols members =
+  if tau < 1 then invalid_arg "Partition.split: tau must be >= 1";
   if max_fanout_dims < 1 then
-    invalid_arg "Partition.create: max_fanout_dims must be >= 1";
-  let cols = numeric_columns rel attrs in
+    invalid_arg "Partition.split: max_fanout_dims must be >= 1";
   let ranges = global_ranges cols in
-  let n = Relalg.Relation.cardinality rel in
   let finished = ref [] in
   let rec process members =
-    let centroid, radius_val = centroid_and_radius cols members in
+    let centroid, radius_val = centroid_radius cols members in
     if
       Array.length members <= tau
       && radius_ok radius ~centroid ~radius:radius_val
@@ -242,8 +240,16 @@ let create ?(radius = No_radius) ?(max_fanout_dims = 2) ~tau ~attrs rel =
       | subs -> List.iter process subs
     end
   in
-  if n > 0 then process (Array.init n Fun.id);
-  finalize ~attrs rel (List.rev !finished)
+  if Array.length members > 0 then process members;
+  List.rev !finished
+
+let create ?(radius = No_radius) ?max_fanout_dims ~tau ~attrs rel =
+  if tau < 1 then invalid_arg "Partition.create: tau must be >= 1";
+  if attrs = [] then invalid_arg "Partition.create: no partitioning attributes";
+  let cols = numeric_columns rel attrs in
+  let n = Relalg.Relation.cardinality rel in
+  let sets = split ?max_fanout_dims ~tau ~radius cols (Array.init n Fun.id) in
+  finalize ~attrs rel sets
 
 let restrict_prefix p rel n =
   let keep row = row < n in

@@ -87,6 +87,31 @@ val radius_ok : radius_spec -> centroid:float array -> radius:float -> bool
     representatives are kept). Empty groups are removed. *)
 val restrict_prefix : t -> Relalg.Relation.t -> int -> t
 
+(** {1 Maintenance support}
+
+    Building blocks exposed for the incremental-maintenance layer
+    ([Store.Maintain]): they let an updated group be re-split locally
+    with the same quad-tree recursion {!create} uses, without touching
+    the rest of the partitioning. *)
+
+(** [centroid_radius cols members] — centroid and Definition-2 radius
+    of one member set over the given per-attribute columns (the
+    {!numeric_columns} layout). *)
+val centroid_radius : float array array -> int array -> float array * float
+
+(** [split ?max_fanout_dims ~tau ~radius cols members] runs the
+    quad-tree recursion of {!create} on a single member set, returning
+    member sets that each satisfy [tau] and [radius]. A set already
+    within both limits is returned unchanged (as a singleton list). *)
+val split :
+  ?max_fanout_dims:int -> tau:int -> radius:radius_spec ->
+  float array array -> int array -> int array list
+
+(** [rep_row rel members] — the representative tuple of one group:
+    numeric attributes hold the member mean (NULLs excluded),
+    non-numeric attributes are NULL. *)
+val rep_row : Relalg.Relation.t -> int array -> Relalg.Tuple.t
+
 (** [max_group_size p] and [check ?tau ?radius p rel] support tests. *)
 val max_group_size : t -> int
 

@@ -21,6 +21,19 @@ let of_rows rows i =
   done;
   { data; nulls; n_nulls = !n_nulls; zeroed = None }
 
+let of_raw ~data ~nulls =
+  let n = Array.length data in
+  if Bytes.length nulls <> n then
+    invalid_arg "Column.of_raw: data and null map lengths differ";
+  let n_nulls = ref 0 in
+  for i = 0 to n - 1 do
+    if Bytes.unsafe_get nulls i = '\001' then begin
+      Array.unsafe_set data i nan;
+      incr n_nulls
+    end
+  done;
+  { data; nulls; n_nulls = !n_nulls; zeroed = None }
+
 let length c = Array.length c.data
 let data c = c.data
 
@@ -45,6 +58,13 @@ type slot = Not_loaded | Numeric of t | Not_numeric
 type cache = { mutable slots : slot array; lock : Mutex.t }
 
 let cache_create arity = { slots = Array.make arity Not_loaded; lock = Mutex.create () }
+
+let cache_seed cache i c =
+  Mutex.lock cache.lock;
+  let ok = cache.slots.(i) = Not_loaded in
+  if ok then cache.slots.(i) <- Numeric c;
+  Mutex.unlock cache.lock;
+  if not ok then invalid_arg "Column.cache_seed: slot already materialized"
 
 let cached cache rows ~numeric i =
   Mutex.lock cache.lock;

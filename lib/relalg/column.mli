@@ -18,6 +18,14 @@ type t
     cells) become [nan] with the null bit set. *)
 val of_rows : Tuple.t array -> int -> t
 
+(** [of_raw ~data ~nulls] wraps pre-materialized storage (the binary
+    segment loader's path, bypassing row extraction). [nulls] holds one
+    byte per cell, ['\001'] marking NULL; NULL cells of [data] are
+    normalized to [nan]. The arrays are taken over by the column — the
+    caller must not mutate them afterwards.
+    @raise Invalid_argument when lengths differ. *)
+val of_raw : data:float array -> nulls:Bytes.t -> t
+
 val length : t -> int
 
 (** Shared backing array; NULL cells hold [nan]. Do not mutate. *)
@@ -52,3 +60,8 @@ val cache_create : int -> cache
     says whether the schema types the attribute as [TInt]/[TFloat];
     non-numeric attributes yield [None]. *)
 val cached : cache -> Tuple.t array -> numeric:bool -> int -> t option
+
+(** [cache_seed cache i c] pre-populates slot [i] with an
+    already-materialized column (the segment loader's warm path).
+    @raise Invalid_argument when the slot is already materialized. *)
+val cache_seed : cache -> int -> t -> unit

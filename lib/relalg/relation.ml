@@ -17,6 +17,22 @@ let of_array schema rows =
 
 let of_rows schema rows = of_array schema (Array.of_list rows)
 
+let of_array_columns schema rows cols =
+  let r = of_array schema rows in
+  List.iter
+    (fun (i, c) ->
+      if i < 0 || i >= Schema.arity schema then
+        invalid_arg "Relation.of_array_columns: attribute position out of range";
+      (match (Schema.attr_at schema i).Schema.ty with
+      | Value.TInt | Value.TFloat -> ()
+      | Value.TStr | Value.TBool ->
+        invalid_arg "Relation.of_array_columns: non-numeric attribute");
+      if Column.length c <> Array.length rows then
+        invalid_arg "Relation.of_array_columns: column length mismatch";
+      Column.cache_seed r.cache i c)
+    cols;
+  r
+
 type builder = { bschema : Schema.t; mutable acc : Tuple.t list; mutable n : int }
 
 let builder bschema = { bschema; acc = []; n = 0 }

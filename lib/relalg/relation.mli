@@ -11,6 +11,14 @@ type t
 val of_rows : Schema.t -> Tuple.t list -> t
 val of_array : Schema.t -> Tuple.t array -> t
 
+(** [of_array_columns schema rows cols] builds a relation whose column
+    cache is pre-seeded with the given [(attribute position, column)]
+    pairs — the binary segment loader's path, which already holds the
+    unboxed arrays and skips re-extraction from rows. Every column must
+    have one cell per row and belong to a numeric attribute.
+    @raise Invalid_argument otherwise. *)
+val of_array_columns : Schema.t -> Tuple.t array -> (int * Column.t) list -> t
+
 (** Incremental builder. *)
 type builder
 

@@ -1,0 +1,246 @@
+module P = Pkg.Partition
+
+type t = { root : string }
+
+let env_var = "PKGQ_STORE_DIR"
+let default_dir = ".pkgq-store"
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755
+    with Sys_error _ when Sys.file_exists d -> ()
+  end
+
+let tables_dir t = Filename.concat t.root "tables"
+let partitions_dir t = Filename.concat t.root "partitions"
+
+let open_dir root =
+  let t = { root } in
+  mkdir_p (tables_dir t);
+  mkdir_p (partitions_dir t);
+  t
+
+let from_env () = Option.map open_dir (Sys.getenv_opt env_var)
+
+let dir t = t.root
+
+(* ------------------------------------------------------------------ *)
+(* Table cache                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_segment_path path = Filename.check_suffix path ".seg"
+
+let table_path t fp = Filename.concat (tables_dir t) (fp ^ ".seg")
+
+let table_cached t path =
+  (not (is_segment_path path))
+  && Sys.file_exists path
+  && Sys.file_exists (table_path t (Segment.fingerprint_file path))
+
+let load_table t path =
+  let s = Wire.read_file path in
+  let fp = Wire.hex64 (Wire.hash64 s) in
+  if is_segment_path path then (Segment.of_string s, fp)
+  else
+    let seg = table_path t fp in
+    if Sys.file_exists seg then (Segment.read seg, fp)
+    else begin
+      let rel = Relalg.Csv.of_string s in
+      Segment.write seg rel;
+      (rel, fp)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type key = {
+  fingerprint : string;
+  attrs : string list;
+  tau : int;
+  radius : P.radius_spec;
+}
+
+let radius_string = function
+  | P.No_radius -> "none"
+  | P.Absolute omega -> Printf.sprintf "abs:%.17g" omega
+  | P.Theorem { epsilon; maximize } ->
+    Printf.sprintf "thm:%.17g:%s" epsilon (if maximize then "max" else "min")
+
+let key_string k =
+  Printf.sprintf "%s|%s|tau=%d|radius=%s" k.fingerprint
+    (String.concat "," k.attrs)
+    k.tau (radius_string k.radius)
+
+let key_id k = Wire.hex64 (Wire.hash64 (key_string k))
+
+(* ------------------------------------------------------------------ *)
+(* Partition files                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let part_magic = "PKGQPART"
+let part_version = 1
+
+let part_path t k = Filename.concat (partitions_dir t) (key_id k ^ ".part")
+
+let encode_radius b = function
+  | P.No_radius -> Wire.put_u8 b 0
+  | P.Absolute omega ->
+    Wire.put_u8 b 1;
+    Wire.put_f64 b omega
+  | P.Theorem { epsilon; maximize } ->
+    Wire.put_u8 b 2;
+    Wire.put_f64 b epsilon;
+    Wire.put_u8 b (if maximize then 1 else 0)
+
+let decode_radius r =
+  match Wire.get_u8 r with
+  | 0 -> P.No_radius
+  | 1 -> P.Absolute (Wire.get_f64 r)
+  | 2 ->
+    let epsilon = Wire.get_f64 r in
+    let maximize = Wire.get_u8 r = 1 in
+    P.Theorem { epsilon; maximize }
+  | tag -> Wire.error "bad radius-spec tag %d" tag
+
+let encode_part key (p : P.t) =
+  let b = Buffer.create 4096 in
+  Wire.put_str b key.fingerprint;
+  Wire.put_i32 b (List.length key.attrs);
+  List.iter (Wire.put_str b) key.attrs;
+  Wire.put_i64 b key.tau;
+  encode_radius b key.radius;
+  Wire.put_i32 b (Array.length p.P.gid_of_row);
+  Wire.put_i32 b (Array.length p.P.groups);
+  let k = List.length key.attrs in
+  Array.iter
+    (fun (g : P.group) ->
+      Wire.put_i32 b (Array.length g.P.members);
+      Array.iter (Wire.put_i32 b) g.P.members;
+      if Array.length g.P.centroid <> k then
+        invalid_arg "Catalog.store: centroid arity does not match key attrs";
+      Array.iter (Wire.put_f64 b) g.P.centroid;
+      Wire.put_f64 b g.P.radius)
+    p.P.groups;
+  Wire.put_str b (Segment.to_string p.P.reps);
+  b
+
+(* The decoded skeleton; [reps] stays an undecoded segment image so the
+   listing path can skip it. *)
+type decoded = {
+  dkey : key;
+  n_rows : int;
+  dgroups : P.group array;
+  reps_image : string;
+}
+
+let decode_part r =
+  let fingerprint = Wire.get_str r in
+  let n_attrs = Wire.get_i32 r in
+  if n_attrs < 0 then Wire.error "negative attribute count %d" n_attrs;
+  let attrs = List.init n_attrs (fun _ -> Wire.get_str r) in
+  let tau = Wire.get_i64 r in
+  let radius = decode_radius r in
+  let n_rows = Wire.get_i32 r in
+  if n_rows < 0 then Wire.error "negative row count %d" n_rows;
+  let n_groups = Wire.get_i32 r in
+  if n_groups < 0 then Wire.error "negative group count %d" n_groups;
+  let dgroups =
+    Array.init n_groups (fun _ ->
+        let m = Wire.get_i32 r in
+        if m < 0 then Wire.error "negative member count %d" m;
+        let members =
+          Array.init m (fun _ ->
+              let id = Wire.get_i32 r in
+              if id < 0 || id >= n_rows then
+                Wire.error "member row id %d out of range (%d rows)" id n_rows;
+              id)
+        in
+        let centroid = Array.init n_attrs (fun _ -> Wire.get_f64 r) in
+        let radius = Wire.get_f64 r in
+        { P.members; centroid; radius })
+  in
+  let reps_image = Wire.get_str r in
+  { dkey = { fingerprint; attrs; tau; radius }; n_rows; dgroups; reps_image }
+
+let to_partition d =
+  let reps = Segment.of_string d.reps_image in
+  if Relalg.Relation.cardinality reps <> Array.length d.dgroups then
+    Wire.error "representative count %d does not match group count %d"
+      (Relalg.Relation.cardinality reps)
+      (Array.length d.dgroups);
+  let gid_of_row = Array.make d.n_rows (-1) in
+  Array.iteri
+    (fun gid (g : P.group) ->
+      Array.iter
+        (fun row ->
+          if gid_of_row.(row) <> -1 then
+            Wire.error "row %d assigned to two groups" row;
+          gid_of_row.(row) <- gid)
+        g.P.members)
+    d.dgroups;
+  { P.attrs = d.dkey.attrs; groups = d.dgroups; gid_of_row; reps }
+
+let read_part path =
+  decode_part (Wire.verify ~magic:part_magic ~version:part_version
+                 (Wire.read_file path))
+
+let find t key =
+  let path = part_path t key in
+  if not (Sys.file_exists path) then None
+  else begin
+    let d = read_part path in
+    if d.dkey <> key then
+      Wire.error "catalog entry %s was stored under a different key (%s)"
+        (Filename.basename path) (key_string d.dkey);
+    Some (to_partition d)
+  end
+
+let store t key p =
+  Wire.write_file (part_path t key) ~magic:part_magic ~version:part_version
+    (encode_part key p)
+
+let lookup_or_build t key ~build =
+  match find t key with
+  | Some p -> (p, `Hit)
+  | None ->
+    let p = build () in
+    store t key p;
+    (p, `Built)
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  id : string;
+  entry_key : key;
+  groups : int;
+  rows : int;
+  bytes : int;
+  age : float;
+}
+
+let entries t =
+  let d = partitions_dir t in
+  let now = Unix.gettimeofday () in
+  Sys.readdir d |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".part")
+  |> List.filter_map (fun f ->
+         let path = Filename.concat d f in
+         match read_part path with
+         | dec ->
+           let st = Unix.stat path in
+           Some
+             {
+               id = Filename.remove_extension f;
+               entry_key = dec.dkey;
+               groups = Array.length dec.dgroups;
+               rows = dec.n_rows;
+               bytes = st.Unix.st_size;
+               age = now -. st.Unix.st_mtime;
+             }
+         | exception (Wire.Error _ | Sys_error _) -> None)
+  |> List.sort (fun a b -> compare a.age b.age)

@@ -1,0 +1,65 @@
+(** Incremental partition maintenance.
+
+    The paper treats partitioning as offline and amortized; this module
+    keeps a stored partitioning usable as the table evolves, without
+    repartitioning from scratch. Updates are local:
+
+    - {b Append}: each new row joins the group with the nearest
+      centroid (Chebyshev distance over the partitioning attributes,
+      matching the partitioner's radius metric). Only touched groups
+      recompute their centroid, radius and representative; a touched
+      group that now violates [tau] or the radius spec is re-split
+      locally with the same quad-tree recursion {!Pkg.Partition.create}
+      uses ({!Pkg.Partition.split}) — the rest of the partitioning is
+      untouched, representative rows of untouched groups are reused
+      as-is.
+
+    - {b Delete}: rows are removed and groups shrink in place. Row ids
+      are compacted (the relation is rebuilt without the dead rows), so
+      member sets are remapped everywhere, but centroids, radii and
+      representatives are recomputed only for groups that lost members.
+      Shrinking can only reduce a group's radius and size, so deletes
+      never trigger a re-split. Emptied groups are dropped.
+
+    Both operations return the updated relation, the updated
+    partitioning (valid for that relation), and {!stats} describing how
+    local the update was. *)
+
+type stats = {
+  rows_appended : int;
+  rows_deleted : int;
+  groups_touched : int;  (** groups whose member set changed *)
+  groups_resplit : int;  (** touched groups that overflowed and re-split *)
+  groups_before : int;
+  groups_after : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [append ?max_fanout_dims ~tau ~radius p rel extra] appends the rows
+    of [extra] to [rel] (they become row ids [n..n+m-1]) and updates
+    [p] accordingly. [tau], [radius] and [max_fanout_dims] must be the
+    parameters the partitioning was built with — they bound the local
+    re-splits.
+
+    @raise Invalid_argument when the schemas of [rel] and [extra]
+    differ, or when [p] does not cover [rel]. *)
+val append :
+  ?max_fanout_dims:int ->
+  tau:int ->
+  radius:Pkg.Partition.radius_spec ->
+  Pkg.Partition.t ->
+  Relalg.Relation.t ->
+  Relalg.Relation.t ->
+  Relalg.Relation.t * Pkg.Partition.t * stats
+
+(** [delete p rel dead] removes the row ids in [dead] (duplicates
+    allowed) from [rel], compacting the remaining rows in order.
+
+    @raise Invalid_argument on an out-of-range id, or when [p] does not
+    cover [rel]. *)
+val delete :
+  Pkg.Partition.t ->
+  Relalg.Relation.t ->
+  int array ->
+  Relalg.Relation.t * Pkg.Partition.t * stats

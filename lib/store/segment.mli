@@ -1,0 +1,55 @@
+(** Binary columnar relation segments — the store's on-disk table
+    format, replacing CSV re-parse on the hot path.
+
+    Layout (little-endian throughout):
+
+    {v
+    "PKGQSEG1" magic | version i32 | body | checksum i64
+    body:
+      n_attrs i32, n_rows i32
+      per attribute: name (i32 len + bytes), type tag u8
+                     (0 int, 1 float, 2 str, 3 bool)
+      per attribute, in schema order:
+        null-map flag u8; when 1, n_rows bytes (1 = NULL)
+        int   -> n_rows x i64
+        float -> n_rows x f64 bit image (exact round-trip)
+        bool  -> n_rows x u8
+        str   -> dictionary (i32 count, then len-prefixed entries)
+                 followed by n_rows x i32 dictionary indices (-1 = NULL)
+    v}
+
+    Numeric columns load {e directly} into the relation's
+    {!Relalg.Column} cache ({!Relalg.Relation.of_array_columns}): the
+    unboxed arrays decoded from disk become the cached columns, so the
+    first query after a load pays no extraction pass.
+
+    Corruption (bad magic, version mismatch, bad checksum, truncation)
+    raises the typed {!Error}, never a backtrace. *)
+
+exception Error of string
+
+val magic : string
+val version : int
+
+(** [write path rel] persists atomically (temp file + rename). *)
+val write : string -> Relalg.Relation.t -> unit
+
+(** @raise Error on corrupt content, [Sys_error] on IO failure. *)
+val read : string -> Relalg.Relation.t
+
+(** Full file image / its inverse, for tests and embedding. *)
+val to_string : Relalg.Relation.t -> string
+
+val of_string : string -> Relalg.Relation.t
+
+(** {1 Fingerprints}
+
+    Content fingerprints key the partition catalog and the table
+    cache: same bytes, same fingerprint, across processes. *)
+
+(** Fingerprint of an in-memory relation (hash of its encoded body). *)
+val fingerprint : Relalg.Relation.t -> string
+
+(** Fingerprint of a file's raw bytes (no parse — cheap even for CSV).
+    Raises [Sys_error] on IO failure. *)
+val fingerprint_file : string -> string

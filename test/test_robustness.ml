@@ -45,7 +45,13 @@ let test_faults_parse () =
   checkb "missing action rejected" false (ok "ilp=1");
   checkb "non-numeric call rejected" false (ok "ilp=x:limit");
   checkb "crash needs worker" false (ok "ilp=1:crash");
-  checkb "worker only crashes" false (ok "worker=0:limit")
+  checkb "worker only crashes" false (ok "worker=0:limit");
+  checkb "store read fault" true (ok "store=read:fail");
+  checkb "store checksum fault" true (ok "store=checksum:fail");
+  checkb "store alongside others" true (ok "store=read:fail; ilp=1:limit");
+  checkb "unknown store selector rejected" false (ok "store=x:fail");
+  checkb "store only fails" false (ok "store=read:limit");
+  checkb "store cannot combine" false (ok "store=read,group=1:fail")
 
 let test_faults_selector_semantics () =
   with_faults "ilp=2:infeasible" (fun () ->
@@ -215,6 +221,26 @@ let test_injected_limit_direct () =
       let r = Pkg.Direct.run spec galaxy_rel in
       checkb "forced limit becomes node-limit failure" true
         (kind_of r = Some E.Node_limit))
+
+(* store=read|checksum faults abort segment reads with the typed store
+   error — the CLI maps it to the data-error exit code, never a
+   backtrace. *)
+let test_injected_store_fault () =
+  let image = Store.Segment.to_string galaxy_rel in
+  let typed spec =
+    with_faults spec (fun () ->
+        match Store.Segment.of_string image with
+        | exception Store.Segment.Error _ -> true
+        | exception _ -> false
+        | _ -> false)
+  in
+  checkb "read fault typed" true (typed "store=read:fail");
+  checkb "checksum fault typed" true (typed "store=checksum:fail");
+  match Store.Segment.of_string image with
+  | _ -> () (* healthy again once faults are cleared *)
+  | exception e ->
+    Alcotest.failf "clean read failed after clearing faults: %s"
+      (Printexc.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* Fallback ladder under injected faults                              *)
@@ -433,6 +459,8 @@ let () =
             test_injected_raise_contained;
           Alcotest.test_case "forced limit typed" `Quick
             test_injected_limit_direct;
+          Alcotest.test_case "store faults typed" `Quick
+            test_injected_store_fault;
         ] );
       ( "fallback ladder",
         [
