@@ -14,6 +14,7 @@
      scan   row path vs vectorized columnar scans
      robust deadline propagation overshoot
      store  binary segments, partition catalog, incremental maintenance
+     serve  service layer: cached throughput, latency, admission control
      micro  bechamel micro-benchmarks of the solver substrate
 
    Dataset sizes are scaled down from the paper's 5.5M/17.5M tuples;
@@ -897,6 +898,188 @@ let store_bench ~scale () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Service layer: throughput, latency, caches, admission control      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_json : (string * string) list ref = ref []
+
+let percentile xs q =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+
+(* Play [stream] against the server on [port] from [clients] concurrent
+   connections (round-robin split), one request at a time per
+   connection. Returns (per-request latencies, total wall, errors). *)
+let play_stream ~port ~clients stream =
+  let stream = Array.of_list stream in
+  let lats = Array.make (Array.length stream) 0. in
+  let errors = Atomic.make 0 in
+  let run ci =
+    let c = Service.Client.connect ~host:"127.0.0.1" ~port in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close c)
+      (fun () ->
+        Array.iteri
+          (fun i q ->
+            if i mod clients = ci then begin
+              let t0 = Unix.gettimeofday () in
+              (match Service.Client.query c q with
+              | Service.Protocol.Resp_ok _ -> ()
+              | Service.Protocol.Resp_err _ -> Atomic.incr errors);
+              lats.(i) <- Unix.gettimeofday () -. t0
+            end)
+          stream)
+  in
+  let t0 = Unix.gettimeofday () in
+  let ths = List.init clients (fun ci -> Thread.create run ci) in
+  List.iter Thread.join ths;
+  (Array.to_list lats, Unix.gettimeofday () -. t0, Atomic.get errors)
+
+(* The service-layer claims, measured end to end over TCP: a repeated
+   query answered from the result cache beats re-solving by >=3x, and
+   under overload admission control sheds with a typed [rejected]
+   answer instead of queueing without bound. Both phases play the same
+   repeat stream, so cache-off vs cache-on is the only variable. *)
+let serve ~scale () =
+  let n = max 1_500 (int_of_float (4_000. *. scale)) in
+  let clients = 8 in
+  let distinct = 6 in
+  let repeats = max 12 (int_of_float (48. *. scale)) in
+  Format.printf
+    "@.== Service layer: repeated-query throughput & admission control \
+     (Galaxy n=%d, %d clients) ==@."
+    n clients;
+  let rel = Datagen.Galaxy.generate ~seed:5 n in
+  let defs =
+    Datagen.Workload.mixed ~seed:11 ~repeat_rate:0. ~dataset:`Galaxy
+      ~n:distinct rel
+  in
+  let qarr =
+    Array.of_list (List.map (fun (d : Datagen.Workload.def) -> d.paql) defs)
+  in
+  let warm = Array.to_list qarr in
+  let repeat_stream =
+    List.init repeats (fun i -> qarr.(i mod Array.length qarr))
+  in
+  let cfg ~result_cache ~workers ~queue =
+    {
+      (Service.Server.default_config ()) with
+      Service.Server.workers;
+      queue;
+      result_cache;
+      plan_cache = 64;
+      method_ = Service.Server.Direct;
+      limits = bench_limits;
+      request_seconds = 300.;
+      log_every = 0.;
+    }
+  in
+  let with_server cfg f =
+    let srv = Service.Server.start cfg rel in
+    Fun.protect ~finally:(fun () -> Service.Server.stop srv) (fun () -> f srv)
+  in
+  (* -- repeated-query throughput: result cache off vs on -- *)
+  let phase label result_cache =
+    with_server (cfg ~result_cache ~workers:4 ~queue:64) (fun srv ->
+        let port = Service.Server.port srv in
+        (* untimed warm-up: populates the plan cache on both servers and
+           the result cache on the cache-on one, so the timed stream
+           compares pure re-solve against pure cache hit *)
+        ignore (play_stream ~port ~clients:1 warm);
+        let lats, wall, errs = play_stream ~port ~clients repeat_stream in
+        let qps = float_of_int repeats /. wall in
+        let p50 = percentile lats 0.5 and p99 = percentile lats 0.99 in
+        let hits =
+          Service.Metrics.get (Service.Server.metrics srv) "result_hits"
+        in
+        Format.printf
+          "  %-16s %3d req  wall %7.3fs  %8.1f q/s  p50 %7.2fms  p99 \
+           %7.2fms  solves %d  hits %d%s@."
+          label repeats wall qps (p50 *. 1e3) (p99 *. 1e3)
+          (Service.Server.solve_count srv)
+          hits
+          (if errs > 0 then Printf.sprintf "  (%d errors)" errs else "");
+        (wall, qps, p50, p99, errs))
+  in
+  let off_wall, off_qps, off_p50, off_p99, off_errs =
+    phase "cache off" 0
+  in
+  let on_wall, on_qps, on_p50, on_p99, on_errs = phase "cache on" 256 in
+  let speedup = on_qps /. off_qps in
+  Format.printf "  cached repeated-query throughput: %.1fx cache-off%s@."
+    speedup
+    (if speedup >= 3. then "" else "  (below the 3x target)");
+  (* -- overload: more simultaneous requests than workers + queue -- *)
+  let overload_clients = 16 in
+  let shed, rejected, answered =
+    with_server (cfg ~result_cache:0 ~workers:1 ~queue:2) (fun srv ->
+        let port = Service.Server.port srv in
+        let ready = Atomic.make 0 in
+        let go = Atomic.make false in
+        let rejected = Atomic.make 0 in
+        let answered = Atomic.make 0 in
+        let one i =
+          let c = Service.Client.connect ~host:"127.0.0.1" ~port in
+          Fun.protect
+            ~finally:(fun () -> Service.Client.close c)
+            (fun () ->
+              Atomic.incr ready;
+              while not (Atomic.get go) do
+                Thread.yield ()
+              done;
+              (match
+                 Service.Client.query c qarr.(i mod Array.length qarr)
+               with
+              | Service.Protocol.Resp_err (Service.Protocol.Rejected, _) ->
+                Atomic.incr rejected
+              | _ -> ());
+              Atomic.incr answered)
+        in
+        let ths = List.init overload_clients (fun i -> Thread.create one i) in
+        while Atomic.get ready < overload_clients do
+          Thread.yield ()
+        done;
+        Atomic.set go true;
+        List.iter Thread.join ths;
+        ( Service.Metrics.get (Service.Server.metrics srv) "shed",
+          Atomic.get rejected,
+          Atomic.get answered ))
+  in
+  Format.printf
+    "  overload (%d simultaneous, workers=1 queue=2): shed %d, rejected \
+     replies %d, answered %d/%d@."
+    overload_clients shed rejected answered overload_clients;
+  let num v = Printf.sprintf "%.6f" v in
+  serve_json :=
+    [
+      ("scale", Printf.sprintf "%g" scale);
+      ("rows", string_of_int n);
+      ("clients", string_of_int clients);
+      ("distinct_queries", string_of_int distinct);
+      ("repeat_requests", string_of_int repeats);
+      ("cacheoff_wall_s", num off_wall);
+      ("cacheoff_qps", Printf.sprintf "%.2f" off_qps);
+      ("cacheoff_p50_ms", Printf.sprintf "%.3f" (off_p50 *. 1e3));
+      ("cacheoff_p99_ms", Printf.sprintf "%.3f" (off_p99 *. 1e3));
+      ("cacheoff_errors", string_of_int off_errs);
+      ("cacheon_wall_s", num on_wall);
+      ("cacheon_qps", Printf.sprintf "%.2f" on_qps);
+      ("cacheon_p50_ms", Printf.sprintf "%.3f" (on_p50 *. 1e3));
+      ("cacheon_p99_ms", Printf.sprintf "%.3f" (on_p99 *. 1e3));
+      ("cacheon_errors", string_of_int on_errs);
+      ("cached_speedup", Printf.sprintf "%.2f" speedup);
+      ("overload_clients", string_of_int overload_clients);
+      ("overload_shed", string_of_int shed);
+      ("overload_rejected_replies", string_of_int rejected);
+      ("overload_answered", string_of_int answered);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -984,6 +1167,7 @@ let all_experiments =
     ("scan", fun ~scale () -> scan ~scale ());
     ("robust", fun ~scale () -> robust ~scale ());
     ("store", fun ~scale () -> store_bench ~scale ());
+    ("serve", fun ~scale () -> serve ~scale ());
     ("micro", fun ~scale () -> ignore scale; micro ());
   ]
 
@@ -1026,4 +1210,5 @@ let () =
   if !json && !robust_json <> [] then
     write_json "BENCH_robust.json" !robust_json;
   if !json && !store_json <> [] then write_json "BENCH_store.json" !store_json;
+  if !json && !serve_json <> [] then write_json "BENCH_serve.json" !serve_json;
   Format.printf "@.done.@."

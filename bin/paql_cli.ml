@@ -31,9 +31,49 @@ let die code msg =
   prerr_endline ("paql: " ^ msg);
   exit code
 
-let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
-    max_nodes faults out verbose explain mps_out partition_file save_partition
-    parallel store_dir no_store =
+(* Remote mode: ship the query to a pkgq_server and relay its answer.
+   The OK body carries the package as CSV, so --out writes exactly the
+   bytes a local run would; a remote failure exits with the same code
+   taxonomy (plus 7 for an admission-control rejection). *)
+let run_remote endpoint query out =
+  let host, port =
+    match Service.Client.parse_endpoint endpoint with
+    | Ok hp -> hp
+    | Error msg -> die exit_usage_error ("--connect: " ^ msg)
+  in
+  let client =
+    try Service.Client.connect ~host ~port with
+    | Unix.Unix_error (e, _, _) ->
+      die exit_data_error
+        (Printf.sprintf "connect %s: %s" endpoint (Unix.error_message e))
+    | Failure msg -> die exit_data_error msg
+  in
+  Fun.protect
+    ~finally:(fun () -> Service.Client.close client)
+    (fun () ->
+      match Service.Client.query client query with
+      | exception Service.Protocol.Protocol_error msg ->
+        die exit_data_error ("remote: " ^ msg)
+      | Service.Protocol.Resp_err (code, msg) ->
+        prerr_endline ("paql: remote: " ^ msg);
+        exit (Service.Protocol.exit_code code)
+      | Service.Protocol.Resp_ok body -> (
+        match Service.Protocol.parse_result body with
+        | Error msg -> die exit_data_error ("remote: " ^ msg)
+        | Ok (status, wall, csv) -> (
+          Format.printf "%s, %.3fs (remote)@." status wall;
+          match out with
+          | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc csv);
+            Format.printf "package written to %s@." path
+          | None -> print_string csv)))
+
+let run_inner connect data query_text query_file method_ tau attrs epsilon
+    max_seconds max_nodes faults out verbose explain mps_out partition_file
+    save_partition parallel store_dir no_store =
   let query =
     match query_text, query_file with
     | Some q, None -> q
@@ -42,6 +82,14 @@ let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
       die exit_usage_error "pass either --query or --query-file, not both"
     | None, None ->
       die exit_usage_error "a query is required (--query or --query-file)"
+  in
+  match connect with
+  | Some endpoint -> run_remote endpoint query out
+  | None ->
+  let data =
+    match data with
+    | Some d -> d
+    | None -> die exit_usage_error "--data is required (unless --connect)"
   in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -198,12 +246,12 @@ let run_inner data query_text query_file method_ tau attrs epsilon max_seconds
 (* Cmdliner traps exceptions escaping the term (reporting them as an
    internal error, exit 124), so failure-mode exit codes must be
    assigned here, inside the term body. *)
-let run data query_text query_file method_ tau attrs epsilon max_seconds
-    max_nodes faults out verbose explain mps_out partition_file save_partition
-    parallel store_dir no_store =
+let run connect data query_text query_file method_ tau attrs epsilon
+    max_seconds max_nodes faults out verbose explain mps_out partition_file
+    save_partition parallel store_dir no_store =
   match
-    run_inner data query_text query_file method_ tau attrs epsilon max_seconds
-      max_nodes faults out verbose explain mps_out partition_file
+    run_inner connect data query_text query_file method_ tau attrs epsilon
+      max_seconds max_nodes faults out verbose explain mps_out partition_file
       save_partition parallel store_dir no_store
   with
   | () -> ()
@@ -218,12 +266,26 @@ let run data query_text query_file method_ tau attrs epsilon max_seconds
     die exit_parse_error (Printf.sprintf "parse error at offset %d: %s" pos msg)
   | exception Failure msg -> die exit_usage_error msg
 
+let connect =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect"; "c" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Evaluate against a running $(b,pkgq_server) instead of local \
+           data: the query is shipped over the wire and the package comes \
+           back as CSV (so $(b,--out) is byte-identical to a local run). \
+           Local-evaluation flags are ignored; a rejected (shed) request \
+           exits 7.")
+
 let data =
   Arg.(
-    required
+    value
     & opt (some file) None
     & info [ "data"; "d" ] ~docv:"CSV"
-        ~doc:"Input relation as CSV with a name:type header.")
+        ~doc:
+          "Input relation as CSV with a name:type header (required unless \
+           $(b,--connect)).")
 
 let query_text =
   Arg.(
@@ -353,10 +415,10 @@ let cmd =
   let doc = "evaluate PaQL package queries over CSV data" in
   let term =
     Term.(
-      const run $ data $ query_text $ query_file $ method_ $ tau $ attrs
-      $ epsilon $ max_seconds $ max_nodes $ faults $ out $ verbose $ explain
-      $ mps_out $ partition_file $ save_partition $ parallel $ store_dir
-      $ no_store)
+      const run $ connect $ data $ query_text $ query_file $ method_ $ tau
+      $ attrs $ epsilon $ max_seconds $ max_nodes $ faults $ out $ verbose
+      $ explain $ mps_out $ partition_file $ save_partition $ parallel
+      $ store_dir $ no_store)
   in
   Cmd.v (Cmd.info "paql" ~doc) term
 

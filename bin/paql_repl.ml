@@ -239,6 +239,106 @@ let meta st line =
   | [ "\\show"; "off" ] -> st.show_package <- false
   | _ -> Format.printf "unknown command; try \\help@."
 
+(* ------------------------------------------------------------------ *)
+(* Remote mode (--connect HOST:PORT)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let remote_help_text =
+  {|Meta commands (remote mode):
+  \help            this message
+  \ping            liveness probe
+  \stats           server metrics snapshot
+  \append FILE     append the CSV file's rows to the served table
+  \show on|off     print packages after evaluation
+  \quit            exit
+Any other input is PaQL, evaluated by the server; end statements with ';'.|}
+
+let remote_query client show text =
+  match Service.Client.query client text with
+  | Service.Protocol.Resp_err (code, msg) ->
+    Format.printf "error (%s): %s@." (Service.Protocol.code_name code) msg
+  | Service.Protocol.Resp_ok body -> (
+    match Service.Protocol.parse_result body with
+    | Error msg -> Format.printf "error: bad response: %s@." msg
+    | Ok (status, wall, csv) ->
+      if !show && csv <> "" then
+        (match Relalg.Csv.of_string csv with
+        | rel -> Format.printf "%a@." Relalg.Relation.pp rel
+        | exception Relalg.Csv.Error _ -> print_string csv);
+      Format.printf "%s, %.3fs (remote)@." status wall)
+
+let remote_meta client show line =
+  match split_words line with
+  | [ "\\help" ] -> print_endline remote_help_text
+  | [ "\\quit" ] | [ "\\q" ] -> raise Exit
+  | [ "\\ping" ] -> (
+    match Service.Client.ping client with
+    | Service.Protocol.Resp_ok body -> Format.printf "%s@." body
+    | Service.Protocol.Resp_err (_, msg) -> Format.printf "error: %s@." msg)
+  | [ "\\stats" ] -> (
+    match Service.Client.stats client with
+    | Service.Protocol.Resp_ok body -> print_string body
+    | Service.Protocol.Resp_err (_, msg) -> Format.printf "error: %s@." msg)
+  | [ "\\append"; path ] -> (
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Format.printf "error: %s@." msg
+    | csv -> (
+      match Service.Client.append client ~csv with
+      | Service.Protocol.Resp_ok body -> Format.printf "%s@." body
+      | Service.Protocol.Resp_err (code, msg) ->
+        Format.printf "error (%s): %s@." (Service.Protocol.code_name code) msg))
+  | [ "\\show"; "on" ] -> show := true
+  | [ "\\show"; "off" ] -> show := false
+  | _ -> Format.printf "unknown command; try \\help@."
+
+let remote_repl client =
+  let show = ref true in
+  let buffer = Buffer.create 256 in
+  let prompt () =
+    if Buffer.length buffer = 0 then print_string "paql@remote> "
+    else print_string "         -> ";
+    flush stdout
+  in
+  try
+    while true do
+      prompt ();
+      match input_line stdin with
+      | exception End_of_file -> raise Exit
+      | line ->
+        let trimmed = String.trim line in
+        if Buffer.length buffer = 0 && String.length trimmed > 0
+           && trimmed.[0] = '\\'
+        then (
+          try remote_meta client show trimmed with
+          | Exit -> raise Exit
+          | Service.Protocol.Protocol_error msg ->
+            Format.printf "error: %s@." msg)
+        else begin
+          Buffer.add_string buffer line;
+          Buffer.add_char buffer ' ';
+          let text = String.trim (Buffer.contents buffer) in
+          if String.length text > 0 && text.[String.length text - 1] = ';'
+          then begin
+            Buffer.clear buffer;
+            match
+              remote_query client show
+                (String.sub text 0 (String.length text - 1))
+            with
+            | () -> ()
+            | exception Service.Protocol.Protocol_error msg ->
+              Format.printf "error: %s@." msg
+          end
+        end
+    done
+  with Exit ->
+    Service.Client.close client;
+    print_endline "bye."
+
 let repl st =
   let buffer = Buffer.create 256 in
   let prompt () =
@@ -273,6 +373,23 @@ let repl st =
 
 let () =
   match Sys.argv with
+  | [| _; "--connect"; endpoint |] | [| _; "-c"; endpoint |] -> (
+    match Service.Client.parse_endpoint endpoint with
+    | Error msg ->
+      Printf.eprintf "paql_repl: --connect: %s\n" msg;
+      exit 2
+    | Ok (host, port) -> (
+      match Service.Client.connect ~host ~port with
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "paql_repl: connect %s: %s\n" endpoint
+          (Unix.error_message e);
+        exit 3
+      | exception Failure msg ->
+        Printf.eprintf "paql_repl: %s\n" msg;
+        exit 3
+      | client ->
+        Format.printf "connected to %s. \\help for commands.@." endpoint;
+        remote_repl client))
   | [| _; path |] ->
     let store = Store.Catalog.from_env () in
     let rel, fingerprint =
@@ -313,5 +430,5 @@ let () =
         fingerprint;
       }
   | _ ->
-    prerr_endline "usage: paql_repl DATA.csv";
+    prerr_endline "usage: paql_repl DATA.csv | paql_repl --connect HOST:PORT";
     exit 2

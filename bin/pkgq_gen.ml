@@ -50,6 +50,32 @@ let show_queries dataset n seed =
         d.paql)
     defs
 
+let gen_workload dataset count repeat n seed out =
+  let rel, ds =
+    match dataset with
+    | "galaxy" -> (Datagen.Galaxy.generate ~seed n, `Galaxy)
+    | "tpch" -> (Datagen.Tpch.generate ~seed n, `Tpch)
+    | d ->
+      prerr_endline ("pkgq_gen: unknown dataset " ^ d ^ " (galaxy or tpch)");
+      exit 3
+  in
+  if not (repeat >= 0. && repeat <= 1.) then begin
+    prerr_endline "pkgq_gen: --repeat must be in [0,1]";
+    exit 6
+  end;
+  let defs =
+    Datagen.Workload.mixed ~seed ~repeat_rate:repeat ~dataset:ds ~n:count rel
+  in
+  let text = Datagen.Workload.render_workload defs in
+  match out with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text);
+    Printf.printf "wrote %d queries to %s\n" (List.length defs) path
+  | None -> print_string text
+
 let n_arg =
   Arg.(
     value & opt int 10_000
@@ -97,10 +123,42 @@ let queries_cmd =
        ~doc:"print the benchmark PaQL workload, instantiated on a sample")
     Term.(const show_queries $ dataset $ n_arg $ seed_arg)
 
+let workload_cmd =
+  let dataset =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DATASET" ~doc:"galaxy or tpch")
+  in
+  let count =
+    Arg.(
+      value & opt int 20
+      & info [ "workload" ] ~docv:"N"
+          ~doc:"Number of workload entries to emit.")
+  in
+  let repeat =
+    Arg.(
+      value & opt float 0.5
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:
+            "Expected fraction of entries that repeat an earlier query \
+             verbatim (in [0,1]); repeats are what exercise a server's plan \
+             and result caches.")
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "emit a reproducible mixed query stream (NAME<TAB>QUERY lines) for \
+          the service layer, instantiated on a generated sample")
+    Term.(const gen_workload $ dataset $ count $ repeat $ n_arg $ seed_arg
+          $ out_arg)
+
 let () =
   let doc = "generate the package-query benchmark datasets" in
   let group =
-    Cmd.group (Cmd.info "pkgq_gen" ~doc) [ galaxy_cmd; tpch_cmd; queries_cmd ]
+    Cmd.group
+      (Cmd.info "pkgq_gen" ~doc)
+      [ galaxy_cmd; tpch_cmd; queries_cmd; workload_cmd ]
   in
   let die msg =
     prerr_endline ("pkgq_gen: " ^ msg);

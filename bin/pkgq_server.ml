@@ -1,0 +1,248 @@
+(* pkgq_server: serve package queries over TCP.
+
+   Examples:
+     pkgq_server --data galaxy.csv
+     pkgq_server --data galaxy.csv --port 7070 --method sketchrefine \
+       --workers 8 --queue 64 --store .pkgq-store
+     paql --connect 127.0.0.1:7070 --query "SELECT PACKAGE(G) ..." *)
+
+open Cmdliner
+
+let exit_data_error = 3
+let exit_usage_error = 6
+
+let die code msg =
+  prerr_endline ("pkgq_server: " ^ msg);
+  exit code
+
+let run_inner data host port workers queue result_cache method_ tau attrs
+    epsilon max_seconds max_nodes request_seconds log_every faults store_dir
+    no_store verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Info)
+  end
+  else begin
+    (* the periodic metrics line logs at App level *)
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.App)
+  end;
+  (match faults with
+  | None -> ()
+  | Some s -> (
+    match Pkg.Faults.parse s with
+    | Ok spec -> Pkg.Faults.install spec
+    | Error msg -> die exit_usage_error ("--faults: " ^ msg)));
+  let catalog =
+    if no_store then None
+    else
+      match store_dir with
+      | Some d -> Some (Store.Catalog.open_dir d)
+      | None -> Store.Catalog.from_env ()
+  in
+  let rel =
+    match catalog with
+    | Some cat -> fst (Store.Catalog.load_table cat data)
+    | None ->
+      if Filename.check_suffix data ".seg" then Store.Segment.read data
+      else Relalg.Csv.read data
+  in
+  let defaults = Service.Server.default_config () in
+  let cfg =
+    {
+      defaults with
+      Service.Server.host;
+      port;
+      workers = (match workers with Some w -> max 1 w | None -> defaults.workers);
+      queue = (match queue with Some q -> max 1 q | None -> defaults.queue);
+      result_cache =
+        (match result_cache with
+        | Some c -> max 0 c
+        | None -> defaults.result_cache);
+      method_ =
+        (match method_ with
+        | `Direct -> Service.Server.Direct
+        | `Sketch_refine -> Service.Server.Sketch_refine
+        | `Parallel -> Service.Server.Parallel_refine);
+      tau;
+      attrs;
+      epsilon;
+      limits = { Ilp.Branch_bound.default_limits with max_nodes; max_seconds };
+      request_seconds;
+      log_every;
+    }
+  in
+  let t = Service.Server.start ?catalog cfg rel in
+  Printf.printf "pkgq_server: serving %d rows from %s on %s:%d\n%!"
+    (Relalg.Relation.cardinality rel)
+    data host (Service.Server.port t);
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  (* poll rather than joining in the signal handler: handlers must not
+     block on the locks stop takes *)
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.1
+  done;
+  prerr_endline "pkgq_server: shutting down";
+  Service.Server.stop t;
+  print_endline (Service.Metrics.summary_line (Service.Server.metrics t))
+
+let run data host port workers queue result_cache method_ tau attrs epsilon
+    max_seconds max_nodes request_seconds log_every faults store_dir no_store
+    verbose =
+  match
+    run_inner data host port workers queue result_cache method_ tau attrs
+      epsilon max_seconds max_nodes request_seconds log_every faults store_dir
+      no_store verbose
+  with
+  | () -> ()
+  | exception Relalg.Csv.Error (line, msg) ->
+    die exit_data_error (Printf.sprintf "csv error at line %d: %s" line msg)
+  | exception Store.Segment.Error msg -> die exit_data_error ("store: " ^ msg)
+  | exception Sys_error msg -> die exit_data_error msg
+  | exception Unix.Unix_error (e, fn, _) ->
+    die exit_data_error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  | exception Failure msg -> die exit_usage_error msg
+
+let data =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "data"; "d" ] ~docv:"FILE"
+        ~doc:"Table to serve: CSV with a name:type header, or a .seg segment.")
+
+let host =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+
+let port =
+  Arg.(
+    value & opt int 0
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:"Port to bind (default 0: pick an ephemeral port and print it).")
+
+let workers =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker pool size (default: $(b,PKGQ_SERVE_WORKERS) or 4).")
+
+let queue =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Admission queue capacity; requests beyond it are shed with a \
+           typed $(b,rejected) failure (default: $(b,PKGQ_SERVE_QUEUE) or \
+           32).")
+
+let result_cache =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "result-cache" ] ~docv:"N"
+        ~doc:
+          "Result cache capacity; 0 disables (default: \
+           $(b,PKGQ_RESULT_CACHE) or 256).")
+
+let method_ =
+  let method_conv =
+    Arg.enum
+      [ ("direct", `Direct); ("sketchrefine", `Sketch_refine);
+        ("parallel", `Parallel) ]
+  in
+  Arg.(
+    value & opt method_conv `Direct
+    & info [ "method"; "m" ] ~docv:"METHOD"
+        ~doc:
+          "Evaluation method: $(b,direct), $(b,sketchrefine) or \
+           $(b,parallel) (sketchrefine with parallel refinement).")
+
+let tau =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tau" ] ~docv:"N"
+        ~doc:"Partition size threshold (default: 10% of the table).")
+
+let attrs =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "attrs" ] ~docv:"A,B,..."
+        ~doc:
+          "Partitioning attributes (default: each query's numeric \
+           attributes).")
+
+let epsilon =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "epsilon" ] ~docv:"E" ~doc:"Theorem 3 radius limit parameter.")
+
+let max_seconds =
+  Arg.(
+    value & opt float 3600.
+    & info [ "max-seconds" ] ~docv:"S" ~doc:"Wall-clock budget per ILP solve.")
+
+let max_nodes =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-nodes" ] ~docv:"N" ~doc:"Branch-and-bound node budget.")
+
+let request_seconds =
+  Arg.(
+    value & opt float 60.
+    & info [ "request-seconds" ] ~docv:"S"
+        ~doc:
+          "Per-request wall budget, queue wait included; an expired request \
+           answers $(b,deadline) instead of running over.")
+
+let log_every =
+  Arg.(
+    value & opt float 10.
+    & info [ "log-every" ] ~docv:"S"
+        ~doc:"Seconds between metrics summary log lines (0 disables).")
+
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault-injection directives (PKGQ_FAULTS grammar), \
+           e.g. $(b,'queue=full') or $(b,'net=accept:fail').")
+
+let store_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Store directory for the table segment cache and partition \
+           catalog. Defaults to $(b,PKGQ_STORE_DIR) when set.")
+
+let no_store =
+  Arg.(
+    value & flag
+    & info [ "no-store" ] ~doc:"Ignore the store ($(b,PKGQ_STORE_DIR)).")
+
+let verbose =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Chatty logging.")
+
+let cmd =
+  let doc = "serve PaQL package queries over TCP" in
+  let term =
+    Term.(
+      const run $ data $ host $ port $ workers $ queue $ result_cache
+      $ method_ $ tau $ attrs $ epsilon $ max_seconds $ max_nodes
+      $ request_seconds $ log_every $ faults $ store_dir $ no_store $ verbose)
+  in
+  Cmd.v (Cmd.info "pkgq_server" ~doc) term
+
+let () = match Cmd.eval_value cmd with Ok _ -> () | Error _ -> exit 124

@@ -217,3 +217,88 @@ let compile rel def =
     | Error msg -> invalid_arg (def.name ^ ": " ^ msg)
   in
   Paql.Translate.compile_exn (Relalg.Relation.schema rel) ast
+
+(* ------------------------------------------------------------------ *)
+(* Mixed workloads (service layer)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mixed ?(seed = 1) ?(repeat_rate = 0.5) ~dataset ~n rel =
+  let rng = Random.State.make [| seed; 0x5ca1ab1e |] in
+  let table, alias =
+    match dataset with `Galaxy -> ("Galaxy", "G") | `Tpch -> ("Tpch", "T")
+  in
+  let pool =
+    match dataset with
+    | `Galaxy -> Galaxy.numeric_attrs
+    (* lineitem block only: always non-NULL, so every synthesized
+       query is well-defined over the whole pre-joined relation *)
+    | `Tpch -> [ "l_quantity"; "l_extendedprice"; "l_discount"; "l_tax" ]
+  in
+  let means = List.map (fun a -> (a, mean rel a)) pool in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let fresh i =
+    let a1 = pick pool in
+    let a2 = pick (List.filter (fun a -> a <> a1) pool) in
+    let k = 2 + Random.State.int rng 5 in
+    let mu = List.assoc a1 means in
+    (* generous Section 5.1-style bound, perturbed per entry so fresh
+       queries are semantically distinct (token-level variation alone
+       would not defeat a fingerprint cache) *)
+    let slack = 1. +. (0.03 *. float_of_int (i mod 29)) in
+    let kf = float_of_int k in
+    let bound = ((kf *. mu) +. (kf *. (Float.abs mu +. 1.))) *. slack in
+    let maximize = Random.State.bool rng in
+    {
+      name = Printf.sprintf "W%d" i;
+      paql =
+        Printf.sprintf
+          "SELECT PACKAGE(%s) AS P FROM %s %s REPEAT 0 SUCH THAT COUNT(P.*) \
+           = %d AND SUM(P.%s) <= %.6g %s SUM(P.%s)"
+          alias table alias k a1 bound
+          (if maximize then "MAXIMIZE" else "MINIMIZE")
+          a2;
+      attrs = [ a1; a2 ];
+      maximize;
+    }
+  in
+  let rec build i acc emitted =
+    if i > n then List.rev acc
+    else
+      let repeat =
+        emitted <> [] && Random.State.float rng 1. < repeat_rate
+      in
+      let d =
+        if repeat then List.nth emitted (Random.State.int rng (List.length emitted))
+        else fresh i
+      in
+      build (i + 1) (d :: acc) (if repeat then emitted else d :: emitted)
+  in
+  build 1 [] []
+
+let render_workload defs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "# pkgq workload: one NAME<TAB>QUERY per line; repeats share the exact \
+     text\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string b d.name;
+      Buffer.add_char b '\t';
+      Buffer.add_string b d.paql;
+      Buffer.add_char b '\n')
+    defs;
+  Buffer.contents b
+
+let parse_workload text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.index_opt line '\t' with
+           | Some i ->
+             Some
+               ( String.sub line 0 i,
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)) )
+           | None -> Some ("?", line))

@@ -33,3 +33,30 @@ val workload_attrs : def list -> string list
     @raise Invalid_argument on parse/analysis errors (workload queries
     are trusted). *)
 val compile : Relalg.Relation.t -> def -> Paql.Translate.spec
+
+(** {1 Mixed workloads}
+
+    Reproducible query streams for the service layer: [n] entries,
+    each either a {e fresh} query (a synthesized small cardinality
+    constraint + one linear global constraint + an objective, with
+    bounds from the relation's statistics so it stays feasible) or a
+    verbatim {e repeat} of an earlier entry. Repeats are what exercise
+    the server's plan and result caches; [repeat_rate] is the expected
+    fraction of them (default [0.5]). Same [seed], same stream. *)
+
+val mixed :
+  ?seed:int ->
+  ?repeat_rate:float ->
+  dataset:[ `Galaxy | `Tpch ] ->
+  n:int ->
+  Relalg.Relation.t ->
+  def list
+
+(** One [NAME<TAB>QUERY] line per entry, with a leading [#] comment
+    header — the workload file format of [pkgq_gen workload]. *)
+val render_workload : def list -> string
+
+(** Inverse of {!render_workload}: [(name, paql)] pairs. Blank lines
+    and [#] comments are skipped; a line without a tab is a bare query
+    named ["?"]. *)
+val parse_workload : string -> (string * string) list

@@ -1,0 +1,54 @@
+(* Token-normalized query fingerprints. The hash is FNV-1a 64 over a
+   canonical rendering of the lexed token stream, so formatting and
+   keyword case cannot split (or falsely merge) cache entries. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let of_string s = Printf.sprintf "%016Lx" (hash64 s)
+
+let render_token buf (t : Lexer.token) =
+  (match t with
+  | Lexer.IDENT s ->
+    Buffer.add_string buf "i:";
+    Buffer.add_string buf s
+  | Lexer.NUMBER f -> Buffer.add_string buf (Printf.sprintf "n:%.17g" f)
+  | Lexer.STRING s ->
+    Buffer.add_string buf "s:";
+    Buffer.add_string buf s
+  | Lexer.KW k ->
+    Buffer.add_string buf "k:";
+    Buffer.add_string buf k
+  | Lexer.STAR -> Buffer.add_string buf "*"
+  | Lexer.LPAREN -> Buffer.add_string buf "("
+  | Lexer.RPAREN -> Buffer.add_string buf ")"
+  | Lexer.COMMA -> Buffer.add_string buf ","
+  | Lexer.DOT -> Buffer.add_string buf "."
+  | Lexer.PLUS -> Buffer.add_string buf "+"
+  | Lexer.MINUS -> Buffer.add_string buf "-"
+  | Lexer.SLASH -> Buffer.add_string buf "/"
+  | Lexer.EQ -> Buffer.add_string buf "="
+  | Lexer.NEQ -> Buffer.add_string buf "<>"
+  | Lexer.LT -> Buffer.add_string buf "<"
+  | Lexer.LE -> Buffer.add_string buf "<="
+  | Lexer.GT -> Buffer.add_string buf ">"
+  | Lexer.GE -> Buffer.add_string buf ">="
+  | Lexer.EOF -> ());
+  (* unambiguous separator: never appears inside a rendered token *)
+  Buffer.add_char buf '\x1f'
+
+let of_query text =
+  match Lexer.tokenize text with
+  | toks ->
+    let buf = Buffer.create (String.length text) in
+    Array.iter (fun (s : Lexer.spanned) -> render_token buf s.Lexer.tok) toks;
+    of_string (Buffer.contents buf)
+  | exception Lexer.Lex_error _ -> of_string text

@@ -1,0 +1,19 @@
+(** Content fingerprints for PaQL queries — the key of the service
+    layer's plan and result caches.
+
+    Two queries that lex to the same token stream get the same
+    fingerprint: whitespace, line breaks, comments-between-tokens and
+    keyword case never defeat a cache, while any semantic change (a
+    different bound, attribute, or operator) always does. Identifier
+    case is preserved, matching the language's case-sensitive
+    attribute names. *)
+
+(** [of_query text] is the 16-hex-digit fingerprint of the query's
+    canonical token stream. Text that does not lex falls back to
+    {!of_string} on the raw bytes, so the fingerprint is total — a
+    malformed query still caches its (negative) parse outcome
+    consistently. *)
+val of_query : string -> string
+
+(** Raw-byte fingerprint (FNV-1a 64, 16 hex digits). *)
+val of_string : string -> string

@@ -23,6 +23,7 @@ type failure_kind =
   | Solver_error of string
   | Data_error of string
   | Worker_crash of string
+  | Rejected of string
 
 type failure = {
   kind : failure_kind;
@@ -80,6 +81,18 @@ type report = {
 let report ~status ~package ~objective ~wall_time ~counters =
   { status; package; objective; wall_time; counters }
 
+(* Per-stage latency observer (installed by the service layer). *)
+let observer : (stage -> float -> unit) option Atomic.t = Atomic.make None
+
+let set_observer f = Atomic.set observer f
+
+let observe_stage stage f =
+  match Atomic.get observer with
+  | None -> f ()
+  | Some h ->
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> h stage (Unix.gettimeofday () -. t0)) f
+
 let pp_failure_kind ppf = function
   | Deadline_exceeded -> Format.pp_print_string ppf "deadline exceeded"
   | Node_limit -> Format.pp_print_string ppf "node limit"
@@ -87,6 +100,7 @@ let pp_failure_kind ppf = function
   | Solver_error msg -> Format.fprintf ppf "solver error: %s" msg
   | Data_error msg -> Format.fprintf ppf "data error: %s" msg
   | Worker_crash msg -> Format.fprintf ppf "worker crash: %s" msg
+  | Rejected msg -> Format.fprintf ppf "rejected: %s" msg
 
 let pp_failure ppf f =
   pp_failure_kind ppf f.kind;

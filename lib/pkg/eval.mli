@@ -21,6 +21,10 @@ type failure_kind =
   | Solver_error of string  (** unexpected solver outcome or exception *)
   | Data_error of string    (** bad input data (CSV, enumeration blow-up) *)
   | Worker_crash of string  (** a parallel worker domain died *)
+  | Rejected of string
+      (** the service layer's admission control shed the request before
+          any evaluation work ran (queue full / overload) — a typed,
+          immediate answer, never an unbounded wait *)
 
 (** A typed failure with enough context to tell graceful degradation
     apart from a crash: which budget/fault fired, on which ladder rung,
@@ -82,6 +86,21 @@ val report :
   wall_time:float ->
   counters:counters ->
   report
+
+(** {1 Stage timing}
+
+    An optional observer for per-stage wall-clock latencies. The
+    service layer installs one to feed its live histograms; with none
+    installed, {!observe_stage} is a direct call. The observer must be
+    cheap and must not raise. *)
+
+(** [set_observer (Some f)] routes every {!observe_stage} duration to
+    [f stage seconds]; [set_observer None] uninstalls. *)
+val set_observer : (stage -> float -> unit) option -> unit
+
+(** [observe_stage stage f] runs [f ()], reporting its wall-clock time
+    to the installed observer (also on exception). *)
+val observe_stage : stage -> (unit -> 'a) -> 'a
 
 val pp_failure_kind : Format.formatter -> failure_kind -> unit
 val pp_failure : Format.formatter -> failure -> unit

@@ -16,10 +16,14 @@ type cond = {
 
 type store_fault = Store_read | Store_checksum
 
+type net_fault = Net_accept | Net_read
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
   | Store_break of store_fault
+  | Queue_full
+  | Net_break of net_fault
 
 type spec = directive list
 
@@ -28,9 +32,19 @@ exception Injected of string
 let installed : spec Atomic.t = Atomic.make []
 let calls = Atomic.make 0
 
+(* net=... directives are one-shot: armed once per occurrence at
+   install time, consumed by [take_net_fault]. *)
+let net_pending : net_fault list ref = ref []
+let net_mu = Mutex.create ()
+
 let install s =
   Atomic.set installed s;
-  Atomic.set calls 0
+  Atomic.set calls 0;
+  Mutex.protect net_mu (fun () ->
+      net_pending :=
+        List.filter_map
+          (function Net_break f -> Some f | _ -> None)
+          s)
 
 let clear () = install []
 let active () = Atomic.get installed <> []
@@ -63,6 +77,9 @@ let parse s =
   in
   let parse_directive d =
     match String.rindex_opt d ':' with
+    | None when trim d = "queue=full" ->
+      (* shorthand for queue=full:fail *)
+      Ok Queue_full
     | None -> Error (Printf.sprintf "fault %S: missing ':action'" d)
     | Some i ->
       let selector = trim (String.sub d 0 i) in
@@ -99,6 +116,15 @@ let parse s =
         | _ ->
           Error
             (Printf.sprintf "fault store %S: expected read|checksum" f))
+      | [ ("queue", f) ] when act = "fail" ->
+        if f = "full" then Ok Queue_full
+        else Error (Printf.sprintf "fault queue %S: expected full" f)
+      | [ ("net", f) ] when act = "fail" -> (
+        match f with
+        | "accept" -> Ok (Net_break Net_accept)
+        | "read" -> Ok (Net_break Net_read)
+        | _ ->
+          Error (Printf.sprintf "fault net %S: expected accept|read" f))
       | _ ->
         let* action =
           match action_of_string act with
@@ -134,6 +160,10 @@ let parse s =
                 Error "fault selector worker=N only combines with :crash"
               | "store" ->
                 Error "fault selector store=F only combines with :fail"
+              | "queue" ->
+                Error "fault selector queue=full only combines with :fail"
+              | "net" ->
+                Error "fault selector net=F only combines with :fail"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -167,7 +197,7 @@ let () = install_from_env ()
 let action_for ~call ~stage ~group =
   List.find_map
     (function
-      | Worker_kill _ | Store_break _ -> None
+      | Worker_kill _ | Store_break _ | Queue_full | Net_break _ -> None
       | Ilp_fault (c, a) ->
         let ok_call =
           match c.on_call with None -> true | Some k -> k = call
@@ -185,15 +215,33 @@ let worker_should_crash w =
   List.exists
     (function
       | Worker_kill k -> k = w
-      | Ilp_fault _ | Store_break _ -> false)
+      | Ilp_fault _ | Store_break _ | Queue_full | Net_break _ -> false)
     (Atomic.get installed)
 
 let store_fault () =
   List.find_map
     (function
       | Store_break f -> Some f
-      | Worker_kill _ | Ilp_fault _ -> None)
+      | Worker_kill _ | Ilp_fault _ | Queue_full | Net_break _ -> None)
     (Atomic.get installed)
+
+let queue_full () =
+  List.exists
+    (function Queue_full -> true | _ -> false)
+    (Atomic.get installed)
+
+let take_net_fault f =
+  Mutex.protect net_mu (fun () ->
+      let rec remove = function
+        | [] -> None
+        | x :: rest when x = f -> Some rest
+        | x :: rest -> Option.map (fun r -> x :: r) (remove rest)
+      in
+      match remove !net_pending with
+      | Some rest ->
+        net_pending := rest;
+        true
+      | None -> false)
 
 let zero_stats stopped =
   {

@@ -30,20 +30,30 @@
     group=J      partition group id J
     worker=W     parallel worker index W (only with action crash)
     store=F      F in read|checksum (only with action fail)
+    queue=full   the service scheduler's admission check (action fail)
+    net=F        F in accept|read (only with action fail)
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
     (raises {!Injected}), [crash] (worker kill), [fail] (store-layer
     corruption: [store=read] makes the next segment read abort as if
     the file were truncated, [store=checksum] makes its checksum
-    verification fail). Examples: ["ilp=3:limit"],
+    verification fail; service layer: [queue=full] makes every
+    admission check report a full queue while installed — so shedding
+    is testable without racing real load — and [net=accept] /
+    [net=read] arm {e one-shot} connection faults: the server drops the
+    next accepted connection / fails the next request read, consumed on
+    use). [queue=full] alone is accepted as shorthand for
+    [queue=full:fail]. Examples: ["ilp=3:limit"],
     ["stage=sketch:infeasible"],
     ["stage=refine,group=2:raise; worker=1:crash"],
-    ["store=checksum:fail"]. *)
+    ["store=checksum:fail"], ["queue=full"], ["net=read:fail"]. *)
 
 type action = Force_limit | Force_infeasible | Force_raise
 
 type store_fault = Store_read | Store_checksum
+
+type net_fault = Net_accept | Net_read
 
 type cond = {
   on_call : int option;
@@ -55,6 +65,8 @@ type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
   | Store_break of store_fault
+  | Queue_full
+  | Net_break of net_fault
 
 type spec = directive list
 
@@ -98,3 +110,13 @@ val worker_should_crash : int -> bool
 (** The store-corruption directive to apply to the next segment read,
     if any ([Store.Segment] consults this on every read). *)
 val store_fault : unit -> store_fault option
+
+(** Whether a [queue=full] directive is installed: the service
+    scheduler's admission check treats the queue as full while one is
+    (every request is shed with a typed [rejected] failure). *)
+val queue_full : unit -> bool
+
+(** [take_net_fault f] consumes one pending [net=...] directive of kind
+    [f], if armed. One-shot: [install] arms one occurrence per
+    directive in the spec; each successful take disarms it. *)
+val take_net_fault : net_fault -> bool

@@ -156,8 +156,10 @@ let run ?(options = default_options) spec rel partition =
                   (List.length fallbacks));
     let refine_from ~rep_counts ~refined ~on_infeasible =
       match
-        Refine.run ~limits:options.limits ~deadline
-          ~clamp:options.propagate_deadline ctx counters ~rep_counts ~refined
+        Eval.observe_stage Eval.Refine (fun () ->
+            Refine.run ~limits:options.limits ~deadline
+              ~clamp:options.propagate_deadline ctx counters ~rep_counts
+              ~refined)
       with
       | Refine.Refined p ->
         finish Eval.Optimal (Some p) (Some (Package.objective spec p))
@@ -171,8 +173,9 @@ let run ?(options = default_options) spec rel partition =
       else if ctx.Sketch.caps.(j) <= 0. then try_hybrid (j + 1) ~on_exhausted
       else
         match
-          hybrid_sketch ~limits:options.limits ?deadline:solver_deadline ctx
-            counters j
+          Eval.observe_stage Eval.Hybrid (fun () ->
+              hybrid_sketch ~limits:options.limits ?deadline:solver_deadline
+                ctx counters j)
         with
         | Some (entries, rep_counts) ->
           let refined = Array.make m None in
@@ -221,7 +224,9 @@ let run ?(options = default_options) spec rel partition =
           attempt (merge_groups part rel) ~fallbacks:(Hybrid_sketch :: Merge_groups :: rest)
     in
     match
-      Sketch.run ~limits:options.limits ?deadline:solver_deadline ctx counters
+      Eval.observe_stage Eval.Sketch (fun () ->
+          Sketch.run ~limits:options.limits ?deadline:solver_deadline ctx
+            counters)
     with
     | Sketch.Sketched rep_counts ->
       refine_from ~rep_counts ~refined:(Array.make m None)

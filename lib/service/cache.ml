@@ -1,0 +1,63 @@
+(* LRU as a Hashtbl plus a monotone recency stamp per entry; eviction
+   scans for the minimum stamp. Capacities here are small (hundreds),
+   so the O(n) evict scan is noise next to a solver call — and it keeps
+   the structure a dozen lines instead of an intrusive list. *)
+
+type ('k, 'v) entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  tbl : ('k, ('k, 'v) entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    tbl = Hashtbl.create (max 8 capacity);
+    capacity = max 0 capacity;
+    tick = 0;
+  }
+
+let capacity t = t.capacity
+
+let length t = Mutex.protect t.mu (fun () -> Hashtbl.length t.tbl)
+
+let find_opt t k =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | None -> None
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        Some e.value)
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, s) when s <= e.stamp -> ()
+      | _ -> victim := Some (k, e.stamp))
+    t.tbl;
+  match !victim with Some (k, _) -> Hashtbl.remove t.tbl k | None -> ()
+
+let add t k v =
+  if t.capacity > 0 then
+    Mutex.protect t.mu (fun () ->
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.tbl k { value = v; stamp = t.tick };
+        while Hashtbl.length t.tbl > t.capacity do
+          evict_oldest t
+        done)
+
+let remove_if t p =
+  Mutex.protect t.mu (fun () ->
+      let doomed =
+        Hashtbl.fold (fun k _ acc -> if p k then k :: acc else acc) t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) doomed;
+      List.length doomed)
+
+let clear t = Mutex.protect t.mu (fun () -> Hashtbl.reset t.tbl)

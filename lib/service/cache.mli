@@ -1,0 +1,28 @@
+(** Bounded, thread-safe LRU cache — the shape shared by the plan cache
+    (query fingerprint → compiled plan) and the result cache
+    ((query fingerprint, table fingerprint) → rendered answer).
+
+    Capacity 0 disables the cache: every lookup misses, every insert is
+    dropped — one code path for the cache-off knobs. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+
+val length : ('k, 'v) t -> int
+
+(** Bumps the entry's recency on a hit. *)
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+(** Inserts or replaces; evicts the least-recently-used entry when over
+    capacity. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [remove_if t p] drops every entry whose key satisfies [p] and
+    returns how many were dropped — the explicit-invalidation hook
+    (e.g. all results for a superseded table fingerprint). *)
+val remove_if : ('k, 'v) t -> ('k -> bool) -> int
+
+val clear : ('k, 'v) t -> unit

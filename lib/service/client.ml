@@ -1,0 +1,58 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 ->
+      Ok ((if host = "" then "127.0.0.1" else host), p)
+    | _ -> Error (Printf.sprintf "bad port %S in %S" port s))
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let connect ~host ~port =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    closed = false;
+  }
+
+let roundtrip t req =
+  if t.closed then raise (Protocol.Protocol_error "client is closed");
+  Protocol.write_request t.oc req;
+  Protocol.read_response t.ic
+
+let query t q = roundtrip t (Protocol.Query q)
+let append t ~csv = roundtrip t (Protocol.Append csv)
+let stats t = roundtrip t Protocol.Stats
+let ping t = roundtrip t Protocol.Ping
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Protocol.write_request t.oc Protocol.Quit with _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

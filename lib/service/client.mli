@@ -1,0 +1,28 @@
+(** Blocking client for the {!Protocol} wire format — the engine behind
+    [paql --connect], the REPL's remote mode, the service tests and the
+    serve benchmark. One {!t} is one connection; requests on it are
+    serial (run one client per concurrent stream). *)
+
+type t
+
+(** ["HOST:PORT"] → [(host, port)]. *)
+val parse_endpoint : string -> (string * int, string) result
+
+(** [connect ~host ~port] — raises [Unix.Unix_error] when the server
+    is unreachable. *)
+val connect : host:string -> port:int -> t
+
+(** One request, one response.
+    @raise Protocol.Protocol_error on a malformed or truncated reply. *)
+val roundtrip : t -> Protocol.request -> Protocol.response
+
+val query : t -> string -> Protocol.response
+
+val append : t -> csv:string -> Protocol.response
+
+val stats : t -> Protocol.response
+
+val ping : t -> Protocol.response
+
+(** Send [QUIT] (best-effort) and close the socket. Idempotent. *)
+val close : t -> unit

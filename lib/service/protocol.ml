@@ -1,0 +1,162 @@
+type request =
+  | Query of string
+  | Append of string
+  | Stats
+  | Ping
+  | Quit
+
+type error_code =
+  | Rejected
+  | Deadline
+  | Infeasible
+  | Failed
+  | Parse_error
+  | Analysis_error
+  | Data_error
+  | Internal
+
+type response = Resp_ok of string | Resp_err of error_code * string
+
+exception Protocol_error of string
+
+let code_name = function
+  | Rejected -> "rejected"
+  | Deadline -> "deadline"
+  | Infeasible -> "infeasible"
+  | Failed -> "failed"
+  | Parse_error -> "parse"
+  | Analysis_error -> "analysis"
+  | Data_error -> "data"
+  | Internal -> "internal"
+
+let code_of_name = function
+  | "rejected" -> Some Rejected
+  | "deadline" -> Some Deadline
+  | "infeasible" -> Some Infeasible
+  | "failed" -> Some Failed
+  | "parse" -> Some Parse_error
+  | "analysis" -> Some Analysis_error
+  | "data" -> Some Data_error
+  | "internal" -> Some Internal
+  | _ -> None
+
+let exit_code = function
+  | Infeasible -> 1
+  | Deadline | Failed | Internal -> 2
+  | Data_error -> 3
+  | Parse_error -> 4
+  | Analysis_error -> 5
+  | Rejected -> 7
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A body cap keeps a corrupt length prefix from allocating the moon. *)
+let max_body = 64 * 1024 * 1024
+
+let write_body oc body =
+  output_string oc body;
+  output_char oc '\n';
+  flush oc
+
+let read_len what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 && n <= max_body -> n
+  | _ -> raise (Protocol_error (Printf.sprintf "%s: bad length %S" what s))
+
+let read_body ic len =
+  let body = really_input_string ic len in
+  (match input_char ic with
+  | '\n' -> ()
+  | c ->
+    raise (Protocol_error (Printf.sprintf "missing frame terminator, got %C" c)));
+  body
+
+let write_request oc = function
+  | Query q ->
+    Printf.fprintf oc "QUERY %d\n" (String.length q);
+    write_body oc q
+  | Append csv ->
+    Printf.fprintf oc "APPEND %d\n" (String.length csv);
+    write_body oc csv
+  | Stats ->
+    output_string oc "STATS\n";
+    flush oc
+  | Ping ->
+    output_string oc "PING\n";
+    flush oc
+  | Quit ->
+    output_string oc "QUIT\n";
+    flush oc
+
+let read_request ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line -> (
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "QUERY"; len ] ->
+      Some (Query (read_body ic (read_len "QUERY" len)))
+    | [ "APPEND"; len ] ->
+      Some (Append (read_body ic (read_len "APPEND" len)))
+    | [ "STATS" ] -> Some Stats
+    | [ "PING" ] -> Some Ping
+    | [ "QUIT" ] -> Some Quit
+    | _ -> raise (Protocol_error (Printf.sprintf "bad request line %S" line)))
+
+let write_response oc = function
+  | Resp_ok body ->
+    Printf.fprintf oc "OK %d\n" (String.length body);
+    write_body oc body
+  | Resp_err (code, body) ->
+    Printf.fprintf oc "ERR %s %d\n" (code_name code) (String.length body);
+    write_body oc body
+
+let read_response ic =
+  match input_line ic with
+  | exception End_of_file -> raise (Protocol_error "connection closed")
+  | line -> (
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "OK"; len ] -> Resp_ok (read_body ic (read_len "OK" len))
+    | [ "ERR"; code; len ] -> (
+      match code_of_name code with
+      | Some c -> Resp_err (c, read_body ic (read_len "ERR" len))
+      | None ->
+        raise (Protocol_error (Printf.sprintf "unknown error code %S" code)))
+    | _ -> raise (Protocol_error (Printf.sprintf "bad response line %S" line)))
+
+(* ------------------------------------------------------------------ *)
+(* Query result bodies                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The wall line sits outside the cacheable prefix conceptually, but
+   keeping the whole body one string makes the result cache trivial;
+   the cached copy simply reports the original run's wall time, which
+   is itself informative (it is the time the cache is saving). *)
+let render_result ~status_line ~wall ~csv =
+  Printf.sprintf "status %s\nwall %.6f\n%s" status_line wall csv
+
+let parse_result body =
+  match String.index_opt body '\n' with
+  | None -> Error "result body: missing status line"
+  | Some i -> (
+    let status_line = String.sub body 0 i in
+    let rest = String.sub body (i + 1) (String.length body - i - 1) in
+    match String.index_opt rest '\n' with
+    | None -> Error "result body: missing wall line"
+    | Some j ->
+      let wall_line = String.sub rest 0 j in
+      let csv = String.sub rest (j + 1) (String.length rest - j - 1) in
+      if not (String.length status_line >= 7
+              && String.sub status_line 0 7 = "status ")
+      then Error "result body: bad status line"
+      else
+        let status =
+          String.sub status_line 7 (String.length status_line - 7)
+        in
+        match String.split_on_char ' ' wall_line with
+        | [ "wall"; w ] -> (
+          match float_of_string_opt w with
+          | Some wall -> Ok (status, wall, csv)
+          | None -> Error "result body: bad wall value")
+        | _ -> Error "result body: bad wall line")

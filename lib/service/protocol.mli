@@ -1,0 +1,83 @@
+(** The service wire protocol: line-framed verbs with length-prefixed
+    bodies, shared verbatim by server and client (and by the
+    [--connect] modes of the CLI and REPL).
+
+    {2 Requests}
+
+    {v
+    QUERY <len>\n<len bytes>\n    evaluate a PaQL query
+    APPEND <len>\n<len bytes>\n   append CSV rows (with header) to the table
+    STATS\n                       metrics snapshot
+    PING\n                        liveness probe
+    QUIT\n                       close the connection
+    v}
+
+    {2 Responses}
+
+    {v
+    OK <len>\n<len bytes>\n
+    ERR <code> <len>\n<len bytes>\n
+    v}
+
+    A [QUERY]'s [OK] body is three parts: a [status ...] line (the
+    report's status and objective), a [wall ...] line, then the
+    package as CSV — byte-identical to what a single-shot [paql --out]
+    run writes, which is what the service tests diff against.
+
+    Error codes mirror the CLI's exit-code taxonomy so a remote failure
+    degrades into the same scripting contract as a local one (see
+    {!exit_code}). *)
+
+type request =
+  | Query of string
+  | Append of string
+  | Stats
+  | Ping
+  | Quit
+
+type error_code =
+  | Rejected           (** admission control shed the request *)
+  | Deadline           (** the per-request budget expired *)
+  | Infeasible
+  | Failed             (** solver gave up: no package *)
+  | Parse_error
+  | Analysis_error
+  | Data_error
+  | Internal
+
+type response = Resp_ok of string | Resp_err of error_code * string
+
+(** Raised by the readers on a malformed frame. *)
+exception Protocol_error of string
+
+val code_name : error_code -> string
+
+val code_of_name : string -> error_code option
+
+(** The paql CLI exit code for a remote failure: 1 infeasible, 2
+    failed/deadline/internal, 3 data, 4 parse, 5 analysis, 7
+    rejected. *)
+val exit_code : error_code -> int
+
+(** {1 Framing} *)
+
+val write_request : out_channel -> request -> unit
+
+(** [None] on a clean EOF before any byte of a frame.
+    @raise Protocol_error on a malformed frame. *)
+val read_request : in_channel -> request option
+
+val write_response : out_channel -> response -> unit
+
+(** @raise Protocol_error on a malformed frame or EOF mid-response. *)
+val read_response : in_channel -> response
+
+(** {1 Query result bodies} *)
+
+(** [render_result ~status_line ~wall body] / its inverse
+    {!parse_result}: the [OK] body of a [QUERY]. [csv] is [""] when the
+    evaluation produced no package (pure status answers are still
+    cacheable). *)
+val render_result : status_line:string -> wall:float -> csv:string -> string
+
+val parse_result : string -> (string * float * string, string) result

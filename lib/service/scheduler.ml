@@ -1,0 +1,86 @@
+let src = Logs.Src.create "pkgq.scheduler" ~doc:"service request scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (float * (unit -> unit)) Queue.t;  (* enqueue time, job *)
+  workers_n : int;
+  capacity : int;
+  metrics : Metrics.t;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+}
+
+let depth_locked t = Queue.length t.jobs
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.jobs && t.stopping then Mutex.unlock t.mu
+    else begin
+      let enq_at, job = Queue.pop t.jobs in
+      Metrics.set_gauge t.metrics "queue_depth" (depth_locked t);
+      Mutex.unlock t.mu;
+      Metrics.observe t.metrics "queue_wait" (Unix.gettimeofday () -. enq_at);
+      (try job ()
+       with e ->
+         Log.err (fun k ->
+             k "job raised (worker survives): %s" (Printexc.to_string e)));
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~capacity ~metrics =
+  let workers_n = max 1 workers in
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      workers_n;
+      capacity = max 1 capacity;
+      metrics;
+      stopping = false;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers_n (fun _ -> Thread.create worker_loop t);
+  t
+
+let workers t = t.workers_n
+let capacity t = t.capacity
+
+let depth t = Mutex.protect t.mu (fun () -> depth_locked t)
+
+let submit t job =
+  Mutex.lock t.mu;
+  if t.stopping || depth_locked t >= t.capacity || Pkg.Faults.queue_full ()
+  then begin
+    Mutex.unlock t.mu;
+    Metrics.incr t.metrics "shed";
+    `Rejected
+  end
+  else begin
+    Queue.push (Unix.gettimeofday (), job) t.jobs;
+    Metrics.set_gauge t.metrics "queue_depth" (depth_locked t);
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu;
+    `Accepted
+  end
+
+let shutdown t =
+  let threads =
+    Mutex.protect t.mu (fun () ->
+        let ts = t.threads in
+        t.stopping <- true;
+        t.threads <- [];
+        Condition.broadcast t.nonempty;
+        ts)
+  in
+  List.iter Thread.join threads

@@ -1,0 +1,39 @@
+(** Bounded request scheduler: a fixed pool of worker threads draining
+    a bounded FIFO queue, with admission control at the front door.
+
+    Load is bounded twice over: at most [workers] evaluations run at
+    once, and at most [capacity] admitted requests wait. A request
+    arriving beyond that is {e shed} — {!submit} returns [`Rejected]
+    immediately and nothing is queued — so an overloaded server answers
+    every connection with a typed [rejected] failure instead of
+    accumulating unbounded latency. An installed [queue=full] fault
+    ({!Pkg.Faults.queue_full}) makes the admission check shed
+    deterministically regardless of real depth.
+
+    Queue depth is mirrored into the metrics gauge [queue_depth], shed
+    requests into the [shed] counter, and each job's time-in-queue into
+    the [queue_wait] stage histogram. *)
+
+type t
+
+(** [create ~workers ~capacity ~metrics] starts the worker threads.
+    [workers] and [capacity] are clamped to at least 1. *)
+val create : workers:int -> capacity:int -> metrics:Metrics.t -> t
+
+val workers : t -> int
+
+val capacity : t -> int
+
+(** Admitted requests currently waiting (excludes running jobs). *)
+val depth : t -> int
+
+(** [submit t job] enqueues [job] to run on a worker thread. The job
+    must not raise (a raise is caught and logged, the worker
+    survives). Returns [`Rejected] without queueing when the queue is
+    at capacity, a [queue=full] fault is installed, or the scheduler
+    is shutting down. *)
+val submit : t -> (unit -> unit) -> [ `Accepted | `Rejected ]
+
+(** Stop accepting work, drain already-admitted jobs, join the
+    workers. Idempotent. *)
+val shutdown : t -> unit

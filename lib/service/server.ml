@@ -1,0 +1,648 @@
+let src = Logs.Src.create "pkgq.server" ~doc:"package-query server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type method_ = Direct | Sketch_refine | Parallel_refine
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue : int;
+  result_cache : int;
+  plan_cache : int;
+  method_ : method_;
+  attrs : string list;
+  tau : int option;
+  epsilon : float option;
+  limits : Ilp.Branch_bound.limits;
+  request_seconds : float;
+  log_every : float;
+}
+
+let int_env name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | _ -> default)
+
+(* PKGQ_RESULT_CACHE accepts a capacity, or "off"/"0" to disable. *)
+let cache_env name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "off" | "none" | "0" -> 0
+    | s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> default))
+
+let default_config () =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    workers = max 1 (int_env "PKGQ_SERVE_WORKERS" 4);
+    queue = max 1 (int_env "PKGQ_SERVE_QUEUE" 32);
+    result_cache = cache_env "PKGQ_RESULT_CACHE" 256;
+    plan_cache = 64;
+    method_ = Direct;
+    attrs = [];
+    tau = None;
+    epsilon = None;
+    limits = Ilp.Branch_bound.default_limits;
+    request_seconds = 60.;
+    log_every = 0.;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* State snapshots                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type part_entry = {
+  pe_attrs : string list;
+  pe_tau : int;
+  pe_radius : Pkg.Partition.radius_spec;
+  pe_part : Pkg.Partition.t;
+}
+
+(* One immutable view of the served table. Appends swap in a whole new
+   snapshot under [state_mu]; a request holds on to the snapshot it
+   started with, so it never sees a half-updated table. *)
+type snapshot = {
+  rel : Relalg.Relation.t;
+  fp : string;  (* content fingerprint *)
+  parts : (string, part_entry) Hashtbl.t;
+  parts_mu : Mutex.t;
+}
+
+type t = {
+  cfg : config;
+  catalog : Store.Catalog.t option;
+  metrics : Metrics.t;
+  sched : Scheduler.t;
+  plan_cache : (string, Paql.Ast.query * Paql.Translate.spec) Cache.t;
+  result_cache : (string, Protocol.response) Cache.t;
+  mutable state : snapshot;
+  state_mu : Mutex.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  mutable accept_thread : Thread.t option;
+  mutable log_thread : Thread.t option;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable conn_threads : Thread.t list;
+  mutable next_conn : int;
+  conns_mu : Mutex.t;
+  mutable stopped : bool;
+  mutable finished : bool;
+  stop_mu : Mutex.t;
+  stop_cond : Condition.t;
+}
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let config t = t.cfg
+let solve_count t = Metrics.get t.metrics "solves"
+let table_fingerprint t = Mutex.protect t.state_mu (fun () -> t.state.fp)
+
+(* Numeric columns are materialized lazily into a per-attribute slot;
+   forcing them before any worker runs keeps the hot path free of
+   same-column races and duplicate extraction work. *)
+let prewarm rel =
+  let schema = Relalg.Relation.schema rel in
+  List.iter
+    (fun (a : Relalg.Schema.attr) ->
+      match a.ty with
+      | Relalg.Value.TInt | Relalg.Value.TFloat ->
+        ignore (Relalg.Relation.column rel a.name)
+      | Relalg.Value.TStr | Relalg.Value.TBool -> ())
+    (Relalg.Schema.attrs schema)
+
+let fresh_snapshot rel =
+  prewarm rel;
+  {
+    rel;
+    fp = Store.Segment.fingerprint rel;
+    parts = Hashtbl.create 4;
+    parts_mu = Mutex.create ();
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let status_line (r : Pkg.Eval.report) =
+  Format.asprintf "%a%s" Pkg.Eval.pp_status r.status
+    (match r.objective with
+    | Some o -> Format.asprintf ", obj=%g" o
+    | None -> "")
+
+let plan t snap qfp query =
+  match Cache.find_opt t.plan_cache qfp with
+  | Some p ->
+    Metrics.incr t.metrics "plan_hits";
+    Ok p
+  | None ->
+    Metrics.incr t.metrics "plan_misses";
+    Metrics.time t.metrics "plan" (fun () ->
+        let parsed =
+          Metrics.time t.metrics "parse" (fun () ->
+              try Paql.Parser.parse query with
+              | Paql.Lexer.Lex_error (msg, pos) ->
+                Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+              | Paql.Parser.Parse_error (msg, pos) ->
+                Error (Printf.sprintf "parse error at offset %d: %s" pos msg))
+        in
+        match parsed with
+        | Error msg -> Error (Protocol.Resp_err (Protocol.Parse_error, msg))
+        | Ok ast -> (
+          let schema = Relalg.Relation.schema snap.rel in
+          match Paql.Analyze.check schema ast with
+          | Error errs ->
+            Error (Protocol.Resp_err (Protocol.Analysis_error, String.concat "\n" errs))
+          | Ok () -> (
+            match Paql.Translate.compile_exn schema ast with
+            | exception Failure msg ->
+              Error (Protocol.Resp_err (Protocol.Analysis_error, msg))
+            | spec ->
+              Cache.add t.plan_cache qfp (ast, spec);
+              Ok (ast, spec))))
+
+let numeric_query_attrs schema ast =
+  List.filter
+    (fun a ->
+      match Relalg.Schema.index_of_opt schema a with
+      | Some i -> (
+        match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
+        | Relalg.Value.TInt | Relalg.Value.TFloat -> true
+        | Relalg.Value.TStr | Relalg.Value.TBool -> false)
+      | None -> false)
+    (Paql.Ast.all_attrs ast)
+
+(* Partitionings are shared per snapshot (and with the catalog, when
+   one is attached). Built under [parts_mu]: concurrent requests for
+   the same key wait for the one build instead of duplicating it. *)
+let partition_for t snap ast spec =
+  let schema = Relalg.Relation.schema snap.rel in
+  let attrs =
+    match t.cfg.attrs with [] -> numeric_query_attrs schema ast | attrs -> attrs
+  in
+  if attrs = [] then
+    Error
+      (Protocol.Resp_err
+         ( Protocol.Analysis_error,
+           "sketchrefine needs numeric partitioning attributes" ))
+  else begin
+    let tau =
+      match t.cfg.tau with
+      | Some tau -> tau
+      | None -> max 1 (Relalg.Relation.cardinality snap.rel / 10)
+    in
+    let radius =
+      match t.cfg.epsilon with
+      | None -> Pkg.Partition.No_radius
+      | Some epsilon ->
+        let maximize =
+          match Paql.Translate.objective_sense spec with
+          | Lp.Problem.Maximize -> true
+          | Lp.Problem.Minimize -> false
+        in
+        Pkg.Partition.Theorem { epsilon; maximize }
+    in
+    let id =
+      Printf.sprintf "%s|%d|%s" (String.concat "," attrs) tau
+        (Store.Catalog.radius_string radius)
+    in
+    Ok
+      (Mutex.protect snap.parts_mu (fun () ->
+           match Hashtbl.find_opt snap.parts id with
+           | Some e -> e.pe_part
+           | None ->
+             let part =
+               Metrics.time t.metrics "partition" (fun () ->
+                   let build () =
+                     Pkg.Partition.create ~radius ~tau ~attrs snap.rel
+                   in
+                   match t.catalog with
+                   | Some cat ->
+                     let key =
+                       { Store.Catalog.fingerprint = snap.fp; attrs; tau; radius }
+                     in
+                     fst (Store.Catalog.lookup_or_build cat key ~build)
+                   | None -> build ())
+             in
+             Hashtbl.replace snap.parts id
+               { pe_attrs = attrs; pe_tau = tau; pe_radius = radius;
+                 pe_part = part };
+             part))
+  end
+
+let response_of_report (r : Pkg.Eval.report) =
+  match r.status with
+  | Pkg.Eval.Infeasible -> Protocol.Resp_err (Protocol.Infeasible, status_line r)
+  | Pkg.Eval.Failed f ->
+    let code =
+      match f.kind with
+      | Pkg.Eval.Deadline_exceeded -> Protocol.Deadline
+      | Pkg.Eval.Rejected _ -> Protocol.Rejected
+      | _ -> Protocol.Failed
+    in
+    Protocol.Resp_err (code, Format.asprintf "%a" Pkg.Eval.pp_failure f)
+  | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ -> (
+    match r.package with
+    | None -> Protocol.Resp_err (Protocol.Failed, "no package produced")
+    | Some p ->
+      let csv = Relalg.Csv.to_string (Pkg.Package.materialize p) in
+      Protocol.Resp_ok
+        (Protocol.render_result ~status_line:(status_line r) ~wall:r.wall_time
+           ~csv))
+
+(* Only proven outcomes are safe to replay: a Feasible gap depends on
+   the budget the original request happened to have left, and failures
+   should retry. *)
+let cacheable (r : Pkg.Eval.report) =
+  match r.status with
+  | Pkg.Eval.Optimal | Pkg.Eval.Infeasible -> true
+  | Pkg.Eval.Feasible _ | Pkg.Eval.Failed _ -> false
+
+let eval_query t ~deadline query =
+  let snap = Mutex.protect t.state_mu (fun () -> t.state) in
+  let qfp = Paql.Fingerprint.of_query query in
+  let rkey = qfp ^ "@" ^ snap.fp in
+  match Cache.find_opt t.result_cache rkey with
+  | Some resp ->
+    Metrics.incr t.metrics "result_hits";
+    resp
+  | None -> (
+    Metrics.incr t.metrics "result_misses";
+    match plan t snap qfp query with
+    | Error resp -> resp
+    | Ok (ast, spec) ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then
+        Protocol.Resp_err
+          ( Protocol.Deadline,
+            "deadline exceeded: request budget ran out before evaluation" )
+      else begin
+        let limits =
+          {
+            t.cfg.limits with
+            Ilp.Branch_bound.max_seconds =
+              Float.min t.cfg.limits.Ilp.Branch_bound.max_seconds remaining;
+          }
+        in
+        let run () =
+          Metrics.incr t.metrics "solves";
+          Metrics.time t.metrics "solve" (fun () ->
+              match t.cfg.method_ with
+              | Direct -> Ok (Pkg.Direct.run ~limits spec snap.rel)
+              | Sketch_refine | Parallel_refine -> (
+                match partition_for t snap ast spec with
+                | Error resp -> Error resp
+                | Ok part ->
+                  let options =
+                    {
+                      Pkg.Sketch_refine.default_options with
+                      limits;
+                      max_seconds = remaining;
+                    }
+                  in
+                  Ok
+                    (match t.cfg.method_ with
+                    | Parallel_refine ->
+                      Pkg.Parallel.run ~options spec snap.rel part
+                    | _ -> Pkg.Sketch_refine.run ~options spec snap.rel part)))
+        in
+        match run () with
+        | Error resp -> resp
+        | Ok report ->
+          let resp = response_of_report report in
+          if cacheable report then Cache.add t.result_cache rkey resp;
+          resp
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Appends                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let concat_rows a b =
+  let sa = Relalg.Relation.schema a in
+  if not (Relalg.Schema.equal sa (Relalg.Relation.schema b)) then
+    invalid_arg "append: schemas differ";
+  Relalg.Relation.of_rows sa
+    (Relalg.Relation.to_list a @ Relalg.Relation.to_list b)
+
+let append t extra =
+  Mutex.protect t.state_mu (fun () ->
+      let snap = t.state in
+      let old_fp = snap.fp in
+      (* Maintain every cached partitioning incrementally; they all
+         derive the same appended relation. *)
+      let parts = Hashtbl.create 4 in
+      let appended = ref None in
+      Mutex.protect snap.parts_mu (fun () ->
+          Hashtbl.iter
+            (fun id e ->
+              let rel', part', stats =
+                Store.Maintain.append ~tau:e.pe_tau ~radius:e.pe_radius
+                  e.pe_part snap.rel extra
+              in
+              Log.info (fun k ->
+                  k "append maintained %s: %a" id Store.Maintain.pp_stats stats);
+              appended := Some rel';
+              Hashtbl.replace parts id { e with pe_part = part' })
+            snap.parts);
+      let rel' =
+        match !appended with
+        | Some rel' -> rel'
+        | None -> concat_rows snap.rel extra
+      in
+      let snap' =
+        { rel = rel';
+          fp = Store.Segment.fingerprint rel';
+          parts;
+          parts_mu = Mutex.create () }
+      in
+      prewarm rel';
+      (* Re-key the maintained partitionings in the catalog under the
+         new fingerprint so later cold starts hit too. *)
+      Option.iter
+        (fun cat ->
+          Hashtbl.iter
+            (fun _ e ->
+              Store.Catalog.store cat
+                { Store.Catalog.fingerprint = snap'.fp; attrs = e.pe_attrs;
+                  tau = e.pe_tau; radius = e.pe_radius }
+                e.pe_part)
+            parts)
+        t.catalog;
+      t.state <- snap';
+      Metrics.incr t.metrics "appends";
+      let dropped =
+        Cache.remove_if t.result_cache (fun k ->
+            String.length k >= String.length old_fp
+            && String.sub k (String.length k - String.length old_fp)
+                 (String.length old_fp)
+               = old_fp)
+      in
+      Metrics.incr ~by:dropped t.metrics "result_invalidated";
+      Log.info (fun k ->
+          k "appended %d rows: table now %d rows, fingerprint %s (%d cached \
+             results invalidated)"
+            (Relalg.Relation.cardinality extra)
+            (Relalg.Relation.cardinality rel')
+            snap'.fp dropped))
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let handle_query t query =
+  Metrics.incr t.metrics "requests";
+  let deadline = Unix.gettimeofday () +. t.cfg.request_seconds in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let slot = ref None in
+  let job () =
+    let resp =
+      Metrics.time t.metrics "total" (fun () ->
+          try eval_query t ~deadline query
+          with e ->
+            Protocol.Resp_err (Protocol.Internal, Printexc.to_string e))
+    in
+    Mutex.protect mu (fun () ->
+        slot := Some resp;
+        Condition.signal cond)
+  in
+  let resp =
+    match Scheduler.submit t.sched job with
+    | `Rejected ->
+      let f =
+        Pkg.Eval.failure
+          (Pkg.Eval.Rejected
+             (Printf.sprintf "queue full (capacity %d)"
+                (Scheduler.capacity t.sched)))
+      in
+      Protocol.Resp_err (Protocol.Rejected, Format.asprintf "%a" Pkg.Eval.pp_failure f)
+    | `Accepted ->
+      Mutex.protect mu (fun () ->
+          while !slot = None do
+            Condition.wait cond mu
+          done;
+          Option.get !slot)
+  in
+  (match resp with
+  | Protocol.Resp_ok _ -> Metrics.incr t.metrics "ok"
+  | Protocol.Resp_err _ -> Metrics.incr t.metrics "failed");
+  resp
+
+let handle_append t csv =
+  match Relalg.Csv.of_string csv with
+  | exception Relalg.Csv.Error (line, msg) ->
+    Protocol.Resp_err
+      (Protocol.Data_error, Printf.sprintf "csv error at line %d: %s" line msg)
+  | extra -> (
+    match append t extra with
+    | () ->
+      Protocol.Resp_ok
+        (Printf.sprintf "appended %d rows; table now %d rows, fingerprint %s"
+           (Relalg.Relation.cardinality extra)
+           (Mutex.protect t.state_mu (fun () ->
+                Relalg.Relation.cardinality t.state.rel))
+           (table_fingerprint t))
+    | exception Invalid_argument msg ->
+      Protocol.Resp_err (Protocol.Data_error, msg))
+
+let handle_conn t fd =
+  Metrics.incr t.metrics "connections";
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond r = Protocol.write_response oc r in
+  let rec loop () =
+    if Pkg.Faults.take_net_fault Pkg.Faults.Net_read then begin
+      Metrics.incr t.metrics "net_errors";
+      Log.warn (fun k -> k "injected net=read fault: dropping connection");
+      try respond (Protocol.Resp_err (Protocol.Internal, "injected read fault"))
+      with _ -> ()
+    end
+    else
+      match Protocol.read_request ic with
+      | None -> ()
+      | Some Protocol.Quit -> ( try respond (Protocol.Resp_ok "bye") with _ -> ())
+      | Some Protocol.Ping ->
+        respond (Protocol.Resp_ok "pong");
+        loop ()
+      | Some Protocol.Stats ->
+        respond (Protocol.Resp_ok (Metrics.render t.metrics));
+        loop ()
+      | Some (Protocol.Append csv) ->
+        respond (handle_append t csv);
+        loop ()
+      | Some (Protocol.Query q) ->
+        respond (handle_query t q);
+        loop ()
+  in
+  try loop () with
+  | End_of_file -> ()
+  | Protocol.Protocol_error msg ->
+    Metrics.incr t.metrics "net_errors";
+    Log.warn (fun k -> k "protocol error: %s" msg);
+    (try respond (Protocol.Resp_err (Protocol.Internal, msg)) with _ -> ())
+  | Sys_error _ | Unix.Unix_error _ -> Metrics.incr t.metrics "net_errors"
+
+let conn_main t id fd =
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect t.conns_mu (fun () -> Hashtbl.remove t.conns id);
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> handle_conn t fd)
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+      if not t.stopped then Log.err (fun k -> k "accept failed; stopping")
+    | exception Unix.Unix_error _ when t.stopped -> ()
+    | fd, _ ->
+      if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else if Pkg.Faults.take_net_fault Pkg.Faults.Net_accept then begin
+        Metrics.incr t.metrics "net_errors";
+        Log.warn (fun k -> k "injected net=accept fault: closing connection");
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+      end
+      else begin
+        Mutex.protect t.conns_mu (fun () ->
+            let id = t.next_conn in
+            t.next_conn <- id + 1;
+            Hashtbl.replace t.conns id fd;
+            t.conn_threads <-
+              Thread.create (fun () -> conn_main t id fd) () :: t.conn_threads);
+        loop ()
+      end
+  in
+  loop ()
+
+let log_loop t =
+  let rec loop since =
+    if t.stopped then ()
+    else begin
+      Thread.delay 0.05;
+      let now = Unix.gettimeofday () in
+      if now -. since >= t.cfg.log_every then begin
+        Log.app (fun k -> k "%s" (Metrics.summary_line t.metrics));
+        loop now
+      end
+      else loop since
+    end
+  in
+  loop (Unix.gettimeofday ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let start ?catalog cfg rel =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let metrics = Metrics.create () in
+  let sched = Scheduler.create ~workers:cfg.workers ~capacity:cfg.queue ~metrics in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd (Unix.ADDR_INET (resolve_host cfg.host, cfg.port));
+      Unix.listen listen_fd 64;
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> cfg.port
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Scheduler.shutdown sched;
+      raise e
+  in
+  let t =
+    {
+      cfg;
+      catalog;
+      metrics;
+      sched;
+      plan_cache = Cache.create ~capacity:cfg.plan_cache;
+      result_cache = Cache.create ~capacity:cfg.result_cache;
+      state = fresh_snapshot rel;
+      state_mu = Mutex.create ();
+      listen_fd;
+      bound_port;
+      accept_thread = None;
+      log_thread = None;
+      conns = Hashtbl.create 16;
+      conn_threads = [];
+      next_conn = 0;
+      conns_mu = Mutex.create ();
+      stopped = false;
+      finished = false;
+      stop_mu = Mutex.create ();
+      stop_cond = Condition.create ();
+    }
+  in
+  Pkg.Eval.set_observer
+    (Some (fun stage dt -> Metrics.observe metrics (Pkg.Eval.stage_name stage) dt));
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  if cfg.log_every > 0. then t.log_thread <- Some (Thread.create log_loop t);
+  Log.info (fun k ->
+      k "serving %d rows on %s:%d (%d workers, queue %d, result cache %d)"
+        (Relalg.Relation.cardinality rel)
+        cfg.host bound_port cfg.workers cfg.queue cfg.result_cache);
+  t
+
+let wait t =
+  Mutex.protect t.stop_mu (fun () ->
+      while not t.finished do
+        Condition.wait t.stop_cond t.stop_mu
+      done)
+
+let stop t =
+  let first =
+    Mutex.protect t.stop_mu (fun () ->
+        let first = not t.stopped in
+        t.stopped <- true;
+        first)
+  in
+  if first then begin
+    (* shutdown (not close) wakes the blocked accept; close only after
+       the accept thread is joined, so the fd cannot be recycled under
+       it. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let fds =
+      Mutex.protect t.conns_mu (fun () ->
+          Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [])
+    in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds;
+    let conn_threads =
+      Mutex.protect t.conns_mu (fun () ->
+          let ts = t.conn_threads in
+          t.conn_threads <- [];
+          ts)
+    in
+    List.iter Thread.join conn_threads;
+    Scheduler.shutdown t.sched;
+    Option.iter Thread.join t.log_thread;
+    Pkg.Eval.set_observer None;
+    Mutex.protect t.stop_mu (fun () ->
+        t.finished <- true;
+        Condition.broadcast t.stop_cond)
+  end

@@ -1,0 +1,90 @@
+(** The package-query server: a long-running TCP service evaluating
+    PaQL queries over one shared, warm table.
+
+    Request flow: a connection thread reads a framed {!Protocol}
+    request, stamps its deadline ([arrival + request_seconds] — the
+    budget the resilience layer then propagates into every ILP call),
+    and submits an evaluation job to the {!Scheduler}. Admission
+    control answers over-capacity requests immediately with a typed
+    [rejected] failure ({!Pkg.Eval.Rejected}); admitted jobs run on the
+    worker pool against an immutable snapshot of the table state.
+
+    Work is shared across requests at three levels:
+
+    - {b plan cache} — parse/analyze/compile once per query
+      fingerprint ({!Paql.Fingerprint});
+    - {b partitions} — sketchrefine partitionings are kept per
+      (attrs, tau, radius) in memory (and in the {!Store.Catalog} when
+      one is attached), so they are built once and reused by every
+      request — the across-query reuse the billion-tuple follow-up
+      work gets its wins from;
+    - {b result cache} — keyed by (query fingerprint, table
+      fingerprint): a repeated query against an unchanged table
+      returns the rendered answer without touching the solver. Only
+      {e proven} outcomes (Optimal / Infeasible) are cached — budget-
+      dependent [Feasible] gaps and failures are recomputed. [APPEND]
+      explicitly invalidates every result for the superseded table
+      fingerprint.
+
+    [APPEND] routes through {!Store.Maintain.append}: cached
+    partitionings are maintained incrementally (local re-splits only),
+    the table fingerprint is recomputed, and in-flight requests keep
+    their pre-append snapshot. *)
+
+type method_ = Direct | Sketch_refine | Parallel_refine
+
+type config = {
+  host : string;
+  port : int;          (** 0 picks an ephemeral port; see {!port} *)
+  workers : int;       (** worker pool size *)
+  queue : int;         (** admission queue capacity *)
+  result_cache : int;  (** result cache capacity; 0 disables *)
+  plan_cache : int;    (** plan cache capacity; 0 disables *)
+  method_ : method_;
+  attrs : string list; (** partitioning attrs; [] = query's numeric attrs *)
+  tau : int option;    (** [None] = 10% of the table *)
+  epsilon : float option;
+  limits : Ilp.Branch_bound.limits;  (** per-ILP budget *)
+  request_seconds : float;  (** per-request wall budget (deadline) *)
+  log_every : float;   (** seconds between metrics log lines; 0 = off *)
+}
+
+(** Defaults: localhost, ephemeral port, DIRECT, 60s request budget —
+    with [workers], [queue] and [result_cache] read from
+    [PKGQ_SERVE_WORKERS] (default 4), [PKGQ_SERVE_QUEUE] (default 32)
+    and [PKGQ_RESULT_CACHE] (capacity, or [off]; default 256). *)
+val default_config : unit -> config
+
+type t
+
+(** [start ?catalog config rel] binds, pre-warms the numeric column
+    cache, starts the worker pool and accept thread, and returns.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+val start : ?catalog:Store.Catalog.t -> config -> Relalg.Relation.t -> t
+
+(** The bound port (the actual one when the config asked for 0). *)
+val port : t -> int
+
+val metrics : t -> Metrics.t
+
+val config : t -> config
+
+(** Current table content fingerprint (changes on append). *)
+val table_fingerprint : t -> string
+
+(** Evaluations that actually invoked a solver (cache hits don't). *)
+val solve_count : t -> int
+
+(** [append t extra] appends [extra]'s rows to the served table:
+    maintains cached partitionings incrementally, recomputes the
+    fingerprint, and invalidates the superseded result-cache entries.
+    Also the implementation of the [APPEND] verb.
+    @raise Invalid_argument when schemas differ. *)
+val append : t -> Relalg.Relation.t -> unit
+
+(** Block until the server is stopped (for the server binary). *)
+val wait : t -> unit
+
+(** Stop accepting, drain admitted work, close connections, join every
+    thread. Idempotent. *)
+val stop : t -> unit

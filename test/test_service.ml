@@ -1,0 +1,461 @@
+(* Service-layer tests: the TCP server end to end (concurrent clients
+   agree byte-for-byte with cold single-shot evaluation), the plan and
+   result caches (hits skip the solver, appends invalidate), admission
+   control (typed rejected, never a hang), deadline expiry, the
+   queue/net fault directives, query fingerprints, and the scheduler /
+   LRU / metrics building blocks. *)
+
+module W = Datagen.Workload
+module Srv = Service.Server
+module Cl = Service.Client
+module Pr = Service.Protocol
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let galaxy = Datagen.Galaxy.generate ~seed:3 400
+
+(* repeat-heavy stream exercising both caches *)
+let defs = W.mixed ~seed:7 ~repeat_rate:0.5 ~dataset:`Galaxy ~n:12 galaxy
+let queries = List.map (fun (d : W.def) -> d.paql) defs
+
+let distinct_queries =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun q ->
+      if Hashtbl.mem seen q then false
+      else begin
+        Hashtbl.replace seen q ();
+        true
+      end)
+    queries
+
+let base_cfg () =
+  (* explicit capacities so the suite ignores PKGQ_SERVE_* env *)
+  {
+    (Srv.default_config ()) with
+    Srv.workers = 4;
+    queue = 32;
+    result_cache = 256;
+    plan_cache = 64;
+    request_seconds = 60.;
+    log_every = 0.;
+  }
+
+let with_server cfg rel f =
+  let t = Srv.start cfg rel in
+  Fun.protect ~finally:(fun () -> Srv.stop t) (fun () -> f t)
+
+let with_client t f =
+  let c = Cl.connect ~host:"127.0.0.1" ~port:(Srv.port t) in
+  Fun.protect ~finally:(fun () -> Cl.close c) (fun () -> f c)
+
+(* Response modulo the wall-time line (the only nondeterministic
+   byte): status, package CSV, or the typed error. *)
+let essence = function
+  | Pr.Resp_ok body -> (
+    match Pr.parse_result body with
+    | Ok (status, _wall, csv) -> `Ok (status, csv)
+    | Error e -> `Bad e)
+  | Pr.Resp_err (code, msg) -> `Err (Pr.code_name code, msg)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: concurrency, caches, appends                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_matches_cold () =
+  (* cold reference: caches off, one client, each distinct query once *)
+  let reference = Hashtbl.create 16 in
+  with_server
+    { (base_cfg ()) with Srv.result_cache = 0; plan_cache = 0 }
+    galaxy
+    (fun t ->
+      with_client t (fun c ->
+          List.iter
+            (fun q -> Hashtbl.replace reference q (essence (Cl.query c q)))
+            distinct_queries));
+  (* 8 concurrent clients, caches on, repeats included *)
+  with_server (base_cfg ()) galaxy (fun t ->
+      let clients = 8 in
+      let results = Array.make clients [] in
+      let threads =
+        List.init clients (fun i ->
+            Thread.create
+              (fun () ->
+                with_client t (fun c ->
+                    results.(i) <-
+                      List.map (fun q -> essence (Cl.query c q)) queries))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i rs ->
+          List.iter2
+            (fun q r ->
+              checkb
+                (Printf.sprintf "client %d agrees with cold single-shot" i)
+                true
+                (r = Hashtbl.find reference q))
+            queries rs)
+        results;
+      checkb "every distinct query got an OK answer" true
+        (List.for_all
+           (fun q ->
+             match Hashtbl.find reference q with `Ok _ -> true | _ -> false)
+           distinct_queries))
+
+let test_cache_hits_skip_solver () =
+  with_server (base_cfg ()) galaxy (fun t ->
+      with_client t (fun c ->
+          List.iter (fun q -> ignore (Cl.query c q)) queries;
+          let distinct = List.length distinct_queries in
+          checki "one solve per distinct query" distinct (Srv.solve_count t);
+          (* a full second pass is all result-cache hits *)
+          List.iter (fun q -> ignore (Cl.query c q)) queries;
+          checki "replay solves nothing" distinct (Srv.solve_count t);
+          checkb "result hits recorded" true
+            (Service.Metrics.get (Srv.metrics t) "result_hits"
+             >= List.length queries)))
+
+let test_append_invalidates_results () =
+  with_server (base_cfg ()) galaxy (fun t ->
+      with_client t (fun c ->
+          let q = List.hd distinct_queries in
+          let r1 = essence (Cl.query c q) in
+          checkb "first answer is OK" true
+            (match r1 with `Ok _ -> true | _ -> false);
+          ignore (Cl.query c q);
+          checki "repeat served from cache" 1 (Srv.solve_count t);
+          let fp0 = Srv.table_fingerprint t in
+          let extra = Datagen.Galaxy.generate ~seed:99 20 in
+          (match Cl.append c ~csv:(Relalg.Csv.to_string extra) with
+          | Pr.Resp_ok _ -> ()
+          | Pr.Resp_err (_, msg) -> Alcotest.fail ("append failed: " ^ msg));
+          checkb "fingerprint changed" true (Srv.table_fingerprint t <> fp0);
+          checkb "stale results invalidated" true
+            (Service.Metrics.get (Srv.metrics t) "result_invalidated" >= 1);
+          ignore (Cl.query c q);
+          checki "same query re-solves on the new table" 2 (Srv.solve_count t)))
+
+let test_append_bad_schema () =
+  with_server (base_cfg ()) galaxy (fun t ->
+      with_client t (fun c ->
+          match Cl.append c ~csv:"x:int\n1\n" with
+          | Pr.Resp_err (Pr.Data_error, _) -> ()
+          | r ->
+            Alcotest.fail
+              (Printf.sprintf "expected data error, got %s"
+                 (match essence r with
+                 | `Ok _ -> "OK"
+                 | `Err (c, _) -> c
+                 | `Bad e -> e))))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control and deadlines                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_full_fault_rejects () =
+  (match Pkg.Faults.parse "queue=full" with
+  | Ok spec -> Pkg.Faults.install spec
+  | Error msg -> Alcotest.fail ("queue=full should parse: " ^ msg));
+  Fun.protect ~finally:Pkg.Faults.clear (fun () ->
+      with_server (base_cfg ()) galaxy (fun t ->
+          with_client t (fun c ->
+              match Cl.query c (List.hd distinct_queries) with
+              | Pr.Resp_err (Pr.Rejected, msg) ->
+                checkb "names the queue" true
+                  (String.length msg >= 5 (* "rejected: queue full ..." *));
+                checki "rejected maps to exit code 7" 7
+                  (Pr.exit_code Pr.Rejected);
+                checkb "typed, not silent" true
+                  (Service.Metrics.get (Srv.metrics t) "shed" >= 1)
+              | r ->
+                Alcotest.fail
+                  (match essence r with
+                  | `Ok _ -> "expected rejection, got OK"
+                  | `Err (c, m) -> "expected rejected, got " ^ c ^ ": " ^ m
+                  | `Bad e -> e))))
+
+let test_overload_never_hangs () =
+  (* 1 worker, queue of 1, 12 concurrent distinct queries: every
+     request must complete — OK or typed rejected — and joining all
+     clients is the no-hang proof *)
+  let stream =
+    W.mixed ~seed:21 ~repeat_rate:0. ~dataset:`Galaxy ~n:12 galaxy
+  in
+  with_server
+    { (base_cfg ()) with Srv.workers = 1; queue = 1 }
+    galaxy
+    (fun t ->
+      let outcomes = Array.make (List.length stream) `Pending in
+      let threads =
+        List.mapi
+          (fun i (d : W.def) ->
+            Thread.create
+              (fun () ->
+                with_client t (fun c ->
+                    outcomes.(i) <- essence (Cl.query c d.paql)))
+              ())
+          stream
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i o ->
+          match o with
+          | `Ok _ | `Err ("rejected", _) -> ()
+          | `Pending -> Alcotest.fail (Printf.sprintf "request %d hung" i)
+          | `Err (c, m) ->
+            Alcotest.fail (Printf.sprintf "request %d: %s: %s" i c m)
+          | `Bad e -> Alcotest.fail e)
+        outcomes;
+      checki "shed counter matches rejected answers"
+        (Array.to_list outcomes
+        |> List.filter (function `Err ("rejected", _) -> true | _ -> false)
+        |> List.length)
+        (Service.Metrics.get (Srv.metrics t) "shed"))
+
+let test_deadline_expired () =
+  with_server
+    { (base_cfg ()) with Srv.request_seconds = 0. }
+    galaxy
+    (fun t ->
+      with_client t (fun c ->
+          match Cl.query c (List.hd distinct_queries) with
+          | Pr.Resp_err (Pr.Deadline, msg) ->
+            checkb "says deadline" true
+              (String.length msg > 0);
+            checki "no solver work for an expired request" 0
+              (Srv.solve_count t)
+          | r ->
+            Alcotest.fail
+              (match essence r with
+              | `Ok _ -> "expected deadline error, got OK"
+              | `Err (c, m) -> "expected deadline, got " ^ c ^ ": " ^ m
+              | `Bad e -> e)))
+
+(* ------------------------------------------------------------------ *)
+(* Net fault directives                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_net_accept_fault () =
+  (match Pkg.Faults.parse "net=accept:fail" with
+  | Ok spec -> Pkg.Faults.install spec
+  | Error msg -> Alcotest.fail ("net=accept:fail should parse: " ^ msg));
+  Fun.protect ~finally:Pkg.Faults.clear (fun () ->
+      with_server (base_cfg ()) galaxy (fun t ->
+          (* first connection is accepted then dropped by the fault *)
+          let dropped =
+            match
+              with_client t (fun c -> Cl.ping c)
+            with
+            | Pr.Resp_ok _ -> false
+            | Pr.Resp_err _ -> true
+            | exception Pr.Protocol_error _ -> true
+            | exception Unix.Unix_error _ -> true
+            | exception Sys_error _ -> true
+          in
+          checkb "first connection dropped" true dropped;
+          checkb "net error counted" true
+            (Service.Metrics.get (Srv.metrics t) "net_errors" >= 1);
+          (* the fault is one-shot: the server recovered *)
+          with_client t (fun c ->
+              match Cl.ping c with
+              | Pr.Resp_ok body -> checks "server recovered" "pong" body
+              | Pr.Resp_err (_, m) -> Alcotest.fail m)))
+
+let test_net_read_fault () =
+  (match Pkg.Faults.parse "net=read:fail" with
+  | Ok spec -> Pkg.Faults.install spec
+  | Error msg -> Alcotest.fail ("net=read:fail should parse: " ^ msg));
+  Fun.protect ~finally:Pkg.Faults.clear (fun () ->
+      with_server (base_cfg ()) galaxy (fun t ->
+          let dropped =
+            match with_client t (fun c -> Cl.ping c) with
+            | Pr.Resp_ok _ -> false
+            | Pr.Resp_err _ -> true
+            | exception Pr.Protocol_error _ -> true
+            | exception Unix.Unix_error _ -> true
+            | exception Sys_error _ -> true
+          in
+          checkb "read faulted" true dropped;
+          with_client t (fun c ->
+              match Cl.ping c with
+              | Pr.Resp_ok body -> checks "server recovered" "pong" body
+              | Pr.Resp_err (_, m) -> Alcotest.fail m)))
+
+let test_fault_grammar () =
+  (match Pkg.Faults.parse "queue=full; net=accept:fail; net=read:fail" with
+  | Ok spec -> checki "three directives" 3 (List.length spec)
+  | Error msg -> Alcotest.fail msg);
+  (match Pkg.Faults.parse "net=elsewhere:fail" with
+  | Ok _ -> Alcotest.fail "net=elsewhere:fail should not parse"
+  | Error _ -> ());
+  match Pkg.Faults.parse "queue=almost" with
+  | Ok _ -> Alcotest.fail "queue=almost should not parse"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Query fingerprints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_normalizes () =
+  let fp = Paql.Fingerprint.of_query in
+  let q = List.hd distinct_queries in
+  checks "whitespace-insensitive" (fp q)
+    (fp (String.concat "  \n  " (String.split_on_char ' ' q)));
+  (* keywords are case-insensitive in the lexer; identifiers are not *)
+  checks "keyword-case-insensitive" (fp "SELECT PACKAGE(G) AS P FROM Galaxy G")
+    (fp "select package(G) as P from Galaxy G");
+  checkb "semantic changes change the fingerprint" true
+    (fp "COUNT(P.*) = 3" <> fp "COUNT(P.*) = 4");
+  checkb "malformed text still fingerprints" true
+    (String.length (fp "SELECT \"unterminated") = 16)
+
+(* ------------------------------------------------------------------ *)
+(* Building blocks: LRU cache, scheduler, metrics, protocol           *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_cache () =
+  let c = Service.Cache.create ~capacity:2 in
+  Service.Cache.add c "a" 1;
+  Service.Cache.add c "b" 2;
+  ignore (Service.Cache.find_opt c "a");
+  (* a is now most recent *)
+  Service.Cache.add c "c" 3;
+  (* b evicted *)
+  checkb "lru evicted" true (Service.Cache.find_opt c "b" = None);
+  checkb "recent kept" true (Service.Cache.find_opt c "a" = Some 1);
+  checki "bounded" 2 (Service.Cache.length c);
+  checki "remove_if drops matches" 1
+    (Service.Cache.remove_if c (fun k -> k = "a"));
+  let off = Service.Cache.create ~capacity:0 in
+  Service.Cache.add off "x" 1;
+  checkb "capacity 0 disables" true (Service.Cache.find_opt off "x" = None)
+
+let test_scheduler_sheds_deterministically () =
+  let metrics = Service.Metrics.create () in
+  let s = Service.Scheduler.create ~workers:1 ~capacity:2 ~metrics in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let started = ref false in
+  let release = ref false in
+  let ran = Atomic.make 0 in
+  let gate () =
+    Mutex.protect mu (fun () ->
+        started := true;
+        Condition.signal cv;
+        while not !release do
+          Condition.wait cv mu
+        done)
+  in
+  checkb "gate admitted" true (Service.Scheduler.submit s gate = `Accepted);
+  Mutex.protect mu (fun () ->
+      while not !started do
+        Condition.wait cv mu
+      done);
+  (* worker busy, queue empty: capacity admits exactly two more *)
+  let noop () = Atomic.incr ran in
+  checkb "1st queued" true (Service.Scheduler.submit s noop = `Accepted);
+  checkb "2nd queued" true (Service.Scheduler.submit s noop = `Accepted);
+  checkb "3rd shed" true (Service.Scheduler.submit s noop = `Rejected);
+  checki "shed counted" 1 (Service.Metrics.get metrics "shed");
+  Mutex.protect mu (fun () ->
+      release := true;
+      Condition.broadcast cv);
+  Service.Scheduler.shutdown s;
+  checki "admitted jobs drained before shutdown" 2 (Atomic.get ran)
+
+let test_metrics_render () =
+  let m = Service.Metrics.create () in
+  Service.Metrics.incr m "requests";
+  Service.Metrics.incr ~by:3 m "requests";
+  Service.Metrics.set_gauge m "queue_depth" 5;
+  Service.Metrics.observe m "solve" 0.010;
+  Service.Metrics.observe m "solve" 0.020;
+  checki "counter" 4 (Service.Metrics.get m "requests");
+  checki "gauge" 5 (Service.Metrics.get_gauge m "queue_depth");
+  checki "stage count" 2 (Service.Metrics.stage_count m "solve");
+  (match Service.Metrics.quantile m "solve" 0.5 with
+  | Some q -> checkb "p50 in range" true (q >= 0.009 && q <= 0.025)
+  | None -> Alcotest.fail "expected a quantile");
+  let rendered = Service.Metrics.render m in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec scan i =
+      i + nl <= hl && (String.sub rendered i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  List.iter
+    (fun needle -> checkb (needle ^ " rendered") true (contains needle))
+    [ "requests 4"; "gauge queue_depth 5"; "stage solve count 2" ]
+
+let test_protocol_roundtrip () =
+  let body =
+    Pr.render_result ~status_line:"optimal, obj=42" ~wall:0.125
+      ~csv:"a:int\n1\n2\n"
+  in
+  (match Pr.parse_result body with
+  | Ok (status, wall, csv) ->
+    checks "status" "optimal, obj=42" status;
+    checkb "wall" true (Float.abs (wall -. 0.125) < 1e-9);
+    checks "csv" "a:int\n1\n2\n" csv
+  | Error e -> Alcotest.fail e);
+  (match Cl.parse_endpoint "127.0.0.1:7070" with
+  | Ok (h, p) ->
+    checks "host" "127.0.0.1" h;
+    checki "port" 7070 p
+  | Error e -> Alcotest.fail e);
+  match Cl.parse_endpoint "no-port" with
+  | Ok _ -> Alcotest.fail "endpoint without port should not parse"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "server",
+        [
+          Alcotest.test_case "concurrent clients match cold single-shot"
+            `Slow test_concurrent_matches_cold;
+          Alcotest.test_case "result cache hits skip the solver" `Quick
+            test_cache_hits_skip_solver;
+          Alcotest.test_case "append invalidates cached results" `Quick
+            test_append_invalidates_results;
+          Alcotest.test_case "append with a foreign schema is a data error"
+            `Quick test_append_bad_schema;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "queue=full fault sheds with typed rejected"
+            `Quick test_queue_full_fault_rejects;
+          Alcotest.test_case "overload completes every request" `Slow
+            test_overload_never_hangs;
+          Alcotest.test_case "expired deadline answers without solving" `Quick
+            test_deadline_expired;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "net=accept:fail drops one connection" `Quick
+            test_net_accept_fault;
+          Alcotest.test_case "net=read:fail drops one read" `Quick
+            test_net_read_fault;
+          Alcotest.test_case "grammar accepts/rejects the new directives"
+            `Quick test_fault_grammar;
+        ] );
+      ( "fingerprint",
+        [
+          Alcotest.test_case "token-normalized, semantics-sensitive" `Quick
+            test_fingerprint_normalizes;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "bounded LRU cache" `Quick test_lru_cache;
+          Alcotest.test_case "scheduler sheds past capacity" `Quick
+            test_scheduler_sheds_deterministically;
+          Alcotest.test_case "metrics counters and histograms" `Quick
+            test_metrics_render;
+          Alcotest.test_case "protocol bodies and endpoints round-trip" `Quick
+            test_protocol_roundtrip;
+        ] );
+    ]
