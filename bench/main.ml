@@ -920,7 +920,7 @@ let play_stream ~port ~clients stream =
   let lats = Array.make (Array.length stream) 0. in
   let errors = Atomic.make 0 in
   let run ci =
-    let c = Service.Client.connect ~host:"127.0.0.1" ~port in
+    let c = Service.Client.connect ~host:"127.0.0.1" ~port () in
     Fun.protect
       ~finally:(fun () -> Service.Client.close c)
       (fun () ->
@@ -1024,7 +1024,7 @@ let serve ~scale () =
         let rejected = Atomic.make 0 in
         let answered = Atomic.make 0 in
         let one i =
-          let c = Service.Client.connect ~host:"127.0.0.1" ~port in
+          let c = Service.Client.connect ~host:"127.0.0.1" ~port () in
           Fun.protect
             ~finally:(fun () -> Service.Client.close c)
             (fun () ->
@@ -1078,6 +1078,161 @@ let serve ~scale () =
       ("overload_rejected_replies", string_of_int rejected);
       ("overload_answered", string_of_int answered);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Durability: chaos crash matrix + recovery time + WAL sync overhead *)
+(* ------------------------------------------------------------------ *)
+
+let durability_json : (string * string) list ref = ref []
+
+(* The crash matrix kills a real [pkgq_server] child at every injected
+   point — mid-frame (torn tail), post-fsync/pre-ack (in-doubt), and
+   post-ack (external SIGKILL), with and without checkpoints in the
+   window — restarts it, and verifies the recovered table is
+   byte-identical to a reference prefix: zero acknowledged-write loss,
+   zero phantoms. Then the WAL's fsync cost is measured directly,
+   Always vs Never, records/sec. *)
+let durability ~scale () =
+  let module Ch = Service.Chaos in
+  let exe =
+    let p =
+      match Sys.getenv_opt "PKGQ_SERVER_EXE" with
+      | Some p -> p
+      | None ->
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "../bin/pkgq_server.exe"
+    in
+    if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+  in
+  if not (Sys.file_exists exe) then begin
+    Format.printf
+      "@.== Durability: skipped (no server binary at %s; set \
+       PKGQ_SERVER_EXE) ==@."
+      exe;
+    durability_json := [ ("skipped", "true") ]
+  end
+  else begin
+    let n = max 500 (int_of_float (float_of_int galaxy_base *. scale *. 0.2)) in
+    let batches_n = 10 in
+    let batch_rows = max 5 (int_of_float (40. *. scale)) in
+    Format.printf
+      "@.== Durability: chaos crash matrix (Galaxy n=%d, %d append batches \
+       of %d rows) ==@."
+      n batches_n batch_rows;
+    let base = Datagen.Galaxy.generate ~seed:21 n in
+    let batches =
+      List.init batches_n (fun k ->
+          Datagen.Workload.append_batch ~dataset:`Galaxy ~rows:batch_rows
+            ~seed:(3000 + k))
+    in
+    let scratch =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "pkgq-bench-dur-%d" (Unix.getpid ()))
+    in
+    (* the matrix: torn mid-frame, durable-but-unacked, and post-ack
+       kills; a second block replays a slice of it with checkpointing
+       active so recovery also exercises checkpoint + partial log *)
+    let points =
+      List.map (fun k -> (Printf.sprintf "torn%d" k, Ch.Torn k, None))
+        [ 1; 2; 3; 4; 5; 6; 7 ]
+      @ List.map (fun k -> (Printf.sprintf "crash%d" k, Ch.Crash k, None))
+          [ 1; 2; 3; 4; 5; 6; 7 ]
+      @ List.map
+          (fun k -> (Printf.sprintf "kill%d" k, Ch.Kill_after k, None))
+          [ 1; 4; 7; 10 ]
+      @ [
+          ("torn5-ckpt", Ch.Torn 5, Some 3);
+          ("crash5-ckpt", Ch.Crash 5, Some 3);
+          ("kill10-ckpt", Ch.Kill_after 10, Some 3);
+        ]
+    in
+    (* never-crashed control: the live server's bytes equal the local
+       reference fold *)
+    let ref_run =
+      Ch.run_reference ~exe ~dir:(Filename.concat scratch "ref") ~base
+        ~batches ()
+    in
+    let ref_fp, _ = ref_run.Ch.refs.(Array.length ref_run.Ch.refs - 1) in
+    let reference_equal = ref_run.Ch.recovered_fp = ref_fp in
+    Format.printf "  reference run: %d appends, live state %s reference@."
+      ref_run.Ch.acked
+      (if reference_equal then "==" else "<> (VIOLATION)");
+    let violations = ref 0 in
+    let recovery_times = ref [] in
+    let total, t_matrix =
+      time (fun () ->
+          List.iter
+            (fun (name, point, checkpoint) ->
+              let r =
+                Ch.run_crash ~exe
+                  ~dir:(Filename.concat scratch name)
+                  ~base ~batches ~point ?checkpoint ()
+              in
+              recovery_times := r.Ch.recovery_seconds :: !recovery_times;
+              match Ch.check r with
+              | Ok i ->
+                Format.printf
+                  "  %-12s acked %2d, recovered prefix %2d (%d rows) in \
+                   %.3fs  ok@."
+                  name r.Ch.acked i r.Ch.recovered_rows r.Ch.recovery_seconds
+              | Error msg ->
+                incr violations;
+                Format.printf "  %-12s VIOLATION: %s@." name msg)
+            points;
+          List.length points)
+    in
+    let rec_mean =
+      List.fold_left ( +. ) 0. !recovery_times
+      /. float_of_int (List.length !recovery_times)
+    in
+    let rec_max = List.fold_left Float.max 0. !recovery_times in
+    Format.printf
+      "  %d crash points in %.1fs: %d violation(s); recovery mean %.3fs, \
+       max %.3fs@."
+      total t_matrix !violations rec_mean rec_max;
+    (* WAL sync overhead: seconds per record, fsync-per-commit vs
+       leaving flushing to the kernel (PKGQ_WAL_SYNC=off) *)
+    let sync_records = max 40 (int_of_float (150. *. scale)) in
+    let small = Datagen.Galaxy.generate ~seed:33 8 in
+    let time_wal sync =
+      let path = Filename.concat scratch "sync-probe.log" in
+      if Sys.file_exists path then Sys.remove path;
+      let wal, _ = Store.Wal.open_log ~sync path in
+      let (), t =
+        time (fun () ->
+            for _ = 1 to sync_records do
+              ignore (Store.Wal.append wal (Store.Wal.Append small))
+            done)
+      in
+      Store.Wal.close wal;
+      t /. float_of_int sync_records
+    in
+    let per_rec_on = time_wal Store.Wal.Always in
+    let per_rec_off = time_wal Store.Wal.Never in
+    let overhead = per_rec_on /. Float.max 1e-9 per_rec_off in
+    Format.printf
+      "  wal append: %.0f us/record fsync-on vs %.0f us/record off \
+       (overhead %.1fx over %d records)@."
+      (per_rec_on *. 1e6) (per_rec_off *. 1e6) overhead sync_records;
+    durability_json :=
+      [
+        ("table_rows", string_of_int n);
+        ("append_batches", string_of_int batches_n);
+        ("batch_rows", string_of_int batch_rows);
+        ("crash_points", string_of_int total);
+        ("violations", string_of_int !violations);
+        ("reference_equal", if reference_equal then "true" else "false");
+        ("recovery_mean_s", Printf.sprintf "%.6f" rec_mean);
+        ("recovery_max_s", Printf.sprintf "%.6f" rec_max);
+        ("matrix_wall_s", Printf.sprintf "%.3f" t_matrix);
+        ("wal_sync_records", string_of_int sync_records);
+        ("wal_sync_on_s_per_record", Printf.sprintf "%.6f" per_rec_on);
+        ("wal_sync_off_s_per_record", Printf.sprintf "%.6f" per_rec_off);
+        ("wal_sync_overhead_x", Printf.sprintf "%.2f" overhead);
+      ]
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel)                                        *)
@@ -1168,6 +1323,7 @@ let all_experiments =
     ("robust", fun ~scale () -> robust ~scale ());
     ("store", fun ~scale () -> store_bench ~scale ());
     ("serve", fun ~scale () -> serve ~scale ());
+    ("durability", fun ~scale () -> durability ~scale ());
     ("micro", fun ~scale () -> ignore scale; micro ());
   ]
 
@@ -1211,4 +1367,6 @@ let () =
     write_json "BENCH_robust.json" !robust_json;
   if !json && !store_json <> [] then write_json "BENCH_store.json" !store_json;
   if !json && !serve_json <> [] then write_json "BENCH_serve.json" !serve_json;
+  if !json && !durability_json <> [] then
+    write_json "BENCH_durability.json" !durability_json;
   Format.printf "@.done.@."

@@ -35,17 +35,21 @@ let die code msg =
    The OK body carries the package as CSV, so --out writes exactly the
    bytes a local run would; a remote failure exits with the same code
    taxonomy (plus 7 for an admission-control rejection). *)
-let run_remote endpoint query out =
+let run_remote endpoint retries query out =
   let host, port =
     match Service.Client.parse_endpoint endpoint with
     | Ok hp -> hp
     | Error msg -> die exit_usage_error ("--connect: " ^ msg)
   in
   let client =
-    try Service.Client.connect ~host ~port with
+    try Service.Client.connect ~retries ~host ~port () with
     | Unix.Unix_error (e, _, _) ->
       die exit_data_error
         (Printf.sprintf "connect %s: %s" endpoint (Unix.error_message e))
+    | Service.Client.Gave_up { attempts; last } ->
+      die exit_data_error
+        (Printf.sprintf "connect %s: gave up after %d attempts (%s)" endpoint
+           attempts (Printexc.to_string last))
     | Failure msg -> die exit_data_error msg
   in
   Fun.protect
@@ -54,6 +58,10 @@ let run_remote endpoint query out =
       match Service.Client.query client query with
       | exception Service.Protocol.Protocol_error msg ->
         die exit_data_error ("remote: " ^ msg)
+      | exception Service.Client.Gave_up { attempts; last } ->
+        die exit_data_error
+          (Printf.sprintf "remote: gave up after %d attempts (%s)" attempts
+             (Printexc.to_string last))
       | Service.Protocol.Resp_err (code, msg) ->
         prerr_endline ("paql: remote: " ^ msg);
         exit (Service.Protocol.exit_code code)
@@ -71,9 +79,9 @@ let run_remote endpoint query out =
             Format.printf "package written to %s@." path
           | None -> print_string csv)))
 
-let run_inner connect data query_text query_file method_ tau attrs epsilon
-    max_seconds max_nodes faults out verbose explain mps_out partition_file
-    save_partition parallel store_dir no_store =
+let run_inner connect retries data query_text query_file method_ tau attrs
+    epsilon max_seconds max_nodes faults out verbose explain mps_out
+    partition_file save_partition parallel store_dir no_store =
   let query =
     match query_text, query_file with
     | Some q, None -> q
@@ -84,7 +92,7 @@ let run_inner connect data query_text query_file method_ tau attrs epsilon
       die exit_usage_error "a query is required (--query or --query-file)"
   in
   match connect with
-  | Some endpoint -> run_remote endpoint query out
+  | Some endpoint -> run_remote endpoint retries query out
   | None ->
   let data =
     match data with
@@ -246,13 +254,13 @@ let run_inner connect data query_text query_file method_ tau attrs epsilon
 (* Cmdliner traps exceptions escaping the term (reporting them as an
    internal error, exit 124), so failure-mode exit codes must be
    assigned here, inside the term body. *)
-let run connect data query_text query_file method_ tau attrs epsilon
+let run connect retries data query_text query_file method_ tau attrs epsilon
     max_seconds max_nodes faults out verbose explain mps_out partition_file
     save_partition parallel store_dir no_store =
   match
-    run_inner connect data query_text query_file method_ tau attrs epsilon
-      max_seconds max_nodes faults out verbose explain mps_out partition_file
-      save_partition parallel store_dir no_store
+    run_inner connect retries data query_text query_file method_ tau attrs
+      epsilon max_seconds max_nodes faults out verbose explain mps_out
+      partition_file save_partition parallel store_dir no_store
   with
   | () -> ()
   | exception Relalg.Csv.Error (line, msg) ->
@@ -277,6 +285,16 @@ let connect =
            back as CSV (so $(b,--out) is byte-identical to a local run). \
            Local-evaluation flags are ignored; a rejected (shed) request \
            exits 7.")
+
+let retries =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "With $(b,--connect): retry connection establishment and \
+           idempotent requests up to N times with capped exponential \
+           backoff and jitter, riding out a server restart window. \
+           APPENDs are never resent.")
 
 let data =
   Arg.(
@@ -415,7 +433,8 @@ let cmd =
   let doc = "evaluate PaQL package queries over CSV data" in
   let term =
     Term.(
-      const run $ connect $ data $ query_text $ query_file $ method_ $ tau
+      const run $ connect $ retries $ data $ query_text $ query_file
+      $ method_ $ tau
       $ attrs $ epsilon $ max_seconds $ max_nodes $ faults $ out $ verbose
       $ explain $ mps_out $ partition_file $ save_partition $ parallel
       $ store_dir $ no_store)

@@ -379,7 +379,7 @@ let () =
       Printf.eprintf "paql_repl: --connect: %s\n" msg;
       exit 2
     | Ok (host, port) -> (
-      match Service.Client.connect ~host ~port with
+      match Service.Client.connect ~host ~port () with
       | exception Unix.Unix_error (e, _, _) ->
         Printf.eprintf "paql_repl: connect %s: %s\n" endpoint
           (Unix.error_message e);

@@ -50,7 +50,7 @@ let show_queries dataset n seed =
         d.paql)
     defs
 
-let gen_workload dataset count repeat n seed out =
+let gen_workload dataset count repeat appends n seed out =
   let rel, ds =
     match dataset with
     | "galaxy" -> (Datagen.Galaxy.generate ~seed n, `Galaxy)
@@ -63,17 +63,31 @@ let gen_workload dataset count repeat n seed out =
     prerr_endline "pkgq_gen: --repeat must be in [0,1]";
     exit 6
   end;
-  let defs =
-    Datagen.Workload.mixed ~seed ~repeat_rate:repeat ~dataset:ds ~n:count rel
+  if appends < 0 then begin
+    prerr_endline "pkgq_gen: --appends must be >= 0";
+    exit 6
+  end;
+  let text, entries =
+    if appends = 0 then
+      let defs =
+        Datagen.Workload.mixed ~seed ~repeat_rate:repeat ~dataset:ds ~n:count
+          rel
+      in
+      (Datagen.Workload.render_workload defs, List.length defs)
+    else
+      let ops =
+        Datagen.Workload.mixed_ops ~seed ~repeat_rate:repeat ~appends
+          ~dataset:ds ~n:count rel
+      in
+      (Datagen.Workload.render_ops ops, List.length ops)
   in
-  let text = Datagen.Workload.render_workload defs in
   match out with
   | Some path ->
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc text);
-    Printf.printf "wrote %d queries to %s\n" (List.length defs) path
+    Printf.printf "wrote %d entries to %s\n" entries path
   | None -> print_string text
 
 let n_arg =
@@ -145,13 +159,23 @@ let workload_cmd =
              verbatim (in [0,1]); repeats are what exercise a server's plan \
              and result caches.")
   in
+  let appends =
+    Arg.(
+      value & opt int 0
+      & info [ "appends" ] ~docv:"K"
+          ~doc:
+            "Interleave K append ops (NAME<TAB>@APPEND rows=R seed=S lines) \
+             evenly through the query stream — the mutation mix the \
+             durability benches replay. 0 (the default) emits a pure query \
+             stream in the classic format.")
+  in
   Cmd.v
     (Cmd.info "workload"
        ~doc:
          "emit a reproducible mixed query stream (NAME<TAB>QUERY lines) for \
           the service layer, instantiated on a generated sample")
-    Term.(const gen_workload $ dataset $ count $ repeat $ n_arg $ seed_arg
-          $ out_arg)
+    Term.(const gen_workload $ dataset $ count $ repeat $ appends $ n_arg
+          $ seed_arg $ out_arg)
 
 let () =
   let doc = "generate the package-query benchmark datasets" in

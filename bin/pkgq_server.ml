@@ -17,7 +17,7 @@ let die code msg =
 
 let run_inner data host port workers queue result_cache method_ tau attrs
     epsilon max_seconds max_nodes request_seconds log_every faults store_dir
-    no_store verbose =
+    no_store wal_dir wal_checkpoint verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Info)
@@ -70,12 +70,21 @@ let run_inner data host port workers queue result_cache method_ tau attrs
       limits = { Ilp.Branch_bound.default_limits with max_nodes; max_seconds };
       request_seconds;
       log_every;
+      wal_dir;
+      wal_checkpoint =
+        (match wal_checkpoint with
+        | Some n -> max 0 n
+        | None -> defaults.wal_checkpoint);
     }
   in
   let t = Service.Server.start ?catalog cfg rel in
+  (match Service.Server.last_recovery t with
+  | None -> ()
+  | Some stats ->
+    Printf.printf "pkgq_server: recovered %s\n%!"
+      (Format.asprintf "%a" Store.Recovery.pp_stats stats));
   Printf.printf "pkgq_server: serving %d rows from %s on %s:%d\n%!"
-    (Relalg.Relation.cardinality rel)
-    data host (Service.Server.port t);
+    (Service.Server.table_rows t) data host (Service.Server.port t);
   let stop_requested = Atomic.make false in
   let request_stop _ = Atomic.set stop_requested true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -91,16 +100,17 @@ let run_inner data host port workers queue result_cache method_ tau attrs
 
 let run data host port workers queue result_cache method_ tau attrs epsilon
     max_seconds max_nodes request_seconds log_every faults store_dir no_store
-    verbose =
+    wal_dir wal_checkpoint verbose =
   match
     run_inner data host port workers queue result_cache method_ tau attrs
       epsilon max_seconds max_nodes request_seconds log_every faults store_dir
-      no_store verbose
+      no_store wal_dir wal_checkpoint verbose
   with
   | () -> ()
   | exception Relalg.Csv.Error (line, msg) ->
     die exit_data_error (Printf.sprintf "csv error at line %d: %s" line msg)
   | exception Store.Segment.Error msg -> die exit_data_error ("store: " ^ msg)
+  | exception Store.Wire.Error msg -> die exit_data_error ("wal: " ^ msg)
   | exception Sys_error msg -> die exit_data_error msg
   | exception Unix.Unix_error (e, fn, _) ->
     die exit_data_error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
@@ -232,6 +242,28 @@ let no_store =
     value & flag
     & info [ "no-store" ] ~doc:"Ignore the store ($(b,PKGQ_STORE_DIR)).")
 
+let wal_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Durability directory (write-ahead log + checkpoint). On boot the \
+           served state is recovered from it — checkpoint plus replayed log, \
+           torn tails truncated — and $(b,--data) only seeds a directory \
+           that has never checkpointed. Every APPEND/DELETE is logged \
+           durably before it is acknowledged ($(b,PKGQ_WAL_SYNC) controls \
+           the fsync).")
+
+let wal_checkpoint =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "wal-checkpoint" ] ~docv:"N"
+        ~doc:
+          "Fold the log into a fresh checkpoint every N records; 0 never \
+           checkpoints (default: $(b,PKGQ_WAL_CHECKPOINT) or 64).")
+
 let verbose =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Chatty logging.")
 
@@ -241,7 +273,8 @@ let cmd =
     Term.(
       const run $ data $ host $ port $ workers $ queue $ result_cache
       $ method_ $ tau $ attrs $ epsilon $ max_seconds $ max_nodes
-      $ request_seconds $ log_every $ faults $ store_dir $ no_store $ verbose)
+      $ request_seconds $ log_every $ faults $ store_dir $ no_store $ wal_dir
+      $ wal_checkpoint $ verbose)
   in
   Cmd.v (Cmd.info "pkgq_server" ~doc) term
 

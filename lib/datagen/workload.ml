@@ -275,6 +275,115 @@ let mixed ?(seed = 1) ?(repeat_rate = 0.5) ~dataset ~n rel =
   in
   build 1 [] []
 
+(* ------------------------------------------------------------------ *)
+(* Mutation mixes (durability layer)                                  *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Op_query of def
+  | Op_append of { aname : string; rows : int; aseed : int }
+
+let append_batch ~dataset ~rows ~seed =
+  match dataset with
+  | `Galaxy -> Galaxy.generate ~seed rows
+  | `Tpch -> Tpch.generate ~seed rows
+
+let mixed_ops ?(seed = 1) ?(repeat_rate = 0.5) ?(appends = 0) ~dataset ~n rel
+    =
+  let queries = mixed ~seed ~repeat_rate ~dataset ~n rel in
+  if appends <= 0 then List.map (fun d -> Op_query d) queries
+  else begin
+    (* deterministic interleave: appends are spread evenly through the
+       query stream, each with a batch size and seed derived from the
+       workload seed so the whole mutation history replays bit-for-bit *)
+    let every = max 1 (n / appends) in
+    let out = ref [] in
+    let made = ref 0 in
+    List.iteri
+      (fun i d ->
+        out := Op_query d :: !out;
+        if (i + 1) mod every = 0 && !made < appends then begin
+          incr made;
+          out :=
+            Op_append
+              {
+                aname = Printf.sprintf "A%d" !made;
+                rows = 1 + ((seed + !made) mod 5);
+                aseed = (seed * 1009) + !made;
+              }
+            :: !out
+        end)
+      queries;
+    (* any leftovers (n not divisible) trail the stream *)
+    while !made < appends do
+      incr made;
+      out :=
+        Op_append
+          {
+            aname = Printf.sprintf "A%d" !made;
+            rows = 1 + ((seed + !made) mod 5);
+            aseed = (seed * 1009) + !made;
+          }
+        :: !out
+    done;
+    List.rev !out
+  end
+
+let render_ops ops =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "# pkgq workload: NAME<TAB>QUERY per line; append entries are \
+     NAME<TAB>@APPEND rows=R seed=S\n";
+  List.iter
+    (function
+      | Op_query d ->
+        Buffer.add_string b d.name;
+        Buffer.add_char b '\t';
+        Buffer.add_string b d.paql;
+        Buffer.add_char b '\n'
+      | Op_append { aname; rows; aseed } ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\t@APPEND rows=%d seed=%d\n" aname rows aseed))
+    ops;
+  Buffer.contents b
+
+let parse_ops text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           let name, body =
+             match String.index_opt line '\t' with
+             | Some i ->
+               ( String.sub line 0 i,
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)) )
+             | None -> ("?", line)
+           in
+           if String.length body >= 7 && String.sub body 0 7 = "@APPEND" then
+             let rest = String.sub body 7 (String.length body - 7) in
+             let kvs =
+               String.split_on_char ' ' rest
+               |> List.filter (fun s -> s <> "")
+               |> List.filter_map (fun s ->
+                      match String.index_opt s '=' with
+                      | Some j ->
+                        Some
+                          ( String.sub s 0 j,
+                            String.sub s (j + 1) (String.length s - j - 1) )
+                      | None -> None)
+             in
+             let geti k default =
+               match List.assoc_opt k kvs with
+               | Some v -> ( match int_of_string_opt v with
+                 | Some n -> n
+                 | None -> default)
+               | None -> default
+             in
+             Some (`Append (name, geti "rows" 1, geti "seed" 1))
+           else Some (`Query (name, body)))
+
 let render_workload defs =
   let b = Buffer.create 1024 in
   Buffer.add_string b

@@ -52,6 +52,45 @@ val mixed :
   Relalg.Relation.t ->
   def list
 
+(** {1 Mutation mixes}
+
+    The durability benches and chaos runs draw appends from the same
+    reproducible generator as queries: an op stream interleaves the
+    {!mixed} query stream with [appends] evenly spread append entries,
+    each naming only a batch size and a derived seed — the actual rows
+    come from {!append_batch}, so a reference run and a crash/restart
+    run replay bit-for-bit identical mutation histories. *)
+
+type op =
+  | Op_query of def
+  | Op_append of { aname : string; rows : int; aseed : int }
+      (** regenerate via {!append_batch} with these parameters *)
+
+(** [append_batch ~dataset ~rows ~seed] — the rows an [Op_append] with
+    these parameters denotes (dataset generator, fixed seed). *)
+val append_batch :
+  dataset:[ `Galaxy | `Tpch ] -> rows:int -> seed:int -> Relalg.Relation.t
+
+(** [mixed_ops ?seed ?repeat_rate ?appends ~dataset ~n rel] — the
+    {!mixed} stream with [appends] (default 0) append ops interleaved.
+    Same [seed], same stream — including the appended rows. *)
+val mixed_ops :
+  ?seed:int ->
+  ?repeat_rate:float ->
+  ?appends:int ->
+  dataset:[ `Galaxy | `Tpch ] ->
+  n:int ->
+  Relalg.Relation.t ->
+  op list
+
+(** Render/parse the op-stream file format: [NAME<TAB>QUERY] per query
+    line, [NAME<TAB>@APPEND rows=R seed=S] per append line. *)
+val render_ops : op list -> string
+
+val parse_ops :
+  string ->
+  [ `Query of string * string | `Append of string * int * int ] list
+
 (** One [NAME<TAB>QUERY] line per entry, with a leading [#] comment
     header — the workload file format of [pkgq_gen workload]. *)
 val render_workload : def list -> string

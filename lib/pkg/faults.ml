@@ -18,12 +18,15 @@ type store_fault = Store_read | Store_checksum
 
 type net_fault = Net_accept | Net_read
 
+type wal_fault = Wal_torn of int | Wal_fsync_fail | Wal_crash of int
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
   | Store_break of store_fault
   | Queue_full
   | Net_break of net_fault
+  | Wal_break of wal_fault
 
 type spec = directive list
 
@@ -31,6 +34,10 @@ exception Injected of string
 
 let installed : spec Atomic.t = Atomic.make []
 let calls = Atomic.make 0
+
+(* 1-based count of WAL record writes since [install], used to target
+   the K-th record with wal=torn:K / wal=crash:K. *)
+let wal_writes = Atomic.make 0
 
 (* net=... directives are one-shot: armed once per occurrence at
    install time, consumed by [take_net_fault]. *)
@@ -40,6 +47,7 @@ let net_mu = Mutex.create ()
 let install s =
   Atomic.set installed s;
   Atomic.set calls 0;
+  Atomic.set wal_writes 0;
   Mutex.protect net_mu (fun () ->
       net_pending :=
         List.filter_map
@@ -125,6 +133,17 @@ let parse s =
         | "read" -> Ok (Net_break Net_read)
         | _ ->
           Error (Printf.sprintf "fault net %S: expected accept|read" f))
+      | [ ("wal", "fsync") ] when act = "fail" -> Ok (Wal_break Wal_fsync_fail)
+      | [ ("wal", f) ] when f = "torn" || f = "crash" ->
+        let* k = int_of ("wal " ^ f) act in
+        if k < 1 then
+          Error (Printf.sprintf "fault wal=%s:%d: K must be >= 1" f k)
+        else if f = "torn" then Ok (Wal_break (Wal_torn k))
+        else Ok (Wal_break (Wal_crash k))
+      | [ ("wal", f) ] ->
+        Error
+          (Printf.sprintf
+             "fault wal %S: expected torn:K|fsync:fail|crash:K" f)
       | _ ->
         let* action =
           match action_of_string act with
@@ -164,6 +183,9 @@ let parse s =
                 Error "fault selector queue=full only combines with :fail"
               | "net" ->
                 Error "fault selector net=F only combines with :fail"
+              | "wal" ->
+                Error
+                  "fault selector wal=F expects torn:K|fsync:fail|crash:K"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -197,7 +219,9 @@ let () = install_from_env ()
 let action_for ~call ~stage ~group =
   List.find_map
     (function
-      | Worker_kill _ | Store_break _ | Queue_full | Net_break _ -> None
+      | Worker_kill _ | Store_break _ | Queue_full | Net_break _
+      | Wal_break _ ->
+        None
       | Ilp_fault (c, a) ->
         let ok_call =
           match c.on_call with None -> true | Some k -> k = call
@@ -213,16 +237,26 @@ let action_for ~call ~stage ~group =
 
 let worker_should_crash w =
   List.exists
-    (function
-      | Worker_kill k -> k = w
-      | Ilp_fault _ | Store_break _ | Queue_full | Net_break _ -> false)
+    (function Worker_kill k -> k = w | _ -> false)
     (Atomic.get installed)
 
 let store_fault () =
   List.find_map
+    (function Store_break f -> Some f | _ -> None)
+    (Atomic.get installed)
+
+let wal_write_fault () =
+  let n = Atomic.fetch_and_add wal_writes 1 + 1 in
+  List.find_map
     (function
-      | Store_break f -> Some f
-      | Worker_kill _ | Ilp_fault _ | Queue_full | Net_break _ -> None)
+      | Wal_break (Wal_torn k) when k = n -> Some `Torn
+      | Wal_break (Wal_crash k) when k = n -> Some `Crash
+      | _ -> None)
+    (Atomic.get installed)
+
+let wal_fsync_fails () =
+  List.exists
+    (function Wal_break Wal_fsync_fail -> true | _ -> false)
     (Atomic.get installed)
 
 let queue_full () =

@@ -32,6 +32,12 @@
     store=F      F in read|checksum (only with action fail)
     queue=full   the service scheduler's admission check (action fail)
     net=F        F in accept|read (only with action fail)
+    wal=torn:K   tear the K-th WAL record write (half the bytes, no
+                 sync) and kill the process — a torn tail
+    wal=crash:K  kill the process right after the K-th WAL record is
+                 durable but before it is acknowledged
+    wal=fsync:fail  every WAL sync reports failure (write not applied,
+                 not acknowledged)
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
@@ -55,6 +61,8 @@ type store_fault = Store_read | Store_checksum
 
 type net_fault = Net_accept | Net_read
 
+type wal_fault = Wal_torn of int | Wal_fsync_fail | Wal_crash of int
+
 type cond = {
   on_call : int option;
   on_stage : Eval.stage option;
@@ -67,6 +75,7 @@ type directive =
   | Store_break of store_fault
   | Queue_full
   | Net_break of net_fault
+  | Wal_break of wal_fault
 
 type spec = directive list
 
@@ -120,3 +129,16 @@ val queue_full : unit -> bool
     [f], if armed. One-shot: [install] arms one occurrence per
     directive in the spec; each successful take disarms it. *)
 val take_net_fault : net_fault -> bool
+
+(** [wal_write_fault ()] bumps the WAL-record counter (1-based, reset
+    by {!install}) and reports the injected outcome for this record, if
+    any: [`Torn] — the writer must persist only a prefix of the record
+    and kill the process; [`Crash] — the writer must make the record
+    durable, then kill the process before acknowledging.
+    [Store.Wal.append] consults this on every record. *)
+val wal_write_fault : unit -> [ `Torn | `Crash ] option
+
+(** Whether a [wal=fsync:fail] directive is installed: every WAL sync
+    reports failure, so the server must neither apply nor acknowledge
+    the write. *)
+val wal_fsync_fails : unit -> bool

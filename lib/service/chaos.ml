@@ -1,0 +1,343 @@
+(* Kill/restart harness for the durability tests and benches.
+
+   One experiment = one scratch directory holding the seed segment, the
+   WAL directory, and the child server's captured stdout. We spawn a
+   real [pkgq_server] child (crashes must kill a *process*, not a
+   thread — fsync-durability is only observable across a process
+   boundary), drive appends over TCP counting acknowledgements, let the
+   injected fault SIGKILL it (or deliver the SIGKILL ourselves),
+   restart it on the same WAL directory, and compare the recovered
+   fingerprint against the locally-computed prefix fingerprints. *)
+
+type crash_point =
+  | Torn of int
+  | Crash of int
+  | Kill_after of int
+
+let pp_point ppf = function
+  | Torn k -> Format.fprintf ppf "torn:%d" k
+  | Crash k -> Format.fprintf ppf "crash:%d" k
+  | Kill_after n -> Format.fprintf ppf "kill_after:%d" n
+
+let point_name p = Format.asprintf "%a" pp_point p
+
+type result = {
+  point : crash_point;
+  acked : int;
+  died : bool;
+  recovered_fp : string;
+  recovered_rows : int;
+  recovery_seconds : float;
+  refs : (string * int) array;
+}
+
+(* ---- reference prefixes ------------------------------------------- *)
+
+(* refs.(i) = (fingerprint, rows) after the first [i] batches, computed
+   with the exact apply semantics recovery uses — byte-equivalence is
+   the whole point. *)
+let reference_prefixes base batches =
+  let n = List.length batches in
+  let refs = Array.make (n + 1) ("", 0) in
+  let rel = ref base in
+  refs.(0) <- (Store.Segment.fingerprint base, Relalg.Relation.cardinality base);
+  List.iteri
+    (fun i batch ->
+      rel := Store.Recovery.apply !rel (Store.Wal.Append batch);
+      refs.(i + 1) <-
+        (Store.Segment.fingerprint !rel, Relalg.Relation.cardinality !rel))
+    batches;
+  refs
+
+(* ---- child server ------------------------------------------------- *)
+
+type server = { pid : int; port : int; out_file : string }
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let read_file path =
+  if not (Sys.file_exists path) then ""
+  else In_channel.with_open_bin path In_channel.input_all
+
+(* The boot banner ends "... on HOST:PORT"; with --port 0 it is the only
+   way to learn the bound port. *)
+let parse_port out =
+  let rx_prefix = "pkgq_server: serving " in
+  String.split_on_char '\n' out
+  |> List.find_map (fun line ->
+         if String.length line > String.length rx_prefix
+            && String.sub line 0 (String.length rx_prefix) = rx_prefix
+         then
+           match String.rindex_opt line ':' with
+           | None -> None
+           | Some i ->
+             int_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+         else None)
+
+exception Harness_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Harness_error s)) fmt
+
+let child_alive pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+
+(* Collect the child, whatever state it is in. *)
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+let kill_and_reap pid signal =
+  (try Unix.kill pid signal with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+  reap pid
+
+let start_server ~exe ~data ~wal ?faults ?checkpoint ?sync ~out_file () =
+  let args =
+    [ exe; "--data"; data; "--wal"; wal; "--port"; "0"; "--log-every"; "0";
+      "--workers"; "2"; "--queue"; "16"; "--no-store" ]
+    @ (match faults with Some s -> [ "--faults"; s ] | None -> [])
+    @
+    match checkpoint with
+    | Some n -> [ "--wal-checkpoint"; string_of_int n ]
+    | None -> []
+  in
+  let env =
+    let keep =
+      Array.to_list (Unix.environment ())
+      |> List.filter (fun kv ->
+             not (String.length kv >= 14 && String.sub kv 0 14 = "PKGQ_WAL_SYNC="))
+    in
+    let extra =
+      match sync with Some s -> [ "PKGQ_WAL_SYNC=" ^ s ] | None -> []
+    in
+    Array.of_list (keep @ extra)
+  in
+  let out_fd =
+    Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.close out_fd)
+      (fun () ->
+        Unix.create_process_env exe (Array.of_list args) env Unix.stdin out_fd
+          Unix.stderr)
+  in
+  (* Poll the captured stdout for the banner; the child prints it only
+     after recovery finished and the accept loop is live. *)
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec wait_port () =
+    match parse_port (read_file out_file) with
+    | Some port -> { pid; port; out_file }
+    | None ->
+      if not (child_alive pid) then
+        fail "server %s died before binding; stdout: %s" exe
+          (read_file out_file)
+      else if Unix.gettimeofday () > deadline then begin
+        kill_and_reap pid Sys.sigkill;
+        fail "server %s did not bind within 30s" exe
+      end
+      else begin
+        Thread.delay 0.01;
+        wait_port ()
+      end
+  in
+  wait_port ()
+
+(* ---- driving the workload ----------------------------------------- *)
+
+(* Append batches serially, counting acks, until the child dies under
+   us (injected faults SIGKILL it mid-WAL-write) or the list is done.
+   [kill_after n] delivers our own SIGKILL once [n] acks are in. *)
+let drive_appends server ~kill_after batches =
+  let client =
+    Client.connect ~host:"127.0.0.1" ~port:server.port ()
+  in
+  let acked = ref 0 in
+  let died = ref false in
+  (try
+     List.iter
+       (fun batch ->
+         (match kill_after with
+         | Some n when !acked >= n ->
+           kill_and_reap server.pid Sys.sigkill;
+           raise Exit
+         | _ -> ());
+         match
+           Client.append client ~csv:(Relalg.Csv.to_string batch)
+         with
+         | Protocol.Resp_ok _ -> incr acked
+         | Protocol.Resp_err (_, msg) -> fail "append refused: %s" msg)
+       batches;
+     match kill_after with
+     | Some n when !acked >= n ->
+       kill_and_reap server.pid Sys.sigkill;
+       died := true
+     | _ -> ()
+   with
+  | Exit -> died := true
+  | End_of_file | Sys_error _
+  | Unix.Unix_error (_, _, _)
+  | Protocol.Protocol_error _ ->
+    died := true);
+  (try Client.close client with _ -> ());
+  (!acked, !died)
+
+let fprint client =
+  match Client.fingerprint client with
+  | Protocol.Resp_ok body -> (
+    match String.split_on_char ' ' (String.trim body) with
+    | [ fp; rows ] -> (fp, int_of_string rows)
+    | _ -> fail "malformed FPRINT body %S" body)
+  | Protocol.Resp_err (_, msg) -> fail "FPRINT refused: %s" msg
+
+(* ---- the experiment ----------------------------------------------- *)
+
+let faults_of_point = function
+  | Torn k -> Some (Printf.sprintf "wal=torn:%d" k)
+  | Crash k -> Some (Printf.sprintf "wal=crash:%d" k)
+  | Kill_after _ -> None
+
+let kill_after_of_point = function Kill_after n -> Some n | _ -> None
+
+let fresh_dir dir =
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  mkdir_p dir
+
+let run_crash ~exe ~dir ~base ~batches ~point ?checkpoint ?sync () =
+  fresh_dir dir;
+  let data = Filename.concat dir "base.seg" in
+  Store.Segment.write data base;
+  let wal = Filename.concat dir "wal" in
+  let refs = reference_prefixes base batches in
+  (* phase 1: run into the crash *)
+  let s1 =
+    start_server ~exe ~data ~wal
+      ?faults:(faults_of_point point)
+      ?checkpoint ?sync
+      ~out_file:(Filename.concat dir "server1.out")
+      ()
+  in
+  let acked, died =
+    match
+      drive_appends s1 ~kill_after:(kill_after_of_point point) batches
+    with
+    | r -> r
+    | exception e ->
+      kill_and_reap s1.pid Sys.sigkill;
+      raise e
+  in
+  if died then reap s1.pid else kill_and_reap s1.pid Sys.sigkill;
+  (* phase 2: restart on the same WAL dir, time recovery to first
+     answered request *)
+  let t0 = Unix.gettimeofday () in
+  let s2 =
+    start_server ~exe ~data ~wal ?checkpoint ?sync
+      ~out_file:(Filename.concat dir "server2.out")
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> kill_and_reap s2.pid Sys.sigterm)
+    (fun () ->
+      let client =
+        Client.connect ~retries:4 ~host:"127.0.0.1" ~port:s2.port ()
+      in
+      Fun.protect
+        ~finally:(fun () -> try Client.close client with _ -> ())
+        (fun () ->
+          let recovered_fp, recovered_rows = fprint client in
+          let recovery_seconds = Unix.gettimeofday () -. t0 in
+          { point; acked; died; recovered_fp; recovered_rows;
+            recovery_seconds; refs }))
+
+(* ---- the verdict --------------------------------------------------- *)
+
+(* Zero acknowledged-write loss: the recovered state covers at least
+   the acked prefix. Zero phantoms: at most one unacknowledged write
+   (the in-doubt one durable at the instant of death) beyond it, and
+   only for crash points that die *after* the WAL frame is complete.
+   Everything else — a state matching no prefix at all — is
+   corruption. *)
+let check r =
+  let matching =
+    let found = ref None in
+    Array.iteri
+      (fun i (fp, _) -> if fp = r.recovered_fp then found := Some i)
+      r.refs;
+    !found
+  in
+  match matching with
+  | None ->
+    Error
+      (Printf.sprintf
+         "%s: recovered state (%d rows) matches no acknowledged prefix"
+         (point_name r.point) r.recovered_rows)
+  | Some i ->
+    let in_doubt_ok =
+      match r.point with Crash _ -> 1 | Torn _ | Kill_after _ -> 0
+    in
+    if i < r.acked then
+      Error
+        (Printf.sprintf "%s: lost %d acknowledged write(s) (recovered %d/%d)"
+           (point_name r.point) (r.acked - i) i r.acked)
+    else if i > r.acked + in_doubt_ok then
+      Error
+        (Printf.sprintf "%s: phantom write(s): recovered %d, acked %d"
+           (point_name r.point) i r.acked)
+    else Ok i
+
+(* A never-crashed run: start once, append everything, read the live
+   fingerprint, shut down cleanly. Its result must equal refs.(n) —
+   proving the harness's locally-computed references describe the same
+   bytes a real server reaches. *)
+let run_reference ~exe ~dir ~base ~batches ?checkpoint ?sync () =
+  fresh_dir dir;
+  let data = Filename.concat dir "base.seg" in
+  Store.Segment.write data base;
+  let wal = Filename.concat dir "wal" in
+  let refs = reference_prefixes base batches in
+  let s =
+    start_server ~exe ~data ~wal ?checkpoint ?sync
+      ~out_file:(Filename.concat dir "server.out")
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> kill_and_reap s.pid Sys.sigterm)
+    (fun () ->
+      let client =
+        Client.connect ~host:"127.0.0.1" ~port:s.port ()
+      in
+      Fun.protect
+        ~finally:(fun () -> try Client.close client with _ -> ())
+        (fun () ->
+          let acked, died = (List.length batches, false) in
+          List.iter
+            (fun batch ->
+              match
+                Client.append client
+                  ~csv:(Relalg.Csv.to_string batch)
+              with
+              | Protocol.Resp_ok _ -> ()
+              | Protocol.Resp_err (_, msg) ->
+                fail "append refused: %s" msg)
+            batches;
+          let recovered_fp, recovered_rows = fprint client in
+          { point = Kill_after acked; acked; died; recovered_fp;
+            recovered_rows; recovery_seconds = 0.; refs }))

@@ -1,0 +1,79 @@
+(** Kill/restart harness for the durability tests and benches.
+
+    Each experiment spawns a real [pkgq_server] child process on a
+    fresh scratch directory (fsync durability is only observable across
+    a process boundary), drives APPEND batches over TCP counting
+    acknowledgements, crashes the child at an injected point, restarts
+    it on the same WAL directory, and compares the recovered table
+    fingerprint against locally-computed prefix fingerprints built with
+    the exact apply semantics recovery uses. *)
+
+(** Where the child dies:
+    - [Torn k]: the [k]-th WAL record is half-written (then SIGKILL) —
+      the classic torn tail; recovery must truncate it.
+    - [Crash k]: the [k]-th record is fully durable but the child dies
+      before acknowledging — the in-doubt write; recovery may replay
+      it.
+    - [Kill_after n]: external SIGKILL once [n] appends are
+      acknowledged — no fault injection inside the server at all. *)
+type crash_point =
+  | Torn of int
+  | Crash of int
+  | Kill_after of int
+
+val pp_point : Format.formatter -> crash_point -> unit
+
+val point_name : crash_point -> string
+
+type result = {
+  point : crash_point;
+  acked : int;              (** appends acknowledged before death *)
+  died : bool;              (** the child actually died mid-run *)
+  recovered_fp : string;    (** table fingerprint after restart *)
+  recovered_rows : int;
+  recovery_seconds : float; (** restart spawn → first answered request *)
+  refs : (string * int) array;
+      (** [(fingerprint, rows)] after each prefix of the batches;
+          [refs.(i)] is the state when exactly [i] appends applied *)
+}
+
+(** The harness itself failed (child would not boot, refused an append,
+    malformed reply) — distinct from a durability violation, which
+    {!check} reports as [Error]. *)
+exception Harness_error of string
+
+(** [run_crash ~exe ~dir ~base ~batches ~point ()] — one full
+    kill/restart cycle in scratch directory [dir] (recreated). [exe] is
+    the [pkgq_server] binary; [sync] sets the child's [PKGQ_WAL_SYNC];
+    [checkpoint] its [--wal-checkpoint]. *)
+val run_crash :
+  exe:string ->
+  dir:string ->
+  base:Relalg.Relation.t ->
+  batches:Relalg.Relation.t list ->
+  point:crash_point ->
+  ?checkpoint:int ->
+  ?sync:string ->
+  unit ->
+  result
+
+(** Never-crashed control run: one server, all batches, live
+    fingerprint, clean shutdown. Its [recovered_fp] must equal the last
+    [refs] entry — it validates that the harness's locally-computed
+    references describe the same bytes a real server reaches. *)
+val run_reference :
+  exe:string ->
+  dir:string ->
+  base:Relalg.Relation.t ->
+  batches:Relalg.Relation.t list ->
+  ?checkpoint:int ->
+  ?sync:string ->
+  unit ->
+  result
+
+(** The durability verdict: [Ok i] when the recovered state is exactly
+    the [i]-th reference prefix with [acked <= i], allowing [i = acked
+    + 1] only for [Crash] points (the in-doubt write). [Error] spells
+    out the violation: lost acknowledged writes, phantom writes, or a
+    state matching no prefix at all. *)
+val check : result -> (int, string) Stdlib.result

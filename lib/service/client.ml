@@ -1,7 +1,21 @@
+exception Gave_up of { attempts : int; last : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Gave_up { attempts; last } ->
+      Some
+        (Printf.sprintf "gave up after %d attempts (last: %s)" attempts
+           (Printexc.to_string last))
+    | _ -> None)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
 type t = {
-  fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
+  host : string;
+  port : int;
+  retries : int;
+  jitter : Random.State.t;
+  mutable conn : conn option;
   mutable closed : bool;
 }
 
@@ -25,9 +39,7 @@ let resolve host =
       failwith (Printf.sprintf "cannot resolve host %S" host)
     | h -> h.Unix.h_addr_list.(0))
 
-let connect ~host ~port =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
+let raw_connect ~host ~port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
    with e ->
@@ -37,22 +49,113 @@ let connect ~host ~port =
     fd;
     ic = Unix.in_channel_of_descr fd;
     oc = Unix.out_channel_of_descr fd;
-    closed = false;
   }
+
+(* Capped exponential backoff with +/-25% jitter: 50ms, 100ms, 200ms,
+   ... capped at 800ms — a retry budget of 5 rides out roughly a
+   two-second restart window without hammering the listen queue. *)
+let backoff_delay jitter attempt =
+  let base = Float.min 0.8 (0.05 *. (2. ** float_of_int attempt)) in
+  base *. (0.75 +. (0.5 *. Random.State.float jitter 1.))
+
+let connection_error = function
+  | Unix.Unix_error _ | Sys_error _ | End_of_file | Failure _ -> true
+  | Protocol.Protocol_error msg -> msg = "connection closed"
+  | _ -> false
+
+(* Establish with the client's retry budget; raises [Gave_up] once it
+   is spent (or the original error when retries are off). *)
+let establish t =
+  let rec go attempt =
+    match raw_connect ~host:t.host ~port:t.port with
+    | conn -> conn
+    | exception e when connection_error e ->
+      if t.retries = 0 then raise e
+      else if attempt >= t.retries then
+        raise (Gave_up { attempts = attempt + 1; last = e })
+      else begin
+        Thread.delay (backoff_delay t.jitter attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+let connect ?(retries = 0) ~host ~port () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let t =
+    {
+      host;
+      port;
+      retries;
+      jitter = Random.State.make_self_init ();
+      conn = None;
+      closed = false;
+    }
+  in
+  t.conn <- Some (establish t);
+  t
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    t.conn <- None;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let conn_of t =
+  match t.conn with
+  | Some c -> c
+  | None ->
+    let c = establish t in
+    t.conn <- Some c;
+    c
+
+(* Only requests whose replay cannot change state twice are resent on a
+   dropped connection: an APPEND/DELETE whose ack was lost may already
+   be applied (and with a WAL, durable), so resending could double it. *)
+let idempotent = function
+  | Protocol.Query _ | Protocol.Ping | Protocol.Stats | Protocol.Fingerprint ->
+    true
+  | Protocol.Append _ | Protocol.Delete _ | Protocol.Quit -> false
 
 let roundtrip t req =
   if t.closed then raise (Protocol.Protocol_error "client is closed");
-  Protocol.write_request t.oc req;
-  Protocol.read_response t.ic
+  let once () =
+    let c = conn_of t in
+    Protocol.write_request c.oc req;
+    Protocol.read_response c.ic
+  in
+  let rec go attempt =
+    match once () with
+    | resp -> resp
+    | exception (Gave_up _ as e) -> raise e
+    | exception e when connection_error e ->
+      drop_conn t;
+      if t.retries = 0 || not (idempotent req) then raise e
+      else if attempt >= t.retries then
+        raise (Gave_up { attempts = attempt + 1; last = e })
+      else begin
+        Thread.delay (backoff_delay t.jitter attempt);
+        go (attempt + 1)
+      end
+  in
+  go 0
 
 let query t q = roundtrip t (Protocol.Query q)
 let append t ~csv = roundtrip t (Protocol.Append csv)
+let delete t ids = roundtrip t (Protocol.Delete ids)
+let fingerprint t = roundtrip t Protocol.Fingerprint
 let stats t = roundtrip t Protocol.Stats
 let ping t = roundtrip t Protocol.Ping
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (try Protocol.write_request t.oc Protocol.Quit with _ -> ());
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
+    (match t.conn with
+    | None -> ()
+    | Some c -> (
+      (try Protocol.write_request c.oc Protocol.Quit with _ -> ());
+      t.conn <- None;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()))
   end

@@ -1,24 +1,50 @@
 (** Blocking client for the {!Protocol} wire format — the engine behind
-    [paql --connect], the REPL's remote mode, the service tests and the
-    serve benchmark. One {!t} is one connection; requests on it are
-    serial (run one client per concurrent stream). *)
+    [paql --connect], the REPL's remote mode, the service tests, the
+    chaos harness and the serve benchmark. One {!t} is one logical
+    connection; requests on it are serial (run one client per
+    concurrent stream).
+
+    With [~retries:n] (off by default) the client survives a server
+    restart window: connection establishment and {e idempotent}
+    requests (QUERY, PING, STATS, FPRINT) are retried up to [n] times
+    with capped exponential backoff and +/-25% jitter (50ms, 100ms,
+    200ms, ... capped at 800ms), transparently reconnecting. APPEND and
+    DELETE are {e never} resent — an ack lost in flight may cover rows
+    the server already made durable, and resending would double them;
+    the caller sees the connection error and decides. Once the budget
+    is spent, {!Gave_up} carries the attempt count and last error. *)
 
 type t
+
+(** The retry budget is exhausted. [attempts] counts tries made; [last]
+    is the final connection error. *)
+exception Gave_up of { attempts : int; last : exn }
 
 (** ["HOST:PORT"] → [(host, port)]. *)
 val parse_endpoint : string -> (string * int, string) result
 
-(** [connect ~host ~port] — raises [Unix.Unix_error] when the server
-    is unreachable. *)
-val connect : host:string -> port:int -> t
+(** [connect ?retries ~host ~port] — with [retries = 0] (the default)
+    raises [Unix.Unix_error] when the server is unreachable; with a
+    budget, retries with backoff and raises {!Gave_up} when it is
+    spent. *)
+val connect : ?retries:int -> host:string -> port:int -> unit -> t
 
-(** One request, one response.
-    @raise Protocol.Protocol_error on a malformed or truncated reply. *)
+(** One request, one response. Retries idempotent requests per the
+    client's budget.
+    @raise Protocol.Protocol_error on a malformed or truncated reply.
+    @raise Gave_up when the retry budget is exhausted. *)
 val roundtrip : t -> Protocol.request -> Protocol.response
 
 val query : t -> string -> Protocol.response
 
 val append : t -> csv:string -> Protocol.response
+
+(** [delete t ids] — the DELETE verb (0-based row ids). *)
+val delete : t -> int list -> Protocol.response
+
+(** [fingerprint t] — the FPRINT verb; the [OK] body is
+    ["<fingerprint> <rows>"]. *)
+val fingerprint : t -> Protocol.response
 
 val stats : t -> Protocol.response
 

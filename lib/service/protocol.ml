@@ -1,6 +1,8 @@
 type request =
   | Query of string
   | Append of string
+  | Delete of int list
+  | Fingerprint
   | Stats
   | Ping
   | Quit
@@ -80,6 +82,13 @@ let write_request oc = function
   | Append csv ->
     Printf.fprintf oc "APPEND %d\n" (String.length csv);
     write_body oc csv
+  | Delete ids ->
+    let body = String.concat " " (List.map string_of_int ids) in
+    Printf.fprintf oc "DELETE %d\n" (String.length body);
+    write_body oc body
+  | Fingerprint ->
+    output_string oc "FPRINT\n";
+    flush oc
   | Stats ->
     output_string oc "STATS\n";
     flush oc
@@ -99,6 +108,21 @@ let read_request ic =
       Some (Query (read_body ic (read_len "QUERY" len)))
     | [ "APPEND"; len ] ->
       Some (Append (read_body ic (read_len "APPEND" len)))
+    | [ "DELETE"; len ] ->
+      let body = read_body ic (read_len "DELETE" len) in
+      let ids =
+        String.split_on_char ' ' (String.trim body)
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match int_of_string_opt s with
+               | Some id -> id
+               | None ->
+                 raise
+                   (Protocol_error
+                      (Printf.sprintf "DELETE: bad row id %S" s)))
+      in
+      Some (Delete ids)
+    | [ "FPRINT" ] -> Some Fingerprint
     | [ "STATS" ] -> Some Stats
     | [ "PING" ] -> Some Ping
     | [ "QUIT" ] -> Some Quit

@@ -7,6 +7,8 @@
     {v
     QUERY <len>\n<len bytes>\n    evaluate a PaQL query
     APPEND <len>\n<len bytes>\n   append CSV rows (with header) to the table
+    DELETE <len>\n<len bytes>\n   delete rows; body is space-separated row ids
+    FPRINT\n                      table content fingerprint + row count
     STATS\n                       metrics snapshot
     PING\n                        liveness probe
     QUIT\n                       close the connection
@@ -31,6 +33,8 @@
 type request =
   | Query of string
   | Append of string
+  | Delete of int list
+  | Fingerprint
   | Stats
   | Ping
   | Quit

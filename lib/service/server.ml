@@ -18,6 +18,8 @@ type config = {
   limits : Ilp.Branch_bound.limits;
   request_seconds : float;
   log_every : float;
+  wal_dir : string option;
+  wal_checkpoint : int;
 }
 
 let int_env name default =
@@ -53,6 +55,9 @@ let default_config () =
     limits = Ilp.Branch_bound.default_limits;
     request_seconds = 60.;
     log_every = 0.;
+    wal_dir = None;
+    (* PKGQ_WAL_CHECKPOINT: records between checkpoints; off/0 = never *)
+    wal_checkpoint = cache_env "PKGQ_WAL_CHECKPOINT" 64;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -85,6 +90,8 @@ type t = {
   result_cache : (string, Protocol.response) Cache.t;
   mutable state : snapshot;
   state_mu : Mutex.t;
+  wal : Store.Wal.t option;
+  recovery : Store.Recovery.stats option;
   listen_fd : Unix.file_descr;
   bound_port : int;
   mutable accept_thread : Thread.t option;
@@ -104,6 +111,12 @@ let metrics t = t.metrics
 let config t = t.cfg
 let solve_count t = Metrics.get t.metrics "solves"
 let table_fingerprint t = Mutex.protect t.state_mu (fun () -> t.state.fp)
+
+let table_rows t =
+  Mutex.protect t.state_mu (fun () ->
+      Relalg.Relation.cardinality t.state.rel)
+
+let last_recovery t = t.recovery
 
 (* Numeric columns are materialized lazily into a per-attribute slot;
    forcing them before any worker runs keeps the hot path free of
@@ -332,66 +345,159 @@ let concat_rows a b =
   Relalg.Relation.of_rows sa
     (Relalg.Relation.to_list a @ Relalg.Relation.to_list b)
 
+(* The write path makes the op durable first: under [state_mu] the WAL
+   record is written and synced (when a log is attached), and only then
+   is the op applied to the snapshot — so an acknowledgement always
+   names bytes that survive a crash, and a failed sync (rolled back by
+   [Wal.append]) leaves the state untouched. *)
+
+let wal_log t op =
+  match t.wal with
+  | None -> ()
+  | Some wal -> (
+    match Store.Wal.append wal op with
+    | _seq -> Metrics.incr t.metrics "wal_records"
+    | exception (Store.Wal.Sync_failed _ as e) ->
+      Metrics.incr t.metrics "wal_sync_failures";
+      raise e)
+
+let maybe_checkpoint_locked t =
+  match (t.wal, t.cfg.wal_dir) with
+  | Some wal, Some dir
+    when t.cfg.wal_checkpoint > 0
+         && Store.Wal.records wal >= t.cfg.wal_checkpoint ->
+    Metrics.time t.metrics "checkpoint" (fun () ->
+        Store.Recovery.checkpoint ~dir wal t.state.rel);
+    Metrics.incr t.metrics "checkpoints";
+    Log.info (fun k ->
+        k "checkpointed %d rows at seq %d; wal truncated"
+          (Relalg.Relation.cardinality t.state.rel)
+          (Store.Wal.last_seq wal))
+  | _ -> ()
+
+(* Swap [rel'] (with its maintained partitionings) in as the new
+   snapshot, re-key the partitionings in the catalog under the new
+   fingerprint so later cold starts hit too, and invalidate the
+   superseded result-cache entries. Returns the invalidation count. *)
+let publish_locked t ~old_fp ~verb rel' parts =
+  let snap' =
+    { rel = rel';
+      fp = Store.Segment.fingerprint rel';
+      parts;
+      parts_mu = Mutex.create () }
+  in
+  prewarm rel';
+  Option.iter
+    (fun cat ->
+      Hashtbl.iter
+        (fun _ e ->
+          Store.Catalog.store cat
+            { Store.Catalog.fingerprint = snap'.fp; attrs = e.pe_attrs;
+              tau = e.pe_tau; radius = e.pe_radius }
+            e.pe_part)
+        parts)
+    t.catalog;
+  t.state <- snap';
+  Metrics.incr t.metrics verb;
+  let dropped =
+    Cache.remove_if t.result_cache (fun k ->
+        String.length k >= String.length old_fp
+        && String.sub k (String.length k - String.length old_fp)
+             (String.length old_fp)
+           = old_fp)
+  in
+  Metrics.incr ~by:dropped t.metrics "result_invalidated";
+  dropped
+
+let append_locked t extra =
+  let snap = t.state in
+  (* Maintain every cached partitioning incrementally; they all
+     derive the same appended relation. *)
+  let parts = Hashtbl.create 4 in
+  let appended = ref None in
+  Mutex.protect snap.parts_mu (fun () ->
+      Hashtbl.iter
+        (fun id e ->
+          let rel', part', stats =
+            Store.Maintain.append ~tau:e.pe_tau ~radius:e.pe_radius
+              e.pe_part snap.rel extra
+          in
+          Log.info (fun k ->
+              k "append maintained %s: %a" id Store.Maintain.pp_stats stats);
+          appended := Some rel';
+          Hashtbl.replace parts id { e with pe_part = part' })
+        snap.parts);
+  let rel' =
+    match !appended with
+    | Some rel' -> rel'
+    | None -> concat_rows snap.rel extra
+  in
+  let dropped = publish_locked t ~old_fp:snap.fp ~verb:"appends" rel' parts in
+  Log.info (fun k ->
+      k "appended %d rows: table now %d rows, fingerprint %s (%d cached \
+         results invalidated)"
+        (Relalg.Relation.cardinality extra)
+        (Relalg.Relation.cardinality rel')
+        t.state.fp dropped)
+
 let append t extra =
   Mutex.protect t.state_mu (fun () ->
-      let snap = t.state in
-      let old_fp = snap.fp in
-      (* Maintain every cached partitioning incrementally; they all
-         derive the same appended relation. *)
-      let parts = Hashtbl.create 4 in
-      let appended = ref None in
-      Mutex.protect snap.parts_mu (fun () ->
-          Hashtbl.iter
-            (fun id e ->
-              let rel', part', stats =
-                Store.Maintain.append ~tau:e.pe_tau ~radius:e.pe_radius
-                  e.pe_part snap.rel extra
-              in
-              Log.info (fun k ->
-                  k "append maintained %s: %a" id Store.Maintain.pp_stats stats);
-              appended := Some rel';
-              Hashtbl.replace parts id { e with pe_part = part' })
-            snap.parts);
-      let rel' =
-        match !appended with
-        | Some rel' -> rel'
-        | None -> concat_rows snap.rel extra
-      in
-      let snap' =
-        { rel = rel';
-          fp = Store.Segment.fingerprint rel';
-          parts;
-          parts_mu = Mutex.create () }
-      in
-      prewarm rel';
-      (* Re-key the maintained partitionings in the catalog under the
-         new fingerprint so later cold starts hit too. *)
-      Option.iter
-        (fun cat ->
-          Hashtbl.iter
-            (fun _ e ->
-              Store.Catalog.store cat
-                { Store.Catalog.fingerprint = snap'.fp; attrs = e.pe_attrs;
-                  tau = e.pe_tau; radius = e.pe_radius }
-                e.pe_part)
-            parts)
-        t.catalog;
-      t.state <- snap';
-      Metrics.incr t.metrics "appends";
-      let dropped =
-        Cache.remove_if t.result_cache (fun k ->
-            String.length k >= String.length old_fp
-            && String.sub k (String.length k - String.length old_fp)
-                 (String.length old_fp)
-               = old_fp)
-      in
-      Metrics.incr ~by:dropped t.metrics "result_invalidated";
-      Log.info (fun k ->
-          k "appended %d rows: table now %d rows, fingerprint %s (%d cached \
-             results invalidated)"
-            (Relalg.Relation.cardinality extra)
-            (Relalg.Relation.cardinality rel')
-            snap'.fp dropped))
+      (* validate before the WAL write: a record that cannot apply must
+         never reach the log, or replay would fail where the live
+         process refused *)
+      if
+        not
+          (Relalg.Schema.equal
+             (Relalg.Relation.schema t.state.rel)
+             (Relalg.Relation.schema extra))
+      then invalid_arg "append: schemas differ";
+      wal_log t (Store.Wal.Append extra);
+      append_locked t extra;
+      maybe_checkpoint_locked t)
+
+let delete_locked t ids =
+  let snap = t.state in
+  let dead = Array.of_list ids in
+  let parts = Hashtbl.create 4 in
+  let result = ref None in
+  Mutex.protect snap.parts_mu (fun () ->
+      Hashtbl.iter
+        (fun id e ->
+          let rel', part', stats =
+            Store.Maintain.delete e.pe_part snap.rel dead
+          in
+          Log.info (fun k ->
+              k "delete maintained %s: %a" id Store.Maintain.pp_stats stats);
+          result := Some rel';
+          Hashtbl.replace parts id { e with pe_part = part' })
+        snap.parts);
+  let rel' =
+    match !result with
+    | Some rel' -> rel'
+    | None ->
+      (* same compaction semantics as [Maintain.delete] and WAL replay *)
+      Store.Recovery.apply snap.rel (Store.Wal.Delete ids)
+  in
+  let dropped = publish_locked t ~old_fp:snap.fp ~verb:"deletes" rel' parts in
+  Log.info (fun k ->
+      k "deleted %d rows: table now %d rows, fingerprint %s (%d cached \
+         results invalidated)"
+        (List.length ids)
+        (Relalg.Relation.cardinality rel')
+        t.state.fp dropped)
+
+let delete t ids =
+  Mutex.protect t.state_mu (fun () ->
+      let n = Relalg.Relation.cardinality t.state.rel in
+      List.iter
+        (fun id ->
+          if id < 0 || id >= n then
+            invalid_arg
+              (Printf.sprintf "delete: row id %d out of range (%d rows)" id n))
+        ids;
+      wal_log t (Store.Wal.Delete ids);
+      delete_locked t ids;
+      maybe_checkpoint_locked t)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                   *)
@@ -451,7 +557,32 @@ let handle_append t csv =
                 Relalg.Relation.cardinality t.state.rel))
            (table_fingerprint t))
     | exception Invalid_argument msg ->
-      Protocol.Resp_err (Protocol.Data_error, msg))
+      Protocol.Resp_err (Protocol.Data_error, msg)
+    | exception Store.Wal.Sync_failed msg ->
+      Protocol.Resp_err
+        (Protocol.Internal, Printf.sprintf "append not durable: %s" msg))
+
+let handle_delete t ids =
+  match delete t ids with
+  | () ->
+    Protocol.Resp_ok
+      (Printf.sprintf "deleted %d rows; table now %d rows, fingerprint %s"
+         (List.length ids)
+         (Mutex.protect t.state_mu (fun () ->
+              Relalg.Relation.cardinality t.state.rel))
+         (table_fingerprint t))
+  | exception Invalid_argument msg ->
+    Protocol.Resp_err (Protocol.Data_error, msg)
+  | exception Store.Wal.Sync_failed msg ->
+    Protocol.Resp_err
+      (Protocol.Internal, Printf.sprintf "delete not durable: %s" msg)
+
+let handle_fingerprint t =
+  let fp, rows =
+    Mutex.protect t.state_mu (fun () ->
+        (t.state.fp, Relalg.Relation.cardinality t.state.rel))
+  in
+  Protocol.Resp_ok (Printf.sprintf "%s %d" fp rows)
 
 let handle_conn t fd =
   Metrics.incr t.metrics "connections";
@@ -477,6 +608,12 @@ let handle_conn t fd =
         loop ()
       | Some (Protocol.Append csv) ->
         respond (handle_append t csv);
+        loop ()
+      | Some (Protocol.Delete ids) ->
+        respond (handle_delete t ids);
+        loop ()
+      | Some Protocol.Fingerprint ->
+        respond (handle_fingerprint t);
         loop ()
       | Some (Protocol.Query q) ->
         respond (handle_query t q);
@@ -555,6 +692,26 @@ let start ?catalog cfg rel =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let metrics = Metrics.create () in
+  (* Durability: with a WAL dir, the served state is whatever recovery
+     rebuilds — checkpoint plus replayed log — not the caller's [rel],
+     which only seeds a log that has never checkpointed. *)
+  let rel, wal, recovery =
+    match cfg.wal_dir with
+    | None -> (rel, None, None)
+    | Some dir ->
+      let rel', wal, stats =
+        Metrics.time metrics "recovery" (fun () ->
+            Store.Recovery.recover ~dir ~base:(fun () -> rel) ())
+      in
+      Metrics.incr ~by:stats.records_replayed metrics "recovery_replayed";
+      Metrics.incr ~by:stats.records_skipped metrics "recovery_skipped";
+      Metrics.incr ~by:stats.torn_bytes metrics "recovery_torn_bytes";
+      Log.info (fun k ->
+          k "recovered %d rows from %s: %a"
+            (Relalg.Relation.cardinality rel')
+            dir Store.Recovery.pp_stats stats);
+      (rel', Some wal, Some stats)
+  in
   let sched = Scheduler.create ~workers:cfg.workers ~capacity:cfg.queue ~metrics in
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let bound_port =
@@ -580,6 +737,8 @@ let start ?catalog cfg rel =
       result_cache = Cache.create ~capacity:cfg.result_cache;
       state = fresh_snapshot rel;
       state_mu = Mutex.create ();
+      wal;
+      recovery;
       listen_fd;
       bound_port;
       accept_thread = None;
@@ -641,6 +800,7 @@ let stop t =
     List.iter Thread.join conn_threads;
     Scheduler.shutdown t.sched;
     Option.iter Thread.join t.log_thread;
+    Option.iter Store.Wal.close t.wal;
     Pkg.Eval.set_observer None;
     Mutex.protect t.stop_mu (fun () ->
         t.finished <- true;

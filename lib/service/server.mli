@@ -47,19 +47,32 @@ type config = {
   limits : Ilp.Branch_bound.limits;  (** per-ILP budget *)
   request_seconds : float;  (** per-request wall budget (deadline) *)
   log_every : float;   (** seconds between metrics log lines; 0 = off *)
+  wal_dir : string option;
+      (** durability directory (WAL + checkpoint); [None] = volatile *)
+  wal_checkpoint : int;
+      (** records between checkpoints; 0 = never checkpoint *)
 }
 
 (** Defaults: localhost, ephemeral port, DIRECT, 60s request budget —
     with [workers], [queue] and [result_cache] read from
     [PKGQ_SERVE_WORKERS] (default 4), [PKGQ_SERVE_QUEUE] (default 32)
-    and [PKGQ_RESULT_CACHE] (capacity, or [off]; default 256). *)
+    and [PKGQ_RESULT_CACHE] (capacity, or [off]; default 256), no WAL,
+    and the checkpoint threshold from [PKGQ_WAL_CHECKPOINT] (records
+    between checkpoints, or [off]; default 64). *)
 val default_config : unit -> config
 
 type t
 
 (** [start ?catalog config rel] binds, pre-warms the numeric column
-    cache, starts the worker pool and accept thread, and returns.
-    @raise Unix.Unix_error when the address cannot be bound. *)
+    cache, starts the worker pool and accept thread, and returns. With
+    [config.wal_dir] set, the served state is what
+    {!Store.Recovery.recover} rebuilds — checkpoint + replayed WAL —
+    and [rel] only seeds a directory that has never checkpointed; every
+    write is then logged durably before it is applied or acknowledged
+    ([PKGQ_WAL_SYNC] controls the fsync), and the log is folded into a
+    fresh checkpoint every [wal_checkpoint] records.
+    @raise Unix.Unix_error when the address cannot be bound.
+    @raise Store.Wire.Error when the durability directory is corrupt. *)
 val start : ?catalog:Store.Catalog.t -> config -> Relalg.Relation.t -> t
 
 (** The bound port (the actual one when the config asked for 0). *)
@@ -69,8 +82,11 @@ val metrics : t -> Metrics.t
 
 val config : t -> config
 
-(** Current table content fingerprint (changes on append). *)
+(** Current table content fingerprint (changes on append/delete). *)
 val table_fingerprint : t -> string
+
+(** Current table row count (after recovery, when a WAL is attached). *)
+val table_rows : t -> int
 
 (** Evaluations that actually invoked a solver (cache hits don't). *)
 val solve_count : t -> int
@@ -78,9 +94,23 @@ val solve_count : t -> int
 (** [append t extra] appends [extra]'s rows to the served table:
     maintains cached partitionings incrementally, recomputes the
     fingerprint, and invalidates the superseded result-cache entries.
-    Also the implementation of the [APPEND] verb.
-    @raise Invalid_argument when schemas differ. *)
+    Also the implementation of the [APPEND] verb. With a WAL attached
+    the rows are durable before the call returns.
+    @raise Invalid_argument when schemas differ.
+    @raise Store.Wal.Sync_failed when the record could not be made
+    durable (the state is untouched). *)
 val append : t -> Relalg.Relation.t -> unit
+
+(** [delete t ids] removes the given row ids (0-based, into the current
+    table; duplicates allowed), compacting the remaining rows in order
+    via {!Store.Maintain.delete} for every cached partitioning. Also
+    the implementation of the [DELETE] verb; same durability contract
+    as {!append}.
+    @raise Invalid_argument on an out-of-range id. *)
+val delete : t -> int list -> unit
+
+(** Recovery statistics from startup, when [wal_dir] was set. *)
+val last_recovery : t -> Store.Recovery.stats option
 
 (** Block until the server is stopped (for the server binary). *)
 val wait : t -> unit

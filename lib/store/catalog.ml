@@ -16,10 +16,31 @@ let rec mkdir_p d =
 let tables_dir t = Filename.concat t.root "tables"
 let partitions_dir t = Filename.concat t.root "partitions"
 
+(* Temp files left by a writer that died between creating its
+   [.tmp.<pid>] sibling and renaming it over the target. They are never
+   read (readers filter on real suffixes), so the sweep is pure
+   hygiene — but without it a crashy writer leaks one file per death. *)
+let sweep_stale_tmp dir =
+  let is_tmp f =
+    (* both the current [x.tmp.<pid>] shape and a legacy bare [x.tmp] *)
+    Filename.extension f = ".tmp"
+    || Filename.extension (Filename.remove_extension f) = ".tmp"
+  in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | files ->
+    Array.iter
+      (fun f ->
+        if is_tmp f then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      files
+
 let open_dir root =
   let t = { root } in
   mkdir_p (tables_dir t);
   mkdir_p (partitions_dir t);
+  sweep_stale_tmp (tables_dir t);
+  sweep_stale_tmp (partitions_dir t);
   t
 
 let from_env () = Option.map open_dir (Sys.getenv_opt env_var)

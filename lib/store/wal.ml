@@ -1,0 +1,216 @@
+(* Write-ahead log: one checksummed record per APPEND/DELETE batch.
+
+   File layout is a flat sequence of frames
+
+     [ length (i32 LE) | record image ]
+
+   where the record image is a full [Wire] envelope
+   (magic "PKGQWAL1" | version | seq (i64) | op tag (u8) | payload |
+   checksum), so a torn tail is detected by the same three-layer
+   verification every other store file gets: a frame whose length runs
+   past EOF, or whose checksum does not match, marks the end of the
+   valid prefix.
+
+   All writes go through an unbuffered [Unix] fd opened with O_APPEND:
+   a SIGKILL can interrupt the process at any instruction and the
+   kernel still has every byte written so far, which is what makes the
+   chaos harness's kill points meaningful. *)
+
+let magic = "PKGQWAL1"
+let version = 1
+
+type op = Append of Relalg.Relation.t | Delete of int list
+
+type record = { seq : int; op : op }
+
+exception Sync_failed of string
+
+type sync = Always | Never
+
+let sync_env_var = "PKGQ_WAL_SYNC"
+
+let sync_from_env () =
+  match Sys.getenv_opt sync_env_var with
+  | None -> Always
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "off" | "never" | "0" | "no" -> Never
+    | _ -> Always)
+
+type t = {
+  fd : Unix.file_descr;
+  wal_path : string;
+  sync : sync;
+  mutable records : int;
+  mutable bytes : int;
+  mutable last_seq : int;
+}
+
+let path t = t.wal_path
+let records t = t.records
+let bytes t = t.bytes
+let last_seq t = t.last_seq
+let sync_mode t = t.sync
+
+(* ------------------------------------------------------------------ *)
+(* Record codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let tag_append = 0
+let tag_delete = 1
+
+let encode_record ~seq op =
+  let b = Buffer.create 256 in
+  Wire.put_i64 b seq;
+  (match op with
+  | Append rel ->
+    Wire.put_u8 b tag_append;
+    Wire.put_str b (Segment.to_string rel)
+  | Delete ids ->
+    Wire.put_u8 b tag_delete;
+    Wire.put_i32 b (List.length ids);
+    List.iter (Wire.put_i32 b) ids);
+  Wire.seal ~magic ~version b
+
+let decode_record image =
+  let r = Wire.verify ~magic ~version image in
+  let seq = Wire.get_i64 r in
+  if seq < 1 then Wire.error "bad wal record sequence %d" seq;
+  match Wire.get_u8 r with
+  | 0 -> { seq; op = Append (Segment.of_string (Wire.get_str r)) }
+  | 1 ->
+    let n = Wire.get_i32 r in
+    if n < 0 then Wire.error "negative wal delete count %d" n;
+    { seq; op = Delete (List.init n (fun _ -> Wire.get_i32 r)) }
+  | tag -> Wire.error "bad wal op tag %d" tag
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type replay = {
+  ops : record list;  (** valid records, in write order *)
+  valid_bytes : int;  (** length of the intact prefix *)
+  torn_bytes : int;  (** bytes past it, discarded *)
+  replay_last_seq : int;  (** 0 when the log is empty *)
+}
+
+let empty_replay = { ops = []; valid_bytes = 0; torn_bytes = 0; replay_last_seq = 0 }
+
+let replay ?(truncate = false) path =
+  if not (Sys.file_exists path) then empty_replay
+  else begin
+    let s = Wire.read_file path in
+    let len = String.length s in
+    let ops = ref [] in
+    let pos = ref 0 in
+    let last = ref 0 in
+    let ok = ref true in
+    while !ok && !pos + 4 <= len do
+      let n = Int32.to_int (String.get_int32_le s !pos) in
+      if n <= 0 || !pos + 4 + n > len then ok := false
+      else
+        match decode_record (String.sub s (!pos + 4) n) with
+        | rc ->
+          ops := rc :: !ops;
+          last := rc.seq;
+          pos := !pos + 4 + n
+        | exception Wire.Error _ -> ok := false
+    done;
+    let valid = !pos in
+    let torn = len - valid in
+    if truncate && torn > 0 then begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Unix.ftruncate fd valid;
+          try Unix.fsync fd with Unix.Unix_error _ -> ())
+    end;
+    { ops = List.rev !ops; valid_bytes = valid; torn_bytes = torn;
+      replay_last_seq = !last }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Appending                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let open_log ?sync path =
+  let sync = match sync with Some s -> s | None -> sync_from_env () in
+  let rep = replay ~truncate:true path in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  ( { fd; wal_path = path; sync; records = List.length rep.ops;
+      bytes = rep.valid_bytes; last_seq = rep.replay_last_seq },
+    rep )
+
+let write_all fd b off len =
+  let pos = ref off in
+  let stop = off + len in
+  while !pos < stop do
+    pos := !pos + Unix.write fd b !pos (stop - !pos)
+  done
+
+let die () =
+  (* SIGKILL, not [exit]: at_exit must not run, buffered channels must
+     not flush — the point is to model sudden process death. *)
+  Unix.kill (Unix.getpid ()) Sys.sigkill;
+  (* unreachable, but keeps the type checker honest *)
+  assert false
+
+let append t op =
+  let seq = t.last_seq + 1 in
+  let image = encode_record ~seq op in
+  let len = String.length image in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_int32_le frame 0 (Int32.of_int len);
+  Bytes.blit_string image 0 frame 4 len;
+  (match Pkg.Faults.wal_write_fault () with
+  | Some `Torn ->
+    (* persist only a prefix of the frame — fsync it so the restarted
+       process deterministically finds a torn tail — then die *)
+    write_all t.fd frame 0 ((4 + len) / 2);
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    die ()
+  | Some `Crash ->
+    (* the record is fully durable but the caller never gets to
+       acknowledge it: an in-doubt write that replay must apply *)
+    write_all t.fd frame 0 (4 + len);
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    die ()
+  | None -> ());
+  write_all t.fd frame 0 (4 + len);
+  let sync_failed msg =
+    (* roll the partial record back out of the log so a later crash
+       cannot resurrect a write the client was told had failed *)
+    (try
+       Unix.ftruncate t.fd t.bytes;
+       Unix.fsync t.fd
+     with Unix.Unix_error _ -> ());
+    raise (Sync_failed msg)
+  in
+  if Pkg.Faults.wal_fsync_fails () then
+    sync_failed "injected wal sync failure (wal=fsync:fail)";
+  (match t.sync with
+  | Always -> (
+    try Unix.fsync t.fd
+    with Unix.Unix_error (e, _, _) -> sync_failed (Unix.error_message e))
+  | Never -> ());
+  t.last_seq <- seq;
+  t.records <- t.records + 1;
+  t.bytes <- t.bytes + 4 + len;
+  seq
+
+let reset t =
+  Unix.ftruncate t.fd 0;
+  (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+  (* [last_seq] survives a reset: sequence numbers are monotone across
+     checkpoints, which is what lets recovery skip records the
+     checkpoint already covers. *)
+  t.records <- 0;
+  t.bytes <- 0
+
+let bump_seq t floor = if floor > t.last_seq then t.last_seq <- floor
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

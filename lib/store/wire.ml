@@ -57,14 +57,36 @@ let seal ~magic ~version body =
   Buffer.add_int64_le out sum;
   Buffer.contents out
 
-let write_file path ~magic ~version body =
-  let image = seal ~magic ~version body in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
+(* Crash-safe publish: write the full image to a process-unique temp
+   name, fsync it so the content is on disk before the name is, then
+   rename over the target (atomic on POSIX) and fsync the directory so
+   the rename itself survives power loss. A crash at any point leaves
+   either the old file or the new one — never a torn target — and at
+   worst a stale [.tmp.<pid>] that [Catalog.open_dir] sweeps. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_string_file path image =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc image);
-  Sys.rename tmp path
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length image in
+      let written = Unix.write_substring fd image 0 n in
+      if written <> n then error "short write to %s (%d/%d bytes)" tmp written n;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let write_file path ~magic ~version body =
+  write_string_file path (seal ~magic ~version body)
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                            *)

@@ -41,9 +41,17 @@ val put_str : Buffer.t -> string -> unit
     header, [body], trailing checksum. [magic] must be 8 bytes. *)
 val seal : magic:string -> version:int -> Buffer.t -> string
 
-(** [write_file path ~magic ~version body] seals and writes atomically
-    (temp file + rename). *)
+(** [write_file path ~magic ~version body] seals and publishes the file
+    crash-safely: the image goes to a process-unique [.tmp.<pid>]
+    sibling, is fsync'd, renamed over [path] (atomic on POSIX), and the
+    parent directory is fsync'd so the rename survives power loss. A
+    crash leaves either the old content or the new — never a torn
+    file. *)
 val write_file : string -> magic:string -> version:int -> Buffer.t -> unit
+
+(** [write_string_file path image] publishes an already-sealed image
+    with the same crash-safe temp+fsync+rename protocol. *)
+val write_string_file : string -> string -> unit
 
 (** {1 Reading} *)
 

@@ -48,7 +48,7 @@ let with_server cfg rel f =
   Fun.protect ~finally:(fun () -> Srv.stop t) (fun () -> f t)
 
 let with_client t f =
-  let c = Cl.connect ~host:"127.0.0.1" ~port:(Srv.port t) in
+  let c = Cl.connect ~host:"127.0.0.1" ~port:(Srv.port t) () in
   Fun.protect ~finally:(fun () -> Cl.close c) (fun () -> f c)
 
 (* Response modulo the wall-time line (the only nondeterministic

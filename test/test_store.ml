@@ -559,6 +559,99 @@ let test_maintained_matches_scratch () =
       (hi <= 2. *. Float.abs lo +. 1e-9 || Float.abs (hi -. lo) < 1e-6)
   | _ -> Alcotest.fail "missing objective"
 
+(* After Maintain.append, a *fresh* catalog handle on the same
+   directory (a cold process) must serve the maintained partitioning
+   and the appended table bytes — nothing lives only in the memory of
+   the process that did the append. *)
+let test_append_survives_cold_reload () =
+  let dir = tmp_path "cold-reload" in
+  let rel = cluster_rel ~per_cluster:60 in
+  let tau = 40 in
+  let attrs = [ "x"; "y" ] in
+  let key fp = { Store.Catalog.fingerprint = fp; attrs; tau; radius = P.No_radius } in
+  let cat = Store.Catalog.open_dir dir in
+  let p = P.create ~tau ~attrs rel in
+  Store.Catalog.store cat (key (Store.Segment.fingerprint rel)) p;
+  let extra =
+    let rng = Datagen.Prng.create 47 in
+    R.of_rows cluster_schema
+      (List.init 7 (fun _ ->
+           [|
+             V.Float (Datagen.Prng.uniform rng (-1.) 1.);
+             V.Float (Datagen.Prng.uniform rng (-1.) 1.);
+           |]))
+  in
+  let rel', p', _ = Store.Maintain.append ~tau ~radius:P.No_radius p rel extra in
+  let fp' = Store.Segment.fingerprint rel' in
+  Store.Catalog.store cat (key fp') p';
+  Store.Segment.write (Filename.concat dir "table.seg") rel';
+  (* cold handle: no shared memory with [cat] *)
+  let cold = Store.Catalog.open_dir dir in
+  let reloaded, _raw_fp =
+    Store.Catalog.load_table cold (Filename.concat dir "table.seg")
+  in
+  checkb "table bytes survive reload" true (rel_equal rel' reloaded);
+  checks "fingerprint stable across processes" fp'
+    (Store.Segment.fingerprint reloaded);
+  (match Store.Catalog.find cold (key fp') with
+  | None -> Alcotest.fail "maintained partitioning missing after reload"
+  | Some q ->
+    checkb "same assignment" true (q.P.gid_of_row = p'.P.gid_of_row);
+    checkb "same reps" true (rel_equal q.P.reps p'.P.reps);
+    (match P.check ~tau q reloaded with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m));
+  (* the pre-append entry is still there, under the old fingerprint *)
+  checkb "old entry intact" true
+    (Store.Catalog.find cold (key (Store.Segment.fingerprint rel)) <> None)
+
+(* Publishes go through tempfile+fsync+rename: a finished store leaves
+   no temp droppings, and leftovers from a crashed writer are swept on
+   the next open, never loaded. *)
+let test_catalog_sweeps_stale_tmp () =
+  let dir = tmp_path "cat-sweep" in
+  let cat = Store.Catalog.open_dir dir in
+  let rel = Datagen.Galaxy.generate ~seed:12 300 in
+  let key =
+    {
+      Store.Catalog.fingerprint = Store.Segment.fingerprint rel;
+      attrs = [ "ra" ];
+      tau = 60;
+      radius = P.No_radius;
+    }
+  in
+  Store.Catalog.store cat key (P.create ~tau:60 ~attrs:[ "ra" ] rel);
+  let no_tmp sub =
+    Sys.readdir (Filename.concat dir sub)
+    |> Array.for_all (fun f ->
+           Filename.extension f <> ".tmp"
+           && Filename.extension (Filename.remove_extension f) <> ".tmp")
+  in
+  checkb "no temp droppings in partitions/" true (no_tmp "partitions");
+  checkb "no temp droppings in tables/" true (no_tmp "tables");
+  (* plant crashed-writer leftovers, both tmp-name shapes *)
+  let plant sub name =
+    let path = Filename.concat (Filename.concat dir sub) name in
+    let oc = open_out path in
+    output_string oc "half-written garbage";
+    close_out oc;
+    path
+  in
+  let stale =
+    [
+      plant "partitions" "deadbeef.part.tmp.123";
+      plant "partitions" "cafe.part.tmp";
+      plant "tables" "0123.seg.tmp.9";
+    ]
+  in
+  let cold = Store.Catalog.open_dir dir in
+  List.iter
+    (fun p -> checkb ("swept " ^ Filename.basename p) false (Sys.file_exists p))
+    stale;
+  (* and the real entry still loads *)
+  checkb "entry survives the sweep" true
+    (Store.Catalog.find cold key <> None)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -599,5 +692,12 @@ let () =
             test_delete_shrinks_in_place;
           Alcotest.test_case "maintained matches scratch" `Quick
             test_maintained_matches_scratch;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "append survives cold reload" `Quick
+            test_append_survives_cold_reload;
+          Alcotest.test_case "atomic publish, stale tmp swept" `Quick
+            test_catalog_sweeps_stale_tmp;
         ] );
     ]
