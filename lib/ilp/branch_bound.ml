@@ -54,14 +54,17 @@ let pp_result ppf = function
       st.stopped st.nodes st.elapsed
 
 (* A node is a set of bound overrides relative to the root problem,
-   plus the LP bound of its parent (used for best-first ordering) and
-   the branching step that created it (variable, direction 0=down /
-   1=up, fractional distance, parent bound — the inputs of the
-   pseudo-cost update). *)
+   plus the LP bound of its parent (used for best-first ordering), the
+   branching step that created it (variable, direction 0=down / 1=up,
+   fractional distance, parent bound — the inputs of the pseudo-cost
+   update), and the parent's optimal basis: the child differs by one
+   tightened bound, so that basis is dual-feasible for the child LP and
+   the dual simplex restarts from it in a handful of pivots. *)
 type node = {
   overrides : (int * float * float) list;
   bound : float;
   branched : (int * int * float * float) option;
+  nbasis : Simplex.Basis.t option;
 }
 
 (* Minimal binary heap on node bound (internal minimization). *)
@@ -69,8 +72,12 @@ module Heap = struct
   type t = { mutable data : node array; mutable size : int }
 
   let create () =
-    { data = Array.make 64 { overrides = []; bound = 0.; branched = None };
-      size = 0 }
+    {
+      data =
+        Array.make 64
+          { overrides = []; bound = 0.; branched = None; nbasis = None };
+      size = 0;
+    }
 
   let is_empty h = h.size = 0
 
@@ -125,12 +132,24 @@ end
    cover inequalities at the fractional point, append them and repeat.
    Cuts are valid for every integer point, so the strengthened problem
    has the same integer optima; the tightened relaxation shrinks the
-   branch-and-bound tree (branch-and-cut, as in the paper's CPLEX). *)
-let strengthen_with_cuts ~rounds (p : Problem.t) =
+   branch-and-bound tree (branch-and-cut, as in the paper's CPLEX).
+
+   Cut-round LP solves draw on the same wall-clock deadline and pivot
+   budget as the node solves ([iters] accumulates into the caller's
+   counter), so a pathological separation loop cannot overshoot the
+   propagated budget — it just stops strengthening. *)
+let strengthen_with_cuts ~rounds ~deadline ~iter_budget iters (p : Problem.t) =
   let rec go k (p : Problem.t) =
-    if k >= rounds then p
+    if
+      k >= rounds
+      || iter_budget - !iters <= 0
+      || Unix.gettimeofday () > deadline
+    then p
     else
-      match Simplex.solve p with
+      let max_iters =
+        min (Simplex.default_max_iters p) (iter_budget - !iters)
+      in
+      match Simplex.solve ~max_iters ~deadline ~iterations:iters p with
       | Simplex.Optimal s -> (
         let fractional =
           Array.exists2
@@ -154,15 +173,24 @@ type branching = Most_fractional | Pseudo_cost
 
 let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
     ?(branching = Most_fractional) ?(rel_gap = 0.) ?(diving = false)
-    (p : Problem.t) =
-  let p = if cut_rounds > 0 then strengthen_with_cuts ~rounds:cut_rounds p else p in
-  let sense_sign =
-    match p.Problem.sense with Problem.Minimize -> 1. | Problem.Maximize -> -1.
-  in
+    ?warm_start ?basis_out (p : Problem.t) =
   (* Internal objective is minimized: internal = sense_sign * external. *)
   let start = Unix.gettimeofday () in
   let deadline = start +. limits.max_seconds in
   let nodes = ref 0 and lp_iters = ref 0 in
+  let p =
+    if cut_rounds > 0 then
+      strengthen_with_cuts ~rounds:cut_rounds ~deadline
+        ~iter_budget:limits.max_simplex_iters lp_iters p
+    else p
+  in
+  (* a saved basis only fits the uncut root problem: adding cut rows
+     changes the row dimension, so the warm start is dropped (resolve
+     would reject it anyway — this just skips the attempt) *)
+  let warm_start = if cut_rounds > 0 then None else warm_start in
+  let sense_sign =
+    match p.Problem.sense with Problem.Minimize -> 1. | Problem.Maximize -> -1.
+  in
   let stop = ref None in
   (* first stop reason wins; later triggers are consequences of it *)
   let note reason = if !stop = None then stop := Some reason in
@@ -197,7 +225,7 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
       overrides;
     r
   in
-  let solve_lp overrides =
+  let solve_lp ?basis overrides =
     let iter_budget = limits.max_simplex_iters - !lp_iters in
     if iter_budget <= 0 then begin
       note Stop_iterations;
@@ -212,7 +240,7 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
           in
           let sub = { p with Problem.vars } in
           let max_iters = min (Simplex.default_max_iters sub) iter_budget in
-          Simplex.solve ~max_iters ~deadline ~iterations:lp_iters sub)
+          Simplex.resolve ?basis ~max_iters ~deadline ~iterations:lp_iters sub)
   in
   let incumbent = ref None in
   let incumbent_internal () =
@@ -301,8 +329,8 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
      fractional integer variable to its nearest integer and re-solve,
      hoping to reach an integer-feasible leaf quickly. A classic primal
      heuristic for strong early incumbents. *)
-  let dive x0 =
-    let rec go overrides x depth =
+  let dive x0 basis0 =
+    let rec go overrides x basis depth =
       if depth > 64 then ()
       else begin
         (* least fractional, still-fractional variable *)
@@ -322,28 +350,38 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
         | Some j ->
           let target = Float.round x.(j) in
           let overrides = (j, target, target) :: overrides in
-          (match solve_lp overrides with
-          | Simplex.Optimal lp -> go overrides lp.Simplex.x (depth + 1)
+          (match solve_lp ?basis overrides with
+          | Simplex.Optimal lp ->
+            go overrides lp.Simplex.x lp.Simplex.basis (depth + 1)
           | Simplex.Infeasible | Simplex.Unbounded | Simplex.Iter_limit -> ())
       end
     in
-    go [] x0 0
+    go [] x0 basis0 0
   in
   let heap = Heap.create () in
-  match solve_lp [] with
+  match solve_lp ?basis:warm_start [] with
   | Simplex.Infeasible -> Infeasible (stats ())
   | Simplex.Unbounded -> Unbounded (stats ())
   | Simplex.Iter_limit ->
     classify_iter_limit ();
     Limit (stats ())
   | Simplex.Optimal root ->
+    (match basis_out with
+    | Some out -> out := root.Simplex.basis
+    | None -> ());
     let root_bound = sense_sign *. root.Simplex.obj in
     (match fractional_var root.Simplex.x with
     | None -> Optimal ({ x = root.Simplex.x; obj = root.Simplex.obj }, stats ())
     | Some _ ->
       rounding_heuristic root.Simplex.x;
-      if diving then dive root.Simplex.x;
-      Heap.push heap { overrides = []; bound = root_bound; branched = None };
+      if diving then dive root.Simplex.x root.Simplex.basis;
+      Heap.push heap
+        {
+          overrides = [];
+          bound = root_bound;
+          branched = None;
+          nbasis = root.Simplex.basis;
+        };
       let best_open = ref root_bound in
       let limit_hit = ref false in
       while (not (Heap.is_empty heap)) && not !limit_hit do
@@ -364,7 +402,7 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
           (* prune against the incumbent (with the MIP-gap slack) *)
           if node.bound < incumbent_internal () -. 1e-9 -. gap_slack () then begin
             incr nodes;
-            match solve_lp node.overrides with
+            match solve_lp ?basis:node.nbasis node.overrides with
             | Simplex.Infeasible -> ()
             | Simplex.Iter_limit ->
               classify_iter_limit ();
@@ -395,12 +433,14 @@ let solve ?(limits = default_limits) ?(int_tol = 1e-6) ?(cut_rounds = 0)
                       overrides = (j, neg_infinity, fl) :: node.overrides;
                       bound;
                       branched = Some (j, 0, frac, bound);
+                      nbasis = lp.Simplex.basis;
                     };
                   Heap.push heap
                     {
                       overrides = (j, fl +. 1., infinity) :: node.overrides;
                       bound;
                       branched = Some (j, 1, 1. -. frac, bound);
+                      nbasis = lp.Simplex.basis;
                     }
               end
           end

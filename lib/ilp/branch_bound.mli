@@ -66,10 +66,19 @@ type branching = Most_fractional | Pseudo_cost
     [diving] (default false) runs a root diving pass — iteratively
     pinning the least-fractional variable and re-solving the LP — to
     seed a strong incumbent before the search, reducing the chance of
-    a [Limit] outcome on tightly budgeted runs. *)
+    a [Limit] outcome on tightly budgeted runs.
+
+    [warm_start] seeds the root LP with a previously saved basis (see
+    {!Lp.Simplex.resolve}); it is ignored when [cut_rounds > 0], since
+    cut rows change the basis dimension. Child nodes always warm-start
+    from their parent's optimal basis internally. [basis_out], when
+    given, receives the root relaxation's optimal basis — the handle a
+    caller caches to warm-start the next search over the same columns. *)
 val solve :
   ?limits:limits -> ?int_tol:float -> ?cut_rounds:int ->
-  ?branching:branching -> ?rel_gap:float -> ?diving:bool -> Lp.Problem.t ->
+  ?branching:branching -> ?rel_gap:float -> ?diving:bool ->
+  ?warm_start:Lp.Simplex.Basis.t ->
+  ?basis_out:Lp.Simplex.Basis.t option ref -> Lp.Problem.t ->
   result
 
 val stats_of : result -> stats

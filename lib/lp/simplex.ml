@@ -1,4 +1,35 @@
-type solution = { x : float array; obj : float; iterations : int }
+type nb_kind = At_lower | At_upper | Free_zero
+
+type vstat = Basic | Nonbasic of nb_kind
+
+module Basis = struct
+  (* Snapshot of a simplex basis over the structural + slack columns:
+     which column occupies each basis row, plus the resting side of
+     every nonbasic column. Opaque to callers; [resolve] validates it
+     against the problem it is applied to and degrades to a cold solve
+     whenever it does not fit. *)
+  type t = {
+    bn : int; (* structural variables *)
+    bm : int; (* rows *)
+    vstat : vstat array; (* length bn + bm *)
+    rows : int array; (* length bm: column occupying each basis row *)
+  }
+
+  let dims b = (b.bn, b.bm)
+
+  (* Fault-injection helper: name the same column on every basis row,
+     which makes the basis matrix singular and forces the warm path
+     through its rejection branch. *)
+  let corrupt b =
+    if b.bm = 0 then b else { b with rows = Array.make b.bm b.rows.(0) }
+end
+
+type solution = {
+  x : float array;
+  obj : float;
+  iterations : int;
+  basis : Basis.t option;
+}
 
 type result =
   | Optimal of solution
@@ -6,9 +37,228 @@ type result =
   | Unbounded
   | Iter_limit
 
-type nb_kind = At_lower | At_upper | Free_zero
+let pp_result ppf = function
+  | Optimal s -> Format.fprintf ppf "optimal obj=%g iters=%d" s.obj s.iterations
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Iter_limit -> Format.pp_print_string ppf "iteration limit"
 
-type vstat = Basic | Nonbasic of nb_kind
+(* ------------------------------------------------------------------ *)
+(* Global solver counters (process-wide, thread-safe).                 *)
+
+let c_pivots = Atomic.make 0
+let c_dual_pivots = Atomic.make 0
+let c_refactorizations = Atomic.make 0
+let c_cold_solves = Atomic.make 0
+let c_warm_attempts = Atomic.make 0
+let c_warm_hits = Atomic.make 0
+
+type counters = {
+  pivots : int;
+  dual_pivots : int;
+  refactorizations : int;
+  cold_solves : int;
+  warm_attempts : int;
+  warm_hits : int;
+}
+
+let counters () =
+  {
+    pivots = Atomic.get c_pivots;
+    dual_pivots = Atomic.get c_dual_pivots;
+    refactorizations = Atomic.get c_refactorizations;
+    cold_solves = Atomic.get c_cold_solves;
+    warm_attempts = Atomic.get c_warm_attempts;
+    warm_hits = Atomic.get c_warm_hits;
+  }
+
+let reset_counters () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      c_pivots;
+      c_dual_pivots;
+      c_refactorizations;
+      c_cold_solves;
+      c_warm_attempts;
+      c_warm_hits;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Knobs: warm-start master switch and pricing worker count.           *)
+
+let truthy s =
+  match String.lowercase_ascii (String.trim s) with
+  | "0" | "off" | "false" | "no" -> false
+  | _ -> true
+
+let warm_flag =
+  Atomic.make
+    (match Sys.getenv_opt "PKGQ_WARM" with Some s -> truthy s | None -> true)
+
+let warm_enabled () = Atomic.get warm_flag
+let set_warm_enabled b = Atomic.set warm_flag b
+
+let workers_flag =
+  Atomic.make
+    (match Sys.getenv_opt "PKGQ_PRICE_WORKERS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+    | None -> 1)
+
+let price_workers () = Atomic.get workers_flag
+
+(* Columns are priced in fixed-size chunks; the chunk size is
+   deliberately independent of the worker count (same idiom as
+   Relalg.Scan) and selection is a total order, so any execution
+   schedule returns the same entering column. *)
+let price_chunk = 4096
+
+(* Parallel pricing only pays for itself on wide problems: below this
+   many columns the scan is cheaper than a pool round-trip. *)
+let parallel_threshold = 8192
+
+(* ------------------------------------------------------------------ *)
+(* A small persistent worker pool for pricing scans. Workers idle on a
+   condition variable between solves; one solve at a time may hold the
+   pool (concurrent solves fall back to serial pricing, which returns
+   identical results). *)
+
+module Pool = struct
+  type t = {
+    mu : Mutex.t;
+    work : Condition.t;
+    idle : Condition.t;
+    mutable job : (int -> unit) option;
+    mutable gen : int;
+    mutable next : int;
+    mutable nchunks : int;
+    mutable pending : int;
+    mutable stop : bool;
+    mutable domains : unit Domain.t list;
+  }
+
+  (* Claim and run chunks until none remain. Called (and returns) with
+     [t.mu] held. *)
+  let rec drain t f =
+    if t.next < t.nchunks then begin
+      let i = t.next in
+      t.next <- t.next + 1;
+      Mutex.unlock t.mu;
+      f i;
+      Mutex.lock t.mu;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.idle;
+      drain t f
+    end
+
+  let worker t =
+    let seen = ref 0 in
+    Mutex.lock t.mu;
+    let rec loop () =
+      if t.stop then Mutex.unlock t.mu
+      else begin
+        (match t.job with
+        | Some f when t.gen <> !seen ->
+          seen := t.gen;
+          drain t f
+        | _ -> Condition.wait t.work t.mu);
+        loop ()
+      end
+    in
+    loop ()
+
+  let create size =
+    let t =
+      {
+        mu = Mutex.create ();
+        work = Condition.create ();
+        idle = Condition.create ();
+        job = None;
+        gen = 0;
+        next = 0;
+        nchunks = 0;
+        pending = 0;
+        stop = false;
+        domains = [];
+      }
+    in
+    t.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+    t
+
+  let run t nchunks f =
+    Mutex.lock t.mu;
+    t.job <- Some f;
+    t.gen <- t.gen + 1;
+    t.next <- 0;
+    t.nchunks <- nchunks;
+    t.pending <- nchunks;
+    Condition.broadcast t.work;
+    drain t f;
+    while t.pending > 0 do
+      Condition.wait t.idle t.mu
+    done;
+    t.job <- None;
+    Mutex.unlock t.mu
+
+  let shutdown t =
+    Mutex.lock t.mu;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end
+
+let pool_mu = Mutex.create ()
+let global_pool : Pool.t option ref = ref None
+let pool_busy = ref false
+
+let set_price_workers n =
+  let n = max 1 n in
+  let old =
+    Mutex.protect pool_mu (fun () ->
+        Atomic.set workers_flag n;
+        let p = !global_pool in
+        global_pool := None;
+        p)
+  in
+  match old with Some p -> Pool.shutdown p | None -> ()
+
+(* Borrow the shared pricing pool for the duration of one solve.
+   [f] receives [None] when the problem is too narrow, the knob is off,
+   or another solve already holds the pool. *)
+let with_pool ncols f =
+  let w = price_workers () in
+  if w <= 1 || ncols < parallel_threshold then f None
+  else begin
+    let p =
+      Mutex.protect pool_mu (fun () ->
+          if !pool_busy then None
+          else begin
+            let p =
+              match !global_pool with
+              | Some p -> p
+              | None ->
+                let p = Pool.create (w - 1) in
+                global_pool := Some p;
+                p
+            in
+            pool_busy := true;
+            Some p
+          end)
+    in
+    match p with
+    | None -> f None
+    | Some p ->
+      Fun.protect
+        ~finally:(fun () -> Mutex.protect pool_mu (fun () -> pool_busy := false))
+        (fun () -> f (Some p))
+  end
+
+(* ------------------------------------------------------------------ *)
 
 (* Mutable solver state over the augmented column set:
    [0, n)          structural variables
@@ -30,17 +280,12 @@ type state = {
   tol : float;
 }
 
-let pp_result ppf = function
-  | Optimal s -> Format.fprintf ppf "optimal obj=%g iters=%d" s.obj s.iterations
-  | Infeasible -> Format.pp_print_string ppf "infeasible"
-  | Unbounded -> Format.pp_print_string ppf "unbounded"
-  | Iter_limit -> Format.pp_print_string ppf "iteration limit"
-
 exception Singular_basis
 
 (* Rebuild binv = B^-1 from scratch by Gauss-Jordan with partial
    pivoting. The basis matrix has the columns [basis.(i)]. *)
 let refactorize st =
+  Atomic.incr c_refactorizations;
   let m = st.m in
   let b = Array.make_matrix m m 0. in
   for i = 0 to m - 1 do
@@ -121,22 +366,43 @@ let reduced_cost st j =
   Array.iter (fun (r, a) -> acc := !acc -. (st.y.(r) *. a)) st.cols.(j);
   !acc
 
-(* Price nonbasic columns; return the entering column and its direction
-   (+1. increase / -1. decrease), or None at optimality. *)
-let price st ~bland =
-  let best = ref None and best_score = ref st.tol in
-  let consider j d dir =
-    if bland then begin
-      if !best = None then best := Some (j, dir)
-    end
-    else begin
-      let score = Float.abs d in
-      if score > !best_score then begin
-        best_score := score;
-        best := Some (j, dir)
+(* Dantzig pricing over one chunk of columns. Selection is the maximum
+   under the total order (|d| desc, column asc), so the global winner
+   is independent of how the column range is chunked — parallel and
+   serial pricing agree bit-for-bit at any worker count. Returns
+   (column, direction, score) with column = -1 when the chunk has no
+   eligible candidate. *)
+let price_range st ~jlo ~jhi =
+  let best = ref (-1) and best_dir = ref 0. and best_score = ref st.tol in
+  for j = jlo to jhi - 1 do
+    match st.status.(j) with
+    | Basic -> ()
+    | Nonbasic kind ->
+      if st.hi.(j) -. st.lo.(j) > st.tol then begin
+        let d = reduced_cost st j in
+        let dir =
+          match kind with
+          | At_lower -> if d < -.st.tol then 1. else 0.
+          | At_upper -> if d > st.tol then -1. else 0.
+          | Free_zero ->
+            if d < -.st.tol then 1. else if d > st.tol then -1. else 0.
+        in
+        if dir <> 0. then begin
+          let score = Float.abs d in
+          if score > !best_score then begin
+            best := j;
+            best_dir := dir;
+            best_score := score
+          end
+        end
       end
-    end
-  in
+  done;
+  (!best, !best_dir, !best_score)
+
+(* Bland's rule: the first eligible column. Always serial — the result
+   is index-minimal, hence trivially schedule-independent. *)
+let price_bland st =
+  let found = ref None in
   (try
      for j = 0 to st.ncols - 1 do
        match st.status.(j) with
@@ -144,17 +410,49 @@ let price st ~bland =
        | Nonbasic kind ->
          if st.hi.(j) -. st.lo.(j) > st.tol then begin
            let d = reduced_cost st j in
-           (match kind with
-           | At_lower -> if d < -.st.tol then consider j d 1.
-           | At_upper -> if d > st.tol then consider j d (-1.)
-           | Free_zero ->
-             if d < -.st.tol then consider j d 1.
-             else if d > st.tol then consider j d (-1.));
-           if bland && !best <> None then raise Exit
+           let dir =
+             match kind with
+             | At_lower -> if d < -.st.tol then 1. else 0.
+             | At_upper -> if d > st.tol then -1. else 0.
+             | Free_zero ->
+               if d < -.st.tol then 1. else if d > st.tol then -1. else 0.
+           in
+           if dir <> 0. then begin
+             found := Some (j, dir);
+             raise Exit
+           end
          end
      done
    with Exit -> ());
-  !best
+  !found
+
+(* Price nonbasic columns; return the entering column and its direction
+   (+1. increase / -1. decrease), or None at optimality. *)
+let price ?pool st ~bland =
+  if bland then price_bland st
+  else begin
+    match pool with
+    | Some p ->
+      let nchunks = (st.ncols + price_chunk - 1) / price_chunk in
+      let res = Array.make nchunks (-1, 0., 0.) in
+      Pool.run p nchunks (fun ci ->
+          let jlo = ci * price_chunk in
+          let jhi = min st.ncols (jlo + price_chunk) in
+          res.(ci) <- price_range st ~jlo ~jhi);
+      let best = ref (-1) and best_dir = ref 0. and best_score = ref st.tol in
+      Array.iter
+        (fun (j, dir, score) ->
+          if j >= 0 && score > !best_score then begin
+            best := j;
+            best_dir := dir;
+            best_score := score
+          end)
+        res;
+      if !best >= 0 then Some (!best, !best_dir) else None
+    | None ->
+      let j, dir, _ = price_range st ~jlo:0 ~jhi:st.ncols in
+      if j >= 0 then Some (j, dir) else None
+  end
 
 (* w := B^-1 A_q *)
 let ftran st q =
@@ -253,7 +551,7 @@ type loop_outcome = L_optimal | L_unbounded | L_iter_limit
 (* Core iteration loop shared by both phases. The wall-clock deadline is
    polled every 128 iterations so a single LP solve cannot overshoot a
    propagated budget by more than a handful of pivots. *)
-let iterate st ~max_iters ?deadline iters_ref =
+let iterate ?pool st ~max_iters ?deadline iters_ref =
   let degen = ref 0 in
   let bland = ref false in
   let since_refactor = ref 0 in
@@ -268,13 +566,14 @@ let iterate st ~max_iters ?deadline iters_ref =
       outcome := Some L_iter_limit
     else begin
       incr iters_ref;
+      Atomic.incr c_pivots;
       if !since_refactor >= 100 then begin
         refactorize st;
         recompute_basics st;
         since_refactor := 0
       end;
       compute_duals st;
-      match price st ~bland:!bland with
+      match price ?pool st ~bland:!bland with
       | None -> outcome := Some L_optimal
       | Some (q, dir) -> (
         ftran st q;
@@ -321,6 +620,184 @@ let iterate st ~max_iters ?deadline iters_ref =
   done;
   match !outcome with Some o -> o | None -> assert false
 
+(* ------------------------------------------------------------------ *)
+(* Dual simplex: drives a primal-infeasible but (near) dual-feasible
+   basis back to primal feasibility after bounds changed under it.      *)
+
+(* Dual ratio test over one chunk of columns for leaving row [rho]
+   (row r of B^-1). [upward] is true when the leaving basic variable
+   must increase (it sits below its lower bound). Selection is the
+   minimum under the total order (|d|/|alpha| asc, |alpha| desc,
+   column asc) — chunk-independent, like primal pricing. Returns
+   (column, direction, ratio, |alpha|, |d|), column = -1 when the
+   chunk has no eligible candidate. *)
+let dual_range st rho ~upward ~jlo ~jhi =
+  let bj = ref (-1)
+  and bdir = ref 0.
+  and bratio = ref infinity
+  and babs = ref 0.
+  and babsd = ref 0. in
+  for j = jlo to jhi - 1 do
+    match st.status.(j) with
+    | Basic -> ()
+    | Nonbasic kind ->
+      if st.hi.(j) -. st.lo.(j) > st.tol then begin
+        let alpha = ref 0. in
+        Array.iter
+          (fun (r, a) -> alpha := !alpha +. (rho.(r) *. a))
+          st.cols.(j);
+        let alpha = !alpha in
+        (* entering j by [dir] changes the leaving basic by
+           [-dir * alpha]; keep only moves pushing it toward the
+           violated bound while respecting j's own resting side *)
+        let dir =
+          match kind with
+          | At_lower ->
+            if (upward && alpha < -.st.tol) || ((not upward) && alpha > st.tol)
+            then 1.
+            else 0.
+          | At_upper ->
+            if (upward && alpha > st.tol) || ((not upward) && alpha < -.st.tol)
+            then -1.
+            else 0.
+          | Free_zero ->
+            if Float.abs alpha > st.tol then
+              if upward = (alpha < 0.) then 1. else -1.
+            else 0.
+        in
+        if dir <> 0. then begin
+          let aabs = Float.abs alpha in
+          let dabs = Float.abs (reduced_cost st j) in
+          let ratio = dabs /. aabs in
+          if
+            ratio < !bratio
+            || (ratio = !bratio
+               && (aabs > !babs || (aabs = !babs && j < !bj)))
+          then begin
+            bj := j;
+            bdir := dir;
+            bratio := ratio;
+            babs := aabs;
+            babsd := dabs
+          end
+        end
+      end
+  done;
+  (!bj, !bdir, !bratio, !babs, !babsd)
+
+(* Entering-column selection for the dual pivot; same chunk-merge
+   discipline as [price]. *)
+let dual_select ?pool st rho ~upward =
+  match pool with
+  | Some p ->
+    let nchunks = (st.ncols + price_chunk - 1) / price_chunk in
+    let res = Array.make nchunks (-1, 0., infinity, 0., 0.) in
+    Pool.run p nchunks (fun ci ->
+        let jlo = ci * price_chunk in
+        let jhi = min st.ncols (jlo + price_chunk) in
+        res.(ci) <- dual_range st rho ~upward ~jlo ~jhi);
+    let bj = ref (-1)
+    and bdir = ref 0.
+    and bratio = ref infinity
+    and babs = ref 0.
+    and babsd = ref 0. in
+    Array.iter
+      (fun (j, dir, ratio, aabs, dabs) ->
+        if
+          j >= 0
+          && (ratio < !bratio
+             || (ratio = !bratio
+                && (aabs > !babs || (aabs = !babs && j < !bj))))
+        then begin
+          bj := j;
+          bdir := dir;
+          bratio := ratio;
+          babs := aabs;
+          babsd := dabs
+        end)
+      res;
+    if !bj >= 0 then Some (!bj, !bdir, !babsd) else None
+  | None ->
+    let j, dir, _, _, dabs = dual_range st rho ~upward ~jlo:0 ~jhi:st.ncols in
+    if j >= 0 then Some (j, dir, dabs) else None
+
+type dual_outcome = D_feasible | D_infeasible | D_stalled | D_iter_limit
+
+(* Dual iteration: repeatedly pivot out the most-violated basic
+   variable until the point is primal feasible. [D_infeasible] and
+   [D_stalled] are advisory — callers confirm with a cold solve rather
+   than trusting a warm-start certificate. *)
+let dual_iterate ?pool st ~max_iters ?deadline iters_ref =
+  let since_refactor = ref 0 in
+  let stall = ref 0 in
+  let outcome = ref None in
+  let past_deadline () =
+    match deadline with
+    | None -> false
+    | Some d -> !iters_ref land 127 = 0 && Unix.gettimeofday () > d
+  in
+  while !outcome = None do
+    (* leaving row: largest bound violation among basic variables *)
+    let r = ref (-1) and viol = ref (10. *. st.tol) and upward = ref false in
+    for i = 0 to st.m - 1 do
+      let b = st.basis.(i) in
+      let x = st.xval.(b) in
+      let below = st.lo.(b) -. x in
+      let above = x -. st.hi.(b) in
+      if below > !viol then begin
+        r := i;
+        viol := below;
+        upward := true
+      end
+      else if above > !viol then begin
+        r := i;
+        viol := above;
+        upward := false
+      end
+    done;
+    if !r = -1 then outcome := Some D_feasible
+    else if !iters_ref >= max_iters || past_deadline () then
+      outcome := Some D_iter_limit
+    else begin
+      incr iters_ref;
+      Atomic.incr c_dual_pivots;
+      if !since_refactor >= 100 then begin
+        refactorize st;
+        recompute_basics st;
+        since_refactor := 0
+      end;
+      compute_duals st;
+      let rho = st.binv.(!r) in
+      match dual_select ?pool st rho ~upward:!upward with
+      | None -> outcome := Some D_infeasible
+      | Some (q, dir, dabs) ->
+        ftran st q;
+        let alpha_r = st.w.(!r) in
+        if Float.abs alpha_r <= st.tol then
+          (* the recomputed pivot element disagrees with the pricing
+             scan: numerical trouble, bail to a cold solve *)
+          outcome := Some D_stalled
+        else begin
+          let t = !viol /. Float.abs alpha_r in
+          let leaver = st.basis.(!r) in
+          apply_step st q dir t;
+          st.status.(q) <- Basic;
+          let leave_to = if !upward then At_lower else At_upper in
+          st.status.(leaver) <- Nonbasic leave_to;
+          st.xval.(leaver) <-
+            (if !upward then st.lo.(leaver) else st.hi.(leaver));
+          update_basis st !r q;
+          incr since_refactor;
+          if dabs <= st.tol then begin
+            incr stall;
+            if !stall > 256 then outcome := Some D_stalled
+          end
+          else stall := 0
+        end
+    end
+  done;
+  match !outcome with Some o -> o | None -> assert false
+
 let current_cost st =
   let acc = ref 0. in
   for j = 0 to st.ncols - 1 do
@@ -331,20 +808,15 @@ let current_cost st =
 let default_max_iters (p : Problem.t) =
   20_000 + (4 * (Problem.nvars p + Problem.nrows p))
 
-let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
-  (match Problem.validate p with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Simplex.solve: " ^ msg));
+(* Shared column construction: structural columns [0, n) and slack
+   columns [n, n + m), into arrays sized for the cold path's
+   artificials ([n + m, n + 2m)). *)
+let structural_arrays (p : Problem.t) =
   let n = Problem.nvars p and m = Problem.nrows p in
-  let max_iters =
-    match max_iters with Some k -> k | None -> default_max_iters p
-  in
   let maxcols = n + m + m in
   let cols = Array.make maxcols [||] in
   let lo = Array.make maxcols 0. and hi = Array.make maxcols 0. in
   let cost = Array.make maxcols 0. in
-  let status = Array.make maxcols (Nonbasic At_lower) in
-  let xval = Array.make maxcols 0. in
   let sense_sign =
     match p.Problem.sense with Problem.Minimize -> 1. | Problem.Maximize -> -1.
   in
@@ -361,20 +833,7 @@ let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
     cols.(j) <- Array.of_list (List.rev per_col.(j));
     lo.(j) <- v.Problem.lo;
     hi.(j) <- v.Problem.hi;
-    cost.(j) <- sense_sign *. v.Problem.obj;
-    (* initial nonbasic position: nearest finite bound, else free at 0 *)
-    if v.Problem.lo > neg_infinity then begin
-      status.(j) <- Nonbasic At_lower;
-      xval.(j) <- v.Problem.lo
-    end
-    else if v.Problem.hi < infinity then begin
-      status.(j) <- Nonbasic At_upper;
-      xval.(j) <- v.Problem.hi
-    end
-    else begin
-      status.(j) <- Nonbasic Free_zero;
-      xval.(j) <- 0.
-    end
+    cost.(j) <- sense_sign *. v.Problem.obj
   done;
   (* slacks *)
   for i = 0 to m - 1 do
@@ -384,6 +843,54 @@ let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
     lo.(j) <- r.Problem.rlo;
     hi.(j) <- r.Problem.rhi;
     cost.(j) <- 0.
+  done;
+  (n, m, cols, lo, hi, cost)
+
+(* Export the final basis for reuse by a later [resolve]. Declined when
+   an artificial column is still basic (degenerate phase-1 leftovers):
+   such a basis has no meaning for the structural + slack column set. *)
+let extract_basis st n =
+  let m = st.m in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    if st.basis.(i) >= n + m then ok := false
+  done;
+  if not !ok then None
+  else
+    Some
+      {
+        Basis.bn = n;
+        bm = m;
+        vstat = Array.sub st.status 0 (n + m);
+        rows = Array.sub st.basis 0 m;
+      }
+
+let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
+  (match Problem.validate p with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Simplex.solve: " ^ msg));
+  Atomic.incr c_cold_solves;
+  let max_iters =
+    match max_iters with Some k -> k | None -> default_max_iters p
+  in
+  let n, m, cols, lo, hi, cost = structural_arrays p in
+  let maxcols = n + m + m in
+  let status = Array.make maxcols (Nonbasic At_lower) in
+  let xval = Array.make maxcols 0. in
+  (* initial nonbasic position: nearest finite bound, else free at 0 *)
+  for j = 0 to n - 1 do
+    if lo.(j) > neg_infinity then begin
+      status.(j) <- Nonbasic At_lower;
+      xval.(j) <- lo.(j)
+    end
+    else if hi.(j) < infinity then begin
+      status.(j) <- Nonbasic At_upper;
+      xval.(j) <- hi.(j)
+    end
+    else begin
+      status.(j) <- Nonbasic Free_zero;
+      xval.(j) <- 0.
+    end
   done;
   (* initial row activities under the nonbasic point *)
   let activity = Array.make m 0. in
@@ -451,7 +958,9 @@ let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
   in
   let finish () =
     let x = Array.sub st.xval 0 n in
-    Optimal { x; obj = Problem.objective p x; iterations = !iters }
+    Optimal
+      { x; obj = Problem.objective p x; iterations = !iters;
+        basis = extract_basis st n }
   in
   record
   @@
@@ -469,52 +978,204 @@ let solve ?max_iters ?(tol = 1e-7) ?deadline ?iterations (p : Problem.t) =
     done;
     if !unbounded then Unbounded else finish ()
   end
-  else begin
-    refactorize st;
-    (* Phase 1: minimize the sum of artificials. *)
-    let result =
-      if !nart > 0 then begin
-        (* phase-1 objective: artificials only *)
-        let saved_costs = Array.sub st.cost 0 n in
-        for j = 0 to n - 1 do
-          st.cost.(j) <- 0.
-        done;
-        for z = n + m to ncols - 1 do
-          st.cost.(z) <- 1.
-        done;
-        let restore () = Array.blit saved_costs 0 st.cost 0 n in
-        match iterate st ~max_iters ?deadline iters with
-        | L_iter_limit -> Some Iter_limit
-        | L_unbounded ->
-          (* phase-1 objective is bounded below by zero *)
-          Some Infeasible
+  else
+    with_pool ncols @@ fun pool ->
+    begin
+      refactorize st;
+      (* Phase 1: minimize the sum of artificials. *)
+      let result =
+        if !nart > 0 then begin
+          (* phase-1 objective: artificials only *)
+          let saved_costs = Array.sub st.cost 0 n in
+          for j = 0 to n - 1 do
+            st.cost.(j) <- 0.
+          done;
+          for z = n + m to ncols - 1 do
+            st.cost.(z) <- 1.
+          done;
+          let restore () = Array.blit saved_costs 0 st.cost 0 n in
+          match iterate ?pool st ~max_iters ?deadline iters with
+          | L_iter_limit -> Some Iter_limit
+          | L_unbounded ->
+            (* phase-1 objective is bounded below by zero *)
+            Some Infeasible
+          | L_optimal ->
+            if current_cost st > Float.max 1e-7 (tol *. 10.) then
+              Some Infeasible
+            else begin
+              (* pin artificials at zero and restore true costs *)
+              restore ();
+              for z = n + m to ncols - 1 do
+                st.cost.(z) <- 0.;
+                st.hi.(z) <- 0.;
+                if st.status.(z) <> Basic then begin
+                  st.status.(z) <- Nonbasic At_lower;
+                  st.xval.(z) <- 0.
+                end
+              done;
+              None
+            end
+        end
+        else None
+      in
+      match result with
+      | Some r -> r
+      | None -> (
+        (* Phase 2 with the real costs. *)
+        match iterate ?pool st ~max_iters ?deadline iters with
+        | L_iter_limit -> Iter_limit
+        | L_unbounded -> Unbounded
         | L_optimal ->
-          if current_cost st > Float.max 1e-7 (tol *. 10.) then Some Infeasible
-          else begin
-            (* pin artificials at zero and restore true costs *)
-            restore ();
-            for z = n + m to ncols - 1 do
-              st.cost.(z) <- 0.;
-              st.hi.(z) <- 0.;
-              if st.status.(z) <> Basic then begin
-                st.status.(z) <- Nonbasic At_lower;
-                st.xval.(z) <- 0.
-              end
-            done;
-            None
-          end
-      end
-      else None
+          refactorize st;
+          recompute_basics st;
+          finish ())
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Warm restart from a saved basis.                                    *)
+
+exception Warm_reject
+
+(* Install a saved basis into a freshly built state: restore statuses
+   and basis rows, then re-seat every nonbasic column on a bound of the
+   *new* problem (bounds may have moved or become infinite since the
+   basis was saved). Raises [Warm_reject] on any inconsistency. *)
+let install_basis st (b : Basis.t) n =
+  let m = st.m in
+  let total = n + m in
+  if Array.length b.Basis.vstat <> total || Array.length b.Basis.rows <> m then
+    raise Warm_reject;
+  let nbasic = ref 0 in
+  Array.iter (fun s -> if s = Basic then incr nbasic) b.Basis.vstat;
+  if !nbasic <> m then raise Warm_reject;
+  let seen = Array.make total false in
+  Array.iteri
+    (fun i j ->
+      if j < 0 || j >= total || seen.(j) || b.Basis.vstat.(j) <> Basic then
+        raise Warm_reject;
+      seen.(j) <- true;
+      st.basis.(i) <- j)
+    b.Basis.rows;
+  Array.blit b.Basis.vstat 0 st.status 0 total;
+  for j = 0 to total - 1 do
+    match st.status.(j) with
+    | Basic -> ()
+    | Nonbasic kind ->
+      let lo = st.lo.(j) and hi = st.hi.(j) in
+      let kind', v =
+        match kind with
+        | At_lower ->
+          if lo > neg_infinity then At_lower, lo
+          else if hi < infinity then At_upper, hi
+          else Free_zero, 0.
+        | At_upper ->
+          if hi < infinity then At_upper, hi
+          else if lo > neg_infinity then At_lower, lo
+          else Free_zero, 0.
+        | Free_zero ->
+          if lo <= 0. && 0. <= hi then Free_zero, 0.
+          else if lo > 0. then At_lower, lo
+          else At_upper, hi
+      in
+      st.status.(j) <- Nonbasic kind';
+      st.xval.(j) <- v
+  done
+
+(* [resolve ?basis p] solves [p] starting from a previously saved
+   optimal basis: dual pivots restore primal feasibility after bound
+   changes, then the ordinary primal phase 2 finishes off any dual
+   infeasibility left by objective changes. Every failure mode of the
+   warm path — wrong dimensions, singular or inconsistent basis, dual
+   infeasibility, stalls — degrades to an internal cold [solve] of the
+   same problem, so a stale or corrupt basis can cost time but never
+   change an answer. *)
+let resolve ?basis ?max_iters ?(tol = 1e-7) ?deadline ?iterations
+    (p : Problem.t) =
+  match basis with
+  | None -> solve ?max_iters ~tol ?deadline ?iterations p
+  | Some _ when not (warm_enabled ()) ->
+    solve ?max_iters ~tol ?deadline ?iterations p
+  | Some b -> (
+    (match Problem.validate p with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Simplex.resolve: " ^ msg));
+    let n = Problem.nvars p and m = Problem.nrows p in
+    let max_iters =
+      match max_iters with Some k -> k | None -> default_max_iters p
     in
-    match result with
-    | Some r -> r
-    | None -> (
-      (* Phase 2 with the real costs. *)
-      match iterate st ~max_iters ?deadline iters with
-      | L_iter_limit -> Iter_limit
-      | L_unbounded -> Unbounded
-      | L_optimal ->
-        refactorize st;
-        recompute_basics st;
-        finish ())
-  end
+    Atomic.incr c_warm_attempts;
+    let iters = ref 0 in
+    let record result =
+      (match iterations with Some acc -> acc := !acc + !iters | None -> ());
+      result
+    in
+    let cold () =
+      (* pivots burned by the failed warm attempt still count against
+         the caller's budget *)
+      let sub = ref 0 in
+      let r =
+        solve ~max_iters:(max 1 (max_iters - !iters)) ~tol ?deadline
+          ~iterations:sub p
+      in
+      iters := !iters + !sub;
+      record r
+    in
+    let bn, bm = Basis.dims b in
+    if m = 0 || bn <> n || bm <> m then cold ()
+    else
+      let built =
+        match
+          let _, _, cols, lo, hi, cost = structural_arrays p in
+          let maxcols = n + m + m in
+          let st =
+            {
+              m;
+              ncols = n + m;
+              cols;
+              lo;
+              hi;
+              cost;
+              status = Array.make maxcols (Nonbasic At_lower);
+              xval = Array.make maxcols 0.;
+              basis = Array.make (max m 1) 0;
+              binv = Array.make_matrix (max m 1) (max m 1) 0.;
+              y = Array.make (max m 1) 0.;
+              w = Array.make (max m 1) 0.;
+              tol;
+            }
+          in
+          install_basis st b n;
+          (try refactorize st with Singular_basis -> raise Warm_reject);
+          recompute_basics st;
+          st
+        with
+        | st -> Some st
+        | exception Warm_reject -> None
+      in
+      match built with
+      | None -> cold ()
+      | Some st -> (
+        with_pool st.ncols @@ fun pool ->
+        match dual_iterate ?pool st ~max_iters ?deadline iters with
+        | D_infeasible | D_stalled ->
+          (* never certify infeasibility (or give up) from a warm
+             start: confirm with a cold solve *)
+          cold ()
+        | D_iter_limit -> record Iter_limit
+        | D_feasible -> (
+          match iterate ?pool st ~max_iters ?deadline iters with
+          | L_iter_limit -> record Iter_limit
+          | L_unbounded -> cold ()
+          | L_optimal ->
+            refactorize st;
+            recompute_basics st;
+            Atomic.incr c_warm_hits;
+            let x = Array.sub st.xval 0 n in
+            record
+              (Optimal
+                 {
+                   x;
+                   obj = Problem.objective p x;
+                   iterations = !iters;
+                   basis = extract_basis st n;
+                 }))))

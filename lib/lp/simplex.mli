@@ -1,4 +1,5 @@
-(** Two-phase revised primal simplex for bounded-variable LPs.
+(** Two-phase revised primal simplex for bounded-variable LPs, plus a
+    bounded-variable dual simplex for warm restarts from a saved basis.
 
     Designed for the package-query regime: few rows (one per global
     predicate), many columns (one per tuple). The basis is a dense
@@ -7,12 +8,46 @@
 
     Each ranged row [lo <= a.x <= hi] becomes [a.x - s = 0] with a slack
     bounded in [lo, hi]; phase 1 drives artificial variables (one per
-    initially violated row) to zero. *)
+    initially violated row) to zero.
+
+    {2 Warm starts}
+
+    [Optimal] solutions carry an opaque {!Basis.t}. Feeding it back via
+    {!resolve} on a problem with the same shape but different bounds or
+    objective re-enters the solver at that basis: dual pivots restore
+    primal feasibility, then primal phase 2 finishes. Every failure
+    mode of the warm path (wrong dimensions, singular or inconsistent
+    basis, stall, any non-optimal dual outcome) degrades to an internal
+    cold {!solve}, so a stale basis can cost time but never change an
+    answer.
+
+    {2 Parallel pricing}
+
+    When [PKGQ_PRICE_WORKERS > 1] (or {!set_price_workers}) and the
+    problem is wide enough, the reduced-cost scan is striped over a
+    persistent domain pool in fixed-size chunks. Candidate selection is
+    a total order ((|d|) desc, column asc — and the dual analogue), so
+    the chosen pivot is bit-identical at any worker count. *)
+
+(** A saved simplex basis over the structural + slack columns. *)
+module Basis : sig
+  type t
+
+  (** [(nvars, nrows)] of the problem the basis was saved from. *)
+  val dims : t -> int * int
+
+  (** Fault-injection helper: returns a structurally valid but singular
+      basis, which {!resolve} must reject into a cold solve. *)
+  val corrupt : t -> t
+end
 
 type solution = {
   x : float array;      (** structural variable values *)
   obj : float;          (** objective in the problem's own sense *)
   iterations : int;
+  basis : Basis.t option;
+      (** optimal basis for later {!resolve}; [None] when an artificial
+          column was left basic *)
 }
 
 type result =
@@ -40,4 +75,49 @@ val solve :
   Problem.t ->
   result
 
+(** [resolve ?basis ...] is {!solve} that warm-starts from [basis] when
+    one is given (and warm starts are enabled). Same budget semantics
+    as {!solve}; dual pivots count against the same [max_iters] /
+    [iterations] budget, and pivots burned by a rejected warm attempt
+    are charged before the internal cold fallback runs. *)
+val resolve :
+  ?basis:Basis.t ->
+  ?max_iters:int ->
+  ?tol:float ->
+  ?deadline:float ->
+  ?iterations:int ref ->
+  Problem.t ->
+  result
+
 val pp_result : Format.formatter -> result -> unit
+
+(** {2 Knobs} *)
+
+(** Master switch for warm starts (env [PKGQ_WARM], default on). With
+    warm starts off, {!resolve} ignores its basis and solves cold. *)
+val warm_enabled : unit -> bool
+
+val set_warm_enabled : bool -> unit
+
+(** Pricing worker count (env [PKGQ_PRICE_WORKERS], default 1).
+    {!set_price_workers} tears down and re-sizes the shared pricing
+    pool; call it only between solves. *)
+val price_workers : unit -> int
+
+val set_price_workers : int -> unit
+
+(** {2 Counters}
+
+    Process-wide, monotonic, thread-safe. *)
+
+type counters = {
+  pivots : int;  (** primal pivots (both phases) *)
+  dual_pivots : int;
+  refactorizations : int;
+  cold_solves : int;  (** [solve] entries, including warm fallbacks *)
+  warm_attempts : int;  (** [resolve] entries that had a usable basis *)
+  warm_hits : int;  (** warm attempts that finished without falling cold *)
+}
+
+val counters : unit -> counters
+val reset_counters : unit -> unit

@@ -15,12 +15,14 @@ let hash64 s =
 
 let of_string s = Printf.sprintf "%016Lx" (hash64 s)
 
-let render_token buf (t : Lexer.token) =
+let render_token ?(abstract_numbers = false) buf (t : Lexer.token) =
   (match t with
   | Lexer.IDENT s ->
     Buffer.add_string buf "i:";
     Buffer.add_string buf s
-  | Lexer.NUMBER f -> Buffer.add_string buf (Printf.sprintf "n:%.17g" f)
+  | Lexer.NUMBER f ->
+    if abstract_numbers then Buffer.add_string buf "n:#"
+    else Buffer.add_string buf (Printf.sprintf "n:%.17g" f)
   | Lexer.STRING s ->
     Buffer.add_string buf "s:";
     Buffer.add_string buf s
@@ -45,10 +47,22 @@ let render_token buf (t : Lexer.token) =
   (* unambiguous separator: never appears inside a rendered token *)
   Buffer.add_char buf '\x1f'
 
-let of_query text =
+let fingerprint ~abstract_numbers text =
   match Lexer.tokenize text with
   | toks ->
     let buf = Buffer.create (String.length text) in
-    Array.iter (fun (s : Lexer.spanned) -> render_token buf s.Lexer.tok) toks;
+    Array.iter
+      (fun (s : Lexer.spanned) ->
+        render_token ~abstract_numbers buf s.Lexer.tok)
+      toks;
     of_string (Buffer.contents buf)
   | exception Lexer.Lex_error _ -> of_string text
+
+let of_query text = fingerprint ~abstract_numbers:false text
+
+(* Structure fingerprint: numeric literals are rendered as a fixed
+   placeholder, so parameter-tweaked variants of one query (same shape,
+   different constants) share a key. Used by the server's basis cache:
+   such variants have identical ILP columns, so a saved basis from one
+   warm-starts the others. *)
+let structure_of_query text = fingerprint ~abstract_numbers:true text

@@ -15,5 +15,13 @@
     consistently. *)
 val of_query : string -> string
 
+(** [structure_of_query text] fingerprints the query's {e shape}:
+    numeric literals are abstracted to a placeholder, so
+    parameter-tweaked variants of one query (same attributes,
+    operators and aggregates, different constants) share a key. This
+    keys the server's basis cache — such variants build ILPs over
+    identical columns, so one's optimal basis warm-starts another. *)
+val structure_of_query : string -> string
+
 (** Raw-byte fingerprint (FNV-1a 64, 16 hex digits). *)
 val of_string : string -> string

@@ -1,4 +1,4 @@
-let run ?limits spec rel =
+let run ?limits ?warm_basis ?basis_out spec rel =
   let start = Unix.gettimeofday () in
   let counters = Eval.fresh_counters () in
   let finish status package objective =
@@ -9,7 +9,10 @@ let run ?limits spec rel =
   let evaluate () =
     let candidates = Paql.Translate.base_candidates spec rel in
     let problem = Paql.Translate.to_problem spec rel ~candidates in
-    let result = Faults.solve ?limits ~stage:Eval.Direct problem in
+    let result =
+      Faults.solve ?limits ?warm:warm_basis ?basis_out ~stage:Eval.Direct
+        problem
+    in
     Eval.bump counters result;
     let package_of (sol : Ilp.Branch_bound.sol) =
       Package.of_solution rel ~candidates sol.Ilp.Branch_bound.x

@@ -1,12 +1,20 @@
 (** DIRECT package evaluation (Section 3.2): compute base relations,
     translate the whole query to one ILP, hand it to the solver. *)
 
-(** [run ?limits spec rel] evaluates the compiled query over [rel].
-    [limits] caps the branch-and-bound search; hitting a limit with no
-    incumbent yields [Eval.Failed] — the analogue of the paper's CPLEX
-    failures on hard instances. *)
+(** [run ?limits ?warm_basis ?basis_out spec rel] evaluates the
+    compiled query over [rel]. [limits] caps the branch-and-bound
+    search; hitting a limit with no incumbent yields [Eval.Failed] —
+    the analogue of the paper's CPLEX failures on hard instances.
+
+    [warm_basis] seeds the root LP relaxation from a saved basis (the
+    server's basis cache passes the one saved by a structurally
+    identical earlier query); [basis_out] receives the root
+    relaxation's optimal basis for caching. Both route through
+    {!Faults.solve}, so [lp=] fault directives apply. *)
 val run :
   ?limits:Ilp.Branch_bound.limits ->
+  ?warm_basis:Lp.Simplex.Basis.t ->
+  ?basis_out:Lp.Simplex.Basis.t option ref ->
   Paql.Translate.spec ->
   Relalg.Relation.t ->
   Eval.report

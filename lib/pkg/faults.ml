@@ -20,6 +20,13 @@ type net_fault = Net_accept | Net_read
 
 type wal_fault = Wal_torn of int | Wal_fsync_fail | Wal_crash of int
 
+(* lp=warm:reject drops any warm-start basis handed to [solve] (as if
+   every cache lookup missed); lp=singular:reject corrupts it into a
+   singular basis instead, forcing the solver through its warm-reject
+   branch. Both must degrade to a typed cold solve with an unchanged
+   answer. *)
+type lp_fault = Lp_warm_drop | Lp_singular
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
@@ -27,6 +34,7 @@ type directive =
   | Queue_full
   | Net_break of net_fault
   | Wal_break of wal_fault
+  | Lp_break of lp_fault
 
 type spec = directive list
 
@@ -144,6 +152,14 @@ let parse s =
         Error
           (Printf.sprintf
              "fault wal %S: expected torn:K|fsync:fail|crash:K" f)
+      | [ ("lp", f) ] when act = "reject" -> (
+        match f with
+        | "warm" -> Ok (Lp_break Lp_warm_drop)
+        | "singular" -> Ok (Lp_break Lp_singular)
+        | _ ->
+          Error (Printf.sprintf "fault lp %S: expected warm|singular" f))
+      | [ ("lp", f) ] ->
+        Error (Printf.sprintf "fault lp=%s: expected lp=warm|singular:reject" f)
       | _ ->
         let* action =
           match action_of_string act with
@@ -186,6 +202,8 @@ let parse s =
               | "wal" ->
                 Error
                   "fault selector wal=F expects torn:K|fsync:fail|crash:K"
+              | "lp" ->
+                Error "fault selector lp=F only combines with :reject"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -220,7 +238,7 @@ let action_for ~call ~stage ~group =
   List.find_map
     (function
       | Worker_kill _ | Store_break _ | Queue_full | Net_break _
-      | Wal_break _ ->
+      | Wal_break _ | Lp_break _ ->
         None
       | Ilp_fault (c, a) ->
         let ok_call =
@@ -264,6 +282,11 @@ let queue_full () =
     (function Queue_full -> true | _ -> false)
     (Atomic.get installed)
 
+let lp_fault f =
+  List.exists
+    (function Lp_break g -> g = f | _ -> false)
+    (Atomic.get installed)
+
 let take_net_fault f =
   Mutex.protect net_mu (fun () ->
       let rec remove = function
@@ -285,9 +308,19 @@ let zero_stats stopped =
     stopped;
   }
 
-let solve ?limits ?deadline ~stage ?group problem =
+let solve ?limits ?deadline ?warm ?basis_out ~stage ?group problem =
   let limits =
     match limits with Some l -> l | None -> Ilp.Branch_bound.default_limits
+  in
+  (* apply lp= directives to the warm-start basis before it reaches the
+     solver: drop it (stale-cache simulation) or corrupt it (singular
+     basis). Either way the solver must degrade to a cold solve. *)
+  let warm_start =
+    match warm with
+    | None -> None
+    | Some _ when lp_fault Lp_warm_drop -> None
+    | Some b when lp_fault Lp_singular -> Some (Lp.Simplex.Basis.corrupt b)
+    | Some b -> Some b
   in
   let call = Atomic.fetch_and_add calls 1 + 1 in
   match action_for ~call ~stage ~group with
@@ -303,7 +336,8 @@ let solve ?limits ?deadline ~stage ?group problem =
     Ilp.Branch_bound.Limit (zero_stats (Some Ilp.Branch_bound.Stop_nodes))
   | None -> (
     match deadline with
-    | None -> Ilp.Branch_bound.solve ~limits problem
+    | None ->
+      Ilp.Branch_bound.solve ~limits ?warm_start ?basis_out problem
     | Some d ->
       let remaining = d -. Unix.gettimeofday () in
       if remaining <= 0. then
@@ -318,4 +352,4 @@ let solve ?limits ?deadline ~stage ?group problem =
               Float.min limits.Ilp.Branch_bound.max_seconds remaining;
           }
         in
-        Ilp.Branch_bound.solve ~limits problem)
+        Ilp.Branch_bound.solve ~limits ?warm_start ?basis_out problem)

@@ -38,6 +38,10 @@
                  durable but before it is acknowledged
     wal=fsync:fail  every WAL sync reports failure (write not applied,
                  not acknowledged)
+    lp=warm:reject      drop any warm-start basis handed to {!solve}
+                 (every basis-cache lookup behaves as a miss)
+    lp=singular:reject  corrupt the warm-start basis into a singular
+                 one, forcing the solver's warm-reject path
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
@@ -53,7 +57,10 @@
     [queue=full:fail]. Examples: ["ilp=3:limit"],
     ["stage=sketch:infeasible"],
     ["stage=refine,group=2:raise; worker=1:crash"],
-    ["store=checksum:fail"], ["queue=full"], ["net=read:fail"]. *)
+    ["store=checksum:fail"], ["queue=full"], ["net=read:fail"],
+    ["lp=singular:reject"]. The [lp=] directives must never change an
+    answer: {!Lp.Simplex.resolve} degrades a rejected or unusable warm
+    start to an internal cold solve. *)
 
 type action = Force_limit | Force_infeasible | Force_raise
 
@@ -62,6 +69,8 @@ type store_fault = Store_read | Store_checksum
 type net_fault = Net_accept | Net_read
 
 type wal_fault = Wal_torn of int | Wal_fsync_fail | Wal_crash of int
+
+type lp_fault = Lp_warm_drop | Lp_singular
 
 type cond = {
   on_call : int option;
@@ -76,6 +85,7 @@ type directive =
   | Queue_full
   | Net_break of net_fault
   | Wal_break of wal_fault
+  | Lp_break of lp_fault
 
 type spec = directive list
 
@@ -100,18 +110,28 @@ val install_from_env : unit -> unit
 
 val env_var : string
 
-(** [solve ?limits ?deadline ~stage ?group p] is
+(** [solve ?limits ?deadline ?warm ?basis_out ~stage ?group p] is
     [Branch_bound.solve ~limits p] with the per-call [max_seconds]
     clamped to the budget remaining before [deadline], after applying
     any fault directive matching this call. Increments the global call
-    counter even when a fault short-circuits the solver. *)
+    counter even when a fault short-circuits the solver.
+
+    [warm] seeds the root LP from a saved basis (subject to the [lp=]
+    fault directives above); [basis_out], when given, receives the root
+    relaxation's optimal basis for reuse on the next call with the same
+    columns. *)
 val solve :
   ?limits:Ilp.Branch_bound.limits ->
   ?deadline:float ->
+  ?warm:Lp.Simplex.Basis.t ->
+  ?basis_out:Lp.Simplex.Basis.t option ref ->
   stage:Eval.stage ->
   ?group:int ->
   Lp.Problem.t ->
   Ilp.Branch_bound.result
+
+(** Whether an [lp=...] directive of the given kind is installed. *)
+val lp_fault : lp_fault -> bool
 
 (** Whether an installed directive kills parallel worker [w]. *)
 val worker_should_crash : int -> bool

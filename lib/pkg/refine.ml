@@ -9,11 +9,16 @@ exception Budget_exhausted
 
 (* Mutable refinement state: a group is either still represented by
    [rep_counts.(j)] copies of its representative, or fixed to original
-   tuples [refined.(j) = Some entries]. *)
+   tuples [refined.(j) = Some entries]. [bases.(j)] caches the optimal
+   root basis of the last refine ILP solved for group [j]: the group's
+   candidate columns never change across backtracking re-solves (only
+   the constraint-bound offsets move), so the next solve for the same
+   group warm-starts from it. *)
 type state = {
   ctx : Sketch.ctx;
   rep_counts : float array;
   refined : (int * int) list option array;
+  bases : Lp.Simplex.Basis.t option array;
 }
 
 let num_constraints st = Array.length st.ctx.Sketch.coeff_rel
@@ -55,11 +60,13 @@ let refine_query ?limits ?(clamp = true) ~deadline ~stage st counters j =
       { st.ctx.Sketch.spec with Paql.Translate.where = None }
       st.ctx.Sketch.rel ~candidates
   in
+  let basis_out = ref None in
   let result =
     Faults.solve ?limits
       ?deadline:(if clamp then deadline else None)
-      ~stage ~group:j problem
+      ?warm:st.bases.(j) ~basis_out ~stage ~group:j problem
   in
+  (match !basis_out with Some _ as b -> st.bases.(j) <- b | None -> ());
   Eval.bump counters result;
   match result with
   | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
@@ -143,6 +150,9 @@ let state_of_snapshot ctx snapshot =
     ctx;
     rep_counts = snapshot.srep_counts;
     refined = snapshot.srefined;
+    (* parallel workers solve each group once from a snapshot: no
+       re-solve to warm, so every group starts cold *)
+    bases = Array.make (Partition.num_groups ctx.Sketch.part) None;
   }
 
 let solve_group ?limits ?deadline ctx counters snapshot j =
@@ -170,10 +180,13 @@ let within_bounds ?(tol = 1e-6) ctx values =
     (Array.to_list values)
 
 let run ?limits ?deadline ?(clamp = true) ?(max_backtracks = 256)
-    ?(stage = Eval.Refine) ctx counters ~rep_counts ~refined =
-  let st = { ctx; rep_counts; refined } in
-  let budget = counters.Eval.backtracks + max_backtracks in
+    ?(stage = Eval.Refine) ?bases ctx counters ~rep_counts ~refined =
   let m = Partition.num_groups ctx.Sketch.part in
+  let bases =
+    match bases with Some b -> b | None -> Array.make m None
+  in
+  let st = { ctx; rep_counts; refined; bases } in
+  let budget = counters.Eval.backtracks + max_backtracks in
   (* Refine biggest representative multiplicities first: they constrain
      the remaining groups the most. (The initial order is arbitrary per
      the paper; this deterministic choice keeps runs reproducible.) *)

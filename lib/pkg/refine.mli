@@ -26,13 +26,22 @@ type result =
     [counters.backtracks]; more than [max_backtracks] of them (default
     256, greedy backtracking is worst-case factorial) yields
     [Refine_infeasible] so the caller can fall back to the hybrid
-    sketch. *)
+    sketch.
+
+    [bases] (one slot per partition group, created internally when
+    omitted) carries each group's last optimal ILP root basis across
+    refine queries: a group re-solved after backtracking — same
+    candidate columns, shifted constraint offsets — warm-starts from
+    its previous basis ({!Lp.Simplex.resolve}). Passing the same array
+    across successive [run] calls over one [ctx] extends the reuse
+    across fallback rungs. *)
 val run :
   ?limits:Ilp.Branch_bound.limits ->
   ?deadline:float ->
   ?clamp:bool ->
   ?max_backtracks:int ->
   ?stage:Eval.stage ->
+  ?bases:Lp.Simplex.Basis.t option array ->
   Sketch.ctx ->
   Eval.counters ->
   rep_counts:float array ->

@@ -154,12 +154,17 @@ let run ?(options = default_options) spec rel partition =
     let m = Partition.num_groups part in
     Log.debug (fun k -> k "attempt: %d groups, fallbacks=%d" m
                   (List.length fallbacks));
+    (* One basis slot per group, shared by every refine rung of this
+       attempt (ladder re-entries via the hybrid sketch included): a
+       group re-solved on a later rung warm-starts from its last
+       optimal basis. A new attempt re-partitions, so bases reset. *)
+    let bases = Array.make m None in
     let refine_from ~rep_counts ~refined ~on_infeasible =
       match
         Eval.observe_stage Eval.Refine (fun () ->
             Refine.run ~limits:options.limits ~deadline
-              ~clamp:options.propagate_deadline ctx counters ~rep_counts
-              ~refined)
+              ~clamp:options.propagate_deadline ~bases ctx counters
+              ~rep_counts ~refined)
       with
       | Refine.Refined p ->
         finish Eval.Optimal (Some p) (Some (Package.objective spec p))

@@ -11,6 +11,7 @@ type config = {
   queue : int;
   result_cache : int;
   plan_cache : int;
+  basis_cache : int;
   method_ : method_;
   attrs : string list;
   tau : int option;
@@ -48,6 +49,7 @@ let default_config () =
     queue = max 1 (int_env "PKGQ_SERVE_QUEUE" 32);
     result_cache = cache_env "PKGQ_RESULT_CACHE" 256;
     plan_cache = 64;
+    basis_cache = cache_env "PKGQ_BASIS_CACHE" 128;
     method_ = Direct;
     attrs = [];
     tau = None;
@@ -88,6 +90,7 @@ type t = {
   sched : Scheduler.t;
   plan_cache : (string, Paql.Ast.query * Paql.Translate.spec) Cache.t;
   result_cache : (string, Protocol.response) Cache.t;
+  basis_cache : (string, Lp.Simplex.Basis.t) Cache.t;
   mutable state : snapshot;
   state_mu : Mutex.t;
   wal : Store.Wal.t option;
@@ -278,6 +281,20 @@ let cacheable (r : Pkg.Eval.report) =
   | Pkg.Eval.Optimal | Pkg.Eval.Infeasible -> true
   | Pkg.Eval.Feasible _ | Pkg.Eval.Failed _ -> false
 
+(* The STATS verb reports the process-wide simplex counters as gauges:
+   they are cumulative totals read from [Lp.Simplex.counters], so a
+   re-sync after every solve is idempotent under concurrency (no
+   delta-accounting to double count). *)
+let sync_solver_gauges metrics =
+  let c = Lp.Simplex.counters () in
+  Metrics.set_gauge metrics "solver_pivots" c.Lp.Simplex.pivots;
+  Metrics.set_gauge metrics "solver_dual_pivots" c.Lp.Simplex.dual_pivots;
+  Metrics.set_gauge metrics "solver_refactorizations"
+    c.Lp.Simplex.refactorizations;
+  Metrics.set_gauge metrics "solver_cold_solves" c.Lp.Simplex.cold_solves;
+  Metrics.set_gauge metrics "solver_warm_attempts" c.Lp.Simplex.warm_attempts;
+  Metrics.set_gauge metrics "solver_warm_hits" c.Lp.Simplex.warm_hits
+
 let eval_query t ~deadline query =
   let snap = Mutex.protect t.state_mu (fun () -> t.state) in
   let qfp = Paql.Fingerprint.of_query query in
@@ -308,7 +325,28 @@ let eval_query t ~deadline query =
           Metrics.incr t.metrics "solves";
           Metrics.time t.metrics "solve" (fun () ->
               match t.cfg.method_ with
-              | Direct -> Ok (Pkg.Direct.run ~limits spec snap.rel)
+              | Direct ->
+                (* Basis cache: keyed by the query's *structure*
+                   fingerprint (numeric literals abstracted) plus the
+                   table fingerprint. Parameter-tweaked variants of one
+                   query build ILPs over identical columns, so the
+                   optimal root basis of one warm-starts the next. *)
+                let bkey =
+                  Paql.Fingerprint.structure_of_query query ^ "@" ^ snap.fp
+                in
+                let warm_basis = Cache.find_opt t.basis_cache bkey in
+                Metrics.incr t.metrics
+                  (match warm_basis with
+                  | Some _ -> "basis_hits"
+                  | None -> "basis_misses");
+                let basis_out = ref None in
+                let report =
+                  Pkg.Direct.run ~limits ?warm_basis ~basis_out spec snap.rel
+                in
+                (match !basis_out with
+                | Some b -> Cache.add t.basis_cache bkey b
+                | None -> ());
+                Ok report
               | Sketch_refine | Parallel_refine -> (
                 match partition_for t snap ast spec with
                 | Error resp -> Error resp
@@ -329,6 +367,7 @@ let eval_query t ~deadline query =
         match run () with
         | Error resp -> resp
         | Ok report ->
+          sync_solver_gauges t.metrics;
           let resp = response_of_report report in
           if cacheable report then Cache.add t.result_cache rkey resp;
           resp
@@ -399,14 +438,18 @@ let publish_locked t ~old_fp ~verb rel' parts =
     t.catalog;
   t.state <- snap';
   Metrics.incr t.metrics verb;
-  let dropped =
-    Cache.remove_if t.result_cache (fun k ->
-        String.length k >= String.length old_fp
-        && String.sub k (String.length k - String.length old_fp)
-             (String.length old_fp)
-           = old_fp)
+  let superseded k =
+    String.length k >= String.length old_fp
+    && String.sub k (String.length k - String.length old_fp)
+         (String.length old_fp)
+       = old_fp
   in
+  let dropped = Cache.remove_if t.result_cache superseded in
   Metrics.incr ~by:dropped t.metrics "result_invalidated";
+  (* A saved basis indexes rows of the superseded table; warm-starting
+     the new one from it would be rejected (or worse, mislead the dual
+     pass), so drop those too. *)
+  ignore (Cache.remove_if t.basis_cache superseded);
   dropped
 
 let append_locked t extra =
@@ -735,6 +778,7 @@ let start ?catalog cfg rel =
       sched;
       plan_cache = Cache.create ~capacity:cfg.plan_cache;
       result_cache = Cache.create ~capacity:cfg.result_cache;
+      basis_cache = Cache.create ~capacity:cfg.basis_cache;
       state = fresh_snapshot rel;
       state_mu = Mutex.create ();
       wal;

@@ -24,7 +24,16 @@
       {e proven} outcomes (Optimal / Infeasible) are cached — budget-
       dependent [Feasible] gaps and failures are recomputed. [APPEND]
       explicitly invalidates every result for the superseded table
-      fingerprint.
+      fingerprint;
+    - {b basis cache} — keyed by (query {e structure} fingerprint,
+      table fingerprint): the optimal root-LP basis of a DIRECT solve
+      is saved and warm-starts the dual simplex for the next
+      parameter-tweaked variant of the same query
+      ({!Paql.Fingerprint.structure_of_query} abstracts numeric
+      literals, so [... <= 150] and [... <= 160] share a key).
+      Capacity comes from [PKGQ_BASIS_CACHE] (default 128; [off]
+      disables); entries for a superseded table fingerprint are
+      invalidated alongside results.
 
     [APPEND] routes through {!Store.Maintain.append}: cached
     partitionings are maintained incrementally (local re-splits only),
@@ -40,6 +49,7 @@ type config = {
   queue : int;         (** admission queue capacity *)
   result_cache : int;  (** result cache capacity; 0 disables *)
   plan_cache : int;    (** plan cache capacity; 0 disables *)
+  basis_cache : int;   (** solver basis cache capacity; 0 disables *)
   method_ : method_;
   attrs : string list; (** partitioning attrs; [] = query's numeric attrs *)
   tau : int option;    (** [None] = 10% of the table *)
@@ -55,8 +65,9 @@ type config = {
 
 (** Defaults: localhost, ephemeral port, DIRECT, 60s request budget —
     with [workers], [queue] and [result_cache] read from
-    [PKGQ_SERVE_WORKERS] (default 4), [PKGQ_SERVE_QUEUE] (default 32)
-    and [PKGQ_RESULT_CACHE] (capacity, or [off]; default 256), no WAL,
+    [PKGQ_SERVE_WORKERS] (default 4), [PKGQ_SERVE_QUEUE] (default 32),
+    [PKGQ_RESULT_CACHE] (capacity, or [off]; default 256) and
+    [PKGQ_BASIS_CACHE] (capacity, or [off]; default 128), no WAL,
     and the checkpoint threshold from [PKGQ_WAL_CHECKPOINT] (records
     between checkpoints, or [off]; default 64). *)
 val default_config : unit -> config

@@ -51,7 +51,13 @@ let test_faults_parse () =
   checkb "store alongside others" true (ok "store=read:fail; ilp=1:limit");
   checkb "unknown store selector rejected" false (ok "store=x:fail");
   checkb "store only fails" false (ok "store=read:limit");
-  checkb "store cannot combine" false (ok "store=read,group=1:fail")
+  checkb "store cannot combine" false (ok "store=read,group=1:fail");
+  checkb "lp warm fault" true (ok "lp=warm:reject");
+  checkb "lp singular fault" true (ok "lp=singular:reject");
+  checkb "lp alongside others" true (ok "lp=warm:reject; ilp=1:limit");
+  checkb "unknown lp selector rejected" false (ok "lp=x:reject");
+  checkb "lp only rejects" false (ok "lp=warm:limit");
+  checkb "lp cannot combine" false (ok "lp=warm,group=1:reject")
 
 let test_faults_selector_semantics () =
   with_faults "ilp=2:infeasible" (fun () ->
@@ -241,6 +247,41 @@ let test_injected_store_fault () =
   | exception e ->
     Alcotest.failf "clean read failed after clearing faults: %s"
       (Printexc.to_string e)
+
+(* lp= faults sabotage the warm-start basis on its way into the solver;
+   the contract is that the answer never changes — a dropped basis
+   solves cold, a singular one is rejected and solves cold. *)
+let test_injected_lp_fault_preserves_answer () =
+  let spec = galaxy_spec galaxy_rel in
+  let basis_out = ref None in
+  let clean = Pkg.Direct.run ~basis_out spec galaxy_rel in
+  checkb "clean run saved a basis" true (!basis_out <> None);
+  let warm_basis = !basis_out in
+  let objective (r : E.report) =
+    match (r.E.status, r.E.objective) with
+    | E.Optimal, Some o -> o
+    | _ -> Alcotest.failf "run not optimal: %a" E.pp_status r.E.status
+  in
+  let reference = objective clean in
+  let under fault =
+    with_faults fault (fun () ->
+        checkb
+          (fault ^ " registered")
+          true
+          (Pkg.Faults.lp_fault
+             (if fault = "lp=warm:reject" then Pkg.Faults.Lp_warm_drop
+              else Pkg.Faults.Lp_singular));
+        objective (Pkg.Direct.run ?warm_basis spec galaxy_rel))
+  in
+  Alcotest.check (Alcotest.float 1e-6) "warm-drop fault preserves objective"
+    reference
+    (under "lp=warm:reject");
+  Alcotest.check (Alcotest.float 1e-6) "singular fault preserves objective"
+    reference
+    (under "lp=singular:reject");
+  (* and the clean warm path agrees too, once faults are gone *)
+  Alcotest.check (Alcotest.float 1e-6) "clean warm run agrees" reference
+    (objective (Pkg.Direct.run ?warm_basis spec galaxy_rel))
 
 (* ------------------------------------------------------------------ *)
 (* Fallback ladder under injected faults                              *)
@@ -461,6 +502,8 @@ let () =
             test_injected_limit_direct;
           Alcotest.test_case "store faults typed" `Quick
             test_injected_store_fault;
+          Alcotest.test_case "lp faults preserve answers" `Quick
+            test_injected_lp_fault_preserves_answer;
         ] );
       ( "fallback ladder",
         [

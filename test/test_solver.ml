@@ -1,0 +1,312 @@
+(* Solver warm-start tests: the correctness contract of the dual
+   simplex is that a warm re-solve agrees with a cold solve on every
+   problem — a stale, corrupt, or merely unhelpful basis may cost time
+   but never change an answer. Exercised here with qcheck-random LPs
+   under random bound perturbations, branch-and-bound searches with and
+   without basis reuse, a deliberately corrupted basis, and the
+   parallel-pricing determinism matrix (1 worker vs N must be
+   bit-identical). *)
+
+module P = Lp.Problem
+module S = Lp.Simplex
+module B = Ilp.Branch_bound
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+(* Every variable is boxed in [0, hi] with hi finite, so no random
+   problem is unbounded: statuses can only be Optimal or Infeasible,
+   which both paths must agree on. *)
+let gen_lp =
+  QCheck.Gen.(
+    int_range 2 10 >>= fun n ->
+    int_range 1 4 >>= fun m ->
+    list_repeat n (float_range (-5.) 5.) >>= fun objs ->
+    list_repeat n (float_range 0.5 5.) >>= fun his ->
+    list_repeat m
+      (pair
+         (list_repeat n (float_range (-3.) 3.))
+         (pair (float_range 1. 10.) bool))
+    >>= fun rows ->
+    return
+      (P.make ~sense:P.Maximize
+         ~vars:(List.map2 (fun o h -> P.var ~lo:0. ~hi:h o) objs his)
+         ~rows:
+           (List.map
+              (fun (coeffs, (rhs, ranged)) ->
+                P.row
+                  (List.filteri (fun _ _ -> true) coeffs
+                  |> List.mapi (fun j a -> (j, a)))
+                  ~lo:(if ranged then -.rhs else neg_infinity)
+                  ~hi:rhs)
+              rows)))
+
+(* A bound perturbation of the kind refine rungs and B&B children
+   apply: pick a variable, pin it to zero or relax its cap. *)
+let gen_perturb =
+  QCheck.Gen.(
+    pair (int_range 0 1000) (oneofl [ `Pin; `Relax; `Tighten_row ]))
+
+let perturb p (jseed, kind) =
+  let n = Array.length p.P.vars in
+  let j = jseed mod n in
+  match kind with
+  | `Pin ->
+    let vars' = Array.copy p.P.vars in
+    vars'.(j) <- { vars'.(j) with P.hi = 0. };
+    { p with P.vars = vars' }
+  | `Relax ->
+    let vars' = Array.copy p.P.vars in
+    vars'.(j) <- { vars'.(j) with P.hi = vars'.(j).P.hi *. 2. };
+    { p with P.vars = vars' }
+  | `Tighten_row ->
+    let m = Array.length p.P.rows in
+    if m = 0 then p
+    else begin
+      let rows' = Array.copy p.P.rows in
+      let r = jseed mod m in
+      rows'.(r) <- { rows'.(r) with P.rhi = rows'.(r).P.rhi *. 0.5 };
+      { p with P.rows = rows' }
+    end
+
+let agree name cold warm =
+  match (cold, warm) with
+  | S.Optimal c, S.Optimal w ->
+    if
+      Float.abs (c.S.obj -. w.S.obj)
+      > 1e-5 *. Float.max 1. (Float.abs c.S.obj)
+    then
+      QCheck.Test.fail_reportf "%s: warm obj %.9g <> cold obj %.9g" name
+        w.S.obj c.S.obj
+    else true
+  | S.Infeasible, S.Infeasible -> true
+  | c, w ->
+    QCheck.Test.fail_reportf "%s: cold %a, warm %a" name S.pp_result c
+      S.pp_result w
+
+(* warm resolve from the parent's basis == cold solve, over random LPs
+   and random bound flips *)
+let warm_cold_agreement_prop =
+  QCheck.Test.make ~count:300 ~name:"warm resolve agrees with cold solve"
+    (QCheck.make (QCheck.Gen.pair gen_lp gen_perturb))
+    (fun (p0, pr) ->
+      match S.solve p0 with
+      | S.Optimal sol ->
+        let p1 = perturb p0 pr in
+        let cold = S.solve p1 in
+        let warm = S.resolve ?basis:sol.S.basis p1 in
+        agree "perturbed" cold warm
+      | _ -> QCheck.assume_fail ())
+
+(* branch-and-bound with cross-node basis reuse finds the same answer
+   as with warm starts disabled entirely *)
+let bb_warm_agreement_prop =
+  QCheck.Test.make ~count:60 ~name:"B&B agrees with warm starts off"
+    (QCheck.make gen_lp) (fun p ->
+      let integerize p =
+        {
+          p with
+          P.vars =
+            Array.map
+              (fun v -> { v with P.integer = true; P.hi = Float.round v.P.hi })
+              p.P.vars;
+        }
+      in
+      let p = integerize p in
+      S.set_warm_enabled false;
+      let cold = B.solve p in
+      S.set_warm_enabled true;
+      let warm = B.solve p in
+      match (cold, warm) with
+      | B.Optimal (c, _), B.Optimal (w, _) ->
+        if Float.abs (c.B.obj -. w.B.obj) > 1e-5 *. Float.max 1. (Float.abs c.B.obj)
+        then
+          QCheck.Test.fail_reportf "B&B warm obj %.9g <> cold obj %.9g" w.B.obj
+            c.B.obj
+        else true
+      | B.Infeasible _, B.Infeasible _ -> true
+      | c, w ->
+        QCheck.Test.fail_reportf "B&B: cold %a, warm %a" B.pp_result c
+          B.pp_result w)
+
+(* re-solving with the saved root basis (the server's basis-cache path)
+   agrees with the cold search and registers as a warm attempt *)
+let test_bb_basis_roundtrip () =
+  let rng = Datagen.Prng.create 7 in
+  let n = 60 in
+  let vars =
+    List.init n (fun _ ->
+        P.var ~integer:true ~hi:1. (Datagen.Prng.uniform rng 1. 10.))
+  in
+  let coeffs = List.init n (fun j -> (j, Datagen.Prng.uniform rng 1. 5.)) in
+  let p =
+    P.make ~sense:P.Maximize ~vars
+      ~rows:[ P.row coeffs ~lo:neg_infinity ~hi:40. ]
+  in
+  let basis_out = ref None in
+  let r1 = B.solve ~basis_out p in
+  checkb "first search saved a root basis" true (!basis_out <> None);
+  let c0 = S.counters () in
+  let r2 = B.solve ?warm_start:!basis_out p in
+  let c1 = S.counters () in
+  checkb "warm attempts grew" true (c1.S.warm_attempts > c0.S.warm_attempts);
+  match (r1, r2) with
+  | B.Optimal (s1, _), B.Optimal (s2, _) ->
+    Alcotest.check (Alcotest.float 1e-6) "objectives equal" s1.B.obj s2.B.obj
+  | _ -> Alcotest.fail "both searches should be optimal"
+
+(* a corrupted (singular) basis must fall back to a cold solve with the
+   right answer, and must not count as a warm hit *)
+let test_corrupt_basis_falls_cold () =
+  let rng = Datagen.Prng.create 3 in
+  let n = 40 in
+  let vars =
+    List.init n (fun _ -> P.var ~hi:1. (Datagen.Prng.uniform rng 1. 10.))
+  in
+  (* two rows: [corrupt] duplicates a basis row, which is only a real
+     corruption when the basis has more than one *)
+  let coeffs = List.init n (fun j -> (j, 1.)) in
+  let weights =
+    List.init n (fun j -> (j, Datagen.Prng.uniform rng 0.5 2.))
+  in
+  let p =
+    P.make ~sense:P.Maximize ~vars
+      ~rows:
+        [
+          P.row coeffs ~lo:5. ~hi:5.;
+          P.row weights ~lo:neg_infinity ~hi:8.;
+        ]
+  in
+  match S.solve p with
+  | S.Optimal sol -> (
+    let b =
+      match sol.S.basis with
+      | Some b -> S.Basis.corrupt b
+      | None -> Alcotest.fail "no basis exported"
+    in
+    let c0 = S.counters () in
+    match S.resolve ~basis:b p with
+    | S.Optimal sol' ->
+      let c1 = S.counters () in
+      Alcotest.check (Alcotest.float 1e-6) "objective preserved" sol.S.obj
+        sol'.S.obj;
+      checki "counted as an attempt" (c0.S.warm_attempts + 1)
+        c1.S.warm_attempts;
+      checki "not counted as a hit" c0.S.warm_hits c1.S.warm_hits;
+      checkb "fell back to a cold solve" true
+        (c1.S.cold_solves > c0.S.cold_solves)
+    | r -> Alcotest.failf "corrupt-basis resolve: %a" S.pp_result r)
+  | r -> Alcotest.failf "seed solve: %a" S.pp_result r
+
+(* disabled warm starts (PKGQ_WARM=off) never touch the warm path *)
+let test_warm_disabled_is_cold () =
+  let p =
+    P.make ~sense:P.Maximize
+      ~vars:[ P.var ~hi:1. 1.; P.var ~hi:1. 2. ]
+      ~rows:[ P.row [ (0, 1.); (1, 1.) ] ~lo:neg_infinity ~hi:1. ]
+  in
+  match S.solve p with
+  | S.Optimal sol ->
+    S.set_warm_enabled false;
+    let c0 = S.counters () in
+    let r = S.resolve ?basis:sol.S.basis p in
+    let c1 = S.counters () in
+    S.set_warm_enabled true;
+    checki "no warm attempt" c0.S.warm_attempts c1.S.warm_attempts;
+    (match r with
+    | S.Optimal sol' ->
+      Alcotest.check (Alcotest.float 1e-9) "same objective" sol.S.obj
+        sol'.S.obj
+    | r -> Alcotest.failf "disabled resolve: %a" S.pp_result r)
+  | r -> Alcotest.failf "seed solve: %a" S.pp_result r
+
+(* ------------------------------------------------------------------ *)
+(* Parallel pricing determinism                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Large enough to cross the parallel-pricing threshold (8192 columns),
+   so the multi-worker path really runs. *)
+let big_lp () =
+  let rng = Datagen.Prng.create 17 in
+  let n = 9_000 in
+  let vars =
+    List.init n (fun _ -> P.var ~hi:1. (Datagen.Prng.uniform rng 1. 10.))
+  in
+  let count_row = P.row (List.init n (fun j -> (j, 1.))) ~lo:80. ~hi:80. in
+  let res_rows =
+    List.init 3 (fun _ ->
+        P.row
+          (List.init n (fun j -> (j, Datagen.Prng.uniform rng 0. 5.)))
+          ~lo:neg_infinity ~hi:450.)
+  in
+  P.make ~sense:P.Maximize ~vars ~rows:(count_row :: res_rows)
+
+let bits x = Array.map Int64.bits_of_float x
+
+let test_parallel_pricing_deterministic () =
+  let p = big_lp () in
+  let solve_with w =
+    S.set_price_workers w;
+    Fun.protect
+      ~finally:(fun () -> S.set_price_workers 1)
+      (fun () ->
+        match S.solve p with
+        | S.Optimal sol -> sol
+        | r -> Alcotest.failf "workers=%d: %a" w S.pp_result r)
+  in
+  let s1 = solve_with 1 in
+  let s4 = solve_with 4 in
+  checki "same pivot count" s1.S.iterations s4.S.iterations;
+  checkb "objective bit-identical" true
+    (Int64.bits_of_float s1.S.obj = Int64.bits_of_float s4.S.obj);
+  checkb "solution vector bit-identical" true (bits s1.S.x = bits s4.S.x)
+
+let test_parallel_warm_deterministic () =
+  let p = big_lp () in
+  let root =
+    match S.solve p with
+    | S.Optimal sol -> sol
+    | r -> Alcotest.failf "root: %a" S.pp_result r
+  in
+  (* pin the most-selected column, then warm re-solve at 1 vs 4 workers *)
+  let j = ref 0 in
+  Array.iteri (fun i v -> if v > root.S.x.(!j) then j := i) root.S.x;
+  let vars' = Array.copy p.P.vars in
+  vars'.(!j) <- { vars'.(!j) with P.hi = 0. };
+  let p' = { p with P.vars = vars' } in
+  let resolve_with w =
+    S.set_price_workers w;
+    Fun.protect
+      ~finally:(fun () -> S.set_price_workers 1)
+      (fun () ->
+        match S.resolve ?basis:root.S.basis p' with
+        | S.Optimal sol -> sol
+        | r -> Alcotest.failf "warm workers=%d: %a" w S.pp_result r)
+  in
+  let s1 = resolve_with 1 in
+  let s4 = resolve_with 4 in
+  checki "same pivot count" s1.S.iterations s4.S.iterations;
+  checkb "warm solution bit-identical" true (bits s1.S.x = bits s4.S.x)
+
+let () =
+  Alcotest.run "solver"
+    [
+      ( "warm vs cold",
+        [
+          QCheck_alcotest.to_alcotest warm_cold_agreement_prop;
+          QCheck_alcotest.to_alcotest bb_warm_agreement_prop;
+          Alcotest.test_case "B&B basis roundtrip" `Quick
+            test_bb_basis_roundtrip;
+          Alcotest.test_case "corrupt basis falls cold" `Quick
+            test_corrupt_basis_falls_cold;
+          Alcotest.test_case "warm disabled is cold" `Quick
+            test_warm_disabled_is_cold;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "cold pricing 1 vs 4 workers" `Quick
+            test_parallel_pricing_deterministic;
+          Alcotest.test_case "warm pricing 1 vs 4 workers" `Quick
+            test_parallel_warm_deterministic;
+        ] );
+    ]
