@@ -35,14 +35,14 @@ let die code msg =
    The OK body carries the package as CSV, so --out writes exactly the
    bytes a local run would; a remote failure exits with the same code
    taxonomy (plus 7 for an admission-control rejection). *)
-let run_remote endpoint retries query out =
+let run_remote endpoint retries connect_timeout query out =
   let host, port =
     match Service.Client.parse_endpoint endpoint with
     | Ok hp -> hp
     | Error msg -> die exit_usage_error ("--connect: " ^ msg)
   in
   let client =
-    try Service.Client.connect ~retries ~host ~port () with
+    try Service.Client.connect ~retries ?connect_timeout ~host ~port () with
     | Unix.Unix_error (e, _, _) ->
       die exit_data_error
         (Printf.sprintf "connect %s: %s" endpoint (Unix.error_message e))
@@ -50,6 +50,9 @@ let run_remote endpoint retries query out =
       die exit_data_error
         (Printf.sprintf "connect %s: gave up after %d attempts (%s)" endpoint
            attempts (Printexc.to_string last))
+    | Service.Client.Timed_out { seconds; _ } ->
+      die exit_data_error
+        (Printf.sprintf "connect %s: timed out after %.3fs" endpoint seconds)
     | Failure msg -> die exit_data_error msg
   in
   Fun.protect
@@ -79,9 +82,9 @@ let run_remote endpoint retries query out =
             Format.printf "package written to %s@." path
           | None -> print_string csv)))
 
-let run_inner connect retries data query_text query_file method_ tau attrs
-    epsilon max_seconds max_nodes faults out verbose explain mps_out
-    partition_file save_partition parallel store_dir no_store =
+let run_inner connect retries connect_timeout data query_text query_file
+    method_ tau attrs epsilon max_seconds max_nodes faults out verbose explain
+    mps_out partition_file save_partition parallel store_dir no_store =
   let query =
     match query_text, query_file with
     | Some q, None -> q
@@ -92,7 +95,7 @@ let run_inner connect retries data query_text query_file method_ tau attrs
       die exit_usage_error "a query is required (--query or --query-file)"
   in
   match connect with
-  | Some endpoint -> run_remote endpoint retries query out
+  | Some endpoint -> run_remote endpoint retries connect_timeout query out
   | None ->
   let data =
     match data with
@@ -254,13 +257,13 @@ let run_inner connect retries data query_text query_file method_ tau attrs
 (* Cmdliner traps exceptions escaping the term (reporting them as an
    internal error, exit 124), so failure-mode exit codes must be
    assigned here, inside the term body. *)
-let run connect retries data query_text query_file method_ tau attrs epsilon
-    max_seconds max_nodes faults out verbose explain mps_out partition_file
-    save_partition parallel store_dir no_store =
+let run connect retries connect_timeout data query_text query_file method_
+    tau attrs epsilon max_seconds max_nodes faults out verbose explain mps_out
+    partition_file save_partition parallel store_dir no_store =
   match
-    run_inner connect retries data query_text query_file method_ tau attrs
-      epsilon max_seconds max_nodes faults out verbose explain mps_out
-      partition_file save_partition parallel store_dir no_store
+    run_inner connect retries connect_timeout data query_text query_file
+      method_ tau attrs epsilon max_seconds max_nodes faults out verbose
+      explain mps_out partition_file save_partition parallel store_dir no_store
   with
   | () -> ()
   | exception Relalg.Csv.Error (line, msg) ->
@@ -295,6 +298,16 @@ let retries =
            idempotent requests up to N times with capped exponential \
            backoff and jitter, riding out a server restart window. \
            APPENDs are never resent.")
+
+let connect_timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "connect-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--connect): bound each TCP connection attempt; a hung \
+           or stopped server yields a typed timeout error instead of an \
+           indefinitely blocked client. Unset = block (legacy behaviour).")
 
 let data =
   Arg.(
@@ -433,7 +446,8 @@ let cmd =
   let doc = "evaluate PaQL package queries over CSV data" in
   let term =
     Term.(
-      const run $ connect $ retries $ data $ query_text $ query_file
+      const run $ connect $ retries $ connect_timeout $ data $ query_text
+      $ query_file
       $ method_ $ tau
       $ attrs $ epsilon $ max_seconds $ max_nodes $ faults $ out $ verbose
       $ explain $ mps_out $ partition_file $ save_partition $ parallel

@@ -45,10 +45,17 @@ let limit_failure ?stage ?group ?worker (st : Ilp.Branch_bound.stats) =
   in
   failure ?stage ?group ?worker kind
 
+type degradation = {
+  stale_groups : int list;
+  omitted_groups : int list;
+  detail : string;
+}
+
 type status =
   | Optimal
   | Feasible of float
   | Infeasible
+  | Degraded of degradation
   | Failed of failure
 
 let failed ?stage ?group ?worker kind = Failed (failure ?stage ?group ?worker kind)
@@ -116,10 +123,18 @@ let pp_failure ppf f =
   if ctx <> [] then
     Format.fprintf ppf " [%s]" (String.concat ", " ctx)
 
+let pp_int_list ppf ids =
+  Format.fprintf ppf "[%s]" (String.concat "," (List.map string_of_int ids))
+
+let pp_degradation ppf d =
+  Format.fprintf ppf "stale %a, omitted %a (%s)" pp_int_list d.stale_groups
+    pp_int_list d.omitted_groups d.detail
+
 let pp_status ppf = function
   | Optimal -> Format.pp_print_string ppf "optimal"
   | Feasible gap -> Format.fprintf ppf "feasible (gap %.2f%%)" (gap *. 100.)
   | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Degraded d -> Format.fprintf ppf "degraded: %a" pp_degradation d
   | Failed f -> Format.fprintf ppf "failed: %a" pp_failure f
 
 let pp_report ppf r =

@@ -45,6 +45,19 @@ val failure : ?stage:stage -> ?group:int -> ?worker:int -> failure_kind -> failu
 val limit_failure :
   ?stage:stage -> ?group:int -> ?worker:int -> Ilp.Branch_bound.stats -> failure
 
+(** Which partition groups a degraded distributed answer failed to
+    serve at full fidelity. A group is {e stale} when its refine was
+    served by a replica lagging the primary's WAL position, and
+    {e omitted} when neither the owning shard nor its replica could be
+    reached — the assembled package covers only the remaining groups
+    and its constraints are evaluated without the missing groups'
+    contributions. *)
+type degradation = {
+  stale_groups : int list;
+  omitted_groups : int list;
+  detail : string;  (** human-readable cause, e.g. "shard 2 and replica down" *)
+}
+
 type status =
   | Optimal
       (** every ILP subproblem was solved to proven optimality *)
@@ -52,6 +65,11 @@ type status =
       (** a solver limit was hit; the payload is the worst relative
           optimality gap observed *)
   | Infeasible
+  | Degraded of degradation
+      (** a sharded evaluation answered with reduced fidelity rather
+          than hanging or silently lying: the payload names exactly
+          which groups were served stale or omitted. Never cacheable,
+          never presented as a proven optimum. *)
   | Failed of failure
       (** the solver gave up with no usable answer — the analogue of
           the paper's CPLEX failures (memory/time kill), now typed *)
@@ -104,5 +122,6 @@ val observe_stage : stage -> (unit -> 'a) -> 'a
 
 val pp_failure_kind : Format.formatter -> failure_kind -> unit
 val pp_failure : Format.formatter -> failure -> unit
+val pp_degradation : Format.formatter -> degradation -> unit
 val pp_status : Format.formatter -> status -> unit
 val pp_report : Format.formatter -> report -> unit

@@ -27,6 +27,14 @@ type wal_fault = Wal_torn of int | Wal_fsync_fail | Wal_crash of int
    answer. *)
 type lp_fault = Lp_warm_drop | Lp_singular
 
+(* shard=K:... directives are consumed by the coordinator's dispatch
+   path: crash (treat the next exchange with shard K as a dead
+   connection), stall (delay the next exchange by MS, letting hedges
+   and timeouts fire deterministically), drop (sever the connection
+   once, exercising reconnect). repl=lag:N holds the WAL shipper N
+   records behind its primary while installed. *)
+type shard_fault = Shard_crash | Shard_stall of int | Shard_drop
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
@@ -35,6 +43,8 @@ type directive =
   | Net_break of net_fault
   | Wal_break of wal_fault
   | Lp_break of lp_fault
+  | Shard_break of int * shard_fault
+  | Repl_lag of int
 
 type spec = directive list
 
@@ -47,9 +57,11 @@ let calls = Atomic.make 0
    the K-th record with wal=torn:K / wal=crash:K. *)
 let wal_writes = Atomic.make 0
 
-(* net=... directives are one-shot: armed once per occurrence at
-   install time, consumed by [take_net_fault]. *)
+(* net=... and shard=... directives are one-shot: armed once per
+   occurrence at install time, consumed by [take_net_fault] /
+   [take_shard_fault]. *)
 let net_pending : net_fault list ref = ref []
+let shard_pending : (int * shard_fault) list ref = ref []
 let net_mu = Mutex.create ()
 
 let install s =
@@ -60,6 +72,10 @@ let install s =
       net_pending :=
         List.filter_map
           (function Net_break f -> Some f | _ -> None)
+          s;
+      shard_pending :=
+        List.filter_map
+          (function Shard_break (k, f) -> Some (k, f) | _ -> None)
           s)
 
 let clear () = install []
@@ -160,6 +176,37 @@ let parse s =
           Error (Printf.sprintf "fault lp %S: expected warm|singular" f))
       | [ ("lp", f) ] ->
         Error (Printf.sprintf "fault lp=%s: expected lp=warm|singular:reject" f)
+      | [ ("repl", "lag") ] ->
+        let* n = int_of "repl lag" act in
+        if n < 0 then Error "fault repl=lag:N: N must be >= 0"
+        else Ok (Repl_lag n)
+      | [ ("repl", f) ] ->
+        Error (Printf.sprintf "fault repl=%s: expected repl=lag:N" f)
+      | [ ("shard", v) ] -> (
+        (* shard=K:crash|drop carries the fault as the action;
+           shard=K:stall:MS splits at the last colon, leaving "K:stall"
+           as the selector value and MS as the action *)
+        match String.index_opt v ':' with
+        | Some i -> (
+          let* k = int_of "shard" (String.sub v 0 i) in
+          match String.sub v (i + 1) (String.length v - i - 1) with
+          | "stall" ->
+            let* ms = int_of "shard stall" act in
+            if ms < 0 then Error "fault shard=K:stall:MS: MS must be >= 0"
+            else Ok (Shard_break (k, Shard_stall ms))
+          | f ->
+            Error
+              (Printf.sprintf "fault shard=%d:%s: expected crash|drop|stall:MS"
+                 k f))
+        | None -> (
+          let* k = int_of "shard" v in
+          match act with
+          | "crash" -> Ok (Shard_break (k, Shard_crash))
+          | "drop" -> Ok (Shard_break (k, Shard_drop))
+          | a ->
+            Error
+              (Printf.sprintf "fault shard=%d:%s: expected crash|drop|stall:MS"
+                 k a)))
       | _ ->
         let* action =
           match action_of_string act with
@@ -204,6 +251,9 @@ let parse s =
                   "fault selector wal=F expects torn:K|fsync:fail|crash:K"
               | "lp" ->
                 Error "fault selector lp=F only combines with :reject"
+              | "shard" ->
+                Error "fault selector shard=K expects crash|drop|stall:MS"
+              | "repl" -> Error "fault selector repl expects lag:N"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -238,7 +288,7 @@ let action_for ~call ~stage ~group =
   List.find_map
     (function
       | Worker_kill _ | Store_break _ | Queue_full | Net_break _
-      | Wal_break _ | Lp_break _ ->
+      | Wal_break _ | Lp_break _ | Shard_break _ | Repl_lag _ ->
         None
       | Ilp_fault (c, a) ->
         let ok_call =
@@ -299,6 +349,25 @@ let take_net_fault f =
         net_pending := rest;
         true
       | None -> false)
+
+let take_shard_fault k =
+  Mutex.protect net_mu (fun () ->
+      let rec remove = function
+        | [] -> None
+        | (k', f) :: rest when k' = k -> Some (f, rest)
+        | x :: rest ->
+          Option.map (fun (f, r) -> (f, x :: r)) (remove rest)
+      in
+      match remove !shard_pending with
+      | Some (f, rest) ->
+        shard_pending := rest;
+        Some f
+      | None -> None)
+
+let repl_lag () =
+  List.fold_left
+    (fun acc -> function Repl_lag n -> max acc n | _ -> acc)
+    0 (Atomic.get installed)
 
 let zero_stats stopped =
   {

@@ -42,6 +42,15 @@
                  (every basis-cache lookup behaves as a miss)
     lp=singular:reject  corrupt the warm-start basis into a singular
                  one, forcing the solver's warm-reject path
+    shard=K:crash       one-shot: the coordinator treats its next
+                 exchange with shard K as a dead connection
+    shard=K:stall:MS    one-shot: delay the coordinator's next exchange
+                 with shard K by MS milliseconds (fires hedges and
+                 read timeouts deterministically)
+    shard=K:drop        one-shot: sever the coordinator's connection
+                 to shard K once (exercises reconnect)
+    repl=lag:N   hold each WAL shipper N records behind its primary
+                 while installed (replica staleness, deterministic)
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
@@ -72,6 +81,8 @@ type wal_fault = Wal_torn of int | Wal_fsync_fail | Wal_crash of int
 
 type lp_fault = Lp_warm_drop | Lp_singular
 
+type shard_fault = Shard_crash | Shard_stall of int | Shard_drop
+
 type cond = {
   on_call : int option;
   on_stage : Eval.stage option;
@@ -86,6 +97,8 @@ type directive =
   | Net_break of net_fault
   | Wal_break of wal_fault
   | Lp_break of lp_fault
+  | Shard_break of int * shard_fault
+  | Repl_lag of int
 
 type spec = directive list
 
@@ -149,6 +162,16 @@ val queue_full : unit -> bool
     [f], if armed. One-shot: [install] arms one occurrence per
     directive in the spec; each successful take disarms it. *)
 val take_net_fault : net_fault -> bool
+
+(** [take_shard_fault k] consumes one pending [shard=k:...] directive,
+    if armed — same one-shot discipline as {!take_net_fault}. The
+    coordinator consults this before every exchange with shard [k]. *)
+val take_shard_fault : int -> shard_fault option
+
+(** The installed [repl=lag:N] value (the largest, if several), or 0.
+    Unlike the shard faults this is a standing condition: the WAL
+    shipper re-reads it on every shipping cycle. *)
+val repl_lag : unit -> int
 
 (** [wal_write_fault ()] bumps the WAL-record counter (1-based, reset
     by {!install}) and reports the injected outcome for this record, if

@@ -86,14 +86,50 @@ exception Harness_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Harness_error s)) fmt
 
+(* Every spawned child pid, so an aborting run (uncaught exception,
+   failed assertion, harness bug) cannot leak server processes: an
+   [at_exit] hook SIGKILLs whatever is still registered. SIGKILL also
+   collects SIGSTOPped children, which the shard chaos matrix leaves
+   behind on a failed test. *)
+let registry : (int, unit) Hashtbl.t = Hashtbl.create 8
+let registry_mu = Mutex.create ()
+let registry_hook = ref false
+
+let register pid =
+  Mutex.protect registry_mu (fun () ->
+      if not !registry_hook then begin
+        registry_hook := true;
+        at_exit (fun () ->
+            let pids =
+              Mutex.protect registry_mu (fun () ->
+                  Hashtbl.fold (fun pid () acc -> pid :: acc) registry [])
+            in
+            List.iter
+              (fun pid ->
+                (try Unix.kill pid Sys.sigkill
+                 with Unix.Unix_error (_, _, _) -> ());
+                try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
+                with Unix.Unix_error (_, _, _) -> ())
+              pids)
+      end;
+      Hashtbl.replace registry pid ())
+
+let unregister pid =
+  Mutex.protect registry_mu (fun () -> Hashtbl.remove registry pid)
+
 let child_alive pid =
   match Unix.waitpid [ Unix.WNOHANG ] pid with
   | 0, _ -> true
-  | _ -> false
-  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+  | _ ->
+    unregister pid;
+    false
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+    unregister pid;
+    false
 
 (* Collect the child, whatever state it is in. *)
 let reap pid =
+  unregister pid;
   match Unix.waitpid [] pid with
   | _ -> ()
   | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
@@ -102,15 +138,16 @@ let kill_and_reap pid signal =
   (try Unix.kill pid signal with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
   reap pid
 
-let start_server ~exe ~data ~wal ?faults ?checkpoint ?sync ~out_file () =
+let start_server ~exe ~data ~wal ?faults ?checkpoint ?sync ?(extra_args = [])
+    ~out_file () =
   let args =
     [ exe; "--data"; data; "--wal"; wal; "--port"; "0"; "--log-every"; "0";
       "--workers"; "2"; "--queue"; "16"; "--no-store" ]
     @ (match faults with Some s -> [ "--faults"; s ] | None -> [])
-    @
-    match checkpoint with
-    | Some n -> [ "--wal-checkpoint"; string_of_int n ]
-    | None -> []
+    @ (match checkpoint with
+      | Some n -> [ "--wal-checkpoint"; string_of_int n ]
+      | None -> [])
+    @ extra_args
   in
   let env =
     let keep =
@@ -133,6 +170,7 @@ let start_server ~exe ~data ~wal ?faults ?checkpoint ?sync ~out_file () =
         Unix.create_process_env exe (Array.of_list args) env Unix.stdin out_fd
           Unix.stderr)
   in
+  register pid;
   (* Poll the captured stdout for the banner; the child prints it only
      after recovery finished and the accept loop is live. *)
   let deadline = Unix.gettimeofday () +. 30. in
@@ -341,3 +379,82 @@ let run_reference ~exe ~dir ~base ~batches ?checkpoint ?sync () =
           let recovered_fp, recovered_rows = fprint client in
           { point = Kill_after acked; acked; died; recovered_fp;
             recovered_rows; recovery_seconds = 0.; refs }))
+
+(* ---- shard fleets --------------------------------------------------- *)
+
+(* Signal-level chaos for whole shards: SIGSTOP models a stalled-but-
+   alive process (connections stay open, nothing answers — only
+   timeouts can detect it), SIGKILL a dead one. *)
+let pause s =
+  try Unix.kill s.pid Sys.sigstop with Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+
+let resume s =
+  try Unix.kill s.pid Sys.sigcont with Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+
+let kill_server s = kill_and_reap s.pid Sys.sigkill
+let stop_server s = kill_and_reap s.pid Sys.sigterm
+
+type fleet_member = {
+  fm_primary : server;
+  fm_replica : server option;
+  fm_wal : string;
+}
+
+(* Shared-storage fleet: every node boots from the same base segment;
+   primaries keep their full WAL (checkpointing folds records away,
+   which would starve the coordinator's shipper) in per-node
+   subdirectories of [dir]. [extra_args] must carry the partitioning
+   config (--attrs/--tau/--epsilon) identical to the coordinator's, or
+   ASSIGN reports divergence by design. *)
+let start_fleet ~exe ~dir ~base ~shards ~replicas ?(extra_args = []) () =
+  if shards < 1 then fail "start_fleet: need at least one shard";
+  fresh_dir dir;
+  let data = Filename.concat dir "base.seg" in
+  Store.Segment.write data base;
+  let spawn name =
+    let sub = Filename.concat dir name in
+    mkdir_p sub;
+    let wal = Filename.concat sub "wal" in
+    let srv =
+      start_server ~exe ~data ~wal ~checkpoint:0 ~extra_args
+        ~out_file:(Filename.concat sub "server.out")
+        ()
+    in
+    (srv, wal)
+  in
+  List.init shards (fun i ->
+      let primary, pwal = spawn (Printf.sprintf "shard%d" i) in
+      let replica =
+        if replicas > 0 then begin
+          match spawn (Printf.sprintf "shard%d-replica" i) with
+          | srv, _ -> Some srv
+          | exception e ->
+            kill_server primary;
+            raise e
+        end
+        else None
+      in
+      { fm_primary = primary; fm_replica = replica;
+        fm_wal = Store.Recovery.wal_path pwal })
+
+let fleet_specs fleet =
+  List.map
+    (fun m ->
+      {
+        Coordinator.primary =
+          { Coordinator.ep_host = "127.0.0.1"; ep_port = m.fm_primary.port };
+        replica =
+          Option.map
+            (fun (r : server) ->
+              { Coordinator.ep_host = "127.0.0.1"; ep_port = r.port })
+            m.fm_replica;
+        wal = Some m.fm_wal;
+      })
+    fleet
+
+let stop_fleet fleet =
+  List.iter
+    (fun m ->
+      kill_server m.fm_primary;
+      Option.iter kill_server m.fm_replica)
+    fleet

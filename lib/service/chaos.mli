@@ -77,3 +77,74 @@ val run_reference :
     out the violation: lost acknowledged writes, phantom writes, or a
     state matching no prefix at all. *)
 val check : result -> (int, string) Stdlib.result
+
+(** {2 Child servers}
+
+    Every child spawned through {!start_server} lands in a global pid
+    registry; an [at_exit] hook SIGKILLs whatever is still registered,
+    so an aborting test run (uncaught exception, failed assertion)
+    cannot leak server processes — SIGSTOPped ones included. *)
+
+type server = { pid : int; port : int; out_file : string }
+
+(** Spawn one [pkgq_server] child ([--port 0], banner-polled for the
+    bound port; raises {!Harness_error} after 30s without one).
+    [extra_args] is appended verbatim — the fleet helpers use it for
+    the partitioning config. *)
+val start_server :
+  exe:string ->
+  data:string ->
+  wal:string ->
+  ?faults:string ->
+  ?checkpoint:int ->
+  ?sync:string ->
+  ?extra_args:string list ->
+  out_file:string ->
+  unit ->
+  server
+
+(** SIGSTOP: the process stalls but its sockets stay open — only
+    timeouts can tell. *)
+val pause : server -> unit
+
+(** SIGCONT a {!pause}d server. *)
+val resume : server -> unit
+
+(** SIGKILL and collect. *)
+val kill_server : server -> unit
+
+(** SIGTERM (clean shutdown) and collect. *)
+val stop_server : server -> unit
+
+(** {2 Shard fleets} *)
+
+type fleet_member = {
+  fm_primary : server;
+  fm_replica : server option;
+  fm_wal : string;  (** the primary's on-disk WAL log, for shipping *)
+}
+
+(** [start_fleet ~exe ~dir ~base ~shards ~replicas ()] — a
+    shared-storage fleet under scratch directory [dir] (recreated):
+    every node boots from the same base segment, primaries keep their
+    full WAL (checkpointing disabled — the coordinator's shipper reads
+    it), [replicas > 0] pairs each primary with one replica.
+    [extra_args] must carry the same [--attrs]/[--tau]/[--epsilon] the
+    coordinator uses. Partially-started fleets are killed on spawn
+    failure. *)
+val start_fleet :
+  exe:string ->
+  dir:string ->
+  base:Relalg.Relation.t ->
+  shards:int ->
+  replicas:int ->
+  ?extra_args:string list ->
+  unit ->
+  fleet_member list
+
+(** The fleet as coordinator shard specs (localhost endpoints, primary
+    WAL paths attached). *)
+val fleet_specs : fleet_member list -> Coordinator.shard_spec list
+
+(** SIGKILL every member. *)
+val stop_fleet : fleet_member list -> unit

@@ -1,11 +1,17 @@
 exception Gave_up of { attempts : int; last : exn }
 
+exception Timed_out of { phase : [ `Connect | `Read ]; seconds : float }
+
 let () =
   Printexc.register_printer (function
     | Gave_up { attempts; last } ->
       Some
         (Printf.sprintf "gave up after %d attempts (last: %s)" attempts
            (Printexc.to_string last))
+    | Timed_out { phase; seconds } ->
+      Some
+        (Printf.sprintf "timed out after %.3fs (%s)" seconds
+           (match phase with `Connect -> "connect" | `Read -> "read"))
     | _ -> None)
 
 type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
@@ -14,6 +20,8 @@ type t = {
   host : string;
   port : int;
   retries : int;
+  connect_timeout : float option;
+  mutable timeout : float option;
   jitter : Random.State.t;
   mutable conn : conn option;
   mutable closed : bool;
@@ -39,9 +47,34 @@ let resolve host =
       failwith (Printf.sprintf "cannot resolve host %S" host)
     | h -> h.Unix.h_addr_list.(0))
 
-let raw_connect ~host ~port =
+(* SO_RCVTIMEO bounds every read(2) under the input channel; an expiry
+   surfaces as EAGAIN (wrapped in [Sys_error] by the channel layer) and
+   is reclassified as {!Timed_out} in [roundtrip]. *)
+let apply_read_timeout fd = function
+  | None -> ()
+  | Some seconds ->
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+     with Unix.Unix_error _ -> ())
+
+let raw_connect ?connect_timeout ?timeout ~host ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (resolve host, port))
+  (try
+     let addr = Unix.ADDR_INET (resolve host, port) in
+     (match connect_timeout with
+     | None -> Unix.connect fd addr
+     | Some seconds -> (
+       (* non-blocking connect + select: a black-holed or SIGSTOPped
+          endpoint yields a typed timeout instead of a hung caller *)
+       Unix.set_nonblock fd;
+       (try Unix.connect fd addr with
+       | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+         let _, writable, _ = Unix.select [] [ fd ] [] seconds in
+         if writable = [] then raise (Timed_out { phase = `Connect; seconds });
+         match Unix.getsockopt_error fd with
+         | None -> ()
+         | Some err -> raise (Unix.Unix_error (err, "connect", ""))));
+       Unix.clear_nonblock fd));
+     apply_read_timeout fd timeout
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
@@ -64,11 +97,17 @@ let connection_error = function
   | _ -> false
 
 (* Establish with the client's retry budget; raises [Gave_up] once it
-   is spent (or the original error when retries are off). *)
+   is spent (or the original error when retries are off). A connect
+   {!Timed_out} is never retried: the timeout is a latency promise to
+   the caller, and a retry loop would multiply it. *)
 let establish t =
   let rec go attempt =
-    match raw_connect ~host:t.host ~port:t.port with
+    match
+      raw_connect ?connect_timeout:t.connect_timeout ?timeout:t.timeout
+        ~host:t.host ~port:t.port ()
+    with
     | conn -> conn
+    | exception (Timed_out _ as e) -> raise e
     | exception e when connection_error e ->
       if t.retries = 0 then raise e
       else if attempt >= t.retries then
@@ -80,7 +119,7 @@ let establish t =
   in
   go 0
 
-let connect ?(retries = 0) ~host ~port () =
+let connect ?(retries = 0) ?connect_timeout ?timeout ~host ~port () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let t =
@@ -88,6 +127,8 @@ let connect ?(retries = 0) ~host ~port () =
       host;
       port;
       retries;
+      connect_timeout;
+      timeout;
       jitter = Random.State.make_self_init ();
       conn = None;
       closed = false;
@@ -111,11 +152,24 @@ let conn_of t =
     t.conn <- Some c;
     c
 
+let set_timeout t timeout =
+  t.timeout <- timeout;
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    apply_read_timeout c.fd
+      (match timeout with None -> Some 0. (* 0 disables SO_RCVTIMEO *)
+                        | some -> some)
+
 (* Only requests whose replay cannot change state twice are resent on a
    dropped connection: an APPEND/DELETE whose ack was lost may already
    be applied (and with a WAL, durable), so resending could double it. *)
 let idempotent = function
-  | Protocol.Query _ | Protocol.Ping | Protocol.Stats | Protocol.Fingerprint ->
+  | Protocol.Query _ | Protocol.Ping | Protocol.Stats | Protocol.Fingerprint
+  | Protocol.Assign _ | Protocol.Sketch _ | Protocol.Refine _ ->
+    (* the shard verbs are pure reads / idempotent installs: replaying
+       an ASSIGN re-derives the same state, SKETCH and REFINE compute
+       without mutating *)
     true
   | Protocol.Append _ | Protocol.Delete _ | Protocol.Quit -> false
 
@@ -123,13 +177,25 @@ let roundtrip t req =
   if t.closed then raise (Protocol.Protocol_error "client is closed");
   let once () =
     let c = conn_of t in
-    Protocol.write_request c.oc req;
-    Protocol.read_response c.ic
+    let started = Unix.gettimeofday () in
+    try
+      Protocol.write_request c.oc req;
+      Protocol.read_response c.ic
+    with (Sys_error _ | Unix.Unix_error _ | End_of_file) as e -> (
+      (* With a read timeout armed, an expired SO_RCVTIMEO surfaces as a
+         channel error indistinguishable from a peer reset by type
+         alone; the elapsed clock tells them apart. Either way the
+         stream is desynchronized, so the connection is dropped. *)
+      match t.timeout with
+      | Some seconds when Unix.gettimeofday () -. started >= seconds *. 0.9 ->
+        drop_conn t;
+        raise (Timed_out { phase = `Read; seconds })
+      | _ -> raise e)
   in
   let rec go attempt =
     match once () with
     | resp -> resp
-    | exception (Gave_up _ as e) -> raise e
+    | exception ((Gave_up _ | Timed_out _) as e) -> raise e
     | exception e when connection_error e ->
       drop_conn t;
       if t.retries = 0 || not (idempotent req) then raise e

@@ -20,14 +20,33 @@ type t
     is the final connection error. *)
 exception Gave_up of { attempts : int; last : exn }
 
+(** A configured timeout expired — distinct from {!Gave_up}: the peer
+    may be perfectly healthy but slow (or SIGSTOPped), and the caller
+    promised itself an answer within [seconds]. Timeouts are never
+    retried internally: the budget is a latency contract, and a silent
+    retry loop would multiply it. Raised from [connect] ([`Connect],
+    via [connect_timeout]) and from {!roundtrip} ([`Read], via
+    [timeout] / {!set_timeout}). *)
+exception Timed_out of { phase : [ `Connect | `Read ]; seconds : float }
+
 (** ["HOST:PORT"] → [(host, port)]. *)
 val parse_endpoint : string -> (string * int, string) result
 
-(** [connect ?retries ~host ~port] — with [retries = 0] (the default)
-    raises [Unix.Unix_error] when the server is unreachable; with a
-    budget, retries with backoff and raises {!Gave_up} when it is
-    spent. *)
-val connect : ?retries:int -> host:string -> port:int -> unit -> t
+(** [connect ?retries ?connect_timeout ?timeout ~host ~port] — with
+    [retries = 0] (the default) raises [Unix.Unix_error] when the
+    server is unreachable; with a budget, retries with backoff and
+    raises {!Gave_up} when it is spent. [connect_timeout] bounds each
+    TCP connection attempt; [timeout] bounds every response read
+    (SO_RCVTIMEO); both raise {!Timed_out} on expiry. Without them the
+    calls block indefinitely (the pre-existing behaviour). *)
+val connect :
+  ?retries:int -> ?connect_timeout:float -> ?timeout:float ->
+  host:string -> port:int -> unit -> t
+
+(** Replace the read timeout for subsequent requests (and the live
+    socket): the coordinator re-carves per-shard budgets per query.
+    [None] restores unbounded reads. *)
+val set_timeout : t -> float option -> unit
 
 (** One request, one response. Retries idempotent requests per the
     client's budget.

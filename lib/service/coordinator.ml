@@ -1,0 +1,1357 @@
+let src = Logs.Src.create "pkgq.coordinator" ~doc:"sharded package-query coordinator"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type endpoint = { ep_host : string; ep_port : int }
+
+type shard_spec = {
+  primary : endpoint;
+  replica : endpoint option;
+  wal : string option;
+}
+
+type config = {
+  host : string;
+  port : int;
+  attrs : string list;
+  tau : int option;
+  epsilon : float option;
+  limits : Ilp.Branch_bound.limits;
+  request_seconds : float;
+  connect_timeout : float;
+  rpc_seconds : float;
+  retries : int;
+  hedge_ms : int;
+  breaker_trips : int;
+  breaker_probe_seconds : float;
+  ship_every : float;
+}
+
+let int_env name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> n
+    | _ -> default)
+
+let default_config () =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    attrs = [];
+    tau = None;
+    epsilon = None;
+    limits = Ilp.Branch_bound.default_limits;
+    request_seconds = 60.;
+    connect_timeout = 1.;
+    rpc_seconds = 2.;
+    retries = 2;
+    hedge_ms = int_env "PKGQ_HEDGE_MS" 50;
+    breaker_trips = max 1 (int_env "PKGQ_BREAKER_TRIPS" 3);
+    breaker_probe_seconds = 0.25;
+    ship_every = 0.05;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connection pools                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One pool per endpoint: concurrent queries (and a hedge racing its
+   primary) each borrow their own connection; broken ones are discarded
+   rather than returned, so a pool never caches a desynchronized
+   stream. *)
+type node = {
+  ep : endpoint;
+  mutable idle : Client.t list;
+  pool_mu : Mutex.t;
+}
+
+let node_of ep = { ep; idle = []; pool_mu = Mutex.create () }
+
+let borrow ~connect_timeout node =
+  match
+    Mutex.protect node.pool_mu (fun () ->
+        match node.idle with
+        | c :: rest ->
+          node.idle <- rest;
+          Some c
+        | [] -> None)
+  with
+  | Some c -> c
+  | None ->
+    Client.connect ~connect_timeout ~host:node.ep.ep_host ~port:node.ep.ep_port
+      ()
+
+let give_back node c =
+  let kept =
+    Mutex.protect node.pool_mu (fun () ->
+        if List.length node.idle < 4 then begin
+          node.idle <- c :: node.idle;
+          true
+        end
+        else false)
+  in
+  if not kept then try Client.close c with _ -> ()
+
+let discard c = try Client.close c with _ -> ()
+
+(* Sever every pooled connection (the shard=K:drop fault): the next
+   exchange reconnects from scratch. *)
+let sever node =
+  let dropped =
+    Mutex.protect node.pool_mu (fun () ->
+        let cs = node.idle in
+        node.idle <- [];
+        cs)
+  in
+  List.iter discard dropped
+
+(* ------------------------------------------------------------------ *)
+(* Shard runtime state                                                *)
+(* ------------------------------------------------------------------ *)
+
+type breaker_state = Closed | Open of float | Probing
+
+type shard = {
+  s_idx : int;
+  s_spec : shard_spec;
+  s_primary : node;
+  s_replica : node option;
+  (* Replication bookkeeping: [s_cursor] is the *acknowledged* ship
+     position (drives the lag gauge and stale marking); [s_shipped]
+     what was actually sent. They diverge when acks are withheld
+     (repl=lag faults model lost acks: data flows, certainty does
+     not). Promotion resumes from [s_shipped] — re-shipping an APPEND
+     would double its rows. *)
+  s_cursor : Store.Ship.cursor option;
+  mutable s_shipped : int;
+  mutable s_breaker : breaker_state;
+  mutable s_failures : int;
+  mutable s_primary_layout : string option;
+  mutable s_replica_layout : string option;
+  s_mu : Mutex.t;
+}
+
+(* The group assignment for one table state: gids dealt round-robin
+   across shards, with the expected ASSIGN reply (each shard's
+   representative tuples) precomputed for the divergence check. *)
+type layout = {
+  l_key : string;
+  l_part : Pkg.Partition.t;
+  l_owner : int array;
+  l_groups : (int * int array) list array;
+  l_reps_csv : string array;
+}
+
+type t = {
+  cfg : config;
+  metrics : Metrics.t;
+  shards : shard array;
+  plan_cache : (string, Paql.Ast.query * Paql.Translate.spec) Cache.t;
+  mutable rel : Relalg.Relation.t;
+  mutable fp : string;
+  layouts : (string, layout) Hashtbl.t;
+  state_mu : Mutex.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  mutable accept_thread : Thread.t option;
+  mutable ship_thread : Thread.t option;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable conn_threads : Thread.t list;
+  mutable next_conn : int;
+  conns_mu : Mutex.t;
+  mutable stopped : bool;
+  mutable finished : bool;
+  stop_mu : Mutex.t;
+  stop_cond : Condition.t;
+}
+
+let port t = t.bound_port
+let metrics t = t.metrics
+
+(* Both the owning shard and its replica are out of reach: the group
+   degrades to [omitted] rather than failing the whole query. *)
+exception Shard_down of int * string
+
+let replica_lag shard =
+  match (shard.s_cursor, shard.s_spec.wal) with
+  | Some c, Some path ->
+    max 0 (Store.Ship.last_seq path - Store.Ship.position c)
+  | _ -> 0
+
+let refresh_shard_gauges t shard =
+  let name k = Printf.sprintf "shard%d_%s" shard.s_idx k in
+  let breaker, failures =
+    Mutex.protect shard.s_mu (fun () -> (shard.s_breaker, shard.s_failures))
+  in
+  Metrics.set_gauge t.metrics (name "breaker")
+    (match breaker with Closed -> 0 | Open _ -> 1 | Probing -> 2);
+  Metrics.set_gauge t.metrics (name "failures") failures;
+  if shard.s_replica <> None then
+    Metrics.set_gauge t.metrics (name "repl_lag") (replica_lag shard)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let breaker_gate t shard =
+  let gate =
+    Mutex.protect shard.s_mu (fun () ->
+        match shard.s_breaker with
+        | Closed -> `Allow
+        | Probing -> `Deny
+        | Open since ->
+          if Unix.gettimeofday () -. since >= t.cfg.breaker_probe_seconds
+          then begin
+            shard.s_breaker <- Probing;
+            `Probe
+          end
+          else `Deny)
+  in
+  refresh_shard_gauges t shard;
+  gate
+
+let record_primary_failure t shard =
+  Mutex.protect shard.s_mu (fun () ->
+      shard.s_failures <- shard.s_failures + 1;
+      match shard.s_breaker with
+      | Probing ->
+        (* the probe itself failed: back to fully open *)
+        shard.s_breaker <- Open (Unix.gettimeofday ())
+      | Closed when shard.s_failures >= t.cfg.breaker_trips ->
+        Metrics.incr t.metrics "shard_breaker_trips";
+        Log.warn (fun k ->
+            k "shard %d breaker tripped after %d consecutive failures"
+              shard.s_idx shard.s_failures);
+        shard.s_breaker <- Open (Unix.gettimeofday ())
+      | Closed | Open _ -> ());
+  refresh_shard_gauges t shard
+
+let record_primary_success t shard =
+  Mutex.protect shard.s_mu (fun () ->
+      (match shard.s_breaker with
+      | Open _ | Probing ->
+        Metrics.incr t.metrics "shard_breaker_closes";
+        Log.info (fun k -> k "shard %d breaker closed" shard.s_idx)
+      | Closed -> ());
+      shard.s_breaker <- Closed;
+      shard.s_failures <- 0);
+  refresh_shard_gauges t shard
+
+(* A breaker probe is a fresh PING on a fresh connection — pooled
+   streams of a sick shard are not to be trusted. *)
+let probe t shard =
+  Metrics.incr t.metrics "shard_probes";
+  match
+    Client.connect ~connect_timeout:t.cfg.connect_timeout
+      ~timeout:t.cfg.rpc_seconds ~host:shard.s_primary.ep.ep_host
+      ~port:shard.s_primary.ep.ep_port ()
+  with
+  | exception _ -> false
+  | c ->
+    let ok =
+      match Client.ping c with
+      | Protocol.Resp_ok _ -> true
+      | Protocol.Resp_err _ | (exception _) -> false
+    in
+    discard c;
+    ok
+
+(* ------------------------------------------------------------------ *)
+(* Exchanges                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let role_name = function `Primary -> "primary" | `Replica -> "replica"
+
+(* Install the layout on [shard]'s [role] node over connection [c]
+   (once per layout key), and diff the returned representative tuples
+   against the locally computed ones: a shard serving different bytes
+   must fail typed here, before it can contribute to a package. *)
+let ensure_assigned t shard ~role ~(layout : layout) c =
+  let installed =
+    Mutex.protect shard.s_mu (fun () ->
+        match role with
+        | `Primary -> shard.s_primary_layout
+        | `Replica -> shard.s_replica_layout)
+  in
+  if installed <> Some layout.l_key then begin
+    Metrics.incr t.metrics "shard_assigns";
+    let body = Protocol.render_assign layout.l_groups.(shard.s_idx) in
+    match Client.roundtrip c (Protocol.Assign body) with
+    | Protocol.Resp_ok reps ->
+      if String.trim reps <> String.trim layout.l_reps_csv.(shard.s_idx) then
+        failwith
+          (Printf.sprintf
+             "shard %d %s: partition divergence (representative tuples \
+              differ)"
+             shard.s_idx (role_name role));
+      Mutex.protect shard.s_mu (fun () ->
+          match role with
+          | `Primary -> shard.s_primary_layout <- Some layout.l_key
+          | `Replica -> shard.s_replica_layout <- Some layout.l_key)
+    | Protocol.Resp_err (code, msg) ->
+      failwith
+        (Printf.sprintf "shard %d %s: assign refused (%s): %s" shard.s_idx
+           (role_name role) (Protocol.code_name code) msg)
+  end
+
+(* One request/response through the pool, assignment included. Any
+   error reply is a node failure: the shard verbs only refuse a
+   request for node-local reasons (divergence, missing assignment),
+   which the failover path may cure on the sibling. *)
+let node_exchange t shard node ~role ~layout ~timeout req =
+  let c = borrow ~connect_timeout:t.cfg.connect_timeout node in
+  match
+    Client.set_timeout c (Some timeout);
+    ensure_assigned t shard ~role ~layout c;
+    Client.roundtrip c req
+  with
+  | Protocol.Resp_ok body ->
+    give_back node c;
+    body
+  | Protocol.Resp_err (code, msg) ->
+    give_back node c;
+    failwith
+      (Printf.sprintf "shard %d %s: %s: %s" shard.s_idx (role_name role)
+         (Protocol.code_name code) msg)
+  | exception e ->
+    discard c;
+    raise e
+
+(* Consume a one-shot shard=K fault before touching the wire: crash
+   fails the exchange outright, stall delays it (letting hedges and
+   timeouts fire deterministically), drop severs the pooled
+   connections so the exchange reconnects. *)
+let apply_shard_fault t shard =
+  match Pkg.Faults.take_shard_fault shard.s_idx with
+  | None -> ()
+  | Some Pkg.Faults.Shard_crash ->
+    Metrics.incr t.metrics "shard_injected";
+    failwith (Printf.sprintf "injected crash for shard %d" shard.s_idx)
+  | Some (Pkg.Faults.Shard_stall ms) ->
+    Metrics.incr t.metrics "shard_injected";
+    Thread.delay (float_of_int ms /. 1000.)
+  | Some Pkg.Faults.Shard_drop ->
+    Metrics.incr t.metrics "shard_injected";
+    sever shard.s_primary
+
+(* Primary exchange behind the breaker, with capped-backoff retries.
+   Timeouts are never retried (the latency contract already spent);
+   the breaker denies outright when open, sending the caller straight
+   to the replica. *)
+let call_primary t shard ~layout ~timeout req =
+  (match breaker_gate t shard with
+  | `Allow -> ()
+  | `Deny -> failwith (Printf.sprintf "shard %d breaker open" shard.s_idx)
+  | `Probe ->
+    if probe t shard then record_primary_success t shard
+    else begin
+      record_primary_failure t shard;
+      failwith (Printf.sprintf "shard %d probe failed" shard.s_idx)
+    end);
+  let rec go attempt =
+    match
+      apply_shard_fault t shard;
+      node_exchange t shard shard.s_primary ~role:`Primary ~layout ~timeout
+        req
+    with
+    | body ->
+      record_primary_success t shard;
+      body
+    | exception (Client.Timed_out _ as e) ->
+      record_primary_failure t shard;
+      raise e
+    | exception e ->
+      record_primary_failure t shard;
+      let open_now =
+        Mutex.protect shard.s_mu (fun () -> shard.s_breaker <> Closed)
+      in
+      if attempt >= t.cfg.retries || open_now then raise e
+      else begin
+        Metrics.incr t.metrics "shard_retries";
+        Thread.delay (Float.min 0.2 (0.025 *. (2. ** float_of_int attempt)));
+        go (attempt + 1)
+      end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* WAL shipping and promotion                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Ship everything past [s_shipped] from the primary's on-disk log to
+   the replica, advancing the ack cursor except for the newest
+   [repl_lag] records (the injected lost-ack window). Reading the file
+   directly is the point: promotion must work when the primary is
+   dead. Caller holds [s_mu]. *)
+let ship_locked t shard =
+  match (shard.s_spec.wal, shard.s_replica, shard.s_cursor) with
+  | Some path, Some replica, Some cursor -> (
+    match Store.Ship.pending cursor with
+    | exception Sys_error _ -> ()
+    | [] -> ()
+    | records ->
+      let tail = Store.Ship.last_seq path in
+      let hold = Pkg.Faults.repl_lag () in
+      List.iter
+        (fun (r : Store.Wal.record) ->
+          if r.Store.Wal.seq > shard.s_shipped then begin
+            let c = borrow ~connect_timeout:t.cfg.connect_timeout replica in
+            let resp =
+              match
+                Client.set_timeout c (Some t.cfg.rpc_seconds);
+                match r.Store.Wal.op with
+                | Store.Wal.Append rows ->
+                  Client.append c ~csv:(Relalg.Csv.to_string rows)
+                | Store.Wal.Delete ids -> Client.delete c ids
+              with
+              | resp ->
+                give_back replica c;
+                resp
+              | exception e ->
+                discard c;
+                raise e
+            in
+            match resp with
+            | Protocol.Resp_ok _ ->
+              shard.s_shipped <- r.Store.Wal.seq;
+              Metrics.incr t.metrics "shard_shipped";
+              (* shipping invalidates the replica's installed layout:
+                 its table fingerprint moved *)
+              shard.s_replica_layout <- None
+            | Protocol.Resp_err (_, msg) ->
+              failwith (Printf.sprintf "ship refused: %s" msg)
+          end;
+          if r.Store.Wal.seq <= tail - hold then
+            Store.Ship.advance cursor r.Store.Wal.seq)
+        records)
+  | _ -> ()
+
+(* Failover promotion: catch the replica up from the (possibly dead)
+   primary's log. Best-effort — an unreachable log or replica leaves
+   the lag standing, and the caller marks the served groups stale. *)
+let promote t shard =
+  Mutex.protect shard.s_mu (fun () ->
+      try ship_locked t shard with _ -> ());
+  refresh_shard_gauges t shard
+
+let ship_loop t =
+  let rec loop () =
+    if t.stopped then ()
+    else begin
+      Thread.delay t.cfg.ship_every;
+      Array.iter
+        (fun shard ->
+          if shard.s_replica <> None then begin
+            Mutex.protect shard.s_mu (fun () ->
+                try ship_locked t shard with _ -> ());
+            refresh_shard_gauges t shard
+          end)
+        t.shards;
+      loop ()
+    end
+  in
+  loop ()
+
+let call_replica t shard ~layout ~timeout req =
+  match shard.s_replica with
+  | None -> failwith (Printf.sprintf "shard %d has no replica" shard.s_idx)
+  | Some replica ->
+    node_exchange t shard replica ~role:`Replica ~layout ~timeout req
+
+(* Scatter-phase exchange (ASSIGN/SKETCH): primary with retries, then
+   promote-and-failover. Returns the reply body and whether a lagging
+   replica served it. *)
+let shard_exchange t ~layout ~timeout shard req =
+  match call_primary t shard ~layout ~timeout req with
+  | body -> (body, false)
+  | exception _ -> (
+    Metrics.incr t.metrics "shard_failovers";
+    let t0 = Unix.gettimeofday () in
+    promote t shard;
+    match call_replica t shard ~layout ~timeout req with
+    | body ->
+      Metrics.observe t.metrics "failover" (Unix.gettimeofday () -. t0);
+      (body, replica_lag shard > 0)
+    | exception e -> raise (Shard_down (shard.s_idx, Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* Hedged refine dispatch                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* REFINE races the primary against a hedge fired after [hedge_ms]; a
+   primary that fails fast converts the hedge into an immediate
+   failover (with promotion). First answer wins; the loser is
+   abandoned and its connection dies with it. Cold shard solves make
+   either answer byte-identical when the replica is caught up. *)
+let hedged_refine t ~layout ~timeout shard req =
+  if shard.s_replica = None || t.cfg.hedge_ms <= 0 then
+    shard_exchange t ~layout ~timeout shard req
+  else begin
+    let mu = Mutex.create () in
+    let cond = Condition.create () in
+    let winner = ref None in
+    let failures = ref [] in
+    let launched = ref 1 in
+    let timer_done = ref false in
+    let hedged = ref false in
+    let spawn_replica ~promote:do_promote =
+      ignore
+        (Thread.create
+           (fun () ->
+             let t0 = Unix.gettimeofday () in
+             if do_promote then begin
+               Metrics.incr t.metrics "shard_failovers";
+               promote t shard
+             end;
+             let r =
+               try Ok (call_replica t shard ~layout ~timeout req)
+               with e -> Error e
+             in
+             Mutex.protect mu (fun () ->
+                 (match r with
+                 | Ok body ->
+                   if !winner = None then begin
+                     if do_promote then
+                       Metrics.observe t.metrics "failover"
+                         (Unix.gettimeofday () -. t0);
+                     winner := Some (`Replica, body)
+                   end
+                 | Error e -> failures := e :: !failures);
+                 Condition.broadcast cond))
+           ())
+    in
+    ignore
+      (Thread.create
+         (fun () ->
+           let r =
+             try Ok (call_primary t shard ~layout ~timeout req)
+             with e -> Error e
+           in
+           Mutex.protect mu (fun () ->
+               (match r with
+               | Ok body -> if !winner = None then winner := Some (`Primary, body)
+               | Error e ->
+                 failures := e :: !failures;
+                 (* primary lost with nothing else in flight: the
+                    hedge becomes an immediate failover *)
+                 if !winner = None && !launched = 1 then begin
+                   launched := 2;
+                   spawn_replica ~promote:true
+                 end);
+               Condition.broadcast cond))
+         ());
+    ignore
+      (Thread.create
+         (fun () ->
+           Thread.delay (float_of_int t.cfg.hedge_ms /. 1000.);
+           Mutex.protect mu (fun () ->
+               timer_done := true;
+               if !winner = None && !failures = [] && !launched = 1 then begin
+                 launched := 2;
+                 hedged := true;
+                 Metrics.incr t.metrics "shard_hedges";
+                 spawn_replica ~promote:false
+               end;
+               Condition.broadcast cond))
+         ());
+    let outcome =
+      Mutex.protect mu (fun () ->
+          let finished () =
+            !winner <> None
+            || (!timer_done && List.length !failures >= !launched)
+          in
+          while not (finished ()) do
+            Condition.wait cond mu
+          done;
+          match !winner with
+          | Some (who, body) ->
+            if who = `Replica && !hedged then
+              Metrics.incr t.metrics "shard_hedge_wins";
+            Ok (who, body)
+          | None ->
+            Error (match !failures with e :: _ -> e | [] -> assert false))
+    in
+    match outcome with
+    | Ok (`Primary, body) -> (body, false)
+    | Ok (`Replica, body) -> (body, replica_lag shard > 0)
+    | Error e -> raise (Shard_down (shard.s_idx, Printexc.to_string e))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Planning and layout                                                *)
+(* ------------------------------------------------------------------ *)
+
+let status_line (r : Pkg.Eval.report) =
+  Format.asprintf "%a%s" Pkg.Eval.pp_status r.status
+    (match r.objective with
+    | Some o -> Format.asprintf ", obj=%g" o
+    | None -> "")
+
+let plan t rel qfp query =
+  match Cache.find_opt t.plan_cache qfp with
+  | Some p ->
+    Metrics.incr t.metrics "plan_hits";
+    Ok p
+  | None -> (
+    Metrics.incr t.metrics "plan_misses";
+    let parsed =
+      try Paql.Parser.parse query with
+      | Paql.Lexer.Lex_error (msg, pos) ->
+        Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+      | Paql.Parser.Parse_error (msg, pos) ->
+        Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+    in
+    match parsed with
+    | Error msg -> Error (Protocol.Resp_err (Protocol.Parse_error, msg))
+    | Ok ast -> (
+      let schema = Relalg.Relation.schema rel in
+      match Paql.Analyze.check schema ast with
+      | Error errs ->
+        Error
+          (Protocol.Resp_err (Protocol.Analysis_error, String.concat "\n" errs))
+      | Ok () -> (
+        match Paql.Translate.compile_exn schema ast with
+        | exception Failure msg ->
+          Error (Protocol.Resp_err (Protocol.Analysis_error, msg))
+        | spec ->
+          Cache.add t.plan_cache qfp (ast, spec);
+          Ok (ast, spec))))
+
+(* The partitioning derivation mirrors the server's [partition_for]
+   bit for bit (attrs, tau default, Theorem-3 radius from epsilon and
+   the objective sense): every shard re-derives the identical
+   partition from its own copy of the same config and data, which is
+   what the ASSIGN divergence check enforces. *)
+let layout_for t rel fp spec =
+  let attrs = t.cfg.attrs in
+  let tau =
+    match t.cfg.tau with
+    | Some tau -> tau
+    | None -> max 1 (Relalg.Relation.cardinality rel / 10)
+  in
+  let radius =
+    match t.cfg.epsilon with
+    | None -> Pkg.Partition.No_radius
+    | Some epsilon ->
+      let maximize =
+        match Paql.Translate.objective_sense spec with
+        | Lp.Problem.Maximize -> true
+        | Lp.Problem.Minimize -> false
+      in
+      Pkg.Partition.Theorem { epsilon; maximize }
+  in
+  let key =
+    Printf.sprintf "%s|%d|%s@%s" (String.concat "," attrs) tau
+      (Store.Catalog.radius_string radius)
+      fp
+  in
+  Mutex.protect t.state_mu (fun () ->
+      match Hashtbl.find_opt t.layouts key with
+      | Some l -> l
+      | None ->
+        let part =
+          Metrics.time t.metrics "partition" (fun () ->
+              Pkg.Partition.create ~radius ~tau ~attrs rel)
+        in
+        let m = Pkg.Partition.num_groups part in
+        let nshards = Array.length t.shards in
+        let owner = Array.init m (fun gid -> gid mod nshards) in
+        let groups = Array.make nshards [] in
+        for gid = m - 1 downto 0 do
+          groups.(owner.(gid)) <-
+            (gid, part.Pkg.Partition.groups.(gid).Pkg.Partition.members)
+            :: groups.(owner.(gid))
+        done;
+        let schema = Relalg.Relation.schema rel in
+        let reps_csv =
+          Array.map
+            (fun gs ->
+              String.trim
+                (Relalg.Csv.to_string
+                   (Relalg.Relation.of_rows schema
+                      (List.map
+                         (fun (_, members) ->
+                           Pkg.Partition.rep_row rel members)
+                         gs))))
+            groups
+        in
+        let l =
+          { l_key = key; l_part = part; l_owner = owner; l_groups = groups;
+            l_reps_csv = reps_csv }
+        in
+        Hashtbl.replace t.layouts key l;
+        l)
+
+(* ------------------------------------------------------------------ *)
+(* The mirrored refine loop                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Coordinator-side copy of [Refine]'s partial-package state: groups
+   still carry [rep_counts] representatives or are fixed to original
+   tuples. The aggregation below reproduces [Refine.group_contribution]
+   / [offsets_excluding] exactly — same iteration order, same float
+   summation — so the offsets a shard receives are bit-identical to
+   the ones a single node would compute. *)
+type rstate = {
+  r_ctx : Pkg.Sketch.ctx;
+  r_rep_counts : float array;
+  r_refined : (int * int) list option array;
+}
+
+let group_contribution st j ci =
+  match st.r_refined.(j) with
+  | Some entries ->
+    let f = st.r_ctx.Pkg.Sketch.coeff_rel.(ci) in
+    List.fold_left
+      (fun acc (row, cnt) -> acc +. (float_of_int cnt *. f row))
+      0. entries
+  | None ->
+    if st.r_rep_counts.(j) = 0. then 0.
+    else st.r_rep_counts.(j) *. st.r_ctx.Pkg.Sketch.coeff_reps.(ci) j
+
+let offsets_excluding st j =
+  let m = Pkg.Partition.num_groups st.r_ctx.Pkg.Sketch.part in
+  let n = Array.length st.r_ctx.Pkg.Sketch.coeff_rel in
+  Array.init n (fun ci ->
+      let acc = ref 0. in
+      for i = 0 to m - 1 do
+        if i <> j then acc := !acc +. group_contribution st i ci
+      done;
+      !acc)
+
+exception Mirror_deadline
+exception Mirror_budget
+exception Mirror_solver of Pkg.Eval.failure
+exception Omit of int * string
+
+(* One refine RPC for group [j]: [Refine.refine_query] with the solve
+   on the owning shard. The deadline check, entry decoding and failure
+   taxonomy match the local path; unreachability raises [Omit] so the
+   driver can restart without the group. *)
+let rpc_refine t ~layout ~deadline ~stale query st counters j =
+  if Unix.gettimeofday () > deadline then raise Mirror_deadline;
+  let offsets = offsets_excluding st j in
+  let remaining = deadline -. Unix.gettimeofday () in
+  let budget_ms = max 1 (int_of_float (remaining *. 1000.)) in
+  let body = Protocol.render_refine ~gid:j ~budget_ms ~offsets ~query in
+  let shard = t.shards.(layout.l_owner.(j)) in
+  let timeout = Float.max 0.05 remaining in
+  match hedged_refine t ~layout ~timeout shard (Protocol.Refine body) with
+  | exception Shard_down (k, msg) ->
+    raise
+      (Omit
+         ( j,
+           Printf.sprintf "group %d: shard %d and replica unreachable (%s)" j
+             k msg ))
+  | reply, was_stale -> (
+    if was_stale && not (List.mem j !stale) then stale := j :: !stale;
+    counters.Pkg.Eval.ilp_calls <- counters.Pkg.Eval.ilp_calls + 1;
+    match Protocol.parse_refine_result reply with
+    | Protocol.Refine_feasible entries -> `Feasible entries
+    | Protocol.Refine_infeasible -> `Infeasible
+    | Protocol.Refine_failed msg ->
+      `Failed
+        (Pkg.Eval.failure ~stage:Pkg.Eval.Refine ~group:j
+           (Pkg.Eval.Solver_error msg)))
+
+(* [Refine.refine_level] verbatim, with the ILP replaced by the RPC:
+   same speculative refine/undo, same greedy reprioritization of
+   failed groups, same root-level retry semantics and backtrack
+   budget — the healthy distributed search visits the same groups in
+   the same order as a single node. *)
+let rec mirror_level t ~layout ~deadline ~stale ~budget ~at_root query st
+    counters todo =
+  match todo with
+  | [] -> Ok ()
+  | _ ->
+    let failed = ref [] in
+    let queue = ref todo in
+    let result = ref None in
+    while !result = None && !queue <> [] do
+      let j, rest =
+        match !queue with j :: rest -> (j, rest) | [] -> assert false
+      in
+      queue := rest;
+      match rpc_refine t ~layout ~deadline ~stale query st counters j with
+      | `Failed f -> raise (Mirror_solver f)
+      | `Infeasible ->
+        counters.Pkg.Eval.backtracks <- counters.Pkg.Eval.backtracks + 1;
+        if counters.Pkg.Eval.backtracks > budget then raise Mirror_budget;
+        failed := j :: !failed;
+        if not at_root then result := Some (Error !failed)
+      | `Feasible entries -> (
+        let saved_rep = st.r_rep_counts.(j) in
+        st.r_refined.(j) <- Some entries;
+        st.r_rep_counts.(j) <- 0.;
+        let child_todo = List.filter (fun g -> g <> j) todo in
+        match
+          mirror_level t ~layout ~deadline ~stale ~budget ~at_root:false query
+            st counters child_todo
+        with
+        | Ok () -> result := Some (Ok ())
+        | Error f ->
+          st.r_refined.(j) <- None;
+          st.r_rep_counts.(j) <- saved_rep;
+          failed := f @ !failed;
+          let prioritized, others =
+            List.partition (fun g -> List.mem g f) !queue
+          in
+          queue := prioritized @ others)
+    done;
+    (match !result with Some r -> r | None -> Error !failed)
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let response_of_report (r : Pkg.Eval.report) =
+  match r.status with
+  | Pkg.Eval.Infeasible ->
+    Protocol.Resp_err (Protocol.Infeasible, status_line r)
+  | Pkg.Eval.Degraded _ ->
+    Protocol.Resp_err (Protocol.Degraded, status_line r)
+  | Pkg.Eval.Failed f ->
+    let code =
+      match f.Pkg.Eval.kind with
+      | Pkg.Eval.Deadline_exceeded -> Protocol.Deadline
+      | Pkg.Eval.Rejected _ -> Protocol.Rejected
+      | _ -> Protocol.Failed
+    in
+    Protocol.Resp_err (code, Format.asprintf "%a" Pkg.Eval.pp_failure f)
+  | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ -> (
+    match r.package with
+    | None -> Protocol.Resp_err (Protocol.Failed, "no package produced")
+    | Some p ->
+      let csv = Relalg.Csv.to_string (Pkg.Package.materialize p) in
+      Protocol.Resp_ok
+        (Protocol.render_result ~status_line:(status_line r) ~wall:r.wall_time
+           ~csv))
+
+let eval_query t ~deadline query =
+  let rel, fp = Mutex.protect t.state_mu (fun () -> (t.rel, t.fp)) in
+  let qfp = Paql.Fingerprint.of_query query in
+  match plan t rel qfp query with
+  | Error resp -> resp
+  | Ok (_ast, spec) ->
+    let layout = layout_for t rel fp spec in
+    let part = layout.l_part in
+    let m = Pkg.Partition.num_groups part in
+    let start = Unix.gettimeofday () in
+    let counters = Pkg.Eval.fresh_counters () in
+    let stale = ref [] in
+    let omitted = ref [] in
+    let details = ref [] in
+    let finish status package objective =
+      Pkg.Eval.report ~status ~package ~objective
+        ~wall_time:(Unix.gettimeofday () -. start)
+        ~counters
+    in
+    (* degradation dominates a nominal status, failure dominates both *)
+    let degrade status =
+      if !stale = [] && !omitted = [] then status
+      else
+        Pkg.Eval.Degraded
+          {
+            Pkg.Eval.stale_groups = List.sort_uniq compare !stale;
+            omitted_groups = List.sort_uniq compare !omitted;
+            detail = String.concat "; " (List.rev !details);
+          }
+    in
+    let scatter_timeout () =
+      Float.max 0.05
+        (Float.min t.cfg.rpc_seconds (deadline -. Unix.gettimeofday ()))
+    in
+    (* SKETCH scatter: per-group candidate counts from every owning
+       shard, in parallel. An unreachable shard (and replica) zeroes
+       its groups' caps: they are omitted from the package rather than
+       sinking the query. *)
+    let caps = Array.make m 0. in
+    let active =
+      Array.to_list t.shards
+      |> List.filter (fun s -> layout.l_groups.(s.s_idx) <> [])
+    in
+    let sketch_one shard =
+      match
+        shard_exchange t ~layout ~timeout:(scatter_timeout ()) shard
+          (Protocol.Sketch query)
+      with
+      | body, was_stale ->
+        let counts = Protocol.parse_counts body in
+        Mutex.protect t.state_mu (fun () ->
+            List.iter
+              (fun (gid, n) ->
+                caps.(gid) <-
+                  (if n = 0 then 0.
+                   else float_of_int n *. spec.Paql.Translate.max_count);
+                if was_stale && not (List.mem gid !stale) then
+                  stale := gid :: !stale)
+              counts)
+      | exception e ->
+        let gids = List.map fst layout.l_groups.(shard.s_idx) in
+        Mutex.protect t.state_mu (fun () ->
+            omitted := gids @ !omitted;
+            details :=
+              Printf.sprintf "shard %d unreachable at sketch (%s)"
+                shard.s_idx (Printexc.to_string e)
+              :: !details)
+    in
+    let threads = List.map (fun s -> Thread.create sketch_one s) active in
+    List.iter Thread.join threads;
+    (* The light context: candidate arrays stay empty (refines run on
+       the shards), but the caps, representative relation and
+       row-coefficient accessors feed the local sketch ILP and the
+       offset aggregation — identical inputs to a single node's. *)
+    let coeff_of r =
+      Array.of_list
+        (List.map
+           (fun (c : Paql.Translate.compiled_constraint) ->
+             c.Paql.Translate.coeff_rows r)
+           spec.Paql.Translate.constraints)
+    in
+    let ctx =
+      {
+        Pkg.Sketch.spec;
+        rel;
+        part;
+        cand = Array.make m [||];
+        caps;
+        coeff_rel = coeff_of rel;
+        coeff_reps = coeff_of part.Pkg.Partition.reps;
+      }
+    in
+    let limits =
+      {
+        t.cfg.limits with
+        Ilp.Branch_bound.max_seconds =
+          Float.min t.cfg.limits.Ilp.Branch_bound.max_seconds
+            (Float.max 0.01 (deadline -. Unix.gettimeofday ()));
+      }
+    in
+    let report =
+      match
+        Pkg.Eval.observe_stage Pkg.Eval.Sketch (fun () ->
+            Pkg.Sketch.run ~limits ~deadline ctx counters)
+      with
+      | Pkg.Sketch.Sketch_failed f -> finish (Pkg.Eval.Failed f) None None
+      | Pkg.Sketch.Sketch_infeasible ->
+        (* no distributed hybrid-sketch fallback: with every group
+           reachable this is a genuine [infeasible]; with omissions it
+           degrades, because the missing caps may be what sank it *)
+        (match degrade Pkg.Eval.Infeasible with
+        | Pkg.Eval.Degraded d ->
+          finish
+            (Pkg.Eval.Degraded
+               { d with Pkg.Eval.detail = d.Pkg.Eval.detail
+                        ^ "; sketch infeasible over remaining groups" })
+            None None
+        | status -> finish status None None)
+      | Pkg.Sketch.Sketched rep_counts0 -> (
+        (* The refine driver restarts from the sketch solution when a
+           group becomes unreachable mid-refine: the group is omitted
+           (zero representatives, no entries) and the sequential search
+           re-runs without it. Bounded by the group count. *)
+        let rec drive () =
+          let rep_counts = Array.copy rep_counts0 in
+          List.iter (fun g -> rep_counts.(g) <- 0.) !omitted;
+          stale := List.filter (fun g -> not (List.mem g !omitted)) !stale;
+          let refined = Array.make m None in
+          let st = { r_ctx = ctx; r_rep_counts = rep_counts;
+                     r_refined = refined } in
+          let budget = counters.Pkg.Eval.backtracks + 256 in
+          let todo =
+            List.filter
+              (fun j -> refined.(j) = None && rep_counts.(j) > 0.)
+              (List.init m Fun.id)
+            |> List.sort (fun a b -> compare rep_counts.(b) rep_counts.(a))
+          in
+          match
+            Pkg.Eval.observe_stage Pkg.Eval.Refine (fun () ->
+                mirror_level t ~layout ~deadline ~stale ~budget ~at_root:true
+                  query st counters todo)
+          with
+          | Ok () ->
+            let entries =
+              Array.to_list refined
+              |> List.concat_map (function Some e -> e | None -> [])
+            in
+            let p = Pkg.Package.make rel entries in
+            finish (degrade Pkg.Eval.Optimal) (Some p)
+              (Some (Pkg.Package.objective spec p))
+          | Error _ -> (
+            match degrade Pkg.Eval.Infeasible with
+            | Pkg.Eval.Degraded d ->
+              finish
+                (Pkg.Eval.Degraded
+                   { d with Pkg.Eval.detail = d.Pkg.Eval.detail
+                            ^ "; refine infeasible over remaining groups" })
+                None None
+            | status -> finish status None None)
+          | exception Omit (j, msg) ->
+            Metrics.incr t.metrics "shard_omitted_groups";
+            Log.warn (fun k -> k "%s" msg);
+            omitted := j :: !omitted;
+            details := msg :: !details;
+            drive ()
+          | exception Mirror_deadline ->
+            finish
+              (Pkg.Eval.failed ~stage:Pkg.Eval.Refine
+                 Pkg.Eval.Deadline_exceeded)
+              None None
+          | exception Mirror_budget -> finish (degrade Pkg.Eval.Infeasible) None None
+          | exception Mirror_solver f -> finish (Pkg.Eval.Failed f) None None
+        in
+        try drive ()
+        with e ->
+          finish
+            (Pkg.Eval.failed (Pkg.Eval.Solver_error (Printexc.to_string e)))
+            None None)
+    in
+    response_of_report report
+
+(* ------------------------------------------------------------------ *)
+(* Writes                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A write goes to every primary (replicas get it via WAL shipping)
+   and then applies locally with the exact recovery semantics, keeping
+   the coordinator's partitioning authority aligned with the fleet. A
+   mid-broadcast failure leaves the fleet divergent until the failed
+   shard is restored — subsequent ASSIGNs report it typed, so a
+   partial write can degrade queries but never corrupt them. *)
+let broadcast_write t op ~render_ok =
+  Mutex.protect t.state_mu (fun () ->
+      let failed = ref [] in
+      Array.iter
+        (fun shard ->
+          let c =
+            try Some (borrow ~connect_timeout:t.cfg.connect_timeout shard.s_primary)
+            with _ -> None
+          in
+          match c with
+          | None ->
+            failed :=
+              Printf.sprintf "shard %d unreachable" shard.s_idx :: !failed
+          | Some c -> (
+            match
+              Client.set_timeout c (Some t.cfg.rpc_seconds);
+              Client.roundtrip c
+                (match op with
+                | Store.Wal.Append rows ->
+                  Protocol.Append (Relalg.Csv.to_string rows)
+                | Store.Wal.Delete ids -> Protocol.Delete ids)
+            with
+            | Protocol.Resp_ok _ -> give_back shard.s_primary c
+            | Protocol.Resp_err (_, msg) ->
+              give_back shard.s_primary c;
+              failed :=
+                Printf.sprintf "shard %d refused: %s" shard.s_idx msg
+                :: !failed
+            | exception e ->
+              discard c;
+              failed :=
+                Printf.sprintf "shard %d: %s" shard.s_idx
+                  (Printexc.to_string e)
+                :: !failed))
+        t.shards;
+      match !failed with
+      | _ :: _ ->
+        Protocol.Resp_err
+          ( Protocol.Internal,
+            "write not applied fleet-wide: " ^ String.concat "; " !failed )
+      | [] ->
+        t.rel <- Store.Recovery.apply t.rel op;
+        t.fp <- Store.Segment.fingerprint t.rel;
+        Hashtbl.reset t.layouts;
+        Array.iter
+          (fun shard ->
+            Mutex.protect shard.s_mu (fun () ->
+                shard.s_primary_layout <- None;
+                shard.s_replica_layout <- None))
+          t.shards;
+        (match op with
+        | Store.Wal.Append _ -> Metrics.incr t.metrics "appends"
+        | Store.Wal.Delete _ -> Metrics.incr t.metrics "deletes");
+        Protocol.Resp_ok (render_ok ()))
+
+let handle_append t csv =
+  match Relalg.Csv.of_string csv with
+  | exception Relalg.Csv.Error (line, msg) ->
+    Protocol.Resp_err
+      (Protocol.Data_error, Printf.sprintf "csv error at line %d: %s" line msg)
+  | extra ->
+    if
+      not
+        (Relalg.Schema.equal
+           (Relalg.Relation.schema t.rel)
+           (Relalg.Relation.schema extra))
+    then Protocol.Resp_err (Protocol.Data_error, "append: schemas differ")
+    else
+      broadcast_write t (Store.Wal.Append extra) ~render_ok:(fun () ->
+          Printf.sprintf "appended %d rows; table now %d rows, fingerprint %s"
+            (Relalg.Relation.cardinality extra)
+            (Relalg.Relation.cardinality t.rel)
+            t.fp)
+
+let handle_delete t ids =
+  let n = Relalg.Relation.cardinality t.rel in
+  match
+    List.iter
+      (fun id ->
+        if id < 0 || id >= n then
+          invalid_arg
+            (Printf.sprintf "delete: row id %d out of range (%d rows)" id n))
+      ids
+  with
+  | exception Invalid_argument msg ->
+    Protocol.Resp_err (Protocol.Data_error, msg)
+  | () ->
+    broadcast_write t (Store.Wal.Delete ids) ~render_ok:(fun () ->
+        Printf.sprintf "deleted %d rows; table now %d rows, fingerprint %s"
+          (List.length ids)
+          (Relalg.Relation.cardinality t.rel)
+          t.fp)
+
+(* ------------------------------------------------------------------ *)
+(* Front end                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let handle_query t query =
+  Metrics.incr t.metrics "requests";
+  let deadline = Unix.gettimeofday () +. t.cfg.request_seconds in
+  let resp =
+    Metrics.time t.metrics "total" (fun () ->
+        try eval_query t ~deadline query
+        with e -> Protocol.Resp_err (Protocol.Internal, Printexc.to_string e))
+  in
+  (match resp with
+  | Protocol.Resp_ok _ -> Metrics.incr t.metrics "ok"
+  | Protocol.Resp_err _ -> Metrics.incr t.metrics "failed");
+  resp
+
+let eval t query = handle_query t query
+
+let handle_conn t fd =
+  Metrics.incr t.metrics "connections";
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond r = Protocol.write_response oc r in
+  let rec loop () =
+    match Protocol.read_request ic with
+    | None -> ()
+    | Some Protocol.Quit -> (
+      try respond (Protocol.Resp_ok "bye") with _ -> ())
+    | Some Protocol.Ping ->
+      respond (Protocol.Resp_ok "pong");
+      loop ()
+    | Some Protocol.Stats ->
+      Array.iter (fun s -> refresh_shard_gauges t s) t.shards;
+      respond (Protocol.Resp_ok (Metrics.render t.metrics));
+      loop ()
+    | Some Protocol.Fingerprint ->
+      let fp, rows =
+        Mutex.protect t.state_mu (fun () ->
+            (t.fp, Relalg.Relation.cardinality t.rel))
+      in
+      respond (Protocol.Resp_ok (Printf.sprintf "%s %d" fp rows));
+      loop ()
+    | Some (Protocol.Append csv) ->
+      respond (handle_append t csv);
+      loop ()
+    | Some (Protocol.Delete ids) ->
+      respond (handle_delete t ids);
+      loop ()
+    | Some (Protocol.Query q) ->
+      respond (handle_query t q);
+      loop ()
+    | Some (Protocol.Assign _ | Protocol.Sketch _ | Protocol.Refine _) ->
+      (* the coordinator fronts a fleet; it is not itself a shard *)
+      respond
+        (Protocol.Resp_err
+           (Protocol.Data_error, "shard verbs are not served here"));
+      loop ()
+  in
+  try loop () with
+  | End_of_file -> ()
+  | Protocol.Protocol_error msg ->
+    Metrics.incr t.metrics "net_errors";
+    (try respond (Protocol.Resp_err (Protocol.Internal, msg)) with _ -> ())
+  | Sys_error _ | Unix.Unix_error _ -> Metrics.incr t.metrics "net_errors"
+
+let conn_main t id fd =
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect t.conns_mu (fun () -> Hashtbl.remove t.conns id);
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> handle_conn t fd)
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+      if not t.stopped then Log.err (fun k -> k "accept failed; stopping")
+    | exception Unix.Unix_error _ when t.stopped -> ()
+    | fd, _ ->
+      if t.stopped then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else begin
+        Mutex.protect t.conns_mu (fun () ->
+            let id = t.next_conn in
+            t.next_conn <- id + 1;
+            Hashtbl.replace t.conns id fd;
+            t.conn_threads <-
+              Thread.create (fun () -> conn_main t id fd) ()
+              :: t.conn_threads);
+        loop ()
+      end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %S" host)
+    | h -> h.Unix.h_addr_list.(0))
+
+let prewarm rel =
+  let schema = Relalg.Relation.schema rel in
+  List.iter
+    (fun (a : Relalg.Schema.attr) ->
+      match a.ty with
+      | Relalg.Value.TInt | Relalg.Value.TFloat ->
+        ignore (Relalg.Relation.column rel a.name)
+      | Relalg.Value.TStr | Relalg.Value.TBool -> ())
+    (Relalg.Schema.attrs schema)
+
+let start cfg specs rel =
+  if cfg.attrs = [] then
+    failwith "coordinator: partitioning attributes are required (--attrs)";
+  if specs = [] then failwith "coordinator: at least one shard is required";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let metrics = Metrics.create () in
+  let shards =
+    Array.of_list
+      (List.mapi
+         (fun i spec ->
+           {
+             s_idx = i;
+             s_spec = spec;
+             s_primary = node_of spec.primary;
+             s_replica = Option.map node_of spec.replica;
+             s_cursor = Option.map (fun p -> Store.Ship.make p) spec.wal;
+             s_shipped = 0;
+             s_breaker = Closed;
+             s_failures = 0;
+             s_primary_layout = None;
+             s_replica_layout = None;
+             s_mu = Mutex.create ();
+           })
+         specs)
+  in
+  prewarm rel;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd (Unix.ADDR_INET (resolve_host cfg.host, cfg.port));
+      Unix.listen listen_fd 64;
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> cfg.port
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let t =
+    {
+      cfg;
+      metrics;
+      shards;
+      plan_cache = Cache.create ~capacity:64;
+      rel;
+      fp = Store.Segment.fingerprint rel;
+      layouts = Hashtbl.create 4;
+      state_mu = Mutex.create ();
+      listen_fd;
+      bound_port;
+      accept_thread = None;
+      ship_thread = None;
+      conns = Hashtbl.create 16;
+      conn_threads = [];
+      next_conn = 0;
+      conns_mu = Mutex.create ();
+      stopped = false;
+      finished = false;
+      stop_mu = Mutex.create ();
+      stop_cond = Condition.create ();
+    }
+  in
+  Pkg.Eval.set_observer
+    (Some
+       (fun stage dt ->
+         Metrics.observe metrics (Pkg.Eval.stage_name stage) dt));
+  Array.iter (fun s -> refresh_shard_gauges t s) shards;
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  if Array.exists (fun s -> s.s_replica <> None) shards then
+    t.ship_thread <- Some (Thread.create ship_loop t);
+  Log.info (fun k ->
+      k "coordinating %d shards (%d with replicas) on %s:%d"
+        (Array.length shards)
+        (Array.fold_left
+           (fun a s -> if s.s_replica <> None then a + 1 else a)
+           0 shards)
+        cfg.host bound_port);
+  t
+
+let wait t =
+  Mutex.protect t.stop_mu (fun () ->
+      while not t.finished do
+        Condition.wait t.stop_cond t.stop_mu
+      done)
+
+let stop t =
+  let first =
+    Mutex.protect t.stop_mu (fun () ->
+        let first = not t.stopped in
+        t.stopped <- true;
+        first)
+  in
+  if first then begin
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let fds =
+      Mutex.protect t.conns_mu (fun () ->
+          Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [])
+    in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds;
+    let conn_threads =
+      Mutex.protect t.conns_mu (fun () ->
+          let ts = t.conn_threads in
+          t.conn_threads <- [];
+          ts)
+    in
+    List.iter Thread.join conn_threads;
+    Option.iter Thread.join t.ship_thread;
+    Array.iter
+      (fun shard ->
+        sever shard.s_primary;
+        Option.iter sever shard.s_replica)
+      t.shards;
+    Pkg.Eval.set_observer None;
+    Mutex.protect t.stop_mu (fun () ->
+        t.finished <- true;
+        Condition.broadcast t.stop_cond)
+  end

@@ -1,0 +1,112 @@
+(** The [pkgq_shard] coordinator: scatter/gather SketchRefine over a
+    fleet of [pkgq_server] shards, with robustness as the design
+    center — never a hang, never a silently wrong answer.
+
+    {2 Topology}
+
+    Shared-storage sharding: the coordinator and every shard load the
+    {e same} table (same file, or the same base plus the same WAL op
+    sequence), so global row ids are shard-local row ids and no row
+    data ever travels for a query. The table is partitioned once
+    (coordinator-side, the ordinary {!Pkg.Partition}) and the partition
+    {e groups} are dealt round-robin across shards. ASSIGN installs
+    each shard's groups and returns the shard's own representative
+    tuples, which the coordinator diffs against its local partitioning:
+    any divergence (a shard serving different bytes) is a typed data
+    error, not a wrong package.
+
+    {2 Per-query flow}
+
+    plan locally -> SKETCH scatter (per-group WHERE-filtered candidate
+    counts -> sketch ILP caps) -> solve the sketch ILP locally over the
+    representative relation -> mirror the sequential greedy-backtracking
+    refine loop (Algorithm 2), with each group's refine ILP dispatched
+    to its owning shard as a REFINE RPC carrying the partial package's
+    constraint-bound offsets as hex floats (bit-identical on both
+    sides). Shards solve refine ILPs {e cold} (no warm-start), so a
+    failover or hedged duplicate computes the identical answer on the
+    primary or its replica — and a fully healthy run is byte-identical
+    to a single [pkgq_server --method sketchrefine] for queries that
+    need no fallback ladder. The distributed path has no hybrid-sketch
+    fallback: a refine-infeasible query answers [infeasible] where a
+    single node might still find a package (documented limitation).
+
+    {2 Robustness}
+
+    Every RPC gets a deadline carved from the query budget. Primary
+    exchanges are retried with capped backoff behind a per-shard
+    circuit breaker ({!config.breaker_trips} consecutive failures trip
+    it; a PING probe after {!config.breaker_probe_seconds} readmits).
+    On primary exhaustion the coordinator fails over to the replica,
+    first promoting it: the dead primary's on-disk WAL is shipped from
+    the last {e sent} record (never re-shipped — APPEND is not
+    idempotent). Refine RPCs are hedged: if the primary has not
+    answered within {!config.hedge_ms}, the same request is raced
+    against the replica and the first answer wins (the loser is
+    abandoned and its connection dies with it). A replica answer whose
+    ship-acknowledgement cursor lags the primary's WAL tail marks its
+    groups {e stale}; a group whose shard and replica are both
+    unreachable is {e omitted} and the query degrades into a typed
+    {!Protocol.Degraded} error naming exactly which groups were stale
+    or omitted, instead of hanging or lying. *)
+
+type endpoint = { ep_host : string; ep_port : int }
+
+(** One shard: a primary, an optional read replica, and optionally the
+    primary's on-disk WAL file ({!Store.Recovery.wal_path}) for
+    shipping and promotion — the coordinator runs on the same
+    filesystem as its local fleet. *)
+type shard_spec = {
+  primary : endpoint;
+  replica : endpoint option;
+  wal : string option;
+}
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  attrs : string list;
+      (** partitioning attributes; required non-empty, and the fleet
+          must be launched with the identical [--attrs] (and [--tau],
+          [--epsilon]) or ASSIGN reports divergence *)
+  tau : int option;
+  epsilon : float option;
+  limits : Ilp.Branch_bound.limits;
+  request_seconds : float;  (** per-query budget; RPC deadlines are carved from it *)
+  connect_timeout : float;
+  rpc_seconds : float;
+      (** cap on scatter-phase (ASSIGN/SKETCH) read timeouts, so a
+          stalled shard is detected long before the query budget *)
+  retries : int;  (** primary attempts per exchange before failover *)
+  hedge_ms : int;
+      (** refine hedging delay; 0 disables (default
+          [$PKGQ_HEDGE_MS] or 50) *)
+  breaker_trips : int;
+      (** consecutive primary failures that trip the breaker (default
+          [$PKGQ_BREAKER_TRIPS] or 3) *)
+  breaker_probe_seconds : float;  (** open time before a PING probe readmits *)
+  ship_every : float;  (** WAL shipper cycle, seconds *)
+}
+
+val default_config : unit -> config
+
+type t
+
+(** [start cfg specs rel] — serve [rel] (the coordinator's own copy of
+    the fleet's table) across [specs]. Binds the front-end socket,
+    starts the accept loop and the WAL shipper thread.
+    @raise Failure when [cfg.attrs] is empty. *)
+val start : config -> shard_spec list -> Relalg.Relation.t -> t
+
+val port : t -> int
+
+val metrics : t -> Metrics.t
+
+(** One query through the full scatter/gather path (the same code the
+    QUERY verb runs) — for in-process tests and the bench. *)
+val eval : t -> string -> Protocol.response
+
+(** Block until {!stop} completes (for the binary's signal loop). *)
+val wait : t -> unit
+
+val stop : t -> unit

@@ -2,6 +2,9 @@ type request =
   | Query of string
   | Append of string
   | Delete of int list
+  | Assign of string
+  | Sketch of string
+  | Refine of string
   | Fingerprint
   | Stats
   | Ping
@@ -11,6 +14,7 @@ type error_code =
   | Rejected
   | Deadline
   | Infeasible
+  | Degraded
   | Failed
   | Parse_error
   | Analysis_error
@@ -25,6 +29,7 @@ let code_name = function
   | Rejected -> "rejected"
   | Deadline -> "deadline"
   | Infeasible -> "infeasible"
+  | Degraded -> "degraded"
   | Failed -> "failed"
   | Parse_error -> "parse"
   | Analysis_error -> "analysis"
@@ -35,6 +40,7 @@ let code_of_name = function
   | "rejected" -> Some Rejected
   | "deadline" -> Some Deadline
   | "infeasible" -> Some Infeasible
+  | "degraded" -> Some Degraded
   | "failed" -> Some Failed
   | "parse" -> Some Parse_error
   | "analysis" -> Some Analysis_error
@@ -49,6 +55,7 @@ let exit_code = function
   | Parse_error -> 4
   | Analysis_error -> 5
   | Rejected -> 7
+  | Degraded -> 8
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)
@@ -86,6 +93,15 @@ let write_request oc = function
     let body = String.concat " " (List.map string_of_int ids) in
     Printf.fprintf oc "DELETE %d\n" (String.length body);
     write_body oc body
+  | Assign body ->
+    Printf.fprintf oc "ASSIGN %d\n" (String.length body);
+    write_body oc body
+  | Sketch body ->
+    Printf.fprintf oc "SKETCH %d\n" (String.length body);
+    write_body oc body
+  | Refine body ->
+    Printf.fprintf oc "REFINE %d\n" (String.length body);
+    write_body oc body
   | Fingerprint ->
     output_string oc "FPRINT\n";
     flush oc
@@ -122,6 +138,12 @@ let read_request ic =
                       (Printf.sprintf "DELETE: bad row id %S" s)))
       in
       Some (Delete ids)
+    | [ "ASSIGN"; len ] ->
+      Some (Assign (read_body ic (read_len "ASSIGN" len)))
+    | [ "SKETCH"; len ] ->
+      Some (Sketch (read_body ic (read_len "SKETCH" len)))
+    | [ "REFINE"; len ] ->
+      Some (Refine (read_body ic (read_len "REFINE" len)))
     | [ "FPRINT" ] -> Some Fingerprint
     | [ "STATS" ] -> Some Stats
     | [ "PING" ] -> Some Ping
@@ -184,3 +206,132 @@ let parse_result body =
           | Some wall -> Ok (status, wall, csv)
           | None -> Error "result body: bad wall value")
         | _ -> Error "result body: bad wall line")
+
+(* ------------------------------------------------------------------ *)
+(* Shard verb bodies                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let bad what s =
+  raise (Protocol_error (Printf.sprintf "%s: bad field %S" what s))
+
+let int_field what s =
+  match int_of_string_opt s with Some n -> n | None -> bad what s
+
+let nonempty_lines body =
+  String.split_on_char '\n' body |> List.filter (fun l -> String.trim l <> "")
+
+let render_assign groups =
+  groups
+  |> List.map (fun (gid, ids) ->
+         let ids = Array.to_list ids |> List.map string_of_int in
+         String.concat " " (string_of_int gid :: ids))
+  |> String.concat "\n"
+
+let parse_assign body =
+  nonempty_lines body
+  |> List.map (fun line ->
+         match
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun s -> s <> "")
+         with
+         | gid :: ids ->
+           ( int_field "ASSIGN gid" gid,
+             Array.of_list (List.map (int_field "ASSIGN id") ids) )
+         | [] -> bad "ASSIGN" line)
+
+let render_counts counts =
+  counts
+  |> List.map (fun (gid, n) -> Printf.sprintf "%d %d" gid n)
+  |> String.concat "\n"
+
+let parse_counts body =
+  nonempty_lines body
+  |> List.map (fun line ->
+         match
+           String.split_on_char ' ' (String.trim line)
+           |> List.filter (fun s -> s <> "")
+         with
+         | [ gid; n ] -> (int_field "counts gid" gid, int_field "counts n" n)
+         | _ -> bad "counts" line)
+
+(* Hex float literals round-trip exactly, so the shard's refine ILP sees
+   bit-identical offsets to the ones the coordinator computed. *)
+let render_refine ~gid ~budget_ms ~offsets ~query =
+  let offs =
+    Array.to_list offsets
+    |> List.map (fun v -> Printf.sprintf "%h" v)
+    |> String.concat " "
+  in
+  Printf.sprintf "%d %d\n%s\n%s" gid budget_ms offs query
+
+let parse_refine body =
+  match String.index_opt body '\n' with
+  | None -> bad "REFINE" body
+  | Some i -> (
+    let head = String.sub body 0 i in
+    let rest = String.sub body (i + 1) (String.length body - i - 1) in
+    match String.index_opt rest '\n' with
+    | None -> bad "REFINE" rest
+    | Some j ->
+      let offs_line = String.sub rest 0 j in
+      let query = String.sub rest (j + 1) (String.length rest - j - 1) in
+      let gid, budget_ms =
+        match
+          String.split_on_char ' ' (String.trim head)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [ gid; ms ] ->
+          (int_field "REFINE gid" gid, int_field "REFINE budget" ms)
+        | _ -> bad "REFINE header" head
+      in
+      let offsets =
+        String.split_on_char ' ' (String.trim offs_line)
+        |> List.filter (fun s -> s <> "")
+        |> List.map (fun s ->
+               match float_of_string_opt s with
+               | Some v -> v
+               | None -> bad "REFINE offset" s)
+        |> Array.of_list
+      in
+      (gid, budget_ms, offsets, query))
+
+type refine_result =
+  | Refine_feasible of (int * int) list
+  | Refine_infeasible
+  | Refine_failed of string
+
+let render_refine_result = function
+  | Refine_infeasible -> "infeasible"
+  | Refine_failed msg -> "failed " ^ msg
+  | Refine_feasible entries ->
+    let entries =
+      entries
+      |> List.map (fun (row, cnt) -> Printf.sprintf "%d:%d" row cnt)
+      |> String.concat " "
+    in
+    Printf.sprintf "feasible\n%s" entries
+
+let parse_refine_result body =
+  let line, rest =
+    match String.index_opt body '\n' with
+    | None -> (body, "")
+    | Some i ->
+      ( String.sub body 0 i,
+        String.sub body (i + 1) (String.length body - i - 1) )
+  in
+  match String.trim line with
+  | "infeasible" -> Refine_infeasible
+  | l when String.length l >= 6 && String.sub l 0 6 = "failed" ->
+    Refine_failed (String.trim (String.sub l 6 (String.length l - 6)))
+  | "feasible" ->
+    let entries =
+      String.split_on_char ' ' (String.trim rest)
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun pair ->
+             match String.split_on_char ':' pair with
+             | [ row; cnt ] ->
+               (int_field "refine row" row, int_field "refine count" cnt)
+             | _ -> bad "refine entry" pair)
+    in
+    Refine_feasible entries
+  | l -> bad "refine result" l

@@ -8,11 +8,24 @@
     QUERY <len>\n<len bytes>\n    evaluate a PaQL query
     APPEND <len>\n<len bytes>\n   append CSV rows (with header) to the table
     DELETE <len>\n<len bytes>\n   delete rows; body is space-separated row ids
+    ASSIGN <len>\n<len bytes>\n   install a shard group assignment
+    SKETCH <len>\n<len bytes>\n   per-group candidate counts for a query
+    REFINE <len>\n<len bytes>\n   solve one group's refine ILP
     FPRINT\n                      table content fingerprint + row count
     STATS\n                       metrics snapshot
     PING\n                        liveness probe
     QUIT\n                       close the connection
     v}
+
+    The three shard verbs are the scatter/gather substrate of
+    [pkgq_shard]: the coordinator installs each shard's partition
+    groups once (ASSIGN, local row ids; the OK body is the
+    representative tuples as CSV, one row per group in request order),
+    asks for each group's WHERE-filtered candidate count per query
+    (SKETCH, so the coordinator can derive the sketch ILP's caps), and
+    dispatches per-group refine ILPs with the partial package's
+    constraint offsets (REFINE). Floats in shard bodies travel as hex
+    float literals, so both sides compute on bit-identical values.
 
     {2 Responses}
 
@@ -34,6 +47,9 @@ type request =
   | Query of string
   | Append of string
   | Delete of int list
+  | Assign of string
+  | Sketch of string
+  | Refine of string
   | Fingerprint
   | Stats
   | Ping
@@ -43,6 +59,10 @@ type error_code =
   | Rejected           (** admission control shed the request *)
   | Deadline           (** the per-request budget expired *)
   | Infeasible
+  | Degraded
+      (** a sharded answer with reduced fidelity: some groups stale or
+          omitted (shard and replica unreachable) — typed, never a
+          silently wrong package *)
   | Failed             (** solver gave up: no package *)
   | Parse_error
   | Analysis_error
@@ -60,7 +80,7 @@ val code_of_name : string -> error_code option
 
 (** The paql CLI exit code for a remote failure: 1 infeasible, 2
     failed/deadline/internal, 3 data, 4 parse, 5 analysis, 7
-    rejected. *)
+    rejected, 8 degraded. *)
 val exit_code : error_code -> int
 
 (** {1 Framing} *)
@@ -85,3 +105,43 @@ val read_response : in_channel -> response
 val render_result : status_line:string -> wall:float -> csv:string -> string
 
 val parse_result : string -> (string * float * string, string) result
+
+(** {1 Shard verb bodies}
+
+    Structured codecs for the ASSIGN/SKETCH/REFINE bodies, shared by
+    the coordinator and the server so neither reimplements the format.
+    The [parse_*] functions raise {!Protocol_error} on malformed input
+    (they sit behind the framing layer, which already promises a
+    complete body). *)
+
+(** ASSIGN body: one line per group, ["<gid> <id> <id> ..."] with
+    shard-local row ids. *)
+val render_assign : (int * int array) list -> string
+
+val parse_assign : string -> (int * int array) list
+
+(** SKETCH response body: one line per group, ["<gid> <count>"]. *)
+val render_counts : (int * int) list -> string
+
+val parse_counts : string -> (int * int) list
+
+(** REFINE body: line 1 is ["<gid> <budget_ms>"], line 2 the
+    per-constraint offsets as hex floats, the rest the query text. *)
+val render_refine : gid:int -> budget_ms:int -> offsets:float array ->
+  query:string -> string
+
+val parse_refine : string -> int * int * float array * string
+
+(** REFINE response body: line 1 is [feasible] / [infeasible] /
+    [failed <msg>]; for [feasible], line 2 holds the chosen
+    [(row, count)] entries as space-separated [row:count] pairs, in
+    candidate order (coordinator and shard share the table, so row ids
+    are a complete answer). *)
+type refine_result =
+  | Refine_feasible of (int * int) list
+  | Refine_infeasible
+  | Refine_failed of string
+
+val render_refine_result : refine_result -> string
+
+val parse_refine_result : string -> refine_result

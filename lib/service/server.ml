@@ -91,6 +91,16 @@ type t = {
   plan_cache : (string, Paql.Ast.query * Paql.Translate.spec) Cache.t;
   result_cache : (string, Protocol.response) Cache.t;
   basis_cache : (string, Lp.Simplex.Basis.t) Cache.t;
+  (* Sketch/refine contexts for the shard verbs, keyed by query
+     fingerprint @ table fingerprint: one candidate scan per (query,
+     snapshot) instead of one per REFINE call. *)
+  ctx_cache : (string, Pkg.Sketch.ctx) Cache.t;
+  (* The coordinator-installed group assignment: which partition groups
+     this process serves, with their expected member row ids (checked
+     against the locally derived partitioning — divergence is a typed
+     error, not a wrong answer). *)
+  mutable shard_groups : (int * int array) list option;
+  shard_mu : Mutex.t;
   mutable state : snapshot;
   state_mu : Mutex.t;
   wal : Store.Wal.t option;
@@ -256,6 +266,11 @@ let partition_for t snap ast spec =
 let response_of_report (r : Pkg.Eval.report) =
   match r.status with
   | Pkg.Eval.Infeasible -> Protocol.Resp_err (Protocol.Infeasible, status_line r)
+  | Pkg.Eval.Degraded _ ->
+    (* Single-node evaluation never degrades; the coordinator renders
+       its own Degraded bodies. Mapped anyway so the taxonomy stays
+       total. *)
+    Protocol.Resp_err (Protocol.Degraded, status_line r)
   | Pkg.Eval.Failed f ->
     let code =
       match f.kind with
@@ -279,7 +294,7 @@ let response_of_report (r : Pkg.Eval.report) =
 let cacheable (r : Pkg.Eval.report) =
   match r.status with
   | Pkg.Eval.Optimal | Pkg.Eval.Infeasible -> true
-  | Pkg.Eval.Feasible _ | Pkg.Eval.Failed _ -> false
+  | Pkg.Eval.Feasible _ | Pkg.Eval.Failed _ | Pkg.Eval.Degraded _ -> false
 
 (* The STATS verb reports the process-wide simplex counters as gauges:
    they are cumulative totals read from [Lp.Simplex.counters], so a
@@ -395,7 +410,11 @@ let wal_log t op =
   | None -> ()
   | Some wal -> (
     match Store.Wal.append wal op with
-    | _seq -> Metrics.incr t.metrics "wal_records"
+    | _seq ->
+      Metrics.incr t.metrics "wal_records";
+      (* published so a coordinator can read replica lag (primary seq
+         minus shipped seq) straight off two STATS snapshots *)
+      Metrics.set_gauge t.metrics "wal_last_seq" (Store.Wal.last_seq wal)
     | exception (Store.Wal.Sync_failed _ as e) ->
       Metrics.incr t.metrics "wal_sync_failures";
       raise e)
@@ -627,6 +646,199 @@ let handle_fingerprint t =
   in
   Protocol.Resp_ok (Printf.sprintf "%s %d" fp rows)
 
+(* ------------------------------------------------------------------ *)
+(* Shard verbs (scatter/gather substrate for the coordinator)         *)
+(* ------------------------------------------------------------------ *)
+
+(* The coordinator and every shard derive the partitioning
+   independently from the same table and config, so group ids and
+   member sets must agree bit-for-bit; ASSIGN records what the
+   coordinator expects and the check below turns any divergence into a
+   typed data error instead of a silently wrong package. *)
+let verify_assignment (part : Pkg.Partition.t) groups =
+  let m = Pkg.Partition.num_groups part in
+  List.iter
+    (fun (gid, members) ->
+      if gid < 0 || gid >= m then
+        invalid_arg
+          (Printf.sprintf "assignment gid %d out of range (%d groups)" gid m);
+      if part.Pkg.Partition.groups.(gid).Pkg.Partition.members <> members then
+        invalid_arg
+          (Printf.sprintf
+             "partition divergence: group %d member set does not match" gid))
+    groups
+
+let shard_ctx t snap query =
+  let qfp = Paql.Fingerprint.of_query query in
+  match plan t snap qfp query with
+  | Error resp -> Error resp
+  | Ok (ast, spec) -> (
+    match partition_for t snap ast spec with
+    | Error resp -> Error resp
+    | Ok part -> (
+      let key = qfp ^ "@" ^ snap.fp in
+      match Cache.find_opt t.ctx_cache key with
+      | Some ctx -> Ok ctx
+      | None ->
+        let ctx =
+          Metrics.time t.metrics "shard_ctx" (fun () ->
+              Pkg.Sketch.make_ctx spec snap.rel part)
+        in
+        Cache.add t.ctx_cache key ctx;
+        Ok ctx))
+
+let handle_assign t body =
+  Metrics.incr t.metrics "assigns";
+  match Protocol.parse_assign body with
+  | exception Protocol.Protocol_error msg ->
+    Protocol.Resp_err (Protocol.Data_error, msg)
+  | groups -> (
+    let snap = Mutex.protect t.state_mu (fun () -> t.state) in
+    let n = Relalg.Relation.cardinality snap.rel in
+    match
+      List.iter
+        (fun (gid, members) ->
+          if gid < 0 then
+            invalid_arg (Printf.sprintf "assign: bad group id %d" gid);
+          if Array.length members = 0 then
+            invalid_arg (Printf.sprintf "assign: group %d is empty" gid);
+          Array.iter
+            (fun id ->
+              if id < 0 || id >= n then
+                invalid_arg
+                  (Printf.sprintf "assign: row id %d out of range (%d rows)"
+                     id n))
+            members)
+        groups
+    with
+    | exception Invalid_argument msg ->
+      Protocol.Resp_err (Protocol.Data_error, msg)
+    | () ->
+      let schema = Relalg.Relation.schema snap.rel in
+      let reps =
+        Relalg.Relation.of_rows schema
+          (List.map
+             (fun (_, members) -> Pkg.Partition.rep_row snap.rel members)
+             groups)
+      in
+      Mutex.protect t.shard_mu (fun () -> t.shard_groups <- Some groups);
+      Log.info (fun k ->
+          k "assigned %d groups (%d rows owned)" (List.length groups)
+            (List.fold_left (fun a (_, m) -> a + Array.length m) 0 groups));
+      Protocol.Resp_ok (Relalg.Csv.to_string reps))
+
+let with_assignment t f =
+  match Mutex.protect t.shard_mu (fun () -> t.shard_groups) with
+  | None ->
+    Protocol.Resp_err (Protocol.Data_error, "no shard assignment installed")
+  | Some groups -> f groups
+
+let handle_sketch t query =
+  Metrics.incr t.metrics "shard_sketches";
+  with_assignment t (fun groups ->
+      let snap = Mutex.protect t.state_mu (fun () -> t.state) in
+      match shard_ctx t snap query with
+      | Error resp -> resp
+      | Ok ctx -> (
+        match verify_assignment ctx.Pkg.Sketch.part groups with
+        | exception Invalid_argument msg ->
+          Protocol.Resp_err (Protocol.Data_error, msg)
+        | () ->
+          let counts =
+            List.map
+              (fun (gid, _) ->
+                (gid, Array.length ctx.Pkg.Sketch.cand.(gid)))
+              groups
+          in
+          Protocol.Resp_ok (Protocol.render_counts counts)))
+
+(* One refine ILP, mirroring [Refine.refine_query] exactly — same
+   problem construction, same fault/deadline choke point — minus the
+   warm-start basis: a cold solve is position-independent, so a
+   failover or hedged duplicate of this request computes the identical
+   answer on either the primary or its replica. *)
+let handle_refine t body =
+  Metrics.incr t.metrics "shard_refines";
+  match Protocol.parse_refine body with
+  | exception Protocol.Protocol_error msg ->
+    Protocol.Resp_err (Protocol.Data_error, msg)
+  | gid, budget_ms, offsets, query ->
+    with_assignment t (fun groups ->
+        if not (List.mem_assoc gid groups) then
+          Protocol.Resp_err
+            ( Protocol.Data_error,
+              Printf.sprintf "group %d is not owned by this shard" gid )
+        else
+          let snap = Mutex.protect t.state_mu (fun () -> t.state) in
+          match shard_ctx t snap query with
+          | Error resp -> resp
+          | Ok ctx ->
+            let spec = ctx.Pkg.Sketch.spec in
+            if
+              Array.length offsets
+              <> List.length spec.Paql.Translate.constraints
+            then
+              Protocol.Resp_err
+                ( Protocol.Data_error,
+                  Printf.sprintf "offset arity %d does not match %d constraints"
+                    (Array.length offsets)
+                    (List.length spec.Paql.Translate.constraints) )
+            else begin
+              let budget = float_of_int budget_ms /. 1000. in
+              let deadline = Unix.gettimeofday () +. budget in
+              let limits =
+                {
+                  t.cfg.limits with
+                  Ilp.Branch_bound.max_seconds =
+                    Float.min t.cfg.limits.Ilp.Branch_bound.max_seconds budget;
+                }
+              in
+              let candidates = ctx.Pkg.Sketch.cand.(gid) in
+              let problem =
+                Paql.Translate.to_problem ~offsets
+                  { spec with Paql.Translate.where = None }
+                  ctx.Pkg.Sketch.rel ~candidates
+              in
+              let outcome =
+                Metrics.time t.metrics "shard_refine" (fun () ->
+                    try
+                      Ok
+                        (Pkg.Faults.solve ~limits ~deadline
+                           ~stage:Pkg.Eval.Refine ~group:gid problem)
+                    with Pkg.Faults.Injected msg -> Error msg)
+              in
+              sync_solver_gauges t.metrics;
+              let render r =
+                Protocol.Resp_ok (Protocol.render_refine_result r)
+              in
+              match outcome with
+              | Error msg ->
+                render (Protocol.Refine_failed ("injected: " ^ msg))
+              | Ok
+                  ( Ilp.Branch_bound.Optimal (sol, _)
+                  | Ilp.Branch_bound.Feasible (sol, _, _) ) ->
+                let entries = ref [] in
+                Array.iteri
+                  (fun k row ->
+                    let c =
+                      int_of_float (Float.round sol.Ilp.Branch_bound.x.(k))
+                    in
+                    if c > 0 then entries := (row, c) :: !entries)
+                  candidates;
+                render (Protocol.Refine_feasible (List.rev !entries))
+              | Ok (Ilp.Branch_bound.Infeasible _) ->
+                render Protocol.Refine_infeasible
+              | Ok (Ilp.Branch_bound.Unbounded _) ->
+                render (Protocol.Refine_failed "refine query unbounded")
+              | Ok (Ilp.Branch_bound.Limit st) ->
+                let f =
+                  Pkg.Eval.limit_failure ~stage:Pkg.Eval.Refine ~group:gid st
+                in
+                render
+                  (Protocol.Refine_failed
+                     (Format.asprintf "%a" Pkg.Eval.pp_failure f))
+            end)
+
 let handle_conn t fd =
   Metrics.incr t.metrics "connections";
   let ic = Unix.in_channel_of_descr fd in
@@ -657,6 +869,19 @@ let handle_conn t fd =
         loop ()
       | Some Protocol.Fingerprint ->
         respond (handle_fingerprint t);
+        loop ()
+      | Some (Protocol.Assign body) ->
+        respond (handle_assign t body);
+        loop ()
+      | Some (Protocol.Sketch q) ->
+        respond (handle_sketch t q);
+        loop ()
+      | Some (Protocol.Refine body) ->
+        (* refine ILPs run on the connection thread, not the query
+           worker pool: the coordinator bounds its own fan-out, and a
+           queued refine behind a long QUERY would blow the per-group
+           budget it was sent with *)
+        respond (handle_refine t body);
         loop ()
       | Some (Protocol.Query q) ->
         respond (handle_query t q);
@@ -779,6 +1004,9 @@ let start ?catalog cfg rel =
       plan_cache = Cache.create ~capacity:cfg.plan_cache;
       result_cache = Cache.create ~capacity:cfg.result_cache;
       basis_cache = Cache.create ~capacity:cfg.basis_cache;
+      ctx_cache = Cache.create ~capacity:16;
+      shard_groups = None;
+      shard_mu = Mutex.create ();
       state = fresh_snapshot rel;
       state_mu = Mutex.create ();
       wal;
@@ -799,6 +1027,9 @@ let start ?catalog cfg rel =
   in
   Pkg.Eval.set_observer
     (Some (fun stage dt -> Metrics.observe metrics (Pkg.Eval.stage_name stage) dt));
+  Option.iter
+    (fun wal -> Metrics.set_gauge metrics "wal_last_seq" (Store.Wal.last_seq wal))
+    t.wal;
   t.accept_thread <- Some (Thread.create accept_loop t);
   if cfg.log_every > 0. then t.log_thread <- Some (Thread.create log_loop t);
   Log.info (fun k ->

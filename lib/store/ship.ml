@@ -1,0 +1,21 @@
+(* WAL shipping: the read side of primary → replica replication.
+
+   A cursor remembers how far a replica has applied its primary's log;
+   [pending] re-reads the file's valid prefix and returns what is still
+   to ship. Reading the file directly (rather than asking the primary)
+   is the point: promotion must work when the primary is dead, and the
+   coordinator runs on the same filesystem as its local fleet. *)
+
+type cursor = { path : string; mutable seq : int }
+
+let make ?(since = 0) path = { path; seq = since }
+
+let position c = c.seq
+
+let pending c =
+  let replay = Wal.replay c.path in
+  List.filter (fun (r : Wal.record) -> r.Wal.seq > c.seq) replay.Wal.ops
+
+let advance c seq = if seq > c.seq then c.seq <- seq
+
+let last_seq path = (Wal.replay path).Wal.replay_last_seq

@@ -1,0 +1,35 @@
+(** WAL shipping — the read side of primary → replica replication.
+
+    The coordinator replicates a primary by replaying its WAL records
+    onto the replica through the ordinary APPEND/DELETE verbs: both
+    processes apply the identical op sequence, so their content
+    fingerprints must agree (divergence is detectable with one FPRINT
+    each). A {!cursor} tracks the last shipped sequence number; on
+    primary death, promotion is simply [pending] (the records the
+    replica has not seen) shipped from the dead primary's on-disk log,
+    then a routing flip. Replica lag in records is the primary's
+    {!last_seq} minus the cursor {!position}. *)
+
+type cursor
+
+(** [make ?since path] — a cursor over the WAL file at [path], starting
+    after sequence number [since] (default 0 = ship everything). *)
+val make : ?since:int -> string -> cursor
+
+(** Last shipped sequence number. *)
+val position : cursor -> int
+
+(** Valid records past the cursor, in write order. Re-reads the file;
+    does not advance the cursor (call {!advance} after each record is
+    acknowledged by the replica). A torn tail ends the readable prefix,
+    exactly as recovery would see it.
+    @raise Sys_error when the log file exists but cannot be read. *)
+val pending : cursor -> Wal.record list
+
+(** [advance c seq] — the replica acknowledged everything up to [seq].
+    Monotone: an older [seq] is a no-op. *)
+val advance : cursor -> int -> unit
+
+(** Newest valid sequence number in the log at [path] (0 for an empty
+    or missing log). *)
+val last_seq : string -> int

@@ -193,7 +193,7 @@ let test_workload_feasible_small () =
       match (Pkg.Direct.run ~limits spec rel).Pkg.Eval.status with
       | Pkg.Eval.Optimal | Pkg.Eval.Feasible _ -> true
       | Pkg.Eval.Infeasible -> false
-      | Pkg.Eval.Failed _ -> false
+      | Pkg.Eval.Failed _ | Pkg.Eval.Degraded _ -> false
     in
     let ok =
       direct_ok

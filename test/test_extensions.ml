@@ -526,7 +526,7 @@ let test_refine_deadline () =
       (* the sketch may finish before the first deadline check; any
          terminal status without a crash is acceptable *)
       true
-    | Pkg.Eval.Infeasible -> false)
+    | Pkg.Eval.Infeasible | Pkg.Eval.Degraded _ -> false)
 
 let test_eval_pretty_printers () =
   let to_s pp v = Format.asprintf "%a" pp v in

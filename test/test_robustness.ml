@@ -57,7 +57,19 @@ let test_faults_parse () =
   checkb "lp alongside others" true (ok "lp=warm:reject; ilp=1:limit");
   checkb "unknown lp selector rejected" false (ok "lp=x:reject");
   checkb "lp only rejects" false (ok "lp=warm:limit");
-  checkb "lp cannot combine" false (ok "lp=warm,group=1:reject")
+  checkb "lp cannot combine" false (ok "lp=warm,group=1:reject");
+  checkb "shard crash" true (ok "shard=1:crash");
+  checkb "shard drop" true (ok "shard=0:drop");
+  checkb "shard stall with ms" true (ok "shard=2:stall:300");
+  checkb "repl lag" true (ok "repl=lag:2");
+  checkb "shard alongside others" true (ok "shard=0:crash; repl=lag:1");
+  checkb "shard needs index" false (ok "shard=x:crash");
+  checkb "shard unknown action rejected" false (ok "shard=1:bogus");
+  checkb "shard stall needs ms" false (ok "shard=1:stall");
+  checkb "shard stall ms numeric" false (ok "shard=1:stall:soon");
+  checkb "repl lag numeric" false (ok "repl=lag:x");
+  checkb "repl lag non-negative" false (ok "repl=lag:-1");
+  checkb "shard cannot combine" false (ok "shard=1,group=2:crash")
 
 let test_faults_selector_semantics () =
   with_faults "ilp=2:infeasible" (fun () ->
@@ -398,7 +410,8 @@ let test_all_workers_crash_contained () =
       (* everything lands in Phase-3 repair / sequential fallback; any
          terminal report without an escaped exception is the contract *)
       match r.E.status with
-      | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ -> ())
+      | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ | E.Degraded _ ->
+        ())
 
 (* ------------------------------------------------------------------ *)
 (* Deadline propagation                                               *)
@@ -446,7 +459,7 @@ let test_deadline_overshoot_bounded () =
     checkb (name ^ " within ~1.2x budget (+scheduling slack)") true
       (wall <= (budget *. 1.2) +. 0.35);
     match r.E.status with
-    | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ -> ()
+    | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ | E.Degraded _ -> ()
   in
   check_run "sketchrefine" (fun () ->
       sr_run ~options:(deadline_options budget) rel spec part);
@@ -471,7 +484,8 @@ let test_sequential_fallback_keeps_budget () =
       checkb "fallback does not restart the clock" true
         (wall <= (budget *. 1.2) +. 0.35);
       match r.E.status with
-      | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ -> ())
+      | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ | E.Degraded _ ->
+        ())
 
 let () =
   Alcotest.run "robustness"

@@ -1,0 +1,426 @@
+(* Sharded-serving tests: the coordinator's scatter/gather agrees
+   byte-for-byte with a single-node sketchrefine server, failover to a
+   caught-up replica returns the identical package, hedged refines are
+   deterministic whichever side wins, the per-shard circuit breaker
+   trips/probes/closes, and a query over dead groups degrades into the
+   typed [degraded] error instead of hanging or lying.
+
+   The "smoke" group is the bounded (<10s) end-to-end proof and runs
+   under the @shard-smoke alias; the "shard" group adds the slower
+   scenarios (stalls, stale replicas, the kill/stall matrix). *)
+
+module R = Relalg.Relation
+module Srv = Service.Server
+module Cl = Service.Client
+module Pr = Service.Protocol
+module Ch = Service.Chaos
+module Co = Service.Coordinator
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let tmp_dir =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pkgq-test-shard-%d" (Unix.getpid ()))
+  in
+  (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+  d
+
+let server_exe =
+  let p =
+    match Sys.getenv_opt "PKGQ_SERVER_EXE" with
+    | Some p -> p
+    | None -> Filename.concat ".." "bin/pkgq_server.exe"
+  in
+  if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+
+let galaxy = Datagen.Galaxy.generate ~seed:5 64
+let attrs = [ "redshift" ]
+let tau = 12
+
+let q_max =
+  "SELECT PACKAGE(G) AS P FROM Galaxy G SUCH THAT COUNT(P.*) = 3 MAXIMIZE \
+   SUM(P.redshift)"
+
+let q_min =
+  "SELECT PACKAGE(G) AS P FROM Galaxy G SUCH THAT COUNT(P.*) = 2 AND \
+   SUM(P.redshift) <= 1.5 MINIMIZE SUM(P.petro_rad)"
+
+let queries = [ q_max; q_min ]
+
+(* Response modulo the wall-time line (the only nondeterministic
+   byte): status, package CSV, or the typed error. *)
+let essence = function
+  | Pr.Resp_ok body -> (
+    match Pr.parse_result body with
+    | Ok (status, _wall, csv) -> `Ok (status, csv)
+    | Error e -> `Bad e)
+  | Pr.Resp_err (code, msg) -> `Err (Pr.code_name code, msg)
+
+(* ------------------------------------------------------------------ *)
+(* Single-node reference                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The ground truth: an in-process sketchrefine server over the same
+   table and partitioning config. Caches off so every answer is a real
+   solve. *)
+let reference_essences =
+  lazy
+    (let cfg =
+       {
+         (Srv.default_config ()) with
+         Srv.method_ = Srv.Sketch_refine;
+         attrs;
+         tau = Some tau;
+         workers = 2;
+         queue = 16;
+         result_cache = 0;
+         plan_cache = 0;
+         log_every = 0.;
+       }
+     in
+     let t = Srv.start cfg galaxy in
+     Fun.protect
+       ~finally:(fun () -> Srv.stop t)
+       (fun () ->
+         let c = Cl.connect ~host:"127.0.0.1" ~port:(Srv.port t) () in
+         Fun.protect
+           ~finally:(fun () -> try Cl.close c with _ -> ())
+           (fun () ->
+             List.map (fun q -> (q, essence (Cl.query c q))) queries)))
+
+let reference q = List.assoc q (Lazy.force reference_essences)
+
+let check_ok_reference name q e =
+  checkb (name ^ ": matches single-node sketchrefine") true
+    (e = reference q);
+  checkb (name ^ ": reference is a package") true
+    (match e with `Ok _ -> true | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet scaffolding                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_args =
+  [ "--attrs"; String.concat "," attrs; "--tau"; string_of_int tau ]
+
+let coord_cfg () =
+  {
+    (Co.default_config ()) with
+    Co.attrs;
+    tau = Some tau;
+    request_seconds = 20.;
+    connect_timeout = 0.5;
+    rpc_seconds = 0.5;
+    retries = 1;
+    hedge_ms = 40;
+    breaker_probe_seconds = 0.2;
+    ship_every = 0.02;
+  }
+
+let with_fleet name ~shards ~replicas ?(cfg = coord_cfg ()) f =
+  let fleet =
+    Ch.start_fleet ~exe:server_exe
+      ~dir:(Filename.concat tmp_dir name)
+      ~base:galaxy ~shards ~replicas ~extra_args:fleet_args ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Ch.stop_fleet fleet)
+    (fun () ->
+      let t = Co.start cfg (Ch.fleet_specs fleet) galaxy in
+      Fun.protect ~finally:(fun () -> Co.stop t) (fun () -> f fleet t))
+
+let with_faults spec f =
+  (match Pkg.Faults.parse spec with
+  | Ok s -> Pkg.Faults.install s
+  | Error msg -> Alcotest.failf "bad fault spec %S: %s" spec msg);
+  Fun.protect ~finally:Pkg.Faults.clear f
+
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close fd;
+  port
+
+let counter t k = Service.Metrics.get (Co.metrics t) k
+let gauge t k = Service.Metrics.get_gauge (Co.metrics t) k
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then false
+    else String.sub haystack i n = needle || go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* smoke: equivalence, failover, breaker, injected faults             *)
+(* ------------------------------------------------------------------ *)
+
+let test_equivalence () =
+  with_fleet "equiv" ~shards:2 ~replicas:0 (fun _fleet t ->
+      (* in-process path *)
+      List.iter
+        (fun q -> check_ok_reference "eval" q (essence (Co.eval t q)))
+        queries;
+      (* and through the TCP front end *)
+      let c = Cl.connect ~host:"127.0.0.1" ~port:(Co.port t) () in
+      Fun.protect
+        ~finally:(fun () -> try Cl.close c with _ -> ())
+        (fun () ->
+          List.iter
+            (fun q -> check_ok_reference "front-end" q (essence (Cl.query c q)))
+            queries);
+      checkb "no failovers on a healthy fleet" true
+        (counter t "shard_failovers" = 0))
+
+let test_failover_equivalence () =
+  with_fleet "failover" ~shards:2 ~replicas:1 (fun fleet t ->
+      (* warm run, then kill shard 0's primary outright *)
+      check_ok_reference "healthy" q_max (essence (Co.eval t q_max));
+      Ch.kill_server (List.nth fleet 0).Ch.fm_primary;
+      (* the replica is byte-identical (no writes ever happened), so
+         failover must return the exact single-node package, not a
+         degraded one *)
+      check_ok_reference "after primary kill" q_max (essence (Co.eval t q_max));
+      checkb "failover counted" true (counter t "shard_failovers" >= 1);
+      check_ok_reference "again (routed around the corpse)" q_min
+        (essence (Co.eval t q_min)))
+
+let test_breaker_trip_probe_close () =
+  let port = free_port () in
+  let spec =
+    {
+      Co.primary = { Co.ep_host = "127.0.0.1"; ep_port = port };
+      replica = None;
+      wal = None;
+    }
+  in
+  let cfg = { (coord_cfg ()) with Co.retries = 0; breaker_trips = 3 } in
+  let t = Co.start cfg [ spec ] galaxy in
+  Fun.protect
+    ~finally:(fun () -> Co.stop t)
+    (fun () ->
+      (* nobody listens on the port: every eval burns one primary
+         failure; the third trips the breaker *)
+      for _ = 1 to 3 do
+        match Co.eval t q_max with
+        | Pr.Resp_err _ -> ()
+        | Pr.Resp_ok _ -> Alcotest.fail "eval against a dead fleet succeeded"
+      done;
+      checki "breaker open" 1 (gauge t "shard0_breaker");
+      checki "one trip counted" 1 (counter t "shard_breaker_trips");
+      (* denied while open: no connection attempts, still a typed error *)
+      (match Co.eval t q_max with
+      | Pr.Resp_err _ -> ()
+      | Pr.Resp_ok _ -> Alcotest.fail "open breaker must not answer ok");
+      (* resurrect the shard on the very same port, wait out the probe
+         window: the next eval probes, closes, and answers *)
+      let scfg =
+        {
+          (Srv.default_config ()) with
+          Srv.port;
+          attrs;
+          tau = Some tau;
+          workers = 2;
+          queue = 16;
+          log_every = 0.;
+        }
+      in
+      let srv = Srv.start scfg galaxy in
+      Fun.protect
+        ~finally:(fun () -> Srv.stop srv)
+        (fun () ->
+          Thread.delay (cfg.Co.breaker_probe_seconds +. 0.05);
+          check_ok_reference "after probe readmission" q_max
+            (essence (Co.eval t q_max));
+          checki "breaker closed" 0 (gauge t "shard0_breaker");
+          checkb "probe counted" true (counter t "shard_probes" >= 1);
+          checkb "close counted" true (counter t "shard_breaker_closes" >= 1)))
+
+let test_injected_crash_retries () =
+  with_fleet "inj-crash" ~shards:1 ~replicas:0 (fun _fleet t ->
+      with_faults "shard=0:crash" (fun () ->
+          (* the one-shot injected crash fails the first attempt; the
+             retry must recover to the exact answer *)
+          check_ok_reference "after injected crash" q_max
+            (essence (Co.eval t q_max));
+          checkb "retry counted" true (counter t "shard_retries" >= 1)))
+
+let test_injected_drop_reconnects () =
+  with_fleet "inj-drop" ~shards:1 ~replicas:0 (fun _fleet t ->
+      check_ok_reference "warm" q_max (essence (Co.eval t q_max));
+      with_faults "shard=0:drop" (fun () ->
+          check_ok_reference "after connection drop" q_max
+            (essence (Co.eval t q_max))))
+
+(* ------------------------------------------------------------------ *)
+(* shard: degradation, hedging, stale replicas, the kill matrix       *)
+(* ------------------------------------------------------------------ *)
+
+let test_degraded_omitted () =
+  with_fleet "omit" ~shards:2 ~replicas:0 (fun fleet t ->
+      check_ok_reference "healthy" q_max (essence (Co.eval t q_max));
+      (* no replica to fail over to: shard 1's groups must be omitted
+         and the answer typed degraded, never silently partial *)
+      Ch.kill_server (List.nth fleet 1).Ch.fm_primary;
+      (match Co.eval t q_max with
+      | Pr.Resp_err (Pr.Degraded, msg) ->
+        checkb "names omitted groups" true (contains msg "omitted")
+      | Pr.Resp_err (c, m) ->
+        Alcotest.failf "expected degraded, got %s: %s" (Pr.code_name c) m
+      | Pr.Resp_ok _ ->
+        Alcotest.fail "half-dead fleet answered ok without degradation");
+      checkb "omissions counted" true
+        (counter t "shard_failovers" >= 1 || counter t "shard_retries" >= 0))
+
+let test_hedging_deterministic () =
+  with_fleet "hedge" ~shards:1 ~replicas:1 (fun fleet t ->
+      (* healthy: the primary wins the race *)
+      check_ok_reference "primary wins" q_max (essence (Co.eval t q_max));
+      (* SIGSTOP the primary: connections open, nothing answers — the
+         sketch times out to the replica and every refine hedge fires;
+         the replica's cold solves must produce the identical bytes *)
+      let primary = (List.nth fleet 0).Ch.fm_primary in
+      Ch.pause primary;
+      Fun.protect
+        ~finally:(fun () -> Ch.resume primary)
+        (fun () ->
+          check_ok_reference "replica wins under SIGSTOP" q_max
+            (essence (Co.eval t q_max)));
+      checkb "hedges fired or failover took over" true
+        (counter t "shard_hedges" >= 1 || counter t "shard_failovers" >= 1);
+      (* back to life: the same bytes once more *)
+      Thread.delay 0.05;
+      check_ok_reference "after resume" q_max (essence (Co.eval t q_max)))
+
+let test_stale_replica_degrades () =
+  with_fleet "stale" ~shards:1 ~replicas:1 (fun fleet t ->
+      with_faults "repl=lag:1" (fun () ->
+          (* write through the coordinator: the shipper forwards the
+             record to the replica but withholds the newest ack, so the
+             lag gauge shows 1 while the data is actually identical *)
+          let extra =
+            Datagen.Workload.append_batch ~dataset:`Galaxy ~rows:3 ~seed:77
+          in
+          let c = Cl.connect ~host:"127.0.0.1" ~port:(Co.port t) () in
+          Fun.protect
+            ~finally:(fun () -> try Cl.close c with _ -> ())
+            (fun () ->
+              match Cl.append c ~csv:(Relalg.Csv.to_string extra) with
+              | Pr.Resp_ok _ -> ()
+              | Pr.Resp_err (_, m) -> Alcotest.failf "append refused: %s" m);
+          (* wait for the shipper to forward the record *)
+          let deadline = Unix.gettimeofday () +. 5. in
+          while
+            counter t "shard_shipped" < 1 && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.02
+          done;
+          checkb "record shipped" true (counter t "shard_shipped" >= 1);
+          checki "lag gauge holds at one" 1 (gauge t "shard0_repl_lag");
+          (* kill the primary: the replica serves, but its unacked tail
+             means the answer is typed stale, not silently fresh *)
+          Ch.kill_server (List.nth fleet 0).Ch.fm_primary;
+          match Co.eval t q_max with
+          | Pr.Resp_err (Pr.Degraded, msg) ->
+            checkb "names stale groups" true (contains msg "stale")
+          | Pr.Resp_err (code, m) ->
+            Alcotest.failf "expected degraded, got %s: %s"
+              (Pr.code_name code) m
+          | Pr.Resp_ok _ ->
+            Alcotest.fail "lagging replica must not answer as fresh"))
+
+let test_injected_stall_hedges () =
+  with_fleet "inj-stall" ~shards:1 ~replicas:1 (fun _fleet t ->
+      check_ok_reference "warm" q_max (essence (Co.eval t q_max));
+      with_faults "shard=0:stall:300" (fun () ->
+          (* one exchange is held 300ms — far past the hedge delay; the
+             answer must be byte-identical whichever side produced it *)
+          check_ok_reference "under stall" q_max (essence (Co.eval t q_max))))
+
+(* A bounded kill/stall matrix: every point must end in one of the
+   sanctioned outcomes — the exact reference package, or a typed
+   degraded/failed answer — within the query budget. Never a hang,
+   never an unexplained wrong answer. *)
+let test_kill_stall_matrix () =
+  let scenarios =
+    [ `Kill_primary 0; `Kill_primary 1; `Pause_primary 0; `Pause_primary 1 ]
+  in
+  List.iteri
+    (fun i scenario ->
+      with_fleet
+        (Printf.sprintf "matrix-%d" i)
+        ~shards:2 ~replicas:1
+        (fun fleet t ->
+          check_ok_reference "healthy point" q_max (essence (Co.eval t q_max));
+          let target k = (List.nth fleet k).Ch.fm_primary in
+          let cleanup =
+            match scenario with
+            | `Kill_primary k ->
+              Ch.kill_server (target k);
+              fun () -> ()
+            | `Pause_primary k ->
+              Ch.pause (target k);
+              fun () -> Ch.resume (target k)
+          in
+          Fun.protect ~finally:cleanup (fun () ->
+              let t0 = Unix.gettimeofday () in
+              let e = essence (Co.eval t q_max) in
+              let wall = Unix.gettimeofday () -. t0 in
+              checkb
+                (Printf.sprintf "point %d answers within 2x budget" i)
+                true
+                (wall <= 2. *. (coord_cfg ()).Co.request_seconds);
+              match e with
+              | `Ok _ ->
+                checkb
+                  (Printf.sprintf "point %d package is the reference" i)
+                  true
+                  (e = reference q_max)
+              | `Err ("degraded", _) | `Err ("failed", _)
+              | `Err ("deadline", _) ->
+                ()
+              | `Err (c, m) ->
+                Alcotest.failf "point %d: unsanctioned outcome %s: %s" i c m
+              | `Bad m -> Alcotest.failf "point %d: bad result: %s" i m)))
+    scenarios
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "smoke",
+        [
+          Alcotest.test_case "scatter/gather equals single-node" `Quick
+            test_equivalence;
+          Alcotest.test_case "failover to replica is byte-identical" `Quick
+            test_failover_equivalence;
+          Alcotest.test_case "breaker trips, probes, closes" `Quick
+            test_breaker_trip_probe_close;
+          Alcotest.test_case "injected crash is retried" `Quick
+            test_injected_crash_retries;
+          Alcotest.test_case "injected drop reconnects" `Quick
+            test_injected_drop_reconnects;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "dead groups degrade typed" `Quick
+            test_degraded_omitted;
+          Alcotest.test_case "hedged refines are deterministic" `Quick
+            test_hedging_deterministic;
+          Alcotest.test_case "stale replica answers degraded" `Quick
+            test_stale_replica_degrades;
+          Alcotest.test_case "injected stall rides the hedge" `Quick
+            test_injected_stall_hedges;
+          Alcotest.test_case "kill/stall matrix" `Quick test_kill_stall_matrix;
+        ] );
+    ]
