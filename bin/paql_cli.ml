@@ -16,7 +16,7 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-type method_ = Direct | Sketch_refine
+type method_ = Direct | Sketch_refine | Progressive
 
 (* Distinct exit codes so scripts can tell failure modes apart:
    1 infeasible, 2 no package (solver failure), 3 data/IO error,
@@ -158,29 +158,95 @@ let run_inner connect retries connect_timeout data query_text query_file
   let limits =
     { Ilp.Branch_bound.default_limits with max_nodes; max_seconds }
   in
+  (* shared by sketchrefine and progressive *)
+  let partition_attrs () =
+    match attrs with
+    | [] ->
+      (* default: the query's own numeric attributes *)
+      let qattrs = Paql.Ast.all_attrs ast in
+      let numeric =
+        List.filter
+          (fun a ->
+            match Relalg.Schema.index_of_opt schema a with
+            | Some i -> (
+              match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
+              | Relalg.Value.TInt | Relalg.Value.TFloat -> true
+              | Relalg.Value.TStr | Relalg.Value.TBool -> false)
+            | None -> false)
+          qattrs
+      in
+      if numeric = [] then
+        die exit_usage_error
+          "partitioning needs numeric attributes (--attrs)";
+      numeric
+    | attrs -> attrs
+  in
+  let radius_of_epsilon () =
+    match epsilon with
+    | None -> Pkg.Partition.No_radius
+    | Some epsilon ->
+      let maximize =
+        match Paql.Translate.objective_sense spec with
+        | Lp.Problem.Maximize -> true
+        | Lp.Problem.Minimize -> false
+      in
+      Pkg.Partition.Theorem { epsilon; maximize }
+  in
   let report =
     match method_ with
     | Direct -> Pkg.Direct.run ~limits spec rel
-    | Sketch_refine ->
-      let attrs =
-        match attrs with
-        | [] ->
-          (* default: the query's own numeric attributes *)
-          let qattrs = Paql.Ast.all_attrs ast in
-          List.filter
-            (fun a ->
-              match Relalg.Schema.index_of_opt schema a with
-              | Some i -> (
-                match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
-                | Relalg.Value.TInt | Relalg.Value.TFloat -> true
-                | Relalg.Value.TStr | Relalg.Value.TBool -> false)
-              | None -> false)
-            qattrs
-        | attrs -> attrs
+    | Progressive ->
+      let attrs = partition_attrs () in
+      let radius = radius_of_epsilon () in
+      let t0 = Unix.gettimeofday () in
+      (* --tau overrides the leaf threshold (PKGQ_DLV_LEAF / card/100
+         default); level count comes from PKGQ_HIER_LEVELS *)
+      let hier_result =
+        match catalog, fingerprint with
+        | Some cat, Some fp ->
+          Ok
+            (Store.Catalog.lookup_or_build_hierarchy cat ~fingerprint:fp
+               ~radius ?leaf_tau:tau ~attrs rel)
+        | _ -> (
+          try Ok (Pkg.Hierarchy.build ~radius ?leaf_tau:tau ~attrs rel, `Built)
+          with Pkg.Faults.Injected msg -> Error msg)
       in
-      if attrs = [] then
-        die exit_usage_error
-          "sketchrefine needs numeric partitioning attributes (--attrs)";
+      (match hier_result with
+      | Error msg ->
+        Pkg.Eval.report
+          ~status:
+            (Pkg.Eval.failed ~stage:Pkg.Eval.Progressive
+               (Pkg.Eval.Solver_error msg))
+          ~package:None ~objective:None
+          ~wall_time:(Unix.gettimeofday () -. t0)
+          ~counters:(Pkg.Eval.fresh_counters ())
+      | Ok (hier, status) ->
+        if verbose then
+          Format.printf "Hierarchy %s: %d levels (%s groups) in %.3fs@."
+            (match status with `Hit -> "catalog hit" | `Built -> "built")
+            (Pkg.Hierarchy.num_levels hier)
+            (String.concat "/"
+               (Array.to_list
+                  (Array.map
+                     (fun p -> string_of_int (Pkg.Partition.num_groups p))
+                     hier.Pkg.Hierarchy.levels)))
+            (Unix.gettimeofday () -. t0);
+        let options =
+          { Pkg.Progressive.default_options with limits; max_seconds }
+        in
+        let report, level_stats = Pkg.Progressive.run ~options spec rel hier in
+        if verbose then
+          List.iter
+            (fun s ->
+              Format.printf
+                "level %d: %d groups with variables, %d active, %.3fs%s@."
+                s.Pkg.Progressive.ls_level s.Pkg.Progressive.ls_groups
+                s.Pkg.Progressive.ls_active s.Pkg.Progressive.ls_seconds
+                (if s.Pkg.Progressive.ls_widened then " (widened)" else ""))
+            level_stats;
+        report)
+    | Sketch_refine ->
+      let attrs = partition_attrs () in
       let tau =
         match tau with
         | Some t -> t
@@ -189,17 +255,7 @@ let run_inner connect retries connect_timeout data query_text query_file
       let persisted =
         Option.map (fun path -> Pkg.Partition.load path rel) partition_file
       in
-      let radius =
-        match epsilon with
-        | None -> Pkg.Partition.No_radius
-        | Some epsilon ->
-          let maximize =
-            match Paql.Translate.objective_sense spec with
-            | Lp.Problem.Maximize -> true
-            | Lp.Problem.Minimize -> false
-          in
-          Pkg.Partition.Theorem { epsilon; maximize }
-      in
+      let radius = radius_of_epsilon () in
       let t0 = Unix.gettimeofday () in
       let build () = Pkg.Partition.create ~radius ~tau ~attrs rel in
       let part =
@@ -212,7 +268,8 @@ let run_inner connect retries connect_timeout data query_text query_file
         | None -> (
           match catalog, fingerprint with
           | Some cat, Some fp ->
-            let key = { Store.Catalog.fingerprint = fp; attrs; tau; radius } in
+            let key = { Store.Catalog.fingerprint = fp; attrs; tau; radius;
+                        level = None } in
             let p, status = Store.Catalog.lookup_or_build cat key ~build in
             if verbose then
               Format.printf "Partition catalog %s (%s): %d groups in %.3fs@."
@@ -332,12 +389,18 @@ let query_file =
 
 let method_ =
   let method_conv =
-    Arg.enum [ ("direct", Direct); ("sketchrefine", Sketch_refine) ]
+    Arg.enum
+      [ ("direct", Direct); ("sketchrefine", Sketch_refine);
+        ("progressive", Progressive) ]
   in
   Arg.(
     value & opt method_conv Direct
     & info [ "method"; "m" ] ~docv:"METHOD"
-        ~doc:"Evaluation method: $(b,direct) or $(b,sketchrefine).")
+        ~doc:
+          "Evaluation method: $(b,direct), $(b,sketchrefine), or \
+           $(b,progressive) (coarse-to-fine shading over a DLV hierarchy; \
+           $(b,--tau) sets the leaf threshold, levels come from \
+           $(b,PKGQ_HIER_LEVELS)).")
 
 let tau =
   Arg.(

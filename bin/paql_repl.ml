@@ -12,7 +12,9 @@
 type state = {
   mutable rel : Relalg.Relation.t;
   mutable part : Pkg.Partition.t option;
-  mutable method_ : [ `Direct | `Sketch_refine ];
+  mutable hier : (string list * Pkg.Hierarchy.t) option;
+      (* progressive-shading hierarchy, cached per attribute set *)
+  mutable method_ : [ `Direct | `Sketch_refine | `Progressive ];
   mutable limits : Ilp.Branch_bound.limits;
   mutable show_package : bool;
   mutable store : Store.Catalog.t option;
@@ -31,7 +33,8 @@ let help_text =
   {|Meta commands:
   \help                         this message
   \schema                       show the relation's schema and size
-  \method direct|sketchrefine   choose the evaluation method
+  \method direct|sketchrefine|progressive
+                                choose the evaluation method
   \partition a,b,... [tau=N] [epsilon=E min|max]
                                 build an offline partitioning
   \load FILE                    load a saved partitioning
@@ -66,9 +69,68 @@ let run_query st text =
       match Paql.Translate.compile_exn schema ast with
       | exception Failure msg -> Format.printf "error: %s@." msg
       | spec ->
+      let numeric_attrs () =
+        List.filter
+          (fun a ->
+            match Relalg.Schema.index_of_opt schema a with
+            | Some i -> (
+              match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
+              | Relalg.Value.TInt | Relalg.Value.TFloat -> true
+              | _ -> false)
+            | None -> false)
+          (Paql.Ast.all_attrs ast)
+      in
       let report =
         match st.method_ with
         | `Direct -> Pkg.Direct.run ~limits:st.limits spec st.rel
+        | `Progressive -> (
+          let attrs = numeric_attrs () in
+          if attrs = [] then begin
+            Format.printf "error: no numeric attributes to partition on@.";
+            Pkg.Direct.run ~limits:st.limits spec st.rel
+          end
+          else
+            let hier =
+              match st.hier with
+              | Some (cached, h) when cached = List.sort compare attrs ->
+                Ok h
+              | _ -> (
+                try
+                  let h =
+                    match st.store with
+                    | Some cat ->
+                      fst
+                        (Store.Catalog.lookup_or_build_hierarchy cat
+                           ~fingerprint:(fingerprint_of st) ~attrs st.rel)
+                    | None -> Pkg.Hierarchy.build ~attrs st.rel
+                  in
+                  st.hier <- Some (List.sort compare attrs, h);
+                  Format.printf "hierarchy: %s group(s) per level@."
+                    (String.concat "/"
+                       (Array.to_list
+                          (Array.map
+                             (fun p ->
+                               string_of_int (Pkg.Partition.num_groups p))
+                             h.Pkg.Hierarchy.levels)));
+                  Ok h
+                with Pkg.Faults.Injected msg -> Error msg)
+            in
+            match hier with
+            | Error msg ->
+              Pkg.Eval.report
+                ~status:
+                  (Pkg.Eval.failed ~stage:Pkg.Eval.Progressive
+                     (Pkg.Eval.Solver_error msg))
+                ~package:None ~objective:None ~wall_time:0.
+                ~counters:(Pkg.Eval.fresh_counters ())
+            | Ok hier ->
+              fst
+                (Pkg.Progressive.run
+                   ~options:
+                     { Pkg.Progressive.default_options with
+                       limits = st.limits
+                     }
+                   spec st.rel hier))
         | `Sketch_refine -> (
           match st.part with
           | Some part ->
@@ -80,17 +142,7 @@ let run_query st text =
             Format.printf
               "note: no partitioning yet — building one on the query's \
                attributes (see \\partition)@.";
-            let attrs =
-              List.filter
-                (fun a ->
-                  match Relalg.Schema.index_of_opt schema a with
-                  | Some i -> (
-                    match (Relalg.Schema.attr_at schema i).Relalg.Schema.ty with
-                    | Relalg.Value.TInt | Relalg.Value.TFloat -> true
-                    | _ -> false)
-                  | None -> false)
-                (Paql.Ast.all_attrs ast)
-            in
+            let attrs = numeric_attrs () in
             if attrs = [] then begin
               Format.printf "error: no numeric attributes to partition on@.";
               Pkg.Direct.run ~limits:st.limits spec st.rel
@@ -132,6 +184,7 @@ let meta st line =
       (Relalg.Relation.cardinality st.rel)
   | [ "\\method"; "direct" ] -> st.method_ <- `Direct
   | [ "\\method"; "sketchrefine" ] -> st.method_ <- `Sketch_refine
+  | [ "\\method"; "progressive" ] -> st.method_ <- `Progressive
   | "\\partition" :: attrs_word :: rest -> (
     let attrs = String.split_on_char ',' attrs_word in
     let kvs = parse_kv rest in
@@ -152,7 +205,8 @@ let meta st line =
       match st.store with
       | Some cat ->
         let key =
-          { Store.Catalog.fingerprint = fingerprint_of st; attrs; tau; radius }
+          { Store.Catalog.fingerprint = fingerprint_of st; attrs; tau; radius;
+            level = None }
         in
         Store.Catalog.lookup_or_build cat key ~build
       | None -> (build (), `Built)
@@ -423,6 +477,7 @@ let () =
       {
         rel;
         part = None;
+        hier = None;
         method_ = `Direct;
         limits = Ilp.Branch_bound.default_limits;
         show_package = true;

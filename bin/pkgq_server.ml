@@ -63,7 +63,8 @@ let run_inner data host port workers queue result_cache method_ tau attrs
         (match method_ with
         | `Direct -> Service.Server.Direct
         | `Sketch_refine -> Service.Server.Sketch_refine
-        | `Parallel -> Service.Server.Parallel_refine);
+        | `Parallel -> Service.Server.Parallel_refine
+        | `Progressive -> Service.Server.Progressive);
       tau;
       attrs;
       epsilon;
@@ -164,14 +165,17 @@ let method_ =
   let method_conv =
     Arg.enum
       [ ("direct", `Direct); ("sketchrefine", `Sketch_refine);
-        ("parallel", `Parallel) ]
+        ("parallel", `Parallel); ("progressive", `Progressive) ]
   in
   Arg.(
     value & opt method_conv `Direct
     & info [ "method"; "m" ] ~docv:"METHOD"
         ~doc:
-          "Evaluation method: $(b,direct), $(b,sketchrefine) or \
-           $(b,parallel) (sketchrefine with parallel refinement).")
+          "Evaluation method: $(b,direct), $(b,sketchrefine), \
+           $(b,parallel) (sketchrefine with parallel refinement) or \
+           $(b,progressive) (coarse-to-fine DLV hierarchy shading; \
+           $(b,--tau) sets the leaf threshold, $(b,PKGQ_HIER_LEVELS) \
+           the level count).")
 
 let tau =
   Arg.(

@@ -57,9 +57,10 @@ let int_env name default =
     | Some n when n >= 0 -> n
     | _ -> default)
 
-let run_inner data host port shards spawn replicas fleet_dir server_exe attrs
-    tau epsilon max_seconds max_nodes request_seconds connect_timeout
-    rpc_seconds retries hedge_ms breaker_trips faults verbose =
+let run_inner data host port shards spawn replicas fleet_dir server_exe
+    method_ attrs tau epsilon max_seconds max_nodes request_seconds
+    connect_timeout rpc_seconds retries hedge_ms breaker_trips faults verbose
+    =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
   (match faults with
@@ -80,6 +81,7 @@ let run_inner data host port shards spawn replicas fleet_dir server_exe attrs
       defaults with
       Service.Coordinator.host;
       port;
+      method_;
       attrs;
       tau;
       epsilon;
@@ -131,6 +133,9 @@ let run_inner data host port shards spawn replicas fleet_dir server_exe attrs
       in
       let extra_args =
         [ "--attrs"; String.concat "," attrs ]
+        @ (match method_ with
+          | `Progressive -> [ "--method"; "progressive" ]
+          | `Sketch_refine -> [])
         @ (match tau with
           | Some t -> [ "--tau"; string_of_int t ]
           | None -> [])
@@ -168,13 +173,14 @@ let run_inner data host port shards spawn replicas fleet_dir server_exe attrs
   Service.Chaos.stop_fleet fleet;
   print_endline (Service.Metrics.summary_line (Service.Coordinator.metrics t))
 
-let run data host port shards spawn replicas fleet_dir server_exe attrs tau
-    epsilon max_seconds max_nodes request_seconds connect_timeout rpc_seconds
-    retries hedge_ms breaker_trips faults verbose =
+let run data host port shards spawn replicas fleet_dir server_exe method_
+    attrs tau epsilon max_seconds max_nodes request_seconds connect_timeout
+    rpc_seconds retries hedge_ms breaker_trips faults verbose =
   match
-    run_inner data host port shards spawn replicas fleet_dir server_exe attrs
-      tau epsilon max_seconds max_nodes request_seconds connect_timeout
-      rpc_seconds retries hedge_ms breaker_trips faults verbose
+    run_inner data host port shards spawn replicas fleet_dir server_exe
+      method_ attrs tau epsilon max_seconds max_nodes request_seconds
+      connect_timeout rpc_seconds retries hedge_ms breaker_trips faults
+      verbose
   with
   | () -> ()
   | exception Relalg.Csv.Error (line, msg) ->
@@ -253,6 +259,20 @@ let server_exe =
         ~doc:
           "The $(b,pkgq_server) binary for spawned fleets (default: next to \
            this executable).")
+
+let method_ =
+  let method_conv =
+    Arg.enum [ ("sketchrefine", `Sketch_refine); ("progressive", `Progressive) ]
+  in
+  Arg.(
+    value & opt method_conv `Sketch_refine
+    & info [ "method"; "m" ] ~docv:"METHOD"
+        ~doc:
+          "Distributed evaluation method: $(b,sketchrefine) (flat \
+           scatter/gather) or $(b,progressive) (DLV hierarchy leaf layout \
+           with a local coarse-to-fine shading descent before the \
+           distributed refine). A fronted fleet must be launched with the \
+           identical method; spawned fleets inherit it.")
 
 let attrs =
   Arg.(
@@ -353,9 +373,9 @@ let cmd =
   let term =
     Term.(
       const run $ data $ host $ port $ shards $ spawn $ replicas $ fleet_dir
-      $ server_exe $ attrs $ tau $ epsilon $ max_seconds $ max_nodes
-      $ request_seconds $ connect_timeout $ rpc_seconds $ retries $ hedge_ms
-      $ breaker_trips $ faults $ verbose)
+      $ server_exe $ method_ $ attrs $ tau $ epsilon $ max_seconds
+      $ max_nodes $ request_seconds $ connect_timeout $ rpc_seconds $ retries
+      $ hedge_ms $ breaker_trips $ faults $ verbose)
   in
   Cmd.v (Cmd.info "pkgq_shard" ~doc) term
 

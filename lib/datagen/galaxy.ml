@@ -13,7 +13,15 @@ let schema =
    offsets, mimicking survey stripes and galaxy clusters. *)
 let num_patches = 24
 
-let generate ?(seed = 1) n =
+(* Heavy-skew transform for a uniform draw on [lo, hi]: a power map
+   concentrates the mass near [lo] and leaves a thin tail to [hi].
+   Applied to an already-drawn value, so the PRNG stream is untouched
+   and [skew = 0.] stays byte-identical to the unskewed generator. *)
+let concentrate ~skew ~lo ~hi v =
+  if skew <= 0. then v
+  else lo +. ((hi -. lo) *. (((v -. lo) /. (hi -. lo)) ** (1. +. (4. *. skew))))
+
+let generate ?(seed = 1) ?(skew = 0.) n =
   let rng = Prng.create seed in
   let patches =
     Array.init num_patches (fun _ ->
@@ -36,10 +44,16 @@ let generate ?(seed = 1) n =
     let r = band 0.0 0.25 in
     let i = band (-0.3) 0.3 in
     let z = band (-0.5) 0.4 in
-    let redshift = Float.min 1.2 (Prng.exponential rng ~rate:8.) in
-    let petro_rad = Prng.pareto rng ~xm:1.5 ~alpha:2.5 in
-    let exp_ab = Prng.uniform rng 0.05 1.0 in
-    let rowc = Prng.uniform rng 0. 2048. in
+    (* distribution parameters vary continuously in [skew]; at 0 they
+       are exactly the historical ones (same draw count either way) *)
+    let redshift =
+      Float.min 1.2 (Prng.exponential rng ~rate:(8. /. (1. +. (3. *. skew))))
+    in
+    let petro_rad =
+      Prng.pareto rng ~xm:1.5 ~alpha:(2.5 /. (1. +. (2. *. skew)))
+    in
+    let exp_ab = concentrate ~skew ~lo:0.05 ~hi:1.0 (Prng.uniform rng 0.05 1.0) in
+    let rowc = concentrate ~skew ~lo:0. ~hi:2048. (Prng.uniform rng 0. 2048.) in
     Relalg.Relation.add b
       [|
         Relalg.Value.Int objid;

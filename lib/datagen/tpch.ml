@@ -11,14 +11,25 @@ let schema =
           (fun a -> { Relalg.Schema.name = a; ty = Relalg.Value.TFloat })
           numeric_attrs)
 
-let generate ?(seed = 2) n =
+let generate ?(seed = 2) ?(skew = 0.) n =
   let rng = Prng.create seed in
   let b = Relalg.Relation.builder schema in
   let f v = Relalg.Value.Float v in
+  (* heavy-skew knob: a power map over already-drawn uniforms
+     concentrates price/cost mass near the low end with a thin
+     expensive tail; no extra PRNG draws, so [skew = 0.] is
+     byte-identical to the unskewed generator *)
+  let concentrate ~lo ~hi v =
+    if skew <= 0. then v
+    else
+      lo +. ((hi -. lo) *. (((v -. lo) /. (hi -. lo)) ** (1. +. (4. *. skew))))
+  in
   for rowid = 0 to n - 1 do
     (* lineitem block: always present (lineitem drives the join) *)
     let quantity = float_of_int (1 + Prng.int rng 50) in
-    let retail_base = 900. +. Prng.float rng *. 1200. in
+    let retail_base =
+      concentrate ~lo:900. ~hi:2100. (900. +. (Prng.float rng *. 1200.))
+    in
     let extendedprice = quantity *. retail_base /. 10. in
     let discount = float_of_int (Prng.int rng 11) /. 100. in
     let tax = float_of_int (Prng.int rng 9) /. 100. in
@@ -31,7 +42,8 @@ let generate ?(seed = 2) n =
       else Relalg.Value.Null
     in
     let ps_supplycost =
-      if has_ps then f (Prng.uniform rng 1. 1000.) else Relalg.Value.Null
+      if has_ps then f (concentrate ~lo:1. ~hi:1000. (Prng.uniform rng 1. 1000.))
+      else Relalg.Value.Null
     in
     let s_acctbal =
       if has_ps then f (Prng.uniform rng (-999.99) 9999.99)
@@ -40,7 +52,9 @@ let generate ?(seed = 2) n =
     (* order/customer block present ~34% of the time *)
     let has_oc = Prng.bool rng ~p:0.34 in
     let o_totalprice =
-      if has_oc then f (Prng.uniform rng 800. 500_000.) else Relalg.Value.Null
+      if has_oc then
+        f (concentrate ~lo:800. ~hi:500_000. (Prng.uniform rng 800. 500_000.))
+      else Relalg.Value.Null
     in
     let o_shippriority =
       if has_oc then f (float_of_int (Prng.int rng 5)) else Relalg.Value.Null

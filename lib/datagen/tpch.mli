@@ -24,8 +24,13 @@ val lineitem_attrs : string list
 val part_supplier_attrs : string list
 val order_customer_attrs : string list
 
-(** [generate ?seed n] produces the pre-joined table with [n] rows. *)
-val generate : ?seed:int -> int -> Relalg.Relation.t
+(** [generate ?seed ?skew n] produces the pre-joined table with [n]
+    rows. [skew] (default 0) concentrates the price/cost columns
+    (retail price, supply cost, order total): most rows cheap, a thin
+    expensive tail. [skew = 0.] is byte-identical to the generator
+    before the knob existed (the transform never draws from the
+    PRNG). *)
+val generate : ?seed:int -> ?skew:float -> int -> Relalg.Relation.t
 
 (** [non_null_subset rel attrs] keeps the rows that are non-NULL on all
     the given attributes — the paper's per-query table extraction. *)

@@ -6,6 +6,7 @@ type stage =
   | Direct
   | Parallel
   | Fallback
+  | Progressive
 
 let stage_name = function
   | Sketch -> "sketch"
@@ -15,6 +16,7 @@ let stage_name = function
   | Direct -> "direct"
   | Parallel -> "parallel"
   | Fallback -> "fallback"
+  | Progressive -> "progressive"
 
 type failure_kind =
   | Deadline_exceeded

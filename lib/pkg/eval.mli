@@ -11,6 +11,7 @@ type stage =
   | Direct      (** the single DIRECT ILP *)
   | Parallel    (** a Phase-1 parallel refine worker *)
   | Fallback    (** between ladder rungs / the sequential fallback *)
+  | Progressive (** a per-level sketch of the coarse-to-fine descent *)
 
 val stage_name : stage -> string
 

@@ -35,6 +35,13 @@ type lp_fault = Lp_warm_drop | Lp_singular
    records behind its primary while installed. *)
 type shard_fault = Shard_crash | Shard_stall of int | Shard_drop
 
+(* partition=build:fail makes the next hierarchy build raise (standing
+   while installed); partition=level:K arms a one-shot injected failure
+   for the progressive descent's level-K sketch — the driver must
+   degrade typed (widen and retry, or report a typed failure), never
+   hang. *)
+type partition_fault = Partition_level of int | Partition_build
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
@@ -45,6 +52,7 @@ type directive =
   | Lp_break of lp_fault
   | Shard_break of int * shard_fault
   | Repl_lag of int
+  | Partition_break of partition_fault
 
 type spec = directive list
 
@@ -62,6 +70,7 @@ let wal_writes = Atomic.make 0
    [take_shard_fault]. *)
 let net_pending : net_fault list ref = ref []
 let shard_pending : (int * shard_fault) list ref = ref []
+let level_pending : int list ref = ref []
 let net_mu = Mutex.create ()
 
 let install s =
@@ -76,6 +85,10 @@ let install s =
       shard_pending :=
         List.filter_map
           (function Shard_break (k, f) -> Some (k, f) | _ -> None)
+          s;
+      level_pending :=
+        List.filter_map
+          (function Partition_break (Partition_level k) -> Some k | _ -> None)
           s)
 
 let clear () = install []
@@ -88,6 +101,7 @@ let stage_of_string = function
   | "repair" -> Some Eval.Repair
   | "direct" -> Some Eval.Direct
   | "parallel" -> Some Eval.Parallel
+  | "progressive" -> Some Eval.Progressive
   | _ -> None
 
 let action_of_string = function
@@ -182,6 +196,15 @@ let parse s =
         else Ok (Repl_lag n)
       | [ ("repl", f) ] ->
         Error (Printf.sprintf "fault repl=%s: expected repl=lag:N" f)
+      | [ ("partition", "build") ] when act = "fail" ->
+        Ok (Partition_break Partition_build)
+      | [ ("partition", "level") ] ->
+        let* k = int_of "partition level" act in
+        if k < 0 then Error "fault partition=level:K: K must be >= 0"
+        else Ok (Partition_break (Partition_level k))
+      | [ ("partition", f) ] ->
+        Error
+          (Printf.sprintf "fault partition=%s: expected level:K|build:fail" f)
       | [ ("shard", v) ] -> (
         (* shard=K:crash|drop carries the fault as the action;
            shard=K:stall:MS splits at the last colon, leaving "K:stall"
@@ -236,7 +259,7 @@ let parse s =
                   Error
                     (Printf.sprintf
                        "fault stage %S: expected \
-                        sketch|hybrid|refine|repair|direct|parallel"
+                        sketch|hybrid|refine|repair|direct|parallel|progressive"
                        v))
               | "worker" ->
                 Error "fault selector worker=N only combines with :crash"
@@ -254,6 +277,8 @@ let parse s =
               | "shard" ->
                 Error "fault selector shard=K expects crash|drop|stall:MS"
               | "repl" -> Error "fault selector repl expects lag:N"
+              | "partition" ->
+                Error "fault selector partition expects level:K|build:fail"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -288,7 +313,8 @@ let action_for ~call ~stage ~group =
   List.find_map
     (function
       | Worker_kill _ | Store_break _ | Queue_full | Net_break _
-      | Wal_break _ | Lp_break _ | Shard_break _ | Repl_lag _ ->
+      | Wal_break _ | Lp_break _ | Shard_break _ | Repl_lag _
+      | Partition_break _ ->
         None
       | Ilp_fault (c, a) ->
         let ok_call =
@@ -363,6 +389,24 @@ let take_shard_fault k =
         shard_pending := rest;
         Some f
       | None -> None)
+
+let partition_build_fails () =
+  List.exists
+    (function Partition_break Partition_build -> true | _ -> false)
+    (Atomic.get installed)
+
+let take_level_fault k =
+  Mutex.protect net_mu (fun () ->
+      let rec remove = function
+        | [] -> None
+        | x :: rest when x = k -> Some rest
+        | x :: rest -> Option.map (fun r -> x :: r) (remove rest)
+      in
+      match remove !level_pending with
+      | Some rest ->
+        level_pending := rest;
+        true
+      | None -> false)
 
 let repl_lag () =
   List.fold_left

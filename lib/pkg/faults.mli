@@ -26,7 +26,8 @@
 
     {v
     ilp=K        the K-th ILP call overall (1-based, global counter)
-    stage=S      S in sketch|hybrid|refine|repair|direct|parallel
+    stage=S      S in sketch|hybrid|refine|repair|direct|parallel|
+                 progressive
     group=J      partition group id J
     worker=W     parallel worker index W (only with action crash)
     store=F      F in read|checksum (only with action fail)
@@ -51,6 +52,13 @@
                  to shard K once (exercises reconnect)
     repl=lag:N   hold each WAL shipper N records behind its primary
                  while installed (replica staleness, deterministic)
+    partition=build:fail   every hierarchy/partition build raises
+                 {!Injected} while installed (the progressive driver
+                 must answer with a typed failure, not an exception)
+    partition=level:K      one-shot: inject a failure into the
+                 progressive descent's level-K sketch (0 = coarsest);
+                 the driver must degrade typed — widen the level and
+                 retry, or report the failure — never hang
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
@@ -83,6 +91,8 @@ type lp_fault = Lp_warm_drop | Lp_singular
 
 type shard_fault = Shard_crash | Shard_stall of int | Shard_drop
 
+type partition_fault = Partition_level of int | Partition_build
+
 type cond = {
   on_call : int option;
   on_stage : Eval.stage option;
@@ -99,6 +109,7 @@ type directive =
   | Lp_break of lp_fault
   | Shard_break of int * shard_fault
   | Repl_lag of int
+  | Partition_break of partition_fault
 
 type spec = directive list
 
@@ -167,6 +178,17 @@ val take_net_fault : net_fault -> bool
     if armed — same one-shot discipline as {!take_net_fault}. The
     coordinator consults this before every exchange with shard [k]. *)
 val take_shard_fault : int -> shard_fault option
+
+(** Whether a [partition=build:fail] directive is installed: the next
+    hierarchy (or partition) build must raise {!Injected}. Standing
+    while installed. *)
+val partition_build_fails : unit -> bool
+
+(** [take_level_fault k] consumes one pending [partition=level:k]
+    directive, if armed — same one-shot discipline as
+    {!take_net_fault}. The progressive driver consults this before each
+    level's sketch. *)
+val take_level_fault : int -> bool
 
 (** The installed [repl=lag:N] value (the largest, if several), or 0.
     Unlike the shard faults this is a standing condition: the WAL

@@ -1,0 +1,58 @@
+(** Progressive shading (arXiv:2307.02860 §5): coarse-to-fine package
+    evaluation over a {!Hierarchy.t}.
+
+    The coarsest level's sketch ILP is solved first; at each finer
+    level only the children of {e active} groups — plus a configurable
+    slice of objective-attractive runners-up ("near-binding"
+    augmentation) — get variables, their caps zeroed otherwise. The
+    leaf sketch is refined into original tuples exactly as SketchRefine
+    does (Algorithm 2, per-group warm-started ILPs). The cross-level
+    LP basis is threaded through {!Faults.solve} so each level warm
+    starts from its parent when the dimensions line up.
+
+    Degradation ladder, charged to one absolute deadline:
+    - a restricted level that comes back infeasible widens to the full
+      level and retries (shading was too aggressive — not an error);
+    - a restricted level that {e fails} (injected fault, node budget)
+      retries widened and flags the answer [Degraded];
+    - a full-width non-leaf infeasibility descends unshaded (finer
+      representatives may still express the query);
+    - a leaf refine dead end widens the leaf, then hands the leaf
+      partitioning to flat {!Sketch_refine.run}'s fallback ladder;
+    - everything else is a typed [Failed] report — never an exception,
+      never a hang. *)
+
+type options = {
+  limits : Ilp.Branch_bound.limits;
+  max_seconds : float;  (** one global budget for the whole descent *)
+  keep : float;
+      (** near-binding augmentation: how many inactive runners-up
+          descend, as a fraction of the active-group count
+          (default 0.5) *)
+  flat_fallback : bool;
+      (** run flat SketchRefine over the leaf partitioning when the
+          descent dead-ends (default true) *)
+}
+
+val default_options : options
+
+(** One descent step's telemetry (one entry per level solve; a widened
+    retry records a second entry for the same level). *)
+type level_stat = {
+  ls_level : int;
+  ls_groups : int;    (** groups that had variables *)
+  ls_active : int;    (** groups active in the level's solution *)
+  ls_seconds : float;
+  ls_widened : bool;  (** this solve ran widened to the full level *)
+}
+
+(** [run ?options spec rel hier] evaluates the query coarse-to-fine.
+    Returns the report plus per-level stats (coarsest first).
+    Deterministic: identical hierarchies and options yield identical
+    packages for any [PKGQ_SCAN_WORKERS] / [PKGQ_PRICE_WORKERS]. *)
+val run :
+  ?options:options ->
+  Paql.Translate.spec ->
+  Relalg.Relation.t ->
+  Hierarchy.t ->
+  Eval.report * level_stat list

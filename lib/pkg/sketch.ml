@@ -54,7 +54,8 @@ let group_counts ctx x ~groups =
   Array.iteri (fun k gid -> counts.(gid) <- x.(k)) groups;
   counts
 
-let run ?limits ?deadline ctx counters =
+let run ?limits ?deadline ?warm ?basis_out ?(stage = Eval.Sketch) ctx counters
+    =
   let m = Partition.num_groups ctx.part in
   (* Only groups with a nonzero cap get a variable. *)
   let groups =
@@ -73,7 +74,7 @@ let run ?limits ?deadline ctx counters =
       { ctx.spec with Paql.Translate.where = None }
       reps ~candidates:groups
   in
-  let result = Faults.solve ?limits ?deadline ~stage:Eval.Sketch problem in
+  let result = Faults.solve ?limits ?deadline ?warm ?basis_out ~stage problem in
   Eval.bump counters result;
   match result with
   | Ilp.Branch_bound.Optimal (sol, _) | Ilp.Branch_bound.Feasible (sol, _, _)
@@ -82,7 +83,5 @@ let run ?limits ?deadline ctx counters =
   | Ilp.Branch_bound.Infeasible _ -> Sketch_infeasible
   | Ilp.Branch_bound.Unbounded _ ->
     Sketch_failed
-      (Eval.failure ~stage:Eval.Sketch
-         (Eval.Solver_error "sketch query unbounded"))
-  | Ilp.Branch_bound.Limit st ->
-    Sketch_failed (Eval.limit_failure ~stage:Eval.Sketch st)
+      (Eval.failure ~stage (Eval.Solver_error "sketch query unbounded"))
+  | Ilp.Branch_bound.Limit st -> Sketch_failed (Eval.limit_failure ~stage st)

@@ -29,12 +29,20 @@ type result =
   | Sketch_infeasible
   | Sketch_failed of Eval.failure
 
-(** [run ?limits ?deadline ctx counters] solves the sketch query
-    [Q[R~]] through {!Faults.solve}; [deadline] clamps the ILP's time
-    budget to the remaining global budget. *)
+(** [run ?limits ?deadline ?warm ?basis_out ?stage ctx counters] solves
+    the sketch query [Q[R~]] through {!Faults.solve}; [deadline] clamps
+    the ILP's time budget to the remaining global budget. [warm] seeds
+    the root LP from a saved basis and [basis_out] receives the root's
+    optimal basis (the progressive driver threads them level to level —
+    a basis whose dimensions no longer match degrades to a cold solve
+    inside the simplex). [stage] (default {!Eval.Sketch}) tags
+    fault-injection matching and failure context. *)
 val run :
   ?limits:Ilp.Branch_bound.limits ->
   ?deadline:float ->
+  ?warm:Lp.Simplex.Basis.t ->
+  ?basis_out:Lp.Simplex.Basis.t option ref ->
+  ?stage:Eval.stage ->
   ctx ->
   Eval.counters ->
   result

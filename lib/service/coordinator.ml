@@ -13,6 +13,7 @@ type shard_spec = {
 type config = {
   host : string;
   port : int;
+  method_ : [ `Sketch_refine | `Progressive ];
   attrs : string list;
   tau : int option;
   epsilon : float option;
@@ -39,6 +40,7 @@ let default_config () =
   {
     host = "127.0.0.1";
     port = 0;
+    method_ = `Sketch_refine;
     attrs = [];
     tau = None;
     epsilon = None;
@@ -139,6 +141,9 @@ type shard = {
 type layout = {
   l_key : string;
   l_part : Pkg.Partition.t;
+  (* progressive only: the DLV hierarchy whose leaf is [l_part]; the
+     coarse levels drive the local shading descent *)
+  l_hier : Pkg.Hierarchy.t option;
   l_owner : int array;
   l_groups : (int * int array) list array;
   l_reps_csv : string array;
@@ -626,10 +631,13 @@ let plan t rel qfp query =
    what the ASSIGN divergence check enforces. *)
 let layout_for t rel fp spec =
   let attrs = t.cfg.attrs in
+  let progressive = t.cfg.method_ = `Progressive in
   let tau =
     match t.cfg.tau with
     | Some tau -> tau
-    | None -> max 1 (Relalg.Relation.cardinality rel / 10)
+    | None ->
+      if progressive then Pkg.Hierarchy.default_leaf_tau rel
+      else max 1 (Relalg.Relation.cardinality rel / 10)
   in
   let radius =
     match t.cfg.epsilon with
@@ -643,7 +651,9 @@ let layout_for t rel fp spec =
       Pkg.Partition.Theorem { epsilon; maximize }
   in
   let key =
-    Printf.sprintf "%s|%d|%s@%s" (String.concat "," attrs) tau
+    Printf.sprintf "%s|%s|%d|%s@%s"
+      (if progressive then "prog" else "flat")
+      (String.concat "," attrs) tau
       (Store.Catalog.radius_string radius)
       fp
   in
@@ -651,9 +661,23 @@ let layout_for t rel fp spec =
       match Hashtbl.find_opt t.layouts key with
       | Some l -> l
       | None ->
+        (* the shards derive the identical partitioning from their own
+           config ([--method progressive] must match), so the leaf of
+           the hierarchy — not some coordinator-private grouping — is
+           what gets dealt out *)
+        let hier =
+          if progressive then
+            Some
+              (Metrics.time t.metrics "partition" (fun () ->
+                   Pkg.Hierarchy.build ~radius ?leaf_tau:t.cfg.tau ~attrs rel))
+          else None
+        in
         let part =
-          Metrics.time t.metrics "partition" (fun () ->
-              Pkg.Partition.create ~radius ~tau ~attrs rel)
+          match hier with
+          | Some h -> Pkg.Hierarchy.leaf h
+          | None ->
+            Metrics.time t.metrics "partition" (fun () ->
+                Pkg.Partition.create ~radius ~tau ~attrs rel)
         in
         let m = Pkg.Partition.num_groups part in
         let nshards = Array.length t.shards in
@@ -678,8 +702,8 @@ let layout_for t rel fp spec =
             groups
         in
         let l =
-          { l_key = key; l_part = part; l_owner = owner; l_groups = groups;
-            l_reps_csv = reps_csv }
+          { l_key = key; l_part = part; l_hier = hier; l_owner = owner;
+            l_groups = groups; l_reps_csv = reps_csv }
         in
         Hashtbl.replace t.layouts key l;
         l)
@@ -929,11 +953,100 @@ let eval_query t ~deadline query =
             (Float.max 0.01 (deadline -. Unix.gettimeofday ()));
       }
     in
+    (* Progressive shading: aggregate the scatter-derived leaf caps up
+       the hierarchy (a coarse group's cap is the sum of its leaf
+       descendants', so shard omissions propagate), solve the coarse
+       levels locally, and zero the caps of leaf groups outside the
+       active cone. A coarse-level infeasibility or failure abandons
+       the shading (flat behaviour); a shaded leaf sketch that comes
+       back infeasible or failed is retried unshaded below — answers
+       never get worse than flat scatter/gather. *)
+    let m_leaf = m in
+    let pristine_caps = Array.copy caps in
+    let shaded = ref false in
+    (match layout.l_hier with
+    | Some hier when Pkg.Hierarchy.num_levels hier > 1 ->
+      let nl = Pkg.Hierarchy.num_levels hier in
+      let level_caps = Array.make nl [||] in
+      level_caps.(nl - 1) <- Array.copy caps;
+      for l = nl - 2 downto 0 do
+        let kids = Pkg.Hierarchy.children hier l in
+        level_caps.(l) <-
+          Array.map
+            (fun cs ->
+              List.fold_left (fun a c -> a +. level_caps.(l + 1).(c)) 0. cs)
+            kids
+      done;
+      let exception Unshaded in
+      (try
+         let allowed = ref None in
+         for l = 0 to nl - 2 do
+           let part_l = Pkg.Hierarchy.level hier l in
+           let caps_l =
+             match !allowed with
+             | None -> level_caps.(l)
+             | Some ok ->
+               Array.mapi
+                 (fun g c -> if List.mem g ok then c else 0.)
+                 level_caps.(l)
+           in
+           let ctx_l =
+             {
+               Pkg.Sketch.spec;
+               rel;
+               part = part_l;
+               cand = Array.make (Pkg.Partition.num_groups part_l) [||];
+               caps = caps_l;
+               coeff_rel = ctx.Pkg.Sketch.coeff_rel;
+               coeff_reps = coeff_of part_l.Pkg.Partition.reps;
+             }
+           in
+           match
+             Pkg.Eval.observe_stage Pkg.Eval.Progressive (fun () ->
+                 Pkg.Sketch.run ~limits ~deadline ~stage:Pkg.Eval.Progressive
+                   ctx_l counters)
+           with
+           | Pkg.Sketch.Sketched cnts ->
+             let active =
+               List.filter
+                 (fun g -> cnts.(g) > 0.5)
+                 (List.init (Array.length cnts) Fun.id)
+             in
+             if active = [] then raise Unshaded;
+             Metrics.set_gauge t.metrics
+               (Printf.sprintf "progressive_level%d_active" l)
+               (List.length active);
+             let kids = Pkg.Hierarchy.children hier l in
+             allowed := Some (List.concat_map (fun g -> kids.(g)) active)
+           | Pkg.Sketch.Sketch_infeasible | Pkg.Sketch.Sketch_failed _ ->
+             raise Unshaded
+         done;
+         match !allowed with
+         | Some ok ->
+           shaded := true;
+           Metrics.incr t.metrics "progressive_descents";
+           let keep = Array.make m_leaf false in
+           List.iter (fun g -> keep.(g) <- true) ok;
+           Array.iteri (fun g k -> if not k then caps.(g) <- 0.) keep
+         | None -> ()
+       with Unshaded -> Array.blit pristine_caps 0 caps 0 m_leaf)
+    | _ -> ());
+    let leaf_sketch () =
+      Pkg.Eval.observe_stage Pkg.Eval.Sketch (fun () ->
+          Pkg.Sketch.run ~limits ~deadline ctx counters)
+    in
+    let sketch_result =
+      match leaf_sketch () with
+      | (Pkg.Sketch.Sketch_infeasible | Pkg.Sketch.Sketch_failed _)
+        when !shaded ->
+        (* shading was too aggressive — widen to the full leaf *)
+        Metrics.incr t.metrics "progressive_widened";
+        Array.blit pristine_caps 0 caps 0 m_leaf;
+        leaf_sketch ()
+      | r -> r
+    in
     let report =
-      match
-        Pkg.Eval.observe_stage Pkg.Eval.Sketch (fun () ->
-            Pkg.Sketch.run ~limits ~deadline ctx counters)
-      with
+      match sketch_result with
       | Pkg.Sketch.Sketch_failed f -> finish (Pkg.Eval.Failed f) None None
       | Pkg.Sketch.Sketch_infeasible ->
         (* no distributed hybrid-sketch fallback: with every group

@@ -65,6 +65,15 @@ type shard_spec = {
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port *)
+  method_ : [ `Sketch_refine | `Progressive ];
+      (** [`Progressive] partitions with the DLV hierarchy leaf instead
+          of the flat quad-tree and shades the leaf sketch through a
+          local coarse-to-fine descent before the distributed refine;
+          the fleet must be launched with [--method progressive] so the
+          shards derive the identical leaf (ASSIGN divergence check).
+          A shaded sketch that comes back infeasible is retried
+          unshaded, so answers never get {e worse} than flat
+          scatter/gather. *)
   attrs : string list;
       (** partitioning attributes; required non-empty, and the fleet
           must be launched with the identical [--attrs] (and [--tau],

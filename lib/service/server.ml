@@ -2,7 +2,7 @@ let src = Logs.Src.create "pkgq.server" ~doc:"package-query server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type method_ = Direct | Sketch_refine | Parallel_refine
+type method_ = Direct | Sketch_refine | Parallel_refine | Progressive
 
 type config = {
   host : string;
@@ -80,6 +80,9 @@ type snapshot = {
   rel : Relalg.Relation.t;
   fp : string;  (* content fingerprint *)
   parts : (string, part_entry) Hashtbl.t;
+  (* progressive-shading hierarchies, same keying discipline as
+     [parts]; shared with the catalog (one entry per level) *)
+  hiers : (string, Pkg.Hierarchy.t) Hashtbl.t;
   parts_mu : Mutex.t;
 }
 
@@ -150,6 +153,7 @@ let fresh_snapshot rel =
     rel;
     fp = Store.Segment.fingerprint rel;
     parts = Hashtbl.create 4;
+    hiers = Hashtbl.create 4;
     parts_mu = Mutex.create ();
   }
 
@@ -252,7 +256,8 @@ let partition_for t snap ast spec =
                    match t.catalog with
                    | Some cat ->
                      let key =
-                       { Store.Catalog.fingerprint = snap.fp; attrs; tau; radius }
+                       { Store.Catalog.fingerprint = snap.fp; attrs; tau; radius;
+                         level = None }
                      in
                      fst (Store.Catalog.lookup_or_build cat key ~build)
                    | None -> build ())
@@ -262,6 +267,74 @@ let partition_for t snap ast spec =
                  pe_part = part };
              part))
   end
+
+(* Progressive hierarchies follow the same sharing discipline as
+   [partition_for]: per-snapshot cache under [parts_mu], catalog-backed
+   (one entry per level) when a store is attached. The injected
+   [partition=build:fail] fault surfaces as a typed error response. *)
+let hierarchy_for t snap ast spec =
+  let schema = Relalg.Relation.schema snap.rel in
+  let attrs =
+    match t.cfg.attrs with [] -> numeric_query_attrs schema ast | attrs -> attrs
+  in
+  if attrs = [] then
+    Error
+      (Protocol.Resp_err
+         ( Protocol.Analysis_error,
+           "progressive needs numeric partitioning attributes" ))
+  else begin
+    let radius =
+      match t.cfg.epsilon with
+      | None -> Pkg.Partition.No_radius
+      | Some epsilon ->
+        let maximize =
+          match Paql.Translate.objective_sense spec with
+          | Lp.Problem.Maximize -> true
+          | Lp.Problem.Minimize -> false
+        in
+        Pkg.Partition.Theorem { epsilon; maximize }
+    in
+    let id =
+      Printf.sprintf "hier|%s|%s|%s" (String.concat "," attrs)
+        (match t.cfg.tau with Some tau -> string_of_int tau | None -> "-")
+        (Store.Catalog.radius_string radius)
+    in
+    Mutex.protect snap.parts_mu (fun () ->
+        match Hashtbl.find_opt snap.hiers id with
+        | Some h -> Ok h
+        | None -> (
+          match
+            Metrics.time t.metrics "partition" (fun () ->
+                match t.catalog with
+                | Some cat ->
+                  fst
+                    (Store.Catalog.lookup_or_build_hierarchy cat
+                       ~fingerprint:snap.fp ~radius ?leaf_tau:t.cfg.tau ~attrs
+                       snap.rel)
+                | None ->
+                  Pkg.Hierarchy.build ~radius ?leaf_tau:t.cfg.tau ~attrs
+                    snap.rel)
+          with
+          | h ->
+            Hashtbl.replace snap.hiers id h;
+            Ok h
+          | exception Pkg.Faults.Injected msg ->
+            Error (Protocol.Resp_err (Protocol.Failed, msg))))
+  end
+
+(* Per-level descent telemetry for STATS: one latency histogram and two
+   gauges per level, plus a widened-retry counter. *)
+let record_level_stats metrics stats =
+  List.iter
+    (fun (s : Pkg.Progressive.level_stat) ->
+      let l = string_of_int s.ls_level in
+      Metrics.observe metrics ("progressive_level" ^ l) s.ls_seconds;
+      Metrics.set_gauge metrics ("progressive_level" ^ l ^ "_groups")
+        s.ls_groups;
+      Metrics.set_gauge metrics ("progressive_level" ^ l ^ "_active")
+        s.ls_active;
+      if s.ls_widened then Metrics.incr metrics "progressive_widened")
+    stats
 
 let response_of_report (r : Pkg.Eval.report) =
   match r.status with
@@ -362,6 +435,22 @@ let eval_query t ~deadline query =
                 | Some b -> Cache.add t.basis_cache bkey b
                 | None -> ());
                 Ok report
+              | Progressive -> (
+                match hierarchy_for t snap ast spec with
+                | Error resp -> Error resp
+                | Ok hier ->
+                  let options =
+                    {
+                      Pkg.Progressive.default_options with
+                      limits;
+                      max_seconds = remaining;
+                    }
+                  in
+                  let report, stats =
+                    Pkg.Progressive.run ~options spec snap.rel hier
+                  in
+                  record_level_stats t.metrics stats;
+                  Ok report)
               | Sketch_refine | Parallel_refine -> (
                 match partition_for t snap ast spec with
                 | Error resp -> Error resp
@@ -442,6 +531,10 @@ let publish_locked t ~old_fp ~verb rel' parts =
     { rel = rel';
       fp = Store.Segment.fingerprint rel';
       parts;
+      (* hierarchies are not incrementally maintained: a mutated table
+         invalidates every level, so the next progressive query
+         rebuilds (or re-finds via the catalog under the new fp) *)
+      hiers = Hashtbl.create 4;
       parts_mu = Mutex.create () }
   in
   prewarm rel';
@@ -451,7 +544,7 @@ let publish_locked t ~old_fp ~verb rel' parts =
         (fun _ e ->
           Store.Catalog.store cat
             { Store.Catalog.fingerprint = snap'.fp; attrs = e.pe_attrs;
-              tau = e.pe_tau; radius = e.pe_radius }
+              tau = e.pe_tau; radius = e.pe_radius; level = None }
             e.pe_part)
         parts)
     t.catalog;
@@ -673,7 +766,19 @@ let shard_ctx t snap query =
   match plan t snap qfp query with
   | Error resp -> Error resp
   | Ok (ast, spec) -> (
-    match partition_for t snap ast spec with
+    (* a progressive shard derives the DLV hierarchy leaf — the same
+       grouping a progressive coordinator deals out — so the ASSIGN
+       divergence check passes iff both sides agree on method too *)
+    let part_result =
+      match t.cfg.method_ with
+      | Progressive -> (
+        match hierarchy_for t snap ast spec with
+        | Ok h -> Ok (Pkg.Hierarchy.leaf h)
+        | Error resp -> Error resp)
+      | Direct | Sketch_refine | Parallel_refine ->
+        partition_for t snap ast spec
+    in
+    match part_result with
     | Error resp -> Error resp
     | Ok part -> (
       let key = qfp ^ "@" ^ snap.fp in

@@ -40,7 +40,15 @@
     the table fingerprint is recomputed, and in-flight requests keep
     their pre-append snapshot. *)
 
-type method_ = Direct | Sketch_refine | Parallel_refine
+type method_ =
+  | Direct
+  | Sketch_refine
+  | Parallel_refine
+  | Progressive
+      (** coarse-to-fine shading over a DLV hierarchy; hierarchies are
+          cached per snapshot and persisted per level in the catalog.
+          Per-level descent telemetry lands in STATS
+          ([progressive_level<l>*] gauges and histograms). *)
 
 type config = {
   host : string;

@@ -82,6 +82,7 @@ type key = {
   attrs : string list;
   tau : int;
   radius : P.radius_spec;
+  level : int option;
 }
 
 let radius_string = function
@@ -90,19 +91,52 @@ let radius_string = function
   | P.Theorem { epsilon; maximize } ->
     Printf.sprintf "thm:%.17g:%s" epsilon (if maximize then "max" else "min")
 
+(* Attribute order is irrelevant to what was computed (the same groups
+   come out of the same attribute set), so the key canonicalizes it --
+   otherwise a caller listing attributes in a different order triggers
+   a silent full rebuild of an identical partitioning. *)
+let canon_attrs attrs = List.sort compare attrs
+
 let key_string k =
-  Printf.sprintf "%s|%s|tau=%d|radius=%s" k.fingerprint
-    (String.concat "," k.attrs)
+  Printf.sprintf "%s|%s|tau=%d|radius=%s%s" k.fingerprint
+    (String.concat "," (canon_attrs k.attrs))
     k.tau (radius_string k.radius)
+    (match k.level with
+    | None -> ""
+    | Some l -> Printf.sprintf "|level=%d" l)
 
 let key_id k = Wire.hex64 (Wire.hash64 (key_string k))
+
+(* Where a pre-canonicalization catalog (order-sensitive attrs, no
+   level field) would have filed this key. Flat keys whose attrs happen
+   to arrive sorted produce the same id as [key_id]; others give the
+   legacy lookup a second chance. *)
+let legacy_key_id k =
+  Wire.hex64
+    (Wire.hash64
+       (Printf.sprintf "%s|%s|tau=%d|radius=%s" k.fingerprint
+          (String.concat "," k.attrs)
+          k.tau (radius_string k.radius)))
+
+(* Key equality modulo attribute order (the stored entry may predate
+   canonicalization). *)
+let key_matches ~stored ~wanted =
+  stored.fingerprint = wanted.fingerprint
+  && canon_attrs stored.attrs = canon_attrs wanted.attrs
+  && stored.tau = wanted.tau
+  && stored.radius = wanted.radius
+  && stored.level = wanted.level
 
 (* ------------------------------------------------------------------ *)
 (* Partition files                                                    *)
 (* ------------------------------------------------------------------ *)
 
 let part_magic = "PKGQPART"
-let part_version = 1
+
+(* v1: flat keys only (no level field). v2 appends the key's level
+   after the radius spec. [read_part] decodes both, so catalogs written
+   before the hierarchy era keep loading. *)
+let part_version = 2
 
 let part_path t k = Filename.concat (partitions_dir t) (key_id k ^ ".part")
 
@@ -133,6 +167,11 @@ let encode_part key (p : P.t) =
   List.iter (Wire.put_str b) key.attrs;
   Wire.put_i64 b key.tau;
   encode_radius b key.radius;
+  (match key.level with
+  | None -> Wire.put_u8 b 0
+  | Some l ->
+    Wire.put_u8 b 1;
+    Wire.put_i32 b l);
   Wire.put_i32 b (Array.length p.P.gid_of_row);
   Wire.put_i32 b (Array.length p.P.groups);
   let k = List.length key.attrs in
@@ -157,13 +196,21 @@ type decoded = {
   reps_image : string;
 }
 
-let decode_part r =
+let decode_part ~version r =
   let fingerprint = Wire.get_str r in
   let n_attrs = Wire.get_i32 r in
   if n_attrs < 0 then Wire.error "negative attribute count %d" n_attrs;
   let attrs = List.init n_attrs (fun _ -> Wire.get_str r) in
   let tau = Wire.get_i64 r in
   let radius = decode_radius r in
+  let level =
+    if version < 2 then None
+    else
+      match Wire.get_u8 r with
+      | 0 -> None
+      | 1 -> Some (Wire.get_i32 r)
+      | tag -> Wire.error "bad level tag %d" tag
+  in
   let n_rows = Wire.get_i32 r in
   if n_rows < 0 then Wire.error "negative row count %d" n_rows;
   let n_groups = Wire.get_i32 r in
@@ -184,7 +231,12 @@ let decode_part r =
         { P.members; centroid; radius })
   in
   let reps_image = Wire.get_str r in
-  { dkey = { fingerprint; attrs; tau; radius }; n_rows; dgroups; reps_image }
+  {
+    dkey = { fingerprint; attrs; tau; radius; level };
+    n_rows;
+    dgroups;
+    reps_image;
+  }
 
 let to_partition d =
   let reps = Segment.of_string d.reps_image in
@@ -205,19 +257,35 @@ let to_partition d =
   { P.attrs = d.dkey.attrs; groups = d.dgroups; gid_of_row; reps }
 
 let read_part path =
-  decode_part (Wire.verify ~magic:part_magic ~version:part_version
-                 (Wire.read_file path))
+  let s = Wire.read_file path in
+  let version =
+    match Wire.peek_version s with
+    | Some 1 -> 1
+    | _ -> part_version (* current, or let verify report the mismatch *)
+  in
+  decode_part ~version (Wire.verify ~magic:part_magic ~version s)
 
 let find t key =
-  let path = part_path t key in
-  if not (Sys.file_exists path) then None
-  else begin
-    let d = read_part path in
-    if d.dkey <> key then
-      Wire.error "catalog entry %s was stored under a different key (%s)"
-        (Filename.basename path) (key_string d.dkey);
-    Some (to_partition d)
-  end
+  let read path =
+    if not (Sys.file_exists path) then None
+    else begin
+      let d = read_part path in
+      if not (key_matches ~stored:d.dkey ~wanted:key) then
+        Wire.error "catalog entry %s was stored under a different key (%s)"
+          (Filename.basename path) (key_string d.dkey);
+      Some (to_partition d)
+    end
+  in
+  match read (part_path t key) with
+  | Some p -> Some p
+  | None when key.level = None ->
+    (* flat entries written before attrs canonicalization live under
+       the order-sensitive id *)
+    let legacy =
+      Filename.concat (partitions_dir t) (legacy_key_id key ^ ".part")
+    in
+    if legacy = part_path t key then None else read legacy
+  | None -> None
 
 let store t key p =
   Wire.write_file (part_path t key) ~magic:part_magic ~version:part_version
@@ -230,6 +298,43 @@ let lookup_or_build t key ~build =
     let p = build () in
     store t key p;
     (p, `Built)
+
+let lookup_or_build_hierarchy t ~fingerprint ?(radius = Pkg.Partition.No_radius)
+    ?levels ?leaf_tau ~attrs rel =
+  let n = Relalg.Relation.cardinality rel in
+  let levels =
+    match levels with Some l -> max 1 l | None -> Pkg.Hierarchy.default_levels ()
+  in
+  let leaf_tau =
+    match leaf_tau with
+    | Some tau -> max 1 tau
+    | None -> Pkg.Hierarchy.default_leaf_tau rel
+  in
+  let taus = Pkg.Hierarchy.plan_taus ~n ~leaf_tau ~levels in
+  let key_of l =
+    (* only the leaf level carries the radius condition (Hierarchy.build
+       applies it nowhere else), so coarser keys must not include it or
+       two queries differing only in epsilon would never share levels *)
+    let r = if l = levels - 1 then radius else Pkg.Partition.No_radius in
+    { fingerprint; attrs; tau = taus.(l); radius = r; level = Some l }
+  in
+  let cached =
+    let rec probe l acc =
+      if l < 0 then Some acc
+      else
+        match find t (key_of l) with
+        | Some p -> probe (l - 1) (p :: acc)
+        | None -> None
+    in
+    probe (levels - 1) []
+  in
+  match cached with
+  | Some parts ->
+    ({ Pkg.Hierarchy.attrs; levels = Array.of_list parts }, `Hit)
+  | None ->
+    let h = Pkg.Hierarchy.build ~radius ~levels ~leaf_tau ~attrs rel in
+    Array.iteri (fun l p -> store t (key_of l) p) h.Pkg.Hierarchy.levels;
+    (h, `Built)
 
 (* ------------------------------------------------------------------ *)
 (* Inspection                                                         *)

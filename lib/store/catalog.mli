@@ -58,9 +58,17 @@ val table_cached : t -> string -> bool
 
 type key = {
   fingerprint : string;  (** table content fingerprint *)
-  attrs : string list;   (** partitioning attributes, order-sensitive *)
+  attrs : string list;
+      (** partitioning attributes; the key canonicalizes order (a
+          permutation is the same key, so it never forces a rebuild) *)
   tau : int;
   radius : Pkg.Partition.radius_spec;
+  level : int option;
+      (** [None] — a flat (single-level) partitioning, the only kind
+          that existed before format v2; [Some l] — level [l] of a
+          {!Pkg.Hierarchy.t} (0 = coarsest). Flat entries written by
+          older versions (format v1, order-sensitive ids) still load:
+          {!find} falls back to the legacy id and decoder. *)
 }
 
 (** Stable identifier derived from the key (hash of its canonical
@@ -75,6 +83,8 @@ val radius_string : Pkg.Partition.radius_spec -> string
 val key_string : key -> string
 
 (** [find t key] is the stored partitioning, or [None] when absent.
+    Key comparison ignores attribute order; flat keys also consult the
+    pre-v2 order-sensitive id so old catalogs stay warm.
     @raise Segment.Error when the entry exists but is corrupt or was
     stored under a different key (hash collision / tampering). *)
 val find : t -> key -> Pkg.Partition.t option
@@ -87,6 +97,25 @@ val store : t -> key -> Pkg.Partition.t -> unit
 val lookup_or_build :
   t -> key -> build:(unit -> Pkg.Partition.t) ->
   Pkg.Partition.t * [ `Hit | `Built ]
+
+(** [lookup_or_build_hierarchy t ~fingerprint ?radius ?levels ?leaf_tau
+    ~attrs rel] resolves a progressive-shading {!Pkg.Hierarchy.t}: each
+    level is one catalog entry under [level = Some l] with that level's
+    planned tau ({!Pkg.Hierarchy.plan_taus}). All levels present →
+    [`Hit] with zero partitioning work; otherwise the whole hierarchy is
+    built ({!Pkg.Hierarchy.build}) and every level stored. Only the leaf
+    key carries [radius] — coarser levels are radius-free and so shared
+    across queries that differ only in their approximation bound.
+    @raise Pkg.Faults.Injected under a [partition=build:fail] directive. *)
+val lookup_or_build_hierarchy :
+  t ->
+  fingerprint:string ->
+  ?radius:Pkg.Partition.radius_spec ->
+  ?levels:int ->
+  ?leaf_tau:int ->
+  attrs:string list ->
+  Relalg.Relation.t ->
+  Pkg.Hierarchy.t * [ `Hit | `Built ]
 
 (** {1 Inspection} *)
 

@@ -167,6 +167,10 @@ let get_f64_into r a =
   done;
   r.pos <- base + (8 * n)
 
+let peek_version s =
+  if String.length s < 8 + 4 then None
+  else Some (Int32.to_int (String.get_int32_le s 8))
+
 let verify ~magic ~version s =
   if String.length magic <> 8 then
     invalid_arg "Wire.verify: magic must be 8 bytes";

@@ -63,6 +63,12 @@ type reader
     truncation (and under an installed [store=...:fail] fault). *)
 val verify : magic:string -> version:int -> string -> reader
 
+(** [peek_version s] — the envelope's version field, read without any
+    verification ([None] when [s] is too short to carry one). Lets a
+    multi-version reader pick its decoder before calling {!verify} with
+    the matching version. *)
+val peek_version : string -> int option
+
 (** Raises [Sys_error] on IO failure. *)
 val read_file : string -> string
 

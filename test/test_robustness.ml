@@ -69,7 +69,17 @@ let test_faults_parse () =
   checkb "shard stall ms numeric" false (ok "shard=1:stall:soon");
   checkb "repl lag numeric" false (ok "repl=lag:x");
   checkb "repl lag non-negative" false (ok "repl=lag:-1");
-  checkb "shard cannot combine" false (ok "shard=1,group=2:crash")
+  checkb "shard cannot combine" false (ok "shard=1,group=2:crash");
+  checkb "partition build fault" true (ok "partition=build:fail");
+  checkb "partition level fault" true (ok "partition=level:2");
+  checkb "partition level zero" true (ok "partition=level:0");
+  checkb "partition alongside others" true
+    (ok "partition=level:1; ilp=1:limit");
+  checkb "partition level negative rejected" false (ok "partition=level:-1");
+  checkb "partition level non-numeric rejected" false (ok "partition=level:x");
+  checkb "partition unknown selector rejected" false (ok "partition=x:fail");
+  checkb "partition build only fails" false (ok "partition=build:limit");
+  checkb "partition cannot combine" false (ok "partition=build,group=1:fail")
 
 let test_faults_selector_semantics () =
   with_faults "ilp=2:infeasible" (fun () ->
@@ -487,6 +497,93 @@ let test_sequential_fallback_keeps_budget () =
       | E.Optimal | E.Feasible _ | E.Infeasible | E.Failed _ | E.Degraded _ ->
         ())
 
+(* ------------------------------------------------------------------ *)
+(* Progressive descent under partition faults: always typed, never a  *)
+(* hang or an escaped exception                                       *)
+(* ------------------------------------------------------------------ *)
+
+let galaxy_hier () =
+  Pkg.Hierarchy.build ~levels:3 ~leaf_tau:10
+    ~attrs:[ "redshift"; "petro_rad" ]
+    galaxy_rel
+
+let test_progressive_build_fault_typed () =
+  with_faults "partition=build:fail" (fun () ->
+      (* the build itself raises Injected... *)
+      (match galaxy_hier () with
+      | exception Pkg.Faults.Injected _ -> ()
+      | _ -> Alcotest.fail "build under partition=build:fail did not raise");
+      (* ...and every caller (CLI, REPL, server) contains it into a
+         typed Failed report at the Progressive stage *)
+      let report =
+        match galaxy_hier () with
+        | exception Pkg.Faults.Injected msg ->
+          E.report
+            ~status:(E.failed ~stage:E.Progressive (E.Solver_error msg))
+            ~package:None ~objective:None ~wall_time:0.
+            ~counters:(E.fresh_counters ())
+        | hier -> fst (Pkg.Progressive.run (galaxy_spec galaxy_rel) galaxy_rel hier)
+      in
+      match report.E.status with
+      | E.Failed f ->
+        checkb "stage progressive" true (f.E.stage = Some E.Progressive);
+        checkb "solver error kind" true
+          (match f.E.kind with E.Solver_error _ -> true | _ -> false)
+      | _ -> Alcotest.fail "build fault did not surface as typed Failed");
+  (* cleared faults: the same build succeeds *)
+  checkb "build recovers once cleared" true
+    (Pkg.Hierarchy.num_levels (galaxy_hier ()) = 3)
+
+let test_progressive_level_fault_degrades () =
+  let hier = galaxy_hier () in
+  let spec = galaxy_spec galaxy_rel in
+  with_faults "partition=level:1" (fun () ->
+      let r, stats = Pkg.Progressive.run spec galaxy_rel hier in
+      (* the injected level-1 failure is retried widened; the answer
+         arrives flagged Degraded, with the widened solve on record *)
+      (match r.E.status with
+      | E.Degraded d ->
+        checkb "detail names the level" true
+          (let has_sub s sub =
+             let n = String.length sub in
+             let rec go i =
+               i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+             in
+             go 0
+           in
+           has_sub d.E.detail "level 1")
+      | other ->
+        Alcotest.failf "expected Degraded, got %a" E.pp_status other);
+      checkb "package produced" true (r.E.package <> None);
+      checkb "level 1 recorded as widened" true
+        (List.exists
+           (fun (s : Pkg.Progressive.level_stat) ->
+             s.Pkg.Progressive.ls_level = 1 && s.Pkg.Progressive.ls_widened)
+           stats))
+
+let test_progressive_stage_infeasible_typed () =
+  let hier = galaxy_hier () in
+  let spec = galaxy_spec galaxy_rel in
+  with_faults "stage=progressive:infeasible" (fun () ->
+      (* every descent sketch forced infeasible: the driver descends
+         unshaded level by level and reports the leaf's verdict —
+         typed Infeasible, not a loop and not an exception *)
+      let t0 = Unix.gettimeofday () in
+      let r, _ = Pkg.Progressive.run spec galaxy_rel hier in
+      checkb "typed infeasible" true (r.E.status = E.Infeasible);
+      checkb "terminates promptly" true (Unix.gettimeofday () -. t0 < 30.))
+
+let test_progressive_deadline_zero () =
+  let hier = galaxy_hier () in
+  let spec = galaxy_spec galaxy_rel in
+  let options = { Pkg.Progressive.default_options with max_seconds = 0. } in
+  let r, _ = Pkg.Progressive.run ~options spec galaxy_rel hier in
+  match r.E.status with
+  | E.Failed f ->
+    checkb "deadline kind" true (f.E.kind = E.Deadline_exceeded);
+    checkb "progressive stage" true (f.E.stage = Some E.Progressive)
+  | other -> Alcotest.failf "expected Failed, got %a" E.pp_status other
+
 let () =
   Alcotest.run "robustness"
     [
@@ -543,5 +640,16 @@ let () =
             test_deadline_overshoot_bounded;
           Alcotest.test_case "sequential fallback budget" `Quick
             test_sequential_fallback_keeps_budget;
+        ] );
+      ( "progressive",
+        [
+          Alcotest.test_case "build fault typed" `Quick
+            test_progressive_build_fault_typed;
+          Alcotest.test_case "level fault degrades" `Quick
+            test_progressive_level_fault_degrades;
+          Alcotest.test_case "stage infeasible typed" `Quick
+            test_progressive_stage_infeasible_typed;
+          Alcotest.test_case "deadline zero" `Quick
+            test_progressive_deadline_zero;
         ] );
     ]

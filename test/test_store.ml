@@ -192,6 +192,7 @@ let test_corrupt_catalog_entry () =
       attrs = [ "ra"; "dec" ];
       tau = 50;
       radius = P.No_radius;
+      level = None;
     }
   in
   Store.Catalog.store cat key part;
@@ -341,6 +342,7 @@ let test_catalog_hit_no_rebuild () =
       attrs;
       tau;
       radius = P.No_radius;
+      level = None;
     }
   in
   checkb "cold miss" true (Store.Catalog.find cat key = None);
@@ -568,7 +570,10 @@ let test_append_survives_cold_reload () =
   let rel = cluster_rel ~per_cluster:60 in
   let tau = 40 in
   let attrs = [ "x"; "y" ] in
-  let key fp = { Store.Catalog.fingerprint = fp; attrs; tau; radius = P.No_radius } in
+  let key fp =
+    { Store.Catalog.fingerprint = fp; attrs; tau; radius = P.No_radius;
+      level = None }
+  in
   let cat = Store.Catalog.open_dir dir in
   let p = P.create ~tau ~attrs rel in
   Store.Catalog.store cat (key (Store.Segment.fingerprint rel)) p;
@@ -618,6 +623,7 @@ let test_catalog_sweeps_stale_tmp () =
       attrs = [ "ra" ];
       tau = 60;
       radius = P.No_radius;
+      level = None;
     }
   in
   Store.Catalog.store cat key (P.create ~tau:60 ~attrs:[ "ra" ] rel);
