@@ -16,7 +16,7 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-type method_ = Direct | Sketch_refine | Progressive
+type method_ = Direct | Sketch_refine | Progressive | Stochastic
 
 (* Distinct exit codes so scripts can tell failure modes apart:
    1 infeasible, 2 no package (solver failure), 3 data/IO error,
@@ -193,7 +193,27 @@ let run_inner connect retries connect_timeout data query_text query_file
       Pkg.Partition.Theorem { epsilon; maximize }
   in
   let report =
+    (* Stochastic queries always route to the stochastic driver — the
+       deterministic methods would silently ignore WITH PROBABILITY
+       constraints. [--method stochastic] on a deterministic query
+       delegates to DIRECT inside the driver. *)
+    if Paql.Translate.is_stochastic spec || method_ = Stochastic then begin
+      let options =
+        { (Pkg.Stochastic.default_options ()) with limits; max_seconds }
+      in
+      let report, stats = Pkg.Stochastic.run ~options spec rel in
+      if verbose && stats.Pkg.Stochastic.st_scenarios > 0 then
+        Format.printf
+          "stochastic: %d scenario(s) (+%d held out), %d summarie(s), %d \
+           round(s), validated probability %.3f@."
+          stats.Pkg.Stochastic.st_scenarios stats.Pkg.Stochastic.st_validation
+          stats.Pkg.Stochastic.st_summaries stats.Pkg.Stochastic.st_rounds
+          stats.Pkg.Stochastic.st_validated;
+      report
+    end
+    else
     match method_ with
+    | Stochastic -> assert false (* handled above *)
     | Direct -> Pkg.Direct.run ~limits spec rel
     | Progressive ->
       let attrs = partition_attrs () in
@@ -391,16 +411,20 @@ let method_ =
   let method_conv =
     Arg.enum
       [ ("direct", Direct); ("sketchrefine", Sketch_refine);
-        ("progressive", Progressive) ]
+        ("progressive", Progressive); ("stochastic", Stochastic) ]
   in
   Arg.(
     value & opt method_conv Direct
     & info [ "method"; "m" ] ~docv:"METHOD"
         ~doc:
-          "Evaluation method: $(b,direct), $(b,sketchrefine), or \
+          "Evaluation method: $(b,direct), $(b,sketchrefine), \
            $(b,progressive) (coarse-to-fine shading over a DLV hierarchy; \
            $(b,--tau) sets the leaf threshold, levels come from \
-           $(b,PKGQ_HIER_LEVELS)).")
+           $(b,PKGQ_HIER_LEVELS)), or $(b,stochastic) (SummarySearch over \
+           Monte-Carlo scenarios; knobs $(b,PKGQ_SCENARIOS), \
+           $(b,PKGQ_SUMMARIES), $(b,PKGQ_VALIDATE)). Queries with \
+           $(b,WITH PROBABILITY) or $(b,EXPECTED) always use the \
+           stochastic driver, whatever this flag says.")
 
 let tau =
   Arg.(

@@ -14,7 +14,7 @@ type state = {
   mutable part : Pkg.Partition.t option;
   mutable hier : (string list * Pkg.Hierarchy.t) option;
       (* progressive-shading hierarchy, cached per attribute set *)
-  mutable method_ : [ `Direct | `Sketch_refine | `Progressive ];
+  mutable method_ : [ `Direct | `Sketch_refine | `Progressive | `Stochastic ];
   mutable limits : Ilp.Branch_bound.limits;
   mutable show_package : bool;
   mutable store : Store.Catalog.t option;
@@ -33,8 +33,10 @@ let help_text =
   {|Meta commands:
   \help                         this message
   \schema                       show the relation's schema and size
-  \method direct|sketchrefine|progressive
-                                choose the evaluation method
+  \method direct|sketchrefine|progressive|stochastic
+                                choose the evaluation method (queries with
+                                WITH PROBABILITY / EXPECTED always use the
+                                stochastic driver)
   \partition a,b,... [tau=N] [epsilon=E min|max]
                                 build an offline partitioning
   \load FILE                    load a saved partitioning
@@ -80,8 +82,26 @@ let run_query st text =
             | None -> false)
           (Paql.Ast.all_attrs ast)
       in
+      let stochastic () =
+        let options =
+          { (Pkg.Stochastic.default_options ()) with limits = st.limits }
+        in
+        let report, stats = Pkg.Stochastic.run ~options spec st.rel in
+        if stats.Pkg.Stochastic.st_scenarios > 0 then
+          Format.printf
+            "stochastic: %d scenario(s) (+%d held out), %d summarie(s), %d \
+             round(s), validated probability %.3f@."
+            stats.Pkg.Stochastic.st_scenarios
+            stats.Pkg.Stochastic.st_validation
+            stats.Pkg.Stochastic.st_summaries stats.Pkg.Stochastic.st_rounds
+            stats.Pkg.Stochastic.st_validated;
+        report
+      in
       let report =
+        if Paql.Translate.is_stochastic spec then stochastic ()
+        else
         match st.method_ with
+        | `Stochastic -> stochastic ()
         | `Direct -> Pkg.Direct.run ~limits:st.limits spec st.rel
         | `Progressive -> (
           let attrs = numeric_attrs () in
@@ -185,6 +205,7 @@ let meta st line =
   | [ "\\method"; "direct" ] -> st.method_ <- `Direct
   | [ "\\method"; "sketchrefine" ] -> st.method_ <- `Sketch_refine
   | [ "\\method"; "progressive" ] -> st.method_ <- `Progressive
+  | [ "\\method"; "stochastic" ] -> st.method_ <- `Stochastic
   | "\\partition" :: attrs_word :: rest -> (
     let attrs = String.split_on_char ',' attrs_word in
     let kvs = parse_kv rest in

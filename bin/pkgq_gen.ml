@@ -27,19 +27,62 @@ let write_or_print format out rel =
     prerr_endline "pkgq_gen: --format bin requires an output file (-o)";
     exit 6
 
-let gen_galaxy n seed skew format out =
-  if skew < 0. then begin
-    prerr_endline "pkgq_gen: --skew must be >= 0";
-    exit 6
-  end;
-  write_or_print format out (Datagen.Galaxy.generate ~seed ~skew n)
+(* --noise: emit Monte-Carlo realizations of the table instead of the
+   base relation. One scenario goes wherever the base would have; K > 1
+   scenarios fan out to FILE.s<i><ext> so each realization is a
+   loadable table. Scenario i is bitwise-identical however many are
+   emitted (per-scenario derived seeds). *)
+let emit_with_noise noise scenarios noise_seed format out rel =
+  match noise with
+  | None -> write_or_print format out rel
+  | Some spec_str -> (
+    if scenarios < 1 then begin
+      prerr_endline "pkgq_gen: --scenarios must be >= 1";
+      exit 6
+    end;
+    match Datagen.Scenario.parse_specs spec_str with
+    | Error msg ->
+      prerr_endline ("pkgq_gen: --noise: " ^ msg);
+      exit 6
+    | Ok specs -> (
+      match Datagen.Scenario.generate ~seed:noise_seed ~scenarios specs rel with
+      | Error msg ->
+        prerr_endline ("pkgq_gen: --noise: " ^ msg);
+        exit 3
+      | Ok t ->
+        if scenarios = 1 then
+          write_or_print format out (Datagen.Scenario.realize t 0)
+        else (
+          match out with
+          | None ->
+            prerr_endline
+              "pkgq_gen: --scenarios > 1 requires an output file (-o); one \
+               file per scenario is written";
+            exit 6
+          | Some path ->
+            let ext = Filename.extension path in
+            let base = Filename.remove_extension path in
+            for s = 0 to scenarios - 1 do
+              write_or_print format
+                (Some (Printf.sprintf "%s.s%d%s" base s ext))
+                (Datagen.Scenario.realize t s)
+            done)))
 
-let gen_tpch n seed skew format out =
+let gen_galaxy n seed skew noise scenarios noise_seed format out =
   if skew < 0. then begin
     prerr_endline "pkgq_gen: --skew must be >= 0";
     exit 6
   end;
-  write_or_print format out (Datagen.Tpch.generate ~seed ~skew n)
+  emit_with_noise noise scenarios noise_seed format out
+    (Datagen.Galaxy.generate ~seed ~skew n)
+
+let gen_tpch n seed skew noise scenarios noise_seed format out =
+  if skew < 0. then begin
+    prerr_endline "pkgq_gen: --skew must be >= 0";
+    exit 6
+  end;
+  emit_with_noise noise scenarios noise_seed format out
+    (Datagen.Tpch.generate ~seed ~skew n)
 
 let show_queries dataset n seed =
   let defs =
@@ -58,7 +101,7 @@ let show_queries dataset n seed =
         d.paql)
     defs
 
-let gen_workload dataset count repeat appends n seed out =
+let gen_workload dataset count repeat stochastic appends n seed out =
   let rel, ds =
     match dataset with
     | "galaxy" -> (Datagen.Galaxy.generate ~seed n, `Galaxy)
@@ -75,17 +118,21 @@ let gen_workload dataset count repeat appends n seed out =
     prerr_endline "pkgq_gen: --appends must be >= 0";
     exit 6
   end;
+  if not (stochastic >= 0. && stochastic <= 1.) then begin
+    prerr_endline "pkgq_gen: --stochastic must be in [0,1]";
+    exit 6
+  end;
   let text, entries =
     if appends = 0 then
       let defs =
-        Datagen.Workload.mixed ~seed ~repeat_rate:repeat ~dataset:ds ~n:count
-          rel
+        Datagen.Workload.mixed ~seed ~repeat_rate:repeat
+          ~stochastic_rate:stochastic ~dataset:ds ~n:count rel
       in
       (Datagen.Workload.render_workload defs, List.length defs)
     else
       let ops =
-        Datagen.Workload.mixed_ops ~seed ~repeat_rate:repeat ~appends
-          ~dataset:ds ~n:count rel
+        Datagen.Workload.mixed_ops ~seed ~repeat_rate:repeat
+          ~stochastic_rate:stochastic ~appends ~dataset:ds ~n:count rel
       in
       (Datagen.Workload.render_ops ops, List.length ops)
   in
@@ -117,6 +164,38 @@ let skew_arg =
            where DLV variance-driven partitioning beats equal-width cells. \
            0 reproduces the historical distributions byte-for-byte.")
 
+let noise_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "noise" ] ~docv:"SPEC"
+        ~doc:
+          "Emit Monte-Carlo realizations of the table instead of the base \
+           relation: additive gaussian noise on the named float columns, \
+           comma-separated $(b,attr:sigma) entries with an optional \
+           $(b,\\@corr) correlated-component weight in [0,1] (default 0.5), \
+           e.g. $(b,'u:0.3,r:0.1\\@0.8'). The stochastic solver derives the \
+           same model internally; this surface materializes the scenarios \
+           for external tools.")
+
+let scenarios_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scenarios" ] ~docv:"K"
+        ~doc:
+          "With $(b,--noise): number of scenario realizations. 1 (default) \
+           writes the single realization to $(b,-o)/stdout; K > 1 writes \
+           $(b,FILE.s<i><ext>) per scenario. Scenario i is identical \
+           whatever K is.")
+
+let noise_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "noise-seed" ] ~docv:"S"
+        ~doc:
+          "Seed for the scenario noise streams (independent of $(b,--seed), \
+           which shapes the base relation).")
+
 let out_arg =
   Arg.(
     value
@@ -136,12 +215,16 @@ let format_arg =
 let galaxy_cmd =
   Cmd.v
     (Cmd.info "galaxy" ~doc:"generate the synthetic SDSS Galaxy stand-in")
-    Term.(const gen_galaxy $ n_arg $ seed_arg $ skew_arg $ format_arg $ out_arg)
+    Term.(
+      const gen_galaxy $ n_arg $ seed_arg $ skew_arg $ noise_arg
+      $ scenarios_arg $ noise_seed_arg $ format_arg $ out_arg)
 
 let tpch_cmd =
   Cmd.v
     (Cmd.info "tpch" ~doc:"generate the pre-joined TPC-H stand-in")
-    Term.(const gen_tpch $ n_arg $ seed_arg $ skew_arg $ format_arg $ out_arg)
+    Term.(
+      const gen_tpch $ n_arg $ seed_arg $ skew_arg $ noise_arg $ scenarios_arg
+      $ noise_seed_arg $ format_arg $ out_arg)
 
 let queries_cmd =
   let dataset =
@@ -177,6 +260,16 @@ let workload_cmd =
              verbatim (in [0,1]); repeats are what exercise a server's plan \
              and result caches.")
   in
+  let stochastic =
+    Arg.(
+      value & opt float 0.
+      & info [ "stochastic" ] ~docv:"R"
+          ~doc:
+            "Expected fraction of fresh entries synthesized as stochastic \
+             queries (WITH PROBABILITY constraint + EXPECTED objective), in \
+             [0,1]. 0 (the default) reproduces the historical streams \
+             byte-for-byte.")
+  in
   let appends =
     Arg.(
       value & opt int 0
@@ -192,8 +285,8 @@ let workload_cmd =
        ~doc:
          "emit a reproducible mixed query stream (NAME<TAB>QUERY lines) for \
           the service layer, instantiated on a generated sample")
-    Term.(const gen_workload $ dataset $ count $ repeat $ appends $ n_arg
-          $ seed_arg $ out_arg)
+    Term.(const gen_workload $ dataset $ count $ repeat $ stochastic
+          $ appends $ n_arg $ seed_arg $ out_arg)
 
 let () =
   let doc = "generate the package-query benchmark datasets" in

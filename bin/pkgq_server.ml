@@ -64,7 +64,8 @@ let run_inner data host port workers queue result_cache method_ tau attrs
         | `Direct -> Service.Server.Direct
         | `Sketch_refine -> Service.Server.Sketch_refine
         | `Parallel -> Service.Server.Parallel_refine
-        | `Progressive -> Service.Server.Progressive);
+        | `Progressive -> Service.Server.Progressive
+        | `Stochastic -> Service.Server.Stochastic);
       tau;
       attrs;
       epsilon;
@@ -165,17 +166,22 @@ let method_ =
   let method_conv =
     Arg.enum
       [ ("direct", `Direct); ("sketchrefine", `Sketch_refine);
-        ("parallel", `Parallel); ("progressive", `Progressive) ]
+        ("parallel", `Parallel); ("progressive", `Progressive);
+        ("stochastic", `Stochastic) ]
   in
   Arg.(
     value & opt method_conv `Direct
     & info [ "method"; "m" ] ~docv:"METHOD"
         ~doc:
           "Evaluation method: $(b,direct), $(b,sketchrefine), \
-           $(b,parallel) (sketchrefine with parallel refinement) or \
+           $(b,parallel) (sketchrefine with parallel refinement), \
            $(b,progressive) (coarse-to-fine DLV hierarchy shading; \
            $(b,--tau) sets the leaf threshold, $(b,PKGQ_HIER_LEVELS) \
-           the level count).")
+           the level count) or $(b,stochastic) (SummarySearch over \
+           Monte-Carlo scenarios; knobs $(b,PKGQ_SCENARIOS), \
+           $(b,PKGQ_VALIDATE), $(b,PKGQ_SUMMARIES)). Queries using \
+           WITH PROBABILITY or EXPECTED always take the stochastic \
+           path, whatever the configured method.")
 
 let tau =
   Arg.(

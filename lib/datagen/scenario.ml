@@ -1,0 +1,188 @@
+type spec = { attr : string; sigma : float; corr : float }
+
+let default_corr = 0.5
+
+(* "attr:sigma" or "attr:sigma@corr", comma-separated. *)
+let parse_spec_one s =
+  let s = String.trim s in
+  match String.index_opt s ':' with
+  | None ->
+    Error
+      (Printf.sprintf "noise spec %S: expected attr:sigma or attr:sigma@corr" s)
+  | Some i -> (
+    let attr = String.trim (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    let sigma_s, corr_s =
+      match String.index_opt rest '@' with
+      | None -> String.trim rest, None
+      | Some j ->
+        ( String.trim (String.sub rest 0 j),
+          Some
+            (String.trim (String.sub rest (j + 1) (String.length rest - j - 1)))
+        )
+    in
+    if attr = "" then Error (Printf.sprintf "noise spec %S: empty attribute" s)
+    else
+      match float_of_string_opt sigma_s with
+      | None -> Error (Printf.sprintf "noise spec %S: bad sigma %S" s sigma_s)
+      | Some sigma when not (sigma >= 0.) ->
+        Error (Printf.sprintf "noise spec %S: sigma must be >= 0" s)
+      | Some sigma -> (
+        match corr_s with
+        | None -> Ok { attr; sigma; corr = default_corr }
+        | Some cs -> (
+          match float_of_string_opt cs with
+          | None -> Error (Printf.sprintf "noise spec %S: bad corr %S" s cs)
+          | Some corr when not (corr >= 0. && corr <= 1.) ->
+            Error (Printf.sprintf "noise spec %S: corr must be in [0, 1]" s)
+          | Some corr -> Ok { attr; sigma; corr })))
+
+let parse_specs s =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty noise spec"
+  else
+    let rec go acc seen = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match parse_spec_one p with
+        | Error _ as e -> e
+        | Ok sp ->
+          if List.mem sp.attr seen then
+            Error (Printf.sprintf "duplicate noise attribute %S" sp.attr)
+          else go (sp :: acc) (sp.attr :: seen) rest)
+    in
+    go [] [] parts
+
+let render_spec sp =
+  if sp.corr = default_corr then Printf.sprintf "%s:%g" sp.attr sp.sigma
+  else Printf.sprintf "%s:%g@%g" sp.attr sp.sigma sp.corr
+
+let render_specs sps = String.concat "," (List.map render_spec sps)
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then 0.
+  else begin
+    let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+    let ss =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. xs
+    in
+    sqrt (ss /. float_of_int n)
+  end
+
+let default_specs rel attrs =
+  List.map
+    (fun attr ->
+      let sd = stddev (Relalg.Relation.column_float rel attr) in
+      (* a quarter of the column's spread: visible noise without
+         drowning the signal *)
+      let sigma = if sd > 0. then 0.25 *. sd else 0.1 in
+      { attr; sigma; corr = default_corr })
+    attrs
+
+type t = {
+  rel : Relalg.Relation.t;
+  specs : spec list;
+  scenarios : int;
+  deltas : (string * float array array) list;
+      (* attr -> [scenario][row] additive perturbation *)
+}
+
+let num_scenarios t = t.scenarios
+
+let attrs t = List.map (fun sp -> sp.attr) t.specs
+
+let specs t = t.specs
+
+let deltas t attr = List.assoc_opt attr t.deltas
+
+(* Each scenario draws from its own PRNG stream derived from the user
+   seed and the scenario index, so scenario [s] is bitwise-identical no
+   matter how many scenarios are generated alongside it (optimization
+   and validation sets can be split freely). The golden-ratio odd
+   multiplier decorrelates neighbouring streams. *)
+let scenario_seed seed s = seed lxor ((s + 1) * 0x1E3779B97F4A7C15)
+
+let check_specs specs rel =
+  let schema = Relalg.Relation.schema rel in
+  let rec go = function
+    | [] -> Ok ()
+    | sp :: rest -> (
+      match Relalg.Schema.index_of_opt schema sp.attr with
+      | None -> Error (Printf.sprintf "unknown noise attribute %S" sp.attr)
+      | Some i -> (
+        match (Relalg.Schema.attr_at schema i).ty with
+        | Relalg.Value.TFloat -> go rest
+        | Relalg.Value.TInt | Relalg.Value.TStr | Relalg.Value.TBool ->
+          (* continuous perturbations only; realized scenarios must
+             stay schema-typed *)
+          Error
+            (Printf.sprintf "noise attribute %S is not a float column" sp.attr)))
+  in
+  go specs
+
+let generate ?(seed = 1) ~scenarios specs rel =
+  if scenarios <= 0 then Error "scenario count must be positive"
+  else if specs = [] then Error "empty noise spec"
+  else
+    match check_specs specs rel with
+    | Error _ as e -> e
+    | Ok () ->
+      let n = Relalg.Relation.cardinality rel in
+      let deltas =
+        List.map (fun sp -> sp.attr, Array.make_matrix scenarios n 0.) specs
+      in
+      let bufs =
+        List.map2 (fun sp (_, m) -> sp, m) specs deltas
+      in
+      for s = 0 to scenarios - 1 do
+        let rng = Prng.create (scenario_seed seed s) in
+        for row = 0 to n - 1 do
+          (* one shared standard-normal factor per (scenario, row)
+             couples the attributes — the Galaxy band model's shared
+             base brightness, applied to perturbations *)
+          let shared = Prng.gaussian rng in
+          List.iter
+            (fun (sp, m) ->
+              let own = Prng.gaussian rng in
+              let z =
+                (sp.corr *. shared)
+                +. (sqrt (1. -. (sp.corr *. sp.corr)) *. own)
+              in
+              m.(s).(row) <- sp.sigma *. z)
+            bufs
+        done
+      done;
+      Ok { rel; specs; scenarios; deltas }
+
+let generate_exn ?seed ~scenarios specs rel =
+  match generate ?seed ~scenarios specs rel with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Scenario.generate: " ^ msg)
+
+let realize t s =
+  if s < 0 || s >= t.scenarios then
+    invalid_arg "Scenario.realize: scenario index out of range";
+  let schema = Relalg.Relation.schema t.rel in
+  let noisy =
+    List.map
+      (fun (attr, m) -> Relalg.Schema.index_of schema attr, m.(s))
+      t.deltas
+  in
+  let b = Relalg.Relation.builder schema in
+  Relalg.Relation.iter
+    (fun row tuple ->
+      let tuple = Array.copy tuple in
+      List.iter
+        (fun (i, ds) ->
+          match Relalg.Value.to_float_opt tuple.(i) with
+          | Some v -> tuple.(i) <- Relalg.Value.Float (v +. ds.(row))
+          | None -> ())
+        noisy;
+      Relalg.Relation.add b tuple)
+    t.rel;
+  Relalg.Relation.seal b

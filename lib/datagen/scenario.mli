@@ -1,0 +1,73 @@
+(** Monte-Carlo scenario generation for stochastic package queries
+    (arXiv:2103.06784).
+
+    A scenario is one joint realization of the designated noisy
+    attributes: per (scenario, row) the generator draws an additive
+    Gaussian perturbation, with a shared standard-normal factor per
+    (scenario, row) coupling the attributes — the same correlated-noise
+    shape as the Galaxy generator's shared base brightness across
+    photometric bands.
+
+    Determinism: every scenario draws from its own PRNG stream derived
+    from the user seed and the scenario index, so scenario [s] is
+    bitwise-identical regardless of how many scenarios are generated
+    alongside it. Optimization and validation sets can therefore be
+    carved out of disjoint index ranges of one logical stream. *)
+
+(** One noisy attribute: additive noise [sigma * z] where
+    [z = corr * shared + sqrt(1 - corr^2) * own] and [shared]/[own] are
+    standard normals. [corr = 0] makes the attribute independent,
+    [corr = 1] fully coupled to the shared factor. *)
+type spec = { attr : string; sigma : float; corr : float }
+
+val default_corr : float
+
+(** [parse_specs s] parses ["attr:sigma"] or ["attr:sigma@corr"]
+    entries, comma-separated — e.g. ["u:0.3,g:0.2@0.5"]. Rejects
+    duplicates, negative sigma, and corr outside [0, 1]. *)
+val parse_specs : string -> (spec list, string) result
+
+(** Inverse of {!parse_specs} (omits [@corr] at the default). *)
+val render_specs : spec list -> string
+
+(** [default_specs rel attrs] derives a spec per attribute with
+    [sigma = 0.25 * stddev] of the column (0.1 for constant columns)
+    and the default correlation — the driver's fallback when a
+    stochastic query names no explicit noise model. *)
+val default_specs : Relalg.Relation.t -> string list -> spec list
+
+(** [check_specs specs rel] validates attributes exist and are float
+    columns. *)
+val check_specs : spec list -> Relalg.Relation.t -> (unit, string) result
+
+type t
+
+(** [generate ?seed ~scenarios specs rel] draws the perturbation
+    matrices. Errors on [scenarios <= 0], empty specs, or attributes
+    that are missing / non-float. *)
+val generate :
+  ?seed:int ->
+  scenarios:int ->
+  spec list ->
+  Relalg.Relation.t ->
+  (t, string) result
+
+val generate_exn :
+  ?seed:int -> scenarios:int -> spec list -> Relalg.Relation.t -> t
+
+val num_scenarios : t -> int
+
+(** Noisy attribute names, in spec order. *)
+val attrs : t -> string list
+
+val specs : t -> spec list
+
+(** [deltas t attr] is the perturbation matrix for [attr], indexed
+    [scenario][row]; [None] if [attr] is not a noisy attribute. *)
+val deltas : t -> string -> float array array option
+
+(** [realize t s] materializes scenario [s] as a full relation: the
+    base relation with each noisy column shifted by its perturbations.
+    This is what [pkgq_gen --noise] emits.
+    @raise Invalid_argument if [s] is out of range. *)
+val realize : t -> int -> Relalg.Relation.t

@@ -222,7 +222,8 @@ let compile rel def =
 (* Mixed workloads (service layer)                                    *)
 (* ------------------------------------------------------------------ *)
 
-let mixed ?(seed = 1) ?(repeat_rate = 0.5) ~dataset ~n rel =
+let mixed ?(seed = 1) ?(repeat_rate = 0.5) ?(stochastic_rate = 0.) ~dataset ~n
+    rel =
   let rng = Random.State.make [| seed; 0x5ca1ab1e |] in
   let table, alias =
     match dataset with `Galaxy -> ("Galaxy", "G") | `Tpch -> ("Tpch", "T")
@@ -246,20 +247,47 @@ let mixed ?(seed = 1) ?(repeat_rate = 0.5) ~dataset ~n rel =
        would not defeat a fingerprint cache) *)
     let slack = 1. +. (0.03 *. float_of_int (i mod 29)) in
     let kf = float_of_int k in
-    let bound = ((kf *. mu) +. (kf *. (Float.abs mu +. 1.))) *. slack in
     let maximize = Random.State.bool rng in
-    {
-      name = Printf.sprintf "W%d" i;
-      paql =
-        Printf.sprintf
-          "SELECT PACKAGE(%s) AS P FROM %s %s REPEAT 0 SUCH THAT COUNT(P.*) \
-           = %d AND SUM(P.%s) <= %.6g %s SUM(P.%s)"
-          alias table alias k a1 bound
-          (if maximize then "MAXIMIZE" else "MINIMIZE")
-          a2;
-      attrs = [ a1; a2 ];
-      maximize;
-    }
+    (* the && short-circuit keeps rate-0 streams byte-identical to the
+       historical generator (no rng draw is consumed) *)
+    let stochastic =
+      stochastic_rate > 0. && Random.State.float rng 1. < stochastic_rate
+    in
+    if stochastic then begin
+      (* a generously low >= bound the package clears with high
+         empirical probability, qualified WITH PROBABILITY, plus an
+         EXPECTED objective — both stochastic grammar forms in one
+         entry. REPEAT 0 keeps the naive big-M baseline applicable. *)
+      let bound = ((kf *. mu) -. (kf *. (Float.abs mu +. 1.))) *. slack in
+      let p = List.nth [ 0.8; 0.9; 0.95 ] (Random.State.int rng 3) in
+      {
+        name = Printf.sprintf "W%d" i;
+        paql =
+          Printf.sprintf
+            "SELECT PACKAGE(%s) AS P FROM %s %s REPEAT 0 SUCH THAT \
+             COUNT(P.*) = %d AND SUM(P.%s) >= %.6g WITH PROBABILITY %g %s \
+             EXPECTED SUM(P.%s)"
+            alias table alias k a1 bound p
+            (if maximize then "MAXIMIZE" else "MINIMIZE")
+            a2;
+        attrs = [ a1; a2 ];
+        maximize;
+      }
+    end
+    else
+      let bound = ((kf *. mu) +. (kf *. (Float.abs mu +. 1.))) *. slack in
+      {
+        name = Printf.sprintf "W%d" i;
+        paql =
+          Printf.sprintf
+            "SELECT PACKAGE(%s) AS P FROM %s %s REPEAT 0 SUCH THAT COUNT(P.*) \
+             = %d AND SUM(P.%s) <= %.6g %s SUM(P.%s)"
+            alias table alias k a1 bound
+            (if maximize then "MAXIMIZE" else "MINIMIZE")
+            a2;
+        attrs = [ a1; a2 ];
+        maximize;
+      }
   in
   let rec build i acc emitted =
     if i > n then List.rev acc
@@ -288,9 +316,9 @@ let append_batch ~dataset ~rows ~seed =
   | `Galaxy -> Galaxy.generate ~seed rows
   | `Tpch -> Tpch.generate ~seed rows
 
-let mixed_ops ?(seed = 1) ?(repeat_rate = 0.5) ?(appends = 0) ~dataset ~n rel
-    =
-  let queries = mixed ~seed ~repeat_rate ~dataset ~n rel in
+let mixed_ops ?(seed = 1) ?(repeat_rate = 0.5) ?(stochastic_rate = 0.)
+    ?(appends = 0) ~dataset ~n rel =
+  let queries = mixed ~seed ~repeat_rate ~stochastic_rate ~dataset ~n rel in
   if appends <= 0 then List.map (fun d -> Op_query d) queries
   else begin
     (* deterministic interleave: appends are spread evenly through the

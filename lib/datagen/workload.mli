@@ -42,11 +42,18 @@ val compile : Relalg.Relation.t -> def -> Paql.Translate.spec
     bounds from the relation's statistics so it stays feasible) or a
     verbatim {e repeat} of an earlier entry. Repeats are what exercise
     the server's plan and result caches; [repeat_rate] is the expected
-    fraction of them (default [0.5]). Same [seed], same stream. *)
+    fraction of them (default [0.5]). [stochastic_rate] (default [0])
+    is the expected fraction of fresh entries synthesized as
+    {e stochastic} queries — a [>=] constraint qualified
+    [WITH PROBABILITY] plus an [EXPECTED] objective — which round-trip
+    through {!render_workload}/{!parse_workload} like any other entry
+    and route servers to the SummarySearch driver. Rate [0] reproduces
+    the historical streams byte-for-byte. Same [seed], same stream. *)
 
 val mixed :
   ?seed:int ->
   ?repeat_rate:float ->
+  ?stochastic_rate:float ->
   dataset:[ `Galaxy | `Tpch ] ->
   n:int ->
   Relalg.Relation.t ->
@@ -77,6 +84,7 @@ val append_batch :
 val mixed_ops :
   ?seed:int ->
   ?repeat_rate:float ->
+  ?stochastic_rate:float ->
   ?appends:int ->
   dataset:[ `Galaxy | `Tpch ] ->
   n:int ->

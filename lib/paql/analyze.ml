@@ -45,6 +45,29 @@ let check schema (q : Ast.query) =
           (fun (c : Linform.constr) -> check_terms schema errs c.cterms)
           constraints)
     q.such_that;
+  (* Stochastic extension: probability bounds must be meaningful, and
+     equality under continuous noise holds with probability zero. *)
+  Option.iter
+    (fun gp ->
+      List.iter
+        (function
+          | Ast.Gprob (cmp, _, _, p) ->
+            if not (p > 0. && p <= 1.) then
+              errs :=
+                Printf.sprintf
+                  "WITH PROBABILITY %g is outside (0, 1]" p
+                :: !errs;
+            (match cmp with
+            | Ast.Eq ->
+              errs :=
+                "WITH PROBABILITY cannot qualify an equality (it holds \
+                 with probability zero under continuous noise); use <= \
+                 or >="
+                :: !errs
+            | Ast.Le | Ast.Ge | Ast.Lt | Ast.Gt -> ())
+          | Ast.Gcmp _ | Ast.Gbetween _ | Ast.Gand _ -> ())
+        (Ast.conjuncts gp))
+    q.such_that;
   Option.iter
     (fun o ->
       match Linform.of_objective o with

@@ -14,12 +14,14 @@ type gexpr =
   | Mult of gexpr * gexpr
   | Divide of gexpr * gexpr
   | Negate of gexpr
+  | Expected of gexpr
 
 type gcmp = Le | Ge | Eq | Lt | Gt
 
 type gpred =
   | Gcmp of gcmp * gexpr * gexpr
   | Gbetween of gexpr * gexpr * gexpr
+  | Gprob of gcmp * gexpr * gexpr * float
   | Gand of gpred * gpred
 
 type objective = Minimize of gexpr | Maximize of gexpr
@@ -37,7 +39,7 @@ type query = {
 let conjuncts gp =
   let rec go acc = function
     | Gand (a, b) -> go (go acc a) b
-    | (Gcmp _ | Gbetween _) as leaf -> leaf :: acc
+    | (Gcmp _ | Gbetween _ | Gprob _) as leaf -> leaf :: acc
   in
   List.rev (go [] gp)
 
@@ -60,13 +62,13 @@ let collect_gexpr seen out e =
     | Add (a, b) | Subtract (a, b) | Mult (a, b) | Divide (a, b) ->
       go a;
       go b
-    | Negate a -> go a
+    | Negate a | Expected a -> go a
   in
   go e
 
 let collect_gpred seen out gp =
   let rec go = function
-    | Gcmp (_, a, b) ->
+    | Gcmp (_, a, b) | Gprob (_, a, b, _) ->
       collect_gexpr seen out a;
       collect_gexpr seen out b
     | Gbetween (a, b, c) ->
@@ -88,6 +90,31 @@ let global_attrs q =
       collect_gexpr seen out e)
     q.objective;
   List.rev !out
+
+let rec has_expected = function
+  | Num _ | Agg _ -> false
+  | Add (a, b) | Subtract (a, b) | Mult (a, b) | Divide (a, b) ->
+    has_expected a || has_expected b
+  | Negate a -> has_expected a
+  | Expected _ -> true
+
+let is_stochastic q =
+  let pred_stochastic gp =
+    let rec go = function
+      | Gprob _ -> true
+      | Gcmp (_, a, b) -> has_expected a || has_expected b
+      | Gbetween (a, b, c) ->
+        has_expected a || has_expected b || has_expected c
+      | Gand (a, b) -> go a || go b
+    in
+    go gp
+  in
+  Option.fold ~none:false ~some:pred_stochastic q.such_that
+  || Option.fold ~none:false
+       ~some:(fun o ->
+         let e = match o with Minimize e | Maximize e -> e in
+         has_expected e)
+       q.objective
 
 let all_attrs q =
   let seen = Hashtbl.create 8 and out = ref [] in

@@ -18,7 +18,10 @@ type agg_kind =
 
 (** Global (package-level) expressions. [Agg (k, Some pred)] is the
     subquery form [(SELECT k FROM P WHERE pred)]; [Agg (k, None)]
-    is the abbreviation [k(P....)]. *)
+    is the abbreviation [k(P....)]. [Expected e] is the stochastic
+    extension's [EXPECTED e] — the expectation of [e] over scenario
+    realizations of the noisy attributes; deterministic evaluation
+    reads it on the base realization. *)
 type gexpr =
   | Num of float
   | Agg of agg_kind * Relalg.Expr.t option
@@ -27,13 +30,19 @@ type gexpr =
   | Mult of gexpr * gexpr
   | Divide of gexpr * gexpr
   | Negate of gexpr
+  | Expected of gexpr
 
 type gcmp = Le | Ge | Eq | Lt | Gt
 
-(** Global predicates: conjunctions of comparisons and ranges. *)
+(** Global predicates: conjunctions of comparisons and ranges.
+    [Gprob (cmp, a, b, p)] is the probabilistic comparison
+    [a cmp b WITH PROBABILITY p] of the stochastic extension
+    (arXiv:2103.06784): the comparison must hold with probability at
+    least [p] over the scenario distribution. *)
 type gpred =
   | Gcmp of gcmp * gexpr * gexpr
   | Gbetween of gexpr * gexpr * gexpr
+  | Gprob of gcmp * gexpr * gexpr * float
   | Gand of gpred * gpred
 
 type objective = Minimize of gexpr | Maximize of gexpr
@@ -52,6 +61,13 @@ type query = {
 
 (** [conjuncts gp] flattens nested [Gand]s in left-to-right order. *)
 val conjuncts : gpred -> gpred list
+
+(** Whether the expression contains an [Expected] node. *)
+val has_expected : gexpr -> bool
+
+(** Whether the query uses any stochastic construct: a
+    [WITH PROBABILITY] global predicate or an [EXPECTED] expression. *)
+val is_stochastic : query -> bool
 
 (** Attributes referenced anywhere in global predicates and objective
     (aggregate arguments and subquery filters), without duplicates. *)

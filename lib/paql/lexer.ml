@@ -27,7 +27,8 @@ let keywords =
   [
     "SELECT"; "PACKAGE"; "AS"; "FROM"; "REPEAT"; "WHERE"; "SUCH"; "THAT";
     "AND"; "OR"; "NOT"; "BETWEEN"; "IS"; "NULL"; "MINIMIZE"; "MAXIMIZE";
-    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "TRUE"; "FALSE";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "TRUE"; "FALSE"; "WITH";
+    "PROBABILITY"; "EXPECTED";
   ]
 
 let keyword_set =

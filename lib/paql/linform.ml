@@ -60,6 +60,11 @@ let rec of_gexpr = function
   | Ast.Negate a ->
     let* fa = of_gexpr a in
     Ok (scale (-1.) fa)
+  (* Expectation is linear, so the linear form of [EXPECTED e] is the
+     form of [e]; deterministic evaluation reads the coefficients on
+     the base realization, the stochastic driver swaps in scenario
+     means. *)
+  | Ast.Expected a -> of_gexpr a
 
 type constr = { cterms : term list; lo : float; hi : float }
 
@@ -99,7 +104,9 @@ let constraint_of_form cmp f =
   Ok { cterms = f.terms; lo; hi }
 
 let of_conjunct = function
-  | Ast.Gcmp (cmp, e1, e2) ->
+  | Ast.Gcmp (cmp, e1, e2) | Ast.Gprob (cmp, e1, e2, _) ->
+    (* a probabilistic comparison lowers to the same linear form; the
+       probability is carried separately by [Translate] *)
     let* f1 = of_gexpr e1 in
     let* f2 = of_gexpr e2 in
     let f = sub f1 f2 in

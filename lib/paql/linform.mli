@@ -27,6 +27,12 @@ val of_gexpr : Ast.gexpr -> (t, string) result
     AVG terms already rewritten away. *)
 type constr = { cterms : term list; lo : float; hi : float }
 
+(** [of_conjunct leaf] normalizes a single [Gand]-free conjunct. A
+    probabilistic comparison ([Gprob]) lowers to the same linear form as
+    its plain counterpart — the probability is carried separately by
+    {!Translate}. [Gbetween] may desugar into two constraints. *)
+val of_conjunct : Ast.gpred -> (constr list, string) result
+
 (** [of_gpred gp] normalizes each conjunct. Strict comparisons are
     treated as non-strict (documented PaQL deviation). *)
 val of_gpred : Ast.gpred -> (constr list, string) result

@@ -271,6 +271,7 @@ and gterm st ~pkg =
 
 and gunary st ~pkg =
   if accept st Lexer.MINUS then Ast.Negate (gunary st ~pkg)
+  else if accept_kw st "EXPECTED" then Ast.Expected (gunary st ~pkg)
   else gprimary st ~pkg
 
 and gprimary st ~pkg =
@@ -292,30 +293,40 @@ and gprimary st ~pkg =
 
 let gcomparison st ~pkg =
   let lhs = gexpr st ~pkg in
-  match peek st with
-  | Lexer.EQ ->
-    advance st;
-    Ast.Gcmp (Ast.Eq, lhs, gexpr st ~pkg)
-  | Lexer.LE ->
-    advance st;
-    Ast.Gcmp (Ast.Le, lhs, gexpr st ~pkg)
-  | Lexer.GE ->
-    advance st;
-    Ast.Gcmp (Ast.Ge, lhs, gexpr st ~pkg)
-  | Lexer.LT ->
-    advance st;
-    Ast.Gcmp (Ast.Lt, lhs, gexpr st ~pkg)
-  | Lexer.GT ->
-    advance st;
-    Ast.Gcmp (Ast.Gt, lhs, gexpr st ~pkg)
-  | Lexer.KW "BETWEEN" ->
-    advance st;
-    let lo = gexpr st ~pkg in
-    expect_kw st "AND";
-    let hi = gexpr st ~pkg in
-    Ast.Gbetween (lhs, lo, hi)
-  | t ->
-    error st ("expected comparison or BETWEEN but found " ^ Lexer.describe t)
+  let leaf =
+    match peek st with
+    | Lexer.EQ ->
+      advance st;
+      Ast.Gcmp (Ast.Eq, lhs, gexpr st ~pkg)
+    | Lexer.LE ->
+      advance st;
+      Ast.Gcmp (Ast.Le, lhs, gexpr st ~pkg)
+    | Lexer.GE ->
+      advance st;
+      Ast.Gcmp (Ast.Ge, lhs, gexpr st ~pkg)
+    | Lexer.LT ->
+      advance st;
+      Ast.Gcmp (Ast.Lt, lhs, gexpr st ~pkg)
+    | Lexer.GT ->
+      advance st;
+      Ast.Gcmp (Ast.Gt, lhs, gexpr st ~pkg)
+    | Lexer.KW "BETWEEN" ->
+      advance st;
+      let lo = gexpr st ~pkg in
+      expect_kw st "AND";
+      let hi = gexpr st ~pkg in
+      Ast.Gbetween (lhs, lo, hi)
+    | t ->
+      error st ("expected comparison or BETWEEN but found " ^ Lexer.describe t)
+  in
+  if accept_kw st "WITH" then begin
+    expect_kw st "PROBABILITY";
+    let p = number st in
+    match leaf with
+    | Ast.Gcmp (cmp, a, b) -> Ast.Gprob (cmp, a, b, p)
+    | _ -> error st "WITH PROBABILITY only applies to comparisons, not BETWEEN"
+  end
+  else leaf
 
 let rec gpred st ~pkg =
   let lhs = gcomparison st ~pkg in

@@ -29,6 +29,7 @@ let rec pp_gexpr ~pkg ppf = function
   | Ast.Divide (a, b) ->
     Format.fprintf ppf "(%a / %a)" (pp_gexpr ~pkg) a (pp_gexpr ~pkg) b
   | Ast.Negate a -> Format.fprintf ppf "(-%a)" (pp_gexpr ~pkg) a
+  | Ast.Expected a -> Format.fprintf ppf "EXPECTED %a" (pp_gexpr ~pkg) a
 
 let gcmp_string = function
   | Ast.Le -> "<="
@@ -44,6 +45,9 @@ let rec pp_gpred ~pkg ppf = function
   | Ast.Gbetween (e, lo, hi) ->
     Format.fprintf ppf "%a BETWEEN %a AND %a" (pp_gexpr ~pkg) e
       (pp_gexpr ~pkg) lo (pp_gexpr ~pkg) hi
+  | Ast.Gprob (c, a, b, p) ->
+    Format.fprintf ppf "%a %s %a WITH PROBABILITY %g" (pp_gexpr ~pkg) a
+      (gcmp_string c) (pp_gexpr ~pkg) b p
   | Ast.Gand (a, b) ->
     Format.fprintf ppf "%a AND@ %a" (pp_gpred ~pkg) a (pp_gpred ~pkg) b
 

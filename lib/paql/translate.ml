@@ -9,11 +9,28 @@ type compiled_constraint = {
   cattrs : string list;
 }
 
+type stochastic_constraint = {
+  sterms : Linform.term list;
+      (* normalized linear form of the comparison; the stochastic
+         driver re-derives scenario-dependent coefficients from the
+         terms, so they are kept rather than pre-closed like
+         [compiled_constraint] *)
+  scoeff_rows : Relalg.Relation.t -> int -> float;
+      (* base-realization coefficients (same contract as [coeff_rows]) *)
+  slo : float;
+  shi : float;
+  sprob : float;
+  sname : string;
+  sattrs : string list;
+}
+
 type spec = {
   query : Ast.query;
   schema : Relalg.Schema.t;
   where : Relalg.Expr.t option;
   constraints : compiled_constraint list;
+  stochastic : stochastic_constraint list;
+  expected_objective : bool;
   objective : (Lp.Problem.sense * (Relalg.Tuple.t -> float) * float) option;
   objective_rows : Relalg.Relation.t -> int -> float;
       (* row-indexed objective coefficients; constantly 0. when the
@@ -21,28 +38,76 @@ type spec = {
   max_count : float;
 }
 
+let is_stochastic spec = spec.stochastic <> [] || spec.expected_objective
+
 let ( let* ) = Result.bind
 
 let compile schema (q : Ast.query) =
   let* () = Result.map_error (String.concat "; ") (Analyze.check schema q) in
-  let* constraints =
+  (* Split the conjunction: deterministic leaves compile exactly as
+     before (so the deterministic drivers see an unchanged spec), while
+     WITH PROBABILITY leaves land in [stochastic] for the scenario
+     solver. Names are indexed within each class. *)
+  let det_leaves, stoch_leaves =
     match q.such_that with
-    | None -> Ok []
+    | None -> [], []
     | Some gp ->
-      let* cs = Linform.of_gpred gp in
-      Ok
-        (List.mapi
-           (fun i (c : Linform.constr) ->
-             {
-               coeff = Linform.coeff_fn schema c.Linform.cterms;
-               coeff_rows =
-                 (fun rel -> Linform.coeff_rows schema rel c.Linform.cterms);
-               clo = c.Linform.lo;
-               chi = c.Linform.hi;
-               cname = Printf.sprintf "g%d" i;
-               cattrs = Linform.term_attrs c.Linform.cterms;
-             })
-           cs)
+      List.partition
+        (function Ast.Gprob _ -> false | _ -> true)
+        (Ast.conjuncts gp)
+  in
+  let* constraints =
+    let* cs =
+      List.fold_left
+        (fun acc leaf ->
+          let* acc = acc in
+          let* cs = Linform.of_conjunct leaf in
+          Ok (acc @ cs))
+        (Ok []) det_leaves
+    in
+    Ok
+      (List.mapi
+         (fun i (c : Linform.constr) ->
+           {
+             coeff = Linform.coeff_fn schema c.Linform.cterms;
+             coeff_rows =
+               (fun rel -> Linform.coeff_rows schema rel c.Linform.cterms);
+             clo = c.Linform.lo;
+             chi = c.Linform.hi;
+             cname = Printf.sprintf "g%d" i;
+             cattrs = Linform.term_attrs c.Linform.cterms;
+           })
+         cs)
+  in
+  let* stochastic =
+    let* scs =
+      List.fold_left
+        (fun acc leaf ->
+          let* acc = acc in
+          match leaf with
+          | Ast.Gprob (_, _, _, p) ->
+            let* cs = Linform.of_conjunct leaf in
+            (match cs with
+            | [ c ] -> Ok ((c, p) :: acc)
+            | _ -> assert false (* a comparison lowers to one constr *))
+          | _ -> assert false)
+        (Ok [])
+        stoch_leaves
+    in
+    Ok
+      (List.mapi
+         (fun i ((c : Linform.constr), p) ->
+           {
+             sterms = c.Linform.cterms;
+             scoeff_rows =
+               (fun rel -> Linform.coeff_rows schema rel c.Linform.cterms);
+             slo = c.Linform.lo;
+             shi = c.Linform.hi;
+             sprob = p;
+             sname = Printf.sprintf "s%d" i;
+             sattrs = Linform.term_attrs c.Linform.cterms;
+           })
+         (List.rev scs))
   in
   let* objective, objective_rows =
     match q.objective with
@@ -58,12 +123,19 @@ let compile schema (q : Ast.query) =
     | None -> infinity
     | Some k -> float_of_int (k + 1)
   in
+  let expected_objective =
+    match q.objective with
+    | Some (Ast.Minimize e) | Some (Ast.Maximize e) -> Ast.has_expected e
+    | None -> false
+  in
   Ok
     {
       query = q;
       schema;
       where = q.where;
       constraints;
+      stochastic;
+      expected_objective;
       objective;
       objective_rows;
       max_count;
@@ -150,6 +222,21 @@ let describe spec rel =
         | [] -> "cardinality only"
         | attrs -> String.concat ", " attrs))
     spec.constraints;
+  if spec.stochastic <> [] then begin
+    Format.fprintf ppf "stochastic constraint row(s): %d@,"
+      (List.length spec.stochastic);
+    List.iter
+      (fun s ->
+        Format.fprintf ppf
+          "  %s: %a <= sum <= %a WITH PROBABILITY %g  (attrs: %s)@," s.sname
+          pp_bound s.slo pp_bound s.shi s.sprob
+          (match s.sattrs with
+          | [] -> "cardinality only"
+          | attrs -> String.concat ", " attrs))
+      spec.stochastic
+  end;
+  if spec.expected_objective then
+    Format.fprintf ppf "objective is an expectation (EXPECTED)@,";
   (match spec.objective with
   | None -> Format.fprintf ppf "objective: none (vacuous, rule 4)@,"
   | Some (sense, _, const) ->

@@ -25,11 +25,36 @@ type compiled_constraint = {
           fallback of Section 4.4 *)
 }
 
+(** One [WITH PROBABILITY] constraint of the stochastic extension
+    (arXiv:2103.06784): [slo <= sum <= shi] must hold with probability
+    at least [sprob] over scenario realizations of the noisy
+    attributes. Kept separate from [constraints] so the deterministic
+    drivers are untouched; only {!Pkg.Stochastic} consumes these. *)
+type stochastic_constraint = {
+  sterms : Linform.term list;
+      (** normalized linear form — the stochastic driver re-derives
+          per-scenario coefficients from the terms *)
+  scoeff_rows : Relalg.Relation.t -> int -> float;
+      (** base-realization coefficients (same contract as
+          [coeff_rows]) *)
+  slo : float;
+  shi : float;
+  sprob : float;  (** required probability, in (0, 1] *)
+  sname : string;  (** ["s0"], ["s1"], ... — indexed within this class *)
+  sattrs : string list;
+}
+
 type spec = {
   query : Ast.query;
   schema : Relalg.Schema.t;
   where : Relalg.Expr.t option;
   constraints : compiled_constraint list;
+  stochastic : stochastic_constraint list;
+      (** probabilistic constraints; empty for deterministic queries *)
+  expected_objective : bool;
+      (** whether the objective wraps an [EXPECTED] expression (the
+          compiled [objective] reads base-realization coefficients;
+          the stochastic driver substitutes scenario means) *)
   objective : (Lp.Problem.sense * (Relalg.Tuple.t -> float) * float) option;
       (** sense, per-tuple coefficient, constant offset *)
   objective_rows : Relalg.Relation.t -> int -> float;
@@ -39,6 +64,12 @@ type spec = {
       (** repetition cap per tuple: [K+1] for [REPEAT K], [infinity]
           otherwise *)
 }
+
+(** Whether the spec has any stochastic construct ([WITH PROBABILITY]
+    constraints or an [EXPECTED] objective). Front-ends route such
+    specs to the stochastic driver; deterministic drivers ignore the
+    stochastic fields entirely. *)
+val is_stochastic : spec -> bool
 
 (** [compile schema q] analyzes and compiles the query. *)
 val compile : Relalg.Schema.t -> Ast.query -> (spec, string) result

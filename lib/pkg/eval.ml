@@ -7,6 +7,9 @@ type stage =
   | Parallel
   | Fallback
   | Progressive
+  | Scenario
+  | Summary
+  | Validate
 
 let stage_name = function
   | Sketch -> "sketch"
@@ -17,6 +20,9 @@ let stage_name = function
   | Parallel -> "parallel"
   | Fallback -> "fallback"
   | Progressive -> "progressive"
+  | Scenario -> "scenario"
+  | Summary -> "summary"
+  | Validate -> "validate"
 
 type failure_kind =
   | Deadline_exceeded

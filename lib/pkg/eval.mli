@@ -12,6 +12,9 @@ type stage =
   | Parallel    (** a Phase-1 parallel refine worker *)
   | Fallback    (** between ladder rungs / the sequential fallback *)
   | Progressive (** a per-level sketch of the coarse-to-fine descent *)
+  | Scenario    (** stochastic scenario generation *)
+  | Summary     (** a summary-ILP solve of the SummarySearch loop *)
+  | Validate    (** out-of-sample validation of a candidate package *)
 
 val stage_name : stage -> string
 

@@ -42,6 +42,13 @@ type shard_fault = Shard_crash | Shard_stall of int | Shard_drop
    hang. *)
 type partition_fault = Partition_level of int | Partition_build
 
+(* stoch=scenario:fail makes scenario generation raise and
+   stoch=validate:fail makes out-of-sample validation raise (standing
+   while installed) — the stochastic driver must convert either into a
+   typed failure, never a hang. Summary-ILP faults need no dedicated
+   selector: the generic stage=summary:... path covers them. *)
+type stoch_fault = Stoch_scenario | Stoch_validate
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
@@ -53,6 +60,7 @@ type directive =
   | Shard_break of int * shard_fault
   | Repl_lag of int
   | Partition_break of partition_fault
+  | Stoch_break of stoch_fault
 
 type spec = directive list
 
@@ -102,6 +110,9 @@ let stage_of_string = function
   | "direct" -> Some Eval.Direct
   | "parallel" -> Some Eval.Parallel
   | "progressive" -> Some Eval.Progressive
+  | "scenario" -> Some Eval.Scenario
+  | "summary" -> Some Eval.Summary
+  | "validate" -> Some Eval.Validate
   | _ -> None
 
 let action_of_string = function
@@ -196,6 +207,14 @@ let parse s =
         else Ok (Repl_lag n)
       | [ ("repl", f) ] ->
         Error (Printf.sprintf "fault repl=%s: expected repl=lag:N" f)
+      | [ ("stoch", "scenario") ] when act = "fail" ->
+        Ok (Stoch_break Stoch_scenario)
+      | [ ("stoch", "validate") ] when act = "fail" ->
+        Ok (Stoch_break Stoch_validate)
+      | [ ("stoch", f) ] ->
+        Error
+          (Printf.sprintf
+             "fault stoch=%s: expected scenario:fail|validate:fail" f)
       | [ ("partition", "build") ] when act = "fail" ->
         Ok (Partition_break Partition_build)
       | [ ("partition", "level") ] ->
@@ -259,7 +278,8 @@ let parse s =
                   Error
                     (Printf.sprintf
                        "fault stage %S: expected \
-                        sketch|hybrid|refine|repair|direct|parallel|progressive"
+                        sketch|hybrid|refine|repair|direct|parallel|\
+                        progressive|scenario|summary|validate"
                        v))
               | "worker" ->
                 Error "fault selector worker=N only combines with :crash"
@@ -279,6 +299,9 @@ let parse s =
               | "repl" -> Error "fault selector repl expects lag:N"
               | "partition" ->
                 Error "fault selector partition expects level:K|build:fail"
+              | "stoch" ->
+                Error
+                  "fault selector stoch expects scenario:fail|validate:fail"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -314,7 +337,7 @@ let action_for ~call ~stage ~group =
     (function
       | Worker_kill _ | Store_break _ | Queue_full | Net_break _
       | Wal_break _ | Lp_break _ | Shard_break _ | Repl_lag _
-      | Partition_break _ ->
+      | Partition_break _ | Stoch_break _ ->
         None
       | Ilp_fault (c, a) ->
         let ok_call =
@@ -393,6 +416,16 @@ let take_shard_fault k =
 let partition_build_fails () =
   List.exists
     (function Partition_break Partition_build -> true | _ -> false)
+    (Atomic.get installed)
+
+let stoch_scenario_fails () =
+  List.exists
+    (function Stoch_break Stoch_scenario -> true | _ -> false)
+    (Atomic.get installed)
+
+let stoch_validate_fails () =
+  List.exists
+    (function Stoch_break Stoch_validate -> true | _ -> false)
     (Atomic.get installed)
 
 let take_level_fault k =

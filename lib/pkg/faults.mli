@@ -59,6 +59,13 @@
                  progressive descent's level-K sketch (0 = coarsest);
                  the driver must degrade typed — widen the level and
                  retry, or report the failure — never hang
+    stoch=scenario:fail    every scenario generation raises {!Injected}
+                 while installed (the stochastic driver must answer
+                 with a typed failure, not an exception)
+    stoch=validate:fail    every out-of-sample validation raises
+                 {!Injected} while installed — same typed-degradation
+                 obligation. Summary-ILP faults use the generic
+                 [stage=summary:...] selector.
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
@@ -93,6 +100,8 @@ type shard_fault = Shard_crash | Shard_stall of int | Shard_drop
 
 type partition_fault = Partition_level of int | Partition_build
 
+type stoch_fault = Stoch_scenario | Stoch_validate
+
 type cond = {
   on_call : int option;
   on_stage : Eval.stage option;
@@ -110,6 +119,7 @@ type directive =
   | Shard_break of int * shard_fault
   | Repl_lag of int
   | Partition_break of partition_fault
+  | Stoch_break of stoch_fault
 
 type spec = directive list
 
@@ -189,6 +199,15 @@ val partition_build_fails : unit -> bool
     {!take_net_fault}. The progressive driver consults this before each
     level's sketch. *)
 val take_level_fault : int -> bool
+
+(** Whether a [stoch=scenario:fail] directive is installed: scenario
+    generation must raise {!Injected}. Standing while installed. *)
+val stoch_scenario_fails : unit -> bool
+
+(** Whether a [stoch=validate:fail] directive is installed:
+    out-of-sample validation must raise {!Injected}. Standing while
+    installed. *)
+val stoch_validate_fails : unit -> bool
 
 (** The installed [repl=lag:N] value (the largest, if several), or 0.
     Unlike the shard faults this is a standing condition: the WAL

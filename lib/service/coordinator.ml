@@ -621,8 +621,21 @@ let plan t rel qfp query =
         | exception Failure msg ->
           Error (Protocol.Resp_err (Protocol.Analysis_error, msg))
         | spec ->
-          Cache.add t.plan_cache qfp (ast, spec);
-          Ok (ast, spec))))
+          if Paql.Translate.is_stochastic spec then
+            (* Scatter/gather distributes deterministic sketch/refine
+               work; SummarySearch's scenario matrices and validation
+               rounds are not shard-decomposable (yet). A typed
+               rejection beats a wrong or hanging scatter. *)
+            Error
+              (Protocol.Resp_err
+                 ( Protocol.Rejected,
+                   "stochastic queries (WITH PROBABILITY / EXPECTED) are not \
+                    supported by the shard coordinator; use pkgq_server or \
+                    paql --method stochastic" ))
+          else begin
+            Cache.add t.plan_cache qfp (ast, spec);
+            Ok (ast, spec)
+          end)))
 
 (* The partitioning derivation mirrors the server's [partition_for]
    bit for bit (attrs, tau default, Theorem-3 radius from epsilon and

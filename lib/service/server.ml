@@ -2,7 +2,7 @@ let src = Logs.Src.create "pkgq.server" ~doc:"package-query server"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type method_ = Direct | Sketch_refine | Parallel_refine | Progressive
+type method_ = Direct | Sketch_refine | Parallel_refine | Progressive | Stochastic
 
 type config = {
   host : string;
@@ -336,6 +336,21 @@ let record_level_stats metrics stats =
       if s.ls_widened then Metrics.incr metrics "progressive_widened")
     stats
 
+(* SummarySearch telemetry for STATS: how many scenarios the last
+   stochastic evaluation drew, how finely it summarized, how many
+   solve/validate rounds it took, and the out-of-sample probability it
+   certified (per-mille — gauges are integers). Stage latencies land
+   through the [Eval] observer under [scenario]/[summary]/[validate]. *)
+let record_stoch_stats metrics (st : Pkg.Stochastic.stats) =
+  if st.Pkg.Stochastic.st_scenarios > 0 then begin
+    Metrics.set_gauge metrics "stoch_scenarios" st.Pkg.Stochastic.st_scenarios;
+    Metrics.set_gauge metrics "stoch_validation" st.Pkg.Stochastic.st_validation;
+    Metrics.set_gauge metrics "stoch_summaries" st.Pkg.Stochastic.st_summaries;
+    Metrics.set_gauge metrics "stoch_rounds" st.Pkg.Stochastic.st_rounds;
+    Metrics.set_gauge metrics "stoch_validated_pm"
+      (int_of_float (Float.round (st.Pkg.Stochastic.st_validated *. 1000.)))
+  end
+
 let response_of_report (r : Pkg.Eval.report) =
   match r.status with
   | Pkg.Eval.Infeasible -> Protocol.Resp_err (Protocol.Infeasible, status_line r)
@@ -386,16 +401,34 @@ let sync_solver_gauges metrics =
 let eval_query t ~deadline query =
   let snap = Mutex.protect t.state_mu (fun () -> t.state) in
   let qfp = Paql.Fingerprint.of_query query in
-  let rkey = qfp ^ "@" ^ snap.fp in
-  match Cache.find_opt t.result_cache rkey with
-  | Some resp ->
-    Metrics.incr t.metrics "result_hits";
-    resp
-  | None -> (
-    Metrics.incr t.metrics "result_misses";
-    match plan t snap qfp query with
-    | Error resp -> resp
-    | Ok (ast, spec) ->
+  (* Planning happens before the result-cache probe: a stochastic
+     query's answer depends on the scenario knobs (PKGQ_SCENARIOS /
+     PKGQ_VALIDATE / PKGQ_SUMMARIES and the seed), so its cache key
+     must carry them — the same query text under a re-tuned
+     environment is a different result. The plan cache makes the extra
+     parse on a repeat hit free. Keys still end with the table
+     fingerprint, which append/delete invalidation matches on. *)
+  match plan t snap qfp query with
+  | Error resp -> resp
+  | Ok (ast, spec) -> (
+    let stochastic =
+      Paql.Translate.is_stochastic spec || t.cfg.method_ = Stochastic
+    in
+    let stoch_opts = if stochastic then Some (Pkg.Stochastic.default_options ()) else None in
+    let rkey =
+      match stoch_opts with
+      | Some o ->
+        Printf.sprintf "%s#stoch:%d:%d:%d:%d@%s" qfp o.Pkg.Stochastic.scenarios
+          o.Pkg.Stochastic.validation o.Pkg.Stochastic.summaries
+          o.Pkg.Stochastic.seed snap.fp
+      | None -> qfp ^ "@" ^ snap.fp
+    in
+    match Cache.find_opt t.result_cache rkey with
+    | Some resp ->
+      Metrics.incr t.metrics "result_hits";
+      resp
+    | None ->
+      Metrics.incr t.metrics "result_misses";
       let remaining = deadline -. Unix.gettimeofday () in
       if remaining <= 0. then
         Protocol.Resp_err
@@ -412,7 +445,21 @@ let eval_query t ~deadline query =
         let run () =
           Metrics.incr t.metrics "solves";
           Metrics.time t.metrics "solve" (fun () ->
+              match stoch_opts with
+              | Some o ->
+                (* WITH PROBABILITY / EXPECTED queries route to the
+                   SummarySearch driver whatever the configured method;
+                   --method stochastic also sends deterministic queries
+                   here (they delegate to DIRECT inside). *)
+                let options =
+                  { o with Pkg.Stochastic.limits; max_seconds = remaining }
+                in
+                let report, stats = Pkg.Stochastic.run ~options spec snap.rel in
+                record_stoch_stats t.metrics stats;
+                Ok report
+              | None ->
               match t.cfg.method_ with
+              | Stochastic -> assert false (* stoch_opts is Some above *)
               | Direct ->
                 (* Basis cache: keyed by the query's *structure*
                    fingerprint (numeric literals abstracted) plus the
@@ -775,7 +822,7 @@ let shard_ctx t snap query =
         match hierarchy_for t snap ast spec with
         | Ok h -> Ok (Pkg.Hierarchy.leaf h)
         | Error resp -> Error resp)
-      | Direct | Sketch_refine | Parallel_refine ->
+      | Direct | Sketch_refine | Parallel_refine | Stochastic ->
         partition_for t snap ast spec
     in
     match part_result with

@@ -49,6 +49,18 @@ type method_ =
           cached per snapshot and persisted per level in the catalog.
           Per-level descent telemetry lands in STATS
           ([progressive_level<l>*] gauges and histograms). *)
+  | Stochastic
+      (** SummarySearch over Monte-Carlo scenarios
+          ({!Pkg.Stochastic.run}); deterministic queries delegate to
+          DIRECT inside. Queries using [WITH PROBABILITY] or [EXPECTED]
+          route here {e whatever} the configured method. Telemetry
+          lands in STATS ([stoch_scenarios], [stoch_validation],
+          [stoch_summaries], [stoch_rounds], [stoch_validated_pm]
+          gauges plus [scenario]/[summary]/[validate] stage
+          histograms). Result-cache keys for stochastic queries embed
+          the scenario knobs (PKGQ_SCENARIOS / PKGQ_VALIDATE /
+          PKGQ_SUMMARIES and the seed), so re-tuning the environment
+          never replays a stale answer. *)
 
 type config = {
   host : string;

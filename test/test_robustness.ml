@@ -79,7 +79,16 @@ let test_faults_parse () =
   checkb "partition level non-numeric rejected" false (ok "partition=level:x");
   checkb "partition unknown selector rejected" false (ok "partition=x:fail");
   checkb "partition build only fails" false (ok "partition=build:limit");
-  checkb "partition cannot combine" false (ok "partition=build,group=1:fail")
+  checkb "partition cannot combine" false (ok "partition=build,group=1:fail");
+  checkb "stoch scenario fault" true (ok "stoch=scenario:fail");
+  checkb "stoch validate fault" true (ok "stoch=validate:fail");
+  checkb "stoch alongside others" true (ok "stoch=scenario:fail; ilp=1:limit");
+  checkb "stoch unknown selector rejected" false (ok "stoch=x:fail");
+  checkb "stoch only fails" false (ok "stoch=scenario:limit");
+  checkb "stoch cannot combine" false (ok "stoch=scenario,group=1:fail");
+  checkb "summary stage directive" true (ok "stage=summary:limit");
+  checkb "scenario stage name known" true (ok "stage=scenario:raise");
+  checkb "validate stage name known" true (ok "stage=validate:raise")
 
 let test_faults_selector_semantics () =
   with_faults "ilp=2:infeasible" (fun () ->
@@ -584,6 +593,67 @@ let test_progressive_deadline_zero () =
     checkb "progressive stage" true (f.E.stage = Some E.Progressive)
   | other -> Alcotest.failf "expected Failed, got %a" E.pp_status other
 
+(* ------------------------------------------------------------------ *)
+(* Stochastic driver: injected faults land as typed reports           *)
+(* ------------------------------------------------------------------ *)
+
+let stoch_spec () =
+  compile galaxy_rel
+    "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 3 SUCH THAT COUNT(P.*) = 3 \
+     AND SUM(P.u) >= 40 WITH PROBABILITY 0.9 MAXIMIZE SUM(P.r)"
+
+let stoch_options () =
+  {
+    (Pkg.Stochastic.default_options ()) with
+    Pkg.Stochastic.scenarios = 12;
+    validation = 50;
+    max_seconds = 20.;
+  }
+
+let stoch_run () =
+  Pkg.Stochastic.run ~options:(stoch_options ()) (stoch_spec ()) galaxy_rel
+
+let test_stoch_scenario_fault_typed () =
+  with_faults "stoch=scenario:fail" (fun () ->
+      let r, _ = stoch_run () in
+      match r.E.status with
+      | E.Failed f ->
+        checkb "scenario stage" true (f.E.stage = Some E.Scenario);
+        checkb "solver error kind" true
+          (match f.E.kind with E.Solver_error _ -> true | _ -> false)
+      | other -> Alcotest.failf "expected Failed, got %a" E.pp_status other);
+  (* cleared faults: the same query solves and validates *)
+  let r, stats = stoch_run () in
+  checkb "recovers once cleared" true
+    (match r.E.status with E.Optimal | E.Feasible _ -> true | _ -> false);
+  checkb "validated once cleared" true
+    (stats.Pkg.Stochastic.st_validated >= 0.9)
+
+let test_stoch_validate_fault_typed () =
+  with_faults "stoch=validate:fail" (fun () ->
+      let r, _ = stoch_run () in
+      match r.E.status with
+      | E.Failed f ->
+        checkb "validate stage" true (f.E.stage = Some E.Validate);
+        checkb "solver error kind" true
+          (match f.E.kind with E.Solver_error _ -> true | _ -> false)
+      | other -> Alcotest.failf "expected Failed, got %a" E.pp_status other)
+
+let test_stoch_summary_stage_faults () =
+  (* the generic stage= directives hit the summary ILPs too *)
+  with_faults "stage=summary:limit" (fun () ->
+      let r, _ = stoch_run () in
+      match r.E.status with
+      | E.Failed f -> checkb "summary stage" true (f.E.stage = Some E.Summary)
+      | other -> Alcotest.failf "expected Failed, got %a" E.pp_status other);
+  with_faults "stage=summary:infeasible" (fun () ->
+      (* every summary ILP forced infeasible: the m-doubling ladder
+         bottoms out in a typed Infeasible, never a loop *)
+      let t0 = Unix.gettimeofday () in
+      let r, _ = stoch_run () in
+      checkb "typed infeasible" true (r.E.status = E.Infeasible);
+      checkb "terminates promptly" true (Unix.gettimeofday () -. t0 < 20.))
+
 let () =
   Alcotest.run "robustness"
     [
@@ -651,5 +721,14 @@ let () =
             test_progressive_stage_infeasible_typed;
           Alcotest.test_case "deadline zero" `Quick
             test_progressive_deadline_zero;
+        ] );
+      ( "stochastic",
+        [
+          Alcotest.test_case "scenario fault typed" `Quick
+            test_stoch_scenario_fault_typed;
+          Alcotest.test_case "validate fault typed" `Quick
+            test_stoch_validate_fault_typed;
+          Alcotest.test_case "summary stage faults" `Quick
+            test_stoch_summary_stage_faults;
         ] );
     ]

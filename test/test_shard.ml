@@ -261,6 +261,27 @@ let test_injected_drop_reconnects () =
           check_ok_reference "after connection drop" q_max
             (essence (Co.eval t q_max))))
 
+let test_stochastic_rejected_typed () =
+  with_fleet "stoch-reject" ~shards:1 ~replicas:0 (fun _fleet t ->
+      (* the coordinator cannot scatter scenario matrices: stochastic
+         queries must be refused with a typed rejection that points at
+         the single-node surfaces, never a crash or a wrong answer *)
+      let q =
+        "SELECT PACKAGE(G) AS P FROM Galaxy G REPEAT 2 SUCH THAT COUNT(P.*) \
+         = 2 AND SUM(P.redshift) >= 0.5 WITH PROBABILITY 0.9 MAXIMIZE \
+         EXPECTED SUM(P.redshift)"
+      in
+      (match essence (Co.eval t q) with
+      | `Err ("rejected", msg) ->
+        checkb "rejection names the alternative" true
+          (contains msg "stochastic" && contains msg "pkgq_server")
+      | `Err (c, m) ->
+        Alcotest.failf "expected rejected, got %s: %s" c m
+      | `Ok _ -> Alcotest.fail "coordinator answered a stochastic query"
+      | `Bad m -> Alcotest.failf "bad result: %s" m);
+      (* and the same coordinator keeps answering deterministic queries *)
+      check_ok_reference "after rejection" q_max (essence (Co.eval t q_max)))
+
 (* ------------------------------------------------------------------ *)
 (* shard: degradation, hedging, stale replicas, the kill matrix       *)
 (* ------------------------------------------------------------------ *)
@@ -410,6 +431,8 @@ let () =
             test_injected_crash_retries;
           Alcotest.test_case "injected drop reconnects" `Quick
             test_injected_drop_reconnects;
+          Alcotest.test_case "stochastic queries rejected typed" `Quick
+            test_stochastic_rejected_typed;
         ] );
       ( "shard",
         [
