@@ -1635,7 +1635,10 @@ let shard_bench ~scale () =
               incr wrong;
               Format.printf "  WRONG ANSWER at point %S@." label
             | `Err ("degraded", _) | `Err ("failed", _)
-            | `Err ("deadline", _) ->
+            | `Err ("deadline", _)
+            (* a query landing in a fencing promotion window answers the
+               typed fence, never a hang or a wrong package *)
+            | `Err ("fenced", _) ->
               incr typed_degraded
             | `Err (c, m) ->
               incr wrong;
@@ -1690,6 +1693,70 @@ let shard_bench ~scale () =
        wrong, %d over budget (%.1fs)%s@."
       !points !exact !typed_degraded !wrong !over_budget t_matrix
       (if !wrong = 0 && !over_budget = 0 then "" else "  (VIOLATIONS)");
+    (* -- the zombie split-brain matrix -- *)
+    (* A SIGSTOPped primary is deposed and promoted past while it still
+       holds open sockets and a warm table; on SIGCONT it is driven with
+       writes at both the zombie and the fleet. The membership
+       invariants under test: the resumed zombie acks nothing (0
+       dual-primary acks), every write it refuses is the typed fenced
+       error, the fleet loses no acknowledged write across the
+       promotion, and a stale epoch stamp is refused at the new
+       primary. *)
+    let z_rounds = ref 0 in
+    let z_dual = ref 0 in
+    let z_lost = ref 0 in
+    let z_fenced = ref 0 in
+    let z_fenced_expected = ref 0 in
+    let z_untyped = ref 0 in
+    let z_harness = ref 0 in
+    let t_zombie_0 = Unix.gettimeofday () in
+    let zombie_round round ~lease_ms =
+      let batch seed =
+        Datagen.Workload.append_batch ~dataset:`Galaxy ~rows:3 ~seed
+      in
+      let seed0 = 100 * (round + 1) in
+      let pre = [ batch seed0; batch (seed0 + 1) ] in
+      let during = [ batch (seed0 + 2); batch (seed0 + 3) ] in
+      let post = [ batch (seed0 + 4); batch (seed0 + 5) ] in
+      incr z_rounds;
+      z_fenced_expected := !z_fenced_expected + List.length post;
+      match
+        Ch.run_zombie ~exe
+          ~dir:(Filename.concat scratch (Printf.sprintf "zombie%d" round))
+          ~base ~pre ~during ~post ~lease_ms ~attrs ~tau ()
+      with
+      | r ->
+        z_dual := !z_dual + r.Ch.z_dual_acks;
+        z_lost := !z_lost + r.Ch.z_lost_acks;
+        z_fenced := !z_fenced + r.Ch.z_zombie_fenced;
+        z_untyped :=
+          !z_untyped + r.Ch.z_zombie_other
+          + (if r.Ch.z_stale_fenced then 0 else 1);
+        if r.Ch.z_dual_acks > 0 then
+          Format.printf "  SPLIT BRAIN at zombie round %d: %d dual ack(s)@."
+            round r.Ch.z_dual_acks;
+        if r.Ch.z_lost_acks > 0 then
+          Format.printf
+            "  ACKED-WRITE LOSS at zombie round %d: %d batch(es) (%d acked, \
+             standby at %d rows)@."
+            round r.Ch.z_lost_acks r.Ch.z_acked r.Ch.z_recovered_rows
+      | exception Ch.Harness_error msg ->
+        incr z_harness;
+        Format.printf "  zombie round %d harness error: %s@." round msg
+    in
+    zombie_round 0 ~lease_ms:300;
+    zombie_round 1 ~lease_ms:500;
+    let t_zombie = Unix.gettimeofday () -. t_zombie_0 in
+    Format.printf
+      "  zombie matrix: %d round(s), %d dual-primary ack(s), %d acked-write \
+       loss(es), %d/%d typed-fenced, %d untyped (%.1fs)%s@."
+      !z_rounds !z_dual !z_lost !z_fenced !z_fenced_expected !z_untyped
+      t_zombie
+      (if
+         !z_dual = 0 && !z_lost = 0 && !z_untyped = 0 && !z_harness = 0
+         && !z_fenced = !z_fenced_expected
+       then ""
+       else "  (VIOLATIONS)");
     shard_json :=
       [
         ("scale", Printf.sprintf "%g" scale);
@@ -1711,6 +1778,14 @@ let shard_bench ~scale () =
         ("matrix_wrong", string_of_int !wrong);
         ("matrix_over_budget", string_of_int !over_budget);
         ("matrix_wall_s", Printf.sprintf "%.3f" t_matrix);
+        ("zombie_rounds", string_of_int !z_rounds);
+        ("zombie_dual_primary_acks", string_of_int !z_dual);
+        ("zombie_acked_write_losses", string_of_int !z_lost);
+        ("zombie_fenced_typed", string_of_int !z_fenced);
+        ("zombie_fenced_expected", string_of_int !z_fenced_expected);
+        ("zombie_untyped", string_of_int !z_untyped);
+        ("zombie_harness_errors", string_of_int !z_harness);
+        ("zombie_wall_s", Printf.sprintf "%.3f" t_zombie);
       ]
   end
 

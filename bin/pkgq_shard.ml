@@ -59,8 +59,8 @@ let int_env name default =
 
 let run_inner data host port shards spawn replicas fleet_dir server_exe
     method_ attrs tau epsilon max_seconds max_nodes request_seconds
-    connect_timeout rpc_seconds retries hedge_ms breaker_trips faults verbose
-    =
+    connect_timeout rpc_seconds retries hedge_ms breaker_trips lease_ms
+    epoch_dir faults verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Info else Logs.App));
   (match faults with
@@ -96,6 +96,10 @@ let run_inner data host port shards spawn replicas fleet_dir server_exe
         (match breaker_trips with
         | Some b -> max 1 b
         | None -> defaults.breaker_trips);
+      lease_ms =
+        (* None falls through to PKGQ_LEASE_MS inside the coordinator *)
+        (match lease_ms with Some m -> Some (max 1 m) | None -> None);
+      epoch_dir;
     }
   in
   (* either front an existing fleet (--shard ...) or spawn a local one
@@ -175,12 +179,13 @@ let run_inner data host port shards spawn replicas fleet_dir server_exe
 
 let run data host port shards spawn replicas fleet_dir server_exe method_
     attrs tau epsilon max_seconds max_nodes request_seconds connect_timeout
-    rpc_seconds retries hedge_ms breaker_trips faults verbose =
+    rpc_seconds retries hedge_ms breaker_trips lease_ms epoch_dir faults
+    verbose =
   match
     run_inner data host port shards spawn replicas fleet_dir server_exe
       method_ attrs tau epsilon max_seconds max_nodes request_seconds
-      connect_timeout rpc_seconds retries hedge_ms breaker_trips faults
-      verbose
+      connect_timeout rpc_seconds retries hedge_ms breaker_trips lease_ms
+      epoch_dir faults verbose
   with
   | () -> ()
   | exception Relalg.Csv.Error (line, msg) ->
@@ -356,6 +361,27 @@ let breaker_trips =
           "Consecutive primary failures that trip a shard's circuit breaker \
            (default: $(b,PKGQ_BREAKER_TRIPS) or 3).")
 
+let lease_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lease-ms" ] ~docv:"MS"
+        ~doc:
+          "Write-lease duration for replica-bearing shards. The primary \
+           self-demotes read-only at 90% of this after its last renewal; a \
+           fencing promotion waits out the full duration before bumping the \
+           epoch (default: $(b,PKGQ_LEASE_MS) or 1500).")
+
+let epoch_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "epoch-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist per-shard fencing epochs under DIR ($(b,epochs.bin)) so \
+           they survive coordinator restarts (default: $(b,PKGQ_EPOCH_DIR), \
+           else coordinator-local).")
+
 let faults =
   Arg.(
     value
@@ -375,7 +401,7 @@ let cmd =
       const run $ data $ host $ port $ shards $ spawn $ replicas $ fleet_dir
       $ server_exe $ method_ $ attrs $ tau $ epsilon $ max_seconds
       $ max_nodes $ request_seconds $ connect_timeout $ rpc_seconds $ retries
-      $ hedge_ms $ breaker_trips $ faults $ verbose)
+      $ hedge_ms $ breaker_trips $ lease_ms $ epoch_dir $ faults $ verbose)
   in
   Cmd.v (Cmd.info "pkgq_shard" ~doc) term
 

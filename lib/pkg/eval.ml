@@ -32,6 +32,7 @@ type failure_kind =
   | Data_error of string
   | Worker_crash of string
   | Rejected of string
+  | Fenced of string
 
 type failure = {
   kind : failure_kind;
@@ -116,6 +117,7 @@ let pp_failure_kind ppf = function
   | Data_error msg -> Format.fprintf ppf "data error: %s" msg
   | Worker_crash msg -> Format.fprintf ppf "worker crash: %s" msg
   | Rejected msg -> Format.fprintf ppf "rejected: %s" msg
+  | Fenced msg -> Format.fprintf ppf "fenced: %s" msg
 
 let pp_failure ppf f =
   pp_failure_kind ppf f.kind;

@@ -29,6 +29,11 @@ type failure_kind =
       (** the service layer's admission control shed the request before
           any evaluation work ran (queue full / overload) — a typed,
           immediate answer, never an unbounded wait *)
+  | Fenced of string
+      (** a write was refused because the serving node's membership
+          lease expired or its epoch is superseded (it is no longer the
+          shard's primary) — the caller should retry against the
+          current primary, never treat the old ack path as live *)
 
 (** A typed failure with enough context to tell graceful degradation
     apart from a crash: which budget/fault fired, on which ladder rung,

@@ -49,6 +49,14 @@ type partition_fault = Partition_level of int | Partition_build
    selector: the generic stage=summary:... path covers them. *)
 type stoch_fault = Stoch_scenario | Stoch_validate
 
+(* fence=lease:expire makes a server treat its write lease as already
+   expired (every write answers with a typed fenced error, as if the
+   coordinator stopped renewing); fence=epoch:stale makes it treat any
+   write's epoch stamp as predating its promotion epoch (as if a zombie
+   primary were replaying into a promoted replica). Both are standing
+   while installed — deterministic injection for the fencing paths. *)
+type fence_fault = Fence_lease_expire | Fence_epoch_stale
+
 type directive =
   | Ilp_fault of cond * action
   | Worker_kill of int
@@ -61,6 +69,7 @@ type directive =
   | Repl_lag of int
   | Partition_break of partition_fault
   | Stoch_break of stoch_fault
+  | Fence_break of fence_fault
 
 type spec = directive list
 
@@ -215,6 +224,14 @@ let parse s =
         Error
           (Printf.sprintf
              "fault stoch=%s: expected scenario:fail|validate:fail" f)
+      | [ ("fence", "lease") ] when act = "expire" ->
+        Ok (Fence_break Fence_lease_expire)
+      | [ ("fence", "epoch") ] when act = "stale" ->
+        Ok (Fence_break Fence_epoch_stale)
+      | [ ("fence", f) ] ->
+        Error
+          (Printf.sprintf
+             "fault fence=%s: expected lease:expire|epoch:stale" f)
       | [ ("partition", "build") ] when act = "fail" ->
         Ok (Partition_break Partition_build)
       | [ ("partition", "level") ] ->
@@ -302,6 +319,8 @@ let parse s =
               | "stoch" ->
                 Error
                   "fault selector stoch expects scenario:fail|validate:fail"
+              | "fence" ->
+                Error "fault selector fence expects lease:expire|epoch:stale"
               | _ -> Error (Printf.sprintf "fault selector key %S unknown" k))
             (Ok { on_call = None; on_stage = None; on_group = None })
             kvs
@@ -337,7 +356,7 @@ let action_for ~call ~stage ~group =
     (function
       | Worker_kill _ | Store_break _ | Queue_full | Net_break _
       | Wal_break _ | Lp_break _ | Shard_break _ | Repl_lag _
-      | Partition_break _ | Stoch_break _ ->
+      | Partition_break _ | Stoch_break _ | Fence_break _ ->
         None
       | Ilp_fault (c, a) ->
         let ok_call =
@@ -426,6 +445,16 @@ let stoch_scenario_fails () =
 let stoch_validate_fails () =
   List.exists
     (function Stoch_break Stoch_validate -> true | _ -> false)
+    (Atomic.get installed)
+
+let fence_lease_expires () =
+  List.exists
+    (function Fence_break Fence_lease_expire -> true | _ -> false)
+    (Atomic.get installed)
+
+let fence_epoch_stale () =
+  List.exists
+    (function Fence_break Fence_epoch_stale -> true | _ -> false)
     (Atomic.get installed)
 
 let take_level_fault k =

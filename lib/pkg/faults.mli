@@ -66,6 +66,13 @@
                  {!Injected} while installed — same typed-degradation
                  obligation. Summary-ILP faults use the generic
                  [stage=summary:...] selector.
+    fence=lease:expire     the server treats its write lease as already
+                 expired while installed: every write answers with a
+                 typed [fenced] error, as if the coordinator stopped
+                 renewing (deterministic zombie-primary simulation)
+    fence=epoch:stale      the server treats every write's epoch stamp
+                 as predating its promotion epoch while installed: the
+                 replica-apply rejection path, deterministically
     v}
 
     Actions: [limit] (forced node-limit), [infeasible], [raise]
@@ -102,6 +109,8 @@ type partition_fault = Partition_level of int | Partition_build
 
 type stoch_fault = Stoch_scenario | Stoch_validate
 
+type fence_fault = Fence_lease_expire | Fence_epoch_stale
+
 type cond = {
   on_call : int option;
   on_stage : Eval.stage option;
@@ -120,6 +129,7 @@ type directive =
   | Repl_lag of int
   | Partition_break of partition_fault
   | Stoch_break of stoch_fault
+  | Fence_break of fence_fault
 
 type spec = directive list
 
@@ -208,6 +218,17 @@ val stoch_scenario_fails : unit -> bool
     out-of-sample validation must raise {!Injected}. Standing while
     installed. *)
 val stoch_validate_fails : unit -> bool
+
+(** Whether a [fence=lease:expire] directive is installed: the server's
+    write gate treats its lease as already expired and answers every
+    write with a typed [fenced] error. Standing while installed. *)
+val fence_lease_expires : unit -> bool
+
+(** Whether a [fence=epoch:stale] directive is installed: the server's
+    write gate treats every write's epoch stamp as stale (older than
+    its promotion epoch) and refuses it typed. Standing while
+    installed. *)
+val fence_epoch_stale : unit -> bool
 
 (** The installed [repl=lag:N] value (the largest, if several), or 0.
     Unlike the shard faults this is a standing condition: the WAL

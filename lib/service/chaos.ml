@@ -106,6 +106,12 @@ let register pid =
             in
             List.iter
               (fun pid ->
+                (* SIGCONT first: a SIGKILL does collect a stopped
+                   child, but the wake keeps the exit path uniform with
+                   [kill_and_reap] and lets the child's own teardown
+                   (atexit WAL flush) run if SIGKILL loses the race *)
+                (try Unix.kill pid Sys.sigcont
+                 with Unix.Unix_error (_, _, _) -> ());
                 (try Unix.kill pid Sys.sigkill
                  with Unix.Unix_error (_, _, _) -> ());
                 try ignore (Unix.waitpid [ Unix.WNOHANG ] pid)
@@ -134,7 +140,12 @@ let reap pid =
   | _ -> ()
   | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
 
+(* A SIGSTOPped child never delivers a pending SIGTERM — the signal
+   stays queued until a SIGCONT, so the blocking [waitpid] in [reap]
+   would hang the whole test run on a paused server. Always SIGCONT
+   first; it is a no-op on a running child. *)
 let kill_and_reap pid signal =
+  (try Unix.kill pid Sys.sigcont with Unix.Unix_error (_, _, _) -> ());
   (try Unix.kill pid signal with Unix.Unix_error (Unix.ESRCH, _, _) -> ());
   reap pid
 
@@ -458,3 +469,171 @@ let stop_fleet fleet =
       kill_server m.fm_primary;
       Option.iter kill_server m.fm_replica)
     fleet
+
+(* ---- zombie split-brain --------------------------------------------- *)
+
+(* The classic split-brain experiment: SIGSTOP the primary (it holds a
+   lease and believes itself writable), let the coordinator fence it
+   out and promote the replica, then SIGCONT the zombie and drive the
+   same writes at BOTH sides. The fleet is correct iff the zombie acks
+   nothing (it self-demoted when its lease expired and answers the
+   typed fence), every write acked through the coordinator survives on
+   the active node, and a stale epoch stamp at the new primary is
+   refused the same way. *)
+type zombie_result = {
+  z_acked : int;
+  z_failover_acks : int;
+  z_dual_acks : int;
+  z_zombie_fenced : int;
+  z_zombie_other : int;
+  z_stale_fenced : bool;
+  z_epoch : int;
+  z_promotions : int;
+  z_lost_acks : int;
+  z_recovered_fp : string;
+  z_recovered_rows : int;
+}
+
+let run_zombie ~exe ~dir ~base ~pre ~during ~post ?(lease_ms = 400) ~attrs
+    ?tau () =
+  if during = [] then fail "run_zombie: need at least one failover batch";
+  if post = [] then fail "run_zombie: need at least one post-resume batch";
+  let extra_args =
+    (match attrs with [] -> [] | l -> [ "--attrs"; String.concat "," l ])
+    @ match tau with Some n -> [ "--tau"; string_of_int n ] | None -> []
+  in
+  let fleet =
+    start_fleet ~exe ~dir ~base ~shards:1 ~replicas:1 ~extra_args ()
+  in
+  Fun.protect ~finally:(fun () -> stop_fleet fleet) @@ fun () ->
+  let member = List.hd fleet in
+  let zombie = member.fm_primary in
+  let standby =
+    match member.fm_replica with
+    | Some r -> r
+    | None -> fail "run_zombie: fleet came up without a replica"
+  in
+  let cfg =
+    {
+      (Coordinator.default_config ()) with
+      Coordinator.attrs;
+      tau;
+      request_seconds = 20.;
+      connect_timeout = 0.5;
+      rpc_seconds = 0.5;
+      retries = 0;
+      hedge_ms = 0;
+      ship_every = 0.02;
+      lease_ms = Some lease_ms;
+      epoch_dir = None;
+    }
+  in
+  let t = Coordinator.start cfg (fleet_specs fleet) base in
+  Fun.protect ~finally:(fun () -> Coordinator.stop t) @@ fun () ->
+  let coord = Client.connect ~host:"127.0.0.1" ~port:(Coordinator.port t) () in
+  Fun.protect ~finally:(fun () -> try Client.close coord with _ -> ())
+  @@ fun () ->
+  let acked = ref [] in
+  let ack_phase what batches =
+    List.iter
+      (fun batch ->
+        match Client.append coord ~csv:(Relalg.Csv.to_string batch) with
+        | Protocol.Resp_ok _ -> acked := batch :: !acked
+        | Protocol.Resp_err (_, msg) ->
+          fail "run_zombie: %s append refused by the coordinator: %s" what msg)
+      batches;
+    List.length batches
+  in
+  let old_epoch = Coordinator.shard_epoch t 0 in
+  let _pre_acks = ack_phase "pre-pause" pre in
+  pause zombie;
+  (* every write now times out at the paused primary, forcing the
+     fencing promotion; the quarantine inside it waits out the zombie's
+     lease before the epoch bumps *)
+  let z_failover_acks = ack_phase "failover" during in
+  resume zombie;
+  (* the zombie runs again with open sockets and a warm table — but its
+     lease expired mid-pause, so it must have self-demoted read-only;
+     give its threads a beat to wake *)
+  Thread.delay 0.05;
+  let z_dual = ref 0 and z_fenced = ref 0 and z_other = ref 0 in
+  let zc =
+    try
+      Some
+        (Client.connect ~connect_timeout:2. ~timeout:2. ~host:"127.0.0.1"
+           ~port:zombie.port ())
+    with _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter (fun c -> try Client.close c with _ -> ()) zc)
+  @@ fun () ->
+  (* drive the same batches at BOTH sides: the zombie first (a Resp_ok
+     there is a dual-primary ack — a write the fleet loses), then the
+     fleet through the coordinator, which must ack *)
+  List.iter
+    (fun batch ->
+      (match zc with
+      | None -> incr z_other
+      | Some zc -> (
+        match Client.append zc ~csv:(Relalg.Csv.to_string batch) with
+        | Protocol.Resp_ok _ -> incr z_dual
+        | Protocol.Resp_err (Protocol.Fenced, _) -> incr z_fenced
+        | Protocol.Resp_err (_, _) -> incr z_other
+        | exception _ -> incr z_other));
+      match Client.append coord ~csv:(Relalg.Csv.to_string batch) with
+      | Protocol.Resp_ok _ -> acked := batch :: !acked
+      | Protocol.Resp_err (_, msg) ->
+        fail "run_zombie: post-resume append refused by the coordinator: %s"
+          msg)
+    post;
+  (* a stale stamp at the NEW primary must answer the typed fence too *)
+  let z_stale_fenced =
+    match
+      let c =
+        Client.connect ~connect_timeout:2. ~timeout:2. ~host:"127.0.0.1"
+          ~port:standby.port ()
+      in
+      Fun.protect ~finally:(fun () -> try Client.close c with _ -> ())
+      @@ fun () ->
+      Client.append ~epoch:old_epoch c
+        ~csv:(Relalg.Csv.to_string (List.hd post))
+    with
+    | Protocol.Resp_err (Protocol.Fenced, _) -> true
+    | Protocol.Resp_ok _ | Protocol.Resp_err (_, _) -> false
+    | exception _ -> false
+  in
+  let batches = List.rev !acked in
+  let n_acked = List.length batches in
+  let refs = reference_prefixes base batches in
+  let recovered_fp, recovered_rows =
+    let c =
+      Client.connect ~connect_timeout:2. ~timeout:5. ~host:"127.0.0.1"
+        ~port:standby.port ()
+    in
+    Fun.protect ~finally:(fun () -> try Client.close c with _ -> ())
+    @@ fun () -> fprint c
+  in
+  let matched =
+    let found = ref None in
+    Array.iteri
+      (fun i (fp, _) -> if fp = recovered_fp then found := Some i)
+      refs;
+    !found
+  in
+  let z_lost_acks =
+    match matched with Some i -> n_acked - i | None -> n_acked
+  in
+  {
+    z_acked = n_acked;
+    z_failover_acks;
+    z_dual_acks = !z_dual;
+    z_zombie_fenced = !z_fenced;
+    z_zombie_other = !z_other;
+    z_stale_fenced;
+    z_epoch = Coordinator.shard_epoch t 0;
+    z_promotions = Metrics.get (Coordinator.metrics t) "shard_promotions";
+    z_lost_acks;
+    z_recovered_fp = recovered_fp;
+    z_recovered_rows = recovered_rows;
+  }

@@ -148,3 +148,59 @@ val fleet_specs : fleet_member list -> Coordinator.shard_spec list
 
 (** SIGKILL every member. *)
 val stop_fleet : fleet_member list -> unit
+
+(** {2 Zombie split-brain}
+
+    The classic fencing experiment: SIGSTOP the leased primary, let the
+    coordinator fence it out and promote the replica, SIGCONT the
+    zombie, then drive the same writes at {e both} sides. A correct
+    fleet acks every write exactly once — through the coordinator — and
+    the zombie answers everything with the typed [fenced] error. *)
+
+type zombie_result = {
+  z_acked : int;        (** writes acked through the coordinator, all phases *)
+  z_failover_acks : int;
+      (** writes acked while the old primary was paused — these crossed
+          the fencing promotion *)
+  z_dual_acks : int;
+      (** MUST be 0: writes the deposed zombie acknowledged *)
+  z_zombie_fenced : int;
+      (** zombie refusals carrying the typed [fenced] code *)
+  z_zombie_other : int;
+      (** zombie refusals that were anything else (untyped / connection
+          errors) — they don't break the safety invariant but weaken
+          the typed-error contract *)
+  z_stale_fenced : bool;
+      (** the pre-promotion epoch stamp, replayed at the {e new}
+          primary, answered the typed [fenced] error *)
+  z_epoch : int;        (** the shard's epoch after promotion *)
+  z_promotions : int;   (** coordinator [shard_promotions] counter *)
+  z_lost_acks : int;
+      (** MUST be 0: coordinator-acked writes missing from the active
+          node's final state *)
+  z_recovered_fp : string;   (** the active node's final fingerprint *)
+  z_recovered_rows : int;
+}
+
+(** [run_zombie ~exe ~dir ~base ~pre ~during ~post ~attrs ()] — one
+    shard + replica fleet and an in-process coordinator with a short
+    write lease ([lease_ms], default 400). [pre] batches are acked
+    normally, the primary is SIGSTOPped, [during] batches force the
+    fencing promotion, the zombie is SIGCONTed, and each [post] batch
+    is attempted directly at the zombie before being acked through the
+    coordinator. [attrs]/[tau] must describe the fleet partitioning as
+    usual. [during] and [post] must be non-empty.
+    @raise Harness_error when the harness itself fails (fleet won't
+    boot, coordinator refuses an append). *)
+val run_zombie :
+  exe:string ->
+  dir:string ->
+  base:Relalg.Relation.t ->
+  pre:Relalg.Relation.t list ->
+  during:Relalg.Relation.t list ->
+  post:Relalg.Relation.t list ->
+  ?lease_ms:int ->
+  attrs:string list ->
+  ?tau:int ->
+  unit ->
+  zombie_result

@@ -144,6 +144,29 @@ let drop_conn t =
     t.conn <- None;
     (try Unix.close c.fd with Unix.Unix_error _ -> ())
 
+(* SO_LINGER 0 turns close into a TCP RST, and the peer's kernel
+   processes an RST even while the process is SIGSTOPped: a connection
+   still sitting in the accept backlog is purged outright, and a
+   half-sent request stream is torn down rather than half-delivered
+   over an orderly FIN. The RST is best-effort, not a purge guarantee:
+   Linux delivers data the peer's kernel has already received before it
+   reports the reset, so a request fully buffered at a stalled peer CAN
+   still be consumed after it resumes. Timed-out requests are dropped
+   abortively anyway — it shrinks the window — but anything whose
+   late consumption would confer authority (LEASE grants) must also be
+   safe temporally: the server judges lease expiry at arrival and
+   refuses same-epoch re-grants once expired, and the coordinator's
+   lease RPC waits out most of the lease before abandoning a grant
+   (see Coordinator.lease_node). *)
+let abort_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    t.conn <- None;
+    (try Unix.setsockopt_optint c.fd Unix.SO_LINGER (Some 0)
+     with Unix.Unix_error _ -> ());
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
 let conn_of t =
   match t.conn with
   | Some c -> c
@@ -166,10 +189,12 @@ let set_timeout t timeout =
    be applied (and with a WAL, durable), so resending could double it. *)
 let idempotent = function
   | Protocol.Query _ | Protocol.Ping | Protocol.Stats | Protocol.Fingerprint
-  | Protocol.Assign _ | Protocol.Sketch _ | Protocol.Refine _ ->
+  | Protocol.Assign _ | Protocol.Sketch _ | Protocol.Refine _
+  | Protocol.Lease _ ->
     (* the shard verbs are pure reads / idempotent installs: replaying
        an ASSIGN re-derives the same state, SKETCH and REFINE compute
-       without mutating *)
+       without mutating; re-granting a LEASE at the same epoch merely
+       extends the same lease *)
     true
   | Protocol.Append _ | Protocol.Delete _ | Protocol.Quit -> false
 
@@ -188,7 +213,9 @@ let roundtrip t req =
          stream is desynchronized, so the connection is dropped. *)
       match t.timeout with
       | Some seconds when Unix.gettimeofday () -. started >= seconds *. 0.9 ->
-        drop_conn t;
+        (* abortive: the unanswered request may be buffered at a
+           stalled peer, and it must die with the connection *)
+        abort_conn t;
         raise (Timed_out { phase = `Read; seconds })
       | _ -> raise e)
   in
@@ -209,11 +236,16 @@ let roundtrip t req =
   go 0
 
 let query t q = roundtrip t (Protocol.Query q)
-let append t ~csv = roundtrip t (Protocol.Append csv)
-let delete t ids = roundtrip t (Protocol.Delete ids)
+let append ?epoch t ~csv = roundtrip t (Protocol.Append { csv; epoch })
+let delete ?epoch t ids = roundtrip t (Protocol.Delete { ids; epoch })
+let lease t ~epoch ~ttl_ms = roundtrip t (Protocol.Lease { epoch; ttl_ms })
 let fingerprint t = roundtrip t Protocol.Fingerprint
 let stats t = roundtrip t Protocol.Stats
 let ping t = roundtrip t Protocol.Ping
+
+let abort t =
+  t.closed <- true;
+  abort_conn t
 
 let close t =
   if not t.closed then begin

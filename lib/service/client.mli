@@ -56,10 +56,17 @@ val roundtrip : t -> Protocol.request -> Protocol.response
 
 val query : t -> string -> Protocol.response
 
-val append : t -> csv:string -> Protocol.response
+(** [append ?epoch t ~csv] — [epoch] stamps the write with the caller's
+    membership epoch; a fenced server refuses stale stamps with
+    [ERR fenced]. Unstamped appends preserve the standalone contract. *)
+val append : ?epoch:int -> t -> csv:string -> Protocol.response
 
-(** [delete t ids] — the DELETE verb (0-based row ids). *)
-val delete : t -> int list -> Protocol.response
+(** [delete ?epoch t ids] — the DELETE verb (0-based row ids). *)
+val delete : ?epoch:int -> t -> int list -> Protocol.response
+
+(** [lease t ~epoch ~ttl_ms] — the LEASE verb: install [epoch] on the
+    server and grant it the right to ack writes for [ttl_ms]. *)
+val lease : t -> epoch:int -> ttl_ms:int -> Protocol.response
 
 (** [fingerprint t] — the FPRINT verb; the [OK] body is
     ["<fingerprint> <rows>"]. *)
@@ -71,3 +78,11 @@ val ping : t -> Protocol.response
 
 (** Send [QUIT] (best-effort) and close the socket. Idempotent. *)
 val close : t -> unit
+
+(** Abortive close: SO_LINGER 0 + close, so the peer sees a TCP RST
+    instead of an orderly FIN. The peer's {e kernel} processes the RST
+    even while the process is SIGSTOPped, discarding any bytes it had
+    buffered but not yet read. The coordinator aborts failed LEASE
+    grants this way, so a stale grant can never be consumed by a
+    resumed zombie primary. Idempotent; never raises. *)
+val abort : t -> unit

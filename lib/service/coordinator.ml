@@ -25,7 +25,10 @@ type config = {
   hedge_ms : int;
   breaker_trips : int;
   breaker_probe_seconds : float;
+  probe_timeout : float;
   ship_every : float;
+  lease_ms : int option;
+  epoch_dir : string option;
 }
 
 let int_env name default =
@@ -52,7 +55,10 @@ let default_config () =
     hedge_ms = int_env "PKGQ_HEDGE_MS" 50;
     breaker_trips = max 1 (int_env "PKGQ_BREAKER_TRIPS" 3);
     breaker_probe_seconds = 0.25;
+    probe_timeout = 0.25;
     ship_every = 0.05;
+    lease_ms = None;
+    epoch_dir = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -128,6 +134,31 @@ type shard = {
      would double its rows. *)
   s_cursor : Store.Ship.cursor option;
   mutable s_shipped : int;
+  (* Highest primary WAL sequence whose write THIS coordinator has
+     acknowledged (seeded with the log's tail at startup). Shipping
+     never runs past it: a record beyond it is a write whose ack never
+     left the primary — its client saw a timeout, and the failover path
+     will re-apply it at the new primary, so shipping it too would
+     double it. The fence installed at promotion then drops it for
+     good. *)
+  mutable s_acked_seq : int;
+  (* which node currently holds the shard's write lease: [`Primary]
+     until a fencing promotion installs the replica. Writes and reads
+     follow the active node; the deposed primary is never consulted
+     again (it may be a zombie serving a pre-promotion table). *)
+  mutable s_active : [ `Primary | `Replica ];
+  (* Lease-grant vs promotion interlock. A renewal in flight at a
+     stalled primary can be consumed — and granted — whenever that
+     process resumes, so the fencing handshake must not bump the epoch
+     while one is outstanding. [s_fencing] stops new renewals for the
+     shard; [s_lease_inflight] is set (atomically with the [s_fencing]
+     check) around each grant RPC so the handshake can wait the current
+     one out: it either completes (note_grant pushes the quarantine
+     accordingly) or its read timeout aborts the connection with an
+     RST, which the stalled peer's kernel processes immediately —
+     purging the un-consumed grant before the epoch moves past it. *)
+  mutable s_fencing : bool;
+  mutable s_lease_inflight : bool;
   mutable s_breaker : breaker_state;
   mutable s_failures : int;
   mutable s_primary_layout : string option;
@@ -152,6 +183,7 @@ type layout = {
 type t = {
   cfg : config;
   metrics : Metrics.t;
+  membership : Membership.t;
   shards : shard array;
   plan_cache : (string, Paql.Ast.query * Paql.Translate.spec) Cache.t;
   mutable rel : Relalg.Relation.t;
@@ -175,6 +207,24 @@ type t = {
 let port t = t.bound_port
 let metrics t = t.metrics
 
+let shard_epoch t i = Membership.epoch t.membership i
+
+(* The node currently holding the write lease, with the role to book
+   its layout under; and the node a failed exchange may fall back to.
+   Once the replica is active there is no standby — the deposed primary
+   may be a resumed zombie whose table predates the promotion, and an
+   answer from it would be silently stale, not merely lagging. *)
+let active_node shard =
+  match shard.s_active with
+  | `Primary -> (shard.s_primary, `Primary)
+  | `Replica -> (
+    match shard.s_replica with
+    | Some r -> (r, `Replica)
+    | None -> (shard.s_primary, `Primary))
+
+let has_standby shard =
+  shard.s_active = `Primary && shard.s_replica <> None
+
 (* Both the owning shard and its replica are out of reach: the group
    degrades to [omitted] rather than failing the whole query. *)
 exception Shard_down of int * string
@@ -193,6 +243,10 @@ let refresh_shard_gauges t shard =
   Metrics.set_gauge t.metrics (name "breaker")
     (match breaker with Closed -> 0 | Open _ -> 1 | Probing -> 2);
   Metrics.set_gauge t.metrics (name "failures") failures;
+  Metrics.set_gauge t.metrics (name "epoch")
+    (Membership.epoch t.membership shard.s_idx);
+  Metrics.set_gauge t.metrics (name "active")
+    (match shard.s_active with `Primary -> 0 | `Replica -> 1);
   if shard.s_replica <> None then
     Metrics.set_gauge t.metrics (name "repl_lag") (replica_lag shard)
 
@@ -245,23 +299,36 @@ let record_primary_success t shard =
   refresh_shard_gauges t shard
 
 (* A breaker probe is a fresh PING on a fresh connection — pooled
-   streams of a sick shard are not to be trusted. *)
+   streams of a sick shard are not to be trusted. The probe carries its
+   own (short) connect/read deadline, [probe_timeout], independent of
+   the general RPC budget: a half-open probe against a stalled node
+   must answer "still sick" in bounded time, not hang for the full
+   [rpc_seconds]. The outcome is typed so a timeout is distinguishable
+   from a refused/unreachable node in metrics. *)
 let probe t shard =
   Metrics.incr t.metrics "shard_probes";
+  let node, _ = active_node shard in
+  let timed_out () =
+    Metrics.incr t.metrics "shard_probe_timeouts";
+    `Timeout
+  in
   match
-    Client.connect ~connect_timeout:t.cfg.connect_timeout
-      ~timeout:t.cfg.rpc_seconds ~host:shard.s_primary.ep.ep_host
-      ~port:shard.s_primary.ep.ep_port ()
+    Client.connect ~connect_timeout:t.cfg.probe_timeout
+      ~timeout:t.cfg.probe_timeout ~host:node.ep.ep_host
+      ~port:node.ep.ep_port ()
   with
-  | exception _ -> false
+  | exception Client.Timed_out _ -> timed_out ()
+  | exception _ -> `Down
   | c ->
-    let ok =
+    let outcome =
       match Client.ping c with
-      | Protocol.Resp_ok _ -> true
-      | Protocol.Resp_err _ | (exception _) -> false
+      | Protocol.Resp_ok _ -> `Ok
+      | Protocol.Resp_err _ -> `Down
+      | exception Client.Timed_out _ -> timed_out ()
+      | exception _ -> `Down
     in
     discard c;
-    ok
+    outcome
 
 (* ------------------------------------------------------------------ *)
 (* Exchanges                                                          *)
@@ -349,17 +416,19 @@ let call_primary t shard ~layout ~timeout req =
   (match breaker_gate t shard with
   | `Allow -> ()
   | `Deny -> failwith (Printf.sprintf "shard %d breaker open" shard.s_idx)
-  | `Probe ->
-    if probe t shard then record_primary_success t shard
-    else begin
+  | `Probe -> (
+    match probe t shard with
+    | `Ok -> record_primary_success t shard
+    | (`Timeout | `Down) as bad ->
       record_primary_failure t shard;
-      failwith (Printf.sprintf "shard %d probe failed" shard.s_idx)
-    end);
+      failwith
+        (Printf.sprintf "shard %d probe %s" shard.s_idx
+           (match bad with `Timeout -> "timed out" | `Down -> "failed"))));
+  let node, role = active_node shard in
   let rec go attempt =
     match
       apply_shard_fault t shard;
-      node_exchange t shard shard.s_primary ~role:`Primary ~layout ~timeout
-        req
+      node_exchange t shard node ~role ~layout ~timeout req
     with
     | body ->
       record_primary_success t shard;
@@ -385,11 +454,11 @@ let call_primary t shard ~layout ~timeout req =
 (* WAL shipping and promotion                                         *)
 (* ------------------------------------------------------------------ *)
 
-(* Ship everything past [s_shipped] from the primary's on-disk log to
-   the replica, advancing the ack cursor except for the newest
-   [repl_lag] records (the injected lost-ack window). Reading the file
-   directly is the point: promotion must work when the primary is
-   dead. Caller holds [s_mu]. *)
+(* Ship everything past [s_shipped] — up to the acknowledged prefix —
+   from the primary's on-disk log to the replica, advancing the ack
+   cursor except for the newest [repl_lag] records (the injected
+   lost-ack window). Reading the file directly is the point: promotion
+   must work when the primary is dead. Caller holds [s_mu]. *)
 let ship_locked t shard =
   match (shard.s_spec.wal, shard.s_replica, shard.s_cursor) with
   | Some path, Some replica, Some cursor -> (
@@ -397,6 +466,20 @@ let ship_locked t shard =
     | exception Sys_error _ -> ()
     | [] -> ()
     | records ->
+      (* Never ship past [s_acked_seq]. A record beyond it is durable at
+         the primary but its ack never came back here — the classic
+         torn write at the instant a primary stalls: the coordinator
+         timed it out and (after promoting) re-applies it at the new
+         primary, so shipping it as well would apply it twice. Held
+         records are either acked next cycle (the RPC was merely slow)
+         or fenced for good once a promotion moves the epoch past
+         them. *)
+      let records =
+        List.filter
+          (fun (r : Store.Wal.record) ->
+            r.Store.Wal.seq <= shard.s_acked_seq)
+          records
+      in
       let tail = Store.Ship.last_seq path in
       let hold = Pkg.Faults.repl_lag () in
       List.iter
@@ -406,10 +489,15 @@ let ship_locked t shard =
             let resp =
               match
                 Client.set_timeout c (Some t.cfg.rpc_seconds);
+                (* forward the record's own epoch stamp: the replica's
+                   log then carries the provenance a restart recovers
+                   its fence from *)
                 match r.Store.Wal.op with
                 | Store.Wal.Append rows ->
-                  Client.append c ~csv:(Relalg.Csv.to_string rows)
-                | Store.Wal.Delete ids -> Client.delete c ids
+                  Client.append ~epoch:r.Store.Wal.epoch c
+                    ~csv:(Relalg.Csv.to_string rows)
+                | Store.Wal.Delete ids ->
+                  Client.delete ~epoch:r.Store.Wal.epoch c ids
               with
               | resp ->
                 give_back replica c;
@@ -433,7 +521,7 @@ let ship_locked t shard =
         records)
   | _ -> ()
 
-(* Failover promotion: catch the replica up from the (possibly dead)
+(* Read-path promotion: catch the replica up from the (possibly dead)
    primary's log. Best-effort — an unreachable log or replica leaves
    the lag standing, and the caller marks the served groups stale. *)
 let promote t shard =
@@ -441,7 +529,169 @@ let promote t shard =
       try ship_locked t shard with _ -> ());
   refresh_shard_gauges t shard
 
+(* Grant (or renew) a write lease at [epoch] to [node]. *)
+(* Lease grants ride their own dedicated connection, never the pool,
+   and a grant that is not acknowledged within the RPC deadline is
+   closed {e abortively} ({!Client.abort} — SO_LINGER 0). A LEASE
+   written to a SIGSTOPped primary sits unread in its kernel receive
+   buffer until the process resumes, and Linux delivers already-queued
+   bytes {e before} reporting a reset — so the abort alone cannot
+   guarantee the zombie never reads the grant. The safety argument is
+   temporal instead: this RPC waits at least 90% of the lease (the
+   holder's self-demotion horizon) before abandoning a grant, and any
+   grant is sent no earlier than the last {e acknowledged} one. An
+   abandoned grant therefore cannot be consumed until after the
+   holder's previous lease has lapsed — and a server whose lease
+   expired refuses same-epoch grants (see [Server.handle_lease]), so
+   the stale grant confers nothing. Acknowledged grants are covered by
+   [Membership.note_grant] + the quarantine wait in [fence_promote]. *)
+let lease_rpc_seconds t =
+  Float.max t.cfg.rpc_seconds
+    (0.9 *. (float_of_int (Membership.lease_ms t.membership) /. 1000.))
+
+let lease_node t node ~epoch =
+  match
+    Client.connect ~connect_timeout:t.cfg.connect_timeout
+      ~timeout:(lease_rpc_seconds t) ~host:node.ep.ep_host
+      ~port:node.ep.ep_port ()
+  with
+  | exception e -> Error (Printexc.to_string e)
+  | c -> (
+    match Client.lease c ~epoch ~ttl_ms:(Membership.lease_ms t.membership) with
+    | Protocol.Resp_ok _ ->
+      Client.close c;
+      Ok ()
+    | Protocol.Resp_err (code, msg) ->
+      Client.close c;
+      Error (Printf.sprintf "%s: %s" (Protocol.code_name code) msg)
+    | exception e ->
+      Client.abort c;
+      Error (Printexc.to_string e))
+
+(* The fencing handshake — the write path's failover. Ordering is the
+   whole point:
+
+   1. catch-up ship while the fence is still down: records the old
+      primary acked {e before} losing its lease are legitimate and must
+      reach the replica, or an acked write is lost. If catch-up fails
+      the promotion aborts — correctness over availability.
+   2. wait out the deposed primary's lease ([quarantine_remaining]): it
+      self-demotes at 90% of its ttl, the coordinator waits the full
+      ttl since its last successful grant, so by the time the new epoch
+      exists the zombie is already read-only.
+   3. durably bump the epoch ({!Membership.bump} persists before
+      revealing) and raise the ship fence: anything still dribbling out
+      of the old log below the new epoch is a zombie write, dropped.
+   4. install the replica: grant it the new epoch's lease, then flip
+      [s_active] so reads and writes follow it.
+
+   Step 2 also waits out any lease renewal still {e in flight} at the
+   shard ([s_fencing] stops new ones first): a grant buffered at a
+   stalled primary would otherwise be consumed whenever it resumes —
+   minting a fresh lease for a node the fleet has moved past. The
+   renewal either completes before the epoch bumps (its note_grant
+   extends the quarantine, covering it) or its read timeout aborts the
+   connection with an RST, which the stalled peer's kernel processes
+   immediately, destroying the un-consumed grant.
+
+   A crash between 3 and 4 is safe — the epoch is spent, the replica is
+   simply leased by the restarted coordinator at a yet-higher epoch. *)
+let fence_promote t shard =
+  match shard.s_replica with
+  | None -> Error "no replica to promote"
+  | Some replica ->
+    if Mutex.protect shard.s_mu (fun () -> shard.s_active = `Replica) then
+      Ok () (* already promoted by a concurrent write *)
+    else begin
+      Mutex.protect shard.s_mu (fun () -> shard.s_fencing <- true);
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.protect shard.s_mu (fun () -> shard.s_fencing <- false))
+      @@ fun () ->
+      match Mutex.protect shard.s_mu (fun () -> ship_locked t shard) with
+      | exception e ->
+        Error
+          (Printf.sprintf "promotion aborted: catch-up ship failed: %s"
+             (Printexc.to_string e))
+      | () -> (
+        (* wait out the in-flight renewal, if any: bounded by its own
+           connect + read deadlines, after which it has self-aborted *)
+        let inflight_deadline =
+          Unix.gettimeofday () +. t.cfg.connect_timeout +. lease_rpc_seconds t
+          +. 1.
+        in
+        while
+          Mutex.protect shard.s_mu (fun () -> shard.s_lease_inflight)
+          && Unix.gettimeofday () < inflight_deadline
+        do
+          Thread.delay 0.01
+        done;
+        let wait = Membership.quarantine_remaining t.membership shard.s_idx in
+        if wait > 0. then Thread.delay wait;
+        let epoch = Membership.bump t.membership shard.s_idx in
+        Metrics.incr t.metrics "epoch_bumps";
+        Option.iter
+          (fun c -> Mutex.protect shard.s_mu (fun () ->
+               Store.Ship.set_fence c epoch))
+          shard.s_cursor;
+        match lease_node t replica ~epoch with
+        | Error msg ->
+          Error (Printf.sprintf "replica refused lease at epoch %d: %s" epoch msg)
+        | Ok () ->
+          Membership.note_grant t.membership shard.s_idx;
+          Mutex.protect shard.s_mu (fun () ->
+              shard.s_active <- `Replica;
+              (* the breaker guarded the deposed node; the new active
+                 starts with a clean slate *)
+              shard.s_breaker <- Closed;
+              shard.s_failures <- 0);
+          Metrics.incr t.metrics "shard_promotions";
+          Log.info (fun k ->
+              k "shard %d: replica promoted at epoch %d" shard.s_idx epoch);
+          refresh_shard_gauges t shard;
+          Ok ())
+    end
+
+(* Renew the active node's lease over the shipping thread's cadence;
+   only replica-bearing shards live under the lease regime (standalone
+   servers keep the always-writable contract). Failures are left to the
+   write path: fencing out a primary is a write-availability decision,
+   not a background one. *)
+let renew_leases t =
+  Array.iter
+    (fun shard ->
+      (* the in-flight flag is taken atomically with the fencing check,
+         so once a promotion has raised [s_fencing] no new grant can
+         slip out toward a node it is about to fence *)
+      let proceed =
+        Mutex.protect shard.s_mu (fun () ->
+            if shard.s_replica = None || shard.s_fencing then false
+            else begin
+              shard.s_lease_inflight <- true;
+              true
+            end)
+      in
+      if proceed then begin
+        let node, _ = active_node shard in
+        let epoch = Membership.epoch t.membership shard.s_idx in
+        let r = lease_node t node ~epoch in
+        Mutex.protect shard.s_mu (fun () -> shard.s_lease_inflight <- false);
+        match r with
+        | Ok () ->
+          Membership.note_grant t.membership shard.s_idx;
+          Metrics.incr t.metrics "lease_renewals"
+        | Error msg ->
+          Metrics.incr t.metrics "lease_renew_failures";
+          Log.debug (fun k ->
+              k "shard %d: lease renewal failed: %s" shard.s_idx msg)
+      end)
+    t.shards
+
 let ship_loop t =
+  let renew_every =
+    Float.max t.cfg.ship_every (Membership.lease_seconds t.membership /. 3.)
+  in
+  let last_renew = ref 0. in
   let rec loop () =
     if t.stopped then ()
     else begin
@@ -454,6 +704,11 @@ let ship_loop t =
             refresh_shard_gauges t shard
           end)
         t.shards;
+      let now = Unix.gettimeofday () in
+      if now -. !last_renew >= renew_every then begin
+        last_renew := now;
+        renew_leases t
+      end;
       loop ()
     end
   in
@@ -471,6 +726,10 @@ let call_replica t shard ~layout ~timeout req =
 let shard_exchange t ~layout ~timeout shard req =
   match call_primary t shard ~layout ~timeout req with
   | body -> (body, false)
+  | exception e when not (has_standby shard) ->
+    (* no fallback: either no replica, or the replica already IS the
+       active node — the deposed primary is never consulted again *)
+    raise (Shard_down (shard.s_idx, Printexc.to_string e))
   | exception _ -> (
     Metrics.incr t.metrics "shard_failovers";
     let t0 = Unix.gettimeofday () in
@@ -491,7 +750,7 @@ let shard_exchange t ~layout ~timeout shard req =
    abandoned and its connection dies with it. Cold shard solves make
    either answer byte-identical when the replica is caught up. *)
 let hedged_refine t ~layout ~timeout shard req =
-  if shard.s_replica = None || t.cfg.hedge_ms <= 0 then
+  if (not (has_standby shard)) || t.cfg.hedge_ms <= 0 then
     shard_exchange t ~layout ~timeout shard req
   else begin
     let mu = Mutex.create () in
@@ -854,6 +1113,7 @@ let response_of_report (r : Pkg.Eval.report) =
       match f.Pkg.Eval.kind with
       | Pkg.Eval.Deadline_exceeded -> Protocol.Deadline
       | Pkg.Eval.Rejected _ -> Protocol.Rejected
+      | Pkg.Eval.Fenced _ -> Protocol.Fenced
       | _ -> Protocol.Failed
     in
     Protocol.Resp_err (code, Format.asprintf "%a" Pkg.Eval.pp_failure f)
@@ -1140,9 +1400,73 @@ let eval_query t ~deadline query =
 (* Writes                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* A write goes to every primary (replicas get it via WAL shipping)
-   and then applies locally with the exact recovery semantics, keeping
-   the coordinator's partitioning authority aligned with the fleet. A
+(* One write attempt against [shard]'s current active node, stamped
+   with the shard's current epoch when it lives under the lease regime
+   (a replica exists). A [`Fenced] outcome is the active node telling
+   us it lost its lease (or the stamp went stale mid-flight) — the
+   typed signal that a fencing promotion, not a retry, is the cure. *)
+(* The write ack names the durable record ("...; seq N"); when the
+   write landed on the node whose log we ship from, that seq extends
+   the acknowledged prefix shipping is allowed to cover. *)
+let acked_seq_of_body body =
+  match String.rindex_opt body ' ' with
+  | None -> None
+  | Some i -> (
+    let tag_start = String.length "; seq " in
+    match
+      int_of_string_opt (String.sub body (i + 1) (String.length body - i - 1))
+    with
+    | Some seq
+      when i >= tag_start - 1
+           && String.sub body (i - tag_start + 1) tag_start = "; seq " ->
+      Some seq
+    | _ -> None)
+
+let write_shard_once t shard op =
+  let node, side = active_node shard in
+  let epoch =
+    if shard.s_replica <> None then
+      Some (Membership.epoch t.membership shard.s_idx)
+    else None
+  in
+  match borrow ~connect_timeout:t.cfg.connect_timeout node with
+  | exception e -> Error (`Conn, Printexc.to_string e)
+  | c -> (
+    match
+      Client.set_timeout c (Some t.cfg.rpc_seconds);
+      Client.roundtrip c
+        (match op with
+        | Store.Wal.Append rows ->
+          Protocol.Append { csv = Relalg.Csv.to_string rows; epoch }
+        | Store.Wal.Delete ids -> Protocol.Delete { ids; epoch })
+    with
+    | Protocol.Resp_ok body ->
+      give_back node c;
+      (if side = `Primary then
+         match acked_seq_of_body body with
+         | Some seq ->
+           Mutex.protect shard.s_mu (fun () ->
+               if seq > shard.s_acked_seq then shard.s_acked_seq <- seq)
+         | None -> ());
+      Ok ()
+    | Protocol.Resp_err (Protocol.Fenced, msg) ->
+      give_back node c;
+      Metrics.incr t.metrics "fence_rejections";
+      Error (`Fenced, msg)
+    | Protocol.Resp_err (_, msg) ->
+      give_back node c;
+      Error (`Refused, msg)
+    | exception e ->
+      discard c;
+      Error (`Conn, Printexc.to_string e))
+
+(* A write goes to every shard's active node (its replica gets it via
+   WAL shipping) and then applies locally with the exact recovery
+   semantics, keeping the coordinator's partitioning authority aligned
+   with the fleet. An unreachable or fenced active triggers the fencing
+   handshake — epoch bump, quarantine, replica install — and one retry
+   against the new primary; an aborted promotion (catch-up failed)
+   fails the write instead of risking an acked-write loss. A
    mid-broadcast failure leaves the fleet divergent until the failed
    shard is restored — subsequent ASSIGNs report it typed, so a
    partial write can degrade queries but never corrupt them. *)
@@ -1151,35 +1475,24 @@ let broadcast_write t op ~render_ok =
       let failed = ref [] in
       Array.iter
         (fun shard ->
-          let c =
-            try Some (borrow ~connect_timeout:t.cfg.connect_timeout shard.s_primary)
-            with _ -> None
+          let fail fmt =
+            Printf.ksprintf (fun m ->
+                failed := Printf.sprintf "shard %d %s" shard.s_idx m :: !failed)
+              fmt
           in
-          match c with
-          | None ->
-            failed :=
-              Printf.sprintf "shard %d unreachable" shard.s_idx :: !failed
-          | Some c -> (
-            match
-              Client.set_timeout c (Some t.cfg.rpc_seconds);
-              Client.roundtrip c
-                (match op with
-                | Store.Wal.Append rows ->
-                  Protocol.Append (Relalg.Csv.to_string rows)
-                | Store.Wal.Delete ids -> Protocol.Delete ids)
-            with
-            | Protocol.Resp_ok _ -> give_back shard.s_primary c
-            | Protocol.Resp_err (_, msg) ->
-              give_back shard.s_primary c;
-              failed :=
-                Printf.sprintf "shard %d refused: %s" shard.s_idx msg
-                :: !failed
-            | exception e ->
-              discard c;
-              failed :=
-                Printf.sprintf "shard %d: %s" shard.s_idx
-                  (Printexc.to_string e)
-                :: !failed))
+          match write_shard_once t shard op with
+          | Ok () -> ()
+          | Error (`Refused, msg) -> fail "refused: %s" msg
+          | Error ((`Conn | `Fenced), why) when has_standby shard -> (
+            match fence_promote t shard with
+            | Error pmsg -> fail "%s; %s" why pmsg
+            | Ok () -> (
+              Metrics.incr t.metrics "write_failovers";
+              match write_shard_once t shard op with
+              | Ok () -> ()
+              | Error (_, msg) -> fail "after promotion: %s" msg))
+          | Error (`Fenced, msg) -> fail "fenced: %s" msg
+          | Error (`Conn, msg) -> fail ": %s" msg)
         t.shards;
       match !failed with
       | _ :: _ ->
@@ -1282,16 +1595,17 @@ let handle_conn t fd =
       in
       respond (Protocol.Resp_ok (Printf.sprintf "%s %d" fp rows));
       loop ()
-    | Some (Protocol.Append csv) ->
+    | Some (Protocol.Append { csv; epoch = _ }) ->
       respond (handle_append t csv);
       loop ()
-    | Some (Protocol.Delete ids) ->
+    | Some (Protocol.Delete { ids; epoch = _ }) ->
       respond (handle_delete t ids);
       loop ()
     | Some (Protocol.Query q) ->
       respond (handle_query t q);
       loop ()
-    | Some (Protocol.Assign _ | Protocol.Sketch _ | Protocol.Refine _) ->
+    | Some (Protocol.Assign _ | Protocol.Sketch _ | Protocol.Refine _
+           | Protocol.Lease _) ->
       (* the coordinator fronts a fleet; it is not itself a shard *)
       respond
         (Protocol.Resp_err
@@ -1374,6 +1688,15 @@ let start cfg specs rel =
              s_replica = Option.map node_of spec.replica;
              s_cursor = Option.map (fun p -> Store.Ship.make p) spec.wal;
              s_shipped = 0;
+             (* everything already in the log predates this coordinator:
+                treat it as acknowledged, or shipping could never start *)
+             s_acked_seq =
+               (match spec.wal with
+               | Some p -> (try Store.Ship.last_seq p with _ -> 0)
+               | None -> 0);
+             s_active = `Primary;
+             s_fencing = false;
+             s_lease_inflight = false;
              s_breaker = Closed;
              s_failures = 0;
              s_primary_layout = None;
@@ -1400,6 +1723,9 @@ let start cfg specs rel =
     {
       cfg;
       metrics;
+      membership =
+        Membership.create ?dir:cfg.epoch_dir ?lease_ms:cfg.lease_ms
+          ~shards:(List.length specs) ();
       shards;
       plan_cache = Cache.create ~capacity:64;
       rel;
@@ -1424,6 +1750,22 @@ let start cfg specs rel =
     (Some
        (fun stage dt ->
          Metrics.observe metrics (Pkg.Eval.stage_name stage) dt));
+  (* Replica-bearing shards enter the lease regime now: grant the
+     primary its first lease at the current (possibly restart-recovered)
+     epoch. Best-effort — a node that is not up yet is simply leased by
+     the first renewal that reaches it. *)
+  Array.iter
+    (fun shard ->
+      if shard.s_replica <> None then
+        match
+          lease_node t shard.s_primary
+            ~epoch:(Membership.epoch t.membership shard.s_idx)
+        with
+        | Ok () -> Membership.note_grant t.membership shard.s_idx
+        | Error msg ->
+          Log.warn (fun k ->
+              k "shard %d: initial lease grant failed: %s" shard.s_idx msg))
+    shards;
   Array.iter (fun s -> refresh_shard_gauges t s) shards;
   t.accept_thread <- Some (Thread.create accept_loop t);
   if Array.exists (fun s -> s.s_replica <> None) shards then

@@ -48,7 +48,23 @@
     groups {e stale}; a group whose shard and replica are both
     unreachable is {e omitted} and the query degrades into a typed
     {!Protocol.Degraded} error naming exactly which groups were stale
-    or omitted, instead of hanging or lying. *)
+    or omitted, instead of hanging or lying.
+
+    {2 Membership & fencing}
+
+    Replica-bearing shards live under a write-lease regime
+    ({!Membership}): the active node may only ack writes while holding
+    an unexpired lease, renewed over the shipping thread's cadence, and
+    every write is stamped with the shard's current epoch. Failover for
+    {e writes} is a fencing handshake ([fence_promote]): catch-up ship
+    while the fence is down, wait out the deposed primary's lease,
+    durably bump the epoch, raise the ship fence, grant the replica the
+    new epoch's lease, and only then follow it — so a zombie primary
+    (paused, deposed, resumed) can never ack a write the fleet loses:
+    it self-demoted when its lease expired, its stale stamps answer the
+    typed {!Protocol.Fenced} error, and its unshipped old-epoch WAL
+    suffix is dropped at the fence. Reads also follow the active node;
+    a deposed primary is never consulted again. *)
 
 type endpoint = { ep_host : string; ep_port : int }
 
@@ -94,7 +110,19 @@ type config = {
       (** consecutive primary failures that trip the breaker (default
           [$PKGQ_BREAKER_TRIPS] or 3) *)
   breaker_probe_seconds : float;  (** open time before a PING probe readmits *)
+  probe_timeout : float;
+      (** the half-open probe's own connect/read deadline (default
+          0.25s) — independent of [rpc_seconds], so a probe against a
+          stalled node answers "still sick" in bounded time; probe
+          timeouts are typed and counted ([shard_probe_timeouts]) *)
   ship_every : float;  (** WAL shipper cycle, seconds *)
+  lease_ms : int option;
+      (** write-lease duration for replica-bearing shards; [None] reads
+          [PKGQ_LEASE_MS] (default 1500) *)
+  epoch_dir : string option;
+      (** where per-shard fencing epochs are persisted ([epochs.bin]);
+          [None] reads [PKGQ_EPOCH_DIR], and epochs are
+          coordinator-local when that is unset too *)
 }
 
 val default_config : unit -> config
@@ -110,6 +138,11 @@ val start : config -> shard_spec list -> Relalg.Relation.t -> t
 val port : t -> int
 
 val metrics : t -> Metrics.t
+
+(** Shard [i]'s current fencing epoch (see {!Membership}). Starts at 1
+    (raised by a persisted [epoch_dir]) and bumps durably on every
+    fencing promotion. *)
+val shard_epoch : t -> int -> int
 
 (** One query through the full scatter/gather path (the same code the
     QUERY verb runs) — for in-process tests and the bench. *)

@@ -1,7 +1,8 @@
 type request =
   | Query of string
-  | Append of string
-  | Delete of int list
+  | Append of { csv : string; epoch : int option }
+  | Delete of { ids : int list; epoch : int option }
+  | Lease of { epoch : int; ttl_ms : int }
   | Assign of string
   | Sketch of string
   | Refine of string
@@ -16,6 +17,7 @@ type error_code =
   | Infeasible
   | Degraded
   | Failed
+  | Fenced
   | Parse_error
   | Analysis_error
   | Data_error
@@ -31,6 +33,7 @@ let code_name = function
   | Infeasible -> "infeasible"
   | Degraded -> "degraded"
   | Failed -> "failed"
+  | Fenced -> "fenced"
   | Parse_error -> "parse"
   | Analysis_error -> "analysis"
   | Data_error -> "data"
@@ -42,6 +45,7 @@ let code_of_name = function
   | "infeasible" -> Some Infeasible
   | "degraded" -> Some Degraded
   | "failed" -> Some Failed
+  | "fenced" -> Some Fenced
   | "parse" -> Some Parse_error
   | "analysis" -> Some Analysis_error
   | "data" -> Some Data_error
@@ -56,6 +60,7 @@ let exit_code = function
   | Analysis_error -> 5
   | Rejected -> 7
   | Degraded -> 8
+  | Fenced -> 9
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)
@@ -74,6 +79,17 @@ let read_len what s =
   | Some n when n >= 0 && n <= max_body -> n
   | _ -> raise (Protocol_error (Printf.sprintf "%s: bad length %S" what s))
 
+(* The optional trailing token of an APPEND/DELETE request line: the
+   membership epoch the write was issued under (absent on unfenced
+   writes, so pre-epoch clients keep working verbatim). *)
+let read_epoch what = function
+  | [] -> None
+  | [ e ] -> (
+    match int_of_string_opt e with
+    | Some n when n >= 0 -> Some n
+    | _ -> raise (Protocol_error (Printf.sprintf "%s: bad epoch %S" what e)))
+  | _ -> raise (Protocol_error (Printf.sprintf "%s: bad request line" what))
+
 let read_body ic len =
   let body = really_input_string ic len in
   (match input_char ic with
@@ -86,13 +102,20 @@ let write_request oc = function
   | Query q ->
     Printf.fprintf oc "QUERY %d\n" (String.length q);
     write_body oc q
-  | Append csv ->
-    Printf.fprintf oc "APPEND %d\n" (String.length csv);
+  | Append { csv; epoch } ->
+    (match epoch with
+    | None -> Printf.fprintf oc "APPEND %d\n" (String.length csv)
+    | Some e -> Printf.fprintf oc "APPEND %d %d\n" (String.length csv) e);
     write_body oc csv
-  | Delete ids ->
+  | Delete { ids; epoch } ->
     let body = String.concat " " (List.map string_of_int ids) in
-    Printf.fprintf oc "DELETE %d\n" (String.length body);
+    (match epoch with
+    | None -> Printf.fprintf oc "DELETE %d\n" (String.length body)
+    | Some e -> Printf.fprintf oc "DELETE %d %d\n" (String.length body) e);
     write_body oc body
+  | Lease { epoch; ttl_ms } ->
+    Printf.fprintf oc "LEASE %d %d\n" epoch ttl_ms;
+    flush oc
   | Assign body ->
     Printf.fprintf oc "ASSIGN %d\n" (String.length body);
     write_body oc body
@@ -122,9 +145,11 @@ let read_request ic =
     match String.split_on_char ' ' (String.trim line) with
     | [ "QUERY"; len ] ->
       Some (Query (read_body ic (read_len "QUERY" len)))
-    | [ "APPEND"; len ] ->
-      Some (Append (read_body ic (read_len "APPEND" len)))
-    | [ "DELETE"; len ] ->
+    | "APPEND" :: len :: epoch ->
+      let epoch = read_epoch "APPEND" epoch in
+      Some (Append { csv = read_body ic (read_len "APPEND" len); epoch })
+    | "DELETE" :: len :: epoch ->
+      let epoch = read_epoch "DELETE" epoch in
       let body = read_body ic (read_len "DELETE" len) in
       let ids =
         String.split_on_char ' ' (String.trim body)
@@ -137,7 +162,13 @@ let read_request ic =
                    (Protocol_error
                       (Printf.sprintf "DELETE: bad row id %S" s)))
       in
-      Some (Delete ids)
+      Some (Delete { ids; epoch })
+    | [ "LEASE"; epoch; ttl_ms ] -> (
+      match (int_of_string_opt epoch, int_of_string_opt ttl_ms) with
+      | Some e, Some ttl when e >= 0 && ttl >= 0 ->
+        Some (Lease { epoch = e; ttl_ms = ttl })
+      | _ ->
+        raise (Protocol_error (Printf.sprintf "bad request line %S" line)))
     | [ "ASSIGN"; len ] ->
       Some (Assign (read_body ic (read_len "ASSIGN" len)))
     | [ "SKETCH"; len ] ->

@@ -6,8 +6,9 @@
 
     {v
     QUERY <len>\n<len bytes>\n    evaluate a PaQL query
-    APPEND <len>\n<len bytes>\n   append CSV rows (with header) to the table
-    DELETE <len>\n<len bytes>\n   delete rows; body is space-separated row ids
+    APPEND <len> [epoch]\n<len bytes>\n   append CSV rows (with header)
+    DELETE <len> [epoch]\n<len bytes>\n   delete rows (space-separated ids)
+    LEASE <epoch> <ttl_ms>\n      grant/renew a write lease at an epoch
     ASSIGN <len>\n<len bytes>\n   install a shard group assignment
     SKETCH <len>\n<len bytes>\n   per-group candidate counts for a query
     REFINE <len>\n<len bytes>\n   solve one group's refine ILP
@@ -45,8 +46,17 @@
 
 type request =
   | Query of string
-  | Append of string
-  | Delete of int list
+  | Append of { csv : string; epoch : int option }
+      (** [epoch] is the membership epoch the writer holds, when the
+          table is served by a fenced fleet; [None] preserves the
+          pre-membership wire format (standalone servers accept it) *)
+  | Delete of { ids : int list; epoch : int option }
+  | Lease of { epoch : int; ttl_ms : int }
+      (** the coordinator's fencing verb: install [epoch] (monotone per
+          shard) and grant the right to ack writes for [ttl_ms]. A
+          server refuses a LEASE below its installed epoch with
+          {!Fenced}; a lease that expires un-renewed demotes the server
+          to read-only until the next grant *)
   | Assign of string
   | Sketch of string
   | Refine of string
@@ -64,6 +74,11 @@ type error_code =
           omitted (shard and replica unreachable) — typed, never a
           silently wrong package *)
   | Failed             (** solver gave up: no package *)
+  | Fenced
+      (** the node is not (or no longer) the shard's primary: its write
+          lease expired or the request's epoch predates the node's
+          promotion epoch. The write was {e not} applied; retry against
+          the current primary *)
   | Parse_error
   | Analysis_error
   | Data_error
@@ -80,7 +95,7 @@ val code_of_name : string -> error_code option
 
 (** The paql CLI exit code for a remote failure: 1 infeasible, 2
     failed/deadline/internal, 3 data, 4 parse, 5 analysis, 7
-    rejected, 8 degraded. *)
+    rejected, 8 degraded, 9 fenced. *)
 val exit_code : error_code -> int
 
 (** {1 Framing} *)

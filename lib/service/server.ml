@@ -104,6 +104,17 @@ type t = {
      error, not a wrong answer). *)
   mutable shard_groups : (int * int array) list option;
   shard_mu : Mutex.t;
+  (* Membership fencing: [srv_epoch] is the highest epoch ever
+     installed here (via LEASE, or recovered from the WAL's stamps);
+     [lease_deadline] is when this node must stop acking writes (None =
+     never leased: the standalone write contract, always writable).
+     The server demotes itself at 90% of the granted ttl, forfeiting a
+     skew margin so it is read-only strictly before the coordinator —
+     which waits out the full ttl — can grant the next epoch. *)
+  mutable srv_epoch : int;
+  mutable lease_deadline : float option;
+  mutable demoted : bool;
+  fence_mu : Mutex.t;
   mutable state : snapshot;
   state_mu : Mutex.t;
   wal : Store.Wal.t option;
@@ -133,6 +144,8 @@ let table_rows t =
       Relalg.Relation.cardinality t.state.rel)
 
 let last_recovery t = t.recovery
+
+let current_epoch t = Mutex.protect t.fence_mu (fun () -> t.srv_epoch)
 
 (* Numeric columns are materialized lazily into a per-attribute slot;
    forcing them before any worker runs keeps the hot path free of
@@ -541,19 +554,111 @@ let concat_rows a b =
    names bytes that survive a crash, and a failed sync (rolled back by
    [Wal.append]) leaves the state untouched. *)
 
-let wal_log t op =
+(* Returns the durable record's sequence number (None without a log):
+   acks carry it so a coordinator can tell which WAL prefix it has
+   actually acknowledged — the catch-up ship at promotion must not
+   replicate records whose ack never left this process. *)
+let wal_log t ~epoch op =
   match t.wal with
-  | None -> ()
+  | None -> None
   | Some wal -> (
-    match Store.Wal.append wal op with
-    | _seq ->
+    match Store.Wal.append ~epoch wal op with
+    | seq ->
       Metrics.incr t.metrics "wal_records";
       (* published so a coordinator can read replica lag (primary seq
          minus shipped seq) straight off two STATS snapshots *)
-      Metrics.set_gauge t.metrics "wal_last_seq" (Store.Wal.last_seq wal)
+      Metrics.set_gauge t.metrics "wal_last_seq" (Store.Wal.last_seq wal);
+      Some seq
     | exception (Store.Wal.Sync_failed _ as e) ->
       Metrics.incr t.metrics "wal_sync_failures";
       raise e)
+
+exception Fenced_write of string
+
+(* The write gate: called (under [state_mu]) after validation and
+   before the WAL write, so a fenced op never becomes durable here.
+   [epoch] is the coordinator's stamp ([None] for a direct, unstamped
+   client — the standalone contract, always admitted at the installed
+   epoch). Returns the epoch to stamp into the WAL record. *)
+let fence_check t ~epoch =
+  Mutex.protect t.fence_mu (fun () ->
+      let refuse msg =
+        Metrics.incr t.metrics "fence_rejections";
+        raise (Fenced_write msg)
+      in
+      (match epoch with
+      | Some e when e < t.srv_epoch ->
+        refuse
+          (Printf.sprintf "write epoch %d predates promotion epoch %d" e
+             t.srv_epoch)
+      | _ -> ());
+      if Pkg.Faults.fence_epoch_stale () then
+        refuse
+          (Printf.sprintf
+             "fault: write epoch predates promotion epoch %d" t.srv_epoch);
+      let lease_expired =
+        Pkg.Faults.fence_lease_expires ()
+        ||
+        match t.lease_deadline with
+        | Some deadline -> Unix.gettimeofday () > deadline
+        | None -> false
+      in
+      if lease_expired then begin
+        if not t.demoted then begin
+          t.demoted <- true;
+          Metrics.incr t.metrics "demotions";
+          Log.info (fun k ->
+              k "lease expired; self-demoted read-only at epoch %d"
+                t.srv_epoch)
+        end;
+        refuse
+          (Printf.sprintf "lease expired; read-only at epoch %d" t.srv_epoch)
+      end;
+      max t.srv_epoch (Option.value epoch ~default:0))
+
+(* LEASE install/renewal from the coordinator. The server keeps only
+   90% of the granted ttl — it self-demotes strictly before the
+   coordinator (which waits out the full nominal ttl since its last
+   successful grant) can hand the next epoch to a replacement. *)
+let handle_lease t ~epoch ~ttl_ms =
+  Mutex.protect t.fence_mu (fun () ->
+      (* Expiry is judged at arrival, before the grant can take effect: a
+         grant buffered in the kernel while this process was stalled is
+         delivered ahead of any reset (Linux drains received data before
+         reporting the error), so it can surface long after the
+         coordinator gave up on it. By then the old lease has lapsed and
+         the node has lost authority — a same-epoch grant must not
+         restore it. Reviving a node whose lease ever expired requires a
+         strictly higher epoch, which only a deliberate re-lease by the
+         coordinator can carry. *)
+      (match t.lease_deadline with
+      | Some deadline when Unix.gettimeofday () > deadline && not t.demoted ->
+        t.demoted <- true;
+        Metrics.incr t.metrics "demotions";
+        Log.info (fun k ->
+            k "lease expired; self-demoted read-only at epoch %d" t.srv_epoch)
+      | _ -> ());
+      if epoch < t.srv_epoch || (t.demoted && epoch = t.srv_epoch) then begin
+        Metrics.incr t.metrics "fence_rejections";
+        Protocol.Resp_err
+          ( Protocol.Fenced,
+            if epoch < t.srv_epoch then
+              Printf.sprintf "lease epoch %d predates installed epoch %d" epoch
+                t.srv_epoch
+            else
+              Printf.sprintf
+                "lease expired at epoch %d; re-grant requires a higher epoch"
+                t.srv_epoch )
+      end
+      else begin
+        t.srv_epoch <- epoch;
+        t.lease_deadline <-
+          Some (Unix.gettimeofday () +. (float_of_int ttl_ms /. 1000. *. 0.9));
+        t.demoted <- false;
+        Metrics.incr t.metrics "lease_grants";
+        Metrics.set_gauge t.metrics "epoch" epoch;
+        Protocol.Resp_ok (Printf.sprintf "granted %d" epoch)
+      end)
 
 let maybe_checkpoint_locked t =
   match (t.wal, t.cfg.wal_dir) with
@@ -642,7 +747,7 @@ let append_locked t extra =
         (Relalg.Relation.cardinality rel')
         t.state.fp dropped)
 
-let append t extra =
+let append ?epoch t extra =
   Mutex.protect t.state_mu (fun () ->
       (* validate before the WAL write: a record that cannot apply must
          never reach the log, or replay would fail where the live
@@ -653,9 +758,11 @@ let append t extra =
              (Relalg.Relation.schema t.state.rel)
              (Relalg.Relation.schema extra))
       then invalid_arg "append: schemas differ";
-      wal_log t (Store.Wal.Append extra);
+      let stamp = fence_check t ~epoch in
+      let seq = wal_log t ~epoch:stamp (Store.Wal.Append extra) in
       append_locked t extra;
-      maybe_checkpoint_locked t)
+      maybe_checkpoint_locked t;
+      seq)
 
 let delete_locked t ids =
   let snap = t.state in
@@ -688,7 +795,7 @@ let delete_locked t ids =
         (Relalg.Relation.cardinality rel')
         t.state.fp dropped)
 
-let delete t ids =
+let delete ?epoch t ids =
   Mutex.protect t.state_mu (fun () ->
       let n = Relalg.Relation.cardinality t.state.rel in
       List.iter
@@ -697,9 +804,11 @@ let delete t ids =
             invalid_arg
               (Printf.sprintf "delete: row id %d out of range (%d rows)" id n))
         ids;
-      wal_log t (Store.Wal.Delete ids);
+      let stamp = fence_check t ~epoch in
+      let seq = wal_log t ~epoch:stamp (Store.Wal.Delete ids) in
       delete_locked t ids;
-      maybe_checkpoint_locked t)
+      maybe_checkpoint_locked t;
+      seq)
 
 (* ------------------------------------------------------------------ *)
 (* Request handling                                                   *)
@@ -744,37 +853,45 @@ let handle_query t query =
   | Protocol.Resp_err _ -> Metrics.incr t.metrics "failed");
   resp
 
-let handle_append t csv =
+let handle_append t ~epoch csv =
   match Relalg.Csv.of_string csv with
   | exception Relalg.Csv.Error (line, msg) ->
     Protocol.Resp_err
       (Protocol.Data_error, Printf.sprintf "csv error at line %d: %s" line msg)
   | extra -> (
-    match append t extra with
-    | () ->
+    match append ?epoch t extra with
+    | seq ->
       Protocol.Resp_ok
-        (Printf.sprintf "appended %d rows; table now %d rows, fingerprint %s"
+        (Printf.sprintf "appended %d rows; table now %d rows, fingerprint %s%s"
            (Relalg.Relation.cardinality extra)
            (Mutex.protect t.state_mu (fun () ->
                 Relalg.Relation.cardinality t.state.rel))
-           (table_fingerprint t))
+           (table_fingerprint t)
+           (match seq with
+           | Some s -> Printf.sprintf "; seq %d" s
+           | None -> ""))
     | exception Invalid_argument msg ->
       Protocol.Resp_err (Protocol.Data_error, msg)
+    | exception Fenced_write msg -> Protocol.Resp_err (Protocol.Fenced, msg)
     | exception Store.Wal.Sync_failed msg ->
       Protocol.Resp_err
         (Protocol.Internal, Printf.sprintf "append not durable: %s" msg))
 
-let handle_delete t ids =
-  match delete t ids with
-  | () ->
+let handle_delete t ~epoch ids =
+  match delete ?epoch t ids with
+  | seq ->
     Protocol.Resp_ok
-      (Printf.sprintf "deleted %d rows; table now %d rows, fingerprint %s"
+      (Printf.sprintf "deleted %d rows; table now %d rows, fingerprint %s%s"
          (List.length ids)
          (Mutex.protect t.state_mu (fun () ->
               Relalg.Relation.cardinality t.state.rel))
-         (table_fingerprint t))
+         (table_fingerprint t)
+         (match seq with
+         | Some s -> Printf.sprintf "; seq %d" s
+         | None -> ""))
   | exception Invalid_argument msg ->
     Protocol.Resp_err (Protocol.Data_error, msg)
+  | exception Fenced_write msg -> Protocol.Resp_err (Protocol.Fenced, msg)
   | exception Store.Wal.Sync_failed msg ->
     Protocol.Resp_err
       (Protocol.Internal, Printf.sprintf "delete not durable: %s" msg)
@@ -1013,11 +1130,14 @@ let handle_conn t fd =
       | Some Protocol.Stats ->
         respond (Protocol.Resp_ok (Metrics.render t.metrics));
         loop ()
-      | Some (Protocol.Append csv) ->
-        respond (handle_append t csv);
+      | Some (Protocol.Append { csv; epoch }) ->
+        respond (handle_append t ~epoch csv);
         loop ()
-      | Some (Protocol.Delete ids) ->
-        respond (handle_delete t ids);
+      | Some (Protocol.Delete { ids; epoch }) ->
+        respond (handle_delete t ~epoch ids);
+        loop ()
+      | Some (Protocol.Lease { epoch; ttl_ms }) ->
+        respond (handle_lease t ~epoch ~ttl_ms);
         loop ()
       | Some Protocol.Fingerprint ->
         respond (handle_fingerprint t);
@@ -1126,6 +1246,7 @@ let start ?catalog cfg rel =
       Metrics.incr ~by:stats.records_replayed metrics "recovery_replayed";
       Metrics.incr ~by:stats.records_skipped metrics "recovery_skipped";
       Metrics.incr ~by:stats.torn_bytes metrics "recovery_torn_bytes";
+      Metrics.incr ~by:stats.fenced_bytes metrics "recovery_fenced_bytes";
       Log.info (fun k ->
           k "recovered %d rows from %s: %a"
             (Relalg.Relation.cardinality rel')
@@ -1159,6 +1280,13 @@ let start ?catalog cfg rel =
       ctx_cache = Cache.create ~capacity:16;
       shard_groups = None;
       shard_mu = Mutex.create ();
+      (* a restarted node remembers the highest epoch its WAL was acked
+         under, so a stale stamp is refused even before the first LEASE *)
+      srv_epoch =
+        (match recovery with Some s -> s.Store.Recovery.last_epoch | None -> 0);
+      lease_deadline = None;
+      demoted = false;
+      fence_mu = Mutex.create ();
       state = fresh_snapshot rel;
       state_mu = Mutex.create ();
       wal;
@@ -1182,6 +1310,7 @@ let start ?catalog cfg rel =
   Option.iter
     (fun wal -> Metrics.set_gauge metrics "wal_last_seq" (Store.Wal.last_seq wal))
     t.wal;
+  Metrics.set_gauge metrics "epoch" t.srv_epoch;
   t.accept_thread <- Some (Thread.create accept_loop t);
   if cfg.log_every > 0. then t.log_thread <- Some (Thread.create log_loop t);
   Log.info (fun k ->

@@ -122,23 +122,39 @@ val table_rows : t -> int
 (** Evaluations that actually invoked a solver (cache hits don't). *)
 val solve_count : t -> int
 
+(** Raised by {!append}/{!delete} when the write is refused by the
+    membership fence: its epoch stamp predates this node's installed
+    epoch, or the node's lease has expired and it has self-demoted
+    read-only. Surfaces over the wire as the typed [fenced] error. *)
+exception Fenced_write of string
+
+(** The highest membership epoch installed here — by a [LEASE] from the
+    coordinator, or recovered from the WAL's epoch stamps at startup.
+    0 until either happens. *)
+val current_epoch : t -> int
+
 (** [append t extra] appends [extra]'s rows to the served table:
     maintains cached partitionings incrementally, recomputes the
     fingerprint, and invalidates the superseded result-cache entries.
     Also the implementation of the [APPEND] verb. With a WAL attached
-    the rows are durable before the call returns.
+    the rows are durable before the call returns, stamped with [epoch]
+    (raised to the installed epoch; default the installed epoch), and
+    the durable record's sequence number is returned ([None] without a
+    log) — acks carry it so a coordinator knows exactly which WAL
+    prefix it has acknowledged.
     @raise Invalid_argument when schemas differ.
+    @raise Fenced_write when the membership fence refuses the write.
     @raise Store.Wal.Sync_failed when the record could not be made
     durable (the state is untouched). *)
-val append : t -> Relalg.Relation.t -> unit
+val append : ?epoch:int -> t -> Relalg.Relation.t -> int option
 
 (** [delete t ids] removes the given row ids (0-based, into the current
     table; duplicates allowed), compacting the remaining rows in order
     via {!Store.Maintain.delete} for every cached partitioning. Also
-    the implementation of the [DELETE] verb; same durability contract
-    as {!append}.
+    the implementation of the [DELETE] verb; same durability, fencing,
+    and returned-sequence contract as {!append}.
     @raise Invalid_argument on an out-of-range id. *)
-val delete : t -> int list -> unit
+val delete : ?epoch:int -> t -> int list -> int option
 
 (** Recovery statistics from startup, when [wal_dir] was set. *)
 val last_recovery : t -> Store.Recovery.stats option

@@ -31,19 +31,23 @@ type stats = {
   rows_appended : int;
   rows_deleted : int;
   torn_bytes : int;
+  fenced_bytes : int;
+      (** bytes of an epoch-regressing WAL suffix truncated at open: a
+          deposed primary's post-promotion writes, never replayed *)
   last_seq : int;
+  last_epoch : int;  (** highest epoch in the replayed log, 0 if none *)
   wall : float;
 }
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "checkpoint %s (seq %d), %d records replayed (%d skipped), +%d/-%d rows, \
-     %d torn bytes truncated, %.3fs"
+     %d torn bytes truncated, %d fenced bytes truncated, epoch %d, %.3fs"
     (match s.checkpoint_rows with
     | Some n -> Printf.sprintf "%d rows" n
     | None -> "absent")
     s.checkpoint_seq s.records_replayed s.records_skipped s.rows_appended
-    s.rows_deleted s.torn_bytes s.wall
+    s.rows_deleted s.torn_bytes s.fenced_bytes s.last_epoch s.wall
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint file                                                    *)
@@ -168,7 +172,9 @@ let recover ?sync ~dir ~base () =
       rows_appended = !appended;
       rows_deleted = !deleted;
       torn_bytes = rep.torn_bytes;
+      fenced_bytes = rep.fenced_bytes;
       last_seq = max ckpt_seq rep.replay_last_seq;
+      last_epoch = rep.replay_last_epoch;
       wall = Unix.gettimeofday () -. t0;
     }
   in

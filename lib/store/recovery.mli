@@ -34,7 +34,12 @@ type stats = {
   rows_appended : int;
   rows_deleted : int;
   torn_bytes : int;  (** truncated from the tail *)
+  fenced_bytes : int;
+      (** an epoch-regressing suffix truncated at open — a deposed
+          primary's post-promotion writes, asserted away by replay's
+          epoch-monotonicity check, never applied *)
   last_seq : int;
+  last_epoch : int;  (** highest epoch in the replayed log, 0 if none *)
   wall : float;
 }
 

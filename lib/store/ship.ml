@@ -4,17 +4,46 @@
    [pending] re-reads the file's valid prefix and returns what is still
    to ship. Reading the file directly (rather than asking the primary)
    is the point: promotion must work when the primary is dead, and the
-   coordinator runs on the same filesystem as its local fleet. *)
+   coordinator runs on the same filesystem as its local fleet.
 
-type cursor = { path : string; mutable seq : int }
+   The fence epoch is the shipping side of split-brain protection: once
+   a replica is promoted at epoch E, the coordinator sets the cursor's
+   fence to E, and any record a resumed zombie primary appends at an
+   older epoch is dropped (and counted) rather than shipped into the
+   promoted replica. *)
 
-let make ?(since = 0) path = { path; seq = since }
+type cursor = {
+  path : string;
+  mutable seq : int;
+  mutable fence : int;
+  mutable fenced : int;
+}
+
+let make ?(since = 0) path = { path; seq = since; fence = 0; fenced = 0 }
 
 let position c = c.seq
 
+let set_fence c epoch = if epoch > c.fence then c.fence <- epoch
+
+let fence c = c.fence
+
+let fenced_count c = c.fenced
+
 let pending c =
   let replay = Wal.replay c.path in
-  List.filter (fun (r : Wal.record) -> r.Wal.seq > c.seq) replay.Wal.ops
+  List.filter
+    (fun (r : Wal.record) ->
+      if r.Wal.seq <= c.seq then false
+      else if r.Wal.epoch < c.fence then begin
+        (* a record from before the promotion epoch appearing past the
+           shipped prefix can only be a deposed primary's write: never
+           ship it, but advance past it so lag accounting stays sane *)
+        c.fenced <- c.fenced + 1;
+        if r.Wal.seq > c.seq then c.seq <- r.Wal.seq;
+        false
+      end
+      else true)
+    replay.Wal.ops
 
 let advance c seq = if seq > c.seq then c.seq <- seq
 

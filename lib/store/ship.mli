@@ -8,7 +8,15 @@
     primary death, promotion is simply [pending] (the records the
     replica has not seen) shipped from the dead primary's on-disk log,
     then a routing flip. Replica lag in records is the primary's
-    {!last_seq} minus the cursor {!position}. *)
+    {!last_seq} minus the cursor {!position}.
+
+    A cursor also carries a {e fence epoch}: after a promotion at epoch
+    E the coordinator calls {!set_fence}[ c E], and {!pending} refuses
+    to ship any record stamped with an older epoch — the writes a
+    SIGSTOPped-then-resumed zombie primary appended after losing its
+    shard. Catch-up shipping must therefore complete {e before} the
+    fence is raised: records the old primary legitimately acked at the
+    old epoch ship during promotion, everything after is fenced. *)
 
 type cursor
 
@@ -21,10 +29,22 @@ val position : cursor -> int
 
 (** Valid records past the cursor, in write order. Re-reads the file;
     does not advance the cursor (call {!advance} after each record is
-    acknowledged by the replica). A torn tail ends the readable prefix,
-    exactly as recovery would see it.
+    acknowledged by the replica) — except for records older than the
+    fence epoch, which are dropped, counted in {!fenced_count}, and
+    skipped past. A torn tail ends the readable prefix, exactly as
+    recovery would see it.
     @raise Sys_error when the log file exists but cannot be read. *)
 val pending : cursor -> Wal.record list
+
+(** [set_fence c epoch] — reject records stamped below [epoch] from now
+    on (monotone: a lower fence than the current one is a no-op). *)
+val set_fence : cursor -> int -> unit
+
+(** The current fence epoch (0 = unfenced). *)
+val fence : cursor -> int
+
+(** How many records {!pending} has dropped as fenced. *)
+val fenced_count : cursor -> int
 
 (** [advance c seq] — the replica acknowledged everything up to [seq].
     Monotone: an older [seq] is a no-op. *)

@@ -17,11 +17,17 @@
    chaos harness's kill points meaningful. *)
 
 let magic = "PKGQWAL1"
-let version = 1
+
+(* Version 1 records are [seq | tag | payload]; version 2 inserts a
+   membership epoch (i64) between the sequence number and the op tag.
+   New records are always written at version 2; replay decodes both, a
+   v1 record carrying epoch 0 (the "never fenced" epoch). *)
+let version_v1 = 1
+let version = 2
 
 type op = Append of Relalg.Relation.t | Delete of int list
 
-type record = { seq : int; op : op }
+type record = { seq : int; epoch : int; op : op }
 
 exception Sync_failed of string
 
@@ -44,12 +50,14 @@ type t = {
   mutable records : int;
   mutable bytes : int;
   mutable last_seq : int;
+  mutable last_epoch : int;
 }
 
 let path t = t.wal_path
 let records t = t.records
 let bytes t = t.bytes
 let last_seq t = t.last_seq
+let last_epoch t = t.last_epoch
 let sync_mode t = t.sync
 
 (* ------------------------------------------------------------------ *)
@@ -59,9 +67,10 @@ let sync_mode t = t.sync
 let tag_append = 0
 let tag_delete = 1
 
-let encode_record ~seq op =
+let encode_record ~seq ~epoch op =
   let b = Buffer.create 256 in
   Wire.put_i64 b seq;
+  Wire.put_i64 b epoch;
   (match op with
   | Append rel ->
     Wire.put_u8 b tag_append;
@@ -73,15 +82,24 @@ let encode_record ~seq op =
   Wire.seal ~magic ~version b
 
 let decode_record image =
-  let r = Wire.verify ~magic ~version image in
+  (* Pick the layout by the envelope's version field before [verify]
+     (which demands an exact version): v1 has no epoch, anything else
+     goes through the current-version check so an unknown version still
+     fails as a typed envelope error. *)
+  let v =
+    match Wire.peek_version image with Some 1 -> version_v1 | _ -> version
+  in
+  let r = Wire.verify ~magic ~version:v image in
   let seq = Wire.get_i64 r in
   if seq < 1 then Wire.error "bad wal record sequence %d" seq;
+  let epoch = if v = version_v1 then 0 else Wire.get_i64 r in
+  if epoch < 0 then Wire.error "negative wal record epoch %d" epoch;
   match Wire.get_u8 r with
-  | 0 -> { seq; op = Append (Segment.of_string (Wire.get_str r)) }
+  | 0 -> { seq; epoch; op = Append (Segment.of_string (Wire.get_str r)) }
   | 1 ->
     let n = Wire.get_i32 r in
     if n < 0 then Wire.error "negative wal delete count %d" n;
-    { seq; op = Delete (List.init n (fun _ -> Wire.get_i32 r)) }
+    { seq; epoch; op = Delete (List.init n (fun _ -> Wire.get_i32 r)) }
   | tag -> Wire.error "bad wal op tag %d" tag
 
 (* ------------------------------------------------------------------ *)
@@ -92,10 +110,14 @@ type replay = {
   ops : record list;  (** valid records, in write order *)
   valid_bytes : int;  (** length of the intact prefix *)
   torn_bytes : int;  (** bytes past it, discarded *)
+  fenced_bytes : int;  (** bytes of an epoch-regressing suffix, discarded *)
   replay_last_seq : int;  (** 0 when the log is empty *)
+  replay_last_epoch : int;  (** highest epoch in the valid prefix, 0 if none *)
 }
 
-let empty_replay = { ops = []; valid_bytes = 0; torn_bytes = 0; replay_last_seq = 0 }
+let empty_replay =
+  { ops = []; valid_bytes = 0; torn_bytes = 0; fenced_bytes = 0;
+    replay_last_seq = 0; replay_last_epoch = 0 }
 
 let replay ?(truncate = false) path =
   if not (Sys.file_exists path) then empty_replay
@@ -105,21 +127,36 @@ let replay ?(truncate = false) path =
     let ops = ref [] in
     let pos = ref 0 in
     let last = ref 0 in
+    let last_epoch = ref 0 in
     let ok = ref true in
+    let fenced = ref false in
     while !ok && !pos + 4 <= len do
       let n = Int32.to_int (String.get_int32_le s !pos) in
       if n <= 0 || !pos + 4 + n > len then ok := false
       else
         match decode_record (String.sub s (!pos + 4) n) with
         | rc ->
-          ops := rc :: !ops;
-          last := rc.seq;
-          pos := !pos + 4 + n
+          (* Epochs are monotone within one log: a record stamped below
+             its predecessor's epoch is a fenced suffix (a deposed
+             primary kept appending after a newer epoch was granted) —
+             everything from here on is discarded, never replayed. *)
+          if rc.epoch < !last_epoch then begin
+            fenced := true;
+            ok := false
+          end
+          else begin
+            ops := rc :: !ops;
+            last := rc.seq;
+            last_epoch := rc.epoch;
+            pos := !pos + 4 + n
+          end
         | exception Wire.Error _ -> ok := false
     done;
     let valid = !pos in
-    let torn = len - valid in
-    if truncate && torn > 0 then begin
+    let cut = len - valid in
+    let torn = if !fenced then 0 else cut in
+    let fenced_bytes = if !fenced then cut else 0 in
+    if truncate && cut > 0 then begin
       let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
       Fun.protect
         ~finally:(fun () -> Unix.close fd)
@@ -128,7 +165,7 @@ let replay ?(truncate = false) path =
           try Unix.fsync fd with Unix.Unix_error _ -> ())
     end;
     { ops = List.rev !ops; valid_bytes = valid; torn_bytes = torn;
-      replay_last_seq = !last }
+      fenced_bytes; replay_last_seq = !last; replay_last_epoch = !last_epoch }
   end
 
 (* ------------------------------------------------------------------ *)
@@ -142,7 +179,8 @@ let open_log ?sync path =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
   in
   ( { fd; wal_path = path; sync; records = List.length rep.ops;
-      bytes = rep.valid_bytes; last_seq = rep.replay_last_seq },
+      bytes = rep.valid_bytes; last_seq = rep.replay_last_seq;
+      last_epoch = rep.replay_last_epoch },
     rep )
 
 let write_all fd b off len =
@@ -159,9 +197,14 @@ let die () =
   (* unreachable, but keeps the type checker honest *)
   assert false
 
-let append t op =
+let append ?epoch t op =
   let seq = t.last_seq + 1 in
-  let image = encode_record ~seq op in
+  (* The log's epochs never regress: a caller still stamping an older
+     epoch (a deposed primary) writes at the log's high-water mark
+     rather than poisoning the monotone prefix — the fencing refusal
+     belongs to the server's write gate, which runs before this. *)
+  let epoch = max (Option.value epoch ~default:0) t.last_epoch in
+  let image = encode_record ~seq ~epoch op in
   let len = String.length image in
   let frame = Bytes.create (4 + len) in
   Bytes.set_int32_le frame 0 (Int32.of_int len);
@@ -198,6 +241,7 @@ let append t op =
     with Unix.Unix_error (e, _, _) -> sync_failed (Unix.error_message e))
   | Never -> ());
   t.last_seq <- seq;
+  t.last_epoch <- epoch;
   t.records <- t.records + 1;
   t.bytes <- t.bytes + 4 + len;
   seq

@@ -23,7 +23,21 @@
 
 type op = Append of Relalg.Relation.t | Delete of int list
 
-type record = { seq : int; op : op }
+(** [epoch] is the membership epoch the record was written under (0 for
+    records predating the fencing layer — including every record of a
+    version-1 log). Within one log, epochs never decrease; {!replay}
+    enforces this and discards a regressing (fenced) suffix. *)
+type record = { seq : int; epoch : int; op : op }
+
+(** [encode_record ~seq ~epoch op] — the current (version-2) record
+    image: a {!Wire} envelope over [seq | epoch | tag | payload].
+    Exposed for the format round-trip tests. *)
+val encode_record : seq:int -> epoch:int -> op -> string
+
+(** Decode a record image of either version: v2 as written by
+    {!encode_record}, v1 (no epoch field) as epoch 0.
+    @raise Wire.Error on a corrupt image or unknown version. *)
+val decode_record : string -> record
 
 (** A WAL sync failed: the record was rolled back (truncated out of the
     log); the write must be neither applied nor acknowledged. *)
@@ -48,7 +62,12 @@ type replay = {
   ops : record list;  (** valid records, in write order *)
   valid_bytes : int;  (** length of the intact prefix *)
   torn_bytes : int;  (** bytes past it, discarded *)
+  fenced_bytes : int;
+      (** bytes of a suffix whose records regress in epoch — writes a
+          deposed primary kept appending after a newer epoch existed —
+          discarded exactly like a torn tail, but counted apart *)
   replay_last_seq : int;  (** 0 when the log is empty *)
+  replay_last_epoch : int;  (** highest epoch in the valid prefix, 0 if none *)
 }
 
 (** [replay ?truncate path] decodes the valid prefix of the log at
@@ -64,12 +83,15 @@ val replay : ?truncate:bool -> string -> replay
     prefix. [sync] defaults to {!sync_from_env}. *)
 val open_log : ?sync:sync -> string -> t * replay
 
-(** [append t op] encodes, writes and (under {!Always}) fsyncs one
-    record, returning its sequence number. Only after [append] returns
-    may the caller apply the op in memory and acknowledge it.
+(** [append ?epoch t op] encodes, writes and (under {!Always}) fsyncs
+    one record, returning its sequence number. [epoch] (default 0)
+    stamps the record with the writer's membership epoch; the stamp is
+    clamped up to the log's running maximum so one log's epochs never
+    regress. Only after [append] returns may the caller apply the op in
+    memory and acknowledge it.
     @raise Sync_failed when the record could not be made durable; the
     log is left exactly as before the call. *)
-val append : t -> op -> int
+val append : ?epoch:int -> t -> op -> int
 
 (** [reset t] truncates the log to empty — the checkpoint has absorbed
     its records. Sequence numbers keep counting from {!last_seq}, which
@@ -95,5 +117,8 @@ val bytes : t -> int
 
 (** Sequence number of the newest record ever written, 0 if none. *)
 val last_seq : t -> int
+
+(** Highest epoch ever written to (or replayed from) this log. *)
+val last_epoch : t -> int
 
 val sync_mode : t -> sync

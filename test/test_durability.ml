@@ -68,9 +68,9 @@ let test_wal_roundtrip () =
   checki "no torn tail" 0 rp.Wal.torn_bytes;
   checki "last seq" 3 rp.Wal.replay_last_seq;
   (match rp.Wal.ops with
-  | [ { Wal.seq = 1; op = Wal.Append a };
-      { Wal.seq = 2; op = Wal.Delete ids };
-      { Wal.seq = 3; op = Wal.Append b } ] ->
+  | [ { Wal.seq = 1; epoch = 0; op = Wal.Append a };
+      { Wal.seq = 2; epoch = 0; op = Wal.Delete ids };
+      { Wal.seq = 3; epoch = 0; op = Wal.Append b } ] ->
     checks "append 1 bytes" (fp b1) (fp a);
     checkb "delete ids" true (ids = [ 0; 2 ]);
     checks "append 2 bytes" (fp b2) (fp b)
@@ -144,6 +144,138 @@ let test_wal_sync_env () =
   Unix.putenv Wal.sync_env_var "always";
   checkb "always selects Always" true (Wal.sync_from_env () = Wal.Always);
   Unix.putenv Wal.sync_env_var ""
+
+(* ------------------------------------------------------------------ *)
+(* Epoch stamps (fencing)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One on-disk frame: [length (i32 LE) | record image]. *)
+let frame image =
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int (String.length image));
+  Bytes.to_string hdr ^ image
+
+(* A version-1 record image, as every log wrote before the epoch field
+   existed: [seq | tag | payload], no epoch. *)
+let encode_record_v1 ~seq op =
+  let b = Buffer.create 256 in
+  Store.Wire.put_i64 b seq;
+  (match op with
+  | Wal.Append rel ->
+    Store.Wire.put_u8 b 0;
+    Store.Wire.put_str b (Store.Segment.to_string rel)
+  | Wal.Delete ids ->
+    Store.Wire.put_u8 b 1;
+    Store.Wire.put_i32 b (List.length ids);
+    List.iter (Store.Wire.put_i32 b) ids);
+  Store.Wire.seal ~magic:"PKGQWAL1" ~version:1 b
+
+let gen_wal_case =
+  QCheck.Gen.(
+    triple (int_range 1 1_000_000) (int_range 0 1_000_000)
+      (oneof
+         [ map
+             (fun (rows, seed) -> Wal.Append (batch rows seed))
+             (pair (int_range 1 6) (int_range 0 999));
+           map (fun ids -> Wal.Delete ids)
+             (list_size (int_range 0 8) (int_range 0 500)) ]))
+
+let print_wal_case (seq, epoch, op) =
+  Printf.sprintf "seq=%d epoch=%d %s" seq epoch
+    (match op with
+    | Wal.Append rel ->
+      Printf.sprintf "append(%d rows)" (R.cardinality rel)
+    | Wal.Delete ids ->
+      Printf.sprintf "delete[%s]"
+        (String.concat ";" (List.map string_of_int ids)))
+
+let record_roundtrip_prop =
+  QCheck.Test.make ~count:200 ~name:"epoch-stamped record image round-trips"
+    (QCheck.make ~print:print_wal_case gen_wal_case)
+    (fun (seq, epoch, op) ->
+      let r = Wal.decode_record (Wal.encode_record ~seq ~epoch op) in
+      r.Wal.seq = seq && r.Wal.epoch = epoch
+      &&
+      match (r.Wal.op, op) with
+      | Wal.Append a, Wal.Append b -> fp a = fp b
+      | Wal.Delete a, Wal.Delete b -> a = b
+      | _ -> false)
+
+let test_wal_v1_compat () =
+  let b1 = batch 3 111 in
+  (* a lone v1 image decodes as epoch 0 *)
+  let r = Wal.decode_record (encode_record_v1 ~seq:7 (Wal.Append b1)) in
+  checki "v1 seq" 7 r.Wal.seq;
+  checki "v1 decodes as epoch 0" 0 r.Wal.epoch;
+  (match r.Wal.op with
+  | Wal.Append a -> checks "v1 payload intact" (fp b1) (fp a)
+  | Wal.Delete _ -> Alcotest.fail "v1 op tag");
+  (* a whole v1 log replays, and a reopened one accepts v2 appends *)
+  let dir = tmp_path "wal-v1" in
+  let path = Filename.concat dir "wal.log" in
+  write_bytes path
+    (frame (encode_record_v1 ~seq:1 (Wal.Append b1))
+    ^ frame (encode_record_v1 ~seq:2 (Wal.Delete [ 0 ])));
+  let rp = Wal.replay path in
+  checki "v1 log replays" 2 (List.length rp.Wal.ops);
+  checki "v1 log is epoch 0" 0 rp.Wal.replay_last_epoch;
+  checki "no torn bytes" 0 rp.Wal.torn_bytes;
+  let wal, _ = Wal.open_log ~sync:Wal.Always path in
+  checki "seq continues past v1 records" 3
+    (Wal.append ~epoch:4 wal (Wal.Delete [ 1 ]));
+  Wal.close wal;
+  let rp' = Wal.replay path in
+  checki "mixed-version log replays" 3 (List.length rp'.Wal.ops);
+  checki "v2 epoch recorded" 4 rp'.Wal.replay_last_epoch
+
+let test_wal_fenced_suffix () =
+  let dir = tmp_path "wal-fence" in
+  let path = Filename.concat dir "wal.log" in
+  let wal, _ = Wal.open_log ~sync:Wal.Always path in
+  ignore (Wal.append ~epoch:1 wal (Wal.Append (batch 3 121)));
+  ignore (Wal.append ~epoch:2 wal (Wal.Append (batch 2 122)));
+  Wal.close wal;
+  (* a deposed primary's write lands after the epoch moved on: the
+     regressing suffix is discarded, apart from torn accounting *)
+  write_bytes path
+    (read_bytes path ^ frame (Wal.encode_record ~seq:3 ~epoch:1 (Wal.Delete [ 0 ])));
+  let rp = Wal.replay path in
+  checki "fenced suffix dropped" 2 (List.length rp.Wal.ops);
+  checkb "fenced bytes counted" true (rp.Wal.fenced_bytes > 0);
+  checki "not confused with torn bytes" 0 rp.Wal.torn_bytes;
+  checki "prefix epoch stands" 2 rp.Wal.replay_last_epoch;
+  (* truncation cuts the fenced suffix on disk, preserving monotonicity *)
+  let rp' = Wal.replay ~truncate:true path in
+  checki "fenced tail cut on disk" rp'.Wal.valid_bytes (file_size path);
+  checki "clean after truncation" 0 (Wal.replay path).Wal.fenced_bytes;
+  (* a live appender clamps a stale stamp up to the log's maximum, so
+     one log's epochs never regress in the first place *)
+  let wal2, rp2 = Wal.open_log ~sync:Wal.Always path in
+  checki "open seeds epoch from replay" 2 rp2.Wal.replay_last_epoch;
+  ignore (Wal.append ~epoch:1 wal2 (Wal.Delete [ 0 ]));
+  checki "append clamped the stamp" 2 (Wal.last_epoch wal2);
+  Wal.close wal2;
+  checki "on-disk epoch monotone" 2 (Wal.replay path).Wal.replay_last_epoch
+
+let test_recover_truncates_fenced_suffix () =
+  let dir = tmp_path "rec-fence" in
+  let base = galaxy 10 131 in
+  let b1 = batch 3 132 in
+  let rel, wal, _ = Rec.recover ~dir ~base:(fun () -> base) () in
+  ignore (Wal.append ~epoch:3 wal (Wal.Append b1));
+  Wal.close wal;
+  let expect = Rec.apply rel (Wal.Append b1) in
+  write_bytes (Rec.wal_path dir)
+    (read_bytes (Rec.wal_path dir)
+    ^ frame (Wal.encode_record ~seq:2 ~epoch:1 (Wal.Delete [ 0 ])));
+  let rel', wal', stats = Rec.recover ~dir ~base:(fun () -> base) () in
+  Fun.protect
+    ~finally:(fun () -> Wal.close wal')
+    (fun () ->
+      checks "fenced write never applied" (fp expect) (fp rel');
+      checkb "fenced bytes surfaced" true (stats.Rec.fenced_bytes > 0);
+      checki "epoch surfaced" 3 stats.Rec.last_epoch;
+      checki "only the legitimate record" 1 stats.Rec.records_replayed)
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                           *)
@@ -435,6 +567,16 @@ let () =
             test_wal_fsync_fail;
           Alcotest.test_case "fault grammar" `Quick test_wal_fault_grammar;
           Alcotest.test_case "sync knob from env" `Quick test_wal_sync_env;
+        ] );
+      ( "epoch",
+        [
+          QCheck_alcotest.to_alcotest record_roundtrip_prop;
+          Alcotest.test_case "v1 records decode as epoch 0" `Quick
+            test_wal_v1_compat;
+          Alcotest.test_case "epoch-regressing suffix fenced off" `Quick
+            test_wal_fenced_suffix;
+          Alcotest.test_case "recovery truncates fenced suffix" `Quick
+            test_recover_truncates_fenced_suffix;
         ] );
       ( "recovery",
         [

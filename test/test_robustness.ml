@@ -88,7 +88,14 @@ let test_faults_parse () =
   checkb "stoch cannot combine" false (ok "stoch=scenario,group=1:fail");
   checkb "summary stage directive" true (ok "stage=summary:limit");
   checkb "scenario stage name known" true (ok "stage=scenario:raise");
-  checkb "validate stage name known" true (ok "stage=validate:raise")
+  checkb "validate stage name known" true (ok "stage=validate:raise");
+  checkb "fence lease expiry fault" true (ok "fence=lease:expire");
+  checkb "fence stale epoch fault" true (ok "fence=epoch:stale");
+  checkb "fence alongside others" true (ok "fence=lease:expire; ilp=1:limit");
+  checkb "fence unknown selector rejected" false (ok "fence=x:expire");
+  checkb "fence lease only expires" false (ok "fence=lease:stale");
+  checkb "fence epoch only stales" false (ok "fence=epoch:expire");
+  checkb "fence cannot combine" false (ok "fence=lease,group=1:expire")
 
 let test_faults_selector_semantics () =
   with_faults "ilp=2:infeasible" (fun () ->
@@ -106,6 +113,27 @@ let test_faults_selector_semantics () =
       | r -> Alcotest.failf "call 2 should be forced infeasible, got %a"
                B.pp_result r);
   checkb "cleared" false (Pkg.Faults.active ())
+
+(* The fence accessors are standing while installed (no call budget to
+   spend) and independent of each other: lease expiry must not imply a
+   stale epoch, and vice versa. *)
+let test_faults_fence_accessors () =
+  checkb "lease accessor idle" false (Pkg.Faults.fence_lease_expires ());
+  checkb "epoch accessor idle" false (Pkg.Faults.fence_epoch_stale ());
+  with_faults "fence=lease:expire" (fun () ->
+      checkb "lease expiry standing" true (Pkg.Faults.fence_lease_expires ());
+      checkb "lease expiry repeats" true (Pkg.Faults.fence_lease_expires ());
+      checkb "lease does not stale epochs" false
+        (Pkg.Faults.fence_epoch_stale ()));
+  with_faults "fence=epoch:stale" (fun () ->
+      checkb "stale epoch standing" true (Pkg.Faults.fence_epoch_stale ());
+      checkb "stale does not expire leases" false
+        (Pkg.Faults.fence_lease_expires ()));
+  with_faults "fence=lease:expire; fence=epoch:stale" (fun () ->
+      checkb "both standing together" true
+        (Pkg.Faults.fence_lease_expires () && Pkg.Faults.fence_epoch_stale ()));
+  checkb "cleared after uninstall" false
+    (Pkg.Faults.fence_lease_expires () || Pkg.Faults.fence_epoch_stale ())
 
 (* ------------------------------------------------------------------ *)
 (* Typed CSV errors                                                   *)
@@ -662,6 +690,8 @@ let () =
           Alcotest.test_case "grammar" `Quick test_faults_parse;
           Alcotest.test_case "selector semantics" `Quick
             test_faults_selector_semantics;
+          Alcotest.test_case "fence accessors" `Quick
+            test_faults_fence_accessors;
         ] );
       ( "csv errors",
         [ Alcotest.test_case "line numbers" `Quick test_csv_error_lines ] );

@@ -7,7 +7,10 @@
 
    The "smoke" group is the bounded (<10s) end-to-end proof and runs
    under the @shard-smoke alias; the "shard" group adds the slower
-   scenarios (stalls, stale replicas, the kill/stall matrix). *)
+   scenarios (stalls, stale replicas, the kill/stall matrix); the
+   "fence" group (@fence-smoke, also <10s) proves the membership
+   fencing: lease installs/expiry/self-demotion, the fence fault
+   directives, and the zombie split-brain experiment. *)
 
 module R = Relalg.Relation
 module Srv = Service.Server
@@ -415,6 +418,124 @@ let test_kill_stall_matrix () =
     scenarios
 
 (* ------------------------------------------------------------------ *)
+(* fence: leases, epochs, self-demotion, the zombie                   *)
+(* ------------------------------------------------------------------ *)
+
+let with_server f =
+  let cfg =
+    {
+      (Srv.default_config ()) with
+      Srv.attrs;
+      tau = Some tau;
+      workers = 2;
+      queue = 16;
+      result_cache = 0;
+      plan_cache = 0;
+      log_every = 0.;
+    }
+  in
+  let t = Srv.start cfg galaxy in
+  Fun.protect ~finally:(fun () -> Srv.stop t) @@ fun () ->
+  let c = Cl.connect ~host:"127.0.0.1" ~port:(Srv.port t) () in
+  Fun.protect ~finally:(fun () -> try Cl.close c with _ -> ()) @@ fun () ->
+  f t c
+
+let batch seed = Datagen.Workload.append_batch ~dataset:`Galaxy ~rows:3 ~seed
+
+let scount t k = Service.Metrics.get (Srv.metrics t) k
+
+let expect_fenced what = function
+  | Pr.Resp_err (Pr.Fenced, _) -> ()
+  | Pr.Resp_err (cd, m) ->
+    Alcotest.failf "%s: expected fenced, got %s: %s" what (Pr.code_name cd) m
+  | Pr.Resp_ok _ -> Alcotest.failf "%s: acked instead of fenced" what
+
+let expect_ok what = function
+  | Pr.Resp_ok _ -> ()
+  | Pr.Resp_err (_, m) -> Alcotest.failf "%s: refused: %s" what m
+
+let test_lease_protocol () =
+  with_server (fun t c ->
+      checki "fresh server at epoch 0" 0 (Srv.current_epoch t);
+      expect_ok "grant" (Cl.lease c ~epoch:5 ~ttl_ms:60_000);
+      checki "epoch installed" 5 (Srv.current_epoch t);
+      (* regressing grants are refused typed, and change nothing *)
+      expect_fenced "stale grant" (Cl.lease c ~epoch:3 ~ttl_ms:60_000);
+      checki "epoch unchanged" 5 (Srv.current_epoch t);
+      (* stale-stamped writes are refused typed; fresh stamps ack *)
+      expect_fenced "stale stamp"
+        (Cl.append ~epoch:3 c ~csv:(Relalg.Csv.to_string (batch 11)));
+      expect_ok "fresh stamp"
+        (Cl.append ~epoch:5 c ~csv:(Relalg.Csv.to_string (batch 12)));
+      checkb "fence rejections counted" true (scount t "fence_rejections" >= 2))
+
+let test_lease_expiry_demotes () =
+  with_server (fun t c ->
+      expect_ok "short grant" (Cl.lease c ~epoch:1 ~ttl_ms:1);
+      Thread.delay 0.05;
+      (* the lease ran out: the server self-demoted read-only *)
+      (match Cl.append c ~csv:(Relalg.Csv.to_string (batch 21)) with
+      | Pr.Resp_err (Pr.Fenced, msg) ->
+        checkb "refusal names the lease" true (contains msg "lease")
+      | Pr.Resp_err (cd, m) ->
+        Alcotest.failf "expected fenced, got %s: %s" (Pr.code_name cd) m
+      | Pr.Resp_ok _ -> Alcotest.fail "expired lease still acks");
+      checkb "demotion counted" true (scount t "demotions" >= 1);
+      (* a fresh grant restores writability *)
+      expect_ok "regrant" (Cl.lease c ~epoch:2 ~ttl_ms:60_000);
+      expect_ok "append after regrant"
+        (Cl.append c ~csv:(Relalg.Csv.to_string (batch 22))))
+
+let test_fence_fault_directives () =
+  with_server (fun _t c ->
+      with_faults "fence=lease:expire" (fun () ->
+          expect_fenced "under fence=lease:expire"
+            (Cl.append c ~csv:(Relalg.Csv.to_string (batch 31))));
+      with_faults "fence=epoch:stale" (fun () ->
+          expect_fenced "under fence=epoch:stale"
+            (Cl.append c ~csv:(Relalg.Csv.to_string (batch 32))));
+      (* cleared: the same write acks *)
+      expect_ok "after clearing faults"
+        (Cl.append c ~csv:(Relalg.Csv.to_string (batch 33))))
+
+let test_lease_regime_renewals () =
+  let cfg = { (coord_cfg ()) with Co.lease_ms = Some 300 } in
+  with_fleet "lease-renew" ~shards:1 ~replicas:1 ~cfg (fun _fleet t ->
+      (* renewals ride the shipper thread at lease/3 *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      while counter t "lease_renewals" < 1 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      checkb "leases renewed" true (counter t "lease_renewals" >= 1);
+      checkb "epoch gauge exported" true (gauge t "shard0_epoch" >= 1);
+      checki "primary still active" 0 (gauge t "shard0_active");
+      (* writes ack normally under the lease regime *)
+      let c = Cl.connect ~host:"127.0.0.1" ~port:(Co.port t) () in
+      Fun.protect ~finally:(fun () -> try Cl.close c with _ -> ()) @@ fun () ->
+      expect_ok "append under lease regime"
+        (Cl.append c ~csv:(Relalg.Csv.to_string (batch 41))))
+
+let test_zombie_split_brain () =
+  let pre = [ batch 51; batch 52 ] in
+  let during = [ batch 53; batch 54 ] in
+  let post = [ batch 55; batch 56 ] in
+  let r =
+    Ch.run_zombie ~exe:server_exe
+      ~dir:(Filename.concat tmp_dir "zombie")
+      ~base:galaxy ~pre ~during ~post ~lease_ms:300 ~attrs ~tau ()
+  in
+  checki "no dual-primary acks" 0 r.Ch.z_dual_acks;
+  checki "no acked-write loss" 0 r.Ch.z_lost_acks;
+  checki "every zombie write answered the typed fence" (List.length post)
+    r.Ch.z_zombie_fenced;
+  checki "no untyped zombie refusals" 0 r.Ch.z_zombie_other;
+  checkb "stale stamp fenced at the new primary" true r.Ch.z_stale_fenced;
+  checkb "promotion happened" true (r.Ch.z_promotions >= 1);
+  checkb "epoch advanced" true (r.Ch.z_epoch >= 2);
+  checki "failover acks" (List.length during) r.Ch.z_failover_acks;
+  checki "all phases acked" (List.length (pre @ during @ post)) r.Ch.z_acked
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "shard"
@@ -445,5 +566,18 @@ let () =
           Alcotest.test_case "injected stall rides the hedge" `Quick
             test_injected_stall_hedges;
           Alcotest.test_case "kill/stall matrix" `Quick test_kill_stall_matrix;
+        ] );
+      ( "fence",
+        [
+          Alcotest.test_case "lease protocol installs and fences epochs"
+            `Quick test_lease_protocol;
+          Alcotest.test_case "expired lease self-demotes read-only" `Quick
+            test_lease_expiry_demotes;
+          Alcotest.test_case "fence fault directives fire typed" `Quick
+            test_fence_fault_directives;
+          Alcotest.test_case "lease regime renews and stays writable" `Quick
+            test_lease_regime_renewals;
+          Alcotest.test_case "zombie primary cannot split the brain" `Quick
+            test_zombie_split_brain;
         ] );
     ]
